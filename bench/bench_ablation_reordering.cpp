@@ -1,0 +1,134 @@
+// Extension ablation: vertex reordering (RCM) as SpMV locality preprocessing.
+//
+// The simulated device charges coalescing and L2 costs from the real access
+// streams, so the ordering of vertex ids is measurable: the scalar CSC
+// gather x(row_A(k)) hits nearby sectors when in-neighbour ids are close.
+// We compare BC time and the SpMV kernels' L2 hit rate for three orderings
+// of the same graph — natural (generator order), random (worst case), and
+// RCM — on a mesh-like and an irregular workload. BC values are invariant
+// under relabeling (pinned by tests), so any time difference is locality.
+#include <iostream>
+
+#include "bench_support/suite.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "core/turbobc.hpp"
+#include "generators/generators.hpp"
+#include "gpusim/device.hpp"
+#include "graph/reorder.hpp"
+
+namespace {
+
+using namespace turbobc;
+
+struct Probe {
+  double ms = 0;
+  double l2_hit_pct = 0;
+};
+
+Probe run(const graph::EdgeList& g, bc::Variant v, vidx_t source,
+          std::size_t l2_bytes) {
+  sim::DeviceProps props = sim::DeviceProps::titan_xp();
+  props.l2_bytes = l2_bytes;
+  sim::Device dev(props);
+  bc::TurboBC turbo(dev, g, {.variant = v});
+  Probe p;
+  p.ms = turbo.run_single_source(source).device_seconds * 1e3;
+  std::uint64_t hits = 0, total = 0;
+  for (const auto& [name, agg] : dev.kernel_aggregates()) {
+    if (name.find("spmv") != std::string::npos) {
+      hits += agg.l2_hit_transactions;
+      total += agg.l2_hit_transactions + agg.dram_transactions;
+    }
+  }
+  p.l2_hit_pct = total > 0 ? 100.0 * static_cast<double>(hits) /
+                                 static_cast<double>(total)
+                           : 0.0;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace turbobc::bench;
+
+  struct Case {
+    const char* name;
+    graph::EdgeList g;
+    bc::Variant variant;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"delaunay-like mesh (scCSC)",
+                   gen::triangulated_grid(85, 78), bc::Variant::kScCsc});
+  cases.push_back({"road network (scCSC)",
+                   gen::road_network({.grid_rows = 10, .grid_cols = 10,
+                                      .keep_p = 0.7, .subdivisions = 30,
+                                      .seed = 17}),
+                   bc::Variant::kScCsc});
+  cases.push_back({"kronecker s12 (veCSC)",
+                   gen::kronecker({.scale = 12, .edge_factor = 40,
+                                   .seed = 100}),
+                   bc::Variant::kVeCsc});
+
+  // Two device configurations: the full 3 MB L2 (scaled graphs are
+  // cache-resident — the regime where warp balance dominates) and an
+  // L2-starved device (the large-graph regime at paper scale, where the
+  // working set no longer fits and gather locality decides DRAM traffic).
+  struct DeviceCfg {
+    const char* label;
+    std::size_t l2;
+  };
+  const DeviceCfg devices[2] = {{"3 MB L2 (cache-resident)",
+                                 3ull * 1024 * 1024},
+                                {"64 KB L2 (large-graph regime)", 64 * 1024}};
+
+  for (const DeviceCfg& dc : devices) {
+    Table t({"graph", "ordering", "bandwidth", "BC time(ms)", "SpMV L2 hit",
+             "vs random"});
+    for (const Case& c : cases) {
+      const auto random = graph::apply_order(
+          c.g, graph::random_order(c.g.num_vertices(), 5));
+      const auto rcm = graph::apply_order(random, graph::rcm_order(random));
+
+      struct Row {
+        const char* label;
+        const graph::EdgeList* g;
+      };
+      const Row rows[3] = {{"natural", &c.g}, {"random", &random},
+                           {"rcm", &rcm}};
+      double random_ms = 0.0;
+      Probe probes[3];
+      for (int i = 0; i < 3; ++i) {
+        probes[i] = run(*rows[i].g, c.variant,
+                        representative_source(*rows[i].g), dc.l2);
+        if (i == 1) random_ms = probes[i].ms;
+      }
+      for (int i = 0; i < 3; ++i) {
+        t.add_row({c.name, rows[i].label,
+                   human_count(
+                       static_cast<double>(graph::bandwidth(*rows[i].g))),
+                   fixed(probes[i].ms, 3),
+                   fixed(probes[i].l2_hit_pct, 0) + "%",
+                   fixed(random_ms / probes[i].ms, 2) + "x"});
+      }
+      std::cerr << "  [reordering] " << c.name << " (" << dc.label
+                << ") done\n";
+    }
+    std::cout << "Extension ablation — vertex reordering, device: "
+              << dc.label << '\n';
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout
+      << "Reading: at these scales BC time is issue/overhead-bound, so\n"
+         "ordering moves *warp efficiency*, not DRAM time: the natural mesh\n"
+         "order wins (contiguous gathers, interleaved degrees), while RCM —\n"
+         "despite slashing the bandwidth (6.6k -> 79 on the mesh) — clusters\n"
+         "equal-degree vertices into the same warps and loses ~10% to load\n"
+         "imbalance, a known effect for thread-per-column kernels on real\n"
+         "GPUs. The DRAM-traffic payoff RCM targets requires working sets\n"
+         "far beyond L2 (paper-scale graphs); even the starved-L2 device\n"
+         "stays overhead-bound at laptop scale. A negative result, reported\n"
+         "as measured.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation for the paper's Section 3.1 regular/irregular classification:
+// prints the scale-free index for every benchmark family and the variant
+// select_variant() chooses, so the classification boundary is auditable.
+// (The paper: regular graphs had scf in [1, 224], irregular in
+// [5846, 651837], under its own normalization; see graph/stats.hpp.)
+#include <iostream>
+
+#include "bench_support/suite.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "core/variant.hpp"
+#include "graph/stats.hpp"
+
+int main() {
+  using namespace turbobc;
+  using namespace turbobc::bench;
+
+  Table t({"graph", "family", "scf index", "class", "select_variant",
+           "paper's variant"});
+
+  auto add = [&](const std::vector<Workload>& suite) {
+    for (const Workload& w : suite) {
+      const double scf = graph::scf_index(w.graph);
+      t.add_row({w.name, w.family, fixed(scf, 1),
+                 graph::is_irregular(w.graph) ? "irregular" : "regular",
+                 std::string(bc::to_string(bc::select_variant(w.graph))),
+                 std::string(bc::to_string(w.variant))});
+    }
+  };
+  add(table1_suite());
+  add(table2_suite());
+  add(table3_suite());
+  add(table4_suite());
+
+  std::cout << "Ablation — scale-free classification (threshold "
+            << fixed(graph::kIrregularScfThreshold, 0)
+            << "): scf index per benchmark graph vs the variant the paper "
+               "found best\n";
+  t.print(std::cout);
+  return 0;
+}

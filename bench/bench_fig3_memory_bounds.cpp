@@ -1,0 +1,62 @@
+// Reproduces Figure 3: GPU memory upper bounds vs total array size on the
+// mycielski sweep, for (a) TurboBC-veCSC and (b) the gunrock-like baseline.
+//
+// The paper's claim: measured GPU memory usage is linear in the model's
+// array-size totals (7n + m for TurboBC, 9n + 2m for gunrock). We run each
+// BC, record the simulated peak, and print both series plus the measured /
+// model ratio — which must stay near-constant (linearity) across the sweep.
+#include <iostream>
+
+#include "baselines/gunrock_like.hpp"
+#include "bench_support/suite.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "core/footprint.hpp"
+#include "core/turbobc.hpp"
+#include "gpusim/device.hpp"
+
+int main() {
+  using namespace turbobc;
+  using namespace turbobc::bench;
+
+  Table t({"graph", "n", "m", "TurboBC model(7n+m)w", "TurboBC peak",
+           "peak/model", "gunrock model(9n+2m)w", "gunrock peak",
+           "peak/model"});
+
+  for (const Workload& w : mycielski_sweep()) {
+    const vidx_t n = w.graph.num_vertices();
+    const eidx_t m = w.graph.num_arcs();
+    const vidx_t source = representative_source(w.graph);
+
+    std::size_t turbo_peak = 0;
+    {
+      sim::Device dev;
+      bc::TurboBC turbo(dev, w.graph, {.variant = bc::Variant::kVeCsc});
+      turbo_peak = turbo.run_single_source(source).peak_device_bytes;
+    }
+    std::size_t gunrock_peak = 0;
+    {
+      sim::Device dev;
+      baseline::GunrockLikeBc g(dev, w.graph);
+      gunrock_peak = g.run_single_source(source).peak_device_bytes;
+    }
+
+    const double tm = static_cast<double>(bc::turbobc_model_words(n, m));
+    const double gm = static_cast<double>(bc::gunrock_model_words(n, m));
+    t.add_row({w.name, human_count(static_cast<double>(n)),
+               human_count(static_cast<double>(m)),
+               human_count(tm), human_bytes(turbo_peak),
+               fixed(static_cast<double>(turbo_peak) / (4.0 * tm), 2),
+               human_count(gm), human_bytes(gunrock_peak),
+               fixed(static_cast<double>(gunrock_peak) / (4.0 * gm), 2)});
+    std::cerr << "  [fig3] " << w.name << " done\n";
+  }
+
+  std::cout << "Figure 3 — GPU memory upper bounds vs model array totals "
+               "(mycielski sweep)\n"
+               "Linearity holds when peak/model stays ~constant down each "
+               "column; gunrock's ratio exceeding TurboBC's reproduces the "
+               "paper's 'up to 60% higher' gap.\n";
+  t.print(std::cout);
+  return 0;
+}

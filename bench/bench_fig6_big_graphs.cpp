@@ -1,0 +1,47 @@
+// Reproduces Figure 6: for the Table 4 big-graph set, (a) speedup over the
+// sequential algorithm and (b) MTEPS, each plotted against the BFS depth d.
+// The paper's shape claims: the deepest graph (kmer) takes the largest
+// speedup, and the highest MTEPS come from the irregular directed graphs
+// with d <= 50.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_support/runner.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace turbobc;
+  using namespace turbobc::bench;
+
+  RunnerConfig cfg;
+  cfg.run_gunrock = false;  // the paper's gunrock OOMs here (see table4)
+  std::vector<ExperimentRow> rows;
+  for (const Workload& w : table4_suite()) {
+    rows.push_back(run_single_source_experiment(w, cfg));
+    std::cerr << "  [fig6] " << w.name << " done\n";
+  }
+
+  Table t({"graph", "d", "speedup(seq)x", "paper(seq)x", "MTEPS",
+           "paper MTEPS"});
+  for (const auto& r : rows) {
+    t.add_row({r.name, std::to_string(r.depth), fixed(r.speedup_seq, 1),
+               fixed(r.paper.speedup_seq, 1), fixed(r.mteps, 0),
+               fixed(r.paper.mteps, 0)});
+  }
+  std::cout << "Figure 6 — big-graph set: speedup and MTEPS vs BFS depth\n";
+  t.print(std::cout);
+
+  const auto deepest = std::max_element(
+      rows.begin(), rows.end(),
+      [](const auto& a, const auto& b) { return a.depth < b.depth; });
+  const auto fastest = std::max_element(
+      rows.begin(), rows.end(),
+      [](const auto& a, const auto& b) { return a.speedup_seq < b.speedup_seq; });
+  std::cout << "\nShape check (paper: deepest graph has the max speedup): "
+            << "deepest = " << deepest->name
+            << ", max speedup = " << fastest->name << " -> "
+            << (deepest->name == fastest->name ? "MATCHES" : "differs")
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,96 @@
+// google-benchmark microbenchmarks of the host-side building blocks: the
+// sequential SpMV references (Algorithms 2 and 3) and the simulator's kernel
+// dispatch. These measure real wall time of this library's code (not the
+// modeled device), and guard against regressions in the simulation itself.
+#include <benchmark/benchmark.h>
+
+#include "generators/generators.hpp"
+#include "gpusim/kernel.hpp"
+#include "spmv/device_graph.hpp"
+#include "spmv/spmv_kernels.hpp"
+#include "spmv/spmv_seq.hpp"
+
+namespace {
+
+using namespace turbobc;
+
+graph::EdgeList bench_graph(int scale) {
+  return gen::kronecker({.scale = scale, .edge_factor = 16, .seed = 7});
+}
+
+void BM_SeqSpmvCooc(benchmark::State& state) {
+  const auto el = bench_graph(static_cast<int>(state.range(0)));
+  const auto g = graph::CoocGraph::from_edges(el);
+  std::vector<sigma_t> x(static_cast<std::size_t>(g.num_vertices()), 1);
+  std::vector<sigma_t> y(x.size());
+  for (auto _ : state) {
+    std::fill(y.begin(), y.end(), 0);
+    spmv::seq_spmv_cooc<sigma_t>(g, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_SeqSpmvCooc)->Arg(10)->Arg(12);
+
+void BM_SeqSpmvCscMasked(benchmark::State& state) {
+  const auto el = bench_graph(static_cast<int>(state.range(0)));
+  const auto g = graph::CscGraph::from_edges(el);
+  std::vector<sigma_t> x(static_cast<std::size_t>(g.num_vertices()), 1);
+  std::vector<sigma_t> sigma(x.size(), 0);
+  std::vector<sigma_t> y(x.size());
+  for (auto _ : state) {
+    std::fill(y.begin(), y.end(), 0);
+    spmv::seq_spmv_csc_masked<sigma_t, sigma_t>(g, x, sigma, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_SeqSpmvCscMasked)->Arg(10)->Arg(12);
+
+void BM_SimulatedScCscKernel(benchmark::State& state) {
+  const auto el = bench_graph(static_cast<int>(state.range(0)));
+  const auto n = static_cast<std::size_t>(el.num_vertices());
+  sim::Device dev;
+  dev.set_keep_launch_records(false);
+  spmv::DeviceCsc g(dev, graph::CscGraph::from_edges(el));
+  sim::DeviceBuffer<sigma_t> x(dev, n, "x"), y(dev, n, "y"), s(dev, n, "s");
+  x.device_fill(1);
+  s.device_fill(0);
+  for (auto _ : state) {
+    y.device_fill(0);
+    spmv::spmv_forward_sccsc(dev, g, x, y, s);
+    benchmark::DoNotOptimize(y.host().data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.m());
+}
+BENCHMARK(BM_SimulatedScCscKernel)->Arg(10);
+
+void BM_SimulatedVeCscKernel(benchmark::State& state) {
+  const auto el = bench_graph(static_cast<int>(state.range(0)));
+  const auto n = static_cast<std::size_t>(el.num_vertices());
+  sim::Device dev;
+  dev.set_keep_launch_records(false);
+  spmv::DeviceCsc g(dev, graph::CscGraph::from_edges(el));
+  sim::DeviceBuffer<sigma_t> x(dev, n, "x"), y(dev, n, "y"), s(dev, n, "s");
+  x.device_fill(1);
+  s.device_fill(0);
+  for (auto _ : state) {
+    y.device_fill(0);
+    spmv::spmv_forward_vecsc(dev, g, x, y, s);
+    benchmark::DoNotOptimize(y.host().data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.m());
+}
+BENCHMARK(BM_SimulatedVeCscKernel)->Arg(10);
+
+void BM_MycielskiGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    auto g = gen::mycielski(static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(g.num_arcs());
+  }
+}
+BENCHMARK(BM_MycielskiGeneration)->Arg(10)->Arg(12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,19 @@
+// Reproduces Table 1: BC/vertex on ten regular graphs with TurboBC-scCSC,
+// against the sequential, gunrock-like and ligra-like baselines.
+#include <iostream>
+
+#include "bench_support/runner.hpp"
+
+int main() {
+  using namespace turbobc::bench;
+  std::vector<ExperimentRow> rows;
+  for (const Workload& w : table1_suite()) {
+    rows.push_back(run_single_source_experiment(w));
+    std::cerr << "  [table1] " << w.name << " done\n";
+  }
+  print_rows(std::cout,
+             "Table 1 — BC/vertex, regular graphs, TurboBC-scCSC "
+             "(modeled device/CPU times; paper columns on the right)",
+             rows, /*time_unit_s=*/false, /*exact=*/false);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces Table 2: BC/vertex on ten regular graphs with TurboBC-scCOOC —
+// including the mawi traces whose mega-degree hubs defeat the scalar CSC
+// kernel.
+#include <iostream>
+
+#include "bench_support/runner.hpp"
+
+int main() {
+  using namespace turbobc::bench;
+  std::vector<ExperimentRow> rows;
+  for (const Workload& w : table2_suite()) {
+    rows.push_back(run_single_source_experiment(w));
+    std::cerr << "  [table2] " << w.name << " done\n";
+  }
+  print_rows(std::cout,
+             "Table 2 — BC/vertex, regular graphs, TurboBC-scCOOC "
+             "(modeled device/CPU times; paper columns on the right)",
+             rows, /*time_unit_s=*/false, /*exact=*/false);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Reproduces Table 3: BC/vertex on nine irregular graphs (mycielski and
+// kronecker families) with TurboBC-veCSC, the warp-per-column kernel.
+#include <iostream>
+
+#include "bench_support/runner.hpp"
+
+int main() {
+  using namespace turbobc::bench;
+  std::vector<ExperimentRow> rows;
+  for (const Workload& w : table3_suite()) {
+    rows.push_back(run_single_source_experiment(w));
+    std::cerr << "  [table3] " << w.name << " done\n";
+  }
+  print_rows(std::cout,
+             "Table 3 — BC/vertex, irregular graphs, TurboBC-veCSC "
+             "(modeled device/CPU times; paper columns on the right)",
+             rows, /*time_unit_s=*/false, /*exact=*/false);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Reproduces Table 5: exact BC (all sources) on six graphs; MTEPS computed
+// as n*m / t. The paper's Table 5 compares against the sequential algorithm
+// only.
+#include <iostream>
+
+#include "bench_support/runner.hpp"
+
+int main() {
+  using namespace turbobc::bench;
+  RunnerConfig cfg;
+  cfg.run_gunrock = false;
+  cfg.run_ligra = false;
+  std::vector<ExperimentRow> rows;
+  for (const Workload& w : table5_suite()) {
+    rows.push_back(run_exact_experiment(w, cfg));
+    std::cerr << "  [table5] " << w.name << " done\n";
+  }
+  print_rows(std::cout,
+             "Table 5 — exact BC (all sources), MTEPS = n*m/t "
+             "(modeled times; paper columns on the right)",
+             rows, /*time_unit_s=*/true, /*exact=*/true);
+  return 0;
+}

@@ -1,0 +1,178 @@
+#include "baselines/bc_la_seq.hpp"
+
+#include "common/error.hpp"
+
+namespace turbobc::baseline {
+
+namespace {
+constexpr std::uint64_t kIdx = sizeof(vidx_t);    // 4
+constexpr std::uint64_t kWord = sizeof(sigma_t);  // 8
+}  // namespace
+
+SequentialBcLa::SequentialBcLa(const graph::EdgeList& graph,
+                               sim::CpuModel model)
+    : model_(model) {
+  graph::EdgeList canon = graph;
+  canon.canonicalize();
+  directed_ = canon.directed();
+  csc_ = graph::CscGraph::from_edges(canon);
+  TBC_CHECK(csc_.num_vertices() > 0, "sequential BC needs a non-empty graph");
+}
+
+vidx_t SequentialBcLa::run_source_into(vidx_t source, std::vector<bc_t>& bc,
+                                       sim::CpuOpCounts& ops) const {
+  const auto n = static_cast<std::size_t>(csc_.num_vertices());
+  const auto& cp = csc_.col_ptr();
+  const auto& rows = csc_.row_idx();
+
+  std::vector<sigma_t> sigma(n, 0), f(n, 0), ft(n, 0);
+  std::vector<vidx_t> S(n, 0);
+  f[static_cast<std::size_t>(source)] = 1;
+  sigma[static_cast<std::size_t>(source)] = 1;
+
+  // Forward stage: per level, Algorithm 3's masked column gather followed by
+  // the frontier/sigma/S update sweep.
+  vidx_t d = 0;
+  bool frontier_nonempty = true;
+  while (frontier_nonempty) {
+    ++d;
+    frontier_nonempty = false;
+    std::fill(ft.begin(), ft.end(), 0);
+    ops.seq_bytes += n * kWord;  // f_t <- 0
+
+    for (std::size_t i = 0; i < n; ++i) {
+      ops.seq_bytes += kWord;  // sigma(i)
+      if (sigma[i] != 0) continue;
+      const eidx_t begin = cp[i];
+      const eidx_t end = cp[i + 1];
+      ops.seq_bytes += 2 * kIdx;
+      sigma_t sum = 0;
+      for (eidx_t k = begin; k < end; ++k) {
+        const auto r = static_cast<std::size_t>(
+            rows[static_cast<std::size_t>(k)]);
+        sum += f[r];
+        ops.seq_bytes += kIdx;   // row_A(k), streamed
+        ops.rand_bytes += kWord; // f(row), dependent random load
+        ops.alu_ops += 1;
+      }
+      if (sum > 0) {
+        ft[i] = sum;
+        ops.seq_bytes += kWord;
+      }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const sigma_t v = ft[i];
+      f[i] = v;
+      ops.seq_bytes += 2 * kWord;  // read f_t, write f
+      ops.alu_ops += 1;
+      if (v != 0) {
+        S[i] = d;
+        sigma[i] += v;
+        ops.seq_bytes += kIdx + kWord;
+        frontier_nonempty = true;
+      }
+    }
+  }
+  const vidx_t height = d - 1;
+
+  // Backward stage.
+  std::vector<bc_t> delta(n, 0.0), delta_u(n, 0.0), delta_ut(n, 0.0);
+  for (vidx_t dd = height; dd >= 2; --dd) {
+    for (std::size_t i = 0; i < n; ++i) {
+      bc_t out = 0.0;
+      ops.seq_bytes += kIdx;  // S(i)
+      if (S[i] == dd && sigma[i] > 0) {
+        out = (1.0 + delta[i]) / static_cast<bc_t>(sigma[i]);
+        ops.seq_bytes += 2 * kWord;
+        ops.alu_ops += 2;
+      }
+      delta_u[i] = out;
+      ops.seq_bytes += kWord;
+    }
+
+    std::fill(delta_ut.begin(), delta_ut.end(), 0.0);
+    ops.seq_bytes += n * kWord;
+    if (!directed_) {
+      // Symmetric matrix: per-column gather (Algorithm 3 without the mask).
+      for (std::size_t i = 0; i < n; ++i) {
+        const eidx_t begin = cp[i];
+        const eidx_t end = cp[i + 1];
+        ops.seq_bytes += 2 * kIdx;
+        bc_t sum = 0.0;
+        for (eidx_t k = begin; k < end; ++k) {
+          const auto r = static_cast<std::size_t>(
+              rows[static_cast<std::size_t>(k)]);
+          sum += delta_u[r];
+          ops.seq_bytes += kIdx;
+          ops.rand_bytes += kWord;
+          ops.alu_ops += 1;
+        }
+        if (sum != 0.0) {
+          delta_ut[i] = sum;
+          ops.seq_bytes += kWord;
+        }
+      }
+    } else {
+      // Directed: out-neighbour sums via scatter through the same structure.
+      for (std::size_t w = 0; w < n; ++w) {
+        const bc_t xv = delta_u[w];
+        ops.seq_bytes += kWord;
+        if (xv == 0.0) continue;
+        const eidx_t begin = cp[w];
+        const eidx_t end = cp[w + 1];
+        ops.seq_bytes += 2 * kIdx;
+        for (eidx_t k = begin; k < end; ++k) {
+          const auto r = static_cast<std::size_t>(
+              rows[static_cast<std::size_t>(k)]);
+          delta_ut[r] += xv;
+          ops.seq_bytes += kIdx;
+          ops.rand_bytes += kWord;
+          ops.alu_ops += 1;
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      ops.seq_bytes += kIdx;  // S(i)
+      if (S[i] == dd - 1 && delta_ut[i] != 0.0) {
+        delta[i] += delta_ut[i] * static_cast<bc_t>(sigma[i]);
+        ops.seq_bytes += 3 * kWord;
+        ops.alu_ops += 2;
+      }
+    }
+  }
+
+  const bc_t scale = directed_ ? 1.0 : 0.5;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (static_cast<vidx_t>(v) != source && delta[v] != 0.0) {
+      bc[v] += delta[v] * scale;
+    }
+    ops.seq_bytes += kWord;
+    ops.alu_ops += 1;
+  }
+  return height;
+}
+
+SeqBcLaResult SequentialBcLa::run_single_source(vidx_t source) const {
+  TBC_CHECK(source >= 0 && source < csc_.num_vertices(),
+            "source out of range");
+  SeqBcLaResult r;
+  r.bc.assign(static_cast<std::size_t>(csc_.num_vertices()), 0.0);
+  r.bfs_depth = run_source_into(source, r.bc, r.ops);
+  r.modeled_seconds = model_.seconds_sequential(r.ops);
+  return r;
+}
+
+SeqBcLaResult SequentialBcLa::run_exact() const {
+  SeqBcLaResult r;
+  const vidx_t n = csc_.num_vertices();
+  r.bc.assign(static_cast<std::size_t>(n), 0.0);
+  for (vidx_t s = 0; s < n; ++s) {
+    r.bfs_depth = run_source_into(s, r.bc, r.ops);
+  }
+  r.modeled_seconds = model_.seconds_sequential(r.ops);
+  return r;
+}
+
+}  // namespace turbobc::baseline

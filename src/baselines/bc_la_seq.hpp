@@ -1,0 +1,54 @@
+// Sequential linear-algebra BC: the paper's "(sequential)x" baseline.
+//
+// This is Algorithm 1 executed on the host with the Algorithm 3 (CSC,
+// sigma-masked) SpMV — the paper's own sequential comparator ("our
+// implementation of the sequential version of Algorithm 1 with the sparse
+// adjacency matrix in the CSC format"). Note its per-level cost is
+// O(n + touched edges), so deep BFS trees (road networks) are punished by
+// the d*n column scans — which is precisely why the paper's speedups are
+// largest on deep graphs.
+//
+// The implementation counts its work (ALU ops, streaming bytes, dependent
+// random-access bytes) and reports modeled single-core seconds via CpuModel,
+// the same currency as the simulated GPU timeline (see DESIGN.md §1).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "gpusim/cpumodel.hpp"
+#include "graph/csc.hpp"
+#include "graph/edge_list.hpp"
+
+namespace turbobc::baseline {
+
+struct SeqBcLaResult {
+  std::vector<bc_t> bc;
+  vidx_t bfs_depth = 0;
+  sim::CpuOpCounts ops;
+  double modeled_seconds = 0.0;
+};
+
+class SequentialBcLa {
+ public:
+  explicit SequentialBcLa(const graph::EdgeList& graph,
+                          sim::CpuModel model = sim::CpuModel{});
+
+  /// Single-source dependency contribution (halved when undirected).
+  SeqBcLaResult run_single_source(vidx_t source) const;
+
+  /// Exact BC over all sources.
+  SeqBcLaResult run_exact() const;
+
+  vidx_t num_vertices() const noexcept { return csc_.num_vertices(); }
+
+ private:
+  vidx_t run_source_into(vidx_t source, std::vector<bc_t>& bc,
+                         sim::CpuOpCounts& ops) const;
+
+  graph::CscGraph csc_;
+  bool directed_ = false;
+  sim::CpuModel model_;
+};
+
+}  // namespace turbobc::baseline

@@ -1,0 +1,146 @@
+#include "baselines/brandes.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+#include "graph/csr.hpp"
+
+namespace turbobc::baseline {
+
+namespace {
+
+struct SourcePass {
+  std::vector<vidx_t> order;  // vertices in BFS-visit order
+  std::vector<vidx_t> dist;
+  std::vector<sigma_t> sigma;
+  /// Predecessors stored as CSR arc ids so edge dependencies can be
+  /// accumulated on the arc itself.
+  std::vector<std::vector<eidx_t>> pred_arcs;
+};
+
+SourcePass forward_pass(const graph::CsrGraph& adj, vidx_t source) {
+  const vidx_t n = adj.num_vertices();
+  SourcePass p;
+  const auto un = static_cast<std::size_t>(n);
+  p.dist.assign(un, kInvalidVertex);
+  p.sigma.assign(un, 0);
+  p.pred_arcs.assign(un, {});
+  p.order.reserve(un);
+
+  std::queue<vidx_t> q;
+  p.dist[static_cast<std::size_t>(source)] = 0;
+  p.sigma[static_cast<std::size_t>(source)] = 1;
+  q.push(source);
+  while (!q.empty()) {
+    const vidx_t v = q.front();
+    q.pop();
+    p.order.push_back(v);
+    const auto [begin, end] = adj.row_range(v);
+    for (eidx_t k = begin; k < end; ++k) {
+      const vidx_t w = adj.col_idx()[static_cast<std::size_t>(k)];
+      auto& dw = p.dist[static_cast<std::size_t>(w)];
+      if (dw == kInvalidVertex) {
+        dw = p.dist[static_cast<std::size_t>(v)] + 1;
+        q.push(w);
+      }
+      if (dw == p.dist[static_cast<std::size_t>(v)] + 1) {
+        p.sigma[static_cast<std::size_t>(w)] +=
+            p.sigma[static_cast<std::size_t>(v)];
+        p.pred_arcs[static_cast<std::size_t>(w)].push_back(k);
+      }
+    }
+  }
+  return p;
+}
+
+/// Dependency accumulation in reverse BFS order. Adds the per-vertex
+/// dependencies into `vertex_out` (unless null) and per-arc dependencies
+/// into `edge_out` (unless null), both scaled by `scale`.
+void accumulate(const graph::CsrGraph& adj, const SourcePass& p,
+                vidx_t source, bc_t scale, std::vector<bc_t>* vertex_out,
+                std::vector<bc_t>* edge_out) {
+  std::vector<bc_t> delta(p.sigma.size(), 0.0);
+  for (auto it = p.order.rbegin(); it != p.order.rend(); ++it) {
+    const auto w = static_cast<std::size_t>(*it);
+    for (const eidx_t arc : p.pred_arcs[w]) {
+      // Recover the arc's source: arcs of vertex v live in v's row range;
+      // binary-search the row_ptr for the owner.
+      const auto& rp = adj.row_ptr();
+      const auto owner_it =
+          std::upper_bound(rp.begin(), rp.end(), arc) - rp.begin() - 1;
+      const auto v = static_cast<std::size_t>(owner_it);
+      const bc_t contribution =
+          static_cast<bc_t>(p.sigma[v]) / static_cast<bc_t>(p.sigma[w]) *
+          (1.0 + delta[w]);
+      delta[v] += contribution;
+      if (edge_out != nullptr) {
+        (*edge_out)[static_cast<std::size_t>(arc)] += contribution * scale;
+      }
+    }
+    if (vertex_out != nullptr && *it != source) {
+      (*vertex_out)[w] += delta[w] * scale;
+    }
+  }
+}
+
+graph::CsrGraph make_adj(const graph::EdgeList& graph) {
+  return graph::CsrGraph::from_edges(graph);
+}
+
+}  // namespace
+
+std::vector<bc_t> brandes_bc(const graph::EdgeList& graph) {
+  const graph::CsrGraph adj = make_adj(graph);
+  const bc_t scale = graph.directed() ? 1.0 : 0.5;
+  std::vector<bc_t> bc(static_cast<std::size_t>(adj.num_vertices()), 0.0);
+  for (vidx_t s = 0; s < adj.num_vertices(); ++s) {
+    const SourcePass p = forward_pass(adj, s);
+    accumulate(adj, p, s, scale, &bc, nullptr);
+  }
+  return bc;
+}
+
+std::vector<bc_t> brandes_delta(const graph::EdgeList& graph, vidx_t source) {
+  const graph::CsrGraph adj = make_adj(graph);
+  TBC_CHECK(source >= 0 && source < adj.num_vertices(),
+            "Brandes source out of range");
+  const bc_t scale = graph.directed() ? 1.0 : 0.5;
+  std::vector<bc_t> bc(static_cast<std::size_t>(adj.num_vertices()), 0.0);
+  const SourcePass p = forward_pass(adj, source);
+  accumulate(adj, p, source, scale, &bc, nullptr);
+  return bc;
+}
+
+std::vector<sigma_t> brandes_sigma(const graph::EdgeList& graph,
+                                   vidx_t source) {
+  const graph::CsrGraph adj = make_adj(graph);
+  TBC_CHECK(source >= 0 && source < adj.num_vertices(),
+            "Brandes source out of range");
+  return forward_pass(adj, source).sigma;
+}
+
+std::vector<bc_t> brandes_edge_bc(const graph::EdgeList& graph) {
+  const graph::CsrGraph adj = make_adj(graph);
+  const bc_t scale = graph.directed() ? 1.0 : 0.5;
+  std::vector<bc_t> ebc(static_cast<std::size_t>(adj.num_arcs()), 0.0);
+  for (vidx_t s = 0; s < adj.num_vertices(); ++s) {
+    const SourcePass p = forward_pass(adj, s);
+    accumulate(adj, p, s, scale, nullptr, &ebc);
+  }
+  return ebc;
+}
+
+std::vector<bc_t> brandes_edge_delta(const graph::EdgeList& graph,
+                                     vidx_t source) {
+  const graph::CsrGraph adj = make_adj(graph);
+  TBC_CHECK(source >= 0 && source < adj.num_vertices(),
+            "Brandes source out of range");
+  const bc_t scale = graph.directed() ? 1.0 : 0.5;
+  std::vector<bc_t> ebc(static_cast<std::size_t>(adj.num_arcs()), 0.0);
+  const SourcePass p = forward_pass(adj, source);
+  accumulate(adj, p, source, scale, nullptr, &ebc);
+  return ebc;
+}
+
+}  // namespace turbobc::baseline

@@ -1,0 +1,44 @@
+// Queue-based sequential Brandes betweenness centrality.
+//
+// This is the repo's golden correctness reference: the textbook algorithm
+// (Brandes 2001/2008), with explicit predecessor lists and a stack-ordered
+// dependency accumulation — structurally independent from the
+// linear-algebra formulation it validates. Every TurboBC result in tests
+// and benches is checked against it, mirroring the paper's protocol ("we
+// used the sequential version of the BC algorithm to verify the results...
+// only the correct results were accepted").
+//
+// Besides vertex BC it provides the shortest-path counts and *edge*
+// betweenness (the paper's Eq. 1 defines BC for vertices or edges; the edge
+// variant is the oracle for TurboBC's edge-BC extension).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/edge_list.hpp"
+
+namespace turbobc::baseline {
+
+/// Exact BC for all vertices (halved for undirected graphs).
+std::vector<bc_t> brandes_bc(const graph::EdgeList& graph);
+
+/// Single-source dependency contribution delta_s (halved for undirected
+/// graphs) — comparable to TurboBC::run_single_source.
+std::vector<bc_t> brandes_delta(const graph::EdgeList& graph, vidx_t source);
+
+/// Shortest-path counts sigma_s(v) from one source (0 for unreachable).
+std::vector<sigma_t> brandes_sigma(const graph::EdgeList& graph,
+                                   vidx_t source);
+
+/// Exact per-arc edge betweenness, indexed in the *canonical* arc order of
+/// the edge list (EdgeList::canonicalize ordering — the same nonzero order
+/// CSR uses). For undirected graphs the values are halved like vertex BC;
+/// the undirected edge's BC is the sum of its two arc entries.
+std::vector<bc_t> brandes_edge_bc(const graph::EdgeList& graph);
+
+/// Single-source per-arc dependency (same indexing and halving).
+std::vector<bc_t> brandes_edge_delta(const graph::EdgeList& graph,
+                                     vidx_t source);
+
+}  // namespace turbobc::baseline

@@ -1,0 +1,304 @@
+#include "baselines/gunrock_like.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "gpusim/kernel.hpp"
+
+namespace turbobc::baseline {
+
+namespace {
+
+double device_clock(const sim::Device& d) {
+  return d.kernel_seconds() + d.transfer_seconds() + d.overhead_seconds();
+}
+
+struct HostCsr {
+  std::vector<std::int32_t> off;
+  std::vector<vidx_t> idx;
+};
+
+/// offsets by key(edge); `by_source` selects CSR (out) vs CSC (in).
+HostCsr build(const graph::EdgeList& canon, bool by_source) {
+  const auto n = static_cast<std::size_t>(canon.num_vertices());
+  HostCsr h;
+  h.off.assign(n + 1, 0);
+  for (const graph::Edge& e : canon.edges()) {
+    ++h.off[static_cast<std::size_t>(by_source ? e.u : e.v) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) h.off[v + 1] += h.off[v];
+  h.idx.resize(canon.edges().size());
+  std::vector<std::int32_t> cursor(h.off.begin(), h.off.end() - 1);
+  for (const graph::Edge& e : canon.edges()) {
+    const auto key = static_cast<std::size_t>(by_source ? e.u : e.v);
+    h.idx[static_cast<std::size_t>(cursor[key]++)] = by_source ? e.v : e.u;
+  }
+  return h;
+}
+
+graph::EdgeList canonical(const graph::EdgeList& g) {
+  graph::EdgeList c = g;
+  c.canonicalize();
+  return c;
+}
+
+}  // namespace
+
+GunrockLikeBc::GunrockLikeBc(sim::Device& device, const graph::EdgeList& graph)
+    : GunrockLikeBc(device, canonical(graph), 0) {}
+
+// Private-ish delegating pattern avoided: do the work directly.
+// (The public constructor canonicalizes; this one consumes the result.)
+GunrockLikeBc::GunrockLikeBc(sim::Device& device, const graph::EdgeList& canon,
+                             int)
+    : device_(device),
+      n_(canon.num_vertices()),
+      m_(canon.num_arcs()),
+      directed_(canon.directed()),
+      csr_off_(device, static_cast<std::size_t>(n_) + 1, "gr_csr_off"),
+      csr_col_(device, static_cast<std::size_t>(m_), "gr_csr_col"),
+      csc_off_(device, static_cast<std::size_t>(n_) + 1, "gr_csc_off"),
+      csc_row_(device, static_cast<std::size_t>(m_), "gr_csc_row"),
+      labels_(device, static_cast<std::size_t>(n_), "gr_labels"),
+      preds_(device, static_cast<std::size_t>(n_), "gr_preds"),
+      visited_(device, static_cast<std::size_t>(n_), "gr_visited"),
+      sigma_(device, static_cast<std::size_t>(n_), "gr_sigma", 4),
+      delta_(device, static_cast<std::size_t>(n_), "gr_delta", 4),
+      bc_(device, static_cast<std::size_t>(n_), "gr_bc", 4),
+      queue_a_(device, static_cast<std::size_t>(n_), "gr_queue_a"),
+      queue_b_(device, static_cast<std::size_t>(n_), "gr_queue_b"),
+      qcount_(device, 1, "gr_qcount"),
+      lb_scratch_(device, static_cast<std::size_t>(m_), "gr_lb_scratch") {
+  TBC_CHECK(n_ > 0, "gunrock baseline needs a non-empty graph");
+  const HostCsr csr = build(canon, /*by_source=*/true);
+  const HostCsr csc = build(canon, /*by_source=*/false);
+  csr_off_.copy_from_host(csr.off);
+  csr_col_.copy_from_host(csr.idx);
+  csc_off_.copy_from_host(csc.off);
+  csc_row_.copy_from_host(csc.idx);
+  bc_.device_fill(0.0);
+}
+
+std::size_t GunrockLikeBc::inventory_bytes() const {
+  return csr_off_.bytes() + csr_col_.bytes() + csc_off_.bytes() +
+         csc_row_.bytes() + labels_.bytes() + preds_.bytes() +
+         visited_.bytes() + sigma_.bytes() + delta_.bytes() + bc_.bytes() +
+         queue_a_.bytes() + queue_b_.bytes() + qcount_.bytes() +
+         lb_scratch_.bytes();
+}
+
+GunrockBcResult GunrockLikeBc::run_single_source(vidx_t source) {
+  TBC_CHECK(source >= 0 && source < n_, "source out of range");
+  sim::Device& dev = device_;
+  dev.memory().reset_peak();
+  const double start = device_clock(dev);
+
+  labels_.device_fill(-1);
+  sigma_.device_fill(0.0);
+  delta_.device_fill(0.0);
+  bc_.device_fill(0.0);
+
+  sim::launch_scalar(dev, "gunrock_init", 1, [&](sim::ThreadCtx& t) {
+    labels_.store(t, static_cast<std::size_t>(source), 0);
+    sigma_.store(t, static_cast<std::size_t>(source), 1.0);
+    queue_a_.store(t, 0, source);
+  });
+
+  sim::DeviceBuffer<vidx_t>* frontier = &queue_a_;
+  sim::DeviceBuffer<vidx_t>* next = &queue_b_;
+  std::int32_t fsize = 1;
+  std::int32_t level = 0;
+  const auto pull_threshold = std::max<std::int32_t>(1, n_ / 20);
+
+  while (fsize > 0) {
+    qcount_.device_fill(0);
+    if (fsize >= pull_threshold) {
+      // Pull advance: undiscovered vertices scan their in-neighbours.
+      sim::launch_scalar(
+          dev, "gunrock_advance_pull", static_cast<std::uint64_t>(n_),
+          [&](sim::ThreadCtx& t) {
+            const auto i = static_cast<std::size_t>(t.global_id());
+            if (labels_.load(t, i) != -1) return;
+            const std::int32_t begin = csc_off_.load(t, i);
+            const std::int32_t end = csc_off_.load(t, i + 1);
+            bc_t sum = 0.0;
+            for (std::int32_t k = begin; k < end; ++k) {
+              const vidx_t u = csc_row_.load(t, static_cast<std::size_t>(k));
+              t.count_ops(1);
+              if (labels_.load(t, static_cast<std::size_t>(u)) == level) {
+                sum += sigma_.load(t, static_cast<std::size_t>(u));
+              }
+            }
+            if (sum > 0.0) {
+              labels_.store(t, i, level + 1);
+              sigma_.store(t, i, sum);
+            }
+          });
+      // Frontier bitmap <-> queue conversion pass (direction-optimized
+      // BFS keeps a dense bitmap during pull rounds).
+      sim::launch_scalar(
+          dev, "gunrock_bitmap_convert", static_cast<std::uint64_t>(n_),
+          [&](sim::ThreadCtx& t) {
+            const auto i = static_cast<std::size_t>(t.global_id());
+            const bool in_next = labels_.load(t, i) == level + 1;
+            visited_.store(t, i, in_next ? 1 : 0);
+            t.count_ops(1);
+          });
+      // Filter rebuilds the vertex queue from the label array.
+      sim::launch_scalar(
+          dev, "gunrock_filter", static_cast<std::uint64_t>(n_),
+          [&](sim::ThreadCtx& t) {
+            const auto i = static_cast<std::size_t>(t.global_id());
+            if (labels_.load(t, i) == level + 1) {
+              const std::int32_t slot = qcount_.atomic_add(t, 0, 1);
+              next->store(t, static_cast<std::size_t>(slot),
+                          static_cast<vidx_t>(i));
+            }
+          });
+    } else {
+      // Load-balanced push advance: one thread per frontier edge. The LB
+      // partition pass (gunrock's per-block scan over the frontier's degree
+      // prefix sums) is charged first.
+      const auto& q = frontier->host();
+      const auto& off = csr_off_.host();
+      std::vector<std::pair<vidx_t, std::int32_t>> fedges;  // (src, csr slot)
+      for (std::int32_t i = 0; i < fsize; ++i) {
+        const vidx_t u = q[static_cast<std::size_t>(i)];
+        for (std::int32_t k = off[static_cast<std::size_t>(u)];
+             k < off[static_cast<std::size_t>(u) + 1]; ++k) {
+          fedges.emplace_back(u, k);
+        }
+      }
+      // The partition kernel expands the frontier's source ids into the
+      // edge-frontier scratch (one slot per frontier edge).
+      sim::launch_scalar(
+          dev, "gunrock_lb_partition", static_cast<std::uint64_t>(fsize),
+          [&, base = std::size_t{0}](sim::ThreadCtx& t) mutable {
+            const auto i = static_cast<std::size_t>(t.global_id());
+            const vidx_t u = frontier->load(t, i);
+            const std::int32_t b = csr_off_.load(t, static_cast<std::size_t>(u));
+            const std::int32_t e =
+                csr_off_.load(t, static_cast<std::size_t>(u) + 1);
+            for (std::int32_t k = b; k < e; ++k) {
+              lb_scratch_.store(t, base++, u);
+            }
+            t.count_ops(2);
+          });
+      // gunrock's TWC load balancing dispatches the frontier's degree
+      // classes to separate sub-kernels; the small/medium class launches are
+      // charged here (the bulk class is the main advance below).
+      sim::launch_scalar(dev, "gunrock_advance_twc_small",
+                         static_cast<std::uint64_t>(std::min<std::int32_t>(
+                             fsize, 32)),
+                         [&](sim::ThreadCtx& t) { t.count_ops(1); });
+      sim::launch_scalar(dev, "gunrock_advance_twc_medium",
+                         static_cast<std::uint64_t>(std::min<std::int32_t>(
+                             fsize, 32)),
+                         [&](sim::ThreadCtx& t) { t.count_ops(1); });
+      sim::launch_scalar(
+          dev, "gunrock_advance_push", fedges.size(), [&](sim::ThreadCtx& t) {
+            const auto idx = static_cast<std::size_t>(t.global_id());
+            const vidx_t u = lb_scratch_.load(t, idx);
+            const std::int32_t k = fedges[idx].second;
+            const vidx_t w = csr_col_.load(t, static_cast<std::size_t>(k));
+            const bc_t su = sigma_.load(t, static_cast<std::size_t>(u));
+            const std::int32_t lw =
+                labels_.load(t, static_cast<std::size_t>(w));
+            t.count_ops(2);
+            if (lw == -1) {
+              labels_.store(t, static_cast<std::size_t>(w), level + 1);
+              preds_.store(t, static_cast<std::size_t>(w), u);
+              sigma_.atomic_add(t, static_cast<std::size_t>(w), su);
+              const std::int32_t slot = qcount_.atomic_add(t, 0, 1);
+              next->store(t, static_cast<std::size_t>(slot), w);
+            } else if (lw == level + 1) {
+              sigma_.atomic_add(t, static_cast<std::size_t>(w), su);
+            }
+          });
+    }
+    // gunrock's oprtr pipeline runs a filter/uniquify pass over the raw
+    // output queue and synchronizes with the host after BOTH the advance and
+    // the filter — one of the framework overheads the paper's "simpler,
+    // hence less overhead" design avoids.
+    {
+      const std::int32_t raw = qcount_.host()[0];
+      sim::launch_scalar(dev, "gunrock_filter_uniquify",
+                         static_cast<std::uint64_t>(raw),
+                         [&](sim::ThreadCtx& t) {
+                           const auto i = static_cast<std::size_t>(t.global_id());
+                           const vidx_t v = next->load(t, i);
+                           labels_.load(t, static_cast<std::size_t>(v));
+                           t.count_ops(2);
+                         });
+      dev.charge_transfer(4);  // post-advance sync
+    }
+    fsize = qcount_.copy_to_host()[0];  // post-filter sync
+    std::swap(frontier, next);
+    ++level;
+  }
+  const vidx_t height = level - 1;
+
+  // Backward: per level, vertices accumulate dependency from their
+  // out-neighbours one level deeper. gunrock drives this phase through the
+  // same advance/filter operator pipeline, so each level pays a frontier
+  // setup kernel and a host synchronization on top of the accumulation.
+  std::vector<std::int32_t> level_counts(static_cast<std::size_t>(height) + 1,
+                                         0);
+  for (const std::int32_t l : labels_.host()) {
+    if (l >= 0) ++level_counts[static_cast<std::size_t>(l)];
+  }
+  for (std::int32_t lev = height - 1; lev >= 0; --lev) {
+    sim::launch_scalar(dev, "gunrock_bc_setup",
+                       static_cast<std::uint64_t>(
+                           level_counts[static_cast<std::size_t>(lev)]),
+                       [&](sim::ThreadCtx& t) {
+                         queue_a_.load(t, static_cast<std::size_t>(
+                                              t.global_id()));
+                         t.count_ops(2);
+                       });
+    dev.charge_transfer(4);  // per-iteration sync
+    sim::launch_scalar(
+        dev, "gunrock_bc_backward", static_cast<std::uint64_t>(n_),
+        [&](sim::ThreadCtx& t) {
+          const auto i = static_cast<std::size_t>(t.global_id());
+          if (labels_.load(t, i) != lev) return;
+          const std::int32_t begin = csr_off_.load(t, i);
+          const std::int32_t end = csr_off_.load(t, i + 1);
+          bc_t acc = 0.0;
+          for (std::int32_t k = begin; k < end; ++k) {
+            const vidx_t w = csr_col_.load(t, static_cast<std::size_t>(k));
+            t.count_ops(1);
+            if (labels_.load(t, static_cast<std::size_t>(w)) == lev + 1) {
+              const bc_t sw = sigma_.load(t, static_cast<std::size_t>(w));
+              const bc_t dw = delta_.load(t, static_cast<std::size_t>(w));
+              acc += (1.0 + dw) / sw;
+            }
+          }
+          if (acc != 0.0) {
+            const bc_t si = sigma_.load(t, i);
+            delta_.store(t, i, si * acc);
+          }
+        });
+  }
+
+  const bc_t scale = directed_ ? 1.0 : 0.5;
+  sim::launch_scalar(dev, "gunrock_bc_accum", static_cast<std::uint64_t>(n_),
+                     [&](sim::ThreadCtx& t) {
+                       const auto i = static_cast<std::size_t>(t.global_id());
+                       if (static_cast<vidx_t>(i) == source) return;
+                       const bc_t dl = delta_.load(t, i);
+                       if (dl != 0.0) {
+                         bc_.store(t, i, bc_.load(t, i) + dl * scale);
+                       }
+                     });
+
+  GunrockBcResult r;
+  r.bfs_depth = height;
+  r.device_seconds = device_clock(dev) - start;
+  r.peak_device_bytes = dev.memory().peak_bytes();
+  r.bc = bc_.copy_to_host();
+  return r;
+}
+
+}  // namespace turbobc::baseline

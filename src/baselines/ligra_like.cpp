@@ -1,0 +1,168 @@
+#include "baselines/ligra_like.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace turbobc::baseline {
+
+namespace {
+constexpr std::uint64_t kIdx = sizeof(vidx_t);
+constexpr std::uint64_t kWord = sizeof(bc_t);
+}  // namespace
+
+LigraLikeBc::LigraLikeBc(const graph::EdgeList& graph, sim::CpuModel model)
+    : model_(model) {
+  graph::EdgeList canon = graph;
+  canon.canonicalize();
+  n_ = canon.num_vertices();
+  m_ = canon.num_arcs();
+  directed_ = canon.directed();
+  TBC_CHECK(n_ > 0, "ligra baseline needs a non-empty graph");
+
+  out_ = graph::CsrGraph::from_edges(canon);
+  in_ = graph::CsrGraph::from_edges_transposed(canon);
+}
+
+vidx_t LigraLikeBc::run_source_into(vidx_t source, std::vector<bc_t>& bc,
+                                    sim::CpuOpCounts& ops) const {
+  const auto n = static_cast<std::size_t>(n_);
+  std::vector<vidx_t> level(n, kInvalidVertex);
+  std::vector<bc_t> sigma(n, 0.0), delta(n, 0.0);
+  std::vector<std::vector<vidx_t>> levels;  // frontier history for backward
+
+  level[static_cast<std::size_t>(source)] = 0;
+  sigma[static_cast<std::size_t>(source)] = 1.0;
+  levels.push_back({source});
+
+  // edgeMap threshold: ligra switches to the dense (pull) representation
+  // when |frontier| + frontier out-degree exceeds m / 20.
+  const auto dense_threshold = static_cast<eidx_t>(m_ / 20 + 1);
+
+  vidx_t d = 0;
+  while (!levels.back().empty()) {
+    const auto& frontier = levels.back();
+    eidx_t frontier_work = static_cast<eidx_t>(frontier.size());
+    for (const vidx_t u : frontier) {
+      frontier_work += out_.out_degree(u);
+    }
+    // Two parallel rounds per level: the edgeMap plus the vertexMap that
+    // resets/compacts the frontier (ligra's nextFrontier handling).
+    ops.rounds += 2;
+
+    std::vector<vidx_t> nextf;
+    if (frontier_work < dense_threshold) {
+      // Sparse push: scan the frontier's out-edges.
+      for (const vidx_t u : frontier) {
+        const auto [ubeg, uend] = out_.row_range(u);
+        ops.seq_bytes += 2 * kIdx;
+        for (eidx_t k = ubeg; k < uend; ++k) {
+          const vidx_t w = out_.col_idx()[static_cast<std::size_t>(k)];
+          ops.seq_bytes += kIdx;
+          ops.rand_bytes += kIdx;  // level[w]
+          ops.alu_ops += 2;        // CAS + compare
+          auto& lw = level[static_cast<std::size_t>(w)];
+          if (lw == kInvalidVertex) {
+            lw = d + 1;
+            nextf.push_back(w);
+            ops.rand_bytes += kIdx + kWord;  // write level, enqueue
+          }
+          if (lw == d + 1) {
+            sigma[static_cast<std::size_t>(w)] +=
+                sigma[static_cast<std::size_t>(u)];
+            ops.rand_bytes += 2 * kWord;  // fetch-add sigma
+          }
+        }
+      }
+    } else {
+      // Dense pull: every undiscovered vertex scans its in-edges.
+      for (std::size_t w = 0; w < n; ++w) {
+        ops.seq_bytes += kIdx;  // level[w]
+        if (level[w] != kInvalidVertex) continue;
+        const auto [wbeg, wend] = in_.row_range(static_cast<vidx_t>(w));
+        ops.seq_bytes += 2 * kIdx;
+        bc_t sum = 0.0;
+        for (eidx_t k = wbeg; k < wend; ++k) {
+          const vidx_t u = in_.col_idx()[static_cast<std::size_t>(k)];
+          ops.seq_bytes += kIdx;
+          ops.rand_bytes += kIdx;  // level[u]
+          ops.alu_ops += 1;
+          if (level[static_cast<std::size_t>(u)] == d) {
+            sum += sigma[static_cast<std::size_t>(u)];
+            ops.rand_bytes += kWord;
+          }
+        }
+        if (sum > 0.0) {
+          level[w] = d + 1;
+          sigma[w] = sum;
+          nextf.push_back(static_cast<vidx_t>(w));
+          ops.seq_bytes += kIdx + 2 * kWord;
+        }
+      }
+    }
+    levels.push_back(std::move(nextf));
+    ++d;
+  }
+  const vidx_t height = d - 1;
+
+  // Backward: process the stored frontiers in reverse; each vertex pulls
+  // dependency from its out-neighbours one level deeper (one edgeMap round
+  // per level, as in ligra's BC application's transpose phase).
+  for (vidx_t lev = height; lev-- > 0;) {
+    ops.rounds += 2;  // backward edgeMap + the per-level frontier vertexMap
+    for (const vidx_t v : levels[static_cast<std::size_t>(lev)]) {
+      const auto [vbeg, vend] = out_.row_range(v);
+      ops.seq_bytes += 2 * kIdx;
+      bc_t acc = 0.0;
+      for (eidx_t k = vbeg; k < vend; ++k) {
+        const vidx_t w = out_.col_idx()[static_cast<std::size_t>(k)];
+        ops.seq_bytes += kIdx;
+        ops.rand_bytes += kIdx;  // level[w]
+        ops.alu_ops += 1;
+        if (level[static_cast<std::size_t>(w)] == lev + 1) {
+          acc += (1.0 + delta[static_cast<std::size_t>(w)]) /
+                 sigma[static_cast<std::size_t>(w)];
+          ops.rand_bytes += 2 * kWord;
+          ops.alu_ops += 2;
+        }
+      }
+      if (acc != 0.0) {
+        delta[static_cast<std::size_t>(v)] =
+            sigma[static_cast<std::size_t>(v)] * acc;
+        ops.seq_bytes += 2 * kWord;
+      }
+    }
+  }
+
+  const bc_t scale = directed_ ? 1.0 : 0.5;
+  ops.rounds += 1;
+  for (std::size_t v = 0; v < n; ++v) {
+    ops.seq_bytes += kWord;
+    if (static_cast<vidx_t>(v) != source && delta[v] != 0.0) {
+      bc[v] += delta[v] * scale;
+      ops.alu_ops += 1;
+    }
+  }
+  return height;
+}
+
+LigraBcResult LigraLikeBc::run_single_source(vidx_t source) const {
+  TBC_CHECK(source >= 0 && source < n_, "source out of range");
+  LigraBcResult r;
+  r.bc.assign(static_cast<std::size_t>(n_), 0.0);
+  r.bfs_depth = run_source_into(source, r.bc, r.ops);
+  r.modeled_seconds = model_.seconds_parallel(r.ops);
+  return r;
+}
+
+LigraBcResult LigraLikeBc::run_exact() const {
+  LigraBcResult r;
+  r.bc.assign(static_cast<std::size_t>(n_), 0.0);
+  for (vidx_t s = 0; s < n_; ++s) {
+    r.bfs_depth = run_source_into(s, r.bc, r.ops);
+  }
+  r.modeled_seconds = model_.seconds_parallel(r.ops);
+  return r;
+}
+
+}  // namespace turbobc::baseline

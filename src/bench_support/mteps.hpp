@@ -1,0 +1,24 @@
+// Traversed-edges-per-second metrics, defined exactly as the paper does.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace turbobc::bench {
+
+/// Per-vertex (single-source) BC: MTEPS = m / t with m in thousands of
+/// edges and t in milliseconds — i.e. edges / seconds / 1e6.
+inline double mteps_single_source(eidx_t m, double seconds) {
+  return seconds > 0.0
+             ? static_cast<double>(m) / seconds / 1e6
+             : 0.0;
+}
+
+/// Exact BC (all sources): MTEPS = n*m / t with n*m in millions and t in
+/// seconds.
+inline double mteps_exact(vidx_t n, eidx_t m, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(n) * static_cast<double>(m) /
+                             seconds / 1e6
+                       : 0.0;
+}
+
+}  // namespace turbobc::bench

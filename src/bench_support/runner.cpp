@@ -1,0 +1,176 @@
+#include "bench_support/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "baselines/bc_la_seq.hpp"
+#include "baselines/brandes.hpp"
+#include "baselines/gunrock_like.hpp"
+#include "baselines/ligra_like.hpp"
+#include "bench_support/mteps.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "core/turbobc.hpp"
+#include "gpusim/device.hpp"
+
+namespace turbobc::bench {
+
+namespace {
+
+constexpr double kVerifyTolerance = 1e-6;
+
+std::string fmt_speedup(double s) {
+  return s > 0.0 ? fixed(s, 1) + "x" : std::string("-");
+}
+
+}  // namespace
+
+double bc_max_rel_error(const std::vector<bc_t>& a,
+                        const std::vector<bc_t>& b) {
+  double worst = a.size() == b.size() ? 0.0 : 1e9;
+  for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    const double scale = std::max({std::abs(a[i]), std::abs(b[i]), 1.0});
+    worst = std::max(worst, std::abs(a[i] - b[i]) / scale);
+  }
+  return worst;
+}
+
+ExperimentRow run_single_source_experiment(const Workload& w,
+                                           const RunnerConfig& cfg) {
+  ExperimentRow row;
+  row.name = w.name;
+  row.paper = w.paper;
+  row.variant = std::string(bc::to_string(w.variant));
+  row.n = w.graph.num_vertices();
+  row.m = w.graph.num_arcs();
+  row.degrees = graph::degree_stats(w.graph);
+  row.scf = graph::scf_index(w.graph);
+
+  const vidx_t source = representative_source(w.graph);
+  const std::vector<bc_t> golden = baseline::brandes_delta(w.graph, source);
+
+  // TurboBC on the simulated device.
+  {
+    sim::Device device(cfg.device_props);
+    bc::TurboBC turbo(device, w.graph, {.variant = w.variant});
+    const bc::BcResult r = turbo.run_single_source(source);
+    row.depth = r.last_source.bfs_depth;
+    row.turbo_ms = r.device_seconds * 1e3;
+    row.mteps = mteps_single_source(row.m, r.device_seconds);
+    row.turbo_peak_bytes = r.peak_device_bytes;
+    row.verified = bc_max_rel_error(r.bc, golden) < kVerifyTolerance;
+  }
+
+  if (cfg.run_sequential) {
+    const baseline::SequentialBcLa seq(w.graph);
+    const auto r = seq.run_single_source(source);
+    row.seq_ms = r.modeled_seconds * 1e3;
+    row.speedup_seq = row.turbo_ms > 0 ? row.seq_ms / row.turbo_ms : 0.0;
+    row.verified =
+        row.verified && bc_max_rel_error(r.bc, golden) < kVerifyTolerance;
+  }
+
+  if (cfg.run_gunrock) {
+    try {
+      sim::Device device(cfg.device_props);
+      baseline::GunrockLikeBc gunrock(device, w.graph);
+      const auto r = gunrock.run_single_source(source);
+      row.gunrock_ms = r.device_seconds * 1e3;
+      row.gunrock_peak_bytes = r.peak_device_bytes;
+      row.speedup_gunrock =
+          row.turbo_ms > 0 ? row.gunrock_ms / row.turbo_ms : 0.0;
+      row.verified =
+          row.verified && bc_max_rel_error(r.bc, golden) < kVerifyTolerance;
+    } catch (const DeviceOutOfMemory&) {
+      row.gunrock_oom = true;
+    }
+  }
+
+  if (cfg.run_ligra) {
+    const baseline::LigraLikeBc ligra(w.graph);
+    const auto r = ligra.run_single_source(source);
+    row.ligra_ms = r.modeled_seconds * 1e3;
+    row.speedup_ligra = row.turbo_ms > 0 ? row.ligra_ms / row.turbo_ms : 0.0;
+    row.verified =
+        row.verified && bc_max_rel_error(r.bc, golden) < kVerifyTolerance;
+  }
+
+  return row;
+}
+
+ExperimentRow run_exact_experiment(const Workload& w,
+                                   const RunnerConfig& cfg) {
+  ExperimentRow row;
+  row.name = w.name;
+  row.paper = w.paper;
+  row.variant = std::string(bc::to_string(w.variant));
+  row.n = w.graph.num_vertices();
+  row.m = w.graph.num_arcs();
+  row.degrees = graph::degree_stats(w.graph);
+  row.scf = graph::scf_index(w.graph);
+
+  const std::vector<bc_t> golden = baseline::brandes_bc(w.graph);
+
+  {
+    sim::Device device(cfg.device_props);
+    device.set_keep_launch_records(false);  // O(n*d) launches in exact runs
+    bc::TurboBC turbo(device, w.graph, {.variant = w.variant});
+    const bc::BcResult r = turbo.run_exact();
+    row.depth = r.last_source.bfs_depth;
+    row.turbo_ms = r.device_seconds * 1e3;
+    row.mteps = mteps_exact(row.n, row.m, r.device_seconds);
+    row.turbo_peak_bytes = r.peak_device_bytes;
+    row.verified = bc_max_rel_error(r.bc, golden) < kVerifyTolerance;
+  }
+
+  if (cfg.run_sequential) {
+    const baseline::SequentialBcLa seq(w.graph);
+    const auto r = seq.run_exact();
+    row.seq_ms = r.modeled_seconds * 1e3;
+    row.speedup_seq = row.turbo_ms > 0 ? row.seq_ms / row.turbo_ms : 0.0;
+    row.verified =
+        row.verified && bc_max_rel_error(r.bc, golden) < kVerifyTolerance;
+  }
+
+  return row;
+}
+
+void print_rows(std::ostream& os, const std::string& title,
+                const std::vector<ExperimentRow>& rows, bool time_unit_s,
+                bool exact) {
+  os << title << '\n';
+  std::vector<std::string> headers = {
+      "File",      "n",        "m",       "deg(max/mu/sd)", "d",
+      "scf",       "variant",  time_unit_s ? "runtime(s)" : "runtime(ms)",
+      "MTEPS",     "(seq)x",   "(gunrock)x", "(ligra)x",
+      "paper(seq)x", "paper(gr)x", "paper(ligra)x", "ok"};
+  Table table(headers);
+  for (const auto& r : rows) {
+    const double t = time_unit_s ? r.turbo_ms / 1e3 : r.turbo_ms;
+    table.add_row({
+        r.name,
+        human_count(static_cast<double>(r.n)),
+        human_count(static_cast<double>(r.m)),
+        human_count(static_cast<double>(r.degrees.max)) + "/" +
+            fixed(r.degrees.mean, 0) + "/" + fixed(r.degrees.stddev, 0),
+        std::to_string(r.depth),
+        fixed(r.scf, 1),
+        r.variant,
+        fixed(t, t < 10 ? 3 : 1),
+        fixed(r.mteps, r.mteps < 10 ? 1 : 0),
+        fmt_speedup(r.speedup_seq),
+        r.gunrock_oom ? "OOM" : fmt_speedup(r.speedup_gunrock),
+        fmt_speedup(r.speedup_ligra),
+        fmt_speedup(r.paper.speedup_seq),
+        r.paper.speedup_gunrock > 0 ? fmt_speedup(r.paper.speedup_gunrock)
+                                    : std::string(exact ? "-" : "OOM"),
+        fmt_speedup(r.paper.speedup_ligra),
+        r.verified ? "yes" : "NO",
+    });
+  }
+  table.print(os);
+  os << '\n';
+}
+
+}  // namespace turbobc::bench

@@ -1,0 +1,73 @@
+// Shared experiment executor for the table benches.
+//
+// One call runs a workload through TurboBC (the paper-pinned variant) and
+// all three comparators, verifies every BC vector against queue-based
+// Brandes, and assembles a row with the paper's columns. Runtime columns
+// are modeled machine times (DESIGN.md §1).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bench_support/suite.hpp"
+#include "gpusim/device_props.hpp"
+#include "graph/stats.hpp"
+
+namespace turbobc::bench {
+
+struct ExperimentRow {
+  std::string name;
+  vidx_t n = 0;
+  eidx_t m = 0;
+  graph::DegreeStats degrees;
+  vidx_t depth = 0;      // BFS tree height from the chosen source
+  double scf = 0.0;      // normalized scale-free index
+  std::string variant;
+
+  double turbo_ms = 0.0;
+  double mteps = 0.0;
+  double seq_ms = 0.0;
+  double gunrock_ms = 0.0;  // 0 when OOM
+  double ligra_ms = 0.0;
+  bool gunrock_oom = false;
+
+  double speedup_seq = 0.0;
+  double speedup_gunrock = 0.0;
+  double speedup_ligra = 0.0;
+
+  std::size_t turbo_peak_bytes = 0;
+  std::size_t gunrock_peak_bytes = 0;
+
+  bool verified = false;  // TurboBC (and gunrock, if run) match Brandes
+  PaperRow paper;
+};
+
+struct RunnerConfig {
+  sim::DeviceProps device_props = sim::DeviceProps::titan_xp();
+  bool run_gunrock = true;
+  bool run_ligra = true;
+  bool run_sequential = true;
+};
+
+/// Single-source (BC/vertex) experiment: the Tables 1-4 protocol.
+ExperimentRow run_single_source_experiment(const Workload& w,
+                                           const RunnerConfig& cfg = {});
+
+/// Exact (all-sources) experiment: the Table 5 protocol. Comparator columns
+/// hold sequential exact BC; gunrock/ligra columns are left zero unless
+/// enabled (the paper's Table 5 only compares against sequential).
+ExperimentRow run_exact_experiment(const Workload& w,
+                                   const RunnerConfig& cfg = {});
+
+/// Render rows with the paper's columns plus paper-reported speedups for
+/// side-by-side comparison. `time_unit_s` selects seconds (Table 4/5) vs
+/// milliseconds.
+void print_rows(std::ostream& os, const std::string& title,
+                const std::vector<ExperimentRow>& rows, bool time_unit_s,
+                bool exact);
+
+/// Relative max-norm difference between two BC vectors.
+double bc_max_rel_error(const std::vector<bc_t>& a, const std::vector<bc_t>& b);
+
+}  // namespace turbobc::bench

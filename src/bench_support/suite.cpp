@@ -1,0 +1,296 @@
+#include "bench_support/suite.hpp"
+
+#include <algorithm>
+
+#include "generators/generators.hpp"
+#include "graph/bfs_probe.hpp"
+#include "graph/stats.hpp"
+
+namespace turbobc::bench {
+
+namespace {
+
+using bc::Variant;
+using graph::EdgeList;
+
+/// Re-tag an undirected edge list as a directed graph with symmetric arcs
+/// (AS-style "directed" networks whose links are bidirectional).
+EdgeList as_directed(const EdgeList& el) {
+  EdgeList out(el.num_vertices(), /*directed=*/true);
+  for (const graph::Edge& e : el.edges()) out.add_edge(e.u, e.v);
+  out.canonicalize();
+  return out;
+}
+
+Workload make(std::string name, std::string family, EdgeList g, Variant v,
+              PaperRow paper) {
+  return Workload{std::move(name), std::move(family), std::move(g), v, paper};
+}
+
+}  // namespace
+
+std::vector<Workload> table1_suite() {
+  std::vector<Workload> w;
+  // mark3j*sc: Markov-chain lattices; depth grows with the length dimension.
+  w.push_back(make("mark3j060sc(D)", "markov_lattice",
+                   gen::markov_lattice({.length = 42, .width = 80,
+                                        .burst_p = 0.01, .burst_size = 24,
+                                        .extra_stencil = 0, .seed = 11}),
+                   Variant::kScCsc, {2.1, 82, 11.5, 2.7, 2.2}));
+  w.push_back(make("mark3j080sc(D)", "markov_lattice",
+                   gen::markov_lattice({.length = 52, .width = 80,
+                                        .burst_p = 0.01, .burst_size = 24,
+                                        .extra_stencil = 0, .seed = 12}),
+                   Variant::kScCsc, {2.8, 82, 9.8, 2.5, 1.5}));
+  w.push_back(make("mark3j100sc(D)", "markov_lattice",
+                   gen::markov_lattice({.length = 62, .width = 80,
+                                        .burst_p = 0.01, .burst_size = 24,
+                                        .extra_stencil = 0, .seed = 13}),
+                   Variant::kScCsc, {3.5, 82, 11.4, 2.4, 1.5}));
+  w.push_back(make("mark3j120sc(D)", "markov_lattice",
+                   gen::markov_lattice({.length = 72, .width = 80,
+                                        .burst_p = 0.01, .burst_size = 24,
+                                        .extra_stencil = 0, .seed = 14}),
+                   Variant::kScCsc, {4.4, 78, 12.9, 2.2, 1.6}));
+  // g7j*sc: denser Markov matrices, shallow BFS, lognormal-ish out-degrees.
+  w.push_back(make("g7j140sc(D)", "random_local_digraph",
+                   gen::random_local_digraph({.n = 4200,
+                                              .mean_out_degree = 14,
+                                              .degree_dispersion = 1.0,
+                                              .max_out_degree = 153,
+                                              .window = 300,
+                                              .global_p = 0.01,
+                                              .seed = 15}),
+                   Variant::kScCsc, {1.2, 472, 12.5, 1.9, 2.3}));
+  w.push_back(make("g7j160sc(D)", "random_local_digraph",
+                   gen::random_local_digraph({.n = 4700,
+                                              .mean_out_degree = 14,
+                                              .degree_dispersion = 1.0,
+                                              .max_out_degree = 153,
+                                              .window = 320,
+                                              .global_p = 0.01,
+                                              .seed = 16}),
+                   Variant::kScCsc, {1.4, 469, 13.3, 1.8, 2.6}));
+  // delaunay_n*: planar triangular meshes, mean degree 6.
+  w.push_back(make("delaunayn15(U)", "triangulated_grid",
+                   gen::triangulated_grid(60, 55), Variant::kScCsc,
+                   {4.7, 42, 14.4, 2.4, 1.2}));
+  w.push_back(make("delaunayn16(U)", "triangulated_grid",
+                   gen::triangulated_grid(85, 78), Variant::kScCsc,
+                   {7.1, 55, 25.3, 2.2, 1.9}));
+  // luxembourg-osm: road network, mean degree 2, enormous BFS depth.
+  w.push_back(make("luxemb-osm(U)", "road_network",
+                   gen::road_network({.grid_rows = 10, .grid_cols = 10,
+                                      .keep_p = 0.7, .subdivisions = 30,
+                                      .seed = 17}),
+                   Variant::kScCsc, {50.0, 5, 24.7, 2.3, 1.0}));
+  // internet: AS-style topology, symmetric directed links, hubby.
+  w.push_back(make("internet(D)", "preferential_attachment",
+                   as_directed(gen::preferential_attachment(
+                       {.n = 6000, .m_attach = 1, .directed = false,
+                        .seed = 18})),
+                   Variant::kScCsc, {1.5, 138, 37.8, 1.9, 2.0}));
+  return w;
+}
+
+std::vector<Workload> table2_suite() {
+  std::vector<Workload> w;
+  w.push_back(make("g7j180sc(D)", "random_local_digraph",
+                   gen::random_local_digraph({.n = 5300,
+                                              .mean_out_degree = 14,
+                                              .degree_dispersion = 1.0,
+                                              .max_out_degree = 153,
+                                              .window = 340,
+                                              .global_p = 0.01,
+                                              .seed = 21}),
+                   Variant::kScCooc, {1.6, 467, 13.9, 1.7, 1.7}));
+  w.push_back(make("g7j200sc(D)", "random_local_digraph",
+                   gen::random_local_digraph({.n = 5900,
+                                              .mean_out_degree = 14,
+                                              .degree_dispersion = 1.0,
+                                              .max_out_degree = 153,
+                                              .window = 360,
+                                              .global_p = 0.01,
+                                              .seed = 22}),
+                   Variant::kScCooc, {1.7, 493, 14.6, 1.7, 1.8}));
+  w.push_back(make("mark3j140sc(D)", "markov_lattice",
+                   gen::markov_lattice({.length = 82, .width = 78,
+                                        .burst_p = 0.01, .burst_size = 24,
+                                        .extra_stencil = 0, .seed = 23}),
+                   Variant::kScCooc, {5.3, 76, 13.2, 2.1, 1.2}));
+  w.push_back(make("smallworld(U)", "small_world",
+                   gen::small_world({.n = 10000, .k = 10, .rewire_p = 0.1,
+                                     .seed = 24}),
+                   Variant::kScCooc, {1.0, 1000, 27.6, 1.5, 1.5}));
+  w.push_back(make("ASIC-100ks(D)", "random_local_digraph",
+                   gen::random_local_digraph({.n = 9900,
+                                              .mean_out_degree = 6,
+                                              .degree_dispersion = 0.8,
+                                              .max_out_degree = 206,
+                                              .window = 330,
+                                              .global_p = 0.01,
+                                              .seed = 25}),
+                   Variant::kScCooc, {2.7, 215, 25.7, 1.6, 1.7}));
+  w.push_back(make("ASIC-680ks(D)", "random_local_digraph",
+                   gen::random_local_digraph({.n = 20000,
+                                              .mean_out_degree = 3,
+                                              .degree_dispersion = 0.8,
+                                              .max_out_degree = 210,
+                                              .window = 700,
+                                              .global_p = 0.01,
+                                              .seed = 26}),
+                   Variant::kScCooc, {6.6, 353, 43.9, 1.0, 1.5}));
+  w.push_back(make("com-Youtube(U)", "preferential_attachment",
+                   gen::preferential_attachment({.n = 12000, .m_attach = 2,
+                                                 .directed = false,
+                                                 .seed = 27}),
+                   Variant::kScCooc, {9.7, 616, 48.4, 1.0, 2.8}));
+  // mawi-*: traffic traces with one dominating collector hub.
+  w.push_back(make("mawi-12345(U)", "traffic_trace",
+                   gen::traffic_trace({.n = 15000, .hubs = 10, .decay = 0.45,
+                                       .seed = 28}),
+                   Variant::kScCooc, {74.8, 509, 33.6, 1.0, 3.6}));
+  w.push_back(make("mawi-20000(U)", "traffic_trace",
+                   gen::traffic_trace({.n = 20000, .hubs = 11, .decay = 0.45,
+                                       .seed = 29}),
+                   Variant::kScCooc, {143.0, 521, 33.9, 1.0, 3.4}));
+  w.push_back(make("mawi-20030(U)", "traffic_trace",
+                   gen::traffic_trace({.n = 25000, .hubs = 12, .decay = 0.45,
+                                       .seed = 30}),
+                   Variant::kScCooc, {261.4, 549, 32.3, 1.0, 3.2}));
+  return w;
+}
+
+std::vector<Workload> table3_suite() {
+  std::vector<Workload> w;
+  const double paper_rt[5] = {1.7, 3.4, 7.9, 18.5, 48.9};
+  const double paper_mteps[5] = {6536, 9819, 12689, 16267, 18470};
+  const double paper_sseq[5] = {17.4, 26.6, 34.6, 45.8, 53.1};
+  const double paper_sgun[5] = {1.2, 1.5, 1.7, 2.1, 2.7};
+  const double paper_slig[5] = {2.3, 3.4, 4.4, 5.1, 5.2};
+  for (int i = 0; i < 5; ++i) {
+    const int order = 9 + i;  // scaled stand-ins for mycielski15..19
+    w.push_back(make("mycielski" + std::to_string(15 + i) + "(U)",
+                     "mycielski", gen::mycielski(order), Variant::kVeCsc,
+                     {paper_rt[i], paper_mteps[i], paper_sseq[i],
+                      paper_sgun[i], paper_slig[i]}));
+  }
+  const double krt[4] = {8.7, 17.4, 58.4, 193.2};
+  const double kmt[4] = {2433, 2504, 1528, 943};
+  const double kss[4] = {31.6, 44.7, 34.0, 24.5};
+  const double ksg[4] = {0.9, 1.0, 1.3, 1.1};
+  const double ksl[4] = {1.1, 0.9, 1.0, 1.0};
+  for (int i = 0; i < 4; ++i) {
+    const int scale = 11 + i;  // scaled stand-ins for kron-logn18..21
+    w.push_back(make("kron-logn" + std::to_string(18 + i) + "(U)",
+                     "kronecker",
+                     gen::kronecker({.scale = scale, .edge_factor = 40,
+                                     .a = 0.57, .b = 0.19, .c = 0.19,
+                                     .seed = static_cast<std::uint64_t>(
+                                         100 + i)}),
+                     Variant::kVeCsc,
+                     {krt[i], kmt[i], kss[i], ksg[i], ksl[i]}));
+  }
+  return w;
+}
+
+std::vector<Workload> table4_suite() {
+  std::vector<Workload> w;
+  // Paper runtimes for Table 4 are seconds; stored in runtime_ms as-is and
+  // labeled by the bench. speedup_gunrock = 0 encodes the paper's OOM.
+  w.push_back(make("kmer-V1r(U)", "kmer_like",
+                   gen::kmer_like({.chains = 256, .chain_len = 60,
+                                   .branching = 4, .seed = 41}),
+                   Variant::kScCsc, {14.3, 33, 94.5, 0.0, 0.9}));
+  w.push_back(make("it-2004(D)", "web_crawl",
+                   gen::web_crawl({.n = 40000, .out_degree = 20,
+                                   .copy_p = 0.5, .local_p = 0.85,
+                                   .window = 800, .seed = 42}),
+                   Variant::kScCooc, {3.1, 371, 39.5, 0.0, 0.8}));
+  w.push_back(make("GAP-twitter(D)", "superhub_social",
+                   gen::superhub_social({.n = 50000, .out_degree = 24,
+                                         .celebrities = 8,
+                                         .celebrity_p = 0.3, .seed = 43}),
+                   Variant::kVeCsc, {7.3, 201, 50.4, 0.0, 0.8}));
+  w.push_back(make("sk-2005(D)", "web_crawl",
+                   gen::web_crawl({.n = 50000, .out_degree = 28,
+                                   .copy_p = 0.5, .local_p = 0.85,
+                                   .window = 900, .seed = 44}),
+                   Variant::kVeCsc, {6.8, 287, 30.5, 0.0, 0.7}));
+  return w;
+}
+
+std::vector<Workload> table5_suite() {
+  std::vector<Workload> w;
+  // Table 5 reports exact BC: runtime in seconds, MTEPS = n*m/t.
+  w.push_back(make("mark3j60sc(D)", "markov_lattice",
+                   gen::markov_lattice({.length = 42, .width = 18,
+                                        .burst_p = 0.01, .burst_size = 24,
+                                        .extra_stencil = 0, .seed = 51}),
+                   Variant::kScCsc, {49.3, 95, 8.2, 0.0, 0.0}));
+  w.push_back(make("mark3j80sc(D)", "markov_lattice",
+                   gen::markov_lattice({.length = 52, .width = 18,
+                                        .burst_p = 0.01, .burst_size = 24,
+                                        .extra_stencil = 0, .seed = 52}),
+                   Variant::kScCsc, {90.8, 92, 9.2, 0.0, 0.0}));
+  w.push_back(make("g7j180sc(D)", "random_local_digraph",
+                   gen::random_local_digraph({.n = 900,
+                                              .mean_out_degree = 14,
+                                              .degree_dispersion = 1.0,
+                                              .max_out_degree = 153,
+                                              .window = 60,
+                                              .global_p = 0.01,
+                                              .seed = 53}),
+                   Variant::kScCooc, {105.9, 377, 13.4, 0.0, 0.0}));
+  w.push_back(make("g7j200sc(D)", "random_local_digraph",
+                   gen::random_local_digraph({.n = 1000,
+                                              .mean_out_degree = 14,
+                                              .degree_dispersion = 1.0,
+                                              .max_out_degree = 153,
+                                              .window = 66,
+                                              .global_p = 0.01,
+                                              .seed = 54}),
+                   Variant::kScCooc, {129.7, 383, 14.3, 0.0, 0.0}));
+  w.push_back(make("mycielski16(U)", "mycielski", gen::mycielski(9),
+                   Variant::kVeCsc, {159.8, 10257, 27.5, 0.0, 0.0}));
+  w.push_back(make("mycielski17(U)", "mycielski", gen::mycielski(10),
+                   Variant::kVeCsc, {715.2, 13778, 38.0, 0.0, 0.0}));
+  return w;
+}
+
+std::vector<Workload> mycielski_sweep() {
+  std::vector<Workload> w;
+  for (int order = 7; order <= 13; ++order) {
+    w.push_back(make("mycielski-M" + std::to_string(order), "mycielski",
+                     gen::mycielski(order), Variant::kVeCsc, {}));
+  }
+  return w;
+}
+
+vidx_t representative_source(const graph::EdgeList& graph) {
+  const vidx_t n = graph.num_vertices();
+  if (n == 0) return 0;
+  const auto deg = graph.out_degrees();
+  vidx_t max_deg_vertex = 0;
+  for (vidx_t v = 1; v < n; ++v) {
+    if (deg[static_cast<std::size_t>(v)] >
+        deg[static_cast<std::size_t>(max_deg_vertex)]) {
+      max_deg_vertex = v;
+    }
+  }
+  const graph::CscGraph csc = graph::CscGraph::from_edges(graph);
+  const vidx_t candidates[4] = {0, static_cast<vidx_t>(n / 2),
+                                static_cast<vidx_t>(n - 1), max_deg_vertex};
+  vidx_t best = 0;
+  vidx_t best_reached = -1;
+  for (const vidx_t c : candidates) {
+    const auto r = graph::bfs_reference(csc, c);
+    if (r.reached > best_reached) {
+      best_reached = r.reached;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace turbobc::bench

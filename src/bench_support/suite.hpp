@@ -1,0 +1,60 @@
+// Benchmark workload suite: scaled-down structural replicas of the paper's
+// 33 SuiteSparse/SNAP graphs (DESIGN.md §1 documents the substitution).
+//
+// Every workload names the paper graph it replicates, carries the paper's
+// reported numbers for side-by-side printing, and pins the TurboBC variant
+// the paper found best for that graph — so each table bench exercises the
+// same variant the paper's corresponding table does.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/variant.hpp"
+#include "graph/edge_list.hpp"
+
+namespace turbobc::bench {
+
+/// Paper-reported row values (for the reproduction report; absolute numbers
+/// are not expected to match a simulated device — shapes are).
+struct PaperRow {
+  double runtime_ms = 0.0;       // paper runtime (ms; seconds for Table 4/5)
+  double mteps = 0.0;
+  double speedup_seq = 0.0;      // (sequential)x
+  double speedup_gunrock = 0.0;  // (gunrock)x; 0 = OOM in the paper
+  double speedup_ligra = 0.0;    // (ligra)x
+};
+
+struct Workload {
+  std::string name;    // paper graph name, e.g. "mark3j060sc(D)"
+  std::string family;  // generator family
+  graph::EdgeList graph;
+  bc::Variant variant;  // variant the paper reports as best for this graph
+  PaperRow paper;
+};
+
+/// Table 1: ten regular graphs, TurboBC-scCSC.
+std::vector<Workload> table1_suite();
+
+/// Table 2: ten regular graphs, TurboBC-scCOOC.
+std::vector<Workload> table2_suite();
+
+/// Table 3: nine irregular graphs, TurboBC-veCSC.
+std::vector<Workload> table3_suite();
+
+/// Table 4: four big graphs (gunrock OOM set); the `variant` field holds the
+/// per-graph winner the paper reports.
+std::vector<Workload> table4_suite();
+
+/// Table 5: six exact-BC graphs (subset of Tables 2/3 families, smaller).
+std::vector<Workload> table5_suite();
+
+/// Mycielski sweep for Figures 3 and 5 (orders small..large).
+std::vector<Workload> mycielski_sweep();
+
+/// Pick a representative, well-connected source vertex: the candidate (0,
+/// n/2, n-1, max-out-degree vertex) reaching the most vertices.
+vidx_t representative_source(const graph::EdgeList& graph);
+
+}  // namespace turbobc::bench

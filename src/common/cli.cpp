@@ -1,0 +1,53 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace turbobc {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  TBC_CHECK(argc >= 1, "argc must be at least 1");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string name = arg.substr(2);
+      const auto eq = name.find('=');
+      if (eq != std::string::npos) {
+        options_[name.substr(0, eq)] = name.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        options_[name] = argv[++i];
+      } else {
+        options_[name] = "1";  // bare flag
+      }
+    } else {
+      positional_.push_back(std::move(arg));
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return options_.count(name) != 0;
+}
+
+std::string CliArgs::get(const std::string& name,
+                         const std::string& fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name,
+                              std::int64_t fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace turbobc

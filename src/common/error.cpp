@@ -1,0 +1,30 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace turbobc {
+
+DeviceOutOfMemory::DeviceOutOfMemory(std::size_t requested, std::size_t live,
+                                     std::size_t capacity)
+    : Error([&] {
+        std::ostringstream os;
+        os << "simulated device out of memory: requested " << requested
+           << " B with " << live << " B live of " << capacity << " B capacity";
+        return os.str();
+      }()),
+      requested_(requested),
+      live_(live),
+      capacity_(capacity) {}
+
+namespace detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& message) {
+  std::ostringstream os;
+  os << message << " [failed check: " << expr << " at " << file << ":" << line
+     << "]";
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace detail
+}  // namespace turbobc

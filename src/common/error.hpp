@@ -1,0 +1,64 @@
+// Error handling for TurboBC.
+//
+// The library throws exceptions derived from turbobc::Error for unrecoverable
+// misuse (bad graph input, simulator misconfiguration) and uses a dedicated
+// DeviceOutOfMemory type so callers can reproduce the paper's OOM experiments
+// (Table 4: gunrock runs out of device memory, TurboBC does not) by catching
+// that specific condition.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace turbobc {
+
+/// Base class for all TurboBC errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid argument / malformed input (bad matrix file, negative vertex id...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised by the device memory manager when an allocation would exceed the
+/// simulated GPU's global-memory capacity.
+class DeviceOutOfMemory : public Error {
+ public:
+  DeviceOutOfMemory(std::size_t requested, std::size_t live, std::size_t capacity);
+
+  std::size_t requested_bytes() const noexcept { return requested_; }
+  std::size_t live_bytes() const noexcept { return live_; }
+  std::size_t capacity_bytes() const noexcept { return capacity_; }
+
+ private:
+  std::size_t requested_;
+  std::size_t live_;
+  std::size_t capacity_;
+};
+
+/// Internal invariant violation; indicates a bug in TurboBC itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file, int line,
+                                      const std::string& message);
+}  // namespace detail
+
+}  // namespace turbobc
+
+/// Precondition check: throws InvalidArgument when `expr` is false.
+#define TBC_CHECK(expr, message)                                              \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::turbobc::detail::throw_check_failure(#expr, __FILE__, __LINE__,       \
+                                             (message));                      \
+    }                                                                         \
+  } while (false)

@@ -1,0 +1,18 @@
+// Human-readable number formatting shared by bench tables and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace turbobc {
+
+/// "12.3 MB", "1.19 GB" — powers of 1024.
+std::string human_bytes(std::uint64_t bytes);
+
+/// "1.2k", "3.4M", "1.9G" — powers of 1000, used for n/m columns.
+std::string human_count(double value);
+
+/// Fixed-point with the given number of decimals, no trailing exponent.
+std::string fixed(double value, int decimals);
+
+}  // namespace turbobc

@@ -1,0 +1,31 @@
+// Column-aligned plain-text table printer.
+//
+// Every bench binary reproduces one of the paper's tables/figure series; this
+// printer renders them with the same column headers the paper uses so the
+// output can be compared side by side with the published numbers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace turbobc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment, a header underline, and 2-space gutters.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace turbobc

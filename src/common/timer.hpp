@@ -1,0 +1,30 @@
+// Wall-clock timing helper for host-side measurements.
+//
+// Simulated-GPU times come from the cost model (gpusim/costmodel.hpp), not
+// from this timer; WallTimer is used for real host baselines and for test
+// bookkeeping only.
+#pragma once
+
+#include <chrono>
+
+namespace turbobc {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace turbobc

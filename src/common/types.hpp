@@ -1,0 +1,35 @@
+// Fixed-width index types shared by every TurboBC subsystem.
+//
+// The paper stores graphs as n x n sparse adjacency matrices with m nonzeros.
+// Vertex indices fit comfortably in 32 bits for every workload in the paper
+// (max n = 214e6); edge *counts* can exceed 2^31 (sk-2005 has 1.95e9 edges),
+// so offsets into edge arrays are 64-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace turbobc {
+
+/// Vertex index ("row/column" of the adjacency matrix). 0-based internally;
+/// the paper's pseudocode is 1-based, IO converts at the boundary.
+using vidx_t = std::int32_t;
+
+/// Edge offset (index into row_A/col_A arrays and CSC column pointers).
+using eidx_t = std::int64_t;
+
+/// Shortest-path counts. Path counts grow combinatorially — lattice graphs
+/// reach ~3^depth distinct shortest paths, overflowing ANY fixed-width
+/// integer — so every implementation in this repo counts paths in double,
+/// whose 53-bit mantissa degrades by relative rounding instead of wrapping.
+/// The GPU cost model still charges integer-atomic rates for the BFS-stage
+/// vectors by default (the paper's Section 3.4 datatype choice); see
+/// sim::DeviceBuffer::set_modeled_integer.
+using sigma_t = double;
+
+/// Dependency / centrality scalar. The paper uses float on device; we keep
+/// double on the reference paths and float on the simulated-device paths.
+using bc_t = double;
+
+inline constexpr vidx_t kInvalidVertex = -1;
+
+}  // namespace turbobc

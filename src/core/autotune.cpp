@@ -1,0 +1,28 @@
+#include "core/autotune.hpp"
+
+#include "core/turbobc.hpp"
+#include "gpusim/device.hpp"
+
+namespace turbobc::bc {
+
+AutotuneResult autotune_variant(const graph::EdgeList& graph,
+                                vidx_t probe_source,
+                                const sim::DeviceProps& props) {
+  AutotuneResult result;
+  double best = -1.0;
+  for (const Variant v :
+       {Variant::kScCooc, Variant::kScCsc, Variant::kVeCsc}) {
+    sim::Device device(props);
+    device.set_keep_launch_records(false);
+    TurboBC turbo(device, graph, {.variant = v});
+    const double t = turbo.run_single_source(probe_source).device_seconds;
+    result.seconds[static_cast<int>(v)] = t;
+    if (best < 0.0 || t < best) {
+      best = t;
+      result.best = v;
+    }
+  }
+  return result;
+}
+
+}  // namespace turbobc::bc

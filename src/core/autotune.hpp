@@ -1,0 +1,33 @@
+// Empirical variant auto-tuning.
+//
+// The paper's variant selection is ultimately empirical: "for all the
+// results presented in this section, we chose the TurboBC algorithm which
+// showed the best performance for each graph". This module packages that
+// methodology as an API (and addresses the paper's future-work direction of
+// better SpMV selection): probe each variant with one single-source run on
+// a scratch device and return the fastest. The heuristic
+// bc::select_variant() is the zero-cost alternative; autotune_variant() is
+// the ground truth it approximates.
+#pragma once
+
+#include "core/variant.hpp"
+#include "gpusim/device_props.hpp"
+#include "graph/edge_list.hpp"
+
+namespace turbobc::bc {
+
+struct AutotuneResult {
+  Variant best = Variant::kScCsc;
+  /// Modeled single-source seconds per variant, indexed by
+  /// static_cast<int>(Variant).
+  double seconds[3] = {0.0, 0.0, 0.0};
+};
+
+/// Run one BC source with each of the three variants on scratch devices and
+/// return the fastest. `probe_source` should be a well-connected vertex
+/// (bench::representative_source provides one).
+AutotuneResult autotune_variant(
+    const graph::EdgeList& graph, vidx_t probe_source,
+    const sim::DeviceProps& props = sim::DeviceProps::titan_xp());
+
+}  // namespace turbobc::bc

@@ -1,0 +1,361 @@
+#include "core/turbobc.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "gpusim/kernel.hpp"
+#include "spmv/spmv_kernels.hpp"
+
+namespace turbobc::bc {
+
+namespace {
+
+/// Sum of every modeled time component the BC computation pays while
+/// running (kernels, per-level flag readbacks, alloc/free overheads).
+double device_clock(const sim::Device& d) {
+  return d.kernel_seconds() + d.transfer_seconds() + d.overhead_seconds();
+}
+
+}  // namespace
+
+TurboBC::TurboBC(sim::Device& device, const graph::EdgeList& graph,
+                 BcOptions options)
+    : device_(device), options_(options) {
+  graph::EdgeList canon = graph;
+  canon.canonicalize();
+  n_ = canon.num_vertices();
+  m_ = canon.num_arcs();
+  directed_ = canon.directed();
+  TBC_CHECK(n_ > 0, "TurboBC needs a non-empty graph");
+
+  // Exactly one sparse format resides on the device (paper Section 3.4).
+  if (options_.variant == Variant::kScCooc) {
+    cooc_.emplace(device_, graph::CoocGraph::from_edges(canon));
+  } else {
+    csc_.emplace(device_, graph::CscGraph::from_edges(canon));
+  }
+
+  if (options_.edge_bc) {
+    // Both device formats store nonzeros in column-major order; replay the
+    // column fill over the canonical (row-major) arc list to build the
+    // nonzero -> canonical-arc permutation used when results are returned.
+    std::vector<eidx_t> cursor(static_cast<std::size_t>(n_) + 1, 0);
+    for (const graph::Edge& e : canon.edges()) {
+      ++cursor[static_cast<std::size_t>(e.v) + 1];
+    }
+    for (std::size_t v = 0; v < static_cast<std::size_t>(n_); ++v) {
+      cursor[v + 1] += cursor[v];
+    }
+    nz_to_canonical_.resize(canon.edges().size());
+    for (std::size_t j = 0; j < canon.edges().size(); ++j) {
+      const auto v = static_cast<std::size_t>(canon.edges()[j].v);
+      nz_to_canonical_[static_cast<std::size_t>(cursor[v]++)] =
+          static_cast<eidx_t>(j);
+    }
+  }
+}
+
+std::size_t TurboBC::graph_device_bytes() const noexcept {
+  if (cooc_) {
+    return (cooc_->row_idx().bytes() + cooc_->col_idx().bytes());
+  }
+  return csc_ ? csc_->col_ptr().bytes() + csc_->row_idx().bytes() : 0;
+}
+
+SourceStats TurboBC::run_source_into(vidx_t source,
+                                     sim::DeviceBuffer<bc_t>& bc_dev,
+                                     sim::DeviceBuffer<bc_t>* ebc_dev) {
+  using T = sigma_t;  // double: path counts overflow any integer width
+  TBC_CHECK(source >= 0 && source < n_, "BC source vertex out of range");
+  const auto n = static_cast<std::size_t>(n_);
+  sim::Device& dev = device_;
+
+  // All per-vertex device arrays are modeled at the paper's 4-byte width
+  // (int32 S/f/f_t, float32 sigma/delta/bc — Figure 4); host-side values
+  // stay double for exact verification.
+  sim::DeviceBuffer<std::int32_t> S(dev, n, "S");
+  sim::DeviceBuffer<T> sigma(dev, n, "sigma", 4);
+  // Paper Section 3.4: the BFS stage runs on integer-typed device arrays
+  // unless the datatype ablation asks for float costing.
+  sigma.set_modeled_integer(!options_.float_bfs);
+  S.device_fill(0);
+  sigma.device_fill(0);
+
+  vidx_t height = 0;
+  {
+    // Forward (BFS) stage. f and f_t live only inside this scope: the
+    // closing brace is the paper's cudaFree that makes room for the
+    // dependency-stage triple.
+    sim::DeviceBuffer<T> f(dev, n, "f", 4);
+    sim::DeviceBuffer<T> ft(dev, n, "f_t", 4);
+    f.set_modeled_integer(!options_.float_bfs);
+    ft.set_modeled_integer(!options_.float_bfs);
+    sim::DeviceBuffer<std::int32_t> cflag(dev, 1, "c");
+    f.device_fill(0);
+
+    sim::launch_scalar(dev, "bfs_init", 1, [&](sim::ThreadCtx& t) {
+      f.store(t, static_cast<std::size_t>(source), T{1});
+      sigma.store(t, static_cast<std::size_t>(source), T{1});
+    });
+
+    vidx_t d = 0;
+    while (true) {
+      ++d;
+      ft.device_fill(T{0});
+      switch (options_.variant) {
+        case Variant::kScCooc:
+          spmv::spmv_forward_sccooc(dev, *cooc_, f, ft);
+          break;
+        case Variant::kScCsc:
+          spmv::spmv_forward_sccsc(dev, *csc_, f, ft, sigma);
+          break;
+        case Variant::kVeCsc:
+          spmv::spmv_forward_vecsc(dev, *csc_, f, ft, sigma);
+          break;
+      }
+      cflag.device_fill(0);
+      // The CSC kernels fuse the sigma mask into the SpMV (Algorithm 3); the
+      // COOC pipeline applies it here instead (Algorithm 1 lines 20-22).
+      const bool mask_in_update = options_.variant == Variant::kScCooc;
+      sim::launch_scalar(dev, "bfs_update", static_cast<std::uint64_t>(n_),
+                         [&](sim::ThreadCtx& t) {
+                           const auto i = static_cast<std::size_t>(t.global_id());
+                           T v = ft.load(t, i);
+                           t.count_ops(1);
+                           if (mask_in_update && v != 0 &&
+                               sigma.load(t, i) != 0) {
+                             v = 0;
+                           }
+                           f.store(t, i, v);
+                           if (v != 0) {
+                             S.store(t, i, d);
+                             sigma.store(t, i,
+                                         static_cast<T>(sigma.load(t, i) + v));
+                             cflag.store(t, 0, 1);
+                           }
+                         });
+      // Host reads the frontier flag each level (one 4-byte cudaMemcpy).
+      if (cflag.copy_to_host()[0] == 0) break;
+    }
+    height = d - 1;
+  }
+
+  // Backward (dependency) stage: float vectors in the bytes just freed.
+  sim::DeviceBuffer<bc_t> delta(dev, n, "delta", 4);
+  sim::DeviceBuffer<bc_t> delta_u(dev, n, "delta_u", 4);
+  sim::DeviceBuffer<bc_t> delta_ut(dev, n, "delta_ut", 4);
+  delta.device_fill(0.0);
+
+  // Per-level building blocks; edge accumulation also runs at d = 1 (the
+  // vertex recursion stops at d = 2, but depth-0 -> depth-1 arcs carry
+  // dependency too).
+  const auto dep_prepare = [&](vidx_t d) {
+    sim::launch_scalar(dev, "dep_prepare", static_cast<std::uint64_t>(n_),
+                       [&](sim::ThreadCtx& t) {
+                         const auto i = static_cast<std::size_t>(t.global_id());
+                         bc_t out = 0.0;
+                         if (S.load(t, i) == d) {
+                           const T sg = sigma.load(t, i);
+                           if (sg > 0) {
+                             out = (1.0 + delta.load(t, i)) /
+                                   static_cast<bc_t>(sg);
+                           }
+                         }
+                         delta_u.store(t, i, out);
+                         t.count_ops(1);
+                       });
+  };
+
+  const auto edge_accum = [&](vidx_t d) {
+      // Edge-BC extension: the Brandes arc term sigma(i)/sigma(w)(1+delta(w))
+      // equals sigma(i) * delta_u(w); arcs i -> w from depth d-1 into depth d
+      // accumulate it. One thread per column (CSC) / per nonzero (COOC);
+      // each arc is touched by exactly one thread, so plain read-modify-
+      // write suffices.
+      const bc_t escale = directed_ ? 1.0 : 0.5;
+      if (cooc_) {
+        sim::launch_scalar(
+            dev, "edge_bc_accum", static_cast<std::uint64_t>(m_),
+            [&](sim::ThreadCtx& t) {
+              const auto k = static_cast<std::size_t>(t.global_id());
+              const vidx_t w = cooc_->col_idx().load(t, k);
+              if (S.load(t, static_cast<std::size_t>(w)) != d) return;
+              const vidx_t i = cooc_->row_idx().load(t, k);
+              if (S.load(t, static_cast<std::size_t>(i)) != d - 1) return;
+              const bc_t du = delta_u.load(t, static_cast<std::size_t>(w));
+              if (du == 0.0) return;
+              const T sg = sigma.load(t, static_cast<std::size_t>(i));
+              ebc_dev->store(t, k,
+                             ebc_dev->load(t, k) +
+                                 du * static_cast<bc_t>(sg) * escale);
+              t.count_ops(1);
+            });
+      } else {
+        sim::launch_scalar(
+            dev, "edge_bc_accum", static_cast<std::uint64_t>(n_),
+            [&](sim::ThreadCtx& t) {
+              const auto w = static_cast<std::size_t>(t.global_id());
+              if (S.load(t, w) != d) return;
+              const bc_t du = delta_u.load(t, w);
+              if (du == 0.0) return;
+              const spmv::dptr_t begin = csc_->col_ptr().load(t, w);
+              const spmv::dptr_t end = csc_->col_ptr().load(t, w + 1);
+              for (spmv::dptr_t k = begin; k < end; ++k) {
+                const vidx_t i =
+                    csc_->row_idx().load(t, static_cast<std::size_t>(k));
+                t.count_ops(1);
+                if (S.load(t, static_cast<std::size_t>(i)) == d - 1) {
+                  const T sg = sigma.load(t, static_cast<std::size_t>(i));
+                  const auto kk = static_cast<std::size_t>(k);
+                  ebc_dev->store(t, kk,
+                                 ebc_dev->load(t, kk) +
+                                     du * static_cast<bc_t>(sg) * escale);
+                }
+              }
+            });
+      }
+  };
+
+  for (vidx_t d = height; d >= 2; --d) {
+    dep_prepare(d);
+    delta_ut.device_fill(0.0);
+    if (!directed_) {
+      switch (options_.variant) {
+        case Variant::kScCooc:
+          spmv::spmv_backward_gather_sccooc(dev, *cooc_, delta_u, delta_ut);
+          break;
+        case Variant::kScCsc:
+          spmv::spmv_backward_gather_sccsc(dev, *csc_, delta_u, delta_ut);
+          break;
+        case Variant::kVeCsc:
+          spmv::spmv_backward_gather_vecsc(dev, *csc_, delta_u, delta_ut);
+          break;
+      }
+    } else {
+      switch (options_.variant) {
+        case Variant::kScCooc:
+          spmv::spmv_backward_scatter_sccooc(dev, *cooc_, delta_u, delta_ut);
+          break;
+        case Variant::kScCsc:
+          spmv::spmv_backward_scatter_sccsc(dev, *csc_, delta_u, delta_ut);
+          break;
+        case Variant::kVeCsc:
+          spmv::spmv_backward_scatter_vecsc(dev, *csc_, delta_u, delta_ut);
+          break;
+      }
+    }
+
+    if (ebc_dev != nullptr) edge_accum(d);
+
+    sim::launch_scalar(dev, "dep_update", static_cast<std::uint64_t>(n_),
+                       [&](sim::ThreadCtx& t) {
+                         const auto i = static_cast<std::size_t>(t.global_id());
+                         if (S.load(t, i) == d - 1) {
+                           const bc_t du = delta_ut.load(t, i);
+                           if (du != 0.0) {
+                             const T sg = sigma.load(t, i);
+                             delta.store(t, i,
+                                         delta.load(t, i) +
+                                             du * static_cast<bc_t>(sg));
+                           }
+                         }
+                         t.count_ops(1);
+                       });
+  }
+
+
+  if (ebc_dev != nullptr && height >= 1) {
+    dep_prepare(1);
+    edge_accum(1);
+  }
+
+  // Accumulate into bc (Eq. 3); undirected graphs halve (Brandes).
+  const bc_t scale = directed_ ? 1.0 : 0.5;
+  sim::launch_scalar(dev, "bc_accum", static_cast<std::uint64_t>(n_),
+                     [&](sim::ThreadCtx& t) {
+                       const auto i = static_cast<std::size_t>(t.global_id());
+                       if (static_cast<vidx_t>(i) == source) return;
+                       const bc_t dl = delta.load(t, i);
+                       if (dl != 0.0) {
+                         bc_dev.store(t, i, bc_dev.load(t, i) + dl * scale);
+                       }
+                       t.count_ops(1);
+                     });
+
+  SourceStats stats;
+  stats.bfs_depth = height;
+  vidx_t reached = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sigma.host()[i] != 0) ++reached;
+  }
+  stats.reached = reached;
+  return stats;
+}
+
+BcResult TurboBC::run_sources(const std::vector<vidx_t>& sources) {
+  device_.memory().reset_peak();
+  const double start = device_clock(device_);
+
+  sim::DeviceBuffer<bc_t> bc_dev(device_, static_cast<std::size_t>(n_), "bc",
+                                 4);
+  bc_dev.device_fill(0.0);
+  std::optional<sim::DeviceBuffer<bc_t>> ebc_dev;
+  if (options_.edge_bc) {
+    ebc_dev.emplace(device_, static_cast<std::size_t>(m_), "edge_bc", 4);
+    ebc_dev->device_fill(0.0);
+  }
+
+  BcResult result;
+  for (const vidx_t s : sources) {
+    result.last_source =
+        run_source_into(s, bc_dev, ebc_dev ? &*ebc_dev : nullptr);
+  }
+  result.sources = static_cast<vidx_t>(sources.size());
+  result.device_seconds = device_clock(device_) - start;
+  result.peak_device_bytes = device_.memory().peak_bytes();
+  result.bc = bc_dev.copy_to_host();  // result download, outside the clock
+  if (ebc_dev) {
+    // Download and permute from device nonzero order to canonical arc order.
+    const auto raw = ebc_dev->copy_to_host();
+    result.edge_bc.assign(raw.size(), 0.0);
+    for (std::size_t nz = 0; nz < raw.size(); ++nz) {
+      result.edge_bc[static_cast<std::size_t>(nz_to_canonical_[nz])] = raw[nz];
+    }
+  }
+  return result;
+}
+
+BcResult TurboBC::run_approximate(const ApproxOptions& options) {
+  TBC_CHECK(options.num_sources > 0, "need at least one sampled source");
+  const vidx_t k = std::min(options.num_sources, n_);
+  Xoshiro256 rng(options.seed);
+  std::vector<char> chosen(static_cast<std::size_t>(n_), 0);
+  std::vector<vidx_t> sources;
+  sources.reserve(static_cast<std::size_t>(k));
+  while (static_cast<vidx_t>(sources.size()) < k) {
+    const auto v =
+        static_cast<vidx_t>(rng.uniform(static_cast<std::uint64_t>(n_)));
+    if (!chosen[static_cast<std::size_t>(v)]) {
+      chosen[static_cast<std::size_t>(v)] = 1;
+      sources.push_back(v);
+    }
+  }
+  BcResult result = run_sources(sources);
+  const bc_t scale = static_cast<bc_t>(n_) / static_cast<bc_t>(k);
+  for (bc_t& v : result.bc) v *= scale;
+  for (bc_t& v : result.edge_bc) v *= scale;
+  return result;
+}
+
+BcResult TurboBC::run_single_source(vidx_t source) {
+  return run_sources({source});
+}
+
+BcResult TurboBC::run_exact() {
+  std::vector<vidx_t> sources(static_cast<std::size_t>(n_));
+  for (vidx_t v = 0; v < n_; ++v) sources[static_cast<std::size_t>(v)] = v;
+  return run_sources(sources);
+}
+
+}  // namespace turbobc::bc

@@ -1,0 +1,125 @@
+// TurboBC: the paper's Algorithm 1 — linear-algebraic betweenness
+// centrality — running on the simulated GPU.
+//
+// Pipeline per source (paper Section 3.4, Figure 2):
+//   forward (BFS) stage, integer vectors:
+//     d=1: init kernel (f(s)=1, sigma(s)=1), then per level:
+//       f_t <- 0;  f_t <- masked SpMV(A^T, f);  update kernel (f <- f_t,
+//       S <- d, sigma += f, frontier flag), flag copied back to the host.
+//   f and f_t are then FREED and the float dependency triple delta /
+//   delta_u / delta_ut allocated in their place — the paper's
+//   memory-footprint trick that keeps the peak at ~7n + m words.
+//   backward (dependency) stage, for d = height .. 2:
+//     delta_u <- (1 + delta)/sigma on the depth-d slice;  delta_ut <-
+//     SpMV;  delta += delta_ut * sigma on the depth-(d-1) slice.
+//   bc accumulation kernel adds delta into bc (halved for undirected
+//   graphs, Brandes' double-counting compensation).
+//
+// The published pseudocode has two quirks this implementation resolves
+// (documented in DESIGN.md): the frontier must be zeroed where sigma != 0
+// (otherwise the source re-accumulates every level), and on directed graphs
+// the backward SpMV needs out-neighbour sums, realized as a scatter through
+// the same single stored structure.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/variant.hpp"
+#include "gpusim/device.hpp"
+#include "graph/edge_list.hpp"
+#include "spmv/device_graph.hpp"
+
+namespace turbobc::bc {
+
+struct BcOptions {
+  Variant variant = Variant::kScCsc;
+  /// Datatype ablation (paper Section 3.4): model the BFS-stage vectors
+  /// (f, f_t, sigma) as floating-point device arrays instead of integers.
+  /// Functionally identical (path counts are always computed in double —
+  /// see common/types.hpp); the cost model charges float-atomic rates,
+  /// which is what makes it slower. Only the ablation bench sets this.
+  bool float_bfs = false;
+  /// Extension (beyond the paper; its Eq. 1 defines BC for edges too):
+  /// accumulate per-arc edge betweenness during the backward stage into an
+  /// additional m-word device array. Costs one more kernel per level and
+  /// raises the footprint from 7n + m to 7n + 2m words.
+  bool edge_bc = false;
+};
+
+/// Statistics of one source's traversal.
+struct SourceStats {
+  vidx_t bfs_depth = 0;  // height of the BFS tree (the paper's d)
+  vidx_t reached = 0;    // vertices discovered, including the source
+};
+
+struct BcResult {
+  /// Per-vertex centrality. For a single-source run this is the dependency
+  /// contribution delta_s (what the paper's "BC/vertex" experiments time);
+  /// for run_exact it is the full betweenness centrality.
+  std::vector<bc_t> bc;
+  /// Per-arc edge betweenness in canonical arc order (see
+  /// baseline::brandes_edge_bc for the indexing contract). Empty unless
+  /// BcOptions::edge_bc was set.
+  std::vector<bc_t> edge_bc;
+  SourceStats last_source;
+  /// Modeled device seconds spent in kernels for this call.
+  double device_seconds = 0.0;
+  /// Peak simulated device bytes live during this call.
+  std::size_t peak_device_bytes = 0;
+  /// Sources processed (1 for single-source, n for exact).
+  vidx_t sources = 0;
+};
+
+class TurboBC {
+ public:
+  /// Uploads exactly one sparse format (chosen by options.variant) to the
+  /// device. Throws DeviceOutOfMemory if the graph alone does not fit.
+  TurboBC(sim::Device& device, const graph::EdgeList& graph,
+          BcOptions options = {});
+
+  /// Dependency accumulation from one source (the paper's per-vertex BC).
+  BcResult run_single_source(vidx_t source);
+
+  /// Exact BC: every vertex as source (paper Table 5).
+  BcResult run_exact();
+
+  /// BC restricted to the given sources (sampling-style approximations).
+  BcResult run_sources(const std::vector<vidx_t>& sources);
+
+  /// Approximate BC by uniform source sampling (Brandes & Pich style):
+  /// num_sources sources drawn without replacement, results scaled by
+  /// n / num_sources — an unbiased estimator of exact BC. Extension beyond
+  /// the paper, enabled by the same run_sources machinery.
+  struct ApproxOptions {
+    vidx_t num_sources = 32;
+    std::uint64_t seed = 1;
+  };
+  BcResult run_approximate(const ApproxOptions& options);
+
+  const BcOptions& options() const noexcept { return options_; }
+  vidx_t num_vertices() const noexcept { return n_; }
+  eidx_t num_arcs() const noexcept { return m_; }
+  bool directed() const noexcept { return directed_; }
+
+  /// Device bytes held by the uploaded graph structure.
+  std::size_t graph_device_bytes() const noexcept;
+
+ private:
+  SourceStats run_source_into(vidx_t source, sim::DeviceBuffer<bc_t>& bc_dev,
+                              sim::DeviceBuffer<bc_t>* ebc_dev);
+
+  sim::Device& device_;
+  BcOptions options_;
+  vidx_t n_ = 0;
+  eidx_t m_ = 0;
+  bool directed_ = false;
+  std::optional<spmv::DeviceCsc> csc_;
+  std::optional<spmv::DeviceCooc> cooc_;
+  /// Permutation from device nonzero order (column-major) to canonical arc
+  /// order; built only when options.edge_bc is set.
+  std::vector<eidx_t> nz_to_canonical_;
+};
+
+}  // namespace turbobc::bc

@@ -1,0 +1,72 @@
+// Batched multi-source TurboBC: the frontier as an n x k MATRIX.
+//
+// Algorithm 1 is a sequence of matrix-vector products; the natural
+// linear-algebra extension (and the standard GraphBLAS idiom for exact BC)
+// replaces the frontier vector f with an n x k matrix F holding k
+// independent BFS fronts, turning every SpMV into an SpMM. Two costs
+// amortize across the batch:
+//
+//   * per-level kernel launches and the frontier-flag readback: ONE set per
+//     level instead of one per source-level — decisive on deep graphs,
+//     where the paper's own pipeline is launch-overhead-bound (road
+//     networks: ~5 launches x 3.5 us + an 8 us PCIe readback per level);
+//   * the graph structure streams from memory once per level for all k
+//     sources instead of once per source-level.
+//
+// The price is k x the per-vertex state (the footprint becomes ~(7n)k + m
+// words), so the batch size trades memory for launch amortization — the
+// same footprint-vs-speed axis the paper's design walks.
+// bench_ablation_batching measures the trade; tests verify every batch size
+// against Brandes.
+//
+// Implemented for the CSC layout with scalar (thread-per-column) kernels —
+// the batched analogue of TurboBC-scCSC. Column-major per-vertex batch
+// storage (index v * k + j) keeps one source's lanes adjacent.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/turbobc.hpp"
+#include "gpusim/device.hpp"
+#include "graph/edge_list.hpp"
+#include "spmv/device_graph.hpp"
+
+namespace turbobc::bc {
+
+struct BatchedOptions {
+  /// Sources processed simultaneously per pass, in [1, 32]. 1 degenerates to
+  /// the paper's pipeline (modulo kernel fusion details).
+  vidx_t batch_size = 8;
+};
+
+class TurboBCBatched {
+ public:
+  TurboBCBatched(sim::Device& device, const graph::EdgeList& graph,
+                 BatchedOptions options = {});
+
+  /// Exact BC over all sources, k at a time.
+  BcResult run_exact();
+
+  /// BC over the given sources, k at a time.
+  BcResult run_sources(const std::vector<vidx_t>& sources);
+
+  vidx_t num_vertices() const noexcept { return n_; }
+  eidx_t num_arcs() const noexcept { return m_; }
+  const BatchedOptions& options() const noexcept { return options_; }
+
+ private:
+  /// One batch of up to batch_size sources accumulated into bc_dev.
+  void run_batch(const std::vector<vidx_t>& batch,
+                 sim::DeviceBuffer<bc_t>& bc_dev);
+
+  sim::Device& device_;
+  BatchedOptions options_;
+  vidx_t n_ = 0;
+  eidx_t m_ = 0;
+  bool directed_ = false;
+  std::optional<spmv::DeviceCsc> csc_;
+};
+
+}  // namespace turbobc::bc

@@ -1,0 +1,55 @@
+// TurboBFS: standalone linear-algebraic breadth-first search.
+//
+// The forward stage of TurboBC is itself a published contribution (Artiles &
+// Saeed, "TurboBFS: GPU Based Breadth-First Search (BFS) Algorithms in the
+// Language of Linear Algebra", IPDPSW 2021 — the paper's reference [1]).
+// This class exposes it as a public API: per level, f_t <- A^T f through the
+// selected SpMV variant, masked by the undiscovered set, accumulating
+// per-vertex depths and shortest-path counts. Useful on its own for
+// reachability, level structure, and path counting — and it is what the
+// sigma/S columns of the BC pipeline are made of.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/variant.hpp"
+#include "gpusim/device.hpp"
+#include "graph/edge_list.hpp"
+#include "spmv/device_graph.hpp"
+
+namespace turbobc::bc {
+
+struct TurboBfsResult {
+  /// depth[v]: hops from the source, -1 when unreachable.
+  std::vector<vidx_t> depth;
+  /// sigma[v]: number of shortest paths from the source (0 when unreachable,
+  /// 1 for the source itself).
+  std::vector<sigma_t> sigma;
+  vidx_t height = 0;   // BFS tree height
+  vidx_t reached = 0;  // vertices discovered, including the source
+  double device_seconds = 0.0;
+  std::size_t peak_device_bytes = 0;
+};
+
+class TurboBfs {
+ public:
+  TurboBfs(sim::Device& device, const graph::EdgeList& graph,
+           Variant variant = Variant::kScCsc);
+
+  TurboBfsResult run(vidx_t source);
+
+  vidx_t num_vertices() const noexcept { return n_; }
+  eidx_t num_arcs() const noexcept { return m_; }
+
+ private:
+  sim::Device& device_;
+  Variant variant_;
+  vidx_t n_ = 0;
+  eidx_t m_ = 0;
+  std::optional<spmv::DeviceCsc> csc_;
+  std::optional<spmv::DeviceCooc> cooc_;
+};
+
+}  // namespace turbobc::bc

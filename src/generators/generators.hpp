@@ -1,0 +1,13 @@
+// Umbrella header: all synthetic graph generators.
+#pragma once
+
+#include "generators/kmer.hpp"          // IWYU pragma: export
+#include "generators/kronecker.hpp"     // IWYU pragma: export
+#include "generators/lattice.hpp"       // IWYU pragma: export
+#include "generators/mycielski.hpp"     // IWYU pragma: export
+#include "generators/preferential.hpp"  // IWYU pragma: export
+#include "generators/random_graphs.hpp" // IWYU pragma: export
+#include "generators/road.hpp"          // IWYU pragma: export
+#include "generators/small_world.hpp"   // IWYU pragma: export
+#include "generators/traffic.hpp"       // IWYU pragma: export
+#include "generators/web.hpp"           // IWYU pragma: export

@@ -1,0 +1,52 @@
+#include "generators/kmer.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace turbobc::gen {
+
+using graph::EdgeList;
+
+EdgeList kmer_like(const KmerParams& p) {
+  TBC_CHECK(p.chains >= 1 && p.chain_len >= 2, "kmer graph too small");
+  TBC_CHECK(p.branching >= 1, "branching must be at least 1");
+
+  Xoshiro256 rng(p.seed);
+  const vidx_t n = p.chains * p.chain_len;
+  EdgeList el(n, /*directed=*/false);
+
+  // Each chain is a path; chain c covers [c*L, (c+1)*L).
+  const vidx_t L = p.chain_len;
+  for (vidx_t c = 0; c < p.chains; ++c) {
+    for (vidx_t i = 0; i + 1 < L; ++i) {
+      el.add_edge(c * L + i, c * L + i + 1);
+    }
+  }
+
+  // Join the chains into one connected assembly graph: chain c's head
+  // attaches to an endpoint of an earlier chain, at most `branching` chains
+  // per attachment point (keeps max degree at 2*branching like real k-mer
+  // graphs, whose degree is bounded by the alphabet).
+  std::vector<int> junction_uses(static_cast<std::size_t>(p.chains) * 2, 0);
+  for (vidx_t c = 1; c < p.chains; ++c) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto target_chain =
+          static_cast<vidx_t>(rng.uniform(static_cast<std::uint64_t>(c)));
+      const bool tail = rng.bernoulli(0.5);
+      const std::size_t slot = static_cast<std::size_t>(target_chain) * 2 +
+                               (tail ? 1u : 0u);
+      if (junction_uses[slot] >= p.branching - 1) continue;
+      ++junction_uses[slot];
+      const vidx_t endpoint = tail ? target_chain * L + (L - 1)
+                                   : target_chain * L;
+      el.add_edge(endpoint, c * L);
+      break;
+    }
+  }
+  el.symmetrize();
+  return el;
+}
+
+}  // namespace turbobc::gen

@@ -1,0 +1,26 @@
+// De Bruijn-like assembly-graph generator: stand-in for kmer_V1r (Table 4) —
+// mean degree ~2, maximum degree 8, very deep BFS trees (the paper reports
+// d = 324 on 214M vertices). Genome-assembly k-mer graphs are unions of long
+// unitig paths joined at low-degree branch vertices; we build exactly that:
+// a tree of chains.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace turbobc::gen {
+
+struct KmerParams {
+  /// Number of chains (unitigs).
+  vidx_t chains = 64;
+  /// Vertices per chain.
+  vidx_t chain_len = 200;
+  /// Maximum chains meeting at a branch vertex (degree <= 2*branching).
+  int branching = 4;
+  std::uint64_t seed = 1;
+};
+
+graph::EdgeList kmer_like(const KmerParams& params);
+
+}  // namespace turbobc::gen

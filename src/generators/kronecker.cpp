@@ -1,0 +1,47 @@
+#include "generators/kronecker.hpp"
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace turbobc::gen {
+
+using graph::EdgeList;
+
+EdgeList kronecker(const KroneckerParams& params) {
+  TBC_CHECK(params.scale >= 1 && params.scale <= 26,
+            "kronecker scale out of supported range");
+  TBC_CHECK(params.edge_factor > 0, "edge_factor must be positive");
+  const double d = 1.0 - params.a - params.b - params.c;
+  TBC_CHECK(d > 0.0, "RMAT quadrant probabilities must sum below 1");
+
+  const vidx_t n = static_cast<vidx_t>(1) << params.scale;
+  const auto arcs =
+      static_cast<eidx_t>(params.edge_factor * static_cast<double>(n));
+
+  Xoshiro256 rng(params.seed);
+  EdgeList el(n, /*directed=*/false);
+  for (eidx_t e = 0; e < arcs; ++e) {
+    vidx_t u = 0;
+    vidx_t v = 0;
+    for (int bit = 0; bit < params.scale; ++bit) {
+      const double r = rng.uniform_real();
+      u <<= 1;
+      v <<= 1;
+      if (r < params.a) {
+        // top-left: neither bit set
+      } else if (r < params.a + params.b) {
+        v |= 1;
+      } else if (r < params.a + params.b + params.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) el.add_edge(u, v);
+  }
+  el.symmetrize();
+  return el;
+}
+
+}  // namespace turbobc::gen

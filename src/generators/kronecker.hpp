@@ -1,0 +1,25 @@
+// R-MAT / stochastic Kronecker generator: the paper's kron-logn* family
+// (Table 3), i.e. Graph500-style scale-free graphs.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace turbobc::gen {
+
+struct KroneckerParams {
+  int scale = 10;           // n = 2^scale
+  double edge_factor = 16;  // directed arcs per vertex before symmetrizing
+  // Graph500 quadrant probabilities.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  std::uint64_t seed = 1;
+};
+
+/// Undirected (symmetrized) Kronecker graph. The paper's kron-logn18..21
+/// use edge_factor ~ 80; the scaled reproduction uses 40.
+graph::EdgeList kronecker(const KroneckerParams& params);
+
+}  // namespace turbobc::gen

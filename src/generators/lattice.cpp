@@ -1,0 +1,80 @@
+#include "generators/lattice.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace turbobc::gen {
+
+using graph::EdgeList;
+
+EdgeList triangulated_grid(vidx_t rows, vidx_t cols) {
+  TBC_CHECK(rows >= 2 && cols >= 2, "grid needs at least 2x2 vertices");
+  const vidx_t n = rows * cols;
+  EdgeList el(n, /*directed=*/false);
+  const auto id = [cols](vidx_t r, vidx_t c) { return r * cols + c; };
+  for (vidx_t r = 0; r < rows; ++r) {
+    for (vidx_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) el.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) el.add_edge(id(r, c), id(r + 1, c));
+      // One diagonal per cell triangulates the mesh: internal degree 6.
+      if (r + 1 < rows && c + 1 < cols) el.add_edge(id(r, c), id(r + 1, c + 1));
+    }
+  }
+  el.symmetrize();
+  return el;
+}
+
+EdgeList markov_lattice(const MarkovLatticeParams& p) {
+  TBC_CHECK(p.length >= 2 && p.width >= 2, "lattice needs at least 2x2 states");
+  TBC_CHECK(p.burst_p >= 0.0 && p.burst_p <= 1.0, "burst_p must be in [0,1]");
+
+  Xoshiro256 rng(p.seed);
+  const vidx_t n = p.length * p.width;
+  EdgeList el(n, /*directed=*/true);
+  const auto id = [&](vidx_t x, vidx_t y) { return x * p.width + y; };
+
+  for (vidx_t x = 0; x < p.length; ++x) {
+    for (vidx_t y = 0; y < p.width; ++y) {
+      const vidx_t u = id(x, y);
+      // Forward transitions (advance the chain) and local backward/side
+      // transitions; ~6 per interior state.
+      if (x + 1 < p.length) {
+        el.add_edge(u, id(x + 1, y));
+        if (y + 1 < p.width) el.add_edge(u, id(x + 1, y + 1));
+        if (y > 0) el.add_edge(u, id(x + 1, y - 1));
+      }
+      if (x > 0) el.add_edge(u, id(x - 1, y));
+      if (y + 1 < p.width) el.add_edge(u, id(x, y + 1));
+      if (y > 0) el.add_edge(u, id(x, y - 1));
+
+      // Denser stencil for the g7j-like variant: additional transitions two
+      // steps ahead across the width.
+      for (int s = 0; s < p.extra_stencil; ++s) {
+        const vidx_t xt = x + 2 < p.length ? x + 2 : x;
+        const auto yt = static_cast<vidx_t>(
+            rng.uniform(static_cast<std::uint64_t>(p.width)));
+        const vidx_t v = id(xt, yt);
+        if (v != u) el.add_edge(u, v);
+      }
+
+      // Occasional burst states with many outgoing transitions (bounded
+      // max-degree outliers, like the mark3j/g7j matrices). Bursts stay on
+      // the next lattice level so they widen the fan-out without creating
+      // depth shortcuts — the BFS depth must keep tracking `length`.
+      if (rng.bernoulli(p.burst_p) && x + 1 < p.length) {
+        for (int s = 0; s < p.burst_size; ++s) {
+          const auto yt = static_cast<vidx_t>(
+              rng.uniform(static_cast<std::uint64_t>(p.width)));
+          const vidx_t v = id(x + 1, yt);
+          if (v != u) el.add_edge(u, v);
+        }
+      }
+    }
+  }
+  el.canonicalize();
+  return el;
+}
+
+}  // namespace turbobc::gen

@@ -1,0 +1,37 @@
+// Lattice-structured generators for the paper's "regular" graph families.
+//
+//  * triangulated_grid — planar triangular mesh, internal degree 6: the
+//    structural stand-in for the delaunay_n* graphs of Table 1 (mean degree
+//    6, stddev ~1, BFS depth ~ sqrt(n)).
+//  * markov_lattice — directed local-transition lattice standing in for the
+//    mark3j*sc / g7j*sc Markov-chain matrices of Tables 1, 2 and 5: a
+//    length x width grid whose states step to a small forward/backward
+//    stencil, giving mean out-degree ~6, BFS depth ~ length, plus a sprinkle
+//    of longer transitions that raises the max degree without changing the
+//    regular character (scf stays small).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace turbobc::gen {
+
+/// rows x cols triangular mesh (undirected).
+graph::EdgeList triangulated_grid(vidx_t rows, vidx_t cols);
+
+struct MarkovLatticeParams {
+  vidx_t length = 100;  // BFS depth scales with this dimension
+  vidx_t width = 50;
+  /// Probability that a state gets a burst of extra local transitions; used
+  /// to reproduce the mark3j max-degree ~44 and g7j max-degree ~153 columns.
+  double burst_p = 0.01;
+  int burst_size = 16;
+  /// Extra dense local stencil (g7j-style, mean degree ~14) when > 0.
+  int extra_stencil = 0;
+  std::uint64_t seed = 1;
+};
+
+graph::EdgeList markov_lattice(const MarkovLatticeParams& params);
+
+}  // namespace turbobc::gen

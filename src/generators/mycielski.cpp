@@ -1,0 +1,45 @@
+#include "generators/mycielski.hpp"
+
+#include "common/error.hpp"
+
+namespace turbobc::gen {
+
+using graph::Edge;
+using graph::EdgeList;
+
+vidx_t mycielski_vertices(int k) {
+  TBC_CHECK(k >= 2 && k <= 24, "mycielski order out of supported range");
+  return static_cast<vidx_t>(3 * (1 << (k - 2)) - 1);
+}
+
+EdgeList mycielski(int k) {
+  TBC_CHECK(k >= 2 && k <= 24, "mycielski order out of supported range");
+
+  // Undirected edges kept once; symmetrized at the end.
+  std::vector<Edge> edges = {{0, 1}};  // M2 = K2
+  vidx_t n = 2;
+
+  for (int step = 2; step < k; ++step) {
+    // Vertices: originals [0, n), shadows [n, 2n), apex 2n.
+    std::vector<Edge> next;
+    next.reserve(edges.size() * 3 + static_cast<std::size_t>(n));
+    const vidx_t apex = 2 * n;
+    for (const Edge& e : edges) {
+      next.push_back(e);                                   // v_i - v_j
+      next.push_back(Edge{static_cast<vidx_t>(e.u + n), e.v});  // u_i - v_j
+      next.push_back(Edge{e.u, static_cast<vidx_t>(e.v + n)});  // v_i - u_j
+    }
+    for (vidx_t i = 0; i < n; ++i) {
+      next.push_back(Edge{static_cast<vidx_t>(i + n), apex});  // u_i - z
+    }
+    edges = std::move(next);
+    n = 2 * n + 1;
+  }
+
+  EdgeList el(n, /*directed=*/false);
+  for (const Edge& e : edges) el.add_edge(e.u, e.v);
+  el.symmetrize();
+  return el;
+}
+
+}  // namespace turbobc::gen

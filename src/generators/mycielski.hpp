@@ -1,0 +1,25 @@
+// Mycielski graphs: the paper's flagship irregular family (Table 3,
+// Figures 3 and 5).
+//
+// The Mycielskian M(G) of G=(V,E) adds a shadow vertex u_i per v_i and an
+// apex z: u_i connects to every neighbour of v_i, and z connects to every
+// u_i. Starting from M2 = K2, iterating k-2 times yields "mycielskiK" with
+//   n_k = 3 * 2^(k-2) - 1   and   m_{k+1} = 3 m_k + n_k  (undirected edges).
+// These graphs are triangle-free with growing chromatic number, have BFS
+// depth 3 from any vertex once k >= 4 (apex chains), and an extremely
+// hub-concentrated degree distribution — which is exactly why the paper uses
+// them to stress warp-level (veCSC) SpMV.
+#pragma once
+
+#include "graph/edge_list.hpp"
+
+namespace turbobc::gen {
+
+/// Build mycielski<k>, k >= 2. k=15..19 are the paper's sizes; the scaled
+/// reproduction uses k in [7, 13].
+graph::EdgeList mycielski(int k);
+
+/// Closed-form vertex count 3 * 2^(k-2) - 1 (k >= 2).
+vidx_t mycielski_vertices(int k);
+
+}  // namespace turbobc::gen

@@ -1,0 +1,76 @@
+#include "generators/preferential.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace turbobc::gen {
+
+using graph::EdgeList;
+
+EdgeList preferential_attachment(const PreferentialParams& p) {
+  TBC_CHECK(p.n >= 2, "preferential attachment needs at least 2 vertices");
+  TBC_CHECK(p.m_attach >= 1, "m_attach must be at least 1");
+
+  Xoshiro256 rng(p.seed);
+  EdgeList el(p.n, p.directed);
+
+  // Endpoint repetition list: choosing a uniform element is choosing a
+  // vertex with probability proportional to its degree (the classic BA
+  // implementation trick).
+  std::vector<vidx_t> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(p.n) * p.m_attach * 2);
+  endpoints.push_back(0);
+
+  for (vidx_t u = 1; u < p.n; ++u) {
+    const int attach = std::min<int>(p.m_attach, u);
+    for (int j = 0; j < attach; ++j) {
+      const vidx_t v = endpoints[rng.uniform(endpoints.size())];
+      if (v == u) continue;
+      el.add_edge(u, v);
+      endpoints.push_back(v);
+    }
+    endpoints.push_back(u);
+  }
+
+  if (p.directed) {
+    el.canonicalize();
+  } else {
+    el.symmetrize();
+  }
+  return el;
+}
+
+EdgeList superhub_social(const SuperhubParams& p) {
+  TBC_CHECK(p.n >= 2, "superhub graph needs at least 2 vertices");
+  TBC_CHECK(p.celebrities >= 1 && p.celebrities < p.n,
+            "celebrity count out of range");
+  TBC_CHECK(p.celebrity_p >= 0.0 && p.celebrity_p <= 1.0,
+            "celebrity_p must be in [0, 1]");
+
+  Xoshiro256 rng(p.seed);
+  EdgeList el(p.n, /*directed=*/true);
+  std::vector<vidx_t> endpoints = {0};
+
+  for (vidx_t u = 1; u < p.n; ++u) {
+    const int arcs = std::min<int>(p.out_degree, u);
+    for (int j = 0; j < arcs; ++j) {
+      vidx_t v;
+      if (rng.bernoulli(p.celebrity_p)) {
+        v = static_cast<vidx_t>(
+            rng.uniform(static_cast<std::uint64_t>(p.celebrities)));
+      } else {
+        v = endpoints[rng.uniform(endpoints.size())];
+      }
+      if (v == u) continue;
+      el.add_edge(u, v);
+      endpoints.push_back(v);
+    }
+    endpoints.push_back(u);
+  }
+  el.canonicalize();
+  return el;
+}
+
+}  // namespace turbobc::gen

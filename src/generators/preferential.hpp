@@ -1,0 +1,38 @@
+// Preferential-attachment generators for the paper's social / internet
+// benchmark families.
+//
+//  * preferential_attachment — Barabási–Albert. Undirected with m_attach ~ 2-3
+//    stands in for com-Youtube (Table 2: mean degree 5, max degree ~25k);
+//    with m_attach = 1-2 and directed arcs it stands in for `internet`
+//    (Table 1: mean out-degree 2, max 138, BFS depth ~ 21).
+//  * superhub_social — directed preferential attachment where a handful of
+//    celebrity vertices absorb a fixed share of all arcs: the GAP-twitter
+//    stand-in (Table 4: mean degree 24, max degree ~ 5% of n).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace turbobc::gen {
+
+struct PreferentialParams {
+  vidx_t n = 10000;
+  int m_attach = 2;       // arcs added per new vertex
+  bool directed = false;  // directed: new -> chosen (web/AS-link direction)
+  std::uint64_t seed = 1;
+};
+
+graph::EdgeList preferential_attachment(const PreferentialParams& params);
+
+struct SuperhubParams {
+  vidx_t n = 10000;
+  int out_degree = 24;     // mean arcs per vertex
+  int celebrities = 8;     // superhub count
+  double celebrity_p = 0.3;  // probability an arc targets a celebrity
+  std::uint64_t seed = 1;
+};
+
+graph::EdgeList superhub_social(const SuperhubParams& params);
+
+}  // namespace turbobc::gen

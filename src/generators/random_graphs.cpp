@@ -1,0 +1,80 @@
+#include "generators/random_graphs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace turbobc::gen {
+
+using graph::EdgeList;
+
+EdgeList erdos_renyi(const ErdosRenyiParams& p) {
+  TBC_CHECK(p.n >= 2, "erdos_renyi needs at least 2 vertices");
+  TBC_CHECK(p.arcs >= 0, "arc count must be non-negative");
+
+  Xoshiro256 rng(p.seed);
+  EdgeList el(p.n, p.directed);
+  for (eidx_t e = 0; e < p.arcs; ++e) {
+    const auto u = static_cast<vidx_t>(
+        rng.uniform(static_cast<std::uint64_t>(p.n)));
+    const auto v = static_cast<vidx_t>(
+        rng.uniform(static_cast<std::uint64_t>(p.n)));
+    if (u != v) el.add_edge(u, v);
+  }
+  if (p.directed) {
+    el.canonicalize();
+  } else {
+    el.symmetrize();
+  }
+  return el;
+}
+
+EdgeList random_local_digraph(const LocalDigraphParams& p) {
+  TBC_CHECK(p.n >= 3, "random_local_digraph needs at least 3 vertices");
+  TBC_CHECK(p.mean_out_degree > 0, "mean_out_degree must be positive");
+  TBC_CHECK(p.window >= 1, "window must be at least 1");
+
+  Xoshiro256 rng(p.seed);
+  EdgeList el(p.n, /*directed=*/true);
+
+  // Clipped lognormal out-degrees with the requested mean. For lognormal,
+  // mean = exp(mu + sigma^2 / 2) => mu = ln(mean) - sigma^2 / 2.
+  const double sigma = p.degree_dispersion;
+  const double mu = std::log(p.mean_out_degree) - sigma * sigma / 2.0;
+
+  const auto normal = [&rng]() {
+    // Box-Muller; both uniforms strictly in (0, 1).
+    const double u1 = 1.0 - rng.uniform_real();
+    const double u2 = rng.uniform_real();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  };
+
+  // A forward backbone keeps the graph weakly connected and the BFS depth
+  // governed by the window size.
+  for (vidx_t u = 0; u + 1 < p.n; ++u) el.add_edge(u, u + 1);
+
+  for (vidx_t u = 0; u < p.n; ++u) {
+    const double draw = std::exp(mu + sigma * normal());
+    const auto degree = static_cast<eidx_t>(std::min<double>(
+        static_cast<double>(p.max_out_degree), std::max(1.0, draw)));
+    for (eidx_t j = 0; j < degree; ++j) {
+      vidx_t v;
+      if (rng.bernoulli(p.global_p)) {
+        v = static_cast<vidx_t>(rng.uniform(static_cast<std::uint64_t>(p.n)));
+      } else {
+        const auto span = static_cast<std::uint64_t>(p.window) * 2 + 1;
+        const auto off = static_cast<std::int64_t>(rng.uniform(span)) -
+                         static_cast<std::int64_t>(p.window);
+        v = static_cast<vidx_t>(std::clamp<std::int64_t>(
+            static_cast<std::int64_t>(u) + off, 0, p.n - 1));
+      }
+      if (v != u) el.add_edge(u, v);
+    }
+  }
+  el.canonicalize();
+  return el;
+}
+
+}  // namespace turbobc::gen

@@ -1,0 +1,40 @@
+// Generic random-graph generators.
+//
+//  * erdos_renyi — G(n, m)-style uniform random graph; the workhorse of the
+//    property-test suites (not a paper workload).
+//  * random_local_digraph — directed graph with a clipped-lognormal
+//    out-degree distribution and window-local targets. With (mean 14, hi
+//    dispersion, window n/15) it reproduces the g7j*sc signature (Table 1/2:
+//    degree 153/14/24, d ~ 15); with (mean 6, window n/32) the ASIC-*ks
+//    circuit signature (Table 2: degree ~206/6/6, d ~ 31) — circuit netlists
+//    are mostly local with rare global nets, which `global_p` provides.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace turbobc::gen {
+
+struct ErdosRenyiParams {
+  vidx_t n = 1000;
+  eidx_t arcs = 5000;     // target arc count before dedup
+  bool directed = true;
+  std::uint64_t seed = 1;
+};
+
+graph::EdgeList erdos_renyi(const ErdosRenyiParams& params);
+
+struct LocalDigraphParams {
+  vidx_t n = 10000;
+  double mean_out_degree = 14.0;
+  double degree_dispersion = 1.0;  // lognormal sigma; higher -> heavier tail
+  eidx_t max_out_degree = 153;
+  vidx_t window = 700;     // targets land within +-window (BFS depth ~ n/window)
+  double global_p = 0.02;  // rare long-range targets (global nets / jumps)
+  std::uint64_t seed = 1;
+};
+
+graph::EdgeList random_local_digraph(const LocalDigraphParams& params);
+
+}  // namespace turbobc::gen

@@ -1,0 +1,62 @@
+#include "generators/road.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace turbobc::gen {
+
+using graph::EdgeList;
+
+EdgeList road_network(const RoadParams& p) {
+  TBC_CHECK(p.grid_rows >= 2 && p.grid_cols >= 2, "road grid too small");
+  TBC_CHECK(p.subdivisions >= 0, "subdivisions must be non-negative");
+  TBC_CHECK(p.keep_p > 0.0 && p.keep_p <= 1.0, "keep_p must be in (0, 1]");
+
+  Xoshiro256 rng(p.seed);
+  const vidx_t n_int = p.grid_rows * p.grid_cols;
+  const auto id = [&](vidx_t r, vidx_t c) { return r * p.grid_cols + c; };
+
+  // Mesh edges between intersections. Each intersection keeps its "left"
+  // and "up" grid edges with probability keep_p; when both dice fail, one is
+  // forced so every intersection stays connected toward the origin (road
+  // maps are sparse but connected).
+  std::vector<std::pair<vidx_t, vidx_t>> mesh;
+  for (vidx_t r = 0; r < p.grid_rows; ++r) {
+    for (vidx_t c = 0; c < p.grid_cols; ++c) {
+      if (r == 0 && c == 0) continue;
+      const bool has_left = c > 0;
+      const bool has_up = r > 0;
+      bool keep_left = has_left && rng.bernoulli(p.keep_p);
+      bool keep_up = has_up && rng.bernoulli(p.keep_p);
+      if (!keep_left && !keep_up) {
+        if (has_up) {
+          keep_up = true;
+        } else {
+          keep_left = true;
+        }
+      }
+      if (keep_left) mesh.emplace_back(id(r, c - 1), id(r, c));
+      if (keep_up) mesh.emplace_back(id(r - 1, c), id(r, c));
+    }
+  }
+
+  const auto n_total =
+      static_cast<vidx_t>(n_int + mesh.size() * static_cast<std::size_t>(
+                                                    p.subdivisions));
+  EdgeList el(n_total, /*directed=*/false);
+  vidx_t next = n_int;
+  for (const auto& [a, b] : mesh) {
+    vidx_t prev = a;
+    for (int s = 0; s < p.subdivisions; ++s) {
+      el.add_edge(prev, next);
+      prev = next++;
+    }
+    el.add_edge(prev, b);
+  }
+  el.symmetrize();
+  return el;
+}
+
+}  // namespace turbobc::gen

@@ -1,0 +1,28 @@
+// Road-network generator: stand-in for luxembourg-osm (Table 1) — mean
+// degree ~2, enormous BFS depth (the paper reports d = 1035 on 115k
+// vertices), planar-ish.
+//
+// Construction: a sparse random planar-like mesh of intersections, with
+// every mesh edge subdivided into a chain of degree-2 road vertices. Depth
+// scales as (mesh diameter) x (chain length).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace turbobc::gen {
+
+struct RoadParams {
+  vidx_t grid_rows = 20;
+  vidx_t grid_cols = 20;
+  /// Fraction of mesh edges kept (sparsifies the grid like a road map).
+  double keep_p = 0.75;
+  /// Road vertices inserted per kept mesh edge.
+  int subdivisions = 8;
+  std::uint64_t seed = 1;
+};
+
+graph::EdgeList road_network(const RoadParams& params);
+
+}  // namespace turbobc::gen

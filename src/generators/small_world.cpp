@@ -1,0 +1,37 @@
+#include "generators/small_world.hpp"
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace turbobc::gen {
+
+using graph::EdgeList;
+
+EdgeList small_world(const SmallWorldParams& params) {
+  TBC_CHECK(params.n >= 3, "small_world needs at least 3 vertices");
+  TBC_CHECK(params.k >= 2 && params.k < params.n,
+            "ring degree k must be in [2, n)");
+  TBC_CHECK(params.rewire_p >= 0.0 && params.rewire_p <= 1.0,
+            "rewire probability must be in [0, 1]");
+
+  Xoshiro256 rng(params.seed);
+  const vidx_t n = params.n;
+  EdgeList el(n, /*directed=*/false);
+
+  // Ring lattice with k/2 neighbours on each side; each lattice edge is
+  // rewired to a uniform random endpoint with probability p (Watts-Strogatz).
+  for (vidx_t u = 0; u < n; ++u) {
+    for (int j = 1; j <= params.k / 2; ++j) {
+      vidx_t v = static_cast<vidx_t>((u + j) % n);
+      if (rng.bernoulli(params.rewire_p)) {
+        v = static_cast<vidx_t>(rng.uniform(static_cast<std::uint64_t>(n)));
+        if (v == u) v = static_cast<vidx_t>((u + j) % n);
+      }
+      el.add_edge(u, v);
+    }
+  }
+  el.symmetrize();
+  return el;
+}
+
+}  // namespace turbobc::gen

@@ -1,0 +1,20 @@
+// Watts-Strogatz small-world generator: the paper's `smallworld` graph
+// (Table 2; n = 100k, mean degree 10, BFS depth 9).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace turbobc::gen {
+
+struct SmallWorldParams {
+  vidx_t n = 10000;
+  int k = 10;              // ring neighbours (k/2 each side); mean degree ~ k
+  double rewire_p = 0.1;   // rewiring probability
+  std::uint64_t seed = 1;
+};
+
+graph::EdgeList small_world(const SmallWorldParams& params);
+
+}  // namespace turbobc::gen

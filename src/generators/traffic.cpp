@@ -1,0 +1,53 @@
+#include "generators/traffic.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace turbobc::gen {
+
+using graph::EdgeList;
+
+EdgeList traffic_trace(const TrafficParams& p) {
+  TBC_CHECK(p.hubs >= 2, "traffic trace needs at least 2 hubs");
+  TBC_CHECK(p.n > static_cast<vidx_t>(p.hubs) * 2, "traffic trace too small");
+  TBC_CHECK(p.decay > 0.0 && p.decay < 1.0, "decay must be in (0, 1)");
+
+  Xoshiro256 rng(p.seed);
+  EdgeList el(p.n, /*directed=*/false);
+
+  // Backbone of collector hubs: vertices [0, hubs).
+  for (int h = 0; h + 1 < p.hubs; ++h) {
+    el.add_edge(static_cast<vidx_t>(h), static_cast<vidx_t>(h + 1));
+  }
+
+  // Geometric hub weights.
+  std::vector<double> cdf(static_cast<std::size_t>(p.hubs));
+  double acc = 0.0;
+  for (int h = 0; h < p.hubs; ++h) {
+    acc += std::pow(p.decay, h);
+    cdf[static_cast<std::size_t>(h)] = acc;
+  }
+  for (auto& c : cdf) c /= acc;
+
+  for (vidx_t v = static_cast<vidx_t>(p.hubs); v < p.n; ++v) {
+    const double r = rng.uniform_real();
+    int h = 0;
+    while (h + 1 < p.hubs && cdf[static_cast<std::size_t>(h)] < r) ++h;
+    el.add_edge(static_cast<vidx_t>(h), v);
+    // A second flow for a minority of endpoints nudges the mean degree
+    // toward the mawi value of ~2 (each endpoint contributes 2 arcs after
+    // symmetrization already; this adds cross-hub flows).
+    if (rng.bernoulli(0.05)) {
+      const auto h2 = static_cast<vidx_t>(rng.uniform(
+          static_cast<std::uint64_t>(p.hubs)));
+      if (h2 != static_cast<vidx_t>(h)) el.add_edge(h2, v);
+    }
+  }
+  el.symmetrize();
+  return el;
+}
+
+}  // namespace turbobc::gen

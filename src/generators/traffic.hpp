@@ -1,0 +1,27 @@
+// Traffic-trace generator: stand-in for the mawi-* graphs (Table 2) —
+// packet-trace graphs from the MAWI archive where a handful of monitoring
+// points see nearly all flows: mean degree 2, maximum degree close to n,
+// shallow BFS (d ~ 10).
+//
+// Construction: a short backbone path of collector hubs; every other vertex
+// (an endpoint) hangs off one hub, with hub population decaying
+// geometrically so the first hub dominates (the paper's mawi graphs have a
+// single vertex of degree 0.86n).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace turbobc::gen {
+
+struct TrafficParams {
+  vidx_t n = 20000;
+  int hubs = 10;           // backbone length; BFS depth ~ hubs
+  double decay = 0.45;     // hub h receives ~ decay^h of the endpoints
+  std::uint64_t seed = 1;
+};
+
+graph::EdgeList traffic_trace(const TrafficParams& params);
+
+}  // namespace turbobc::gen

@@ -1,0 +1,69 @@
+#include "generators/web.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace turbobc::gen {
+
+using graph::EdgeList;
+
+EdgeList web_crawl(const WebParams& p) {
+  TBC_CHECK(p.n >= 3, "web crawl needs at least 3 pages");
+  TBC_CHECK(p.out_degree >= 1, "out_degree must be at least 1");
+  TBC_CHECK(p.window >= 1, "window must be at least 1");
+
+  Xoshiro256 rng(p.seed);
+  EdgeList el(p.n, /*directed=*/true);
+
+  // adj[u] kept for the copy step. Memory is O(m), same as the result.
+  std::vector<std::vector<vidx_t>> adj(static_cast<std::size_t>(p.n));
+
+  // A backbone path guarantees every page is reachable and sets the floor of
+  // the BFS depth (crawl frontier ordering).
+  for (vidx_t u = 0; u + 1 < p.n; ++u) {
+    adj[u].push_back(u + 1);
+    el.add_edge(u, u + 1);
+  }
+
+  for (vidx_t u = 1; u < p.n; ++u) {
+    const int links = 1 + static_cast<int>(rng.uniform(
+                              static_cast<std::uint64_t>(p.out_degree) * 2));
+    for (int j = 0; j < links; ++j) {
+      vidx_t v;
+      if (rng.bernoulli(p.copy_p) && u > 1) {
+        // Copy a link of a nearby reference page.
+        const auto lo = static_cast<vidx_t>(
+            u > p.window ? u - p.window : 0);
+        const auto ref = static_cast<vidx_t>(
+            lo + rng.uniform(static_cast<std::uint64_t>(u - lo)));
+        const auto& ref_links = adj[ref];
+        if (ref_links.empty()) continue;
+        v = ref_links[rng.uniform(ref_links.size())];
+      } else if (rng.bernoulli(p.local_p)) {
+        // Host-local target within the window (either direction).
+        const auto span = static_cast<std::uint64_t>(p.window) * 2 + 1;
+        const auto off = static_cast<std::int64_t>(rng.uniform(span)) -
+                         static_cast<std::int64_t>(p.window);
+        const auto t = std::clamp<std::int64_t>(
+            static_cast<std::int64_t>(u) + off, 0, p.n - 1);
+        v = static_cast<vidx_t>(t);
+      } else {
+        // Global links point to already-crawled (earlier) pages — real web
+        // pages link to established popular pages. Keeping them backward
+        // preserves the crawl's moderate BFS depth (~ n / window): forward
+        // shortcuts would collapse it to log n.
+        v = static_cast<vidx_t>(rng.uniform(static_cast<std::uint64_t>(u)));
+      }
+      if (v == u) continue;
+      el.add_edge(u, v);
+      adj[u].push_back(v);
+    }
+  }
+  el.canonicalize();
+  return el;
+}
+
+}  // namespace turbobc::gen

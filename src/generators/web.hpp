@@ -1,0 +1,28 @@
+// Copy-model web-crawl generator: stand-in for it-2004 / sk-2005 (Table 4) —
+// directed, mean out-degree ~28-39, bounded hub degrees (~10k), BFS depth
+// ~50 from host-level locality.
+//
+// Kumar et al.'s copy model: each new page either copies an out-link from a
+// reference page or links uniformly at random. We add host locality — most
+// targets fall within a nearby index window — which is what gives web crawls
+// their moderate (tens, not log n) BFS depth.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace turbobc::gen {
+
+struct WebParams {
+  vidx_t n = 20000;
+  int out_degree = 20;
+  double copy_p = 0.5;     // copy an existing page's link
+  double local_p = 0.85;   // otherwise: target within the locality window
+  vidx_t window = 400;     // host-locality window (controls BFS depth ~ n/window)
+  std::uint64_t seed = 1;
+};
+
+graph::EdgeList web_crawl(const WebParams& params);
+
+}  // namespace turbobc::gen

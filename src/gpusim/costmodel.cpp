@@ -1,0 +1,145 @@
+#include "gpusim/costmodel.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace turbobc::sim {
+
+namespace {
+constexpr std::uint64_t kInvalidTag = ~0ULL;
+}
+
+CostModel::CostModel(const DeviceProps& props) : props_(props) {
+  const std::size_t lines =
+      std::max<std::size_t>(1, props_.l2_bytes / props_.sector_bytes);
+  l2_tags_.assign(lines, kInvalidTag);
+}
+
+void CostModel::reset_l2() {
+  std::fill(l2_tags_.begin(), l2_tags_.end(), kInvalidTag);
+}
+
+bool CostModel::l2_probe_and_fill(std::uint64_t sector) {
+  const std::size_t line = sector % l2_tags_.size();
+  if (l2_tags_[line] == sector) return true;
+  l2_tags_[line] = sector;
+  return false;
+}
+
+std::uint64_t CostModel::process_slot(LaunchRecord& rec, const Access* accesses,
+                                      int count) {
+  if (count <= 0) return 0;
+
+  // Collect the touched sectors of the warp's active lanes. A lane request
+  // can straddle a sector boundary (16 B loads), hence up to 2 sectors each.
+  std::array<std::uint64_t, 64> sectors;
+  int n_sectors = 0;
+  std::array<std::uint64_t, 32> addrs;  // for atomic contention analysis
+  int n_atomics = 0;
+  bool has_float_atomic = false;
+  bool is_store = false;
+
+  const auto sector_of = [&](std::uint64_t a) {
+    return a / static_cast<std::uint64_t>(props_.sector_bytes);
+  };
+
+  for (int i = 0; i < count; ++i) {
+    const Access& a = accesses[i];
+    const std::uint64_t first = sector_of(a.addr);
+    const std::uint64_t last = sector_of(a.addr + (a.size ? a.size - 1 : 0));
+    sectors[n_sectors++] = first;
+    if (last != first) sectors[n_sectors++] = last;
+    switch (a.op) {
+      case MemOp::kLoad:
+        ++rec.load_requests;
+        break;
+      case MemOp::kStore:
+        ++rec.store_requests;
+        is_store = true;
+        break;
+      case MemOp::kAtomicFloat:
+        has_float_atomic = true;
+        ++rec.atomic_float_requests;
+        [[fallthrough]];
+      case MemOp::kAtomic:
+        ++rec.atomic_requests;
+        is_store = true;  // atomics produce read-modify-write traffic
+        addrs[n_atomics++] = a.addr;
+        break;
+    }
+  }
+
+  std::sort(sectors.begin(), sectors.begin() + n_sectors);
+  const auto uniq_end = std::unique(sectors.begin(), sectors.begin() + n_sectors);
+  const auto unique_sectors =
+      static_cast<std::uint64_t>(uniq_end - sectors.begin());
+
+  std::uint64_t hits = 0;
+  for (auto it = sectors.begin(); it != uniq_end; ++it) {
+    if (l2_probe_and_fill(*it)) ++hits;
+  }
+  rec.l2_hit_transactions += hits;
+  rec.dram_transactions += unique_sectors - hits;
+  if (is_store) {
+    rec.store_transactions += unique_sectors;
+  } else {
+    rec.load_transactions += unique_sectors;
+  }
+
+  // Issue cost: one issue plus a replay per extra transaction; contended
+  // atomics additionally serialize per conflicting lane.
+  std::uint64_t slots = std::max<std::uint64_t>(1, unique_sectors);
+  if (n_atomics > 0) {
+    std::sort(addrs.begin(), addrs.begin() + n_atomics);
+    const auto distinct = static_cast<std::uint64_t>(
+        std::unique(addrs.begin(), addrs.begin() + n_atomics) - addrs.begin());
+    slots += static_cast<std::uint64_t>(n_atomics) - distinct;
+    if (has_float_atomic) slots *= kFloatAtomicPenalty;
+  }
+  rec.issue_slots += slots;
+  return slots;
+}
+
+double CostModel::finalize(LaunchRecord& rec) const {
+  const double issue_rate =
+      static_cast<double>(props_.total_warp_issue_slots_per_cycle()) *
+      props_.clock_hz;
+  const double throughput_bound =
+      static_cast<double>(rec.issue_slots) / issue_rate;
+  const double critical_path = static_cast<double>(rec.max_warp_slots) *
+                               props_.cycles_per_dependent_slot /
+                               props_.clock_hz;
+  const double compute_time = std::max(throughput_bound, critical_path);
+
+  const double sector = static_cast<double>(props_.sector_bytes);
+  const double dram_time =
+      static_cast<double>(rec.dram_transactions) * sector /
+      props_.dram_bandwidth_bps;
+  const double l2_time = static_cast<double>(rec.l2_hit_transactions) * sector /
+                         props_.l2_bandwidth_bps;
+  // Atomics funnel through the L2 atomic units at a fixed op rate; float
+  // atomics run ~4x slower than integer ones (see DeviceProps).
+  const std::uint64_t int_atomics =
+      rec.atomic_requests - rec.atomic_float_requests;
+  const double atomic_time =
+      static_cast<double>(int_atomics) / props_.atomic_int_ops_per_s +
+      static_cast<double>(rec.atomic_float_requests) /
+          props_.atomic_float_ops_per_s;
+  const double mem_time = dram_time + l2_time + atomic_time;
+
+  rec.time_s =
+      props_.kernel_launch_overhead_s + std::max(compute_time, mem_time);
+  return rec.time_s;
+}
+
+double CostModel::memset_time(std::uint64_t bytes) const {
+  return props_.kernel_launch_overhead_s +
+         static_cast<double>(bytes) / props_.dram_bandwidth_bps;
+}
+
+double CostModel::transfer_time(std::uint64_t bytes) const {
+  return props_.pcie_latency_s +
+         static_cast<double>(bytes) / props_.pcie_bandwidth_bps;
+}
+
+}  // namespace turbobc::sim

@@ -1,0 +1,117 @@
+// Analytic performance model for simulated kernel launches.
+//
+// The model is deliberately simple and fully documented, because its job is
+// to reproduce the *shape* of the paper's results, not absolute nanoseconds:
+//
+//  * Global memory accesses are grouped per warp "slot" (one memory
+//    instruction issued by a warp). The active lanes' addresses are mapped to
+//    32-byte sectors; the number of unique sectors is the transaction count,
+//    which is what coalescing is: 32 adjacent 4-byte loads -> 4 transactions,
+//    32 scattered loads -> up to 32 transactions.
+//  * Transactions probe a direct-mapped L2 model (3 MB, persisting across
+//    launches). Hits cost L2 bandwidth, misses cost DRAM bandwidth. This is
+//    why frontier-dense kernels (veCSC on mycielski graphs, BFS depth 3) can
+//    report global-load throughput above the DRAM peak, exactly as the
+//    paper's Figure 5b shows for TurboBC kernels.
+//  * Each slot costs issue cycles; uncoalesced slots replay once per
+//    transaction. Warp divergence in scalar kernels appears naturally as
+//    longer per-lane access sequences that cannot share slots.
+//  * Kernel time = launch overhead + max(compute time, memory time), where
+//    compute time is itself the max of a throughput bound (total slots over
+//    all SMs) and a critical-path bound (slots of the busiest warp). The
+//    critical-path bound is what penalizes load imbalance from mega-degree
+//    vertices, the paper's motivation for the COOC and veCSC variants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/device_props.hpp"
+
+namespace turbobc::sim {
+
+enum class MemOp : std::uint8_t { kLoad, kStore, kAtomic, kAtomicFloat };
+
+/// One global-memory access by one lane.
+struct Access {
+  std::uint64_t addr = 0;
+  std::uint8_t size = 0;  // bytes, <= 16
+  MemOp op = MemOp::kLoad;
+};
+
+/// Statistics for a single kernel launch (the simulator's analogue of an
+/// nvprof row).
+struct LaunchRecord {
+  std::string kernel;
+  std::uint64_t warps = 0;
+  std::uint64_t issue_slots = 0;      // total warp instruction issues
+  std::uint64_t max_warp_slots = 0;   // busiest warp (critical path)
+  std::uint64_t load_requests = 0;    // per-lane requests
+  std::uint64_t store_requests = 0;
+  std::uint64_t atomic_requests = 0;
+  std::uint64_t atomic_float_requests = 0;  // subset of atomic_requests
+  std::uint64_t load_transactions = 0;   // 32 B sectors
+  std::uint64_t store_transactions = 0;
+  std::uint64_t l2_hit_transactions = 0;
+  std::uint64_t dram_transactions = 0;
+  double time_s = 0.0;
+
+  std::uint64_t transaction_bytes(int sector_bytes) const {
+    return (load_transactions + store_transactions) *
+           static_cast<std::uint64_t>(sector_bytes);
+  }
+
+  /// Global-load throughput: bytes of load transactions served (from L2 or
+  /// DRAM) per second of kernel time. Comparable to the paper's GLT metric.
+  double glt_bps(int sector_bytes) const {
+    return time_s > 0.0 ? static_cast<double>(load_transactions) *
+                              static_cast<double>(sector_bytes) / time_s
+                        : 0.0;
+  }
+};
+
+/// Transaction-level memory and timing model. Owns the L2 tag state, which
+/// persists across launches like a real cache.
+class CostModel {
+ public:
+  explicit CostModel(const DeviceProps& props);
+
+  /// Account one warp memory slot. `accesses` holds the active lanes'
+  /// requests (inactive lanes simply absent). Returns the number of issue
+  /// slots consumed (>= 1; replays for uncoalesced transactions, plus
+  /// serialization for contended atomics).
+  std::uint64_t process_slot(LaunchRecord& rec, const Access* accesses,
+                             int count);
+
+  /// Account `n` pure-ALU warp instructions.
+  static std::uint64_t alu_slots(std::uint64_t n) { return n; }
+
+  /// Final time for a finished launch; also fills rec.time_s.
+  double finalize(LaunchRecord& rec) const;
+
+  /// Timing for a bulk device-side memset of `bytes` (modeled as a
+  /// store-only, perfectly coalesced kernel).
+  double memset_time(std::uint64_t bytes) const;
+
+  /// Host<->device transfer time over the simulated PCIe link.
+  double transfer_time(std::uint64_t bytes) const;
+
+  /// Extra issue-slot multiplier for floating-point atomics relative to
+  /// integer atomics. Pascal implements fp32 global atomics natively but at
+  /// a lower rate than int32; the paper exploits this by running the BFS
+  /// stage on integer vectors (Section 3.4, "up to 2.7x faster").
+  static constexpr std::uint64_t kFloatAtomicPenalty = 4;
+
+  void reset_l2();
+
+  const DeviceProps& props() const noexcept { return props_; }
+
+ private:
+  bool l2_probe_and_fill(std::uint64_t sector);
+
+  DeviceProps props_;
+  std::vector<std::uint64_t> l2_tags_;  // direct-mapped, one tag per line
+};
+
+}  // namespace turbobc::sim

@@ -1,0 +1,113 @@
+// The simulated GPU: execution resources, global memory, cost model, and the
+// timeline of everything that ran on it.
+//
+// A Device accumulates *modeled* time: kernel launches (through the cost
+// model), device-side memsets, cudaMalloc/cudaFree overheads and PCIe
+// transfers. Benchmarks read the timeline instead of wall clocks so that the
+// numbers are deterministic and comparable with the CPU machine model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gpusim/costmodel.hpp"
+#include "gpusim/device_props.hpp"
+#include "gpusim/memory.hpp"
+
+namespace turbobc::sim {
+
+/// Per-kernel-name aggregate over a timeline (the unit of the paper's
+/// Figure 5b, which reports GLT for "the most important kernels").
+struct KernelAggregate {
+  std::uint64_t launches = 0;
+  std::uint64_t load_transactions = 0;
+  std::uint64_t store_transactions = 0;
+  std::uint64_t l2_hit_transactions = 0;
+  std::uint64_t dram_transactions = 0;
+  double time_s = 0.0;
+
+  double glt_bps(int sector_bytes) const {
+    return time_s > 0.0 ? static_cast<double>(load_transactions) *
+                              static_cast<double>(sector_bytes) / time_s
+                        : 0.0;
+  }
+};
+
+class Device {
+ public:
+  explicit Device(DeviceProps props = DeviceProps::titan_xp())
+      : props_(props), memory_(props.global_mem_bytes), cost_(props) {}
+
+  const DeviceProps& props() const noexcept { return props_; }
+  MemoryManager& memory() noexcept { return memory_; }
+  const MemoryManager& memory() const noexcept { return memory_; }
+  CostModel& cost_model() noexcept { return cost_; }
+
+  /// Record a finished launch (time must already be finalized).
+  void commit_launch(LaunchRecord rec) {
+    kernel_seconds_ += rec.time_s;
+    auto& agg = aggregates_[rec.kernel];
+    ++agg.launches;
+    agg.load_transactions += rec.load_transactions;
+    agg.store_transactions += rec.store_transactions;
+    agg.l2_hit_transactions += rec.l2_hit_transactions;
+    agg.dram_transactions += rec.dram_transactions;
+    agg.time_s += rec.time_s;
+    if (keep_launch_records_) launches_.push_back(std::move(rec));
+  }
+
+  void charge_memset(std::uint64_t bytes) {
+    kernel_seconds_ += cost_.memset_time(bytes);
+  }
+
+  void charge_transfer(std::uint64_t bytes) {
+    transfer_seconds_ += cost_.transfer_time(bytes);
+  }
+
+  void charge_alloc_overhead() { overhead_seconds_ += props_.alloc_overhead_s; }
+
+  /// Modeled seconds spent in kernels (what the paper's runtime columns
+  /// measure: BC computation time, transfers excluded).
+  double kernel_seconds() const noexcept { return kernel_seconds_; }
+  double transfer_seconds() const noexcept { return transfer_seconds_; }
+  double overhead_seconds() const noexcept { return overhead_seconds_; }
+  double total_seconds() const noexcept {
+    return kernel_seconds_ + transfer_seconds_ + overhead_seconds_;
+  }
+
+  const std::vector<LaunchRecord>& launches() const noexcept {
+    return launches_;
+  }
+  const std::map<std::string, KernelAggregate>& kernel_aggregates() const {
+    return aggregates_;
+  }
+
+  /// Keep per-launch records (default). Exact-BC sweeps launch O(n * d)
+  /// kernels; turn this off there and rely on the per-name aggregates.
+  void set_keep_launch_records(bool keep) { keep_launch_records_ = keep; }
+
+  /// Clear the timeline (records, aggregates, accumulated time) and the L2
+  /// model. Live memory and the peak watermark are left untouched.
+  void reset_timeline() {
+    launches_.clear();
+    aggregates_.clear();
+    kernel_seconds_ = transfer_seconds_ = overhead_seconds_ = 0.0;
+    cost_.reset_l2();
+  }
+
+ private:
+  DeviceProps props_;
+  MemoryManager memory_;
+  CostModel cost_;
+  std::vector<LaunchRecord> launches_;
+  std::map<std::string, KernelAggregate> aggregates_;
+  double kernel_seconds_ = 0.0;
+  double transfer_seconds_ = 0.0;
+  double overhead_seconds_ = 0.0;
+  bool keep_launch_records_ = true;
+};
+
+}  // namespace turbobc::sim

@@ -1,0 +1,70 @@
+#include "gpusim/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "common/format.hpp"
+#include "common/table.hpp"
+
+namespace turbobc::sim {
+
+void print_kernel_profile(std::ostream& os, const Device& device) {
+  struct Row {
+    std::string name;
+    const KernelAggregate* agg;
+  };
+  std::vector<Row> rows;
+  for (const auto& [name, agg] : device.kernel_aggregates()) {
+    rows.push_back({name, &agg});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.agg->time_s > b.agg->time_s;
+  });
+
+  const int sector = device.props().sector_bytes;
+  Table t({"kernel", "launches", "total(ms)", "avg(us)", "ld tx", "st tx",
+           "L2 hit", "GLT(GB/s)"});
+  for (const Row& r : rows) {
+    const auto& a = *r.agg;
+    const auto total_tx = a.l2_hit_transactions + a.dram_transactions;
+    t.add_row({r.name, std::to_string(a.launches),
+               fixed(a.time_s * 1e3, 3),
+               fixed(a.time_s * 1e6 / static_cast<double>(a.launches), 1),
+               human_count(static_cast<double>(a.load_transactions)),
+               human_count(static_cast<double>(a.store_transactions)),
+               total_tx > 0
+                   ? fixed(100.0 * static_cast<double>(a.l2_hit_transactions) /
+                               static_cast<double>(total_tx),
+                           0) + "%"
+                   : "-",
+               fixed(a.glt_bps(sector) / 1e9, 1)});
+  }
+  t.print(os);
+}
+
+void write_chrome_trace(std::ostream& os, const Device& device) {
+  os << "{\"traceEvents\":[";
+  double cursor_us = 0.0;
+  bool first = true;
+  for (const LaunchRecord& rec : device.launches()) {
+    const double dur_us = rec.time_s * 1e6;
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << rec.kernel << "\",\"ph\":\"X\",\"pid\":1,"
+       << "\"tid\":1,\"ts\":" << fixed(cursor_us, 3)
+       << ",\"dur\":" << fixed(dur_us, 3) << ",\"args\":{"
+       << "\"warps\":" << rec.warps
+       << ",\"issue_slots\":" << rec.issue_slots
+       << ",\"load_transactions\":" << rec.load_transactions
+       << ",\"store_transactions\":" << rec.store_transactions
+       << ",\"l2_hits\":" << rec.l2_hit_transactions
+       << ",\"dram\":" << rec.dram_transactions
+       << ",\"glt_gbps\":"
+       << fixed(rec.glt_bps(device.props().sector_bytes) / 1e9, 2) << "}}";
+    cursor_us += dur_us;
+  }
+  os << "]}";
+}
+
+}  // namespace turbobc::sim

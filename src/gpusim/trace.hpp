@@ -1,0 +1,23 @@
+// Observability for the simulated device: a per-kernel profile report (the
+// text analogue of an nvprof summary) and a Chrome trace-event export of the
+// launch timeline (open chrome://tracing or https://ui.perfetto.dev and load
+// the JSON to see the kernels the way you would a real GPU capture).
+#pragma once
+
+#include <iosfwd>
+
+#include "gpusim/device.hpp"
+
+namespace turbobc::sim {
+
+/// Per-kernel-name summary: launches, total modeled time, average time,
+/// transactions, L2 hit rate and GLT — sorted by total time, descending.
+void print_kernel_profile(std::ostream& os, const Device& device);
+
+/// Chrome trace-event JSON ("traceEvents" array of complete events, one per
+/// launch, on a single simulated-GPU track; microsecond timestamps laid out
+/// back to back in launch order). Requires launch records
+/// (Device::set_keep_launch_records(true), the default).
+void write_chrome_trace(std::ostream& os, const Device& device);
+
+}  // namespace turbobc::sim

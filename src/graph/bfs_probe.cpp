@@ -1,0 +1,49 @@
+#include "graph/bfs_probe.hpp"
+
+#include "common/error.hpp"
+
+namespace turbobc::graph {
+
+BfsResult bfs_reference(const CscGraph& g, vidx_t source) {
+  const vidx_t n = g.num_vertices();
+  TBC_CHECK(source >= 0 && source < n, "BFS source out of range");
+
+  BfsResult r;
+  r.depth.assign(static_cast<std::size_t>(n), kInvalidVertex);
+  r.depth[source] = 0;
+  r.reached = 1;
+
+  // Level-synchronous sweep: a vertex v joins level d+1 when it is still
+  // undiscovered and has an in-neighbour at level <= d in the frontier set.
+  std::vector<char> in_frontier(static_cast<std::size_t>(n), 0);
+  in_frontier[source] = 1;
+  bool any = true;
+  vidx_t d = 0;
+  while (any) {
+    any = false;
+    std::vector<char> next(static_cast<std::size_t>(n), 0);
+    for (vidx_t v = 0; v < n; ++v) {
+      if (r.depth[v] != kInvalidVertex) continue;
+      const auto [begin, end] = g.column_range(v);
+      for (eidx_t k = begin; k < end; ++k) {
+        if (in_frontier[g.row_idx()[static_cast<std::size_t>(k)]]) {
+          next[v] = 1;
+          break;
+        }
+      }
+    }
+    ++d;
+    for (vidx_t v = 0; v < n; ++v) {
+      if (next[v]) {
+        r.depth[v] = d;
+        ++r.reached;
+        any = true;
+      }
+    }
+    in_frontier = std::move(next);
+  }
+  r.height = d - 1;
+  return r;
+}
+
+}  // namespace turbobc::graph

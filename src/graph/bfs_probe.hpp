@@ -1,0 +1,30 @@
+// Reference sequential BFS used for the `d` (BFS tree depth) columns of the
+// paper's tables and as the golden check for the simulated BFS stage.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/csc.hpp"
+
+namespace turbobc::graph {
+
+struct BfsResult {
+  /// depth[v] = shortest hop count from the source; -1 if unreachable.
+  std::vector<vidx_t> depth;
+  /// Height of the BFS tree (max finite depth).
+  vidx_t height = 0;
+  /// Number of vertices reachable from the source (including it).
+  vidx_t reached = 0;
+};
+
+/// BFS along arcs u -> v. `g` is the CSC of the adjacency matrix (column v
+/// holds in-neighbours), so traversal expands a frontier by scanning, for
+/// every v, whether some in-neighbour is in the frontier — functionally the
+/// same f_t = A^T f product the paper's Algorithm 1 performs. A conventional
+/// queue implementation over the reversed structure gives identical depths;
+/// this one exists to be *obviously* aligned with the linear-algebra
+/// formulation it validates.
+BfsResult bfs_reference(const CscGraph& g, vidx_t source);
+
+}  // namespace turbobc::graph

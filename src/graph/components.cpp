@@ -1,0 +1,78 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+#include "graph/csr.hpp"
+
+namespace turbobc::graph {
+
+vidx_t Components::largest() const {
+  TBC_CHECK(count > 0, "no components in an empty graph");
+  return static_cast<vidx_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+}
+
+Components weakly_connected_components(const EdgeList& graph) {
+  const vidx_t n = graph.num_vertices();
+  Components c;
+  c.component.assign(static_cast<std::size_t>(n), kInvalidVertex);
+
+  // Symmetrized adjacency for weak connectivity.
+  EdgeList undirected = graph;
+  undirected.symmetrize();
+  const CsrGraph adj = CsrGraph::from_edges(undirected);
+
+  for (vidx_t start = 0; start < n; ++start) {
+    if (c.component[static_cast<std::size_t>(start)] != kInvalidVertex) {
+      continue;
+    }
+    const vidx_t id = c.count++;
+    c.sizes.push_back(0);
+    std::queue<vidx_t> q;
+    c.component[static_cast<std::size_t>(start)] = id;
+    q.push(start);
+    while (!q.empty()) {
+      const vidx_t v = q.front();
+      q.pop();
+      ++c.sizes[static_cast<std::size_t>(id)];
+      const auto [b, e] = adj.row_range(v);
+      for (eidx_t k = b; k < e; ++k) {
+        const vidx_t w = adj.col_idx()[static_cast<std::size_t>(k)];
+        if (c.component[static_cast<std::size_t>(w)] == kInvalidVertex) {
+          c.component[static_cast<std::size_t>(w)] = id;
+          q.push(w);
+        }
+      }
+    }
+  }
+  return c;
+}
+
+EdgeList extract_component(const EdgeList& graph, const Components& comps,
+                           vidx_t component_id,
+                           std::vector<vidx_t>* mapping) {
+  TBC_CHECK(component_id >= 0 && component_id < comps.count,
+            "component id out of range");
+  const vidx_t n = graph.num_vertices();
+  std::vector<vidx_t> map(static_cast<std::size_t>(n), kInvalidVertex);
+  vidx_t next = 0;
+  for (vidx_t v = 0; v < n; ++v) {
+    if (comps.component[static_cast<std::size_t>(v)] == component_id) {
+      map[static_cast<std::size_t>(v)] = next++;
+    }
+  }
+
+  EdgeList sub(next, graph.directed());
+  for (const Edge& e : graph.edges()) {
+    const vidx_t u = map[static_cast<std::size_t>(e.u)];
+    const vidx_t v = map[static_cast<std::size_t>(e.v)];
+    if (u != kInvalidVertex && v != kInvalidVertex) sub.add_edge(u, v);
+  }
+  sub.canonicalize();
+  if (mapping != nullptr) *mapping = std::move(map);
+  return sub;
+}
+
+}  // namespace turbobc::graph

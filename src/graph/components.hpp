@@ -1,0 +1,39 @@
+// Connected components.
+//
+// BC treats disconnected graphs correctly by definition (unreachable pairs
+// contribute nothing), but pipelines around it want component structure: a
+// representative source per component, the giant component's share, or a
+// pruned graph. Weak connectivity (edge direction ignored) is the relevant
+// notion for source selection.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/edge_list.hpp"
+
+namespace turbobc::graph {
+
+struct Components {
+  /// component[v] in [0, count); components are numbered by discovery order
+  /// from vertex 0 upward.
+  std::vector<vidx_t> component;
+  vidx_t count = 0;
+  /// Vertices per component.
+  std::vector<vidx_t> sizes;
+
+  /// Id of the largest component (lowest id wins ties).
+  vidx_t largest() const;
+};
+
+/// Weakly connected components (direction ignored), by BFS.
+Components weakly_connected_components(const EdgeList& graph);
+
+/// The subgraph induced by one component, with vertices renumbered densely
+/// in ascending original order. `mapping` (optional out) receives
+/// old-vertex -> new-vertex (kInvalidVertex for dropped vertices).
+EdgeList extract_component(const EdgeList& graph, const Components& comps,
+                           vidx_t component_id,
+                           std::vector<vidx_t>* mapping = nullptr);
+
+}  // namespace turbobc::graph

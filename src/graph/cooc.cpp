@@ -1,0 +1,29 @@
+#include "graph/cooc.hpp"
+
+#include <algorithm>
+
+namespace turbobc::graph {
+
+CoocGraph CoocGraph::from_edges(const EdgeList& el) {
+  EdgeList canon = el;
+  canon.canonicalize();
+
+  CoocGraph g;
+  g.n_ = canon.num_vertices();
+  g.directed_ = canon.directed();
+
+  std::vector<Edge> edges = canon.edges();
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.v != b.v ? a.v < b.v : a.u < b.u;
+  });
+
+  g.row_idx_.reserve(edges.size());
+  g.col_idx_.reserve(edges.size());
+  for (const Edge& e : edges) {
+    g.row_idx_.push_back(e.u);
+    g.col_idx_.push_back(e.v);
+  }
+  return g;
+}
+
+}  // namespace turbobc::graph

@@ -1,0 +1,44 @@
+// COOC sparse format: the transpose-ordered coordinate format of the paper.
+//
+// Two parallel arrays of length m: row_idx (the paper's row_A, arc sources)
+// and col_idx (the paper's col_A, arc destinations), sorted by (column, row)
+// — i.e. the same nonzero order as the CSC expansion, which is what "the
+// transpose of the COO format" means. The scCOOC SpMV (Algorithm 2) assigns
+// one GPU thread per nonzero.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/edge_list.hpp"
+
+namespace turbobc::graph {
+
+class CoocGraph {
+ public:
+  CoocGraph() = default;
+
+  static CoocGraph from_edges(const EdgeList& el);
+
+  vidx_t num_vertices() const noexcept { return n_; }
+  eidx_t num_arcs() const noexcept {
+    return static_cast<eidx_t>(row_idx_.size());
+  }
+  bool directed() const noexcept { return directed_; }
+
+  const std::vector<vidx_t>& row_idx() const noexcept { return row_idx_; }
+  const std::vector<vidx_t>& col_idx() const noexcept { return col_idx_; }
+
+  /// Device-resident bytes: two m-element index arrays.
+  std::size_t storage_bytes() const noexcept {
+    return (row_idx_.size() + col_idx_.size()) * sizeof(vidx_t);
+  }
+
+ private:
+  vidx_t n_ = 0;
+  bool directed_ = true;
+  std::vector<vidx_t> row_idx_;
+  std::vector<vidx_t> col_idx_;
+};
+
+}  // namespace turbobc::graph

@@ -1,0 +1,31 @@
+#include "graph/csc.hpp"
+
+#include <algorithm>
+
+namespace turbobc::graph {
+
+CscGraph CscGraph::from_edges(const EdgeList& el) {
+  EdgeList canon = el;
+  canon.canonicalize();
+
+  CscGraph g;
+  g.n_ = canon.num_vertices();
+  g.directed_ = canon.directed();
+  const auto n = static_cast<std::size_t>(g.n_);
+  const auto& edges = canon.edges();
+
+  g.col_ptr_.assign(n + 1, 0);
+  for (const Edge& e : edges) ++g.col_ptr_[static_cast<std::size_t>(e.v) + 1];
+  for (std::size_t v = 0; v < n; ++v) g.col_ptr_[v + 1] += g.col_ptr_[v];
+
+  g.row_idx_.resize(edges.size());
+  std::vector<eidx_t> cursor(g.col_ptr_.begin(), g.col_ptr_.end() - 1);
+  for (const Edge& e : edges) {
+    g.row_idx_[static_cast<std::size_t>(cursor[e.v]++)] = e.u;
+  }
+  // Rows within each column ascend because the canonical edge order is
+  // (u, v) and the counting fill preserves it per column.
+  return g;
+}
+
+}  // namespace turbobc::graph

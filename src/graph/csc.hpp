@@ -1,0 +1,62 @@
+// Compressed Sparse Column adjacency matrix (the paper's CSC format).
+//
+// For an n x n binary adjacency matrix A with A(u,v) = 1 iff arc u -> v:
+//   * col_ptr (the paper's CP_A, size n+1) gives, for each column v, the
+//     range [col_ptr[v], col_ptr[v+1]) in row_idx;
+//   * row_idx (the paper's row_A, size m) stores the row indices u of the
+//     nonzeros of column v — i.e. the in-neighbours of v.
+//
+// Indices are 0-based (the paper's pseudocode is 1-based; IO converts).
+// Matching the paper's memory-footprint optimization, no value array exists:
+// the matrix is binary by construction (unweighted graphs).
+//
+// The forward SpMV f_t = A^T f of Algorithm 1 is a per-column gather over
+// this structure: f_t(v) = sum of f(u) over u in column v.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/edge_list.hpp"
+
+namespace turbobc::graph {
+
+class CscGraph {
+ public:
+  CscGraph() = default;
+
+  /// Build from an edge list (need not be canonical; duplicates and
+  /// self-loops are dropped).
+  static CscGraph from_edges(const EdgeList& el);
+
+  vidx_t num_vertices() const noexcept { return n_; }
+  eidx_t num_arcs() const noexcept {
+    return static_cast<eidx_t>(row_idx_.size());
+  }
+  bool directed() const noexcept { return directed_; }
+
+  const std::vector<eidx_t>& col_ptr() const noexcept { return col_ptr_; }
+  const std::vector<vidx_t>& row_idx() const noexcept { return row_idx_; }
+
+  /// In-neighbours of v (the nonzero rows of column v).
+  std::pair<eidx_t, eidx_t> column_range(vidx_t v) const {
+    return {col_ptr_[v], col_ptr_[v + 1]};
+  }
+
+  eidx_t in_degree(vidx_t v) const { return col_ptr_[v + 1] - col_ptr_[v]; }
+
+  /// Device-resident bytes for this structure: (n+1) column pointers plus m
+  /// row indices. With 32-bit row indices and 64-bit pointers this is what
+  /// the TurboBC host transfers to the GPU.
+  std::size_t storage_bytes() const noexcept {
+    return col_ptr_.size() * sizeof(eidx_t) + row_idx_.size() * sizeof(vidx_t);
+  }
+
+ private:
+  vidx_t n_ = 0;
+  bool directed_ = true;
+  std::vector<eidx_t> col_ptr_;
+  std::vector<vidx_t> row_idx_;
+};
+
+}  // namespace turbobc::graph

@@ -1,0 +1,40 @@
+#include "graph/csr.hpp"
+
+namespace turbobc::graph {
+
+CsrGraph CsrGraph::build(const EdgeList& canon, bool transposed) {
+  CsrGraph g;
+  g.n_ = canon.num_vertices();
+  g.directed_ = canon.directed();
+  const auto n = static_cast<std::size_t>(g.n_);
+  const auto& edges = canon.edges();
+
+  g.row_ptr_.assign(n + 1, 0);
+  for (const Edge& e : edges) {
+    ++g.row_ptr_[static_cast<std::size_t>(transposed ? e.v : e.u) + 1];
+  }
+  for (std::size_t u = 0; u < n; ++u) g.row_ptr_[u + 1] += g.row_ptr_[u];
+
+  g.col_idx_.resize(edges.size());
+  std::vector<eidx_t> cursor(g.row_ptr_.begin(), g.row_ptr_.end() - 1);
+  for (const Edge& e : edges) {
+    const auto key = static_cast<std::size_t>(transposed ? e.v : e.u);
+    g.col_idx_[static_cast<std::size_t>(cursor[key]++)] =
+        transposed ? e.u : e.v;
+  }
+  return g;
+}
+
+CsrGraph CsrGraph::from_edges(const EdgeList& el) {
+  EdgeList canon = el;
+  canon.canonicalize();
+  return build(canon, /*transposed=*/false);
+}
+
+CsrGraph CsrGraph::from_edges_transposed(const EdgeList& el) {
+  EdgeList canon = el;
+  canon.canonicalize();
+  return build(canon, /*transposed=*/true);
+}
+
+}  // namespace turbobc::graph

@@ -1,0 +1,52 @@
+// Compressed Sparse Row adjacency: out-neighbour lists.
+//
+// The row-major dual of CscGraph: row_ptr (size n+1) delimits, for each
+// vertex u, the range of its out-neighbours in col_idx (size m). TurboBC
+// itself never stores CSR (its memory story is one column-format per run),
+// but every traversal baseline needs out-adjacency — Brandes, the ligra-like
+// frontier framework, and the gunrock-like push advance all build it, so it
+// lives here once.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/edge_list.hpp"
+
+namespace turbobc::graph {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Out-adjacency of the edge list (need not be canonical).
+  static CsrGraph from_edges(const EdgeList& el);
+
+  /// In-adjacency (the transpose), same layout.
+  static CsrGraph from_edges_transposed(const EdgeList& el);
+
+  vidx_t num_vertices() const noexcept { return n_; }
+  eidx_t num_arcs() const noexcept {
+    return static_cast<eidx_t>(col_idx_.size());
+  }
+  bool directed() const noexcept { return directed_; }
+
+  const std::vector<eidx_t>& row_ptr() const noexcept { return row_ptr_; }
+  const std::vector<vidx_t>& col_idx() const noexcept { return col_idx_; }
+
+  std::pair<eidx_t, eidx_t> row_range(vidx_t u) const {
+    return {row_ptr_[u], row_ptr_[u + 1]};
+  }
+
+  eidx_t out_degree(vidx_t u) const { return row_ptr_[u + 1] - row_ptr_[u]; }
+
+ private:
+  static CsrGraph build(const EdgeList& canon, bool transposed);
+
+  vidx_t n_ = 0;
+  bool directed_ = true;
+  std::vector<eidx_t> row_ptr_;
+  std::vector<vidx_t> col_idx_;
+};
+
+}  // namespace turbobc::graph

@@ -1,0 +1,56 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace turbobc::graph {
+
+EdgeList::EdgeList(vidx_t n, bool directed) : n_(n), directed_(directed) {
+  TBC_CHECK(n >= 0, "vertex count must be non-negative");
+}
+
+void EdgeList::add_edge(vidx_t u, vidx_t v) {
+  TBC_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_,
+            "edge endpoint out of range");
+  edges_.push_back(Edge{u, v});
+}
+
+void EdgeList::canonicalize() {
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  std::erase_if(edges_, [](const Edge& e) { return e.u == e.v; });
+}
+
+void EdgeList::symmetrize() {
+  const std::size_t original = edges_.size();
+  edges_.reserve(original * 2);
+  for (std::size_t i = 0; i < original; ++i) {
+    edges_.push_back(Edge{edges_[i].v, edges_[i].u});
+  }
+  canonicalize();
+  directed_ = false;
+}
+
+std::vector<eidx_t> EdgeList::out_degrees() const {
+  std::vector<eidx_t> deg(static_cast<std::size_t>(n_), 0);
+  for (const Edge& e : edges_) ++deg[e.u];
+  return deg;
+}
+
+std::vector<eidx_t> EdgeList::in_degrees() const {
+  std::vector<eidx_t> deg(static_cast<std::size_t>(n_), 0);
+  for (const Edge& e : edges_) ++deg[e.v];
+  return deg;
+}
+
+EdgeList EdgeList::reversed() const {
+  EdgeList rev(n_, directed_);
+  rev.edges_.reserve(edges_.size());
+  for (const Edge& e : edges_) rev.edges_.push_back(Edge{e.v, e.u});
+  return rev;
+}
+
+}  // namespace turbobc::graph

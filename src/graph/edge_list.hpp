@@ -1,0 +1,64 @@
+// Edge-list graph representation: the construction/interchange format.
+//
+// An EdgeList is a list of directed arcs (u -> v) over vertices [0, n).
+// Undirected graphs are represented with both arcs present (after
+// symmetrize()), matching the paper's convention where `m` counts the
+// nonzeros of the adjacency matrix — e.g. the `smallworld` graph has mean
+// degree 10 and m = 10n. Sparse formats (CSC, COOC) are built from a
+// canonicalized EdgeList.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace turbobc::graph {
+
+struct Edge {
+  vidx_t u = 0;  // source (row of the adjacency matrix)
+  vidx_t v = 0;  // destination (column)
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class EdgeList {
+ public:
+  EdgeList() = default;
+  /// `directed` records intent: BC on undirected graphs halves the
+  /// accumulated dependencies (Brandes' double-counting compensation).
+  EdgeList(vidx_t n, bool directed);
+
+  vidx_t num_vertices() const noexcept { return n_; }
+  bool directed() const noexcept { return directed_; }
+  /// Number of arcs == adjacency-matrix nonzeros (the paper's m).
+  eidx_t num_arcs() const noexcept { return static_cast<eidx_t>(edges_.size()); }
+
+  const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// Append one arc; vertices must be in [0, n).
+  void add_edge(vidx_t u, vidx_t v);
+
+  /// Sort by (u, v), drop duplicate arcs and self-loops. Idempotent.
+  void canonicalize();
+
+  /// Ensure both (u,v) and (v,u) are present, canonicalize, and mark the
+  /// graph undirected.
+  void symmetrize();
+
+  /// Out-degree of every vertex (the degree used by the scf metric:
+  /// "for directed graphs degree(u) = out.degree(u)").
+  std::vector<eidx_t> out_degrees() const;
+
+  /// In-degree of every vertex.
+  std::vector<eidx_t> in_degrees() const;
+
+  /// The transpose graph (every arc reversed).
+  EdgeList reversed() const;
+
+ private:
+  vidx_t n_ = 0;
+  bool directed_ = true;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace turbobc::graph

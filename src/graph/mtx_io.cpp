@@ -1,0 +1,134 @@
+#include "graph/mtx_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace turbobc::graph {
+
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// getline keeps the '\r' of CRLF files; SuiteSparse archives contain both
+/// encodings, so every line is stripped before parsing.
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+}  // namespace
+
+EdgeList read_matrix_market(std::istream& in) {
+  std::string line;
+  TBC_CHECK(static_cast<bool>(std::getline(in, line)),
+            "empty Matrix Market stream");
+  strip_cr(line);
+
+  std::istringstream header(line);
+  std::string banner, object, fmt, field, symmetry;
+  header >> banner >> object >> fmt >> field >> symmetry;
+  TBC_CHECK(banner == "%%MatrixMarket", "missing %%MatrixMarket banner");
+  TBC_CHECK(to_lower(object) == "matrix", "only matrix objects are supported");
+  TBC_CHECK(to_lower(fmt) == "coordinate",
+            "only coordinate (sparse) format is supported");
+  field = to_lower(field);
+  symmetry = to_lower(symmetry);
+  TBC_CHECK(field == "pattern" || field == "real" || field == "integer",
+            "unsupported Matrix Market field type: " + field);
+  TBC_CHECK(symmetry == "general" || symmetry == "symmetric",
+            "unsupported Matrix Market symmetry: " + symmetry);
+  const bool has_value = field != "pattern";
+  const bool symmetric = symmetry == "symmetric";
+
+  // Skip comments, read the size line.
+  do {
+    TBC_CHECK(static_cast<bool>(std::getline(in, line)),
+              "Matrix Market stream ended before size line");
+    strip_cr(line);
+  } while (!line.empty() && line[0] == '%');
+
+  long long rows = 0, cols = 0, nnz = 0;
+  {
+    std::istringstream size_line(line);
+    size_line >> rows >> cols >> nnz;
+    TBC_CHECK(!size_line.fail(), "malformed Matrix Market size line");
+  }
+  TBC_CHECK(rows == cols, "adjacency matrices must be square");
+  TBC_CHECK(rows >= 0 && nnz >= 0, "negative Matrix Market dimensions");
+
+  EdgeList el(static_cast<vidx_t>(rows), !symmetric);
+  long long seen = 0;
+  while (seen < nnz && std::getline(in, line)) {
+    strip_cr(line);
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream entry(line);
+    long long r = 0, c = 0;
+    entry >> r >> c;
+    TBC_CHECK(!entry.fail(), "malformed Matrix Market entry: " + line);
+    if (has_value) {
+      double value = 0.0;
+      entry >> value;  // discarded: graphs are treated as unweighted
+    }
+    TBC_CHECK(r >= 1 && r <= rows && c >= 1 && c <= cols,
+              "Matrix Market entry out of range: " + line);
+    // Matrix entry A(r, c) is the arc r -> c.
+    el.add_edge(static_cast<vidx_t>(r - 1), static_cast<vidx_t>(c - 1));
+    ++seen;
+  }
+  TBC_CHECK(seen == nnz, "Matrix Market stream ended before all entries");
+
+  if (symmetric) {
+    el.symmetrize();
+  } else {
+    el.canonicalize();
+  }
+  return el;
+}
+
+EdgeList read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  TBC_CHECK(in.good(), "cannot open Matrix Market file: " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const EdgeList& el) {
+  const bool symmetric = !el.directed();
+  out << "%%MatrixMarket matrix coordinate pattern "
+      << (symmetric ? "symmetric" : "general") << '\n';
+  out << "% written by TurboBC\n";
+
+  if (symmetric) {
+    // Symmetric storage keeps one triangle; emit arcs with u >= v.
+    eidx_t kept = 0;
+    for (const Edge& e : el.edges()) {
+      if (e.u >= e.v) ++kept;
+    }
+    out << el.num_vertices() << ' ' << el.num_vertices() << ' ' << kept
+        << '\n';
+    for (const Edge& e : el.edges()) {
+      if (e.u >= e.v) out << (e.u + 1) << ' ' << (e.v + 1) << '\n';
+    }
+  } else {
+    out << el.num_vertices() << ' ' << el.num_vertices() << ' '
+        << el.num_arcs() << '\n';
+    for (const Edge& e : el.edges()) {
+      out << (e.u + 1) << ' ' << (e.v + 1) << '\n';
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const EdgeList& el) {
+  std::ofstream out(path);
+  TBC_CHECK(out.good(), "cannot open file for writing: " + path);
+  write_matrix_market(out, el);
+}
+
+}  // namespace turbobc::graph

@@ -1,0 +1,33 @@
+// Matrix Market IO.
+//
+// The paper's benchmark graphs come from the SuiteSparse Matrix Collection
+// and SNAP, distributed as Matrix Market (.mtx) files. This reader accepts
+// the subset that occurs there for adjacency matrices:
+//   %%MatrixMarket matrix coordinate {pattern|real|integer} {general|symmetric}
+// Weights are discarded ("the weighted graphs were considered unweighted
+// graphs for all the experiments"), symmetric storage is expanded to both
+// arcs, 1-based indices become 0-based, and self-loops/duplicates are left
+// to EdgeList::canonicalize().
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace turbobc::graph {
+
+/// Parse a Matrix Market stream into an EdgeList. Non-square matrices and
+/// unsupported headers throw turbobc::InvalidArgument.
+EdgeList read_matrix_market(std::istream& in);
+
+/// Convenience file wrapper; throws on unreadable paths.
+EdgeList read_matrix_market_file(const std::string& path);
+
+/// Write an EdgeList as 1-based "coordinate pattern general" (directed) or
+/// "coordinate pattern symmetric" (undirected; lower-triangular entries).
+void write_matrix_market(std::ostream& out, const EdgeList& el);
+
+void write_matrix_market_file(const std::string& path, const EdgeList& el);
+
+}  // namespace turbobc::graph

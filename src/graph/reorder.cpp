@@ -1,0 +1,115 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "graph/csr.hpp"
+
+namespace turbobc::graph {
+
+std::vector<vidx_t> rcm_order(const EdgeList& graph) {
+  const vidx_t n = graph.num_vertices();
+
+  // Work on the symmetrized structure: locality matters for both the
+  // forward (in-neighbour) and backward (out-neighbour) passes.
+  EdgeList sym = graph;
+  sym.symmetrize();
+  const CsrGraph adj = CsrGraph::from_edges(sym);
+
+  std::vector<vidx_t> degree(static_cast<std::size_t>(n));
+  for (vidx_t v = 0; v < n; ++v) {
+    degree[static_cast<std::size_t>(v)] = static_cast<vidx_t>(adj.out_degree(v));
+  }
+
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<vidx_t> cm_order;  // Cuthill-McKee order (reversed at the end)
+  cm_order.reserve(static_cast<std::size_t>(n));
+
+  // Process vertices in ascending-degree order as component seeds: a
+  // minimum-degree start vertex approximates a peripheral vertex.
+  std::vector<vidx_t> seeds(static_cast<std::size_t>(n));
+  for (vidx_t v = 0; v < n; ++v) seeds[static_cast<std::size_t>(v)] = v;
+  std::sort(seeds.begin(), seeds.end(), [&](vidx_t a, vidx_t b) {
+    return degree[static_cast<std::size_t>(a)] <
+           degree[static_cast<std::size_t>(b)];
+  });
+
+  std::vector<vidx_t> nbrs;
+  for (const vidx_t seed : seeds) {
+    if (visited[static_cast<std::size_t>(seed)]) continue;
+    std::queue<vidx_t> q;
+    visited[static_cast<std::size_t>(seed)] = 1;
+    q.push(seed);
+    while (!q.empty()) {
+      const vidx_t v = q.front();
+      q.pop();
+      cm_order.push_back(v);
+      // Enqueue unvisited neighbours by ascending degree (the CM rule).
+      nbrs.clear();
+      const auto [b, e] = adj.row_range(v);
+      for (eidx_t k = b; k < e; ++k) {
+        const vidx_t w = adj.col_idx()[static_cast<std::size_t>(k)];
+        if (!visited[static_cast<std::size_t>(w)]) {
+          visited[static_cast<std::size_t>(w)] = 1;
+          nbrs.push_back(w);
+        }
+      }
+      std::sort(nbrs.begin(), nbrs.end(), [&](vidx_t a, vidx_t b2) {
+        return degree[static_cast<std::size_t>(a)] <
+               degree[static_cast<std::size_t>(b2)];
+      });
+      for (const vidx_t w : nbrs) q.push(w);
+    }
+  }
+
+  // Reverse (the "R" in RCM) and invert into new_id[old_id].
+  std::vector<vidx_t> new_id(static_cast<std::size_t>(n));
+  for (std::size_t pos = 0; pos < cm_order.size(); ++pos) {
+    new_id[static_cast<std::size_t>(cm_order[pos])] =
+        static_cast<vidx_t>(cm_order.size() - 1 - pos);
+  }
+  return new_id;
+}
+
+std::vector<vidx_t> random_order(vidx_t n, std::uint64_t seed) {
+  std::vector<vidx_t> new_id(static_cast<std::size_t>(n));
+  for (vidx_t v = 0; v < n; ++v) new_id[static_cast<std::size_t>(v)] = v;
+  Xoshiro256 rng(seed);
+  for (std::size_t i = new_id.size(); i > 1; --i) {
+    std::swap(new_id[i - 1], new_id[rng.uniform(i)]);
+  }
+  return new_id;
+}
+
+EdgeList apply_order(const EdgeList& graph, const std::vector<vidx_t>& new_id) {
+  TBC_CHECK(new_id.size() == static_cast<std::size_t>(graph.num_vertices()),
+            "permutation size must equal vertex count");
+  // Validate it is a permutation.
+  std::vector<char> seen(new_id.size(), 0);
+  for (const vidx_t id : new_id) {
+    TBC_CHECK(id >= 0 && static_cast<std::size_t>(id) < new_id.size() &&
+                  !seen[static_cast<std::size_t>(id)],
+              "new_id is not a permutation");
+    seen[static_cast<std::size_t>(id)] = 1;
+  }
+
+  EdgeList out(graph.num_vertices(), graph.directed());
+  for (const Edge& e : graph.edges()) {
+    out.add_edge(new_id[static_cast<std::size_t>(e.u)],
+                 new_id[static_cast<std::size_t>(e.v)]);
+  }
+  out.canonicalize();
+  return out;
+}
+
+vidx_t bandwidth(const EdgeList& graph) {
+  vidx_t bw = 0;
+  for (const Edge& e : graph.edges()) {
+    bw = std::max(bw, static_cast<vidx_t>(std::abs(e.u - e.v)));
+  }
+  return bw;
+}
+
+}  // namespace turbobc::graph

@@ -1,0 +1,35 @@
+// Vertex reordering for memory locality.
+//
+// The simulated device charges real coalescing costs, so vertex ordering is
+// measurable: the scalar CSC kernels gather x(row_A(k)) — when a column's
+// in-neighbours have nearby ids, those gathers hit adjacent sectors and the
+// L2. Reverse Cuthill-McKee (RCM) minimizes exactly that spread (the matrix
+// bandwidth). Betweenness centrality itself is invariant under relabeling
+// (tests pin this), so reordering is a pure locality optimization — the
+// classic preprocessing step real SpMV pipelines apply, and a natural
+// companion to the paper's memory-efficiency theme.
+// bench_ablation_reordering measures the effect.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/edge_list.hpp"
+
+namespace turbobc::graph {
+
+/// Reverse Cuthill-McKee ordering, per weakly-connected component (BFS from
+/// a minimum-degree peripheral vertex, neighbours visited by ascending
+/// degree, order reversed). Returns new_id[old_id].
+std::vector<vidx_t> rcm_order(const EdgeList& graph);
+
+/// Random permutation (the worst case, for ablation baselines).
+std::vector<vidx_t> random_order(vidx_t n, std::uint64_t seed);
+
+/// Relabel every vertex: edge (u, v) becomes (new_id[u], new_id[v]).
+EdgeList apply_order(const EdgeList& graph, const std::vector<vidx_t>& new_id);
+
+/// Matrix bandwidth: max |u - v| over arcs. RCM exists to shrink this.
+vidx_t bandwidth(const EdgeList& graph);
+
+}  // namespace turbobc::graph

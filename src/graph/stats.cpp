@@ -1,0 +1,51 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace turbobc::graph {
+
+DegreeStats degree_stats(const EdgeList& el) {
+  DegreeStats s;
+  const auto deg = el.out_degrees();
+  if (deg.empty()) return s;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (const eidx_t d : deg) {
+    s.max = std::max(s.max, d);
+    const auto dd = static_cast<double>(d);
+    sum += dd;
+    sumsq += dd * dd;
+  }
+  const auto n = static_cast<double>(deg.size());
+  s.mean = sum / n;
+  const double var = std::max(0.0, sumsq / n - s.mean * s.mean);
+  s.stddev = std::sqrt(var);
+  return s;
+}
+
+double scf_raw(const EdgeList& el) {
+  const auto deg = el.out_degrees();
+  double s = 0.0;
+  for (const Edge& e : el.edges()) {
+    s += static_cast<double>(deg[e.u]) * static_cast<double>(deg[e.v]);
+  }
+  return s;
+}
+
+double scf_index(const EdgeList& el) {
+  if (el.num_arcs() == 0) return 0.0;
+  const auto deg = el.out_degrees();
+  double second_moment = 0.0;
+  for (const eidx_t d : deg) {
+    second_moment += static_cast<double>(d) * static_cast<double>(d);
+  }
+  if (second_moment <= 0.0) return 0.0;
+  return scf_raw(el) / second_moment;
+}
+
+bool is_irregular(const EdgeList& el) {
+  return scf_index(el) > kIrregularScfThreshold;
+}
+
+}  // namespace turbobc::graph

@@ -1,0 +1,50 @@
+// Structural graph statistics: the parameter columns of the paper's tables
+// (degree max/mean/std, BFS depth d) and the scale-free metric scf used to
+// classify graphs as regular or irregular (Section 3.1).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "graph/edge_list.hpp"
+
+namespace turbobc::graph {
+
+struct DegreeStats {
+  eidx_t max = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Out-degree statistics (the paper uses out-degree for directed graphs).
+DegreeStats degree_stats(const EdgeList& el);
+
+/// Raw scale-free metric of Li et al. (the paper's Eq. 5):
+///   s(G) = sum over arcs (u,v) of degree(u) * degree(v)
+/// with degree = out-degree for directed graphs. Returned as double: on
+/// hub-heavy graphs the sum overflows 64-bit integers.
+double scf_raw(const EdgeList& el);
+
+/// Normalized scale-free index reported in our tables:
+///   scf = s(G) / sum_u degree(u)^2
+/// i.e. Eq. 5 normalized by the second degree moment. This reproduces the
+/// paper's (unspecified) normalization remarkably well on its own families:
+/// star-like traces (mawi) and paths/roads score ~2 (the paper reports 2),
+/// lattices score ~mean degree (paper: 10-13), while hub-assortative graphs
+/// (mycielski, kronecker) score in the thousands (paper: 5846-651837).
+/// Thresholds are calibrated on the same graph families
+/// (bench_ablation_scf prints the measured values per family).
+double scf_index(const EdgeList& el);
+
+/// Classification used by turbobc::bc::select_variant. Graphs whose scf
+/// index exceeds this are treated as irregular (use veCSC). The index grows
+/// with graph size for hub-assortative families (the paper's full-size
+/// irregular graphs score 5846-651837; its regular ones <= 224); at this
+/// repo's scaled benchmark sizes the measured boundary sits between ~21
+/// (regular families) and ~46 (mycielski/kronecker) — see
+/// bench_ablation_scf for the measured values.
+inline constexpr double kIrregularScfThreshold = 30.0;
+
+bool is_irregular(const EdgeList& el);
+
+}  // namespace turbobc::graph

@@ -1,0 +1,75 @@
+// Device-resident sparse adjacency structures.
+//
+// Matching the paper's memory strategy, exactly ONE storage format is
+// uploaded per BC computation, the value array of the binary matrix is never
+// materialized, and the index arrays are 32-bit words — so the device-side
+// inventory is (n+1) + m words for CSC and 2m words for COOC (Figure 4).
+#pragma once
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "gpusim/buffer.hpp"
+#include "graph/cooc.hpp"
+#include "graph/csc.hpp"
+
+namespace turbobc::spmv {
+
+/// 32-bit device edge offset (the paper's CP_A entries). All workloads in
+/// this repo keep m below 2^31; construction checks.
+using dptr_t = std::int32_t;
+
+class DeviceCsc {
+ public:
+  DeviceCsc(sim::Device& device, const graph::CscGraph& g)
+      : n_(g.num_vertices()),
+        m_(g.num_arcs()),
+        col_ptr_(device, static_cast<std::size_t>(n_) + 1, "CP_A"),
+        row_idx_(device, static_cast<std::size_t>(m_), "row_A") {
+    TBC_CHECK(m_ <= std::numeric_limits<dptr_t>::max(),
+              "graph too large for 32-bit device column pointers");
+    std::vector<dptr_t> cp(g.col_ptr().size());
+    for (std::size_t i = 0; i < cp.size(); ++i) {
+      cp[i] = static_cast<dptr_t>(g.col_ptr()[i]);
+    }
+    col_ptr_.copy_from_host(cp);
+    row_idx_.copy_from_host(g.row_idx());
+  }
+
+  vidx_t n() const noexcept { return n_; }
+  eidx_t m() const noexcept { return m_; }
+  const sim::DeviceBuffer<dptr_t>& col_ptr() const noexcept { return col_ptr_; }
+  const sim::DeviceBuffer<vidx_t>& row_idx() const noexcept { return row_idx_; }
+
+ private:
+  vidx_t n_;
+  eidx_t m_;
+  sim::DeviceBuffer<dptr_t> col_ptr_;
+  sim::DeviceBuffer<vidx_t> row_idx_;
+};
+
+class DeviceCooc {
+ public:
+  DeviceCooc(sim::Device& device, const graph::CoocGraph& g)
+      : n_(g.num_vertices()),
+        m_(g.num_arcs()),
+        row_idx_(device, static_cast<std::size_t>(m_), "row_A"),
+        col_idx_(device, static_cast<std::size_t>(m_), "col_A") {
+    row_idx_.copy_from_host(g.row_idx());
+    col_idx_.copy_from_host(g.col_idx());
+  }
+
+  vidx_t n() const noexcept { return n_; }
+  eidx_t m() const noexcept { return m_; }
+  const sim::DeviceBuffer<vidx_t>& row_idx() const noexcept { return row_idx_; }
+  const sim::DeviceBuffer<vidx_t>& col_idx() const noexcept { return col_idx_; }
+
+ private:
+  vidx_t n_;
+  eidx_t m_;
+  sim::DeviceBuffer<vidx_t> row_idx_;
+  sim::DeviceBuffer<vidx_t> col_idx_;
+};
+
+}  // namespace turbobc::spmv

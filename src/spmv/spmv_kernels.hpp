@@ -1,0 +1,298 @@
+// Simulated-GPU SpMV kernels: the three TurboBC variants of Section 3.3.
+//
+//  * scCOOC — one thread per nonzero (Algorithm 2 parallelized): loads
+//    x(row_A(k)) with perfectly coalesced index reads and atomically
+//    scatters into y(col_A(k)). Immune to per-vertex degree skew (no thread
+//    ever loops), which is why the paper picks it for graphs with
+//    mega-degree outliers (mawi-*, Table 2).
+//  * scCSC — one thread per column (Algorithm 3 parallelized): the sigma
+//    mask skips discovered columns, then the thread serially gathers its
+//    column. Fast on regular graphs; degree skew turns into warp-level load
+//    imbalance (the thread with the fat column stalls its warp).
+//  * veCSC — one warp per column (Algorithm 4): lanes stride the column,
+//    a shuffle reduction combines lane sums, lane 0 writes. Coalesced and
+//    balanced within the column — the irregular-graph variant.
+//
+// Forward (BFS) kernels are masked by sigma == 0; backward (dependency)
+// kernels are unmasked, and come in gather form (symmetric matrices,
+// undirected graphs) and scatter form (directed graphs need out-neighbour
+// sums through the same single stored structure — see DESIGN.md).
+//
+// All kernels are templated on the vector element type: the BFS stage runs
+// on integers (sigma_t) and the dependency stage on doubles; the datatype
+// ablation bench instantiates the float versions.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/kernel.hpp"
+#include "spmv/device_graph.hpp"
+
+namespace turbobc::spmv {
+
+/// Grid size for warp-per-column kernels: enough warps to fill the device,
+/// columns handled with a grid stride.
+inline std::uint64_t vecsc_grid_warps(const sim::Device& device, vidx_t n) {
+  const auto full = static_cast<std::uint64_t>(
+      device.props().sm_count * device.props().issue_slots_per_sm * 32);
+  return std::min<std::uint64_t>(static_cast<std::uint64_t>(n), full);
+}
+
+// ---------------------------------------------------------------------------
+// Forward (masked) kernels: y(v) = sum_{u in column v} x(u) where sigma(v)==0.
+// `y` must be zeroed beforehand.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void spmv_forward_sccooc(sim::Device& device, const DeviceCooc& g,
+                         const sim::DeviceBuffer<T>& x,
+                         sim::DeviceBuffer<T>& y) {
+  // Algorithm 2 verbatim: no sigma mask inside the kernel — the paper masks
+  // f in a separate step (Algorithm 1 lines 20-22), so on dense frontiers
+  // every positive-x edge fires an atomic. That unmasked atomic stream is
+  // also why the integer-vs-float datatype choice matters so much on this
+  // variant (Section 3.4).
+  sim::launch_scalar(
+      device, "bfs_spmv_sccooc", static_cast<std::uint64_t>(g.m()),
+      [&](sim::ThreadCtx& t) {
+        const auto k = static_cast<std::size_t>(t.global_id());
+        const vidx_t row = g.row_idx().load(t, k);
+        const T xv = x.load(t, static_cast<std::size_t>(row));
+        t.count_ops(1);
+        if (xv > 0) {
+          const vidx_t col = g.col_idx().load(t, k);
+          y.atomic_add(t, static_cast<std::size_t>(col), xv);
+        }
+      });
+}
+
+template <typename T, typename M>
+void spmv_forward_sccsc(sim::Device& device, const DeviceCsc& g,
+                        const sim::DeviceBuffer<T>& x,
+                        sim::DeviceBuffer<T>& y,
+                        const sim::DeviceBuffer<M>& sigma) {
+  sim::launch_scalar(
+      device, "bfs_spmv_sccsc", static_cast<std::uint64_t>(g.n()),
+      [&](sim::ThreadCtx& t) {
+        const auto i = static_cast<std::size_t>(t.global_id());
+        if (sigma.load(t, i) != 0) return;
+        const dptr_t begin = g.col_ptr().load(t, i);
+        const dptr_t end = g.col_ptr().load(t, i + 1);
+        T sum = 0;
+        for (dptr_t k = begin; k < end; ++k) {
+          const vidx_t row = g.row_idx().load(t, static_cast<std::size_t>(k));
+          sum += x.load(t, static_cast<std::size_t>(row));
+          t.count_ops(1);
+        }
+        if (sum > 0) y.store(t, i, sum);
+      });
+}
+
+template <typename T, typename M>
+void spmv_forward_vecsc(sim::Device& device, const DeviceCsc& g,
+                        const sim::DeviceBuffer<T>& x,
+                        sim::DeviceBuffer<T>& y,
+                        const sim::DeviceBuffer<M>& sigma) {
+  const vidx_t n = g.n();
+  sim::launch_warp(
+      device, "bfs_spmv_vecsc", vecsc_grid_warps(device, n),
+      [&](sim::WarpCtx& w) {
+        for (auto col = static_cast<vidx_t>(w.warp_id()); col < n;
+             col = static_cast<vidx_t>(col + w.num_warps())) {
+          if (w.broadcast_load(sigma, static_cast<std::size_t>(col)) != 0) {
+            continue;
+          }
+          const dptr_t begin =
+              w.broadcast_load(g.col_ptr(), static_cast<std::size_t>(col));
+          const dptr_t end =
+              w.broadcast_load(g.col_ptr(), static_cast<std::size_t>(col) + 1);
+          std::array<T, sim::kWarpSize> sum{};
+          for (dptr_t base = begin; base < end; base += sim::kWarpSize) {
+            std::uint32_t mask = 0;
+            for (int lane = 0; lane < sim::kWarpSize; ++lane) {
+              if (base + lane < end) mask |= 1u << lane;
+            }
+            const auto rows = w.gather(g.row_idx(), mask, [&](int lane) {
+              return static_cast<std::size_t>(base + lane);
+            });
+            const auto vals = w.gather(x, mask, [&](int lane) {
+              return static_cast<std::size_t>(rows[lane]);
+            });
+            for (int lane = 0; lane < sim::kWarpSize; ++lane) {
+              if ((mask >> lane) & 1u) sum[lane] += vals[lane];
+            }
+            w.count_ops(1);
+          }
+          const T total = w.reduce_add(sum);
+          if (total > 0) {
+            w.scatter(y, 0x1u,
+                      [&](int) { return static_cast<std::size_t>(col); },
+                      [&](int) { return total; });
+          }
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Backward (unmasked) kernels.
+// Gather form: y(v) += sum over column v of x(row). Correct out-neighbour
+// sum only when the matrix is symmetric (undirected graphs).
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void spmv_backward_gather_sccsc(sim::Device& device, const DeviceCsc& g,
+                                const sim::DeviceBuffer<T>& x,
+                                sim::DeviceBuffer<T>& y) {
+  sim::launch_scalar(
+      device, "dep_spmv_sccsc", static_cast<std::uint64_t>(g.n()),
+      [&](sim::ThreadCtx& t) {
+        const auto i = static_cast<std::size_t>(t.global_id());
+        const dptr_t begin = g.col_ptr().load(t, i);
+        const dptr_t end = g.col_ptr().load(t, i + 1);
+        T sum = 0;
+        for (dptr_t k = begin; k < end; ++k) {
+          const vidx_t row = g.row_idx().load(t, static_cast<std::size_t>(k));
+          sum += x.load(t, static_cast<std::size_t>(row));
+          t.count_ops(1);
+        }
+        if (sum != 0) y.store(t, i, sum);
+      });
+}
+
+template <typename T>
+void spmv_backward_gather_vecsc(sim::Device& device, const DeviceCsc& g,
+                                const sim::DeviceBuffer<T>& x,
+                                sim::DeviceBuffer<T>& y) {
+  const vidx_t n = g.n();
+  sim::launch_warp(
+      device, "dep_spmv_vecsc", vecsc_grid_warps(device, n),
+      [&](sim::WarpCtx& w) {
+        for (auto col = static_cast<vidx_t>(w.warp_id()); col < n;
+             col = static_cast<vidx_t>(col + w.num_warps())) {
+          const dptr_t begin =
+              w.broadcast_load(g.col_ptr(), static_cast<std::size_t>(col));
+          const dptr_t end =
+              w.broadcast_load(g.col_ptr(), static_cast<std::size_t>(col) + 1);
+          std::array<T, sim::kWarpSize> sum{};
+          for (dptr_t base = begin; base < end; base += sim::kWarpSize) {
+            std::uint32_t mask = 0;
+            for (int lane = 0; lane < sim::kWarpSize; ++lane) {
+              if (base + lane < end) mask |= 1u << lane;
+            }
+            const auto rows = w.gather(g.row_idx(), mask, [&](int lane) {
+              return static_cast<std::size_t>(base + lane);
+            });
+            const auto vals = w.gather(x, mask, [&](int lane) {
+              return static_cast<std::size_t>(rows[lane]);
+            });
+            for (int lane = 0; lane < sim::kWarpSize; ++lane) {
+              if ((mask >> lane) & 1u) sum[lane] += vals[lane];
+            }
+            w.count_ops(1);
+          }
+          const T total = w.reduce_add(sum);
+          if (total != 0) {
+            w.scatter(y, 0x1u,
+                      [&](int) { return static_cast<std::size_t>(col); },
+                      [&](int) { return total; });
+          }
+        }
+      });
+}
+
+template <typename T>
+void spmv_backward_gather_sccooc(sim::Device& device, const DeviceCooc& g,
+                                 const sim::DeviceBuffer<T>& x,
+                                 sim::DeviceBuffer<T>& y) {
+  sim::launch_scalar(
+      device, "dep_spmv_sccooc", static_cast<std::uint64_t>(g.m()),
+      [&](sim::ThreadCtx& t) {
+        const auto k = static_cast<std::size_t>(t.global_id());
+        const vidx_t row = g.row_idx().load(t, k);
+        const T xv = x.load(t, static_cast<std::size_t>(row));
+        t.count_ops(1);
+        if (xv != 0) {
+          const vidx_t col = g.col_idx().load(t, k);
+          y.atomic_add(t, static_cast<std::size_t>(col), xv);
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Scatter form: y(row) += x(col) through the same stored structure — the
+// transposed product, used by the backward stage on directed graphs.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void spmv_backward_scatter_sccsc(sim::Device& device, const DeviceCsc& g,
+                                 const sim::DeviceBuffer<T>& x,
+                                 sim::DeviceBuffer<T>& y) {
+  sim::launch_scalar(
+      device, "dep_spmv_sccsc_scatter", static_cast<std::uint64_t>(g.n()),
+      [&](sim::ThreadCtx& t) {
+        const auto w = static_cast<std::size_t>(t.global_id());
+        const T xv = x.load(t, w);
+        if (xv == 0) return;
+        const dptr_t begin = g.col_ptr().load(t, w);
+        const dptr_t end = g.col_ptr().load(t, w + 1);
+        for (dptr_t k = begin; k < end; ++k) {
+          const vidx_t row = g.row_idx().load(t, static_cast<std::size_t>(k));
+          y.atomic_add(t, static_cast<std::size_t>(row), xv);
+          t.count_ops(1);
+        }
+      });
+}
+
+template <typename T>
+void spmv_backward_scatter_vecsc(sim::Device& device, const DeviceCsc& g,
+                                 const sim::DeviceBuffer<T>& x,
+                                 sim::DeviceBuffer<T>& y) {
+  const vidx_t n = g.n();
+  sim::launch_warp(
+      device, "dep_spmv_vecsc_scatter", vecsc_grid_warps(device, n),
+      [&](sim::WarpCtx& w) {
+        for (auto col = static_cast<vidx_t>(w.warp_id()); col < n;
+             col = static_cast<vidx_t>(col + w.num_warps())) {
+          const T xv = w.broadcast_load(x, static_cast<std::size_t>(col));
+          if (xv == 0) continue;
+          const dptr_t begin =
+              w.broadcast_load(g.col_ptr(), static_cast<std::size_t>(col));
+          const dptr_t end =
+              w.broadcast_load(g.col_ptr(), static_cast<std::size_t>(col) + 1);
+          for (dptr_t base = begin; base < end; base += sim::kWarpSize) {
+            std::uint32_t mask = 0;
+            for (int lane = 0; lane < sim::kWarpSize; ++lane) {
+              if (base + lane < end) mask |= 1u << lane;
+            }
+            const auto rows = w.gather(g.row_idx(), mask, [&](int lane) {
+              return static_cast<std::size_t>(base + lane);
+            });
+            w.atomic_add(y, mask,
+                         [&](int lane) {
+                           return static_cast<std::size_t>(rows[lane]);
+                         },
+                         [&](int) { return xv; });
+          }
+        }
+      });
+}
+
+template <typename T>
+void spmv_backward_scatter_sccooc(sim::Device& device, const DeviceCooc& g,
+                                  const sim::DeviceBuffer<T>& x,
+                                  sim::DeviceBuffer<T>& y) {
+  sim::launch_scalar(
+      device, "dep_spmv_sccooc_scatter", static_cast<std::uint64_t>(g.m()),
+      [&](sim::ThreadCtx& t) {
+        const auto k = static_cast<std::size_t>(t.global_id());
+        const vidx_t col = g.col_idx().load(t, k);
+        const T xv = x.load(t, static_cast<std::size_t>(col));
+        t.count_ops(1);
+        if (xv != 0) {
+          const vidx_t row = g.row_idx().load(t, k);
+          y.atomic_add(t, static_cast<std::size_t>(row), xv);
+        }
+      });
+}
+
+}  // namespace turbobc::spmv

@@ -1,0 +1,294 @@
+#include "tools/commands.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+#include <ostream>
+
+#include "baselines/brandes.hpp"
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "core/autotune.hpp"
+#include "core/footprint.hpp"
+#include "core/turbobc.hpp"
+#include "core/turbobc_batched.hpp"
+#include "core/turbobfs.hpp"
+#include "generators/generators.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/trace.hpp"
+#include "graph/bfs_probe.hpp"
+#include "graph/mtx_io.hpp"
+#include "graph/stats.hpp"
+
+namespace turbobc::tools {
+
+namespace {
+
+graph::EdgeList load_graph(const CliArgs& args, std::size_t positional_index) {
+  TBC_CHECK(args.positional().size() > positional_index,
+            "missing graph file argument");
+  return graph::read_matrix_market_file(args.positional()[positional_index]);
+}
+
+bc::Variant parse_variant(const CliArgs& args, const graph::EdgeList& g) {
+  const std::string v = args.get("variant", "auto");
+  if (v == "sccooc") return bc::Variant::kScCooc;
+  if (v == "sccsc") return bc::Variant::kScCsc;
+  if (v == "vecsc") return bc::Variant::kVeCsc;
+  if (v == "autotune") {
+    return bc::autotune_variant(g, 0).best;
+  }
+  TBC_CHECK(v == "auto",
+            "unknown variant '" + v +
+                "' (expected auto|autotune|sccooc|sccsc|vecsc)");
+  return bc::select_variant(g);
+}
+
+void print_top_vertices(std::ostream& out, const std::vector<bc_t>& bc,
+                        int k) {
+  std::vector<vidx_t> order(bc.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](vidx_t a, vidx_t b) {
+    return bc[static_cast<std::size_t>(a)] > bc[static_cast<std::size_t>(b)];
+  });
+  Table t({"rank", "vertex", "bc"});
+  for (int i = 0; i < k && i < static_cast<int>(order.size()); ++i) {
+    const auto v = static_cast<std::size_t>(order[static_cast<std::size_t>(i)]);
+    t.add_row({std::to_string(i + 1), std::to_string(v), fixed(bc[v], 3)});
+  }
+  t.print(out);
+}
+
+}  // namespace
+
+std::string cli_usage() {
+  return
+      "turbobc_cli — linear-algebraic betweenness centrality toolkit\n"
+      "\n"
+      "usage:\n"
+      "  turbobc_cli generate --family F --out g.mtx [family options]\n"
+      "      families: mycielski (--order), kronecker (--scale\n"
+      "      --edge-factor), smallworld (--n --k --p), grid (--rows --cols),\n"
+      "      road (--rows --cols --subdiv), erdos-renyi (--n --arcs\n"
+      "      [--undirected]); all accept --seed\n"
+      "  turbobc_cli stats g.mtx\n"
+      "  turbobc_cli bfs g.mtx [--source 0] [--variant auto]\n"
+      "  turbobc_cli bc g.mtx [--source S | --exact [--batch K] | --approx K]\n"
+      "      [--variant auto|autotune|sccooc|sccsc|vecsc] [--edge-bc]\n"
+      "      [--top 10] [--verify] [--trace out.json]\n";
+}
+
+int cmd_generate(const CliArgs& args, std::ostream& out, std::ostream& err) {
+  const std::string family = args.get("family", "");
+  const std::string path = args.get("out", "");
+  if (family.empty() || path.empty()) {
+    err << "generate: --family and --out are required\n" << cli_usage();
+    return 2;
+  }
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  graph::EdgeList g(0, true);
+  if (family == "mycielski") {
+    g = gen::mycielski(static_cast<int>(args.get_int("order", 10)));
+  } else if (family == "kronecker") {
+    g = gen::kronecker({.scale = static_cast<int>(args.get_int("scale", 12)),
+                        .edge_factor =
+                            args.get_double("edge-factor", 16.0),
+                        .seed = seed});
+  } else if (family == "smallworld") {
+    g = gen::small_world({.n = static_cast<vidx_t>(args.get_int("n", 10000)),
+                          .k = static_cast<int>(args.get_int("k", 10)),
+                          .rewire_p = args.get_double("p", 0.1),
+                          .seed = seed});
+  } else if (family == "grid") {
+    g = gen::triangulated_grid(
+        static_cast<vidx_t>(args.get_int("rows", 100)),
+        static_cast<vidx_t>(args.get_int("cols", 100)));
+  } else if (family == "road") {
+    g = gen::road_network(
+        {.grid_rows = static_cast<vidx_t>(args.get_int("rows", 10)),
+         .grid_cols = static_cast<vidx_t>(args.get_int("cols", 10)),
+         .keep_p = args.get_double("keep", 0.7),
+         .subdivisions = static_cast<int>(args.get_int("subdiv", 10)),
+         .seed = seed});
+  } else if (family == "erdos-renyi") {
+    g = gen::erdos_renyi({.n = static_cast<vidx_t>(args.get_int("n", 1000)),
+                          .arcs = args.get_int("arcs", 5000),
+                          .directed = !args.has("undirected"),
+                          .seed = seed});
+  } else {
+    err << "generate: unknown family '" << family << "'\n" << cli_usage();
+    return 2;
+  }
+
+  graph::write_matrix_market_file(path, g);
+  out << "wrote " << path << ": n = " << g.num_vertices()
+      << ", arcs = " << g.num_arcs()
+      << (g.directed() ? " (directed)" : " (undirected)") << '\n';
+  return 0;
+}
+
+int cmd_stats(const CliArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional().size() < 2) {
+    err << "stats: missing graph file\n" << cli_usage();
+    return 2;
+  }
+  const auto g = load_graph(args, 1);
+  const auto deg = graph::degree_stats(g);
+  const double scf = graph::scf_index(g);
+  const auto probe = graph::bfs_reference(
+      graph::CscGraph::from_edges(g), 0);
+
+  Table t({"property", "value"});
+  t.add_row({"vertices", human_count(static_cast<double>(g.num_vertices()))});
+  t.add_row({"arcs", human_count(static_cast<double>(g.num_arcs()))});
+  t.add_row({"directed", g.directed() ? "yes" : "no"});
+  t.add_row({"degree max/mean/std",
+             human_count(static_cast<double>(deg.max)) + " / " +
+                 fixed(deg.mean, 2) + " / " + fixed(deg.stddev, 2)});
+  t.add_row({"scf index", fixed(scf, 1)});
+  t.add_row({"class", graph::is_irregular(g) ? "irregular" : "regular"});
+  t.add_row({"suggested variant",
+             std::string(bc::to_string(bc::select_variant(g)))});
+  t.add_row({"BFS depth from 0", std::to_string(probe.height)});
+  t.add_row({"reached from 0", std::to_string(probe.reached)});
+  t.add_row({"TurboBC footprint (7n+m)",
+             human_bytes(bc::turbobc_model_bytes(g.num_vertices(),
+                                                 g.num_arcs()))});
+  t.print(out);
+  return 0;
+}
+
+int cmd_bfs(const CliArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional().size() < 2) {
+    err << "bfs: missing graph file\n" << cli_usage();
+    return 2;
+  }
+  const auto g = load_graph(args, 1);
+  const auto source = static_cast<vidx_t>(args.get_int("source", 0));
+  const bc::Variant variant = parse_variant(args, g);
+
+  sim::Device device;
+  bc::TurboBfs bfs(device, g, variant);
+  const auto r = bfs.run(source);
+
+  out << "BFS from " << source << " (" << bc::to_string(variant)
+      << "): reached " << r.reached << "/" << g.num_vertices()
+      << ", tree height " << r.height << ", modeled "
+      << fixed(r.device_seconds * 1e3, 3) << " ms\n";
+
+  // Depth histogram.
+  std::vector<vidx_t> counts(static_cast<std::size_t>(r.height) + 1, 0);
+  for (const vidx_t d : r.depth) {
+    if (d >= 0) ++counts[static_cast<std::size_t>(d)];
+  }
+  Table t({"depth", "vertices"});
+  for (std::size_t d = 0; d < counts.size(); ++d) {
+    t.add_row({std::to_string(d), std::to_string(counts[d])});
+  }
+  t.print(out);
+  return 0;
+}
+
+int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional().size() < 2) {
+    err << "bc: missing graph file\n" << cli_usage();
+    return 2;
+  }
+  const auto g = load_graph(args, 1);
+  const bc::Variant variant = parse_variant(args, g);
+
+  sim::Device device;
+  const bool want_trace = args.has("trace");
+  device.set_keep_launch_records(want_trace);
+  bc::TurboBC turbo(device, g,
+                    {.variant = variant, .edge_bc = args.has("edge-bc")});
+
+  bc::BcResult r;
+  std::string mode;
+  if (args.has("exact") && args.has("batch")) {
+    // Multi-source batched pipeline (scCSC-based SpMM; see
+    // core/turbobc_batched.hpp).
+    bc::TurboBCBatched batched(
+        device, g,
+        {.batch_size = static_cast<vidx_t>(args.get_int("batch", 8))});
+    r = batched.run_exact();
+    mode = "exact, batched x" + std::to_string(args.get_int("batch", 8));
+  } else if (args.has("exact")) {
+    r = turbo.run_exact();
+    mode = "exact";
+  } else if (args.has("approx")) {
+    r = turbo.run_approximate(
+        {.num_sources = static_cast<vidx_t>(args.get_int("approx", 32)),
+         .seed = static_cast<std::uint64_t>(args.get_int("seed", 1))});
+    mode = "approximate (" + std::to_string(r.sources) + " sources)";
+  } else {
+    r = turbo.run_single_source(
+        static_cast<vidx_t>(args.get_int("source", 0)));
+    mode = "single-source";
+  }
+
+  out << mode << " BC via " << bc::to_string(variant) << ": "
+      << fixed(r.device_seconds * 1e3, 3) << " ms modeled, peak "
+      << human_bytes(r.peak_device_bytes) << '\n';
+  print_top_vertices(out, r.bc, static_cast<int>(args.get_int("top", 10)));
+
+  if (args.has("edge-bc")) {
+    bc_t top_edge = 0.0;
+    for (const bc_t v : r.edge_bc) top_edge = std::max(top_edge, v);
+    out << "edge BC computed for " << r.edge_bc.size()
+        << " arcs (max arc value " << fixed(top_edge, 3) << ")\n";
+  }
+
+  if (args.has("verify")) {
+    std::vector<bc_t> golden;
+    if (args.has("exact")) {
+      golden = baseline::brandes_bc(g);
+    } else if (!args.has("approx")) {
+      golden = baseline::brandes_delta(
+          g, static_cast<vidx_t>(args.get_int("source", 0)));
+    }
+    if (!golden.empty()) {
+      double worst = 0.0;
+      for (std::size_t v = 0; v < golden.size(); ++v) {
+        worst = std::max(worst, std::abs(r.bc[v] - golden[v]) /
+                                    std::max(1.0, std::abs(golden[v])));
+      }
+      out << "verification vs Brandes: max rel err " << fixed(worst, 9)
+          << (worst < 1e-6 ? " (OK)" : " (MISMATCH)") << '\n';
+      if (worst >= 1e-6) return 1;
+    } else {
+      out << "verification: skipped (approximate mode has no exact oracle)\n";
+    }
+  }
+
+  if (want_trace) {
+    const std::string path = args.get("trace", "trace.json");
+    std::ofstream f(path);
+    sim::write_chrome_trace(f, device);
+    out << "kernel timeline written to " << path << '\n';
+  }
+  return 0;
+}
+
+int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional().empty()) {
+    err << cli_usage();
+    return 2;
+  }
+  const std::string& cmd = args.positional()[0];
+  try {
+    if (cmd == "generate") return cmd_generate(args, out, err);
+    if (cmd == "stats") return cmd_stats(args, out, err);
+    if (cmd == "bfs") return cmd_bfs(args, out, err);
+    if (cmd == "bc") return cmd_bc(args, out, err);
+  } catch (const Error& e) {
+    err << "error: " << e.what() << '\n';
+    return 1;
+  }
+  err << "unknown command '" << cmd << "'\n" << cli_usage();
+  return 2;
+}
+
+}  // namespace turbobc::tools

@@ -1,0 +1,32 @@
+// Implementation of the turbobc_cli subcommands, as a library so tests can
+// drive them directly. Each command reads options from CliArgs and writes
+// human-readable output to a stream; the thin main() in tools/ dispatches.
+//
+// Subcommands:
+//   generate  — synthesize a benchmark-family graph and write Matrix Market
+//   stats     — structural profile of a .mtx graph (degrees, scf, class)
+//   bfs       — TurboBFS from a source: depth histogram, reach, timing
+//   bc        — betweenness centrality: single-source, exact, or sampled
+//               approximate; optional edge BC; optional verification
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/cli.hpp"
+
+namespace turbobc::tools {
+
+/// Dispatch `args.positional()[0]` to a subcommand. Returns a process exit
+/// code (0 on success); usage problems print help and return 2.
+int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err);
+
+int cmd_generate(const CliArgs& args, std::ostream& out, std::ostream& err);
+int cmd_stats(const CliArgs& args, std::ostream& out, std::ostream& err);
+int cmd_bfs(const CliArgs& args, std::ostream& out, std::ostream& err);
+int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err);
+
+/// The help text (also printed on usage errors).
+std::string cli_usage();
+
+}  // namespace turbobc::tools

@@ -1,0 +1,11 @@
+// turbobc_cli: command-line frontend. All logic lives in tools/commands.*
+// so it can be unit-tested; this file only parses argv and dispatches.
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "tools/commands.hpp"
+
+int main(int argc, char** argv) {
+  const turbobc::CliArgs args(argc, argv);
+  return turbobc::tools::run_cli(args, std::cout, std::cerr);
+}

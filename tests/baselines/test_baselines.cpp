@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/bc_la_seq.hpp"
+#include "baselines/brandes.hpp"
+#include "baselines/gunrock_like.hpp"
+#include "baselines/ligra_like.hpp"
+#include "common/error.hpp"
+#include "generators/generators.hpp"
+
+namespace turbobc::baseline {
+namespace {
+
+using graph::EdgeList;
+
+void expect_bc_equal(const std::vector<bc_t>& got,
+                     const std::vector<bc_t>& want, const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double scale = std::max(std::abs(want[i]), 1.0);
+    EXPECT_NEAR(got[i], want[i], 1e-9 * scale) << what << " vertex " << i;
+  }
+}
+
+// -------------------------------------------------------------- Brandes
+
+TEST(Brandes, PathGraphClosedForm) {
+  EdgeList el(5, true);
+  for (vidx_t i = 0; i + 1 < 5; ++i) el.add_edge(i, i + 1);
+  el.symmetrize();
+  const auto bc = brandes_bc(el);
+  EXPECT_NEAR(bc[1], 3.0, 1e-12);
+  EXPECT_NEAR(bc[2], 4.0, 1e-12);
+}
+
+TEST(Brandes, CycleIsUniform) {
+  // Every vertex of an even cycle has identical BC by symmetry.
+  EdgeList el(8, true);
+  for (vidx_t i = 0; i < 8; ++i) el.add_edge(i, (i + 1) % 8);
+  el.symmetrize();
+  const auto bc = brandes_bc(el);
+  for (std::size_t v = 1; v < 8; ++v) EXPECT_NEAR(bc[v], bc[0], 1e-12);
+  EXPECT_GT(bc[0], 0.0);
+}
+
+TEST(Brandes, SigmaCountsShortestPaths) {
+  // Diamond: 0->1, 0->2, 1->3, 2->3: two shortest paths to 3.
+  EdgeList el(4, true);
+  el.add_edge(0, 1);
+  el.add_edge(0, 2);
+  el.add_edge(1, 3);
+  el.add_edge(2, 3);
+  const auto sigma = brandes_sigma(el, 0);
+  EXPECT_EQ(sigma[0], 1);
+  EXPECT_EQ(sigma[1], 1);
+  EXPECT_EQ(sigma[2], 1);
+  EXPECT_EQ(sigma[3], 2);
+}
+
+TEST(Brandes, DiamondSplitsDependency) {
+  EdgeList el(4, true);
+  el.add_edge(0, 1);
+  el.add_edge(0, 2);
+  el.add_edge(1, 3);
+  el.add_edge(2, 3);
+  const auto d = brandes_delta(el, 0);
+  EXPECT_NEAR(d[1], 0.5, 1e-12);  // half the paths to 3 run through 1
+  EXPECT_NEAR(d[2], 0.5, 1e-12);
+  EXPECT_NEAR(d[3], 0.0, 1e-12);
+}
+
+TEST(Brandes, RejectsBadSource) {
+  EdgeList el(3, true);
+  el.add_edge(0, 1);
+  EXPECT_THROW(brandes_delta(el, 9), InvalidArgument);
+}
+
+// ------------------------------------------------- sequential BC-LA
+
+TEST(SequentialBcLa, MatchesBrandesSingleSource) {
+  for (const bool directed : {true, false}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const auto el = gen::erdos_renyi({.n = 90, .arcs = 450,
+                                        .directed = directed, .seed = seed});
+      const SequentialBcLa seq(el);
+      const auto r = seq.run_single_source(2);
+      expect_bc_equal(r.bc, brandes_delta(el, 2), "seq-la single");
+    }
+  }
+}
+
+TEST(SequentialBcLa, MatchesBrandesExact) {
+  const auto el = gen::mycielski(6);
+  const SequentialBcLa seq(el);
+  expect_bc_equal(seq.run_exact().bc, brandes_bc(el), "seq-la exact");
+}
+
+TEST(SequentialBcLa, CountsGrowWithDepthTimesN) {
+  // The linear-algebra sequential baseline scans all n columns per level;
+  // a deep chain must cost far more than a shallow star of equal size.
+  EdgeList chain(400, true);
+  for (vidx_t i = 0; i + 1 < 400; ++i) chain.add_edge(i, i + 1);
+  chain.symmetrize();
+  EdgeList star(400, true);
+  for (vidx_t i = 1; i < 400; ++i) star.add_edge(0, i);
+  star.symmetrize();
+
+  const auto rc = SequentialBcLa(chain).run_single_source(0);
+  const auto rs = SequentialBcLa(star).run_single_source(0);
+  EXPECT_GT(rc.ops.seq_bytes, 50 * rs.ops.seq_bytes);
+  EXPECT_GT(rc.modeled_seconds, rs.modeled_seconds);
+}
+
+TEST(SequentialBcLa, ReportsBfsDepth) {
+  EdgeList chain(50, true);
+  for (vidx_t i = 0; i + 1 < 50; ++i) chain.add_edge(i, i + 1);
+  const SequentialBcLa seq(chain);
+  EXPECT_EQ(seq.run_single_source(0).bfs_depth, 49);
+}
+
+// ---------------------------------------------------------- gunrock-like
+
+TEST(GunrockLike, MatchesBrandesDirected) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto el = gen::erdos_renyi({.n = 90, .arcs = 500, .directed = true,
+                                      .seed = seed});
+    sim::Device dev;
+    GunrockLikeBc g(dev, el);
+    const auto r = g.run_single_source(4);
+    expect_bc_equal(r.bc, brandes_delta(el, 4), "gunrock directed");
+  }
+}
+
+TEST(GunrockLike, MatchesBrandesUndirected) {
+  const auto el = gen::mycielski(8);
+  sim::Device dev;
+  GunrockLikeBc g(dev, el);
+  const auto r = g.run_single_source(7);
+  expect_bc_equal(r.bc, brandes_delta(el, 7), "gunrock undirected");
+}
+
+TEST(GunrockLike, ExercisesBothPushAndPull) {
+  // A graph whose frontier starts tiny (push) and becomes huge (pull).
+  const auto el = gen::small_world({.n = 4000, .k = 8, .rewire_p = 0.1,
+                                    .seed = 5});
+  sim::Device dev;
+  GunrockLikeBc g(dev, el);
+  const auto r = g.run_single_source(0);
+  expect_bc_equal(r.bc, brandes_delta(el, 0), "push-pull");
+  const auto& agg = dev.kernel_aggregates();
+  EXPECT_GT(agg.count("gunrock_advance_push"), 0u);
+  EXPECT_GT(agg.count("gunrock_advance_pull"), 0u);
+}
+
+TEST(GunrockLike, InventoryExceedsTurboFootprint) {
+  const auto el = gen::erdos_renyi({.n = 2000, .arcs = 16000,
+                                    .directed = false, .seed = 6});
+  sim::Device dev;
+  GunrockLikeBc g(dev, el);
+  // 2 formats + 9-ish n arrays: strictly more bytes than CSC + m + 7n words.
+  const auto n = static_cast<std::uint64_t>(el.num_vertices());
+  const auto m = static_cast<std::uint64_t>(el.num_arcs());
+  EXPECT_GT(g.inventory_bytes(), 4 * (2 * m + 2 * n));
+}
+
+TEST(GunrockLike, OomsOnTightDevice) {
+  const auto el = gen::erdos_renyi({.n = 5000, .arcs = 60000,
+                                    .directed = true, .seed = 7});
+  // Capacity that fits the TurboBC inventory but not gunrock's.
+  sim::Device dev(sim::DeviceProps::titan_xp_scaled_memory(7e-5));  // ~0.9 MB
+  EXPECT_THROW(GunrockLikeBc(dev, el), DeviceOutOfMemory);
+}
+
+TEST(GunrockLike, DisconnectedGraphTerminates) {
+  EdgeList el(10, true);
+  el.add_edge(0, 1);
+  el.add_edge(5, 6);
+  el.symmetrize();
+  sim::Device dev;
+  GunrockLikeBc g(dev, el);
+  const auto r = g.run_single_source(0);
+  expect_bc_equal(r.bc, brandes_delta(el, 0), "gunrock disconnected");
+}
+
+// ------------------------------------------------------------ ligra-like
+
+TEST(LigraLike, MatchesBrandesDirected) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto el = gen::erdos_renyi({.n = 90, .arcs = 500, .directed = true,
+                                      .seed = seed});
+    const LigraLikeBc ligra(el);
+    const auto r = ligra.run_single_source(4);
+    expect_bc_equal(r.bc, brandes_delta(el, 4), "ligra directed");
+  }
+}
+
+TEST(LigraLike, MatchesBrandesUndirectedExact) {
+  const auto el = gen::mycielski(6);
+  const LigraLikeBc ligra(el);
+  expect_bc_equal(ligra.run_exact().bc, brandes_bc(el), "ligra exact");
+}
+
+TEST(LigraLike, SwitchesToDenseOnExplosiveFrontiers) {
+  const auto el = gen::mycielski(9);  // frontier covers the graph at depth 2
+  const LigraLikeBc ligra(el);
+  const auto r = ligra.run_single_source(0);
+  expect_bc_equal(r.bc, brandes_delta(el, 0), "ligra dense");
+  // Rounds: 2 per forward level + 2 per backward level + 1 accumulation;
+  // mycielski depth is 3 (4 forward sweeps counting the empty last one).
+  EXPECT_LE(r.ops.rounds, 2u * (4u + 3u) + 1u);
+}
+
+TEST(LigraLike, ParallelModelBeatsSequentialModel) {
+  const auto el = gen::kronecker({.scale = 10, .edge_factor = 16, .seed = 8});
+  const LigraLikeBc ligra(el);
+  const SequentialBcLa seq(el);
+  const vidx_t s = 0;
+  EXPECT_LT(ligra.run_single_source(s).modeled_seconds,
+            seq.run_single_source(s).modeled_seconds);
+}
+
+TEST(LigraLike, PerSourceWorkIsNearLinear) {
+  // Unlike the sequential LA baseline, ligra's per-source work must not
+  // scale with depth x n. Compare chain vs star total counted bytes.
+  EdgeList chain(400, true);
+  for (vidx_t i = 0; i + 1 < 400; ++i) chain.add_edge(i, i + 1);
+  chain.symmetrize();
+  const LigraLikeBc ligra(chain);
+  const auto r = ligra.run_single_source(0);
+  const auto total = r.ops.seq_bytes + r.ops.rand_bytes;
+  // A 400-vertex chain visits ~800 arcs: a loose 100x-linear budget.
+  EXPECT_LT(total, 100u * 800u * 8u);
+}
+
+}  // namespace
+}  // namespace turbobc::baseline

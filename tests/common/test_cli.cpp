@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "common/cli.hpp"
+
+namespace turbobc {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> v(args);
+  return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(CliArgs, ParsesNameValuePairs) {
+  const auto a = parse({"prog", "--scale", "12", "--name", "kron"});
+  EXPECT_EQ(a.get_int("scale", 0), 12);
+  EXPECT_EQ(a.get("name", ""), "kron");
+}
+
+TEST(CliArgs, ParsesEqualsForm) {
+  const auto a = parse({"prog", "--seed=99"});
+  EXPECT_EQ(a.get_int("seed", 0), 99);
+}
+
+TEST(CliArgs, BareFlagIsTruthy) {
+  const auto a = parse({"prog", "--verbose"});
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_FALSE(a.has("quiet"));
+}
+
+TEST(CliArgs, FallbacksApply) {
+  const auto a = parse({"prog"});
+  EXPECT_EQ(a.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(a.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(a.get("missing", "dflt"), "dflt");
+}
+
+TEST(CliArgs, CollectsPositional) {
+  const auto a = parse({"prog", "file.mtx", "--k", "3", "other"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "file.mtx");
+  EXPECT_EQ(a.positional()[1], "other");
+  EXPECT_EQ(a.program(), "prog");
+}
+
+TEST(CliArgs, FlagBeforeFlagIsNotConsumedAsValue) {
+  const auto a = parse({"prog", "--x", "--y", "5"});
+  EXPECT_TRUE(a.has("x"));
+  EXPECT_EQ(a.get_int("y", 0), 5);
+}
+
+}  // namespace
+}  // namespace turbobc

@@ -1,0 +1,28 @@
+#include <gtest/gtest.h>
+
+#include "common/format.hpp"
+
+namespace turbobc {
+namespace {
+
+TEST(Format, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(2048), "2.00 KB");
+  EXPECT_EQ(human_bytes(3ull * 1024 * 1024), "3.00 MB");
+  EXPECT_EQ(human_bytes(5ull * 1024 * 1024 * 1024), "5.00 GB");
+}
+
+TEST(Format, HumanCount) {
+  EXPECT_EQ(human_count(999), "999");
+  EXPECT_EQ(human_count(1500), "1.5k");
+  EXPECT_EQ(human_count(2.5e6), "2.5M");
+  EXPECT_EQ(human_count(1.95e9), "1.9G");  // snprintf %.1f rounds half-even
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(10.0, 0), "10");
+}
+
+}  // namespace
+}  // namespace turbobc

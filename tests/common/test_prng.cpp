@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/prng.hpp"
+
+namespace turbobc {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, IsDeterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, UniformRespectsBound) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(Xoshiro256, UniformBoundOneIsAlwaysZero) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Xoshiro256, UniformRejectsZeroBound) {
+  Xoshiro256 rng(3);
+  EXPECT_THROW(rng.uniform(0), InvalidArgument);
+}
+
+TEST(Xoshiro256, UniformRealInUnitInterval) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform_real();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformCoversRange) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, BernoulliExtremes) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro256, BernoulliRoughlyFair) {
+  Xoshiro256 rng(17);
+  int heads = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) heads += rng.bernoulli(0.5) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / kTrials, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace turbobc

@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace turbobc {
+namespace {
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t({"a", "bbbb"});
+  t.add_row({"xx", "y"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("bbbb"), std::string::npos);
+  EXPECT_NE(out.find("xx"), std::string::npos);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"col", "v"});
+  t.add_row({"short", "1"});
+  t.add_row({"muchlongercell", "2"});
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream in(os.str());
+  std::string header, rule, r1, r2;
+  std::getline(in, header);
+  std::getline(in, rule);
+  std::getline(in, r1);
+  std::getline(in, r2);
+  // The second column starts at the same offset in both rows.
+  EXPECT_EQ(r1.find('1'), r2.find('2'));
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace turbobc

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/brandes.hpp"
+#include "common/error.hpp"
+#include "core/turbobc_batched.hpp"
+#include "generators/generators.hpp"
+
+namespace turbobc::bc {
+namespace {
+
+using graph::EdgeList;
+
+void expect_bc_equal(const std::vector<bc_t>& got,
+                     const std::vector<bc_t>& want, const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double scale = std::max(std::abs(want[i]), 1.0);
+    EXPECT_NEAR(got[i], want[i], 1e-9 * scale) << what << " vertex " << i;
+  }
+}
+
+class BatchSizes : public ::testing::TestWithParam<vidx_t> {};
+
+TEST_P(BatchSizes, ExactMatchesBrandesUndirected) {
+  const auto el = gen::mycielski(6);
+  sim::Device dev;
+  dev.set_keep_launch_records(false);
+  TurboBCBatched turbo(dev, el, {.batch_size = GetParam()});
+  expect_bc_equal(turbo.run_exact().bc, baseline::brandes_bc(el),
+                  "batched exact undirected");
+}
+
+TEST_P(BatchSizes, ExactMatchesBrandesDirected) {
+  const auto el = gen::erdos_renyi({.n = 50, .arcs = 220, .directed = true,
+                                    .seed = 61});
+  sim::Device dev;
+  dev.set_keep_launch_records(false);
+  TurboBCBatched turbo(dev, el, {.batch_size = GetParam()});
+  expect_bc_equal(turbo.run_exact().bc, baseline::brandes_bc(el),
+                  "batched exact directed");
+}
+
+TEST_P(BatchSizes, PartialLastBatchIsHandled) {
+  // n not divisible by batch size: the final (short) batch must be correct.
+  const auto el = gen::small_world({.n = 45, .k = 4, .rewire_p = 0.2,
+                                    .seed = 62});
+  sim::Device dev;
+  TurboBCBatched turbo(dev, el, {.batch_size = GetParam()});
+  expect_bc_equal(turbo.run_exact().bc, baseline::brandes_bc(el),
+                  "partial batch");
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, BatchSizes,
+                         ::testing::Values(1, 2, 3, 8, 17, 32),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+TEST(Batched, SelectedSourcesMatchUnbatchedRun) {
+  const auto el = gen::kronecker({.scale = 7, .edge_factor = 8, .seed = 63});
+  const std::vector<vidx_t> sources = {0, 5, 9, 20, 33};
+
+  sim::Device d1;
+  TurboBCBatched batched(d1, el, {.batch_size = 4});
+  const auto rb = batched.run_sources(sources);
+
+  sim::Device d2;
+  TurboBC plain(d2, el, {.variant = Variant::kScCsc});
+  const auto rp = plain.run_sources(sources);
+
+  expect_bc_equal(rb.bc, rp.bc, "batched vs unbatched");
+}
+
+TEST(Batched, HandlesDisconnectedSourcesWithDifferentHeights) {
+  // Two components with very different depths inside one batch.
+  EdgeList el(12, true);
+  for (vidx_t i = 0; i + 1 < 8; ++i) el.add_edge(i, i + 1);  // chain, d=7
+  el.add_edge(8, 9);                                         // pair
+  el.add_edge(10, 11);
+  el.symmetrize();
+  sim::Device dev;
+  TurboBCBatched turbo(dev, el, {.batch_size = 12});
+  expect_bc_equal(turbo.run_exact().bc, baseline::brandes_bc(el),
+                  "mixed heights");
+}
+
+TEST(Batched, BatchingAmortizesLaunchesOnDeepGraphs) {
+  // The launch count per source must drop ~k-fold on deep graphs.
+  const auto el = gen::road_network({.grid_rows = 5, .grid_cols = 5,
+                                     .keep_p = 0.8, .subdivisions = 10,
+                                     .seed = 64});
+  double t1, t8;
+  {
+    sim::Device dev;
+    dev.set_keep_launch_records(false);
+    TurboBCBatched turbo(dev, el, {.batch_size = 1});
+    t1 = turbo.run_exact().device_seconds;
+  }
+  {
+    sim::Device dev;
+    dev.set_keep_launch_records(false);
+    TurboBCBatched turbo(dev, el, {.batch_size = 8});
+    t8 = turbo.run_exact().device_seconds;
+  }
+  EXPECT_LT(t8, t1 / 3.0);  // at least 3x from 8-way batching
+}
+
+TEST(Batched, PeakMemoryScalesWithBatchSize) {
+  const auto el = gen::small_world({.n = 2000, .k = 6, .rewire_p = 0.1,
+                                    .seed = 65});
+  std::size_t p1, p8;
+  {
+    sim::Device dev;
+    TurboBCBatched turbo(dev, el, {.batch_size = 1});
+    p1 = turbo.run_sources({0}).peak_device_bytes;
+  }
+  {
+    sim::Device dev;
+    TurboBCBatched turbo(dev, el, {.batch_size = 8});
+    p8 = turbo.run_sources({0, 1, 2, 3, 4, 5, 6, 7}).peak_device_bytes;
+  }
+  EXPECT_GT(p8, 4 * (p1 - 8 * 2000 * 4) / 2);  // state grows ~k-fold
+  EXPECT_GT(p8, p1);
+}
+
+TEST(Batched, RejectsBadConfiguration) {
+  const auto el = gen::mycielski(5);
+  sim::Device dev;
+  EXPECT_THROW(TurboBCBatched(dev, el, {.batch_size = 0}), InvalidArgument);
+  EXPECT_THROW(TurboBCBatched(dev, el, {.batch_size = 33}), InvalidArgument);
+  TurboBCBatched ok(dev, el, {.batch_size = 4});
+  EXPECT_THROW(ok.run_sources({99}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace turbobc::bc

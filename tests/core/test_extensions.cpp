@@ -1,0 +1,219 @@
+// Tests for the beyond-the-paper extensions: edge betweenness, approximate
+// BC by source sampling, and empirical variant auto-tuning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "baselines/brandes.hpp"
+#include "common/error.hpp"
+#include "core/autotune.hpp"
+#include "core/turbobc.hpp"
+#include "generators/generators.hpp"
+
+namespace turbobc::bc {
+namespace {
+
+using graph::EdgeList;
+
+void expect_vectors_equal(const std::vector<bc_t>& got,
+                          const std::vector<bc_t>& want,
+                          const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double scale = std::max(std::abs(want[i]), 1.0);
+    EXPECT_NEAR(got[i], want[i], 1e-9 * scale) << what << " index " << i;
+  }
+}
+
+// ------------------------------------------------------------- edge BC
+
+class EdgeBcVariants : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(EdgeBcVariants, SingleSourceMatchesBrandesEdgeDelta) {
+  for (const bool directed : {true, false}) {
+    const auto el = gen::erdos_renyi({.n = 70, .arcs = 350,
+                                      .directed = directed, .seed = 11});
+    sim::Device dev;
+    TurboBC turbo(dev, el, {.variant = GetParam(), .edge_bc = true});
+    const auto r = turbo.run_single_source(1);
+    expect_vectors_equal(r.edge_bc, baseline::brandes_edge_delta(el, 1),
+                         std::string("edge delta directed=") +
+                             (directed ? "1" : "0"));
+    // Vertex BC must be unaffected by the extension.
+    expect_vectors_equal(r.bc, baseline::brandes_delta(el, 1), "vertex bc");
+  }
+}
+
+TEST_P(EdgeBcVariants, ExactMatchesBrandesEdgeBc) {
+  const auto el = gen::mycielski(6);
+  sim::Device dev;
+  dev.set_keep_launch_records(false);
+  TurboBC turbo(dev, el, {.variant = GetParam(), .edge_bc = true});
+  const auto r = turbo.run_exact();
+  expect_vectors_equal(r.edge_bc, baseline::brandes_edge_bc(el),
+                       "exact edge bc");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, EdgeBcVariants,
+                         ::testing::Values(Variant::kScCooc, Variant::kScCsc,
+                                           Variant::kVeCsc),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(EdgeBc, PathGraphClosedForm) {
+  // Path 0-1-2-3 (undirected): edge {i,i+1} carries (i+1)*(n-1-i) pairs.
+  // Per-arc halved values: arcs of edge {0,1} sum to 3, {1,2} to 4, {2,3}
+  // to 3.
+  EdgeList el(4, true);
+  for (vidx_t i = 0; i + 1 < 4; ++i) el.add_edge(i, i + 1);
+  el.symmetrize();
+  sim::Device dev;
+  TurboBC turbo(dev, el, {.variant = Variant::kScCsc, .edge_bc = true});
+  const auto r = turbo.run_exact();
+  // Canonical arcs: (0,1),(1,0),(1,2),(2,1),(2,3),(3,2).
+  EXPECT_NEAR(r.edge_bc[0] + r.edge_bc[1], 3.0, 1e-12);
+  EXPECT_NEAR(r.edge_bc[2] + r.edge_bc[3], 4.0, 1e-12);
+  EXPECT_NEAR(r.edge_bc[4] + r.edge_bc[5], 3.0, 1e-12);
+}
+
+TEST(EdgeBc, DirectedChain) {
+  // 0 -> 1 -> 2: arc (0,1) carries pairs (0,1),(0,2); arc (1,2) carries
+  // (0,2),(1,2).
+  EdgeList el(3, true);
+  el.add_edge(0, 1);
+  el.add_edge(1, 2);
+  sim::Device dev;
+  TurboBC turbo(dev, el, {.variant = Variant::kScCooc, .edge_bc = true});
+  const auto r = turbo.run_exact();
+  EXPECT_NEAR(r.edge_bc[0], 2.0, 1e-12);
+  EXPECT_NEAR(r.edge_bc[1], 2.0, 1e-12);
+}
+
+TEST(EdgeBc, DisabledByDefault) {
+  EdgeList el(3, true);
+  el.add_edge(0, 1);
+  sim::Device dev;
+  TurboBC turbo(dev, el, {});
+  EXPECT_TRUE(turbo.run_single_source(0).edge_bc.empty());
+}
+
+TEST(EdgeBc, RaisesFootprintByOneEdgeArray) {
+  const auto el = gen::erdos_renyi({.n = 500, .arcs = 5000, .directed = false,
+                                    .seed = 12});
+  std::size_t base, with_edges;
+  {
+    sim::Device dev;
+    TurboBC turbo(dev, el, {.variant = Variant::kScCsc});
+    base = turbo.run_single_source(0).peak_device_bytes;
+  }
+  {
+    sim::Device dev;
+    TurboBC turbo(dev, el, {.variant = Variant::kScCsc, .edge_bc = true});
+    with_edges = turbo.run_single_source(0).peak_device_bytes;
+  }
+  const auto m = static_cast<std::size_t>(
+      graph::CscGraph::from_edges(el).num_arcs());
+  EXPECT_EQ(with_edges - base, 4 * m);  // one more m-word array
+}
+
+// ------------------------------------------------------- approximate BC
+
+TEST(ApproxBc, FullSampleEqualsExact) {
+  const auto el = gen::erdos_renyi({.n = 60, .arcs = 300, .directed = false,
+                                    .seed = 13});
+  sim::Device dev;
+  TurboBC turbo(dev, el, {.variant = Variant::kScCsc});
+  const auto exact = turbo.run_exact();
+  // Sampling every vertex must reproduce exact BC (scale factor 1).
+  const auto approx = turbo.run_approximate({.num_sources = 60, .seed = 1});
+  expect_vectors_equal(approx.bc, exact.bc, "full-sample approx");
+}
+
+TEST(ApproxBc, EstimateConvergesWithSampleSize) {
+  const auto el = gen::small_world({.n = 600, .k = 8, .rewire_p = 0.1,
+                                    .seed = 14});
+  const auto golden = baseline::brandes_bc(el);
+  const double golden_norm =
+      std::accumulate(golden.begin(), golden.end(), 0.0);
+
+  auto mean_abs_error = [&](vidx_t k) {
+    sim::Device dev;
+    dev.set_keep_launch_records(false);
+    TurboBC turbo(dev, el, {.variant = Variant::kScCsc});
+    const auto r = turbo.run_approximate({.num_sources = k, .seed = 7});
+    double err = 0.0;
+    for (std::size_t v = 0; v < golden.size(); ++v) {
+      err += std::abs(r.bc[v] - golden[v]);
+    }
+    return err / golden_norm;
+  };
+
+  const double coarse = mean_abs_error(15);
+  const double fine = mean_abs_error(240);
+  EXPECT_LT(fine, coarse);
+  EXPECT_LT(fine, 0.35);  // 40% sample: decent estimate
+}
+
+TEST(ApproxBc, SamplesAreDeterministicPerSeed) {
+  const auto el = gen::erdos_renyi({.n = 80, .arcs = 400, .directed = true,
+                                    .seed = 15});
+  sim::Device dev;
+  TurboBC turbo(dev, el, {.variant = Variant::kScCsc});
+  const auto a = turbo.run_approximate({.num_sources = 10, .seed = 3});
+  const auto b = turbo.run_approximate({.num_sources = 10, .seed = 3});
+  const auto c = turbo.run_approximate({.num_sources = 10, .seed = 4});
+  EXPECT_EQ(a.bc, b.bc);
+  EXPECT_NE(a.bc, c.bc);
+}
+
+TEST(ApproxBc, ClampsSampleCountToN) {
+  EdgeList el(5, true);
+  el.add_edge(0, 1);
+  el.add_edge(1, 2);
+  el.symmetrize();
+  sim::Device dev;
+  TurboBC turbo(dev, el, {});
+  const auto r = turbo.run_approximate({.num_sources = 50, .seed = 1});
+  EXPECT_EQ(r.sources, 5);
+}
+
+TEST(ApproxBc, RejectsZeroSamples) {
+  EdgeList el(3, true);
+  el.add_edge(0, 1);
+  sim::Device dev;
+  TurboBC turbo(dev, el, {});
+  EXPECT_THROW(turbo.run_approximate({.num_sources = 0, .seed = 1}),
+               InvalidArgument);
+}
+
+// ------------------------------------------------------------- autotune
+
+TEST(Autotune, PicksVeCscOnMycielski) {
+  const auto el = gen::mycielski(11);
+  const auto r = autotune_variant(el, el.num_vertices() - 1);
+  EXPECT_EQ(r.best, Variant::kVeCsc);
+  EXPECT_GT(r.seconds[static_cast<int>(Variant::kScCsc)],
+            r.seconds[static_cast<int>(Variant::kVeCsc)]);
+}
+
+TEST(Autotune, PicksScCoocOnHubTrace) {
+  const auto el = gen::traffic_trace({.n = 15000, .hubs = 10, .decay = 0.45,
+                                      .seed = 16});
+  const auto r = autotune_variant(el, 0);
+  EXPECT_EQ(r.best, Variant::kScCooc);
+}
+
+TEST(Autotune, AgreesWithMeasuredBestOnEveryClass) {
+  // The autotune winner must truly be the min of the three probes.
+  const auto el = gen::kronecker({.scale = 11, .edge_factor = 40, .seed = 17});
+  const auto r = autotune_variant(el, 0);
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_LE(r.seconds[static_cast<int>(r.best)], r.seconds[v]);
+    EXPECT_GT(r.seconds[v], 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace turbobc::bc

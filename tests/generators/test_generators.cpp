@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "generators/generators.hpp"
+#include "graph/bfs_probe.hpp"
+#include "graph/csc.hpp"
+#include "graph/stats.hpp"
+
+namespace turbobc::gen {
+namespace {
+
+using graph::CscGraph;
+using graph::EdgeList;
+
+/// Every arc (u,v) has its reverse present.
+bool is_symmetric(const EdgeList& el) {
+  auto edges = el.edges();
+  std::sort(edges.begin(), edges.end(),
+            [](const graph::Edge& a, const graph::Edge& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+  for (const graph::Edge& e : el.edges()) {
+    if (!std::binary_search(edges.begin(), edges.end(),
+                            graph::Edge{e.v, e.u},
+                            [](const graph::Edge& a, const graph::Edge& b) {
+                              return a.u != b.u ? a.u < b.u : a.v < b.v;
+                            })) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_connected_undirected(const EdgeList& el) {
+  const auto g = CscGraph::from_edges(el);
+  return graph::bfs_reference(g, 0).reached == el.num_vertices();
+}
+
+// ---------------------------------------------------------------- mycielski
+
+TEST(Mycielski, VertexCountFollowsClosedForm) {
+  for (int k = 2; k <= 12; ++k) {
+    EXPECT_EQ(mycielski(k).num_vertices(), mycielski_vertices(k)) << k;
+  }
+}
+
+TEST(Mycielski, EdgeRecurrenceHolds) {
+  // m_{k+1} = 3 m_k + n_k (undirected edges; arcs are 2x).
+  eidx_t prev_m = mycielski(4).num_arcs() / 2;
+  vidx_t prev_n = mycielski(4).num_vertices();
+  for (int k = 5; k <= 11; ++k) {
+    const auto g = mycielski(k);
+    EXPECT_EQ(g.num_arcs() / 2, 3 * prev_m + prev_n) << k;
+    prev_m = g.num_arcs() / 2;
+    prev_n = g.num_vertices();
+  }
+}
+
+TEST(Mycielski, IsSymmetricAndConnected) {
+  const auto g = mycielski(8);
+  EXPECT_FALSE(g.directed());
+  EXPECT_TRUE(is_symmetric(g));
+  EXPECT_TRUE(is_connected_undirected(g));
+}
+
+TEST(Mycielski, BfsDepthIsThreeFromTheApex) {
+  // The paper's Table 3 reports d = 3 for every mycielski graph.
+  const auto g = mycielski(9);
+  const auto csc = CscGraph::from_edges(g);
+  const auto r = graph::bfs_reference(csc, g.num_vertices() - 1);
+  EXPECT_LE(r.height, 3);
+  EXPECT_GE(r.height, 2);
+}
+
+TEST(Mycielski, IsTriangleFree) {
+  // Mycielskians preserve triangle-freeness; spot-check a small order by
+  // brute force.
+  const auto g = mycielski(6);
+  const auto csc = CscGraph::from_edges(g);
+  const auto n = g.num_vertices();
+  std::vector<std::vector<char>> adj(
+      static_cast<std::size_t>(n),
+      std::vector<char>(static_cast<std::size_t>(n), 0));
+  for (const graph::Edge& e : g.edges()) {
+    adj[static_cast<std::size_t>(e.u)][static_cast<std::size_t>(e.v)] = 1;
+  }
+  for (vidx_t a = 0; a < n; ++a) {
+    for (vidx_t b = static_cast<vidx_t>(a + 1); b < n; ++b) {
+      if (!adj[a][b]) continue;
+      for (vidx_t c = static_cast<vidx_t>(b + 1); c < n; ++c) {
+        EXPECT_FALSE(adj[a][b] && adj[b][c] && adj[a][c])
+            << "triangle " << a << " " << b << " " << c;
+      }
+    }
+  }
+}
+
+TEST(Mycielski, RejectsBadOrder) {
+  EXPECT_THROW(mycielski(1), InvalidArgument);
+  EXPECT_THROW(mycielski(30), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- kronecker
+
+TEST(Kronecker, HasPowerOfTwoVerticesAndRequestedDensity) {
+  const auto g = kronecker({.scale = 9, .edge_factor = 8, .seed = 1});
+  EXPECT_EQ(g.num_vertices(), 512);
+  // Symmetrized and deduped: arcs within [edge_factor*n, 2*edge_factor*n].
+  EXPECT_GE(g.num_arcs(), 8 * 512 / 2);
+  EXPECT_LE(g.num_arcs(), 2 * 8 * 512);
+}
+
+TEST(Kronecker, IsDeterministicPerSeed) {
+  const auto a = kronecker({.scale = 8, .edge_factor = 8, .seed = 3});
+  const auto b = kronecker({.scale = 8, .edge_factor = 8, .seed = 3});
+  EXPECT_EQ(a.edges(), b.edges());
+  const auto c = kronecker({.scale = 8, .edge_factor = 8, .seed = 4});
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(Kronecker, IsHeavyTailed) {
+  const auto g = kronecker({.scale = 11, .edge_factor = 16, .seed = 5});
+  const auto s = graph::degree_stats(g);
+  EXPECT_GT(static_cast<double>(s.max), 10.0 * s.mean);
+}
+
+// --------------------------------------------------------------- smallworld
+
+TEST(SmallWorld, MeanDegreeNearK) {
+  const auto g = small_world({.n = 2000, .k = 10, .rewire_p = 0.1, .seed = 2});
+  const auto s = graph::degree_stats(g);
+  EXPECT_NEAR(s.mean, 10.0, 0.5);
+  EXPECT_LT(s.stddev, 3.0);
+}
+
+TEST(SmallWorld, ZeroRewireIsRingLattice) {
+  const auto g = small_world({.n = 100, .k = 4, .rewire_p = 0.0, .seed = 2});
+  const auto s = graph::degree_stats(g);
+  EXPECT_EQ(s.max, 4);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(SmallWorld, RewiringShrinksDiameter) {
+  const auto ring = small_world({.n = 400, .k = 4, .rewire_p = 0.0, .seed = 2});
+  const auto sw = small_world({.n = 400, .k = 4, .rewire_p = 0.2, .seed = 2});
+  const auto dr = graph::bfs_reference(CscGraph::from_edges(ring), 0).height;
+  const auto ds = graph::bfs_reference(CscGraph::from_edges(sw), 0).height;
+  EXPECT_LT(ds, dr);
+}
+
+// ------------------------------------------------------------------ lattice
+
+TEST(TriangulatedGrid, InternalDegreeIsSix) {
+  const auto g = triangulated_grid(20, 20);
+  const auto s = graph::degree_stats(g);
+  EXPECT_EQ(s.max, 6);
+  EXPECT_NEAR(s.mean, 6.0, 0.6);  // boundary vertices drag the mean down
+  EXPECT_TRUE(is_connected_undirected(g));
+}
+
+TEST(MarkovLattice, DepthTracksLength) {
+  const auto short_g = markov_lattice({.length = 20, .width = 30, .seed = 6});
+  const auto long_g = markov_lattice({.length = 60, .width = 30, .seed = 6});
+  const auto ds = graph::bfs_reference(CscGraph::from_edges(short_g), 0).height;
+  const auto dl = graph::bfs_reference(CscGraph::from_edges(long_g), 0).height;
+  EXPECT_GT(dl, ds);
+  EXPECT_GE(ds, 19);  // the length dimension: stencil advances 1 level/hop
+}
+
+TEST(MarkovLattice, IsDirectedWithBoundedMean) {
+  const auto g = markov_lattice({.length = 40, .width = 40, .seed = 6});
+  EXPECT_TRUE(g.directed());
+  const auto s = graph::degree_stats(g);
+  EXPECT_NEAR(s.mean, 6.0, 1.5);
+}
+
+TEST(MarkovLattice, ExtraStencilDensifies) {
+  const auto base = markov_lattice({.length = 30, .width = 30, .seed = 7});
+  const auto dense = markov_lattice({.length = 30, .width = 30,
+                                     .extra_stencil = 8, .seed = 7});
+  EXPECT_GT(graph::degree_stats(dense).mean, graph::degree_stats(base).mean + 4);
+}
+
+// --------------------------------------------------------------------- road
+
+TEST(RoadNetwork, MeanDegreeNearTwoAndDeep) {
+  const auto g = road_network({.grid_rows = 8, .grid_cols = 8, .keep_p = 0.8,
+                               .subdivisions = 20, .seed = 8});
+  const auto s = graph::degree_stats(g);
+  EXPECT_NEAR(s.mean, 2.0, 0.3);
+  const auto d = graph::bfs_reference(CscGraph::from_edges(g), 0).height;
+  EXPECT_GT(d, 100);  // depth ~ grid diameter x subdivisions
+}
+
+TEST(RoadNetwork, IsConnected) {
+  const auto g = road_network({.grid_rows = 6, .grid_cols = 6, .keep_p = 0.5,
+                               .subdivisions = 5, .seed = 9});
+  EXPECT_TRUE(is_connected_undirected(g));
+}
+
+// --------------------------------------------------------------------- kmer
+
+TEST(KmerLike, DegreeBoundedByBranching) {
+  const auto g = kmer_like({.chains = 32, .chain_len = 50, .branching = 4,
+                            .seed = 10});
+  const auto s = graph::degree_stats(g);
+  EXPECT_LE(s.max, 2 * 4);
+  EXPECT_NEAR(s.mean, 2.0, 0.3);
+}
+
+TEST(KmerLike, IsConnectedAndDeep) {
+  const auto g = kmer_like({.chains = 16, .chain_len = 80, .branching = 4,
+                            .seed = 11});
+  EXPECT_TRUE(is_connected_undirected(g));
+  const auto d = graph::bfs_reference(CscGraph::from_edges(g), 0).height;
+  EXPECT_GT(d, 80);
+}
+
+// ------------------------------------------------------------- preferential
+
+TEST(PreferentialAttachment, UndirectedHeavyTail) {
+  const auto g = preferential_attachment({.n = 4000, .m_attach = 2,
+                                          .directed = false, .seed = 12});
+  const auto s = graph::degree_stats(g);
+  EXPECT_GT(static_cast<double>(s.max), 8.0 * s.mean);
+  EXPECT_TRUE(is_connected_undirected(g));
+}
+
+TEST(PreferentialAttachment, DirectedHasConstantOutDegree) {
+  const auto g = preferential_attachment({.n = 1000, .m_attach = 2,
+                                          .directed = true, .seed = 13});
+  EXPECT_TRUE(g.directed());
+  const auto s = graph::degree_stats(g);
+  EXPECT_LE(s.max, 2);
+}
+
+TEST(SuperhubSocial, CelebritiesAbsorbArcs) {
+  const auto g = superhub_social({.n = 5000, .out_degree = 10,
+                                  .celebrities = 4, .celebrity_p = 0.3,
+                                  .seed = 14});
+  const auto in = g.in_degrees();
+  eidx_t celeb = 0;
+  for (int i = 0; i < 4; ++i) celeb += in[static_cast<std::size_t>(i)];
+  EXPECT_GT(static_cast<double>(celeb),
+            0.2 * static_cast<double>(g.num_arcs()));
+}
+
+// ---------------------------------------------------------------------- web
+
+TEST(WebCrawl, MatchesRequestedShape) {
+  const auto g = web_crawl({.n = 5000, .out_degree = 15, .copy_p = 0.5,
+                            .local_p = 0.85, .window = 100, .seed = 15});
+  EXPECT_TRUE(g.directed());
+  const auto s = graph::degree_stats(g);
+  EXPECT_GT(s.mean, 5.0);
+  // Locality window keeps the BFS moderately deep (not log n).
+  const auto d = graph::bfs_reference(CscGraph::from_edges(g), 0).height;
+  EXPECT_GT(d, 10);
+}
+
+TEST(WebCrawl, BackboneKeepsEveryPageReachable) {
+  const auto g = web_crawl({.n = 1000, .out_degree = 5, .copy_p = 0.4,
+                            .local_p = 0.8, .window = 50, .seed = 16});
+  const auto r = graph::bfs_reference(CscGraph::from_edges(g), 0);
+  EXPECT_EQ(r.reached, 1000);
+}
+
+// ------------------------------------------------------------------ traffic
+
+TEST(TrafficTrace, OneHubDominates) {
+  const auto g = traffic_trace({.n = 8000, .hubs = 10, .decay = 0.45,
+                                .seed = 17});
+  const auto s = graph::degree_stats(g);
+  EXPECT_GT(static_cast<double>(s.max),
+            0.3 * static_cast<double>(g.num_vertices()));
+  EXPECT_NEAR(s.mean, 2.0, 0.5);
+}
+
+TEST(TrafficTrace, ShallowBfs) {
+  const auto g = traffic_trace({.n = 8000, .hubs = 10, .decay = 0.45,
+                                .seed = 17});
+  const auto d = graph::bfs_reference(CscGraph::from_edges(g), 0).height;
+  EXPECT_LE(d, 12);
+  EXPECT_TRUE(is_connected_undirected(g));
+}
+
+// ------------------------------------------------------------ random graphs
+
+TEST(ErdosRenyi, RespectsDirectedness) {
+  EXPECT_TRUE(erdos_renyi({.n = 50, .arcs = 100, .directed = true, .seed = 18})
+                  .directed());
+  const auto u =
+      erdos_renyi({.n = 50, .arcs = 100, .directed = false, .seed = 18});
+  EXPECT_FALSE(u.directed());
+  EXPECT_TRUE(is_symmetric(u));
+}
+
+TEST(RandomLocalDigraph, MeanDegreeAndDepthAsRequested) {
+  const auto g = random_local_digraph({.n = 4000, .mean_out_degree = 14,
+                                       .degree_dispersion = 1.0,
+                                       .max_out_degree = 153, .window = 260,
+                                       .global_p = 0.01, .seed = 19});
+  const auto s = graph::degree_stats(g);
+  EXPECT_NEAR(s.mean, 14.0, 5.0);
+  EXPECT_LE(s.max, 153 + 1);  // +1 backbone arc
+  const auto d = graph::bfs_reference(CscGraph::from_edges(g), 0).height;
+  EXPECT_LT(d, 40);
+  EXPECT_GT(d, 5);
+}
+
+TEST(AllGenerators, ProduceCanonicalEdgeLists) {
+  // No duplicates, no self-loops — generators must hand analysis-ready data.
+  const std::vector<EdgeList> graphs = {
+      mycielski(7),
+      kronecker({.scale = 8, .edge_factor = 8, .seed = 1}),
+      small_world({.n = 500, .k = 6, .rewire_p = 0.1, .seed = 1}),
+      triangulated_grid(12, 12),
+      markov_lattice({.length = 15, .width = 15, .seed = 1}),
+      road_network({.grid_rows = 5, .grid_cols = 5, .keep_p = 0.8,
+                    .subdivisions = 3, .seed = 1}),
+      kmer_like({.chains = 8, .chain_len = 20, .branching = 3, .seed = 1}),
+      preferential_attachment({.n = 300, .m_attach = 2, .directed = false,
+                               .seed = 1}),
+      superhub_social({.n = 300, .out_degree = 6, .celebrities = 3,
+                       .celebrity_p = 0.3, .seed = 1}),
+      web_crawl({.n = 300, .out_degree = 6, .copy_p = 0.5, .local_p = 0.8,
+                 .window = 30, .seed = 1}),
+      traffic_trace({.n = 300, .hubs = 5, .decay = 0.5, .seed = 1}),
+      erdos_renyi({.n = 300, .arcs = 900, .directed = true, .seed = 1}),
+      random_local_digraph({.n = 300, .mean_out_degree = 5,
+                            .degree_dispersion = 0.8, .max_out_degree = 50,
+                            .window = 30, .global_p = 0.02, .seed = 1}),
+  };
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const auto& el = graphs[gi];
+    EdgeList canon = el;
+    canon.canonicalize();
+    EXPECT_EQ(canon.edges(), el.edges()) << "generator #" << gi;
+    for (const graph::Edge& e : el.edges()) {
+      EXPECT_NE(e.u, e.v) << "self loop from generator #" << gi;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace turbobc::gen

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpusim/costmodel.hpp"
+
+namespace turbobc::sim {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  DeviceProps props_ = DeviceProps::titan_xp();
+  CostModel cm_{DeviceProps::titan_xp()};
+  LaunchRecord rec_;
+};
+
+TEST_F(CostModelTest, CoalescedWarpLoadIsFourSectors) {
+  // 32 lanes loading consecutive 4-byte words = 128 B = four 32 B sectors.
+  std::vector<Access> acc;
+  for (int lane = 0; lane < 32; ++lane) {
+    acc.push_back({0x1000 + static_cast<std::uint64_t>(lane) * 4, 4,
+                   MemOp::kLoad});
+  }
+  cm_.process_slot(rec_, acc.data(), 32);
+  EXPECT_EQ(rec_.load_transactions, 4u);
+  EXPECT_EQ(rec_.load_requests, 32u);
+}
+
+TEST_F(CostModelTest, ScatteredWarpLoadIsThirtyTwoSectors) {
+  std::vector<Access> acc;
+  for (int lane = 0; lane < 32; ++lane) {
+    acc.push_back({0x1000 + static_cast<std::uint64_t>(lane) * 4096, 4,
+                   MemOp::kLoad});
+  }
+  const auto slots = cm_.process_slot(rec_, acc.data(), 32);
+  EXPECT_EQ(rec_.load_transactions, 32u);
+  EXPECT_EQ(slots, 32u);  // one replay per transaction
+}
+
+TEST_F(CostModelTest, BroadcastLoadIsOneSector) {
+  std::vector<Access> acc(32, Access{0x2000, 4, MemOp::kLoad});
+  cm_.process_slot(rec_, acc.data(), 32);
+  EXPECT_EQ(rec_.load_transactions, 1u);
+}
+
+TEST_F(CostModelTest, StraddlingAccessTouchesTwoSectors) {
+  Access a{0x101e, 4, MemOp::kLoad};  // crosses the 0x1020 boundary
+  cm_.process_slot(rec_, &a, 1);
+  EXPECT_EQ(rec_.load_transactions, 2u);
+}
+
+TEST_F(CostModelTest, FirstTouchMissesThenHits) {
+  Access a{0x5000, 4, MemOp::kLoad};
+  cm_.process_slot(rec_, &a, 1);
+  EXPECT_EQ(rec_.dram_transactions, 1u);
+  EXPECT_EQ(rec_.l2_hit_transactions, 0u);
+  cm_.process_slot(rec_, &a, 1);
+  EXPECT_EQ(rec_.dram_transactions, 1u);
+  EXPECT_EQ(rec_.l2_hit_transactions, 1u);
+}
+
+TEST_F(CostModelTest, ResetL2ForgetsContents) {
+  Access a{0x5000, 4, MemOp::kLoad};
+  cm_.process_slot(rec_, &a, 1);
+  cm_.reset_l2();
+  cm_.process_slot(rec_, &a, 1);
+  EXPECT_EQ(rec_.dram_transactions, 2u);
+}
+
+TEST_F(CostModelTest, DirectMappedConflictEvicts) {
+  // Two sectors that collide in the direct-mapped array evict each other.
+  const std::uint64_t lines = props_.l2_bytes / props_.sector_bytes;
+  Access a{0x0, 4, MemOp::kLoad};
+  Access b{lines * static_cast<std::uint64_t>(props_.sector_bytes), 4,
+           MemOp::kLoad};
+  cm_.process_slot(rec_, &a, 1);
+  cm_.process_slot(rec_, &b, 1);  // evicts a
+  cm_.process_slot(rec_, &a, 1);  // misses again
+  EXPECT_EQ(rec_.dram_transactions, 3u);
+}
+
+TEST_F(CostModelTest, ContendedAtomicsSerialize) {
+  // 32 atomics to the same address: 1 transaction, 31 extra serialization
+  // slots on top of the issue.
+  std::vector<Access> acc(32, Access{0x3000, 8, MemOp::kAtomic});
+  const auto slots = cm_.process_slot(rec_, acc.data(), 32);
+  EXPECT_EQ(rec_.store_transactions, 1u);
+  EXPECT_EQ(slots, 1u + 31u);
+  EXPECT_EQ(rec_.atomic_requests, 32u);
+}
+
+TEST_F(CostModelTest, UncontendedAtomicsDoNotSerialize) {
+  std::vector<Access> acc;
+  for (int lane = 0; lane < 32; ++lane) {
+    acc.push_back({0x3000 + static_cast<std::uint64_t>(lane) * 8, 8,
+                   MemOp::kAtomic});
+  }
+  const auto slots = cm_.process_slot(rec_, acc.data(), 32);
+  EXPECT_EQ(slots, 8u);  // 8 sectors, no contention
+}
+
+TEST_F(CostModelTest, FloatAtomicsCostMore) {
+  std::vector<Access> icc(4, Access{0x3000, 8, MemOp::kAtomic});
+  LaunchRecord ri;
+  const auto int_slots = cm_.process_slot(ri, icc.data(), 4);
+
+  std::vector<Access> fcc(4, Access{0x3000, 8, MemOp::kAtomicFloat});
+  LaunchRecord rf;
+  const auto float_slots = cm_.process_slot(rf, fcc.data(), 4);
+  EXPECT_EQ(float_slots, int_slots * CostModel::kFloatAtomicPenalty);
+}
+
+TEST_F(CostModelTest, StoresCountAsStoreTransactions) {
+  std::vector<Access> acc;
+  for (int lane = 0; lane < 8; ++lane) {
+    acc.push_back({0x4000 + static_cast<std::uint64_t>(lane) * 4, 4,
+                   MemOp::kStore});
+  }
+  cm_.process_slot(rec_, acc.data(), 8);
+  EXPECT_EQ(rec_.store_transactions, 1u);
+  EXPECT_EQ(rec_.load_transactions, 0u);
+  EXPECT_EQ(rec_.store_requests, 8u);
+}
+
+TEST_F(CostModelTest, FinalizeIncludesLaunchOverhead) {
+  const double t = cm_.finalize(rec_);
+  EXPECT_GE(t, props_.kernel_launch_overhead_s);
+  EXPECT_DOUBLE_EQ(rec_.time_s, t);
+}
+
+TEST_F(CostModelTest, CriticalPathBoundsSmallLaunches) {
+  // A single warp with a huge slot count must be bounded by the per-warp
+  // dependent-issue rate, not the whole-device throughput.
+  rec_.issue_slots = 1000;
+  rec_.max_warp_slots = 1000;
+  cm_.finalize(rec_);
+  const double critical =
+      1000 * props_.cycles_per_dependent_slot / props_.clock_hz;
+  EXPECT_GE(rec_.time_s, critical);
+}
+
+TEST_F(CostModelTest, GltAboveDramPeakWhenCacheHitsDominate) {
+  // Load the same sectors many times: all hits after the first pass, so the
+  // modeled GLT can exceed the DRAM bandwidth (the paper's Figure 5b effect).
+  LaunchRecord rec;
+  std::vector<Access> acc;
+  for (int lane = 0; lane < 32; ++lane) {
+    acc.push_back({0x9000 + static_cast<std::uint64_t>(lane) * 4, 4,
+                   MemOp::kLoad});
+  }
+  std::uint64_t max_warp = 0;
+  for (int rep = 0; rep < 200000; ++rep) {
+    max_warp += cm_.process_slot(rec, acc.data(), 32);
+  }
+  rec.warps = 100000;  // plenty of parallel warps: throughput-bound
+  rec.max_warp_slots = 8;
+  cm_.finalize(rec);
+  EXPECT_GT(rec.glt_bps(props_.sector_bytes), props_.dram_bandwidth_bps);
+}
+
+TEST_F(CostModelTest, MemsetTimeScalesWithBytes) {
+  EXPECT_GT(cm_.memset_time(1 << 20), cm_.memset_time(1 << 10));
+  EXPECT_GE(cm_.memset_time(0), props_.kernel_launch_overhead_s);
+}
+
+TEST_F(CostModelTest, TransferTimeHasFixedLatency) {
+  EXPECT_GE(cm_.transfer_time(4), props_.pcie_latency_s);
+}
+
+TEST_F(CostModelTest, EmptySlotIsFree) {
+  EXPECT_EQ(cm_.process_slot(rec_, nullptr, 0), 0u);
+  EXPECT_EQ(rec_.issue_slots, 0u);
+}
+
+}  // namespace
+}  // namespace turbobc::sim

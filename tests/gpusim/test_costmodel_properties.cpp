@@ -1,0 +1,123 @@
+// Property-style sweeps over the cost model: monotonicity and ordering
+// relations that must hold for ANY access pattern, parameterized across
+// strides and warp occupancies.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpusim/costmodel.hpp"
+
+namespace turbobc::sim {
+namespace {
+
+std::vector<Access> strided_warp(std::uint64_t base, int lanes, int stride,
+                                 int size, MemOp op) {
+  std::vector<Access> acc;
+  for (int lane = 0; lane < lanes; ++lane) {
+    acc.push_back({base + static_cast<std::uint64_t>(lane) *
+                              static_cast<std::uint64_t>(stride),
+                   static_cast<std::uint8_t>(size), op});
+  }
+  return acc;
+}
+
+/// Transactions for one slot with the given stride.
+std::uint64_t tx_for_stride(int stride) {
+  CostModel cm{DeviceProps::titan_xp()};
+  LaunchRecord rec;
+  const auto acc = strided_warp(0x1000, 32, stride, 4, MemOp::kLoad);
+  cm.process_slot(rec, acc.data(), 32);
+  return rec.load_transactions + rec.store_transactions;
+}
+
+class StrideSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrideSweep, TransactionsNeverDecreaseWithStride) {
+  const int stride = GetParam();
+  EXPECT_GE(tx_for_stride(stride * 2), tx_for_stride(stride));
+}
+
+TEST_P(StrideSweep, TransactionsBoundedByLanesAndSectors) {
+  const auto tx = tx_for_stride(GetParam());
+  EXPECT_GE(tx, 4u);   // 128 B of 4 B loads needs at least 4 sectors
+  EXPECT_LE(tx, 64u);  // at most 2 sectors per lane
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, StrideSweep,
+                         ::testing::Values(4, 8, 16, 32, 64, 128, 256));
+
+class OccupancySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OccupancySweep, FewerActiveLanesNeverCostMoreTransactions) {
+  const int lanes = GetParam();
+  CostModel cm{DeviceProps::titan_xp()};
+  LaunchRecord partial, full;
+  const auto accp = strided_warp(0x1000, lanes, 64, 4, MemOp::kLoad);
+  cm.process_slot(partial, accp.data(), lanes);
+  cm.reset_l2();
+  const auto accf = strided_warp(0x1000, 32, 64, 4, MemOp::kLoad);
+  cm.process_slot(full, accf.data(), 32);
+  EXPECT_LE(partial.load_transactions, full.load_transactions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, OccupancySweep,
+                         ::testing::Values(1, 2, 7, 16, 31));
+
+TEST(CostModelProperties, TimeMonotoneInDramTraffic) {
+  // More DRAM transactions can never make a launch faster (equal compute).
+  CostModel cm{DeviceProps::titan_xp()};
+  LaunchRecord small, big;
+  small.dram_transactions = 1000;
+  big.dram_transactions = 100000;
+  EXPECT_LT(cm.finalize(small), cm.finalize(big));
+}
+
+TEST(CostModelProperties, L2HitsAreCheaperThanDramMisses) {
+  CostModel cm{DeviceProps::titan_xp()};
+  LaunchRecord hits, misses;
+  hits.l2_hit_transactions = 100000;
+  misses.dram_transactions = 100000;
+  EXPECT_LT(cm.finalize(hits), cm.finalize(misses));
+}
+
+TEST(CostModelProperties, FloatAtomicsNeverCheaperThanInt) {
+  CostModel cm{DeviceProps::titan_xp()};
+  LaunchRecord i, f;
+  i.atomic_requests = 1000000;
+  f.atomic_requests = 1000000;
+  f.atomic_float_requests = 1000000;
+  EXPECT_LE(cm.finalize(i), cm.finalize(f));
+}
+
+TEST(CostModelProperties, LaunchOverheadIsTheFloor) {
+  CostModel cm{DeviceProps::titan_xp()};
+  LaunchRecord empty;
+  EXPECT_DOUBLE_EQ(cm.finalize(empty),
+                   DeviceProps::titan_xp().kernel_launch_overhead_s);
+}
+
+TEST(CostModelProperties, GltIsTransactionBytesOverTime) {
+  LaunchRecord rec;
+  rec.load_transactions = 1000;
+  rec.time_s = 1e-6;
+  EXPECT_DOUBLE_EQ(rec.glt_bps(32), 1000.0 * 32 / 1e-6);
+  EXPECT_DOUBLE_EQ(rec.transaction_bytes(32), 32000u);
+}
+
+TEST(CostModelProperties, SlotCostScalesWithReplays) {
+  // A fully scattered warp load must cost >= a fully coalesced one in issue
+  // slots, for every size.
+  for (const int size : {1, 2, 4, 8}) {
+    CostModel cm{DeviceProps::titan_xp()};
+    LaunchRecord coalesced, scattered;
+    const auto c = strided_warp(0x1000, 32, size, size, MemOp::kLoad);
+    const auto slots_c = cm.process_slot(coalesced, c.data(), 32);
+    cm.reset_l2();
+    const auto s = strided_warp(0x100000, 32, 4096, size, MemOp::kLoad);
+    const auto slots_s = cm.process_slot(scattered, s.data(), 32);
+    EXPECT_GE(slots_s, slots_c) << "size " << size;
+  }
+}
+
+}  // namespace
+}  // namespace turbobc::sim

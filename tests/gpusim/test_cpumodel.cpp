@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/cpumodel.hpp"
+
+namespace turbobc::sim {
+namespace {
+
+TEST(CpuModel, SequentialTimeIsAdditive) {
+  CpuModel m;
+  CpuOpCounts alu{.alu_ops = 1000000};
+  CpuOpCounts mem{.seq_bytes = 1000000};
+  CpuOpCounts both{.alu_ops = 1000000, .seq_bytes = 1000000};
+  EXPECT_DOUBLE_EQ(m.seconds_sequential(both),
+                   m.seconds_sequential(alu) + m.seconds_sequential(mem));
+}
+
+TEST(CpuModel, RandomBytesAreSlowerThanStreaming) {
+  CpuModel m;
+  CpuOpCounts seq{.seq_bytes = 1 << 20};
+  CpuOpCounts rnd{.rand_bytes = 1 << 20};
+  EXPECT_GT(m.seconds_sequential(rnd), m.seconds_sequential(seq));
+}
+
+TEST(CpuModel, ParallelBeatsSequentialOnBigWork) {
+  CpuModel m;
+  CpuOpCounts big{.alu_ops = 100000000, .seq_bytes = 400000000,
+                  .rand_bytes = 100000000, .rounds = 20};
+  EXPECT_LT(m.seconds_parallel(big), m.seconds_sequential(big));
+}
+
+TEST(CpuModel, RoundsChargeSynchronization) {
+  CpuModel m;
+  CpuOpCounts none{};
+  CpuOpCounts rounds{.rounds = 100};
+  EXPECT_DOUBLE_EQ(m.seconds_parallel(rounds) - m.seconds_parallel(none),
+                   100 * m.props().round_sync_s);
+}
+
+TEST(CpuModel, OpCountsAccumulate) {
+  CpuOpCounts a{.alu_ops = 1, .seq_bytes = 2, .rand_bytes = 3, .rounds = 4};
+  CpuOpCounts b{.alu_ops = 10, .seq_bytes = 20, .rand_bytes = 30,
+                .rounds = 40};
+  a += b;
+  EXPECT_EQ(a.alu_ops, 11u);
+  EXPECT_EQ(a.seq_bytes, 22u);
+  EXPECT_EQ(a.rand_bytes, 33u);
+  EXPECT_EQ(a.rounds, 44u);
+}
+
+TEST(CpuModel, SyncOverheadDominatesTinyParallelRounds) {
+  // A deep BFS with tiny frontiers must not look free on the parallel
+  // machine: the per-round barrier keeps a floor under it. (This is why
+  // ligra does not crush the GPU on road networks.)
+  CpuModel m;
+  CpuOpCounts deep{.alu_ops = 1000, .rand_bytes = 8000, .rounds = 1000};
+  EXPECT_GT(m.seconds_parallel(deep), 1000 * m.props().round_sync_s * 0.99);
+}
+
+}  // namespace
+}  // namespace turbobc::sim

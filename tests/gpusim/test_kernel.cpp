@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gpusim/buffer.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/kernel.hpp"
+
+namespace turbobc::sim {
+namespace {
+
+TEST(LaunchScalar, ExecutesEveryThreadOnce) {
+  Device dev;
+  DeviceBuffer<int> out(dev, 100, "out");
+  out.device_fill(0);
+  launch_scalar(dev, "mark", 100, [&](ThreadCtx& t) {
+    out.store(t, static_cast<std::size_t>(t.global_id()),
+              static_cast<int>(t.global_id()) + 1);
+  });
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out.host()[i], i + 1);
+}
+
+TEST(LaunchScalar, RecordsLaunchWithWarpCount) {
+  Device dev;
+  launch_scalar(dev, "noop", 100, [&](ThreadCtx&) {});
+  ASSERT_EQ(dev.launches().size(), 1u);
+  EXPECT_EQ(dev.launches()[0].kernel, "noop");
+  EXPECT_EQ(dev.launches()[0].warps, 4u);  // ceil(100/32)
+}
+
+TEST(LaunchScalar, ZeroThreadsStillCommitsARecord) {
+  Device dev;
+  launch_scalar(dev, "empty", 0, [&](ThreadCtx&) { FAIL(); });
+  ASSERT_EQ(dev.launches().size(), 1u);
+  EXPECT_EQ(dev.launches()[0].warps, 0u);
+}
+
+TEST(LaunchScalar, CoalescedAccessPatternYieldsFewTransactions) {
+  Device dev;
+  DeviceBuffer<int> buf(dev, 1024, "x");
+  launch_scalar(dev, "stream", 1024, [&](ThreadCtx& t) {
+    buf.load(t, static_cast<std::size_t>(t.global_id()));
+  });
+  // 1024 consecutive 4 B loads = 4096 B = 128 sectors.
+  EXPECT_EQ(dev.launches()[0].load_transactions, 128u);
+}
+
+TEST(LaunchScalar, StridedAccessPatternYieldsManyTransactions) {
+  Device dev;
+  DeviceBuffer<int> buf(dev, 1024 * 64, "x");
+  launch_scalar(dev, "strided", 1024, [&](ThreadCtx& t) {
+    buf.load(t, static_cast<std::size_t>(t.global_id()) * 64);
+  });
+  // Each lane lands in its own sector.
+  EXPECT_EQ(dev.launches()[0].load_transactions, 1024u);
+}
+
+TEST(LaunchScalar, DivergentWorkRaisesCriticalPath) {
+  Device dev;
+  DeviceBuffer<int> buf(dev, 100000, "x");
+  // Lane 0 of warp 0 walks 10000 elements; everyone else does one load.
+  launch_scalar(dev, "skewed", 64, [&](ThreadCtx& t) {
+    if (t.global_id() == 0) {
+      for (int k = 0; k < 10000; ++k) buf.load(t, static_cast<std::size_t>(k));
+    } else {
+      buf.load(t, static_cast<std::size_t>(t.global_id()));
+    }
+  });
+  EXPECT_GE(dev.launches()[0].max_warp_slots, 10000u);
+}
+
+TEST(LaunchScalar, AtomicAddAccumulatesAcrossThreads) {
+  Device dev;
+  DeviceBuffer<long long> acc(dev, 1, "acc");
+  acc.device_fill(0);
+  launch_scalar(dev, "sum", 1000, [&](ThreadCtx& t) {
+    acc.atomic_add(t, 0, static_cast<long long>(t.global_id()));
+  });
+  EXPECT_EQ(acc.host()[0], 999LL * 1000 / 2);
+  EXPECT_EQ(dev.launches()[0].atomic_requests, 1000u);
+}
+
+TEST(LaunchScalar, CountOpsFeedsIssueSlots) {
+  Device dev;
+  launch_scalar(dev, "alu", 32, [&](ThreadCtx& t) { t.count_ops(10); });
+  EXPECT_EQ(dev.launches()[0].issue_slots, 10u);  // lockstep: max over lanes
+}
+
+TEST(LaunchWarp, GatherReturnsValuesForActiveLanes) {
+  Device dev;
+  DeviceBuffer<int> buf(dev, 64, "x");
+  std::iota(buf.host().begin(), buf.host().end(), 0);
+  launch_warp(dev, "gather", 1, [&](WarpCtx& w) {
+    const auto vals = w.gather(buf, 0x0000ffffu,
+                               [](int lane) { return lane * 2; });
+    for (int lane = 0; lane < 16; ++lane) EXPECT_EQ(vals[lane], lane * 2);
+    for (int lane = 16; lane < 32; ++lane) EXPECT_EQ(vals[lane], 0);
+  });
+}
+
+TEST(LaunchWarp, ScatterWritesActiveLanes) {
+  Device dev;
+  DeviceBuffer<int> buf(dev, 32, "y");
+  buf.device_fill(-1);
+  launch_warp(dev, "scatter", 1, [&](WarpCtx& w) {
+    w.scatter(buf, 0xfu, [](int lane) { return lane; },
+              [](int lane) { return lane * lane; });
+  });
+  for (int lane = 0; lane < 4; ++lane) EXPECT_EQ(buf.host()[lane], lane * lane);
+  EXPECT_EQ(buf.host()[4], -1);
+}
+
+TEST(LaunchWarp, AtomicAddAppliesPerLane) {
+  Device dev;
+  DeviceBuffer<int> buf(dev, 4, "y");
+  buf.device_fill(0);
+  launch_warp(dev, "watomic", 1, [&](WarpCtx& w) {
+    w.atomic_add(buf, kFullMask, [](int lane) { return lane % 4; },
+                 [](int) { return 1; });
+  });
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(buf.host()[i], 8);
+}
+
+TEST(LaunchWarp, BroadcastLoadIsOneTransaction) {
+  Device dev;
+  DeviceBuffer<int> buf(dev, 8, "x");
+  buf.host()[3] = 77;
+  launch_warp(dev, "bcast", 1, [&](WarpCtx& w) {
+    EXPECT_EQ(w.broadcast_load(buf, 3), 77);
+  });
+  EXPECT_EQ(dev.launches()[0].load_transactions, 1u);
+}
+
+TEST(LaunchWarp, ShflDownMatchesCudaSemantics) {
+  Device dev;
+  launch_warp(dev, "shfl", 1, [&](WarpCtx& w) {
+    std::array<int, kWarpSize> v;
+    std::iota(v.begin(), v.end(), 0);
+    const auto shifted = w.shfl_down(v, 4);
+    for (int lane = 0; lane < 28; ++lane) EXPECT_EQ(shifted[lane], lane + 4);
+    // Lanes past the end keep their own value.
+    for (int lane = 28; lane < 32; ++lane) EXPECT_EQ(shifted[lane], lane);
+  });
+}
+
+TEST(LaunchWarp, ReduceAddSumsAllLanes) {
+  Device dev;
+  launch_warp(dev, "reduce", 1, [&](WarpCtx& w) {
+    std::array<int, kWarpSize> v;
+    std::iota(v.begin(), v.end(), 1);  // 1..32
+    EXPECT_EQ(w.reduce_add(v), 32 * 33 / 2);
+  });
+}
+
+TEST(LaunchWarp, ReduceAddWorksForDoubles) {
+  Device dev;
+  launch_warp(dev, "reduced", 1, [&](WarpCtx& w) {
+    std::array<double, kWarpSize> v{};
+    for (int lane = 0; lane < 32; ++lane) v[lane] = 0.5;
+    EXPECT_DOUBLE_EQ(w.reduce_add(v), 16.0);
+  });
+}
+
+TEST(LaunchWarp, GridStrideCoversAllWarpIds) {
+  Device dev;
+  DeviceBuffer<int> buf(dev, 10, "x");
+  buf.device_fill(0);
+  launch_warp(dev, "ids", 10, [&](WarpCtx& w) {
+    w.scatter(buf, 0x1u,
+              [&](int) { return static_cast<std::size_t>(w.warp_id()); },
+              [&](int) { return 1; });
+    EXPECT_EQ(w.num_warps(), 10u);
+  });
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(buf.host()[i], 1);
+}
+
+TEST(Device, KernelAggregatesGroupByName) {
+  Device dev;
+  launch_scalar(dev, "k", 32, [&](ThreadCtx& t) { t.count_ops(1); });
+  launch_scalar(dev, "k", 32, [&](ThreadCtx& t) { t.count_ops(1); });
+  launch_scalar(dev, "other", 32, [&](ThreadCtx& t) { t.count_ops(1); });
+  const auto& agg = dev.kernel_aggregates();
+  ASSERT_EQ(agg.count("k"), 1u);
+  EXPECT_EQ(agg.at("k").launches, 2u);
+  EXPECT_EQ(agg.at("other").launches, 1u);
+}
+
+TEST(Device, ResetTimelineClearsRecordsAndTime) {
+  Device dev;
+  launch_scalar(dev, "k", 32, [&](ThreadCtx& t) { t.count_ops(1); });
+  EXPECT_GT(dev.kernel_seconds(), 0.0);
+  dev.reset_timeline();
+  EXPECT_EQ(dev.kernel_seconds(), 0.0);
+  EXPECT_TRUE(dev.launches().empty());
+  EXPECT_TRUE(dev.kernel_aggregates().empty());
+}
+
+TEST(Device, KeepLaunchRecordsOffStillAggregates) {
+  Device dev;
+  dev.set_keep_launch_records(false);
+  launch_scalar(dev, "k", 32, [&](ThreadCtx& t) { t.count_ops(1); });
+  EXPECT_TRUE(dev.launches().empty());
+  EXPECT_EQ(dev.kernel_aggregates().at("k").launches, 1u);
+}
+
+}  // namespace
+}  // namespace turbobc::sim

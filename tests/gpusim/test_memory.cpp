@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gpusim/buffer.hpp"
+#include "gpusim/device.hpp"
+
+namespace turbobc::sim {
+namespace {
+
+DeviceProps tiny_device(std::size_t capacity) {
+  DeviceProps p = DeviceProps::titan_xp();
+  p.global_mem_bytes = capacity;
+  return p;
+}
+
+TEST(MemoryManager, TracksLiveAndPeak) {
+  MemoryManager mm(1000);
+  mm.allocate(400);
+  EXPECT_EQ(mm.live_bytes(), 400u);
+  mm.allocate(300);
+  EXPECT_EQ(mm.live_bytes(), 700u);
+  EXPECT_EQ(mm.peak_bytes(), 700u);
+  mm.release(400);
+  EXPECT_EQ(mm.live_bytes(), 300u);
+  EXPECT_EQ(mm.peak_bytes(), 700u);  // peak is a high-water mark
+}
+
+TEST(MemoryManager, ThrowsOnOverCapacity) {
+  MemoryManager mm(1000);
+  mm.allocate(900);
+  EXPECT_THROW(mm.allocate(200), DeviceOutOfMemory);
+  // Failed allocation must not corrupt the accounting.
+  EXPECT_EQ(mm.live_bytes(), 900u);
+  mm.release(900);
+  EXPECT_EQ(mm.live_bytes(), 0u);
+}
+
+TEST(MemoryManager, OomErrorCarriesContext) {
+  MemoryManager mm(100);
+  try {
+    mm.allocate(200);
+    FAIL() << "expected DeviceOutOfMemory";
+  } catch (const DeviceOutOfMemory& e) {
+    EXPECT_EQ(e.requested_bytes(), 200u);
+    EXPECT_EQ(e.live_bytes(), 0u);
+    EXPECT_EQ(e.capacity_bytes(), 100u);
+  }
+}
+
+TEST(MemoryManager, AddressesAreDistinctAndAligned) {
+  MemoryManager mm(1 << 20);
+  const auto a = mm.allocate(10);
+  const auto b = mm.allocate(10);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a % 256, 0u);
+  EXPECT_EQ(b % 256, 0u);
+  EXPECT_GE(b, a + 10);
+}
+
+TEST(MemoryManager, ResetPeakKeepsLive) {
+  MemoryManager mm(1000);
+  mm.allocate(500);
+  mm.release(500);
+  mm.allocate(100);
+  mm.reset_peak();
+  EXPECT_EQ(mm.peak_bytes(), 100u);
+}
+
+TEST(DeviceBuffer, RegistersAndReleases) {
+  Device dev(tiny_device(1 << 20));
+  {
+    DeviceBuffer<int> buf(dev, 100, "x");
+    EXPECT_EQ(dev.memory().live_bytes(), 400u);
+    EXPECT_EQ(buf.size(), 100u);
+  }
+  EXPECT_EQ(dev.memory().live_bytes(), 0u);
+  EXPECT_EQ(dev.memory().alloc_count(), 1u);
+  EXPECT_EQ(dev.memory().free_count(), 1u);
+}
+
+TEST(DeviceBuffer, ConstructionThrowsWhenTooBig) {
+  Device dev(tiny_device(100));
+  EXPECT_THROW(DeviceBuffer<double>(dev, 1000, "big"), DeviceOutOfMemory);
+}
+
+TEST(DeviceBuffer, MoveTransfersOwnership) {
+  Device dev(tiny_device(1 << 20));
+  DeviceBuffer<int> a(dev, 10, "a");
+  const auto addr = a.base_addr();
+  DeviceBuffer<int> b = std::move(a);
+  EXPECT_EQ(b.base_addr(), addr);
+  EXPECT_EQ(dev.memory().live_bytes(), 40u);
+}
+
+TEST(DeviceBuffer, CopyFromHostChargesTransfer) {
+  Device dev(tiny_device(1 << 20));
+  DeviceBuffer<int> buf(dev, 4, "x");
+  const double before = dev.transfer_seconds();
+  buf.copy_from_host(std::vector<int>{1, 2, 3, 4});
+  EXPECT_GT(dev.transfer_seconds(), before);
+  EXPECT_EQ(buf.host()[2], 3);
+}
+
+TEST(DeviceBuffer, CopyFromHostRejectsSizeMismatch) {
+  Device dev(tiny_device(1 << 20));
+  DeviceBuffer<int> buf(dev, 4, "x");
+  EXPECT_THROW(buf.copy_from_host(std::vector<int>{1, 2}), InvalidArgument);
+}
+
+TEST(DeviceBuffer, DeviceFillSetsValuesAndChargesKernelTime) {
+  Device dev(tiny_device(1 << 20));
+  DeviceBuffer<int> buf(dev, 8, "x");
+  const double before = dev.kernel_seconds();
+  buf.device_fill(7);
+  EXPECT_GT(dev.kernel_seconds(), before);
+  for (const int v : buf.host()) EXPECT_EQ(v, 7);
+}
+
+TEST(Device, AllocOverheadAccumulates) {
+  Device dev(tiny_device(1 << 20));
+  const double before = dev.overhead_seconds();
+  { DeviceBuffer<int> buf(dev, 4, "x"); }
+  // One cudaMalloc + one cudaFree.
+  EXPECT_DOUBLE_EQ(dev.overhead_seconds() - before,
+                   2 * dev.props().alloc_overhead_s);
+}
+
+TEST(Device, ScaledMemoryFactorScalesCapacity) {
+  const auto full = DeviceProps::titan_xp();
+  const auto half = DeviceProps::titan_xp_scaled_memory(0.5);
+  EXPECT_EQ(half.global_mem_bytes, full.global_mem_bytes / 2);
+}
+
+}  // namespace
+}  // namespace turbobc::sim

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gpusim/buffer.hpp"
+#include "gpusim/kernel.hpp"
+#include "gpusim/trace.hpp"
+
+namespace turbobc::sim {
+namespace {
+
+Device device_with_work() {
+  Device dev;
+  DeviceBuffer<int> buf(dev, 256, "x");
+  buf.device_fill(1);
+  launch_scalar(dev, "alpha", 256, [&](ThreadCtx& t) {
+    buf.load(t, static_cast<std::size_t>(t.global_id()));
+  });
+  launch_scalar(dev, "beta", 64, [&](ThreadCtx& t) {
+    buf.store(t, static_cast<std::size_t>(t.global_id()), 2);
+  });
+  launch_scalar(dev, "alpha", 256, [&](ThreadCtx& t) {
+    buf.load(t, static_cast<std::size_t>(t.global_id()));
+  });
+  return dev;
+}
+
+TEST(KernelProfile, ListsEveryKernelOnce) {
+  const Device dev = device_with_work();
+  std::ostringstream os;
+  print_kernel_profile(os, dev);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  // alpha launched twice, beta once.
+  EXPECT_NE(out.find("2"), std::string::npos);
+  EXPECT_NE(out.find("GLT(GB/s)"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmitsOneEventPerLaunch) {
+  const Device dev = device_with_work();
+  std::ostringstream os;
+  write_chrome_trace(os, dev);
+  const std::string out = os.str();
+  std::size_t events = 0;
+  for (std::size_t pos = out.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = out.find("\"ph\":\"X\"", pos + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, dev.launches().size());
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_EQ(out.back(), '}');
+  EXPECT_NE(out.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(out.find("\"glt_gbps\":"), std::string::npos);
+}
+
+TEST(ChromeTrace, TimestampsAreMonotone) {
+  const Device dev = device_with_work();
+  std::ostringstream os;
+  write_chrome_trace(os, dev);
+  const std::string out = os.str();
+  double prev = -1.0;
+  for (std::size_t pos = out.find("\"ts\":"); pos != std::string::npos;
+       pos = out.find("\"ts\":", pos + 1)) {
+    const double ts = std::stod(out.substr(pos + 5));
+    EXPECT_GT(ts, prev);
+    prev = ts;
+  }
+  EXPECT_GE(prev, 0.0);
+}
+
+TEST(ChromeTrace, EmptyDeviceYieldsEmptyArray) {
+  Device dev;
+  std::ostringstream os;
+  write_chrome_trace(os, dev);
+  EXPECT_EQ(os.str(), "{\"traceEvents\":[]}");
+}
+
+}  // namespace
+}  // namespace turbobc::sim

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "baselines/brandes.hpp"
+#include "common/error.hpp"
+#include "core/turbobc.hpp"
+#include "generators/generators.hpp"
+#include "gpusim/device.hpp"
+#include "graph/components.hpp"
+#include "graph/csr.hpp"
+
+namespace turbobc::graph {
+namespace {
+
+EdgeList two_triangles_and_isolated() {
+  // Component 0: {0,1,2} triangle; component 1: {3,4,5} triangle;
+  // component 2: isolated vertex 6.
+  EdgeList el(7, true);
+  el.add_edge(0, 1);
+  el.add_edge(1, 2);
+  el.add_edge(2, 0);
+  el.add_edge(3, 4);
+  el.add_edge(4, 5);
+  el.add_edge(5, 3);
+  el.symmetrize();
+  return el;
+}
+
+TEST(Components, FindsAllComponents) {
+  const auto c = weakly_connected_components(two_triangles_and_isolated());
+  EXPECT_EQ(c.count, 3);
+  EXPECT_EQ(c.sizes[0], 3);
+  EXPECT_EQ(c.sizes[1], 3);
+  EXPECT_EQ(c.sizes[2], 1);
+  EXPECT_EQ(c.component[0], c.component[2]);
+  EXPECT_NE(c.component[0], c.component[3]);
+  EXPECT_EQ(c.component[6], 2);
+}
+
+TEST(Components, ConnectedGraphIsOneComponent) {
+  const auto g = gen::mycielski(8);
+  const auto c = weakly_connected_components(g);
+  EXPECT_EQ(c.count, 1);
+  EXPECT_EQ(c.sizes[0], g.num_vertices());
+  EXPECT_EQ(c.largest(), 0);
+}
+
+TEST(Components, DirectedWeakConnectivityIgnoresDirection) {
+  // 0 -> 1 <- 2: weakly one component despite no directed path 0 -> 2.
+  EdgeList el(3, true);
+  el.add_edge(0, 1);
+  el.add_edge(2, 1);
+  const auto c = weakly_connected_components(el);
+  EXPECT_EQ(c.count, 1);
+}
+
+TEST(Components, LargestPicksBiggest) {
+  EdgeList el(10, true);
+  el.add_edge(0, 1);  // size 2
+  for (vidx_t v = 2; v < 9; ++v) el.add_edge(v, v + 1);  // size 8
+  el.symmetrize();
+  const auto c = weakly_connected_components(el);
+  EXPECT_EQ(c.count, 2);
+  EXPECT_EQ(c.sizes[static_cast<std::size_t>(c.largest())], 8);
+}
+
+TEST(Components, ExtractRenumbersDensely) {
+  const auto el = two_triangles_and_isolated();
+  const auto c = weakly_connected_components(el);
+  std::vector<vidx_t> mapping;
+  const auto sub = extract_component(el, c, 1, &mapping);
+  EXPECT_EQ(sub.num_vertices(), 3);
+  EXPECT_EQ(sub.num_arcs(), 6);  // triangle, both arc directions
+  EXPECT_EQ(mapping[3], 0);
+  EXPECT_EQ(mapping[4], 1);
+  EXPECT_EQ(mapping[5], 2);
+  EXPECT_EQ(mapping[0], kInvalidVertex);
+}
+
+TEST(Components, ExtractIsolatedVertex) {
+  const auto el = two_triangles_and_isolated();
+  const auto c = weakly_connected_components(el);
+  const auto sub = extract_component(el, c, 2);
+  EXPECT_EQ(sub.num_vertices(), 1);
+  EXPECT_EQ(sub.num_arcs(), 0);
+}
+
+TEST(Components, RejectsBadComponentId) {
+  const auto el = two_triangles_and_isolated();
+  const auto c = weakly_connected_components(el);
+  EXPECT_THROW(extract_component(el, c, 5), InvalidArgument);
+}
+
+TEST(Components, BcOnComponentsEqualsBcOnWhole) {
+  // BC is component-local: computing per component and stitching back must
+  // match BC of the disconnected whole.
+  const auto el = two_triangles_and_isolated();
+  const auto whole = baseline::brandes_bc(el);
+
+  const auto c = weakly_connected_components(el);
+  std::vector<bc_t> stitched(7, 0.0);
+  for (vidx_t id = 0; id < c.count; ++id) {
+    std::vector<vidx_t> mapping;
+    const auto sub = extract_component(el, c, id, &mapping);
+    if (sub.num_vertices() == 0) continue;
+    const auto part = baseline::brandes_bc(sub);
+    for (vidx_t v = 0; v < 7; ++v) {
+      if (mapping[static_cast<std::size_t>(v)] != kInvalidVertex) {
+        stitched[static_cast<std::size_t>(v)] =
+            part[static_cast<std::size_t>(
+                mapping[static_cast<std::size_t>(v)])];
+      }
+    }
+  }
+  for (std::size_t v = 0; v < 7; ++v) {
+    EXPECT_NEAR(stitched[v], whole[v], 1e-12) << v;
+  }
+}
+
+TEST(Components, GiantComponentWorkflowWithTurboBC) {
+  // The practical pipeline: find the giant component, run BC inside it.
+  auto el = gen::erdos_renyi({.n = 300, .arcs = 350, .directed = false,
+                              .seed = 33});  // sparse: many components
+  const auto c = weakly_connected_components(el);
+  ASSERT_GT(c.count, 1);
+  const auto giant = extract_component(el, c, c.largest());
+  EXPECT_GT(giant.num_vertices(), 0);
+
+  sim::Device dev;
+  bc::TurboBC turbo(dev, giant, {.variant = bc::Variant::kScCsc});
+  const auto r = turbo.run_single_source(0);
+  EXPECT_EQ(r.last_source.reached > 0, true);
+}
+
+}  // namespace
+}  // namespace turbobc::graph

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "graph/edge_list.hpp"
+
+namespace turbobc::graph {
+namespace {
+
+TEST(EdgeList, AddAndCount) {
+  EdgeList el(4, true);
+  el.add_edge(0, 1);
+  el.add_edge(1, 2);
+  EXPECT_EQ(el.num_vertices(), 4);
+  EXPECT_EQ(el.num_arcs(), 2);
+  EXPECT_TRUE(el.directed());
+}
+
+TEST(EdgeList, RejectsOutOfRangeEndpoints) {
+  EdgeList el(3, true);
+  EXPECT_THROW(el.add_edge(0, 3), InvalidArgument);
+  EXPECT_THROW(el.add_edge(-1, 0), InvalidArgument);
+}
+
+TEST(EdgeList, CanonicalizeSortsDedupsAndDropsSelfLoops) {
+  EdgeList el(5, true);
+  el.add_edge(2, 1);
+  el.add_edge(0, 1);
+  el.add_edge(0, 1);  // duplicate
+  el.add_edge(3, 3);  // self loop
+  el.canonicalize();
+  ASSERT_EQ(el.num_arcs(), 2);
+  EXPECT_EQ(el.edges()[0], (Edge{0, 1}));
+  EXPECT_EQ(el.edges()[1], (Edge{2, 1}));
+}
+
+TEST(EdgeList, CanonicalizeIsIdempotent) {
+  EdgeList el(5, true);
+  el.add_edge(2, 1);
+  el.add_edge(0, 4);
+  el.canonicalize();
+  const auto before = el.edges();
+  el.canonicalize();
+  EXPECT_EQ(el.edges(), before);
+}
+
+TEST(EdgeList, SymmetrizeAddsReverseArcsAndMarksUndirected) {
+  EdgeList el(3, true);
+  el.add_edge(0, 1);
+  el.add_edge(1, 2);
+  el.symmetrize();
+  EXPECT_FALSE(el.directed());
+  EXPECT_EQ(el.num_arcs(), 4);
+}
+
+TEST(EdgeList, SymmetrizeIsIdempotentOnArcCount) {
+  EdgeList el(3, true);
+  el.add_edge(0, 1);
+  el.symmetrize();
+  const auto arcs = el.num_arcs();
+  el.symmetrize();
+  EXPECT_EQ(el.num_arcs(), arcs);
+}
+
+TEST(EdgeList, DegreesMatchArcs) {
+  EdgeList el(4, true);
+  el.add_edge(0, 1);
+  el.add_edge(0, 2);
+  el.add_edge(3, 0);
+  const auto out = el.out_degrees();
+  const auto in = el.in_degrees();
+  EXPECT_EQ(out[0], 2);
+  EXPECT_EQ(out[3], 1);
+  EXPECT_EQ(in[0], 1);
+  EXPECT_EQ(in[1], 1);
+  EXPECT_EQ(in[2], 1);
+}
+
+TEST(EdgeList, ReversedFlipsEveryArc) {
+  EdgeList el(3, true);
+  el.add_edge(0, 1);
+  el.add_edge(2, 0);
+  const EdgeList rev = el.reversed();
+  EXPECT_EQ(rev.edges()[0], (Edge{1, 0}));
+  EXPECT_EQ(rev.edges()[1], (Edge{0, 2}));
+}
+
+TEST(EdgeList, EmptyGraphIsLegal) {
+  EdgeList el(0, true);
+  el.canonicalize();
+  EXPECT_EQ(el.num_arcs(), 0);
+}
+
+}  // namespace
+}  // namespace turbobc::graph

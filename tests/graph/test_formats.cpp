@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "generators/random_graphs.hpp"
+#include "graph/cooc.hpp"
+#include "graph/csc.hpp"
+
+namespace turbobc::graph {
+namespace {
+
+EdgeList small_directed() {
+  // The paper's Figure 1 style example: a handful of arcs.
+  EdgeList el(4, true);
+  el.add_edge(0, 1);
+  el.add_edge(0, 2);
+  el.add_edge(1, 2);
+  el.add_edge(2, 3);
+  el.add_edge(3, 0);
+  return el;
+}
+
+TEST(CscGraph, ColumnsHoldInNeighbours) {
+  const CscGraph g = CscGraph::from_edges(small_directed());
+  ASSERT_EQ(g.num_vertices(), 4);
+  ASSERT_EQ(g.num_arcs(), 5);
+  // Column 2's rows are its in-neighbours {0, 1}.
+  const auto [b, e] = g.column_range(2);
+  ASSERT_EQ(e - b, 2);
+  EXPECT_EQ(g.row_idx()[static_cast<std::size_t>(b)], 0);
+  EXPECT_EQ(g.row_idx()[static_cast<std::size_t>(b) + 1], 1);
+}
+
+TEST(CscGraph, ColPtrIsMonotoneAndComplete) {
+  const CscGraph g = CscGraph::from_edges(small_directed());
+  EXPECT_EQ(g.col_ptr().front(), 0);
+  EXPECT_EQ(g.col_ptr().back(), g.num_arcs());
+  for (std::size_t i = 1; i < g.col_ptr().size(); ++i) {
+    EXPECT_LE(g.col_ptr()[i - 1], g.col_ptr()[i]);
+  }
+}
+
+TEST(CscGraph, InDegreeMatchesEdgeList) {
+  const auto el = small_directed();
+  const CscGraph g = CscGraph::from_edges(el);
+  const auto in = el.in_degrees();
+  for (vidx_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.in_degree(v), in[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(CscGraph, RowsAscendWithinColumns) {
+  const auto el = gen::erdos_renyi({.n = 200, .arcs = 2000, .directed = true,
+                                    .seed = 5});
+  const CscGraph g = CscGraph::from_edges(el);
+  for (vidx_t v = 0; v < g.num_vertices(); ++v) {
+    const auto [b, e] = g.column_range(v);
+    for (eidx_t k = b + 1; k < e; ++k) {
+      EXPECT_LT(g.row_idx()[static_cast<std::size_t>(k - 1)],
+                g.row_idx()[static_cast<std::size_t>(k)]);
+    }
+  }
+}
+
+TEST(CscGraph, DropsDuplicatesAndSelfLoops) {
+  EdgeList el(3, true);
+  el.add_edge(0, 1);
+  el.add_edge(0, 1);
+  el.add_edge(1, 1);
+  const CscGraph g = CscGraph::from_edges(el);
+  EXPECT_EQ(g.num_arcs(), 1);
+}
+
+TEST(CoocGraph, IsColumnMajorSorted) {
+  const CoocGraph g = CoocGraph::from_edges(small_directed());
+  ASSERT_EQ(g.num_arcs(), 5);
+  for (std::size_t k = 1; k < g.col_idx().size(); ++k) {
+    const bool ordered =
+        g.col_idx()[k - 1] < g.col_idx()[k] ||
+        (g.col_idx()[k - 1] == g.col_idx()[k] &&
+         g.row_idx()[k - 1] < g.row_idx()[k]);
+    EXPECT_TRUE(ordered) << "at nonzero " << k;
+  }
+}
+
+TEST(CoocGraph, MatchesCscExpansion) {
+  const auto el = gen::erdos_renyi({.n = 100, .arcs = 900, .directed = true,
+                                    .seed = 7});
+  const CscGraph csc = CscGraph::from_edges(el);
+  const CoocGraph cooc = CoocGraph::from_edges(el);
+  ASSERT_EQ(csc.num_arcs(), cooc.num_arcs());
+  // Expanding the CSC column pointers must reproduce COOC's col array, and
+  // the row arrays must agree entry for entry ("COOC is the transpose-order
+  // coordinate expansion of CSC").
+  std::size_t k = 0;
+  for (vidx_t v = 0; v < csc.num_vertices(); ++v) {
+    const auto [b, e] = csc.column_range(v);
+    for (eidx_t i = b; i < e; ++i, ++k) {
+      EXPECT_EQ(cooc.col_idx()[k], v);
+      EXPECT_EQ(cooc.row_idx()[k],
+                csc.row_idx()[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST(Formats, StorageBytesMatchPaperInventory) {
+  const auto el = small_directed();
+  const CscGraph csc = CscGraph::from_edges(el);
+  const CoocGraph cooc = CoocGraph::from_edges(el);
+  // CSC: (n+1) pointers + m rows; COOC: 2m indices.
+  EXPECT_EQ(csc.storage_bytes(),
+            5 * sizeof(eidx_t) + 5 * sizeof(vidx_t));
+  EXPECT_EQ(cooc.storage_bytes(), 10 * sizeof(vidx_t));
+}
+
+TEST(Formats, UndirectedGraphsProduceSymmetricStructure) {
+  EdgeList el(3, true);
+  el.add_edge(0, 1);
+  el.add_edge(1, 2);
+  el.symmetrize();
+  const CscGraph g = CscGraph::from_edges(el);
+  // Symmetric: in-degree == out-degree for every vertex.
+  const auto out = el.out_degrees();
+  for (vidx_t v = 0; v < 3; ++v) {
+    EXPECT_EQ(g.in_degree(v), out[static_cast<std::size_t>(v)]);
+  }
+}
+
+}  // namespace
+}  // namespace turbobc::graph

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "generators/random_graphs.hpp"
+#include "graph/mtx_io.hpp"
+
+namespace turbobc::graph {
+namespace {
+
+TEST(MtxIo, ReadsPatternGeneral) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "% a comment\n"
+      "3 3 2\n"
+      "1 2\n"
+      "3 1\n");
+  const EdgeList el = read_matrix_market(in);
+  EXPECT_EQ(el.num_vertices(), 3);
+  EXPECT_EQ(el.num_arcs(), 2);
+  EXPECT_TRUE(el.directed());
+  EXPECT_EQ(el.edges()[0], (Edge{0, 1}));  // 1-based -> 0-based
+  EXPECT_EQ(el.edges()[1], (Edge{2, 0}));
+}
+
+TEST(MtxIo, ReadsSymmetricAndExpands) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 2\n"
+      "2 1\n"
+      "3 2\n");
+  const EdgeList el = read_matrix_market(in);
+  EXPECT_FALSE(el.directed());
+  EXPECT_EQ(el.num_arcs(), 4);  // both arc directions
+}
+
+TEST(MtxIo, DiscardsRealWeights) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 2 3.75\n");
+  const EdgeList el = read_matrix_market(in);
+  EXPECT_EQ(el.num_arcs(), 1);
+}
+
+TEST(MtxIo, DiscardsIntegerWeights) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 1\n"
+      "2 1 5\n");
+  EXPECT_EQ(read_matrix_market(in).num_arcs(), 1);
+}
+
+TEST(MtxIo, AcceptsCrlfLineEndings) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\r\n"
+      "% dos file\r\n"
+      "3 3 2\r\n"
+      "1 2\r\n"
+      "3 1\r\n");
+  const EdgeList el = read_matrix_market(in);
+  EXPECT_EQ(el.num_vertices(), 3);
+  EXPECT_EQ(el.num_arcs(), 2);
+}
+
+TEST(MtxIo, AcceptsBlankAndCommentLinesAmongEntries) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3 2\n"
+      "\n"
+      "1 2\n"
+      "% interleaved comment\n"
+      "3 1\n");
+  EXPECT_EQ(read_matrix_market(in).num_arcs(), 2);
+}
+
+TEST(MtxIo, RejectsNonSquare) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 3 1\n"
+      "1 2\n");
+  EXPECT_THROW(read_matrix_market(in), InvalidArgument);
+}
+
+TEST(MtxIo, RejectsMissingBanner) {
+  std::istringstream in("3 3 0\n");
+  EXPECT_THROW(read_matrix_market(in), InvalidArgument);
+}
+
+TEST(MtxIo, RejectsUnsupportedField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate complex general\n"
+      "2 2 0\n");
+  EXPECT_THROW(read_matrix_market(in), InvalidArgument);
+}
+
+TEST(MtxIo, RejectsOutOfRangeEntry) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "1 5\n");
+  EXPECT_THROW(read_matrix_market(in), InvalidArgument);
+}
+
+TEST(MtxIo, RejectsTruncatedStream) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n");
+  EXPECT_THROW(read_matrix_market(in), InvalidArgument);
+}
+
+TEST(MtxIo, RoundTripsDirectedGraph) {
+  const auto el = gen::erdos_renyi({.n = 40, .arcs = 200, .directed = true,
+                                    .seed = 9});
+  std::ostringstream out;
+  write_matrix_market(out, el);
+  std::istringstream in(out.str());
+  const EdgeList back = read_matrix_market(in);
+  EXPECT_EQ(back.num_vertices(), el.num_vertices());
+  EXPECT_EQ(back.edges(), el.edges());
+  EXPECT_EQ(back.directed(), el.directed());
+}
+
+TEST(MtxIo, RoundTripsUndirectedGraph) {
+  const auto el = gen::erdos_renyi({.n = 30, .arcs = 120, .directed = false,
+                                    .seed = 10});
+  std::ostringstream out;
+  write_matrix_market(out, el);
+  std::istringstream in(out.str());
+  const EdgeList back = read_matrix_market(in);
+  EXPECT_EQ(back.num_vertices(), el.num_vertices());
+  EXPECT_EQ(back.edges(), el.edges());
+  EXPECT_FALSE(back.directed());
+}
+
+TEST(MtxIo, FileRoundTrip) {
+  const auto el = gen::erdos_renyi({.n = 10, .arcs = 30, .directed = true,
+                                    .seed = 11});
+  const std::string path = ::testing::TempDir() + "/turbobc_io_test.mtx";
+  write_matrix_market_file(path, el);
+  const EdgeList back = read_matrix_market_file(path);
+  EXPECT_EQ(back.edges(), el.edges());
+}
+
+TEST(MtxIo, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/never.mtx"),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace turbobc::graph

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/brandes.hpp"
+#include "common/error.hpp"
+#include "generators/generators.hpp"
+#include "graph/reorder.hpp"
+
+namespace turbobc::graph {
+namespace {
+
+TEST(Reorder, RcmIsAPermutation) {
+  const auto g = gen::kronecker({.scale = 8, .edge_factor = 8, .seed = 91});
+  const auto order = rcm_order(g);
+  std::vector<vidx_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (vidx_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(sorted[static_cast<std::size_t>(v)], v);
+  }
+}
+
+TEST(Reorder, RcmShrinksBandwidthOnMeshes) {
+  // Start from a scrambled mesh; RCM must undo most of the damage.
+  const auto mesh = gen::triangulated_grid(30, 30);
+  const auto scrambled = apply_order(mesh, random_order(mesh.num_vertices(), 7));
+  const auto rcm = apply_order(scrambled, rcm_order(scrambled));
+  EXPECT_LT(bandwidth(rcm), bandwidth(scrambled) / 4);
+}
+
+TEST(Reorder, RcmShrinksBandwidthOnRoads) {
+  const auto road = gen::road_network({.grid_rows = 8, .grid_cols = 8,
+                                       .keep_p = 0.7, .subdivisions = 8,
+                                       .seed = 92});
+  const auto scrambled = apply_order(road, random_order(road.num_vertices(), 8));
+  const auto rcm = apply_order(scrambled, rcm_order(scrambled));
+  EXPECT_LT(bandwidth(rcm), bandwidth(scrambled) / 4);
+}
+
+TEST(Reorder, HandlesDisconnectedGraphs) {
+  EdgeList el(9, true);
+  el.add_edge(0, 1);
+  el.add_edge(3, 4);
+  el.add_edge(4, 5);
+  el.symmetrize();  // vertices 2, 6, 7, 8 isolated
+  const auto order = rcm_order(el);
+  std::vector<vidx_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (vidx_t v = 0; v < 9; ++v) {
+    EXPECT_EQ(sorted[static_cast<std::size_t>(v)], v);
+  }
+}
+
+TEST(Reorder, ApplyOrderPreservesStructure) {
+  const auto g = gen::erdos_renyi({.n = 60, .arcs = 250, .directed = true,
+                                   .seed = 93});
+  const auto order = random_order(60, 9);
+  const auto relabeled = apply_order(g, order);
+  EXPECT_EQ(relabeled.num_arcs(), g.num_arcs());
+  EXPECT_EQ(relabeled.num_vertices(), g.num_vertices());
+  // Degree multiset is invariant.
+  auto d1 = g.out_degrees();
+  auto d2 = relabeled.out_degrees();
+  std::sort(d1.begin(), d1.end());
+  std::sort(d2.begin(), d2.end());
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(Reorder, ApplyOrderRejectsNonPermutations) {
+  EdgeList el(3, true);
+  el.add_edge(0, 1);
+  EXPECT_THROW(apply_order(el, {0, 0, 1}), InvalidArgument);
+  EXPECT_THROW(apply_order(el, {0, 1}), InvalidArgument);
+  EXPECT_THROW(apply_order(el, {0, 1, 5}), InvalidArgument);
+}
+
+TEST(Reorder, BcIsInvariantUnderRcm) {
+  const auto g = gen::small_world({.n = 120, .k = 4, .rewire_p = 0.15,
+                                   .seed = 94});
+  const auto order = rcm_order(g);
+  const auto relabeled = apply_order(g, order);
+  const auto bc_orig = baseline::brandes_bc(g);
+  const auto bc_re = baseline::brandes_bc(relabeled);
+  for (vidx_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(bc_orig[static_cast<std::size_t>(v)],
+                bc_re[static_cast<std::size_t>(order[static_cast<std::size_t>(v)])],
+                1e-9);
+  }
+}
+
+TEST(Reorder, BandwidthOfChainIsOne) {
+  EdgeList el(10, true);
+  for (vidx_t i = 0; i + 1 < 10; ++i) el.add_edge(i, i + 1);
+  EXPECT_EQ(bandwidth(el), 1);
+  EdgeList empty(5, true);
+  EXPECT_EQ(bandwidth(empty), 0);
+}
+
+}  // namespace
+}  // namespace turbobc::graph

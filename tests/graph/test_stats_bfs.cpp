@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "common/error.hpp"
+#include "generators/generators.hpp"
+#include "graph/bfs_probe.hpp"
+#include "graph/stats.hpp"
+
+namespace turbobc::graph {
+namespace {
+
+EdgeList path_graph(vidx_t n) {
+  EdgeList el(n, true);
+  for (vidx_t i = 0; i + 1 < n; ++i) el.add_edge(i, i + 1);
+  el.symmetrize();
+  return el;
+}
+
+TEST(DegreeStats, UniformDegreeHasZeroStddev) {
+  // A cycle: every vertex has degree 2.
+  EdgeList el(10, true);
+  for (vidx_t i = 0; i < 10; ++i) el.add_edge(i, (i + 1) % 10);
+  el.symmetrize();
+  const auto s = degree_stats(el);
+  EXPECT_EQ(s.max, 2);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(DegreeStats, StarGraphIsMaximallySkewed) {
+  EdgeList el(11, true);
+  for (vidx_t i = 1; i <= 10; ++i) el.add_edge(0, i);
+  el.symmetrize();
+  const auto s = degree_stats(el);
+  EXPECT_EQ(s.max, 10);
+  EXPECT_NEAR(s.mean, 20.0 / 11.0, 1e-12);
+  EXPECT_GT(s.stddev, 2.0);
+}
+
+TEST(ScfMetric, RegularLatticeScoresNearMeanDegree) {
+  const auto grid = gen::triangulated_grid(30, 30);
+  EXPECT_LT(scf_index(grid), 10.0);
+  EXPECT_GT(scf_index(grid), 2.0);
+  EXPECT_FALSE(is_irregular(grid));
+}
+
+TEST(ScfMetric, StarScoresNearTwo) {
+  // The paper reports scf = 2 for the hub-dominated mawi traces and road
+  // paths; a pure star is the extreme case of that family.
+  EdgeList el(101, true);
+  for (vidx_t i = 1; i <= 100; ++i) el.add_edge(0, i);
+  el.symmetrize();
+  EXPECT_NEAR(scf_index(el), 2.0, 0.2);
+  EXPECT_FALSE(is_irregular(el));
+}
+
+TEST(ScfMetric, PathScoresNearTwo) {
+  const auto el = path_graph(200);
+  EXPECT_NEAR(scf_index(el), 2.0, 0.3);
+}
+
+TEST(ScfMetric, MycielskiScoresHigh) {
+  const auto m = gen::mycielski(9);
+  EXPECT_GT(scf_index(m), kIrregularScfThreshold);
+  EXPECT_TRUE(is_irregular(m));
+}
+
+TEST(ScfMetric, KroneckerScoresHigh) {
+  const auto k = gen::kronecker({.scale = 10, .edge_factor = 40, .seed = 3});
+  EXPECT_TRUE(is_irregular(k));
+}
+
+TEST(ScfMetric, GrowsWithMycielskiOrder) {
+  // The paper's scf column grows monotonically across mycielski15..19; the
+  // index must preserve that ordering.
+  double prev = 0.0;
+  for (int k = 7; k <= 11; ++k) {
+    const double s = scf_index(gen::mycielski(k));
+    EXPECT_GT(s, prev) << "order " << k;
+    prev = s;
+  }
+}
+
+TEST(ScfMetric, RawIsSumOfDegreeProducts) {
+  // Path 0-1-2 (undirected): degrees 1,2,1; arcs (0,1),(1,0),(1,2),(2,1)
+  // products: 1*2 + 2*1 + 2*1 + 1*2 = 8.
+  const auto el = path_graph(3);
+  EXPECT_DOUBLE_EQ(scf_raw(el), 8.0);
+}
+
+TEST(ScfMetric, EmptyGraphIsZero) {
+  EdgeList el(5, true);
+  EXPECT_DOUBLE_EQ(scf_index(el), 0.0);
+}
+
+TEST(BfsReference, PathDepthsAreLinear) {
+  const auto el = path_graph(6);
+  const auto g = CscGraph::from_edges(el);
+  const auto r = bfs_reference(g, 0);
+  for (vidx_t v = 0; v < 6; ++v) {
+    EXPECT_EQ(r.depth[static_cast<std::size_t>(v)], v);
+  }
+  EXPECT_EQ(r.height, 5);
+  EXPECT_EQ(r.reached, 6);
+}
+
+TEST(BfsReference, DisconnectedVerticesStayUnreached) {
+  EdgeList el(5, true);
+  el.add_edge(0, 1);
+  el.symmetrize();
+  const auto g = CscGraph::from_edges(el);
+  const auto r = bfs_reference(g, 0);
+  EXPECT_EQ(r.reached, 2);
+  EXPECT_EQ(r.depth[4], kInvalidVertex);
+}
+
+TEST(BfsReference, RespectsEdgeDirection) {
+  EdgeList el(3, true);
+  el.add_edge(0, 1);
+  el.add_edge(1, 2);
+  const auto g = CscGraph::from_edges(el);
+  EXPECT_EQ(bfs_reference(g, 0).reached, 3);
+  EXPECT_EQ(bfs_reference(g, 2).reached, 1);  // no backward arcs
+}
+
+TEST(BfsReference, MatchesQueueBfsOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto el = gen::erdos_renyi({.n = 150, .arcs = 600,
+                                      .directed = true, .seed = seed});
+    const auto g = CscGraph::from_edges(el);
+    const auto r = bfs_reference(g, 0);
+
+    // Independent queue BFS on an out-adjacency built directly.
+    std::vector<std::vector<vidx_t>> adj(150);
+    for (const Edge& e : el.edges()) adj[static_cast<std::size_t>(e.u)].push_back(e.v);
+    std::vector<vidx_t> dist(150, kInvalidVertex);
+    std::queue<vidx_t> q;
+    dist[0] = 0;
+    q.push(0);
+    while (!q.empty()) {
+      const vidx_t v = q.front();
+      q.pop();
+      for (const vidx_t w : adj[static_cast<std::size_t>(v)]) {
+        if (dist[static_cast<std::size_t>(w)] == kInvalidVertex) {
+          dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(v)] + 1;
+          q.push(w);
+        }
+      }
+    }
+    EXPECT_EQ(r.depth, dist) << "seed " << seed;
+  }
+}
+
+TEST(BfsReference, RejectsBadSource) {
+  const auto g = CscGraph::from_edges(path_graph(3));
+  EXPECT_THROW(bfs_reference(g, 7), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace turbobc::graph

@@ -1,0 +1,122 @@
+// Property sweep: TurboBC must agree with Brandes on EVERY generator family,
+// with EVERY SpMV variant, for single-source vertex BC and (spot-checked)
+// edge BC — the exhaustive cross product the module tests sample from.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/brandes.hpp"
+#include "bench_support/runner.hpp"
+#include "bench_support/suite.hpp"
+#include "core/turbobc.hpp"
+#include "generators/generators.hpp"
+#include "gpusim/device.hpp"
+
+namespace turbobc::bench {
+namespace {
+
+struct FamilyCase {
+  const char* name;
+  graph::EdgeList graph;
+};
+
+std::vector<FamilyCase> family_cases() {
+  std::vector<FamilyCase> cases;
+  cases.push_back({"mycielski", gen::mycielski(7)});
+  cases.push_back({"kronecker",
+                   gen::kronecker({.scale = 8, .edge_factor = 8, .seed = 21})});
+  cases.push_back({"small_world",
+                   gen::small_world({.n = 250, .k = 6, .rewire_p = 0.15,
+                                     .seed = 22})});
+  cases.push_back({"triangulated_grid", gen::triangulated_grid(14, 13)});
+  cases.push_back({"markov_lattice",
+                   gen::markov_lattice({.length = 16, .width = 12,
+                                        .burst_p = 0.02, .burst_size = 10,
+                                        .seed = 23})});
+  cases.push_back({"road",
+                   gen::road_network({.grid_rows = 5, .grid_cols = 5,
+                                      .keep_p = 0.7, .subdivisions = 4,
+                                      .seed = 24})});
+  cases.push_back({"kmer",
+                   gen::kmer_like({.chains = 10, .chain_len = 18,
+                                   .branching = 3, .seed = 25})});
+  cases.push_back({"preferential",
+                   gen::preferential_attachment({.n = 220, .m_attach = 2,
+                                                 .directed = false,
+                                                 .seed = 26})});
+  cases.push_back({"superhub",
+                   gen::superhub_social({.n = 220, .out_degree = 6,
+                                         .celebrities = 3, .celebrity_p = 0.3,
+                                         .seed = 27})});
+  cases.push_back({"web_crawl",
+                   gen::web_crawl({.n = 220, .out_degree = 5, .copy_p = 0.4,
+                                   .local_p = 0.8, .window = 25, .seed = 28})});
+  cases.push_back({"traffic",
+                   gen::traffic_trace({.n = 250, .hubs = 5, .decay = 0.5,
+                                       .seed = 29})});
+  cases.push_back({"erdos_renyi_directed",
+                   gen::erdos_renyi({.n = 200, .arcs = 900, .directed = true,
+                                     .seed = 30})});
+  cases.push_back({"random_local_digraph",
+                   gen::random_local_digraph({.n = 220, .mean_out_degree = 5,
+                                              .degree_dispersion = 0.9,
+                                              .max_out_degree = 40,
+                                              .window = 25, .global_p = 0.02,
+                                              .seed = 31})});
+  return cases;
+}
+
+class FamilySweep
+    : public ::testing::TestWithParam<std::tuple<int, bc::Variant>> {};
+
+TEST_P(FamilySweep, VertexBcMatchesBrandes) {
+  const auto cases = family_cases();
+  const auto& c = cases[static_cast<std::size_t>(std::get<0>(GetParam()))];
+  const bc::Variant variant = std::get<1>(GetParam());
+
+  const vidx_t source = representative_source(c.graph);
+  const auto golden = baseline::brandes_delta(c.graph, source);
+
+  sim::Device device;
+  bc::TurboBC turbo(device, c.graph, {.variant = variant});
+  const auto r = turbo.run_single_source(source);
+  EXPECT_LT(bc_max_rel_error(r.bc, golden), 1e-6)
+      << c.name << " / " << bc::to_string(variant);
+}
+
+TEST_P(FamilySweep, EdgeBcMatchesBrandes) {
+  const auto cases = family_cases();
+  const auto& c = cases[static_cast<std::size_t>(std::get<0>(GetParam()))];
+  const bc::Variant variant = std::get<1>(GetParam());
+
+  const vidx_t source = representative_source(c.graph);
+  const auto golden = baseline::brandes_edge_delta(c.graph, source);
+
+  sim::Device device;
+  bc::TurboBC turbo(device, c.graph, {.variant = variant, .edge_bc = true});
+  const auto r = turbo.run_single_source(source);
+  EXPECT_LT(bc_max_rel_error(r.edge_bc, golden), 1e-6)
+      << c.name << " / " << bc::to_string(variant);
+}
+
+std::string sweep_name(
+    const ::testing::TestParamInfo<std::tuple<int, bc::Variant>>& info) {
+  static const char* families[] = {
+      "mycielski", "kronecker",  "small_world", "grid",
+      "markov",    "road",       "kmer",        "preferential",
+      "superhub",  "web_crawl",  "traffic",     "erdos_renyi",
+      "local_digraph"};
+  return std::string(families[std::get<0>(info.param)]) + "_" +
+         std::string(bc::to_string(std::get<1>(info.param)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamiliesAllVariants, FamilySweep,
+    ::testing::Combine(::testing::Range(0, 13),
+                       ::testing::Values(bc::Variant::kScCooc,
+                                         bc::Variant::kScCsc,
+                                         bc::Variant::kVeCsc)),
+    sweep_name);
+
+}  // namespace
+}  // namespace turbobc::bench

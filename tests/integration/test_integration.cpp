@@ -1,0 +1,198 @@
+// Integration tests: the bench_support runner end to end on small replicas
+// of the paper's workloads, cross-checking every implementation against
+// every other and the claims the benches rely on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/bc_la_seq.hpp"
+#include "baselines/brandes.hpp"
+#include "baselines/gunrock_like.hpp"
+#include "baselines/ligra_like.hpp"
+#include "bench_support/mteps.hpp"
+#include "bench_support/runner.hpp"
+#include "bench_support/suite.hpp"
+#include "core/footprint.hpp"
+#include "core/turbobc.hpp"
+#include "generators/generators.hpp"
+#include "gpusim/device.hpp"
+#include "graph/bfs_probe.hpp"
+
+namespace turbobc::bench {
+namespace {
+
+Workload small_workload(bc::Variant v) {
+  return Workload{"test", "erdos_renyi",
+                  gen::erdos_renyi({.n = 300, .arcs = 1800, .directed = false,
+                                    .seed = 5}),
+                  v, PaperRow{}};
+}
+
+TEST(Runner, SingleSourceExperimentVerifiesAllImplementations) {
+  const auto row = run_single_source_experiment(small_workload(
+      bc::Variant::kScCsc));
+  EXPECT_TRUE(row.verified);
+  EXPECT_GT(row.turbo_ms, 0.0);
+  EXPECT_GT(row.seq_ms, 0.0);
+  EXPECT_GT(row.gunrock_ms, 0.0);
+  EXPECT_GT(row.ligra_ms, 0.0);
+  EXPECT_FALSE(row.gunrock_oom);
+  EXPECT_GT(row.mteps, 0.0);
+  EXPECT_GT(row.turbo_peak_bytes, 0u);
+  EXPECT_GT(row.gunrock_peak_bytes, row.turbo_peak_bytes);
+}
+
+TEST(Runner, ExactExperimentVerifies) {
+  RunnerConfig cfg;
+  cfg.run_gunrock = false;
+  cfg.run_ligra = false;
+  Workload w{"tiny", "mycielski", gen::mycielski(6), bc::Variant::kVeCsc,
+             PaperRow{}};
+  const auto row = run_exact_experiment(w, cfg);
+  EXPECT_TRUE(row.verified);
+  // Tiny graph: no speedup expected (overhead-bound), only a valid ratio.
+  EXPECT_GT(row.speedup_seq, 0.0);
+  EXPECT_GT(row.mteps, 0.0);
+}
+
+TEST(Runner, GunrockOomIsReportedNotFatal) {
+  RunnerConfig cfg;
+  // Capacity between the TurboBC peak (~5 KB here) and the gunrock
+  // inventory (~10 KB).
+  cfg.device_props = sim::DeviceProps::titan_xp();
+  cfg.device_props.global_mem_bytes = 8 * 1024;
+  cfg.run_ligra = false;
+  cfg.run_sequential = false;
+  Workload w{"oom", "erdos_renyi",
+             gen::erdos_renyi({.n = 100, .arcs = 500, .directed = true,
+                               .seed = 6}),
+             bc::Variant::kScCsc, PaperRow{}};
+  // TurboBC must fit, gunrock must OOM at this capacity.
+  const auto row = run_single_source_experiment(w, cfg);
+  EXPECT_TRUE(row.gunrock_oom);
+  EXPECT_TRUE(row.verified);
+}
+
+TEST(Runner, PrintRowsRendersPaperColumns) {
+  const auto row = run_single_source_experiment(small_workload(
+      bc::Variant::kVeCsc));
+  std::ostringstream os;
+  print_rows(os, "title", {row}, false, false);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("(gunrock)x"), std::string::npos);
+  EXPECT_NE(out.find("paper(seq)x"), std::string::npos);
+  EXPECT_NE(out.find("yes"), std::string::npos);  // verified column
+}
+
+TEST(Runner, BcMaxRelErrorDetectsMismatch) {
+  EXPECT_LT(bc_max_rel_error({1.0, 2.0}, {1.0, 2.0}), 1e-12);
+  EXPECT_GT(bc_max_rel_error({1.0, 2.0}, {1.0, 3.0}), 0.3);
+  EXPECT_GT(bc_max_rel_error({1.0}, {1.0, 2.0}), 1.0);  // size mismatch
+}
+
+TEST(Suite, AllSingleSourceSuitesVerifyOnTheirPinnedVariants) {
+  // Miniature end-to-end sweep: one workload per suite (full sweeps are the
+  // benches' job; this guards the suite definitions compile-and-verify).
+  for (const auto& suite : {table1_suite(), table2_suite(), table3_suite()}) {
+    const Workload& w = suite.front();
+    const vidx_t source = representative_source(w.graph);
+    sim::Device device;
+    bc::TurboBC turbo(device, w.graph, {.variant = w.variant});
+    const auto r = turbo.run_single_source(source);
+    const auto golden = baseline::brandes_delta(w.graph, source);
+    EXPECT_LT(bc_max_rel_error(r.bc, golden), 1e-6) << w.name;
+  }
+}
+
+TEST(Suite, WorkloadsMatchTheirPaperStructure) {
+  // Spot checks that the generators hit the structural targets the tables
+  // report (exact values are printed by the benches).
+  const auto t1 = table1_suite();
+  ASSERT_GE(t1.size(), 10u);
+  for (const auto& w : t1) {
+    EXPECT_GT(w.graph.num_vertices(), 1000) << w.name;
+    EXPECT_FALSE(graph::is_irregular(w.graph)) << w.name;  // Table 1: regular
+  }
+  for (const auto& w : table3_suite()) {
+    EXPECT_TRUE(graph::is_irregular(w.graph)) << w.name;  // Table 3: irregular
+  }
+}
+
+TEST(Suite, MycielskiSweepIsSorted) {
+  const auto sweep = mycielski_sweep();
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LT(sweep[i - 1].graph.num_vertices(),
+              sweep[i].graph.num_vertices());
+  }
+}
+
+TEST(Suite, RepresentativeSourceReachesMostOfTheGraph) {
+  for (const auto& w : table2_suite()) {
+    const vidx_t s = representative_source(w.graph);
+    const auto r = graph::bfs_reference(
+        graph::CscGraph::from_edges(w.graph), s);
+    EXPECT_GT(r.reached, w.graph.num_vertices() / 2) << w.name;
+  }
+}
+
+TEST(Mteps, FormulasMatchThePaper) {
+  // Per-vertex BC: m/t with m in thousands and t in ms == edges/s/1e6.
+  EXPECT_DOUBLE_EQ(mteps_single_source(1000000, 1.0), 1.0);
+  // Exact BC: n*m in millions over seconds.
+  EXPECT_DOUBLE_EQ(mteps_exact(1000, 1000000, 10.0), 100.0);
+  EXPECT_DOUBLE_EQ(mteps_single_source(100, 0.0), 0.0);
+}
+
+TEST(Footprint, Table4CapacityScalingPreservesTheCrossover) {
+  // The rule used by bench_table4: capacity scaled by m_scaled / m_paper
+  // must keep TurboBC under and gunrock over, for every Table 4 workload.
+  struct PaperScale {
+    vidx_t n;
+    eidx_t m;
+  };
+  const PaperScale paper[4] = {{214000000, 465000000},
+                               {42000000, 1151000000},
+                               {62000000, 1469000000},
+                               {51000000, 1950000000}};
+  const std::uint64_t cap = 12196ull * 1024 * 1024;
+  for (const auto& p : paper) {
+    EXPECT_TRUE(bc::turbobc_fits(p.n, p.m, cap));
+    EXPECT_FALSE(bc::gunrock_fits(p.n, p.m, cap));
+  }
+}
+
+TEST(CrossImplementation, FiveWayAgreementOnMixedGraphs) {
+  // TurboBC (3 variants) x sequential-LA x gunrock x ligra x Brandes on a
+  // directed and an undirected graph — every pair must agree.
+  const graph::EdgeList graphs[2] = {
+      gen::web_crawl({.n = 400, .out_degree = 6, .copy_p = 0.4,
+                      .local_p = 0.8, .window = 40, .seed = 8}),
+      gen::kronecker({.scale = 8, .edge_factor = 10, .seed = 9}),
+  };
+  for (const auto& g : graphs) {
+    const vidx_t s = representative_source(g);
+    const auto golden = baseline::brandes_delta(g, s);
+
+    for (const auto v : {bc::Variant::kScCooc, bc::Variant::kScCsc,
+                         bc::Variant::kVeCsc}) {
+      sim::Device device;
+      bc::TurboBC turbo(device, g, {.variant = v});
+      EXPECT_LT(bc_max_rel_error(turbo.run_single_source(s).bc, golden), 1e-6)
+          << bc::to_string(v);
+    }
+    EXPECT_LT(bc_max_rel_error(
+                  baseline::SequentialBcLa(g).run_single_source(s).bc, golden),
+              1e-6);
+    {
+      sim::Device device;
+      baseline::GunrockLikeBc gr(device, g);
+      EXPECT_LT(bc_max_rel_error(gr.run_single_source(s).bc, golden), 1e-6);
+    }
+    EXPECT_LT(bc_max_rel_error(
+                  baseline::LigraLikeBc(g).run_single_source(s).bc, golden),
+              1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace turbobc::bench

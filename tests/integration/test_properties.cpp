@@ -1,0 +1,197 @@
+// Cross-cutting algebraic properties of the BC implementations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/brandes.hpp"
+#include "baselines/gunrock_like.hpp"
+#include "bench_support/runner.hpp"
+#include "common/prng.hpp"
+#include "core/turbobc.hpp"
+#include "generators/generators.hpp"
+#include "gpusim/device.hpp"
+#include "graph/bfs_probe.hpp"
+
+namespace turbobc::bc {
+namespace {
+
+using graph::EdgeList;
+
+TEST(BcProperties, SourceContributionsAreAdditive) {
+  // BC is a sum over sources: run_sources({a, b, c}) must equal the sum of
+  // the three single-source runs.
+  const auto el = gen::kronecker({.scale = 8, .edge_factor = 8, .seed = 41});
+  sim::Device dev;
+  TurboBC turbo(dev, el, {.variant = Variant::kVeCsc});
+
+  const std::vector<vidx_t> sources = {0, 7, 19};
+  const auto combined = turbo.run_sources(sources);
+
+  std::vector<bc_t> summed(combined.bc.size(), 0.0);
+  for (const vidx_t s : sources) {
+    const auto single = turbo.run_single_source(s);
+    for (std::size_t v = 0; v < summed.size(); ++v) {
+      summed[v] += single.bc[v];
+    }
+  }
+  for (std::size_t v = 0; v < summed.size(); ++v) {
+    EXPECT_NEAR(combined.bc[v], summed[v],
+                1e-9 * std::max(1.0, std::abs(summed[v])))
+        << v;
+  }
+}
+
+TEST(BcProperties, BcIsNonNegative) {
+  for (std::uint64_t seed = 50; seed < 53; ++seed) {
+    const auto el = gen::erdos_renyi({.n = 120, .arcs = 500,
+                                      .directed = seed % 2 == 0,
+                                      .seed = seed});
+    sim::Device dev;
+    TurboBC turbo(dev, el, {});
+    const auto r = turbo.run_exact();
+    for (const bc_t v : r.bc) EXPECT_GE(v, -1e-12);
+  }
+}
+
+TEST(BcProperties, VertexBcBoundedByPairCount) {
+  // bc(v) <= (n-1)(n-2)/2 for undirected, (n-1)(n-2) for directed.
+  const auto el = gen::small_world({.n = 100, .k = 4, .rewire_p = 0.2,
+                                    .seed = 54});
+  sim::Device dev;
+  TurboBC turbo(dev, el, {});
+  const auto r = turbo.run_exact();
+  const double bound = 99.0 * 98.0 / 2.0;
+  for (const bc_t v : r.bc) EXPECT_LE(v, bound + 1e-9);
+}
+
+TEST(BcProperties, EdgeBcSumEqualsPathLengthSum) {
+  // Sum of all arc BC values = sum over reachable pairs of d(s,t)
+  // (each shortest path of length L crosses L arcs; halving and pair
+  // double-counting cancel for undirected graphs).
+  const auto el = gen::mycielski(6);
+  sim::Device dev;
+  TurboBC turbo(dev, el, {.variant = Variant::kScCsc, .edge_bc = true});
+  const auto r = turbo.run_exact();
+
+  double edge_sum = 0.0;
+  for (const bc_t v : r.edge_bc) edge_sum += v;
+
+  const auto csc = graph::CscGraph::from_edges(el);
+  double dist_sum = 0.0;
+  for (vidx_t s = 0; s < el.num_vertices(); ++s) {
+    const auto probe = graph::bfs_reference(csc, s);
+    for (const vidx_t d : probe.depth) {
+      if (d > 0) dist_sum += d;
+    }
+  }
+  EXPECT_NEAR(edge_sum, dist_sum / 2.0, 1e-6 * dist_sum);  // undirected halving
+}
+
+TEST(BcProperties, VertexBcRelatesToEdgeBcConservation) {
+  // For each source, the dependency entering a non-source vertex v over its
+  // in-arcs equals delta(v) + (paths ending at v): checked in aggregate via
+  // Brandes on a directed graph — TurboBC's edge and vertex results must
+  // satisfy sum(in-arcs of v) >= bc(v) contribution (flow conservation
+  // direction) on DA-like chains.
+  EdgeList el(4, true);
+  el.add_edge(0, 1);
+  el.add_edge(1, 2);
+  el.add_edge(2, 3);
+  sim::Device dev;
+  TurboBC turbo(dev, el, {.variant = Variant::kScCsc, .edge_bc = true});
+  const auto r = turbo.run_exact();
+  // Arc (0,1) carries 3 pairs, vertex 1 lies on 2 pairs: edge >= vertex.
+  EXPECT_GE(r.edge_bc[0] + 1e-12, r.bc[1]);
+}
+
+TEST(BcProperties, RelabelingInvariance) {
+  // BC must commute with vertex relabeling.
+  const auto el = gen::erdos_renyi({.n = 80, .arcs = 320, .directed = false,
+                                    .seed = 55});
+  const vidx_t n = el.num_vertices();
+
+  // Random permutation.
+  Xoshiro256 rng(99);
+  std::vector<vidx_t> perm(static_cast<std::size_t>(n));
+  for (vidx_t v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.uniform(i)]);
+  }
+  EdgeList relabeled(n, el.directed());
+  for (const graph::Edge& e : el.edges()) {
+    relabeled.add_edge(perm[static_cast<std::size_t>(e.u)],
+                       perm[static_cast<std::size_t>(e.v)]);
+  }
+
+  sim::Device d1, d2;
+  TurboBC t1(d1, el, {});
+  TurboBC t2(d2, relabeled, {});
+  const auto r1 = t1.run_exact();
+  const auto r2 = t2.run_exact();
+  for (vidx_t v = 0; v < n; ++v) {
+    EXPECT_NEAR(r1.bc[static_cast<std::size_t>(v)],
+                r2.bc[static_cast<std::size_t>(perm[static_cast<std::size_t>(v)])],
+                1e-9 * std::max(1.0, r1.bc[static_cast<std::size_t>(v)]))
+        << v;
+  }
+}
+
+TEST(BcProperties, ReversedGraphSwapsNothingForUndirected) {
+  const auto el = gen::small_world({.n = 150, .k = 4, .rewire_p = 0.1,
+                                    .seed = 56});
+  const auto rev = el.reversed();
+  sim::Device d1, d2;
+  TurboBC t1(d1, el, {});
+  TurboBC t2(d2, rev, {});
+  const auto a = t1.run_single_source(3);
+  const auto b = t2.run_single_source(3);
+  for (std::size_t v = 0; v < a.bc.size(); ++v) {
+    EXPECT_NEAR(a.bc[v], b.bc[v], 1e-9);
+  }
+}
+
+TEST(GunrockBookkeeping, PredsAndVisitedAreMaintained) {
+  const auto el = gen::erdos_renyi({.n = 200, .arcs = 700, .directed = false,
+                                    .seed = 57});
+  sim::Device dev;
+  baseline::GunrockLikeBc g(dev, el);
+  g.run_single_source(0);
+  const auto& agg = dev.kernel_aggregates();
+  // The framework passes (bitmap conversion, filter) must have run.
+  EXPECT_TRUE(agg.count("gunrock_filter") > 0 ||
+              agg.count("gunrock_filter_uniquify") > 0);
+}
+
+TEST(EdgeListFuzz, CanonicalizeIdempotentUnderRandomOps) {
+  Xoshiro256 rng(77);
+  for (int round = 0; round < 20; ++round) {
+    const auto n = static_cast<vidx_t>(2 + rng.uniform(60));
+    EdgeList el(n, rng.bernoulli(0.5));
+    const auto arcs = rng.uniform(200);
+    for (std::uint64_t e = 0; e < arcs; ++e) {
+      el.add_edge(static_cast<vidx_t>(rng.uniform(static_cast<std::uint64_t>(n))),
+                  static_cast<vidx_t>(rng.uniform(static_cast<std::uint64_t>(n))));
+    }
+    el.canonicalize();
+    auto once = el.edges();
+    el.canonicalize();
+    EXPECT_EQ(el.edges(), once) << "round " << round;
+    // Invariants: sorted, unique, no self loops.
+    for (std::size_t i = 0; i < once.size(); ++i) {
+      EXPECT_NE(once[i].u, once[i].v);
+      if (i > 0) {
+        EXPECT_TRUE(once[i - 1].u < once[i].u ||
+                    (once[i - 1].u == once[i].u && once[i - 1].v < once[i].v));
+      }
+    }
+    // Symmetrize is idempotent and makes in == out degrees.
+    el.symmetrize();
+    const auto arcs_after = el.num_arcs();
+    el.symmetrize();
+    EXPECT_EQ(el.num_arcs(), arcs_after);
+    EXPECT_EQ(el.out_degrees(), el.in_degrees());
+  }
+}
+
+}  // namespace
+}  // namespace turbobc::bc

@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "generators/generators.hpp"
+#include "gpusim/kernel.hpp"
+#include "spmv/device_graph.hpp"
+#include "spmv/spmv_kernels.hpp"
+#include "spmv/spmv_seq.hpp"
+
+namespace turbobc::spmv {
+namespace {
+
+using graph::CoocGraph;
+using graph::CscGraph;
+using graph::EdgeList;
+
+/// Dense oracle for y(v) = sum_{u -> v} x(u) (the A^T x gather).
+template <typename T>
+std::vector<T> dense_gather(const EdgeList& el, const std::vector<T>& x) {
+  std::vector<T> y(static_cast<std::size_t>(el.num_vertices()), 0);
+  for (const graph::Edge& e : el.edges()) {
+    y[static_cast<std::size_t>(e.v)] += x[static_cast<std::size_t>(e.u)];
+  }
+  return y;
+}
+
+/// Dense oracle for y(u) += sum_{u -> v} x(v) (the A x scatter/out-sum).
+template <typename T>
+std::vector<T> dense_scatter(const EdgeList& el, const std::vector<T>& x) {
+  std::vector<T> y(static_cast<std::size_t>(el.num_vertices()), 0);
+  for (const graph::Edge& e : el.edges()) {
+    y[static_cast<std::size_t>(e.u)] += x[static_cast<std::size_t>(e.v)];
+  }
+  return y;
+}
+
+std::string variant_suffix(const ::testing::TestParamInfo<int>& info) {
+  const char* names[] = {"scCOOC", "scCSC", "veCSC"};
+  return names[info.param];
+}
+
+EdgeList test_graph(std::uint64_t seed, bool directed) {
+  return gen::erdos_renyi({.n = 120, .arcs = 700, .directed = directed,
+                           .seed = seed});
+}
+
+// ------------------------------------------------------ sequential oracles
+
+TEST(SeqSpmv, CoocMatchesDenseGatherForPositiveX) {
+  const auto el = test_graph(1, true);
+  const auto cooc = CoocGraph::from_edges(el);
+  std::vector<sigma_t> x(120);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = (i % 3 == 0) ? i + 1 : 0;
+  std::vector<sigma_t> y(120, 0);
+  seq_spmv_cooc<sigma_t>(cooc, x, y);
+  EXPECT_EQ(y, dense_gather(el, x));
+}
+
+TEST(SeqSpmv, CscMaskedSkipsDiscoveredColumns) {
+  const auto el = test_graph(2, true);
+  const auto csc = CscGraph::from_edges(el);
+  std::vector<sigma_t> x(120, 1);
+  std::vector<sigma_t> sigma(120, 0);
+  for (std::size_t i = 0; i < 120; i += 2) sigma[i] = 5;  // mask even columns
+  std::vector<sigma_t> y(120, 0);
+  seq_spmv_csc_masked<sigma_t, sigma_t>(csc, x, sigma, y);
+  const auto full = dense_gather(el, x);
+  for (std::size_t v = 0; v < 120; ++v) {
+    EXPECT_EQ(y[v], sigma[v] == 0 ? full[v] : 0) << v;
+  }
+}
+
+TEST(SeqSpmv, CscUnmaskedMatchesDenseGather) {
+  const auto el = test_graph(3, true);
+  const auto csc = CscGraph::from_edges(el);
+  std::vector<double> x(120);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 0.25 * static_cast<double>(i % 7);
+  std::vector<double> y(120, 0);
+  seq_spmv_csc<double>(csc, x, y);
+  const auto expect = dense_gather(el, x);
+  for (std::size_t v = 0; v < 120; ++v) EXPECT_DOUBLE_EQ(y[v], expect[v]);
+}
+
+TEST(SeqSpmv, CscScatterMatchesDenseOutSum) {
+  const auto el = test_graph(4, true);
+  const auto csc = CscGraph::from_edges(el);
+  std::vector<double> x(120);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i % 5);
+  std::vector<double> y(120, 0);
+  seq_spmv_csc_scatter<double>(csc, x, y);
+  const auto expect = dense_scatter(el, x);
+  for (std::size_t v = 0; v < 120; ++v) EXPECT_DOUBLE_EQ(y[v], expect[v]);
+}
+
+TEST(SeqSpmv, GatherEqualsScatterOnSymmetricMatrices) {
+  const auto el = test_graph(5, false);  // undirected = symmetric
+  const auto csc = CscGraph::from_edges(el);
+  std::vector<double> x(120);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i);
+  std::vector<double> g(120, 0), s(120, 0);
+  seq_spmv_csc<double>(csc, x, g);
+  seq_spmv_csc_scatter<double>(csc, x, s);
+  for (std::size_t v = 0; v < 120; ++v) EXPECT_DOUBLE_EQ(g[v], s[v]);
+}
+
+// --------------------------------------------------- simulated GPU kernels
+
+/// Forward-kernel fixture parameterized over the three TurboBC variants.
+class ForwardKernel : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForwardKernel, MatchesMaskedSequentialReference) {
+  for (const bool directed : {true, false}) {
+    for (std::uint64_t seed = 10; seed < 13; ++seed) {
+      const auto el = test_graph(seed, directed);
+      const auto n = static_cast<std::size_t>(el.num_vertices());
+      sim::Device dev;
+
+      std::vector<sigma_t> x(n), sigma(n, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        x[i] = (i * seed) % 4;         // sparse-ish frontier
+        sigma[i] = (i % 5 == 0) ? 1 : 0;  // mask some columns
+      }
+
+      sim::DeviceBuffer<sigma_t> xd(dev, n, "x"), yd(dev, n, "y"),
+          sd(dev, n, "sigma");
+      xd.copy_from_host(x);
+      sd.copy_from_host(sigma);
+      yd.device_fill(0);
+
+      // The CSC variants fuse the sigma mask (Algorithm 3); the COOC variant
+      // is Algorithm 2 verbatim — unmasked (the pipeline masks afterwards).
+      const auto csc = CscGraph::from_edges(el);
+      std::vector<sigma_t> expect(n, 0);
+      if (GetParam() == 0) {
+        for (const graph::Edge& e : el.edges()) {
+          if (x[static_cast<std::size_t>(e.u)] > 0) {
+            expect[static_cast<std::size_t>(e.v)] +=
+                x[static_cast<std::size_t>(e.u)];
+          }
+        }
+      } else {
+        seq_spmv_csc_masked<sigma_t, sigma_t>(csc, x, sigma, expect);
+      }
+
+      switch (GetParam()) {
+        case 0: {
+          DeviceCooc g(dev, CoocGraph::from_edges(el));
+          spmv_forward_sccooc(dev, g, xd, yd);
+          break;
+        }
+        case 1: {
+          DeviceCsc g(dev, csc);
+          spmv_forward_sccsc(dev, g, xd, yd, sd);
+          break;
+        }
+        case 2: {
+          DeviceCsc g(dev, csc);
+          spmv_forward_vecsc(dev, g, xd, yd, sd);
+          break;
+        }
+      }
+      EXPECT_EQ(yd.host(), expect)
+          << "variant " << GetParam() << " directed " << directed << " seed "
+          << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, ForwardKernel,
+                         ::testing::Values(0, 1, 2),
+                         variant_suffix);
+
+class BackwardGatherKernel : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackwardGatherKernel, MatchesUnmaskedGatherReference) {
+  const auto el = test_graph(20, false);
+  const auto n = static_cast<std::size_t>(el.num_vertices());
+  sim::Device dev;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = (i % 4 == 0) ? 1.0 / (1 + i) : 0.0;
+
+  sim::DeviceBuffer<double> xd(dev, n, "x"), yd(dev, n, "y");
+  xd.copy_from_host(x);
+  yd.device_fill(0.0);
+
+  const auto csc = CscGraph::from_edges(el);
+  std::vector<double> expect(n, 0.0);
+  seq_spmv_csc<double>(csc, x, expect);
+
+  switch (GetParam()) {
+    case 0: {
+      DeviceCooc g(dev, CoocGraph::from_edges(el));
+      spmv_backward_gather_sccooc(dev, g, xd, yd);
+      break;
+    }
+    case 1: {
+      DeviceCsc g(dev, csc);
+      spmv_backward_gather_sccsc(dev, g, xd, yd);
+      break;
+    }
+    case 2: {
+      DeviceCsc g(dev, csc);
+      spmv_backward_gather_vecsc(dev, g, xd, yd);
+      break;
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    EXPECT_NEAR(yd.host()[v], expect[v], 1e-12) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, BackwardGatherKernel,
+                         ::testing::Values(0, 1, 2),
+                         variant_suffix);
+
+class BackwardScatterKernel : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackwardScatterKernel, MatchesOutNeighbourSums) {
+  const auto el = test_graph(30, true);  // directed: scatter semantics
+  const auto n = static_cast<std::size_t>(el.num_vertices());
+  sim::Device dev;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = (i % 3 == 0) ? 0.5 + i : 0.0;
+
+  sim::DeviceBuffer<double> xd(dev, n, "x"), yd(dev, n, "y");
+  xd.copy_from_host(x);
+  yd.device_fill(0.0);
+
+  std::vector<double> expect = dense_scatter(el, x);
+
+  switch (GetParam()) {
+    case 0: {
+      DeviceCooc g(dev, CoocGraph::from_edges(el));
+      spmv_backward_scatter_sccooc(dev, g, xd, yd);
+      break;
+    }
+    case 1: {
+      DeviceCsc g(dev, CscGraph::from_edges(el));
+      spmv_backward_scatter_sccsc(dev, g, xd, yd);
+      break;
+    }
+    case 2: {
+      DeviceCsc g(dev, CscGraph::from_edges(el));
+      spmv_backward_scatter_vecsc(dev, g, xd, yd);
+      break;
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    EXPECT_NEAR(yd.host()[v], expect[v], 1e-12) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, BackwardScatterKernel,
+                         ::testing::Values(0, 1, 2),
+                         variant_suffix);
+
+// ----------------------------------------------------- performance shapes
+
+TEST(SpmvCost, VeCscBeatsScCscOnHubColumns) {
+  // One mega-degree column: the scalar kernel's warp stalls on the fat
+  // column (critical path ~ degree), the warp-per-column kernel strides it.
+  EdgeList el(2000, true);
+  for (vidx_t u = 1; u < 2000; ++u) el.add_edge(u, 0);
+  el.symmetrize();
+  const auto csc = CscGraph::from_edges(el);
+
+  std::vector<sigma_t> x(2000, 1), sigma(2000, 0);
+  double sc_time, ve_time;
+  {
+    sim::Device dev;
+    DeviceCsc g(dev, csc);
+    sim::DeviceBuffer<sigma_t> xd(dev, 2000, "x"), yd(dev, 2000, "y"),
+        sd(dev, 2000, "s");
+    xd.copy_from_host(x);
+    sd.copy_from_host(sigma);
+    yd.device_fill(0);
+    spmv_forward_sccsc(dev, g, xd, yd, sd);
+    sc_time = dev.launches().back().time_s;
+  }
+  {
+    sim::Device dev;
+    DeviceCsc g(dev, csc);
+    sim::DeviceBuffer<sigma_t> xd(dev, 2000, "x"), yd(dev, 2000, "y"),
+        sd(dev, 2000, "s");
+    xd.copy_from_host(x);
+    sd.copy_from_host(sigma);
+    yd.device_fill(0);
+    spmv_forward_vecsc(dev, g, xd, yd, sd);
+    ve_time = dev.launches().back().time_s;
+  }
+  EXPECT_LT(ve_time, sc_time);
+}
+
+TEST(SpmvCost, DeviceGraphRejectsOversizedPointers) {
+  // Construction must check the 32-bit column-pointer bound. (We cannot
+  // build a >2^31-nonzero graph in a test; assert the check exists by
+  // confirming normal graphs pass.)
+  sim::Device dev;
+  const auto el = test_graph(40, true);
+  EXPECT_NO_THROW(DeviceCsc(dev, CscGraph::from_edges(el)));
+}
+
+}  // namespace
+}  // namespace turbobc::spmv

@@ -1,0 +1,123 @@
+// Boundary conditions for the device graph wrappers and SpMV kernels.
+#include <gtest/gtest.h>
+
+#include "generators/generators.hpp"
+#include "gpusim/kernel.hpp"
+#include "spmv/device_graph.hpp"
+#include "spmv/spmv_kernels.hpp"
+
+namespace turbobc::spmv {
+namespace {
+
+using graph::CoocGraph;
+using graph::CscGraph;
+using graph::EdgeList;
+
+TEST(SpmvEdgeCases, EdgelessGraphProducesZeroOutput) {
+  EdgeList el(5, true);  // no edges at all
+  sim::Device dev;
+  DeviceCsc g(dev, CscGraph::from_edges(el));
+  sim::DeviceBuffer<sigma_t> x(dev, 5, "x"), y(dev, 5, "y"), s(dev, 5, "s");
+  x.device_fill(1);
+  s.device_fill(0);
+  y.device_fill(0);
+  spmv_forward_sccsc(dev, g, x, y, s);
+  for (const sigma_t v : y.host()) EXPECT_EQ(v, 0);
+
+  DeviceCooc gc(dev, CoocGraph::from_edges(el));
+  EXPECT_EQ(gc.m(), 0);
+  spmv_forward_sccooc(dev, gc, x, y);  // zero-thread launch must be a no-op
+  for (const sigma_t v : y.host()) EXPECT_EQ(v, 0);
+}
+
+TEST(SpmvEdgeCases, SingleEdgeGraph) {
+  EdgeList el(2, true);
+  el.add_edge(0, 1);
+  sim::Device dev;
+  DeviceCsc g(dev, CscGraph::from_edges(el));
+  sim::DeviceBuffer<sigma_t> x(dev, 2, "x"), y(dev, 2, "y"), s(dev, 2, "s");
+  x.host() = {3, 0};
+  s.device_fill(0);
+  y.device_fill(0);
+  spmv_forward_sccsc(dev, g, x, y, s);
+  EXPECT_EQ(y.host()[0], 0);
+  EXPECT_EQ(y.host()[1], 3);
+}
+
+TEST(SpmvEdgeCases, VeCscHandlesFewerColumnsThanWarps) {
+  // n far below the grid size: grid-stride must not touch out-of-range
+  // columns.
+  EdgeList el(3, true);
+  el.add_edge(0, 1);
+  el.add_edge(1, 2);
+  el.symmetrize();
+  sim::Device dev;
+  DeviceCsc g(dev, CscGraph::from_edges(el));
+  sim::DeviceBuffer<sigma_t> x(dev, 3, "x"), y(dev, 3, "y"), s(dev, 3, "s");
+  x.device_fill(1);
+  s.device_fill(0);
+  y.device_fill(0);
+  spmv_forward_vecsc(dev, g, x, y, s);
+  EXPECT_EQ(y.host()[0], 1);
+  EXPECT_EQ(y.host()[1], 2);
+  EXPECT_EQ(y.host()[2], 1);
+}
+
+TEST(SpmvEdgeCases, VeCscColumnLargerThanWarp) {
+  // A single column with 100 in-neighbours: multiple stride iterations plus
+  // a partial final mask.
+  EdgeList el(101, true);
+  for (vidx_t u = 1; u <= 100; ++u) el.add_edge(u, 0);
+  sim::Device dev;
+  DeviceCsc g(dev, CscGraph::from_edges(el));
+  sim::DeviceBuffer<sigma_t> x(dev, 101, "x"), y(dev, 101, "y"),
+      s(dev, 101, "s");
+  x.device_fill(1);
+  s.device_fill(0);
+  y.device_fill(0);
+  spmv_forward_vecsc(dev, g, x, y, s);
+  EXPECT_EQ(y.host()[0], 100);
+}
+
+TEST(SpmvEdgeCases, MaskSuppressesDiscoveredColumnsEverywhere) {
+  const auto el = gen::erdos_renyi({.n = 64, .arcs = 400, .directed = false,
+                                    .seed = 97});
+  sim::Device dev;
+  DeviceCsc g(dev, CscGraph::from_edges(el));
+  sim::DeviceBuffer<sigma_t> x(dev, 64, "x"), y1(dev, 64, "y1"),
+      y2(dev, 64, "y2"), s(dev, 64, "s");
+  x.device_fill(1);
+  s.device_fill(1);  // everything already discovered
+  y1.device_fill(0);
+  y2.device_fill(0);
+  spmv_forward_sccsc(dev, g, x, y1, s);
+  spmv_forward_vecsc(dev, g, x, y2, s);
+  for (int v = 0; v < 64; ++v) {
+    EXPECT_EQ(y1.host()[static_cast<std::size_t>(v)], 0);
+    EXPECT_EQ(y2.host()[static_cast<std::size_t>(v)], 0);
+  }
+}
+
+TEST(SpmvEdgeCases, BackwardScatterOnVertexWithNoInNeighbours) {
+  // Scatter from a column with an empty range must be a no-op.
+  EdgeList el(3, true);
+  el.add_edge(0, 1);  // vertex 2: no in-edges, no out-edges
+  sim::Device dev;
+  DeviceCsc g(dev, CscGraph::from_edges(el));
+  sim::DeviceBuffer<double> x(dev, 3, "x"), y(dev, 3, "y");
+  x.host() = {0.0, 0.0, 5.0};
+  y.device_fill(0.0);
+  spmv_backward_scatter_sccsc(dev, g, x, y);
+  for (const double v : y.host()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(SpmvEdgeCases, GridWarpsCapAtDeviceWidth) {
+  sim::Device dev;
+  EXPECT_EQ(vecsc_grid_warps(dev, 10), 10u);
+  const auto full = static_cast<std::uint64_t>(
+      dev.props().sm_count * dev.props().issue_slots_per_sm * 32);
+  EXPECT_EQ(vecsc_grid_warps(dev, 1 << 30), full);
+}
+
+}  // namespace
+}  // namespace turbobc::spmv

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "tools/commands.hpp"
+
+namespace turbobc::tools {
+namespace {
+
+struct CliRun {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliRun run(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v = {"turbobc_cli"};
+  v.insert(v.end(), argv);
+  const CliArgs args(static_cast<int>(v.size()), v.data());
+  std::ostringstream out, err;
+  const int code = run_cli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string temp_mtx(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Cli, NoArgsPrintsUsage) {
+  const auto r = run({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const auto r = run({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, GenerateWritesAReadableGraph) {
+  const std::string path = temp_mtx("cli_gen.mtx");
+  const auto r = run({"generate", "--family", "mycielski", "--order", "7",
+                      "--out", path.c_str()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("wrote"), std::string::npos);
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good());
+}
+
+TEST(Cli, GenerateRejectsUnknownFamily) {
+  const auto r = run({"generate", "--family", "nonsense", "--out", "/tmp/x"});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST(Cli, GenerateRequiresOut) {
+  const auto r = run({"generate", "--family", "mycielski"});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST(Cli, StatsReportsStructure) {
+  const std::string path = temp_mtx("cli_stats.mtx");
+  ASSERT_EQ(run({"generate", "--family", "grid", "--rows", "12", "--cols",
+                 "12", "--out", path.c_str()})
+                .code,
+            0);
+  const auto r = run({"stats", path.c_str()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("vertices"), std::string::npos);
+  EXPECT_NE(r.out.find("regular"), std::string::npos);
+  EXPECT_NE(r.out.find("scCSC"), std::string::npos);
+}
+
+TEST(Cli, StatsOnMissingFileFailsGracefully) {
+  const auto r = run({"stats", "/nonexistent/never.mtx"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+TEST(Cli, BfsPrintsDepthHistogram) {
+  const std::string path = temp_mtx("cli_bfs.mtx");
+  ASSERT_EQ(run({"generate", "--family", "smallworld", "--n", "300", "--k",
+                 "6", "--out", path.c_str()})
+                .code,
+            0);
+  const auto r = run({"bfs", path.c_str(), "--source", "5"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("BFS from 5"), std::string::npos);
+  EXPECT_NE(r.out.find("depth"), std::string::npos);
+  EXPECT_NE(r.out.find("reached 300/300"), std::string::npos);
+}
+
+TEST(Cli, BcSingleSourceVerifies) {
+  const std::string path = temp_mtx("cli_bc.mtx");
+  ASSERT_EQ(run({"generate", "--family", "erdos-renyi", "--n", "150",
+                 "--arcs", "700", "--out", path.c_str()})
+                .code,
+            0);
+  const auto r = run({"bc", path.c_str(), "--source", "3", "--verify"});
+  EXPECT_EQ(r.code, 0) << r.out + r.err;
+  EXPECT_NE(r.out.find("(OK)"), std::string::npos);
+  EXPECT_NE(r.out.find("single-source"), std::string::npos);
+}
+
+TEST(Cli, BcExactWithEdgeBc) {
+  const std::string path = temp_mtx("cli_bc_exact.mtx");
+  ASSERT_EQ(run({"generate", "--family", "mycielski", "--order", "6",
+                 "--out", path.c_str()})
+                .code,
+            0);
+  const auto r = run({"bc", path.c_str(), "--exact", "--edge-bc", "--verify",
+                      "--top", "5"});
+  EXPECT_EQ(r.code, 0) << r.out + r.err;
+  EXPECT_NE(r.out.find("exact BC"), std::string::npos);
+  EXPECT_NE(r.out.find("edge BC computed"), std::string::npos);
+  EXPECT_NE(r.out.find("(OK)"), std::string::npos);
+}
+
+TEST(Cli, BcExactBatchedVerifies) {
+  const std::string path = temp_mtx("cli_bc_batch.mtx");
+  ASSERT_EQ(run({"generate", "--family", "smallworld", "--n", "80", "--k",
+                 "4", "--out", path.c_str()})
+                .code,
+            0);
+  const auto r = run({"bc", path.c_str(), "--exact", "--batch", "8",
+                      "--verify"});
+  EXPECT_EQ(r.code, 0) << r.out + r.err;
+  EXPECT_NE(r.out.find("batched x8"), std::string::npos);
+  EXPECT_NE(r.out.find("(OK)"), std::string::npos);
+}
+
+TEST(Cli, BcApproximateRuns) {
+  const std::string path = temp_mtx("cli_bc_approx.mtx");
+  ASSERT_EQ(run({"generate", "--family", "smallworld", "--n", "200", "--k",
+                 "6", "--out", path.c_str()})
+                .code,
+            0);
+  const auto r = run({"bc", path.c_str(), "--approx", "16"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("approximate (16 sources)"), std::string::npos);
+}
+
+TEST(Cli, BcVariantOverrideAndAutotune) {
+  const std::string path = temp_mtx("cli_bc_var.mtx");
+  ASSERT_EQ(run({"generate", "--family", "mycielski", "--order", "8",
+                 "--out", path.c_str()})
+                .code,
+            0);
+  for (const char* v : {"sccooc", "sccsc", "vecsc", "autotune"}) {
+    const auto r = run({"bc", path.c_str(), "--variant", v, "--verify"});
+    EXPECT_EQ(r.code, 0) << v << ": " << r.err;
+    EXPECT_NE(r.out.find("(OK)"), std::string::npos) << v;
+  }
+  const auto bad = run({"bc", path.c_str(), "--variant", "bogus"});
+  EXPECT_EQ(bad.code, 1);
+}
+
+TEST(Cli, BcTraceWritesJson) {
+  const std::string path = temp_mtx("cli_bc_trace.mtx");
+  const std::string trace = ::testing::TempDir() + "/cli_trace.json";
+  ASSERT_EQ(run({"generate", "--family", "grid", "--rows", "8", "--cols",
+                 "8", "--out", path.c_str()})
+                .code,
+            0);
+  const auto r = run({"bc", path.c_str(), "--trace", trace.c_str()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::ifstream f(trace);
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace turbobc::tools
