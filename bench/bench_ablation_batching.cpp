@@ -11,15 +11,21 @@
 
 #include "bench_support/mteps.hpp"
 #include "bench_support/suite.hpp"
+#include "common/cli.hpp"
 #include "common/format.hpp"
 #include "common/table.hpp"
 #include "core/turbobc_batched.hpp"
 #include "generators/generators.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace turbobc;
   using namespace turbobc::bench;
+  const CliArgs args(argc, argv);
+  // Host-parallel pool width; modeled numbers are width-invariant.
+  sim::ExecutorPool::instance().set_threads(
+      static_cast<unsigned>(args.get_int("threads", 1)));
 
   struct Case {
     const char* name;

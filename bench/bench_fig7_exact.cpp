@@ -5,11 +5,17 @@
 #include <iostream>
 
 #include "bench_support/runner.hpp"
+#include "common/cli.hpp"
 #include "common/format.hpp"
 #include "common/table.hpp"
+#include "gpusim/executor.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace turbobc::bench;
+  const turbobc::CliArgs args(argc, argv);
+  // Host-parallel pool width; modeled numbers are width-invariant.
+  turbobc::sim::ExecutorPool::instance().set_threads(
+      static_cast<unsigned>(args.get_int("threads", 1)));
 
   RunnerConfig cfg;
   cfg.run_gunrock = false;

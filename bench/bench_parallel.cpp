@@ -1,0 +1,92 @@
+// Host-parallel execution engine benchmark: wall-clock time of the same
+// multi-source BC run at ExecutorPool width 1 vs --threads N, on graphs of
+// >= 10k vertices. The modeled device numbers are identical by construction
+// (the table's bit-identical column verifies it); what this bench measures
+// is how much faster the *simulation itself* runs when warp chunks and
+// source blocks execute on multiple host threads.
+//
+// Writes a machine-readable BENCH_parallel.json (override with --out) next
+// to the human-readable table.
+//
+//   bench_parallel [--threads N] [--sources K | --exact] [--scale S]
+//                  [--out BENCH_parallel.json]
+//
+// --sources K (default 64) runs K evenly-spread sources through the same
+// fan-out path as run_exact; --exact runs every vertex (minutes of wall
+// clock at scale 14 — the fan-out is real work, simulated serially per
+// source).
+#include <fstream>
+#include <iostream>
+
+#include "bench_support/runner.hpp"
+#include "common/cli.hpp"
+#include "generators/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace turbobc;
+  using namespace turbobc::bench;
+
+  const CliArgs args(argc, argv);
+  HostParallelConfig cfg;
+  cfg.threads = static_cast<unsigned>(args.get_int("threads", 0));
+  cfg.max_sources =
+      args.has("exact") ? 0
+                        : static_cast<vidx_t>(args.get_int("sources", 64));
+  const int scale = static_cast<int>(args.get_int("scale", 14));
+
+  // Three >= 10k-vertex graphs covering the kernel families: a scale-free
+  // kronecker (scCOOC, edge-parallel), a directed Erdos-Renyi (scCSC,
+  // vertex-parallel) and the same kronecker under veCSC (warp-per-vertex).
+  gen::KroneckerParams kron;
+  kron.scale = scale;  // 2^14 = 16384 vertices by default
+  kron.edge_factor = 8;
+  kron.seed = 1;
+  const graph::EdgeList kron_graph = gen::kronecker(kron);
+
+  gen::ErdosRenyiParams er;
+  er.n = vidx_t{1} << scale;
+  er.arcs = static_cast<eidx_t>(er.n) * 6;
+  er.directed = true;
+  er.seed = 2;
+
+  std::vector<Workload> workloads;
+  workloads.push_back({.name = "kron-s" + std::to_string(scale),
+                       .family = "kronecker",
+                       .graph = kron_graph,
+                       .variant = bc::Variant::kScCooc});
+  workloads.push_back({.name = "kron-s" + std::to_string(scale) + "-ve",
+                       .family = "kronecker",
+                       .graph = kron_graph,
+                       .variant = bc::Variant::kVeCsc});
+  workloads.push_back({.name = "er-" + std::to_string(er.n) + "(D)",
+                       .family = "erdos-renyi",
+                       .graph = gen::erdos_renyi(er),
+                       .variant = bc::Variant::kScCsc});
+
+  std::vector<HostParallelRow> rows;
+  for (const Workload& w : workloads) {
+    std::cerr << "  [parallel] " << w.name << " ..." << std::flush;
+    rows.push_back(run_host_parallel_experiment(w, cfg));
+    std::cerr << " serial " << rows.back().serial_wall_s << " s, x"
+              << rows.back().threads << " " << rows.back().parallel_wall_s
+              << " s\n";
+  }
+
+  std::cout << "Host-parallel engine: wall clock at pool width 1 vs "
+            << rows.front().threads << "\n";
+  print_parallel_rows(std::cout, rows);
+
+  const std::string out_path = args.get("out", "BENCH_parallel.json");
+  std::ofstream json(out_path);
+  write_parallel_json(json, rows);
+  std::cout << "\nwrote " << out_path << '\n';
+
+  for (const auto& r : rows) {
+    if (!r.bit_identical) {
+      std::cerr << "ERROR: " << r.name
+                << " modeled results differ across pool widths\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -4,9 +4,15 @@
 #include <iostream>
 
 #include "bench_support/runner.hpp"
+#include "common/cli.hpp"
+#include "gpusim/executor.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace turbobc::bench;
+  const turbobc::CliArgs args(argc, argv);
+  // Host-parallel pool width; modeled numbers are width-invariant.
+  turbobc::sim::ExecutorPool::instance().set_threads(
+      static_cast<unsigned>(args.get_int("threads", 1)));
   std::vector<ExperimentRow> rows;
   for (const Workload& w : table2_suite()) {
     rows.push_back(run_single_source_experiment(w));

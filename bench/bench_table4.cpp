@@ -10,13 +10,19 @@
 #include <iostream>
 
 #include "bench_support/runner.hpp"
+#include "common/cli.hpp"
 #include "common/format.hpp"
 #include "common/table.hpp"
 #include "core/footprint.hpp"
+#include "gpusim/executor.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace turbobc;
   using namespace turbobc::bench;
+  const CliArgs args(argc, argv);
+  // Host-parallel pool width; modeled numbers are width-invariant.
+  sim::ExecutorPool::instance().set_threads(
+      static_cast<unsigned>(args.get_int("threads", 1)));
 
   // Paper-scale (n, m) per Table 4 row, for the analytic fit check and the
   // capacity scaling.

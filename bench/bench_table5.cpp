@@ -1,12 +1,18 @@
 // Reproduces Table 5: exact BC (all sources) on six graphs; MTEPS computed
 // as n*m / t. The paper's Table 5 compares against the sequential algorithm
-// only.
+// only. `--threads N` picks the host-parallel pool width (modeled numbers
+// are bit-identical for any width; default 1 keeps historical wall times).
 #include <iostream>
 
 #include "bench_support/runner.hpp"
+#include "common/cli.hpp"
+#include "gpusim/executor.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace turbobc::bench;
+  const turbobc::CliArgs args(argc, argv);
+  turbobc::sim::ExecutorPool::instance().set_threads(
+      static_cast<unsigned>(args.get_int("threads", 1)));
   RunnerConfig cfg;
   cfg.run_gunrock = false;
   cfg.run_ligra = false;

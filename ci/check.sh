@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI check: build and test the repo in two configurations —
+#
+#   1. Release        — the tier-1 suite as shipped.
+#   2. ThreadSanitizer (-DTURBOBC_SANITIZE=thread) — the same suite with the
+#      host-parallel execution engine under TSan. The engine's contract is
+#      that its only shared-memory traffic is either synchronized (pool
+#      hand-off), relaxed-atomic (buffer element access in concurrent mode)
+#      or deferred to the single-threaded merge (float atomic adds), so the
+#      suite must be race-free.
+#
+# Usage: ci/check.sh [build-dir-prefix]   (default: build-ci)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build-ci}"
+
+run_config() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "=== [$name] configure ==="
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release "$@"
+  echo "=== [$name] build ==="
+  cmake --build "$dir" -j "$(nproc)"
+  echo "=== [$name] ctest ==="
+  (cd "$dir" && ctest --output-on-failure -j "$(nproc)")
+}
+
+run_config "release" "${prefix}-release"
+run_config "tsan" "${prefix}-tsan" -DTURBOBC_SANITIZE=thread
+
+echo "=== all configurations passed ==="

@@ -145,7 +145,9 @@ GunrockBcResult GunrockLikeBc::run_single_source(vidx_t source) {
             visited_.store(t, i, in_next ? 1 : 0);
             t.count_ops(1);
           });
-      // Filter rebuilds the vertex queue from the label array.
+      // Filter rebuilds the vertex queue from the label array. Queue slots
+      // come from the atomic counter's return value, so thread order decides
+      // queue layout: serial-only under the host-parallel engine.
       sim::launch_scalar(
           dev, "gunrock_filter", static_cast<std::uint64_t>(n_),
           [&](sim::ThreadCtx& t) {
@@ -155,7 +157,8 @@ GunrockBcResult GunrockLikeBc::run_single_source(vidx_t source) {
               next->store(t, static_cast<std::size_t>(slot),
                           static_cast<vidx_t>(i));
             }
-          });
+          },
+          sim::LaunchPolicy::kSerialOnly);
     } else {
       // Load-balanced push advance: one thread per frontier edge. The LB
       // partition pass (gunrock's per-block scan over the frontier's degree
@@ -184,7 +187,9 @@ GunrockBcResult GunrockLikeBc::run_single_source(vidx_t source) {
               lb_scratch_.store(t, base++, u);
             }
             t.count_ops(2);
-          });
+          },
+          // `base` is shared mutable lambda state advanced in thread order.
+          sim::LaunchPolicy::kSerialOnly);
       // gunrock's TWC load balancing dispatches the frontier's degree
       // classes to separate sub-kernels; the small/medium class launches are
       // charged here (the bulk class is the main advance below).
@@ -215,7 +220,9 @@ GunrockBcResult GunrockLikeBc::run_single_source(vidx_t source) {
             } else if (lw == level + 1) {
               sigma_.atomic_add(t, static_cast<std::size_t>(w), su);
             }
-          });
+          },
+          // Queue slots come from the atomic counter's return value.
+          sim::LaunchPolicy::kSerialOnly);
     }
     // gunrock's oprtr pipeline runs a filter/uniquify pass over the raw
     // output queue and synchronizes with the host after BOTH the advance and

@@ -11,8 +11,10 @@
 #include "bench_support/mteps.hpp"
 #include "common/format.hpp"
 #include "common/table.hpp"
+#include "common/timer.hpp"
 #include "core/turbobc.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
 
 namespace turbobc::bench {
 
@@ -134,6 +136,86 @@ ExperimentRow run_exact_experiment(const Workload& w,
   }
 
   return row;
+}
+
+HostParallelRow run_host_parallel_experiment(const Workload& w,
+                                             const HostParallelConfig& cfg) {
+  HostParallelRow row;
+  row.name = w.name;
+  row.n = w.graph.num_vertices();
+  row.m = w.graph.num_arcs();
+  row.variant = std::string(bc::to_string(w.variant));
+  row.threads = sim::ExecutorPool::instance().set_threads(cfg.threads);
+
+  // Source set: every vertex (exact) or max_sources spread evenly.
+  std::vector<vidx_t> sources;
+  const vidx_t n = row.n;
+  const vidx_t count =
+      cfg.max_sources > 0 ? std::min(cfg.max_sources, n) : n;
+  sources.reserve(count);
+  for (vidx_t i = 0; i < count; ++i) {
+    sources.push_back(static_cast<vidx_t>(
+        static_cast<std::uint64_t>(i) * n / count));
+  }
+  row.sources = count;
+
+  const auto run_width = [&](unsigned width, double* wall_s) {
+    sim::ExecutorPool::instance().set_threads(width);
+    sim::Device device(cfg.device_props);
+    device.set_keep_launch_records(false);  // O(sources * d) launches
+    bc::TurboBC turbo(device, w.graph, {.variant = w.variant});
+    WallTimer timer;
+    bc::BcResult r = turbo.run_sources(sources);
+    *wall_s = timer.seconds();
+    return r;
+  };
+
+  const bc::BcResult serial = run_width(1, &row.serial_wall_s);
+  const bc::BcResult parallel = run_width(row.threads, &row.parallel_wall_s);
+  sim::ExecutorPool::instance().set_threads(1);
+
+  row.modeled_s = serial.device_seconds;
+  row.speedup = row.parallel_wall_s > 0.0
+                    ? row.serial_wall_s / row.parallel_wall_s
+                    : 0.0;
+  row.bit_identical =
+      serial.bc == parallel.bc &&
+      serial.device_seconds == parallel.device_seconds &&
+      serial.peak_device_bytes == parallel.peak_device_bytes;
+  return row;
+}
+
+void print_parallel_rows(std::ostream& os,
+                         const std::vector<HostParallelRow>& rows) {
+  Table t({"graph", "n", "m", "variant", "sources", "threads", "serial(s)",
+           "parallel(s)", "host speedup", "modeled(s)", "bit-identical"});
+  for (const auto& r : rows) {
+    t.add_row({r.name, human_count(static_cast<double>(r.n)),
+               human_count(static_cast<double>(r.m)), r.variant,
+               std::to_string(r.sources), std::to_string(r.threads),
+               fixed(r.serial_wall_s, 3), fixed(r.parallel_wall_s, 3),
+               fmt_speedup(r.speedup), fixed(r.modeled_s, 4),
+               r.bit_identical ? "yes" : "NO"});
+  }
+  t.print(os);
+}
+
+void write_parallel_json(std::ostream& os,
+                         const std::vector<HostParallelRow>& rows) {
+  os << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    os << "  {\"graph\": \"" << r.name << "\", \"n\": " << r.n
+       << ", \"m\": " << r.m << ", \"variant\": \"" << r.variant
+       << "\", \"sources\": " << r.sources << ", \"threads\": " << r.threads
+       << ", \"serial_wall_s\": " << r.serial_wall_s
+       << ", \"parallel_wall_s\": " << r.parallel_wall_s
+       << ", \"host_speedup\": " << r.speedup
+       << ", \"modeled_s\": " << r.modeled_s << ", \"bit_identical\": "
+       << (r.bit_identical ? "true" : "false") << "}"
+       << (i + 1 < rows.size() ? "," : "") << '\n';
+  }
+  os << "]\n";
 }
 
 void print_rows(std::ostream& os, const std::string& title,

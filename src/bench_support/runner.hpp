@@ -70,4 +70,45 @@ void print_rows(std::ostream& os, const std::string& title,
 /// Relative max-norm difference between two BC vectors.
 double bc_max_rel_error(const std::vector<bc_t>& a, const std::vector<bc_t>& b);
 
+// ---------------------------------------------------------------------------
+// Host-parallel engine benchmark (ExecutorPool): wall-clock columns.
+// ---------------------------------------------------------------------------
+
+/// One graph measured twice through the multi-source fan-out — pool width 1
+/// vs `threads` — with real host wall clocks. The modeled results must be
+/// bit-identical across widths (the engine's core contract); `bit_identical`
+/// records whether they were.
+struct HostParallelRow {
+  std::string name;
+  vidx_t n = 0;
+  eidx_t m = 0;
+  std::string variant;
+  vidx_t sources = 0;        // sources actually run (0 < sources <= n)
+  unsigned threads = 0;      // pool width of the parallel run
+  double serial_wall_s = 0.0;
+  double parallel_wall_s = 0.0;
+  double speedup = 0.0;      // serial_wall_s / parallel_wall_s
+  double modeled_s = 0.0;    // device_seconds (same for both widths)
+  bool bit_identical = false;
+};
+
+struct HostParallelConfig {
+  sim::DeviceProps device_props = sim::DeviceProps::titan_xp();
+  unsigned threads = 0;     // 0 = hardware concurrency
+  vidx_t max_sources = 0;   // 0 = exact (every vertex); else evenly spread
+};
+
+/// Runs the workload's exact/multi-source BC at width 1 and width
+/// cfg.threads, wall-clocked. Leaves the process pool back at width 1.
+HostParallelRow run_host_parallel_experiment(const Workload& w,
+                                             const HostParallelConfig& cfg);
+
+void print_parallel_rows(std::ostream& os,
+                         const std::vector<HostParallelRow>& rows);
+
+/// Machine-readable dump (BENCH_parallel.json): a JSON array with one object
+/// per row, fields matching HostParallelRow.
+void write_parallel_json(std::ostream& os,
+                         const std::vector<HostParallelRow>& rows);
+
 }  // namespace turbobc::bench

@@ -2,6 +2,7 @@
 
 #include "core/turbobc.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
 
 namespace turbobc::bc {
 
@@ -9,14 +10,28 @@ AutotuneResult autotune_variant(const graph::EdgeList& graph,
                                 vidx_t probe_source,
                                 const sim::DeviceProps& props) {
   AutotuneResult result;
-  double best = -1.0;
-  for (const Variant v :
-       {Variant::kScCooc, Variant::kScCsc, Variant::kVeCsc}) {
+  constexpr Variant kVariants[] = {Variant::kScCooc, Variant::kScCsc,
+                                   Variant::kVeCsc};
+
+  // The three probes are independent scratch-device runs, so they fan out
+  // as tasks on the shared ExecutorPool (one pool for the whole process —
+  // probes never spawn their own threads). Inside a pool job nested
+  // launches run inline, so each probe is the plain serial pipeline and its
+  // modeled seconds are the same whether probes run concurrently or not.
+  sim::ExecutorPool::instance().for_tasks(3, [&](std::size_t i, unsigned) {
+    const Variant v = kVariants[i];
     sim::Device device(props);
     device.set_keep_launch_records(false);
     TurboBC turbo(device, graph, {.variant = v});
-    const double t = turbo.run_single_source(probe_source).device_seconds;
-    result.seconds[static_cast<int>(v)] = t;
+    result.seconds[static_cast<int>(v)] =
+        turbo.run_single_source(probe_source).device_seconds;
+  });
+
+  // Pick the winner in fixed variant order (ties resolve identically no
+  // matter which probe finished first).
+  double best = -1.0;
+  for (const Variant v : kVariants) {
+    const double t = result.seconds[static_cast<int>(v)];
     if (best < 0.0 || t < best) {
       best = t;
       result.best = v;

@@ -1,9 +1,11 @@
 #include "core/turbobc.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/error.hpp"
 #include "common/prng.hpp"
+#include "gpusim/executor.hpp"
 #include "gpusim/kernel.hpp"
 #include "spmv/spmv_kernels.hpp"
 
@@ -16,6 +18,12 @@ namespace {
 double device_clock(const sim::Device& d) {
   return d.kernel_seconds() + d.transfer_seconds() + d.overhead_seconds();
 }
+
+/// Upper bound on source-fan-out blocks. Enough blocks that the dynamic
+/// task queue load-balances well past any realistic core count, few enough
+/// that at most pool-width replica devices (graph clone + bc partial each)
+/// are ever live at once without excessive cloning overhead.
+constexpr std::size_t kMaxSourceBlocks = 64;
 
 }  // namespace
 
@@ -63,13 +71,14 @@ std::size_t TurboBC::graph_device_bytes() const noexcept {
   return csc_ ? csc_->col_ptr().bytes() + csc_->row_idx().bytes() : 0;
 }
 
-SourceStats TurboBC::run_source_into(vidx_t source,
-                                     sim::DeviceBuffer<bc_t>& bc_dev,
-                                     sim::DeviceBuffer<bc_t>* ebc_dev) {
+SourceStats TurboBC::run_source_on(sim::Device& dev,
+                                   const spmv::DeviceCsc* csc,
+                                   const spmv::DeviceCooc* cooc, vidx_t source,
+                                   sim::DeviceBuffer<bc_t>& bc_dev,
+                                   sim::DeviceBuffer<bc_t>* ebc_dev) {
   using T = sigma_t;  // double: path counts overflow any integer width
   TBC_CHECK(source >= 0 && source < n_, "BC source vertex out of range");
   const auto n = static_cast<std::size_t>(n_);
-  sim::Device& dev = device_;
 
   // All per-vertex device arrays are modeled at the paper's 4-byte width
   // (int32 S/f/f_t, float32 sigma/delta/bc — Figure 4); host-side values
@@ -105,13 +114,13 @@ SourceStats TurboBC::run_source_into(vidx_t source,
       ft.device_fill(T{0});
       switch (options_.variant) {
         case Variant::kScCooc:
-          spmv::spmv_forward_sccooc(dev, *cooc_, f, ft);
+          spmv::spmv_forward_sccooc(dev, *cooc, f, ft);
           break;
         case Variant::kScCsc:
-          spmv::spmv_forward_sccsc(dev, *csc_, f, ft, sigma);
+          spmv::spmv_forward_sccsc(dev, *csc, f, ft, sigma);
           break;
         case Variant::kVeCsc:
-          spmv::spmv_forward_vecsc(dev, *csc_, f, ft, sigma);
+          spmv::spmv_forward_vecsc(dev, *csc, f, ft, sigma);
           break;
       }
       cflag.device_fill(0);
@@ -174,14 +183,14 @@ SourceStats TurboBC::run_source_into(vidx_t source,
       // each arc is touched by exactly one thread, so plain read-modify-
       // write suffices.
       const bc_t escale = directed_ ? 1.0 : 0.5;
-      if (cooc_) {
+      if (cooc != nullptr) {
         sim::launch_scalar(
             dev, "edge_bc_accum", static_cast<std::uint64_t>(m_),
             [&](sim::ThreadCtx& t) {
               const auto k = static_cast<std::size_t>(t.global_id());
-              const vidx_t w = cooc_->col_idx().load(t, k);
+              const vidx_t w = cooc->col_idx().load(t, k);
               if (S.load(t, static_cast<std::size_t>(w)) != d) return;
-              const vidx_t i = cooc_->row_idx().load(t, k);
+              const vidx_t i = cooc->row_idx().load(t, k);
               if (S.load(t, static_cast<std::size_t>(i)) != d - 1) return;
               const bc_t du = delta_u.load(t, static_cast<std::size_t>(w));
               if (du == 0.0) return;
@@ -199,11 +208,11 @@ SourceStats TurboBC::run_source_into(vidx_t source,
               if (S.load(t, w) != d) return;
               const bc_t du = delta_u.load(t, w);
               if (du == 0.0) return;
-              const spmv::dptr_t begin = csc_->col_ptr().load(t, w);
-              const spmv::dptr_t end = csc_->col_ptr().load(t, w + 1);
+              const spmv::dptr_t begin = csc->col_ptr().load(t, w);
+              const spmv::dptr_t end = csc->col_ptr().load(t, w + 1);
               for (spmv::dptr_t k = begin; k < end; ++k) {
                 const vidx_t i =
-                    csc_->row_idx().load(t, static_cast<std::size_t>(k));
+                    csc->row_idx().load(t, static_cast<std::size_t>(k));
                 t.count_ops(1);
                 if (S.load(t, static_cast<std::size_t>(i)) == d - 1) {
                   const T sg = sigma.load(t, static_cast<std::size_t>(i));
@@ -223,25 +232,25 @@ SourceStats TurboBC::run_source_into(vidx_t source,
     if (!directed_) {
       switch (options_.variant) {
         case Variant::kScCooc:
-          spmv::spmv_backward_gather_sccooc(dev, *cooc_, delta_u, delta_ut);
+          spmv::spmv_backward_gather_sccooc(dev, *cooc, delta_u, delta_ut);
           break;
         case Variant::kScCsc:
-          spmv::spmv_backward_gather_sccsc(dev, *csc_, delta_u, delta_ut);
+          spmv::spmv_backward_gather_sccsc(dev, *csc, delta_u, delta_ut);
           break;
         case Variant::kVeCsc:
-          spmv::spmv_backward_gather_vecsc(dev, *csc_, delta_u, delta_ut);
+          spmv::spmv_backward_gather_vecsc(dev, *csc, delta_u, delta_ut);
           break;
       }
     } else {
       switch (options_.variant) {
         case Variant::kScCooc:
-          spmv::spmv_backward_scatter_sccooc(dev, *cooc_, delta_u, delta_ut);
+          spmv::spmv_backward_scatter_sccooc(dev, *cooc, delta_u, delta_ut);
           break;
         case Variant::kScCsc:
-          spmv::spmv_backward_scatter_sccsc(dev, *csc_, delta_u, delta_ut);
+          spmv::spmv_backward_scatter_sccsc(dev, *csc, delta_u, delta_ut);
           break;
         case Variant::kVeCsc:
-          spmv::spmv_backward_scatter_vecsc(dev, *csc_, delta_u, delta_ut);
+          spmv::spmv_backward_scatter_vecsc(dev, *csc, delta_u, delta_ut);
           break;
       }
     }
@@ -307,9 +316,96 @@ BcResult TurboBC::run_sources(const std::vector<vidx_t>& sources) {
   }
 
   BcResult result;
-  for (const vidx_t s : sources) {
-    result.last_source =
-        run_source_into(s, bc_dev, ebc_dev ? &*ebc_dev : nullptr);
+  if (sources.size() <= 1) {
+    // Single source: run directly on the main device so callers inspecting
+    // its launch records see the per-source kernel stream in place.
+    for (const vidx_t s : sources) {
+      result.last_source =
+          run_source_on(device_, csc_ ? &*csc_ : nullptr,
+                        cooc_ ? &*cooc_ : nullptr, s, bc_dev,
+                        ebc_dev ? &*ebc_dev : nullptr);
+    }
+  } else {
+    // Parallel source fan-out. Sources are split into contiguous blocks —
+    // the block structure depends only on the source count, never on the
+    // pool width — and each block runs on a FRESH replica device: the
+    // replica's bump allocator and L2 start identically for every block, so
+    // each block's modeled numbers are a pure function of its sources.
+    // Block partials are merged on the main device in block order, making
+    // every float fold (bc values, modeled seconds) a fixed-order reduction.
+    // Width 1 executes the same blocks in the same order inline, so any
+    // --threads N reproduces --threads 1 bit-for-bit.
+    const std::size_t count = sources.size();
+    const std::size_t num_blocks = std::min(count, kMaxSourceBlocks);
+    const std::size_t block_len = (count + num_blocks - 1) / num_blocks;
+
+    struct BlockResult {
+      std::unique_ptr<sim::Device> dev;
+      std::vector<bc_t> bc;
+      std::vector<bc_t> ebc;
+      SourceStats last;
+      std::size_t peak_bytes = 0;
+    };
+    std::vector<BlockResult> blocks(num_blocks);
+
+    sim::ExecutorPool::instance().for_tasks(
+        num_blocks, [&](std::size_t b, unsigned) {
+          const std::size_t sb = b * block_len;
+          const std::size_t se = std::min(count, sb + block_len);
+          BlockResult& out = blocks[b];
+          out.dev = std::make_unique<sim::Device>(device_.props());
+          sim::Device& rdev = *out.dev;
+          rdev.set_keep_launch_records(device_.keep_launch_records());
+
+          std::optional<spmv::DeviceCsc> rcsc;
+          std::optional<spmv::DeviceCooc> rcooc;
+          if (cooc_) {
+            rcooc.emplace(rdev, *cooc_);
+          } else {
+            rcsc.emplace(rdev, *csc_);
+          }
+          sim::DeviceBuffer<bc_t> rbc(rdev, static_cast<std::size_t>(n_),
+                                      "bc", 4);
+          rbc.device_fill(0.0);
+          std::optional<sim::DeviceBuffer<bc_t>> rebc;
+          if (options_.edge_bc) {
+            rebc.emplace(rdev, static_cast<std::size_t>(m_), "edge_bc", 4);
+            rebc->device_fill(0.0);
+          }
+          // The main device already paid for the graph upload (at
+          // construction) and the bc alloc/fill (above); drop the replica's
+          // duplicate setup charges so the absorbed block timeline holds
+          // only per-source work. The peak keeps the full replica footprint
+          // (graph + bc + per-source arrays), matching serial accounting.
+          rdev.reset_timeline();
+          rdev.memory().reset_peak();
+
+          for (std::size_t i = sb; i < se; ++i) {
+            out.last = run_source_on(rdev, rcsc ? &*rcsc : nullptr,
+                                     rcooc ? &*rcooc : nullptr, sources[i],
+                                     rbc, rebc ? &*rebc : nullptr);
+          }
+          out.bc = rbc.host();
+          if (rebc) out.ebc = rebc->host();
+          out.peak_bytes = rdev.memory().peak_bytes();
+        });
+
+    // Deterministic merge: block order, left fold.
+    for (BlockResult& blk : blocks) {
+      device_.absorb_timeline(*blk.dev);
+      device_.memory().note_peak(blk.peak_bytes);
+      auto& bc_host = bc_dev.host();
+      for (std::size_t i = 0; i < bc_host.size(); ++i) {
+        bc_host[i] += blk.bc[i];
+      }
+      if (ebc_dev) {
+        auto& ebc_host = ebc_dev->host();
+        for (std::size_t i = 0; i < ebc_host.size(); ++i) {
+          ebc_host[i] += blk.ebc[i];
+        }
+      }
+    }
+    result.last_source = blocks.back().last;
   }
   result.sources = static_cast<vidx_t>(sources.size());
   result.device_seconds = device_clock(device_) - start;

@@ -86,6 +86,14 @@ class TurboBC {
   BcResult run_exact();
 
   /// BC restricted to the given sources (sampling-style approximations).
+  ///
+  /// Multi-source runs fan the sources out across the ExecutorPool: the
+  /// source list is split into blocks (block structure depends only on the
+  /// source count, never on the thread count), each block runs on a fresh
+  /// replica device, and block partials — bc/edge_bc vectors, kernel
+  /// aggregates, modeled seconds, peak bytes — are merged on the main
+  /// device in fixed block order. Every modeled number and BC value is
+  /// therefore bit-identical for any pool width, including width 1.
   BcResult run_sources(const std::vector<vidx_t>& sources);
 
   /// Approximate BC by uniform source sampling (Brandes & Pich style):
@@ -107,8 +115,14 @@ class TurboBC {
   std::size_t graph_device_bytes() const noexcept;
 
  private:
-  SourceStats run_source_into(vidx_t source, sim::DeviceBuffer<bc_t>& bc_dev,
-                              sim::DeviceBuffer<bc_t>* ebc_dev);
+  /// One source's full pipeline against an explicit device and graph
+  /// structure. `dev` is either the main device (serial / single-source) or
+  /// a per-block replica of it (parallel fan-out — see run_sources); exactly
+  /// one of `csc` / `cooc` is non-null, matching options_.variant.
+  SourceStats run_source_on(sim::Device& dev, const spmv::DeviceCsc* csc,
+                            const spmv::DeviceCooc* cooc, vidx_t source,
+                            sim::DeviceBuffer<bc_t>& bc_dev,
+                            sim::DeviceBuffer<bc_t>* ebc_dev);
 
   sim::Device& device_;
   BcOptions options_;

@@ -10,9 +10,11 @@
 // is free (it models reading results back after the experiment).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -21,6 +23,36 @@
 #include "gpusim/device.hpp"
 
 namespace turbobc::sim {
+
+namespace detail {
+
+/// Element access for kernel code. In serial launches these are plain
+/// reads/writes. During host-parallel launches (`concurrent == true`) they
+/// go through relaxed std::atomic_ref so that the benign races the kernels
+/// do have — distinct-index scatters from different warps, and same-value
+/// flag stores (e.g. the BFS convergence flag, where every warp writes 1) —
+/// are well-defined and TSan-clean. Relaxed ordering is sufficient: the
+/// pool's job hand-off provides the acquire/release edges between the
+/// launch and the merge.
+template <typename T>
+T read_elem(const T& slot, bool concurrent) {
+  if (concurrent) {
+    return std::atomic_ref<T>(const_cast<T&>(slot))
+        .load(std::memory_order_relaxed);
+  }
+  return slot;
+}
+
+template <typename T>
+void write_elem(T& slot, T value, bool concurrent) {
+  if (concurrent) {
+    std::atomic_ref<T>(slot).store(value, std::memory_order_relaxed);
+  } else {
+    slot = value;
+  }
+}
+
+}  // namespace detail
 
 template <typename T>
 class DeviceBuffer {
@@ -117,7 +149,7 @@ class DeviceBuffer {
     ctx.record(Access{addr_of(i),
                       static_cast<std::uint8_t>(modeled_elem_bytes_),
                       MemOp::kLoad});
-    return data_[i];
+    return detail::read_elem(data_[i], ctx.concurrent());
   }
 
   template <typename Ctx>
@@ -125,22 +157,40 @@ class DeviceBuffer {
     ctx.record(Access{addr_of(i),
                       static_cast<std::uint8_t>(modeled_elem_bytes_),
                       MemOp::kStore});
-    data_[i] = value;
+    detail::write_elem(data_[i], value, ctx.concurrent());
   }
 
-  /// Atomic add; execution is single-threaded so the update itself is plain,
-  /// but the cost model charges atomic issue/serialization costs. Integer and
-  /// floating-point atomics are charged differently (see CostModel); which
-  /// rate applies is the buffer's *modeled* element kind, not the C++ type —
-  /// see set_modeled_integer.
+  /// Atomic add. The cost model charges atomic issue/serialization costs;
+  /// integer and floating-point atomics are charged differently (see
+  /// CostModel) and which rate applies is the buffer's *modeled* element
+  /// kind, not the C++ type — see set_modeled_integer.
+  ///
+  /// Functionally: serial launches apply the add in place. Host-parallel
+  /// launches apply integer adds eagerly (std::atomic_ref::fetch_add — sums
+  /// are exact under any order) and *defer* floating-point adds to the
+  /// shard merge, where they replay in warp order so the non-associative
+  /// float accumulation matches serial execution bit-for-bit. The returned
+  /// "old" value is exact in serial launches; kernels whose result depends
+  /// on it (e.g. queue-slot allocation) must launch with
+  /// LaunchPolicy::kSerialOnly. For deferred float adds the return value is
+  /// the not-yet-merged element value, which no kernel relies on.
   template <typename Ctx>
   T atomic_add(Ctx& ctx, std::size_t i, T value) {
     ctx.record(Access{addr_of(i),
                       static_cast<std::uint8_t>(modeled_elem_bytes_),
                       atomic_op()});
-    const T old = data_[i];
-    data_[i] = static_cast<T>(old + value);
-    return old;
+    if (!ctx.concurrent()) {
+      const T old = data_[i];
+      data_[i] = static_cast<T>(old + value);
+      return old;
+    }
+    if constexpr (std::is_integral_v<T>) {
+      return std::atomic_ref<T>(data_[i]).fetch_add(value,
+                                                    std::memory_order_relaxed);
+    } else {
+      ctx.defer_add(&data_[i], value);
+      return detail::read_elem(data_[i], true);
+    }
   }
 
   /// Override the datatype the cost model assumes for this array. TurboBC's

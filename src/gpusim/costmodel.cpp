@@ -2,11 +2,24 @@
 
 #include <algorithm>
 #include <array>
+#include <deque>
+#include <mutex>
+#include <string>
 
 namespace turbobc::sim {
 
 namespace {
 constexpr std::uint64_t kInvalidTag = ~0ULL;
+}
+
+std::string_view intern_kernel_name(std::string_view name) {
+  static std::mutex mutex;
+  static std::deque<std::string> table;  // deque: stable element addresses
+  std::lock_guard<std::mutex> g(mutex);
+  for (const std::string& s : table) {
+    if (s == name) return s;
+  }
+  return table.emplace_back(name);
 }
 
 CostModel::CostModel(const DeviceProps& props) : props_(props) {
@@ -28,6 +41,28 @@ bool CostModel::l2_probe_and_fill(std::uint64_t sector) {
 
 std::uint64_t CostModel::process_slot(LaunchRecord& rec, const Access* accesses,
                                       int count) {
+  thread_local std::vector<std::uint64_t> sectors;
+  sectors.clear();
+  const std::uint64_t slots =
+      coalesce_slot(props_, rec, accesses, count, sectors);
+  replay_sectors(rec, sectors.data(), sectors.size());
+  return slots;
+}
+
+void CostModel::replay_sectors(LaunchRecord& rec, const std::uint64_t* sectors,
+                               std::size_t count) {
+  std::uint64_t hits = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (l2_probe_and_fill(sectors[i])) ++hits;
+  }
+  rec.l2_hit_transactions += hits;
+  rec.dram_transactions += count - hits;
+}
+
+std::uint64_t CostModel::coalesce_slot(const DeviceProps& props,
+                                       LaunchRecord& rec,
+                                       const Access* accesses, int count,
+                                       std::vector<std::uint64_t>& sectors_out) {
   if (count <= 0) return 0;
 
   // Collect the touched sectors of the warp's active lanes. A lane request
@@ -40,7 +75,7 @@ std::uint64_t CostModel::process_slot(LaunchRecord& rec, const Access* accesses,
   bool is_store = false;
 
   const auto sector_of = [&](std::uint64_t a) {
-    return a / static_cast<std::uint64_t>(props_.sector_bytes);
+    return a / static_cast<std::uint64_t>(props.sector_bytes);
   };
 
   for (int i = 0; i < count; ++i) {
@@ -74,12 +109,7 @@ std::uint64_t CostModel::process_slot(LaunchRecord& rec, const Access* accesses,
   const auto unique_sectors =
       static_cast<std::uint64_t>(uniq_end - sectors.begin());
 
-  std::uint64_t hits = 0;
-  for (auto it = sectors.begin(); it != uniq_end; ++it) {
-    if (l2_probe_and_fill(*it)) ++hits;
-  }
-  rec.l2_hit_transactions += hits;
-  rec.dram_transactions += unique_sectors - hits;
+  sectors_out.insert(sectors_out.end(), sectors.begin(), uniq_end);
   if (is_store) {
     rec.store_transactions += unique_sectors;
   } else {

@@ -24,7 +24,7 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "gpusim/device_props.hpp"
@@ -40,10 +40,38 @@ struct Access {
   MemOp op = MemOp::kLoad;
 };
 
+/// Interns a kernel name into a process-lifetime table and returns a stable
+/// view. Launch sites pass string literals or short-lived strings; interning
+/// means LaunchRecord carries a cheap view instead of allocating a
+/// std::string per launch (the launchers sit on the hot path of every test
+/// and bench).
+std::string_view intern_kernel_name(std::string_view name);
+
+/// A floating-point atomic add captured during a host-parallel launch.
+/// Float addition is not associative, so concurrent eager adds would make
+/// results depend on the host schedule; instead each worker logs its adds in
+/// program order and the launcher applies all logs in warp order at shard
+/// merge — reproducing the serial engine's accumulation order exactly.
+/// (Integer adds are exact under any order and run eagerly.)
+struct DeferredAdd {
+  void* target = nullptr;
+  double value = 0.0;    // holds any float value exactly
+  bool is_double = true;  // else the target is a float
+
+  void apply() const {
+    if (is_double) {
+      *static_cast<double*>(target) += value;
+    } else {
+      *static_cast<float*>(target) += static_cast<float>(value);
+    }
+  }
+};
+
 /// Statistics for a single kernel launch (the simulator's analogue of an
-/// nvprof row).
+/// nvprof row). `kernel` points into the intern table (or a string literal)
+/// and is valid for the life of the process.
 struct LaunchRecord {
-  std::string kernel;
+  std::string_view kernel;
   std::uint64_t warps = 0;
   std::uint64_t issue_slots = 0;      // total warp instruction issues
   std::uint64_t max_warp_slots = 0;   // busiest warp (critical path)
@@ -83,6 +111,27 @@ class CostModel {
   /// serialization for contended atomics).
   std::uint64_t process_slot(LaunchRecord& rec, const Access* accesses,
                              int count);
+
+  /// The slot pipeline is split in two so the parallel launch engine can run
+  /// the pure part concurrently and the L2-stateful part serially:
+  ///
+  ///  * coalesce_slot — pure function of the accesses: bumps the request and
+  ///    transaction counters and issue slots on `rec`, and appends the
+  ///    slot's unique sectors (ascending) to `sectors_out`. Touches no L2
+  ///    state, so per-warp results are identical no matter which host thread
+  ///    or order computes them.
+  ///  * replay_sectors — probes the direct-mapped L2 with a sector stream in
+  ///    order, splitting transactions into l2_hit/dram on `rec`. Must be
+  ///    called in global warp order (warp 0's slots first, then warp 1's, …)
+  ///    to reproduce the serial engine's cache timeline bit-for-bit.
+  ///
+  /// process_slot == coalesce_slot + replay_sectors on the same record.
+  static std::uint64_t coalesce_slot(const DeviceProps& props,
+                                     LaunchRecord& rec, const Access* accesses,
+                                     int count,
+                                     std::vector<std::uint64_t>& sectors_out);
+  void replay_sectors(LaunchRecord& rec, const std::uint64_t* sectors,
+                      std::size_t count);
 
   /// Account `n` pure-ALU warp instructions.
   static std::uint64_t alu_slots(std::uint64_t n) { return n; }

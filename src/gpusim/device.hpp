@@ -49,7 +49,12 @@ class Device {
   /// Record a finished launch (time must already be finalized).
   void commit_launch(LaunchRecord rec) {
     kernel_seconds_ += rec.time_s;
-    auto& agg = aggregates_[rec.kernel];
+    auto it = aggregates_.find(rec.kernel);
+    if (it == aggregates_.end()) {
+      it = aggregates_.emplace(std::string(rec.kernel), KernelAggregate{})
+               .first;
+    }
+    auto& agg = it->second;
     ++agg.launches;
     agg.load_transactions += rec.load_transactions;
     agg.store_transactions += rec.store_transactions;
@@ -81,13 +86,43 @@ class Device {
   const std::vector<LaunchRecord>& launches() const noexcept {
     return launches_;
   }
-  const std::map<std::string, KernelAggregate>& kernel_aggregates() const {
+  const std::map<std::string, KernelAggregate, std::less<>>&
+  kernel_aggregates() const {
     return aggregates_;
   }
 
   /// Keep per-launch records (default). Exact-BC sweeps launch O(n * d)
   /// kernels; turn this off there and rely on the per-name aggregates.
   void set_keep_launch_records(bool keep) { keep_launch_records_ = keep; }
+  bool keep_launch_records() const noexcept { return keep_launch_records_; }
+
+  /// Fold another device's timeline into this one: launch records are
+  /// appended in the other device's order, aggregates and clocks summed.
+  /// The parallel source fan-out runs blocks of sources on replica devices
+  /// and absorbs each replica in block order, so the merged timeline (and
+  /// every float fold inside it) is identical for any host thread count.
+  void absorb_timeline(const Device& other) {
+    if (keep_launch_records_) {
+      launches_.insert(launches_.end(), other.launches_.begin(),
+                       other.launches_.end());
+    }
+    for (const auto& [name, agg] : other.aggregates_) {
+      auto it = aggregates_.find(name);
+      if (it == aggregates_.end()) {
+        it = aggregates_.emplace(name, KernelAggregate{}).first;
+      }
+      auto& mine = it->second;
+      mine.launches += agg.launches;
+      mine.load_transactions += agg.load_transactions;
+      mine.store_transactions += agg.store_transactions;
+      mine.l2_hit_transactions += agg.l2_hit_transactions;
+      mine.dram_transactions += agg.dram_transactions;
+      mine.time_s += agg.time_s;
+    }
+    kernel_seconds_ += other.kernel_seconds_;
+    transfer_seconds_ += other.transfer_seconds_;
+    overhead_seconds_ += other.overhead_seconds_;
+  }
 
   /// Clear the timeline (records, aggregates, accumulated time) and the L2
   /// model. Live memory and the peak watermark are left untouched.
@@ -103,7 +138,7 @@ class Device {
   MemoryManager memory_;
   CostModel cost_;
   std::vector<LaunchRecord> launches_;
-  std::map<std::string, KernelAggregate> aggregates_;
+  std::map<std::string, KernelAggregate, std::less<>> aggregates_;
   double kernel_seconds_ = 0.0;
   double transfer_seconds_ = 0.0;
   double overhead_seconds_ = 0.0;

@@ -1,0 +1,174 @@
+#include "gpusim/executor.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace turbobc::sim {
+namespace {
+
+thread_local bool tls_on_worker = false;
+thread_local bool tls_in_job = false;
+
+}  // namespace
+
+struct ExecutorPool::Impl {
+  std::mutex mutex;
+  std::condition_variable job_cv;    // workers wait here for a job
+  std::condition_variable done_cv;   // run_job waits here for completion
+  std::vector<std::thread> workers;  // width - 1 threads; caller is slot 0
+
+  // Job state, all guarded by `mutex` except the claim/finish counters.
+  const std::function<void(unsigned)>* job = nullptr;
+  std::uint64_t job_seq = 0;       // bumped per job; workers watch for change
+  unsigned pending = 0;            // workers still running the current job
+  bool stopping = false;
+
+  std::exception_ptr first_error;  // first exception thrown by any slot
+
+  void worker_main(unsigned slot) {
+    tls_on_worker = true;
+    std::uint64_t seen_seq = 0;
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      job_cv.wait(lock, [&] { return stopping || job_seq != seen_seq; });
+      if (stopping) return;
+      seen_seq = job_seq;
+      const auto* fn = job;
+      lock.unlock();
+      try {
+        (*fn)(slot);
+      } catch (...) {
+        std::lock_guard<std::mutex> g(mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      lock.lock();
+      if (--pending == 0) done_cv.notify_all();
+    }
+  }
+};
+
+ExecutorPool& ExecutorPool::instance() {
+  static ExecutorPool pool;
+  return pool;
+}
+
+bool ExecutorPool::on_worker_thread() noexcept { return tls_on_worker; }
+
+bool ExecutorPool::in_pool_job() noexcept {
+  return tls_on_worker || tls_in_job;
+}
+
+unsigned ExecutorPool::set_threads(unsigned n) {
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  // Hard cap. More slots than this never helps (chunks go empty) and an
+  // absurd width — e.g. a negative CLI value wrapped through unsigned —
+  // must not translate into millions of std::thread spawns.
+  if (n > kMaxPoolWidth) n = kMaxPoolWidth;
+  if (n == width_ && (impl_ || n == 1)) return width_;
+  stop_workers();
+  width_ = n;
+  ensure_workers();
+  return width_;
+}
+
+void ExecutorPool::ensure_workers() {
+  if (width_ == 0) set_threads(0);
+  if (width_ <= 1 || impl_) return;
+  impl_ = new Impl();
+  impl_->workers.reserve(width_ - 1);
+  for (unsigned slot = 1; slot < width_; ++slot) {
+    impl_->workers.emplace_back(
+        [impl = impl_, slot] { impl->worker_main(slot); });
+  }
+}
+
+void ExecutorPool::stop_workers() {
+  if (!impl_) return;
+  {
+    std::lock_guard<std::mutex> g(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->job_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+  impl_ = nullptr;
+}
+
+ExecutorPool::~ExecutorPool() { stop_workers(); }
+
+void ExecutorPool::run_job(const std::function<void(unsigned)>& slot_fn) {
+  ensure_workers();
+  if (width_ <= 1 || in_pool_job()) {
+    // Serial width, or nested use from inside a job: run every slot inline.
+    for (unsigned slot = 0; slot < (width_ == 0 ? 1u : width_); ++slot) {
+      slot_fn(slot);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> g(impl_->mutex);
+    impl_->job = &slot_fn;
+    impl_->pending = width_ - 1;
+    impl_->first_error = nullptr;
+    ++impl_->job_seq;
+  }
+  impl_->job_cv.notify_all();
+  // The caller participates as slot 0 while workers run slots 1..width-1.
+  tls_in_job = true;
+  try {
+    slot_fn(0);
+  } catch (...) {
+    std::lock_guard<std::mutex> g(impl_->mutex);
+    if (!impl_->first_error) impl_->first_error = std::current_exception();
+  }
+  tls_in_job = false;
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->done_cv.wait(lock, [&] { return impl_->pending == 0; });
+  impl_->job = nullptr;
+  if (impl_->first_error) {
+    std::exception_ptr err = impl_->first_error;
+    impl_->first_error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ExecutorPool::for_chunks(
+    std::uint64_t total,
+    const std::function<void(std::uint64_t, std::uint64_t, unsigned)>& fn) {
+  ensure_workers();
+  const unsigned width = width_ == 0 ? 1u : width_;
+  if (total == 0) return;
+  // Chunk boundaries depend only on (total, width): slot k owns
+  // [k*chunk, min(total, (k+1)*chunk)).
+  const std::uint64_t chunk = (total + width - 1) / width;
+  run_job([&](unsigned slot) {
+    const std::uint64_t begin = static_cast<std::uint64_t>(slot) * chunk;
+    if (begin >= total) return;
+    const std::uint64_t end = std::min(total, begin + chunk);
+    fn(begin, end, slot);
+  });
+}
+
+void ExecutorPool::for_tasks(
+    std::size_t count, const std::function<void(std::size_t, unsigned)>& fn) {
+  ensure_workers();
+  if (count == 0) return;
+  std::atomic<std::size_t> cursor{0};
+  run_job([&](unsigned slot) {
+    for (;;) {
+      const std::size_t task = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (task >= count) return;
+      fn(task, slot);
+    }
+  });
+}
+
+}  // namespace turbobc::sim

@@ -1,0 +1,94 @@
+// Host-side execution engine for the simulated GPU.
+//
+// ExecutorPool is a persistent pool of worker threads that the kernel
+// launchers (gpusim/kernel.hpp) and the exact-BC source fan-out
+// (core/turbobc.cpp) use to spread *host* work across cores. It changes
+// nothing about the modeled machine: every modeled number (transactions,
+// GLT, slots, seconds, peak bytes) is produced by a deterministic
+// fixed-order merge of per-worker shards, so a run with N threads is
+// bit-identical to a run with 1 thread (see DESIGN.md §6, "Host-parallel
+// execution engine").
+//
+// Width policy:
+//  * set_threads(0) — default — sizes the pool to hardware concurrency.
+//  * set_threads(1) forces the legacy serial paths everywhere (no worker
+//    threads exist; launchers and drivers run inline).
+//  * The pool is a process-wide singleton: spawning threads per launch (or
+//    per autotune probe) would dominate small kernels, so workers persist
+//    and sleep on a condition variable between jobs.
+//
+// Nesting: jobs never use the pool recursively. Code that may run on a
+// worker thread (e.g. a kernel launch inside a fan-out block) checks
+// on_worker_thread() and executes inline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace turbobc::sim {
+
+class ExecutorPool {
+ public:
+  /// The process-wide pool. First use spawns workers lazily.
+  static ExecutorPool& instance();
+
+  /// Resize the pool to `n` execution slots (including the caller's);
+  /// 0 means std::thread::hardware_concurrency(); values above
+  /// kMaxPoolWidth clamp to it. Not safe to call while a job is in flight.
+  /// Returns the resulting width.
+  unsigned set_threads(unsigned n);
+
+  /// Configured width (>= 1). Width 1 means fully serial execution.
+  unsigned threads() const noexcept { return width_; }
+
+  /// True when the calling thread is one of the pool's workers. Used to
+  /// keep nested work (kernel launches inside fan-out tasks) inline.
+  static bool on_worker_thread() noexcept;
+
+  /// True while the calling thread is executing inside a pool job — either
+  /// as a worker or as the participating caller. Launchers check this so a
+  /// kernel launch nested inside a fan-out task runs inline instead of
+  /// re-entering the busy pool.
+  static bool in_pool_job() noexcept;
+
+  /// Split [0, total) into threads() contiguous chunks; slot k runs
+  /// fn(begin_k, end_k, k). The caller executes slot 0; workers run the
+  /// rest. Blocks until every chunk finished; rethrows the first worker
+  /// exception. Chunk boundaries depend only on `total` and the width.
+  void for_chunks(std::uint64_t total,
+                  const std::function<void(std::uint64_t, std::uint64_t,
+                                           unsigned)>& fn);
+
+  /// Dynamic task queue: tasks [0, count) are claimed through an atomic
+  /// cursor and run as fn(task, slot). Which slot runs which task is
+  /// scheduling-dependent, so fn must write results indexed by `task` —
+  /// merged results then do not depend on the schedule. Blocks until all
+  /// tasks finished; rethrows the first exception.
+  void for_tasks(std::size_t count,
+                 const std::function<void(std::size_t, unsigned)>& fn);
+
+  ~ExecutorPool();
+
+  ExecutorPool(const ExecutorPool&) = delete;
+  ExecutorPool& operator=(const ExecutorPool&) = delete;
+
+ private:
+  ExecutorPool() = default;
+  struct Impl;
+  void run_job(const std::function<void(unsigned)>& slot_fn);
+  void ensure_workers();
+  void stop_workers();
+
+  Impl* impl_ = nullptr;
+  unsigned width_ = 0;  // 0 until first use / set_threads
+};
+
+/// Minimum warps in a launch before the launchers bother fanning the warp
+/// loop out (tiny launches are cheaper inline than a pool wake-up).
+inline constexpr std::uint64_t kMinWarpsForParallelLaunch = 64;
+
+/// Hard cap on the pool width; set_threads clamps to it.
+inline constexpr unsigned kMaxPoolWidth = 256;
+
+}  // namespace turbobc::sim

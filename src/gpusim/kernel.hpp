@@ -14,33 +14,135 @@
 //    masks, broadcast loads, shfl_down for the warp shuffle reduction, and
 //    plain ALU slots.
 //
-// Execution is single-threaded and deterministic; parallel speed comes from
-// the cost model, not the host.
+// Host-parallel execution (ExecutorPool width > 1): warp ids are split into
+// contiguous chunks, one per pool slot. Each slot runs its warps against a
+// private LaunchRecord shard using the *pure* half of the cost pipeline
+// (CostModel::coalesce_slot), recording the slot's unique-sector stream and
+// deferring floating-point atomic adds. Shards are then merged on the
+// calling thread in slot (= warp) order: counters summed, sector streams
+// replayed through the stateful L2 (CostModel::replay_sectors) in exactly
+// the order the serial engine would have probed, and deferred float adds
+// applied in warp order (float addition is not associative, so eager
+// concurrent adds would drift). The committed LaunchRecord and every buffer
+// value are therefore bit-identical to serial execution. Integer atomic adds
+// are exact under any order and run eagerly via std::atomic_ref; plain
+// scatters keep their distinct-index contract and run eagerly with relaxed
+// atomic accesses (same-address same-value stores, e.g. convergence flags,
+// stay benign under TSan).
 #pragma once
 
 #include <algorithm>
 #include <array>
 #include <cstdint>
-#include <string>
 #include <string_view>
+#include <vector>
 
 #include "gpusim/buffer.hpp"
 #include "gpusim/costmodel.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
 
 namespace turbobc::sim {
 
 inline constexpr int kWarpSize = 32;
 inline constexpr std::uint32_t kFullMask = 0xffffffffu;
 
+/// Whether a launch may use the host-parallel engine. Kernels whose
+/// *functional* result depends on cross-warp execution order — e.g. the
+/// Gunrock baseline allocating frontier slots from an atomic counter's
+/// return value — must pass kSerialOnly.
+enum class LaunchPolicy : std::uint8_t { kParallelOk, kSerialOnly };
+
+namespace detail {
+
+/// Per-worker shard of a parallel launch: counters (everything except the
+/// L2 split), the slot's unique-sector stream in warp order, deferred float
+/// adds in program order, and the chunk's busiest warp.
+struct LaunchShard {
+  LaunchRecord rec;
+  std::vector<std::uint64_t> sectors;
+  std::vector<DeferredAdd> deferred;
+  std::uint64_t max_warp_slots = 0;
+
+  void reset() {
+    rec = LaunchRecord{};
+    sectors.clear();
+    deferred.clear();
+    max_warp_slots = 0;
+  }
+};
+
+/// Merge shards into `rec` in slot order (slots own ascending warp ranges,
+/// so this is global warp order): sum counters, replay the L2 stream, apply
+/// deferred float adds.
+inline void merge_shards(CostModel& cost, LaunchRecord& rec,
+                         std::vector<LaunchShard>& shards) {
+  for (LaunchShard& sh : shards) {
+    rec.issue_slots += sh.rec.issue_slots;
+    rec.load_requests += sh.rec.load_requests;
+    rec.store_requests += sh.rec.store_requests;
+    rec.atomic_requests += sh.rec.atomic_requests;
+    rec.atomic_float_requests += sh.rec.atomic_float_requests;
+    rec.load_transactions += sh.rec.load_transactions;
+    rec.store_transactions += sh.rec.store_transactions;
+    rec.max_warp_slots = std::max(rec.max_warp_slots, sh.max_warp_slots);
+    cost.replay_sectors(rec, sh.sectors.data(), sh.sectors.size());
+    for (const DeferredAdd& d : sh.deferred) d.apply();
+  }
+}
+
+/// Reusable per-thread scratch for the scalar launcher's lane logs; hoisted
+/// out of the launch loop so the per-warp vectors are allocated once per
+/// host thread instead of churning the heap on every launch.
+struct ScalarScratch {
+  std::array<std::vector<Access>, 32> logs;
+  std::array<std::uint64_t, 32> alu{};
+  std::array<Access, 32> slot_buf;
+
+  ScalarScratch() {
+    for (auto& log : logs) log.reserve(64);
+  }
+};
+
+inline ScalarScratch& scalar_scratch() {
+  thread_local ScalarScratch scratch;
+  return scratch;
+}
+
+inline bool use_parallel_engine(LaunchPolicy policy, std::uint64_t warps) {
+  return policy == LaunchPolicy::kParallelOk &&
+         warps >= kMinWarpsForParallelLaunch && !ExecutorPool::in_pool_job() &&
+         ExecutorPool::instance().threads() > 1;
+}
+
+}  // namespace detail
+
 /// Per-thread context for scalar kernels.
 class ThreadCtx {
  public:
   ThreadCtx(std::uint64_t global_id, std::vector<Access>& log,
-            std::uint64_t& alu_ops)
-      : global_id_(global_id), log_(&log), alu_ops_(&alu_ops) {}
+            std::uint64_t& alu_ops,
+            std::vector<DeferredAdd>* deferred = nullptr)
+      : global_id_(global_id),
+        log_(&log),
+        alu_ops_(&alu_ops),
+        deferred_(deferred) {}
 
   std::uint64_t global_id() const noexcept { return global_id_; }
+
+  /// True when the launch runs on the host-parallel engine: buffer element
+  /// accesses must then go through relaxed atomics / deferral (see
+  /// DeviceBuffer).
+  bool concurrent() const noexcept { return deferred_ != nullptr; }
+
+  /// Queue a floating-point add for ordered application at shard merge.
+  void defer_add(double* target, double value) {
+    deferred_->push_back(DeferredAdd{target, value, true});
+  }
+  void defer_add(float* target, float value) {
+    deferred_->push_back(
+        DeferredAdd{target, static_cast<double>(value), false});
+  }
 
   /// Called by DeviceBuffer accessors.
   void record(Access a) { log_->push_back(a); }
@@ -52,38 +154,37 @@ class ThreadCtx {
   std::uint64_t global_id_;
   std::vector<Access>* log_;
   std::uint64_t* alu_ops_;
+  std::vector<DeferredAdd>* deferred_;
 };
 
-/// Run `body(ThreadCtx&)` for thread ids [0, n_threads).
+namespace detail {
+
+/// Run scalar-kernel warps [warp_begin, warp_end) against `rec`. In serial
+/// mode (`sectors == nullptr`) slots go through the full stateful pipeline
+/// via `cost`; in shard mode the pure half runs, the sector stream is
+/// recorded, and `cost` is not touched (it is shared across shards).
 template <typename Body>
-void launch_scalar(Device& device, std::string_view name,
-                   std::uint64_t n_threads, Body&& body) {
-  LaunchRecord rec;
-  rec.kernel = std::string(name);
-  if (n_threads == 0) {
-    device.cost_model().finalize(rec);
-    device.commit_launch(std::move(rec));
-    return;
-  }
-  rec.warps = (n_threads + kWarpSize - 1) / kWarpSize;
-
-  CostModel& cost = device.cost_model();
-  std::array<std::vector<Access>, kWarpSize> logs;
-  std::array<std::uint64_t, kWarpSize> alu{};
-  std::array<Access, kWarpSize> slot_buf;
-
-  for (std::uint64_t w = 0; w < rec.warps; ++w) {
+std::uint64_t run_scalar_warps(const DeviceProps& props, CostModel* cost,
+                               LaunchRecord& rec, std::uint64_t warp_begin,
+                               std::uint64_t warp_end, std::uint64_t n_threads,
+                               std::vector<std::uint64_t>* sectors,
+                               std::vector<DeferredAdd>* deferred,
+                               Body&& body) {
+  ScalarScratch& scratch = scalar_scratch();
+  std::uint64_t max_warp_slots = 0;
+  for (std::uint64_t w = warp_begin; w < warp_end; ++w) {
     std::size_t max_len = 0;
     std::uint64_t max_alu = 0;
     const int lanes = static_cast<int>(
-        std::min<std::uint64_t>(kWarpSize, n_threads - w * kWarpSize));
+        std::min<std::uint64_t>(32, n_threads - w * 32));
     for (int lane = 0; lane < lanes; ++lane) {
-      logs[lane].clear();
-      alu[lane] = 0;
-      ThreadCtx ctx(w * kWarpSize + lane, logs[lane], alu[lane]);
+      scratch.logs[lane].clear();
+      scratch.alu[lane] = 0;
+      ThreadCtx ctx(w * 32 + lane, scratch.logs[lane], scratch.alu[lane],
+                    deferred);
       body(ctx);
-      max_len = std::max(max_len, logs[lane].size());
-      max_alu = std::max(max_alu, alu[lane]);
+      max_len = std::max(max_len, scratch.logs[lane].size());
+      max_alu = std::max(max_alu, scratch.alu[lane]);
     }
 
     // Zip lane logs into warp slots: slot i groups the i-th access of every
@@ -92,15 +193,59 @@ void launch_scalar(Device& device, std::string_view name,
     for (std::size_t s = 0; s < max_len; ++s) {
       int cnt = 0;
       for (int lane = 0; lane < lanes; ++lane) {
-        if (s < logs[lane].size()) slot_buf[cnt++] = logs[lane][s];
+        if (s < scratch.logs[lane].size()) {
+          scratch.slot_buf[cnt++] = scratch.logs[lane][s];
+        }
       }
-      warp_slots += cost.process_slot(rec, slot_buf.data(), cnt);
+      if (sectors != nullptr) {
+        warp_slots += CostModel::coalesce_slot(
+            props, rec, scratch.slot_buf.data(), cnt, *sectors);
+      } else {
+        warp_slots += cost->process_slot(rec, scratch.slot_buf.data(), cnt);
+      }
     }
     // Divergent ALU work executes in lockstep: the warp pays the longest
     // lane's instruction count.
     rec.issue_slots += max_alu;
     warp_slots += max_alu;
-    rec.max_warp_slots = std::max(rec.max_warp_slots, warp_slots);
+    max_warp_slots = std::max(max_warp_slots, warp_slots);
+  }
+  return max_warp_slots;
+}
+
+}  // namespace detail
+
+/// Run `body(ThreadCtx&)` for thread ids [0, n_threads).
+template <typename Body>
+void launch_scalar(Device& device, std::string_view name,
+                   std::uint64_t n_threads, Body&& body,
+                   LaunchPolicy policy = LaunchPolicy::kParallelOk) {
+  LaunchRecord rec;
+  rec.kernel = intern_kernel_name(name);
+  CostModel& cost = device.cost_model();
+  if (n_threads == 0) {
+    cost.finalize(rec);
+    device.commit_launch(std::move(rec));
+    return;
+  }
+  rec.warps = (n_threads + kWarpSize - 1) / kWarpSize;
+
+  if (!detail::use_parallel_engine(policy, rec.warps)) {
+    rec.max_warp_slots = std::max(
+        rec.max_warp_slots,
+        detail::run_scalar_warps(device.props(), &cost, rec, 0, rec.warps,
+                                 n_threads, nullptr, nullptr, body));
+  } else {
+    ExecutorPool& pool = ExecutorPool::instance();
+    std::vector<detail::LaunchShard> shards(pool.threads());
+    pool.for_chunks(rec.warps, [&](std::uint64_t wb, std::uint64_t we,
+                                   unsigned slot) {
+      detail::LaunchShard& sh = shards[slot];
+      sh.max_warp_slots = detail::run_scalar_warps(
+          device.props(), &cost, sh.rec, wb, we, n_threads, &sh.sectors,
+          &sh.deferred, body);
+    });
+    detail::merge_shards(cost, rec, shards);
   }
 
   cost.finalize(rec);
@@ -110,13 +255,32 @@ void launch_scalar(Device& device, std::string_view name,
 /// Per-warp SIMT context for vector kernels.
 class WarpCtx {
  public:
+  /// Serial-mode context: slots go through the full stateful cost pipeline.
   WarpCtx(CostModel& cost, LaunchRecord& rec, std::uint64_t warp_id,
           std::uint64_t num_warps)
-      : cost_(&cost), rec_(&rec), warp_id_(warp_id), num_warps_(num_warps) {}
+      : cost_(&cost),
+        props_(&cost.props()),
+        rec_(&rec),
+        warp_id_(warp_id),
+        num_warps_(num_warps) {}
+
+  /// Shard-mode context for the host-parallel engine: pure coalescing only;
+  /// the sector stream and float adds are replayed at merge.
+  WarpCtx(const DeviceProps& props, LaunchRecord& rec,
+          std::vector<std::uint64_t>& sectors,
+          std::vector<DeferredAdd>& deferred, std::uint64_t warp_id,
+          std::uint64_t num_warps)
+      : props_(&props),
+        rec_(&rec),
+        sectors_(&sectors),
+        deferred_(&deferred),
+        warp_id_(warp_id),
+        num_warps_(num_warps) {}
 
   std::uint64_t warp_id() const noexcept { return warp_id_; }
   std::uint64_t num_warps() const noexcept { return num_warps_; }
   std::uint64_t slots() const noexcept { return slots_; }
+  bool concurrent() const noexcept { return cost_ == nullptr; }
 
   /// One gather slot: active lanes load buf[idx_fn(lane)].
   template <typename T, typename IdxFn>
@@ -129,10 +293,10 @@ class WarpCtx {
       if ((mask >> lane) & 1u) {
         const std::size_t i = idx_fn(lane);
         acc[cnt++] = Access{buf.addr_of(i), sizeof(T), MemOp::kLoad};
-        out[lane] = buf.host()[i];
+        out[lane] = detail::read_elem(buf.host()[i], concurrent());
       }
     }
-    slots_ += cost_->process_slot(*rec_, acc.data(), cnt);
+    slots_ += account_slot(acc.data(), cnt);
     return out;
   }
 
@@ -148,10 +312,11 @@ class WarpCtx {
       if ((mask >> lane) & 1u) {
         const std::size_t i = idx_fn(lane);
         acc[cnt++] = Access{buf.addr_of(i), sizeof(T), MemOp::kStore};
-        buf.host()[i] = val_fn(lane);
+        detail::write_elem(buf.host()[i], static_cast<T>(val_fn(lane)),
+                           concurrent());
       }
     }
-    slots_ += cost_->process_slot(*rec_, acc.data(), cnt);
+    slots_ += account_slot(acc.data(), cnt);
   }
 
   /// One atomic slot: active lanes atomically add val_fn(lane) into
@@ -166,10 +331,19 @@ class WarpCtx {
       if ((mask >> lane) & 1u) {
         const std::size_t i = idx_fn(lane);
         acc[cnt++] = Access{buf.addr_of(i), sizeof(T), op};
-        buf.host()[i] = static_cast<T>(buf.host()[i] + val_fn(lane));
+        const T val = static_cast<T>(val_fn(lane));
+        T& slot = buf.host()[i];
+        if (!concurrent()) {
+          slot = static_cast<T>(slot + val);
+        } else if constexpr (std::is_integral_v<T>) {
+          std::atomic_ref<T>(slot).fetch_add(val, std::memory_order_relaxed);
+        } else {
+          deferred_->push_back(DeferredAdd{&slot, static_cast<double>(val),
+                                           std::is_same_v<T, double>});
+        }
       }
     }
-    slots_ += cost_->process_slot(*rec_, acc.data(), cnt);
+    slots_ += account_slot(acc.data(), cnt);
   }
 
   /// All 32 lanes read the same element (e.g. the column pointer pair in
@@ -177,8 +351,8 @@ class WarpCtx {
   template <typename T>
   T broadcast_load(const DeviceBuffer<T>& buf, std::size_t i) {
     Access a{buf.addr_of(i), sizeof(T), MemOp::kLoad};
-    slots_ += cost_->process_slot(*rec_, &a, 1);
-    return buf.host()[i];
+    slots_ += account_slot(&a, 1);
+    return detail::read_elem(buf.host()[i], concurrent());
   }
 
   /// __shfl_down_sync: lane L receives v[L + offset] (lanes past the end keep
@@ -215,8 +389,16 @@ class WarpCtx {
   }
 
  private:
-  CostModel* cost_;
+  std::uint64_t account_slot(const Access* acc, int cnt) {
+    if (cost_ != nullptr) return cost_->process_slot(*rec_, acc, cnt);
+    return CostModel::coalesce_slot(*props_, *rec_, acc, cnt, *sectors_);
+  }
+
+  CostModel* cost_ = nullptr;
+  const DeviceProps* props_;
   LaunchRecord* rec_;
+  std::vector<std::uint64_t>* sectors_ = nullptr;
+  std::vector<DeferredAdd>* deferred_ = nullptr;
   std::uint64_t warp_id_;
   std::uint64_t num_warps_;
   std::uint64_t slots_ = 0;
@@ -225,16 +407,34 @@ class WarpCtx {
 /// Run `body(WarpCtx&)` for warp ids [0, n_warps).
 template <typename Body>
 void launch_warp(Device& device, std::string_view name, std::uint64_t n_warps,
-                 Body&& body) {
+                 Body&& body, LaunchPolicy policy = LaunchPolicy::kParallelOk) {
   LaunchRecord rec;
-  rec.kernel = std::string(name);
+  rec.kernel = intern_kernel_name(name);
   rec.warps = n_warps;
   CostModel& cost = device.cost_model();
-  for (std::uint64_t w = 0; w < n_warps; ++w) {
-    WarpCtx ctx(cost, rec, w, n_warps);
-    body(ctx);
-    rec.max_warp_slots = std::max(rec.max_warp_slots, ctx.slots());
+
+  if (!detail::use_parallel_engine(policy, n_warps)) {
+    for (std::uint64_t w = 0; w < n_warps; ++w) {
+      WarpCtx ctx(cost, rec, w, n_warps);
+      body(ctx);
+      rec.max_warp_slots = std::max(rec.max_warp_slots, ctx.slots());
+    }
+  } else {
+    ExecutorPool& pool = ExecutorPool::instance();
+    std::vector<detail::LaunchShard> shards(pool.threads());
+    pool.for_chunks(n_warps, [&](std::uint64_t wb, std::uint64_t we,
+                                 unsigned slot) {
+      detail::LaunchShard& sh = shards[slot];
+      for (std::uint64_t w = wb; w < we; ++w) {
+        WarpCtx ctx(device.props(), sh.rec, sh.sectors, sh.deferred, w,
+                    n_warps);
+        body(ctx);
+        sh.max_warp_slots = std::max(sh.max_warp_slots, ctx.slots());
+      }
+    });
+    detail::merge_shards(cost, rec, shards);
   }
+
   cost.finalize(rec);
   device.commit_launch(std::move(rec));
 }

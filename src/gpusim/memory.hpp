@@ -48,6 +48,13 @@ class MemoryManager {
   /// benchmark phases.
   void reset_peak() noexcept { peak_ = live_; }
 
+  /// Raise the high-water mark to at least `bytes`. The parallel source
+  /// fan-out runs on replica devices and propagates each replica's peak back
+  /// to the main device so peak accounting matches the serial engine.
+  void note_peak(std::size_t bytes) noexcept {
+    peak_ = bytes > peak_ ? bytes : peak_;
+  }
+
  private:
   static std::size_t round_up(std::size_t v, std::size_t a) {
     return (v + a - 1) / a * a;

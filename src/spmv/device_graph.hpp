@@ -37,6 +37,18 @@ class DeviceCsc {
     row_idx_.copy_from_host(g.row_idx());
   }
 
+  /// Clone an already-uploaded structure onto another device (used by the
+  /// parallel source fan-out's replica devices: same arrays, same modeled
+  /// widths, so replica memory accounting matches the original exactly).
+  DeviceCsc(sim::Device& device, const DeviceCsc& other)
+      : n_(other.n_),
+        m_(other.m_),
+        col_ptr_(device, other.col_ptr_.size(), "CP_A"),
+        row_idx_(device, other.row_idx_.size(), "row_A") {
+    col_ptr_.copy_from_host(other.col_ptr_.host());
+    row_idx_.copy_from_host(other.row_idx_.host());
+  }
+
   vidx_t n() const noexcept { return n_; }
   eidx_t m() const noexcept { return m_; }
   const sim::DeviceBuffer<dptr_t>& col_ptr() const noexcept { return col_ptr_; }
@@ -58,6 +70,17 @@ class DeviceCooc {
         col_idx_(device, static_cast<std::size_t>(m_), "col_A") {
     row_idx_.copy_from_host(g.row_idx());
     col_idx_.copy_from_host(g.col_idx());
+  }
+
+  /// Clone an already-uploaded structure onto another device (see
+  /// DeviceCsc's clone constructor).
+  DeviceCooc(sim::Device& device, const DeviceCooc& other)
+      : n_(other.n_),
+        m_(other.m_),
+        row_idx_(device, other.row_idx_.size(), "row_A"),
+        col_idx_(device, other.col_idx_.size(), "col_A") {
+    row_idx_.copy_from_host(other.row_idx_.host());
+    col_idx_.copy_from_host(other.col_idx_.host());
   }
 
   vidx_t n() const noexcept { return n_; }

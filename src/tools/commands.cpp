@@ -16,6 +16,7 @@
 #include "core/turbobfs.hpp"
 #include "generators/generators.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
 #include "gpusim/trace.hpp"
 #include "graph/bfs_probe.hpp"
 #include "graph/mtx_io.hpp"
@@ -76,7 +77,12 @@ std::string cli_usage() {
       "  turbobc_cli bfs g.mtx [--source 0] [--variant auto]\n"
       "  turbobc_cli bc g.mtx [--source S | --exact [--batch K] | --approx K]\n"
       "      [--variant auto|autotune|sccooc|sccsc|vecsc] [--edge-bc]\n"
-      "      [--top 10] [--verify] [--trace out.json]\n";
+      "      [--top 10] [--verify] [--trace out.json]\n"
+      "\n"
+      "global options:\n"
+      "  --threads N   host threads simulating the device (default: hardware\n"
+      "                concurrency; 1 = serial). Modeled results are\n"
+      "                bit-identical for every N.\n";
 }
 
 int cmd_generate(const CliArgs& args, std::ostream& out, std::ostream& err) {
@@ -278,6 +284,11 @@ int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
     return 2;
   }
   const std::string& cmd = args.positional()[0];
+  // Pool width for the host-parallel simulation engine; every modeled
+  // number is bit-identical for any width, so this is purely a wall-clock
+  // knob. 0 = hardware concurrency.
+  sim::ExecutorPool::instance().set_threads(
+      static_cast<unsigned>(args.get_int("threads", 0)));
   try {
     if (cmd == "generate") return cmd_generate(args, out, err);
     if (cmd == "stats") return cmd_stats(args, out, err);

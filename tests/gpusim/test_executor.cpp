@@ -1,0 +1,253 @@
+// ExecutorPool behaviour and the host-parallel launch engine's determinism
+// guarantees: chunk/task coverage, nested-job safety, exception propagation,
+// and the contention stress test — many warps hammering one address through
+// atomic_add must produce bit-identical results and LaunchRecords at any
+// pool width.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "gpusim/buffer.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
+#include "gpusim/kernel.hpp"
+
+namespace turbobc::sim {
+namespace {
+
+/// Every test leaves the process-wide pool at width 1 so unrelated suites
+/// keep exercising the serial paths they were written against.
+struct PoolGuard {
+  explicit PoolGuard(unsigned width) {
+    ExecutorPool::instance().set_threads(width);
+  }
+  ~PoolGuard() { ExecutorPool::instance().set_threads(1); }
+};
+
+TEST(ExecutorPool, SetThreadsWidths) {
+  PoolGuard guard(1);
+  EXPECT_EQ(ExecutorPool::instance().set_threads(4), 4u);
+  EXPECT_EQ(ExecutorPool::instance().threads(), 4u);
+  EXPECT_EQ(ExecutorPool::instance().set_threads(1), 1u);
+  EXPECT_GE(ExecutorPool::instance().set_threads(0), 1u);  // hw concurrency
+  // Absurd widths (e.g. a negative CLI value wrapped through unsigned)
+  // clamp instead of spawning millions of threads.
+  EXPECT_EQ(ExecutorPool::instance().set_threads(0xffffffffu), kMaxPoolWidth);
+}
+
+TEST(ExecutorPool, ForChunksCoversEveryIndexOnce) {
+  PoolGuard guard(4);
+  const std::uint64_t total = 1003;
+  std::vector<std::atomic<int>> hits(total);
+  ExecutorPool::instance().for_chunks(
+      total, [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+        for (std::uint64_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+  for (std::uint64_t i = 0; i < total; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ExecutorPool, ForChunksBoundariesDependOnlyOnTotal) {
+  // The same (total, width) must give the same partition every time — warp
+  // chunk boundaries feed the fixed-order merge.
+  PoolGuard guard(3);
+  const std::uint64_t total = 100;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> a(3), b(3);
+  ExecutorPool::instance().for_chunks(
+      total,
+      [&](std::uint64_t wb, std::uint64_t we, unsigned s) { a[s] = {wb, we}; });
+  ExecutorPool::instance().for_chunks(
+      total,
+      [&](std::uint64_t wb, std::uint64_t we, unsigned s) { b[s] = {wb, we}; });
+  EXPECT_EQ(a, b);
+  // Contiguous ascending coverage.
+  EXPECT_EQ(a[0].first, 0u);
+  EXPECT_EQ(a[0].second, a[1].first);
+  EXPECT_EQ(a[1].second, a[2].first);
+  EXPECT_EQ(a[2].second, total);
+}
+
+TEST(ExecutorPool, ForTasksRunsEveryTaskOnce) {
+  PoolGuard guard(4);
+  std::vector<std::atomic<int>> hits(37);
+  ExecutorPool::instance().for_tasks(hits.size(), [&](std::size_t t, unsigned) {
+    hits[t].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t t = 0; t < hits.size(); ++t) {
+    EXPECT_EQ(hits[t].load(), 1) << "task " << t;
+  }
+}
+
+TEST(ExecutorPool, PropagatesWorkerExceptions) {
+  PoolGuard guard(4);
+  EXPECT_THROW(ExecutorPool::instance().for_tasks(
+                   16,
+                   [&](std::size_t t, unsigned) {
+                     if (t == 7) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+  // The pool must stay usable after an exception.
+  std::atomic<int> ran{0};
+  ExecutorPool::instance().for_tasks(
+      4, [&](std::size_t, unsigned) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ExecutorPool, NestedUseRunsInlineWithoutDeadlock) {
+  PoolGuard guard(4);
+  std::atomic<int> inner{0};
+  ExecutorPool::instance().for_tasks(8, [&](std::size_t, unsigned) {
+    EXPECT_TRUE(ExecutorPool::in_pool_job());
+    ExecutorPool::instance().for_chunks(
+        10, [&](std::uint64_t b, std::uint64_t e, unsigned) {
+          inner.fetch_add(static_cast<int>(e - b));
+        });
+  });
+  EXPECT_EQ(inner.load(), 80);
+  EXPECT_FALSE(ExecutorPool::in_pool_job());
+}
+
+// ---------------------------------------------------------------------------
+// Contention stress: one address hammered by every lane of many warps.
+// ---------------------------------------------------------------------------
+
+struct LaunchSnapshot {
+  LaunchRecord rec;
+  double value = 0.0;
+};
+
+/// 8192 threads (256 warps — well past the parallel threshold) all
+/// atomic_add into element 0.
+template <typename T>
+LaunchSnapshot hammer_scalar(unsigned threads) {
+  ExecutorPool::instance().set_threads(threads);
+  Device dev;
+  DeviceBuffer<T> buf(dev, 4, "target");
+  buf.device_fill(T{0});
+  constexpr std::uint64_t kThreads = 8192;
+  launch_scalar(dev, "hammer", kThreads, [&](ThreadCtx& t) {
+    // Non-associative for floating T: value depends on the thread id, so a
+    // wrong accumulation order shows up in the low bits of the sum.
+    const auto id = static_cast<T>(t.global_id() % 97 + 1);
+    buf.atomic_add(t, 0, id);
+  });
+  LaunchSnapshot snap;
+  snap.rec = dev.launches().back();
+  snap.value = static_cast<double>(buf.host()[0]);
+  return snap;
+}
+
+void expect_same_record(const LaunchRecord& a, const LaunchRecord& b) {
+  EXPECT_EQ(a.kernel, b.kernel);
+  EXPECT_EQ(a.warps, b.warps);
+  EXPECT_EQ(a.issue_slots, b.issue_slots);
+  EXPECT_EQ(a.max_warp_slots, b.max_warp_slots);
+  EXPECT_EQ(a.load_requests, b.load_requests);
+  EXPECT_EQ(a.store_requests, b.store_requests);
+  EXPECT_EQ(a.atomic_requests, b.atomic_requests);
+  EXPECT_EQ(a.atomic_float_requests, b.atomic_float_requests);
+  EXPECT_EQ(a.load_transactions, b.load_transactions);
+  EXPECT_EQ(a.store_transactions, b.store_transactions);
+  EXPECT_EQ(a.l2_hit_transactions, b.l2_hit_transactions);
+  EXPECT_EQ(a.dram_transactions, b.dram_transactions);
+  EXPECT_EQ(a.time_s, b.time_s);  // bit-identical, not approximately
+}
+
+TEST(ContentionStress, IntegerAtomicsBitIdenticalAcrossWidths) {
+  PoolGuard guard(1);
+  const LaunchSnapshot serial = hammer_scalar<std::int32_t>(1);
+  const LaunchSnapshot parallel = hammer_scalar<std::int32_t>(8);
+  EXPECT_EQ(serial.value, parallel.value);
+  expect_same_record(serial.rec, parallel.rec);
+  EXPECT_EQ(serial.rec.atomic_requests, 8192u);
+}
+
+TEST(ContentionStress, FloatAtomicsBitIdenticalAcrossWidths) {
+  PoolGuard guard(1);
+  const LaunchSnapshot serial = hammer_scalar<double>(1);
+  const LaunchSnapshot parallel = hammer_scalar<double>(8);
+  // Deferred warp-order replay must reproduce the serial fold exactly —
+  // EXPECT_EQ on the doubles, no tolerance.
+  EXPECT_EQ(serial.value, parallel.value);
+  expect_same_record(serial.rec, parallel.rec);
+  EXPECT_EQ(serial.rec.atomic_float_requests, 8192u);
+}
+
+TEST(ContentionStress, WarpAtomicsBitIdenticalAcrossWidths) {
+  PoolGuard guard(1);
+  const auto run = [](unsigned threads) {
+    ExecutorPool::instance().set_threads(threads);
+    Device dev;
+    DeviceBuffer<double> buf(dev, 8, "target");
+    buf.device_fill(0.0);
+    launch_warp(dev, "warp_hammer", 256, [&](WarpCtx& w) {
+      w.atomic_add(buf, kFullMask, [&](int) { return std::size_t{0}; },
+                   [&](int lane) {
+                     return 1.0 / static_cast<double>(
+                                      w.warp_id() * 32 + lane + 1);
+                   });
+    });
+    LaunchSnapshot snap;
+    snap.rec = dev.launches().back();
+    snap.value = buf.host()[0];
+    return snap;
+  };
+  const LaunchSnapshot serial = run(1);
+  const LaunchSnapshot parallel = run(8);
+  EXPECT_EQ(serial.value, parallel.value);
+  expect_same_record(serial.rec, parallel.rec);
+}
+
+TEST(ParallelLaunch, ScatterAndLoadMatchSerial) {
+  PoolGuard guard(1);
+  const auto run = [](unsigned threads) {
+    ExecutorPool::instance().set_threads(threads);
+    Device dev;
+    DeviceBuffer<std::int32_t> src(dev, 8192, "src");
+    DeviceBuffer<std::int32_t> dst(dev, 8192, "dst");
+    for (std::size_t i = 0; i < 8192; ++i) {
+      src.host()[i] = static_cast<std::int32_t>(i * 7 % 8192);
+    }
+    launch_scalar(dev, "permute", 8192, [&](ThreadCtx& t) {
+      const auto i = static_cast<std::size_t>(t.global_id());
+      const auto v = src.load(t, i);
+      dst.store(t, static_cast<std::size_t>(v), static_cast<std::int32_t>(i));
+      t.count_ops(1);
+    });
+    return std::make_pair(dst.host(), dev.launches().back());
+  };
+  const auto serial = run(1);
+  const auto parallel = run(8);
+  EXPECT_EQ(serial.first, parallel.first);
+  expect_same_record(serial.second, parallel.second);
+}
+
+TEST(ParallelLaunch, SerialOnlyPolicyKeepsThreadOrder) {
+  PoolGuard guard(8);
+  Device dev;
+  DeviceBuffer<std::int32_t> queue(dev, 8192, "queue");
+  DeviceBuffer<std::int32_t> counter(dev, 1, "counter");
+  counter.device_fill(0);
+  launch_scalar(
+      dev, "slots", 8192,
+      [&](ThreadCtx& t) {
+        const std::int32_t slot = counter.atomic_add(t, 0, 1);
+        queue.store(t, static_cast<std::size_t>(slot),
+                    static_cast<std::int32_t>(t.global_id()));
+      },
+      LaunchPolicy::kSerialOnly);
+  // Serial-only execution allocates slots in thread order.
+  for (std::size_t i = 0; i < 8192; ++i) {
+    ASSERT_EQ(queue.host()[i], static_cast<std::int32_t>(i));
+  }
+}
+
+}  // namespace
+}  // namespace turbobc::sim

@@ -1,0 +1,243 @@
+// Host-parallel determinism suite: for representative graphs (mycielski,
+// kronecker, road, directed Erdos-Renyi) and all three TurboBC variants,
+// `--threads 1` and `--threads 8` must produce bit-identical BC vectors,
+// kernel aggregates, modeled seconds, launch-record streams and peak-memory
+// accounting. These are exact EXPECT_EQ comparisons on doubles — the whole
+// point of the deferred-add / fixed-order-merge design is that no tolerance
+// is needed.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/turbobc.hpp"
+#include "generators/generators.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
+#include "graph/edge_list.hpp"
+
+namespace turbobc {
+namespace {
+
+struct PoolGuard {
+  ~PoolGuard() { sim::ExecutorPool::instance().set_threads(1); }
+};
+
+/// Everything a run produces that the determinism contract covers.
+struct RunOutput {
+  bc::BcResult result;
+  std::map<std::string, sim::KernelAggregate, std::less<>> aggregates;
+  std::vector<sim::LaunchRecord> records;
+};
+
+RunOutput run_bc(const graph::EdgeList& g, bc::BcOptions options,
+                 const std::vector<vidx_t>& sources, unsigned threads) {
+  sim::ExecutorPool::instance().set_threads(threads);
+  sim::Device dev;
+  bc::TurboBC algo(dev, g, options);
+  RunOutput out;
+  out.result = algo.run_sources(sources);
+  out.aggregates = dev.kernel_aggregates();
+  out.records = dev.launches();
+  return out;
+}
+
+void expect_identical(const RunOutput& a, const RunOutput& b) {
+  // BC vectors: exact double equality, element by element.
+  ASSERT_EQ(a.result.bc.size(), b.result.bc.size());
+  for (std::size_t i = 0; i < a.result.bc.size(); ++i) {
+    ASSERT_EQ(a.result.bc[i], b.result.bc[i]) << "bc[" << i << "]";
+  }
+  ASSERT_EQ(a.result.edge_bc.size(), b.result.edge_bc.size());
+  for (std::size_t i = 0; i < a.result.edge_bc.size(); ++i) {
+    ASSERT_EQ(a.result.edge_bc[i], b.result.edge_bc[i]) << "edge_bc[" << i
+                                                        << "]";
+  }
+
+  // Modeled time and memory accounting.
+  EXPECT_EQ(a.result.device_seconds, b.result.device_seconds);
+  EXPECT_EQ(a.result.peak_device_bytes, b.result.peak_device_bytes);
+  EXPECT_EQ(a.result.sources, b.result.sources);
+  EXPECT_EQ(a.result.last_source.bfs_depth, b.result.last_source.bfs_depth);
+  EXPECT_EQ(a.result.last_source.reached, b.result.last_source.reached);
+
+  // Per-kernel aggregates: same names, same counters, same times.
+  ASSERT_EQ(a.aggregates.size(), b.aggregates.size());
+  auto ita = a.aggregates.begin();
+  auto itb = b.aggregates.begin();
+  for (; ita != a.aggregates.end(); ++ita, ++itb) {
+    EXPECT_EQ(ita->first, itb->first);
+    EXPECT_EQ(ita->second.launches, itb->second.launches) << ita->first;
+    EXPECT_EQ(ita->second.load_transactions, itb->second.load_transactions)
+        << ita->first;
+    EXPECT_EQ(ita->second.store_transactions, itb->second.store_transactions)
+        << ita->first;
+    EXPECT_EQ(ita->second.l2_hit_transactions, itb->second.l2_hit_transactions)
+        << ita->first;
+    EXPECT_EQ(ita->second.dram_transactions, itb->second.dram_transactions)
+        << ita->first;
+    EXPECT_EQ(ita->second.time_s, itb->second.time_s) << ita->first;
+  }
+
+  // The full launch-record stream, in order.
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const sim::LaunchRecord& ra = a.records[i];
+    const sim::LaunchRecord& rb = b.records[i];
+    ASSERT_EQ(ra.kernel, rb.kernel) << "record " << i;
+    ASSERT_EQ(ra.warps, rb.warps) << ra.kernel << " #" << i;
+    ASSERT_EQ(ra.issue_slots, rb.issue_slots) << ra.kernel << " #" << i;
+    ASSERT_EQ(ra.max_warp_slots, rb.max_warp_slots) << ra.kernel << " #" << i;
+    ASSERT_EQ(ra.load_requests, rb.load_requests) << ra.kernel << " #" << i;
+    ASSERT_EQ(ra.store_requests, rb.store_requests) << ra.kernel << " #" << i;
+    ASSERT_EQ(ra.atomic_requests, rb.atomic_requests) << ra.kernel << " #" << i;
+    ASSERT_EQ(ra.atomic_float_requests, rb.atomic_float_requests)
+        << ra.kernel << " #" << i;
+    ASSERT_EQ(ra.load_transactions, rb.load_transactions)
+        << ra.kernel << " #" << i;
+    ASSERT_EQ(ra.store_transactions, rb.store_transactions)
+        << ra.kernel << " #" << i;
+    ASSERT_EQ(ra.l2_hit_transactions, rb.l2_hit_transactions)
+        << ra.kernel << " #" << i;
+    ASSERT_EQ(ra.dram_transactions, rb.dram_transactions)
+        << ra.kernel << " #" << i;
+    ASSERT_EQ(ra.time_s, rb.time_s) << ra.kernel << " #" << i;
+  }
+}
+
+/// `count` sources spread evenly over [0, n).
+std::vector<vidx_t> spread_sources(vidx_t n, vidx_t count) {
+  std::vector<vidx_t> sources;
+  for (vidx_t i = 0; i < count; ++i) {
+    sources.push_back(static_cast<vidx_t>(
+        static_cast<std::uint64_t>(i) * n / count));
+  }
+  return sources;
+}
+
+void check_graph(const graph::EdgeList& g, vidx_t num_sources) {
+  PoolGuard guard;
+  const auto sources = spread_sources(g.num_vertices(), num_sources);
+  for (const bc::Variant variant :
+       {bc::Variant::kScCsc, bc::Variant::kScCooc, bc::Variant::kVeCsc}) {
+    SCOPED_TRACE(std::string(bc::to_string(variant)));
+    bc::BcOptions options;
+    options.variant = variant;
+    const RunOutput serial = run_bc(g, options, sources, 1);
+    const RunOutput parallel = run_bc(g, options, sources, 8);
+    expect_identical(serial, parallel);
+  }
+}
+
+// The graphs are sized so the parallel engine actually engages (the scalar
+// launchers only go parallel at >= 64 warps, i.e. >= 2048 threads): either
+// n >= 2048 (vertex-parallel kernels), m >= 2048 (edge-parallel scCOOC
+// kernels) or n >= 64 warps for veCSC.
+
+TEST(Determinism, Mycielski) {
+  // n = 1535, m ~ 127k arcs: edge-parallel and warp-per-vertex kernels run
+  // on the parallel engine; vertex-parallel kernels stay serial — the
+  // contract must hold for that mix too.
+  check_graph(gen::mycielski(11), 6);
+}
+
+TEST(Determinism, Kronecker) {
+  gen::KroneckerParams params;
+  params.scale = 11;  // n = 2048: every kernel family goes parallel
+  params.edge_factor = 8;
+  params.seed = 3;
+  check_graph(gen::kronecker(params), 8);
+}
+
+TEST(Determinism, RoadNetwork) {
+  gen::RoadParams params;
+  params.grid_rows = 14;
+  params.grid_cols = 14;
+  params.subdivisions = 8;  // deep BFS: hundreds of levels per source
+  params.seed = 5;
+  check_graph(gen::road_network(params), 3);
+}
+
+TEST(Determinism, DirectedErdosRenyi) {
+  gen::ErdosRenyiParams params;
+  params.n = 2500;
+  params.arcs = 12500;
+  params.directed = true;
+  params.seed = 7;
+  check_graph(gen::erdos_renyi(params), 6);
+}
+
+TEST(Determinism, EdgeBcVectors) {
+  PoolGuard guard;
+  gen::KroneckerParams params;
+  params.scale = 11;
+  params.edge_factor = 8;
+  params.seed = 9;
+  const graph::EdgeList g = gen::kronecker(params);
+  bc::BcOptions options;
+  options.variant = bc::Variant::kScCsc;
+  options.edge_bc = true;
+  const auto sources = spread_sources(g.num_vertices(), 4);
+  const RunOutput serial = run_bc(g, options, sources, 1);
+  const RunOutput parallel = run_bc(g, options, sources, 8);
+  ASSERT_FALSE(serial.result.edge_bc.empty());
+  expect_identical(serial, parallel);
+}
+
+TEST(Determinism, SingleSourceLaunchStream) {
+  // Single-source runs stay on the main device (callers inspect its launch
+  // records in place); with n = 2048 the launches themselves run on the
+  // parallel engine, so this checks the sharded launcher's record stream
+  // against serial execution directly.
+  PoolGuard guard;
+  gen::KroneckerParams params;
+  params.scale = 11;
+  params.edge_factor = 8;
+  params.seed = 11;
+  const graph::EdgeList g = gen::kronecker(params);
+  for (const bc::Variant variant :
+       {bc::Variant::kScCsc, bc::Variant::kScCooc, bc::Variant::kVeCsc}) {
+    SCOPED_TRACE(std::string(bc::to_string(variant)));
+    bc::BcOptions options;
+    options.variant = variant;
+    const vidx_t source = g.num_vertices() / 2;
+    const auto run_one = [&](unsigned threads) {
+      sim::ExecutorPool::instance().set_threads(threads);
+      sim::Device dev;
+      bc::TurboBC algo(dev, g, options);
+      RunOutput out;
+      out.result = algo.run_single_source(source);
+      out.aggregates = dev.kernel_aggregates();
+      out.records = dev.launches();
+      return out;
+    };
+    const RunOutput serial = run_one(1);
+    const RunOutput parallel = run_one(8);
+    ASSERT_FALSE(serial.records.empty());
+    expect_identical(serial, parallel);
+  }
+}
+
+/// Widths other than 1 and 8 must land on the same results too (chunk
+/// boundaries move, the merge order must not).
+TEST(Determinism, IntermediateWidths) {
+  PoolGuard guard;
+  gen::ErdosRenyiParams params;
+  params.n = 2048;
+  params.arcs = 10000;
+  params.directed = true;
+  params.seed = 13;
+  const graph::EdgeList g = gen::erdos_renyi(params);
+  bc::BcOptions options;
+  options.variant = bc::Variant::kScCsc;
+  const auto sources = spread_sources(g.num_vertices(), 5);
+  const RunOutput base = run_bc(g, options, sources, 1);
+  for (const unsigned width : {2u, 3u, 5u}) {
+    SCOPED_TRACE("width " + std::to_string(width));
+    expect_identical(base, run_bc(g, options, sources, width));
+  }
+}
+
+}  // namespace
+}  // namespace turbobc
