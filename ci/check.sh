@@ -24,6 +24,12 @@ run_config() {
   cmake --build "$dir" -j "$(nproc)"
   echo "=== [$name] ctest ==="
   (cd "$dir" && ctest --output-on-failure -j "$(nproc)")
+  # Differential fuzz smoke: fixed seed, fixed budget, every oracle
+  # invariant armed. Any violation (non-zero exit) fails CI; minimized
+  # reproducers land in the build dir for post-mortem.
+  echo "=== [$name] fuzz-smoke ==="
+  "$dir/src/tools/turbobc_fuzz" --seed 1 --budget 2000 \
+    --corpus-dir "$dir/fuzz-failures"
 }
 
 run_config "release" "${prefix}-release"

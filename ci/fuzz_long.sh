@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Long-budget fuzz job (nightly/cron tier, separate from ci/check.sh's
+# 2000-case smoke): a Release build driving turbobc_fuzz with a much larger
+# deterministic budget. Any oracle violation exits non-zero and leaves
+# minimized reproducers in the corpus dir for triage.
+#
+# Usage: ci/fuzz_long.sh [budget] [seed] [build-dir]
+#        (defaults: 50000 cases, seed 1, build-ci-fuzz)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+budget="${1:-50000}"
+seed="${2:-1}"
+dir="${3:-build-ci-fuzz}"
+
+cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$dir" -j "$(nproc)" --target turbobc_fuzz
+
+echo "=== fuzz-long: seed $seed, budget $budget ==="
+"$dir/src/tools/turbobc_fuzz" --seed "$seed" --budget "$budget" \
+  --corpus-dir "$dir/fuzz-failures"
+echo "=== fuzz-long passed ==="

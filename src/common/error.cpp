@@ -4,6 +4,15 @@
 
 namespace turbobc {
 
+ParseError::ParseError(const std::string& what, std::size_t line_number)
+    : InvalidArgument([&] {
+        if (line_number == 0) return what;
+        std::ostringstream os;
+        os << what << " (line " << line_number << ")";
+        return os.str();
+      }()),
+      line_(line_number) {}
+
 DeviceOutOfMemory::DeviceOutOfMemory(std::size_t requested, std::size_t live,
                                      std::size_t capacity)
     : Error([&] {

@@ -25,6 +25,20 @@ class InvalidArgument : public Error {
   explicit InvalidArgument(const std::string& what) : Error(what) {}
 };
 
+/// Malformed input text (Matrix Market files, qa replay files). Carries the
+/// 1-based line number of the offending line so tooling can point at it;
+/// 0 means "no specific line" (e.g. an unexpectedly truncated stream).
+/// Derives from InvalidArgument so existing catch sites keep working.
+class ParseError : public InvalidArgument {
+ public:
+  ParseError(const std::string& what, std::size_t line_number = 0);
+
+  std::size_t line_number() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
 /// Raised by the device memory manager when an allocation would exceed the
 /// simulated GPU's global-memory capacity.
 class DeviceOutOfMemory : public Error {

@@ -4,6 +4,7 @@
 #include "generators/kmer.hpp"          // IWYU pragma: export
 #include "generators/kronecker.hpp"     // IWYU pragma: export
 #include "generators/lattice.hpp"       // IWYU pragma: export
+#include "generators/mutate.hpp"        // IWYU pragma: export
 #include "generators/mycielski.hpp"     // IWYU pragma: export
 #include "generators/preferential.hpp"  // IWYU pragma: export
 #include "generators/random_graphs.hpp" // IWYU pragma: export

@@ -1,0 +1,195 @@
+#include "generators/mutate.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace turbobc::gen {
+
+namespace {
+
+using graph::Edge;
+using graph::EdgeList;
+
+/// Rebuild an EdgeList from raw parts (EdgeList::add_edge range-checks, so
+/// the mutations below can manipulate plain vectors and convert once).
+EdgeList from_parts(vidx_t n, bool directed, const std::vector<Edge>& edges) {
+  EdgeList out(n, directed);
+  for (const Edge& e : edges) out.add_edge(e.u, e.v);
+  return out;
+}
+
+EdgeList add_edges(const EdgeList& g, std::uint64_t seed, vidx_t count) {
+  const vidx_t n = g.num_vertices();
+  if (n == 0) return g;
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges = g.edges();
+  for (vidx_t i = 0; i < count; ++i) {
+    const auto u = static_cast<vidx_t>(rng.uniform(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<vidx_t>(rng.uniform(static_cast<std::uint64_t>(n)));
+    edges.push_back({u, v});
+    if (!g.directed() && u != v) edges.push_back({v, u});
+  }
+  return from_parts(n, g.directed(), edges);
+}
+
+EdgeList drop_edges(const EdgeList& g, std::uint64_t seed, vidx_t count) {
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges = g.edges();
+  for (vidx_t i = 0; i < count && !edges.empty(); ++i) {
+    const auto k = static_cast<std::size_t>(
+        rng.uniform(static_cast<std::uint64_t>(edges.size())));
+    const Edge victim = edges[k];
+    if (!g.directed() && victim.u != victim.v) {
+      // Keep the both-arcs invariant under ANY trace: earlier mutations may
+      // have left unbalanced duplicate copies (duplicate_edges copies one
+      // arc of a pair), so dropping one copy each way is not enough — erase
+      // every copy of the undirected edge.
+      std::erase_if(edges, [&](const Edge& e) {
+        return (e == victim) || (e == Edge{victim.v, victim.u});
+      });
+    } else {
+      edges.erase(edges.begin() + static_cast<std::ptrdiff_t>(k));
+    }
+  }
+  return from_parts(g.num_vertices(), g.directed(), edges);
+}
+
+EdgeList add_self_loops(const EdgeList& g, std::uint64_t seed, vidx_t count) {
+  const vidx_t n = g.num_vertices();
+  if (n == 0) return g;
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges = g.edges();
+  for (vidx_t i = 0; i < count; ++i) {
+    const auto v = static_cast<vidx_t>(rng.uniform(static_cast<std::uint64_t>(n)));
+    edges.push_back({v, v});
+  }
+  return from_parts(n, g.directed(), edges);
+}
+
+EdgeList duplicate_edges(const EdgeList& g, std::uint64_t seed, vidx_t count) {
+  if (g.edges().empty()) return g;
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges = g.edges();
+  const std::size_t original = edges.size();
+  for (vidx_t i = 0; i < count; ++i) {
+    const auto k = static_cast<std::size_t>(
+        rng.uniform(static_cast<std::uint64_t>(original)));
+    const Edge e = edges[k];
+    edges.push_back(e);
+    // Duplicate the whole undirected edge so the arc multiset stays
+    // symmetric for later mutations.
+    if (!g.directed() && e.u != e.v) edges.push_back({e.v, e.u});
+  }
+  return from_parts(g.num_vertices(), g.directed(), edges);
+}
+
+EdgeList add_isolated(const EdgeList& g, vidx_t count) {
+  return from_parts(static_cast<vidx_t>(g.num_vertices() + count),
+                    g.directed(), g.edges());
+}
+
+EdgeList disconnected_union(const EdgeList& g, std::uint64_t seed,
+                            vidx_t count) {
+  const vidx_t k = std::max<vidx_t>(count, 1);
+  const vidx_t base = g.num_vertices();
+  std::vector<Edge> edges = g.edges();
+  Xoshiro256 rng(seed);
+  // Alternate between a path component (deep BFS) and a small clique
+  // (dense frontier); both stay disjoint from the base graph.
+  const bool clique = rng.uniform(2) == 1 && k <= 8;
+  for (vidx_t i = 0; i + 1 < k; ++i) {
+    const vidx_t a = static_cast<vidx_t>(base + i);
+    if (clique) {
+      for (vidx_t j = static_cast<vidx_t>(i + 1); j < k; ++j) {
+        const vidx_t b = static_cast<vidx_t>(base + j);
+        edges.push_back({a, b});
+        if (!g.directed()) edges.push_back({b, a});
+      }
+    } else {
+      const vidx_t b = static_cast<vidx_t>(a + 1);
+      edges.push_back({a, b});
+      if (!g.directed()) edges.push_back({b, a});
+    }
+  }
+  return from_parts(static_cast<vidx_t>(base + k), g.directed(), edges);
+}
+
+EdgeList skew_degrees(const EdgeList& g, std::uint64_t seed, vidx_t count) {
+  const vidx_t n = g.num_vertices();
+  if (n == 0) return g;
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges = g.edges();
+  const auto hub =
+      static_cast<vidx_t>(rng.uniform(static_cast<std::uint64_t>(n)));
+  for (vidx_t i = 0; i < count; ++i) {
+    const auto v = static_cast<vidx_t>(rng.uniform(static_cast<std::uint64_t>(n)));
+    if (v == hub) continue;
+    if (g.directed()) {
+      // Either direction: in-hubs stress CSC columns, out-hubs CSR rows.
+      if (rng.uniform(2) == 0) {
+        edges.push_back({v, hub});
+      } else {
+        edges.push_back({hub, v});
+      }
+    } else {
+      edges.push_back({v, hub});
+      edges.push_back({hub, v});
+    }
+  }
+  return from_parts(n, g.directed(), edges);
+}
+
+}  // namespace
+
+EdgeList apply_mutation(const EdgeList& graph, const Mutation& mutation) {
+  TBC_CHECK(mutation.count >= 0, "mutation count must be non-negative");
+  switch (mutation.kind) {
+    case MutationKind::kAddEdges:
+      return add_edges(graph, mutation.seed, mutation.count);
+    case MutationKind::kDropEdges:
+      return drop_edges(graph, mutation.seed, mutation.count);
+    case MutationKind::kAddSelfLoops:
+      return add_self_loops(graph, mutation.seed, mutation.count);
+    case MutationKind::kDuplicateEdges:
+      return duplicate_edges(graph, mutation.seed, mutation.count);
+    case MutationKind::kAddIsolated:
+      return add_isolated(graph, mutation.count);
+    case MutationKind::kDisconnectedUnion:
+      return disconnected_union(graph, mutation.seed, mutation.count);
+    case MutationKind::kSkewDegrees:
+      return skew_degrees(graph, mutation.seed, mutation.count);
+  }
+  throw InternalError("unhandled mutation kind");
+}
+
+EdgeList apply_mutations(const EdgeList& graph,
+                         std::span<const Mutation> trace) {
+  EdgeList out = graph;
+  for (const Mutation& m : trace) out = apply_mutation(out, m);
+  return out;
+}
+
+std::string_view to_string(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kAddEdges: return "add_edges";
+    case MutationKind::kDropEdges: return "drop_edges";
+    case MutationKind::kAddSelfLoops: return "add_self_loops";
+    case MutationKind::kDuplicateEdges: return "duplicate_edges";
+    case MutationKind::kAddIsolated: return "add_isolated";
+    case MutationKind::kDisconnectedUnion: return "disconnected_union";
+    case MutationKind::kSkewDegrees: return "skew_degrees";
+  }
+  return "unknown";
+}
+
+std::optional<MutationKind> mutation_kind_from_string(std::string_view token) {
+  for (const MutationKind kind : kAllMutationKinds) {
+    if (to_string(kind) == token) return kind;
+  }
+  return std::nullopt;
+}
+
+}  // namespace turbobc::gen

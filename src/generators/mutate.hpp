@@ -1,0 +1,71 @@
+// Structured graph mutations for the fuzzing subsystem (src/qa).
+//
+// Each mutation is a small, deterministic, seed-driven perturbation of an
+// EdgeList, chosen to reach the shapes where frontier/atomics bugs hide:
+// duplicate arcs and self-loops (canonicalization paths), isolated vertices
+// and disconnected unions (unreachable-vertex handling), degree-skew boosts
+// (warp-imbalance paths) and plain random edge churn. A mutation trace — the
+// ordered list of (kind, seed, count) records — fully determines the output
+// graph, which is what makes the qa replay files self-contained.
+//
+// Undirected graphs stay structurally undirected: mutations that add or drop
+// arcs always do so in (u,v)/(v,u) pairs, so the implicit both-arcs-present
+// invariant of EdgeList::symmetrize survives any trace.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "graph/edge_list.hpp"
+
+namespace turbobc::gen {
+
+enum class MutationKind {
+  kAddEdges,           // random new arcs (pairs when undirected)
+  kDropEdges,          // remove random arcs (pairs when undirected)
+  kAddSelfLoops,       // arcs (v, v); canonicalize() must drop them
+  kDuplicateEdges,     // repeat existing arcs; canonicalize() must dedup
+  kAddIsolated,        // grow n by vertices with no arcs
+  kDisconnectedUnion,  // disjoint union with a small path/clique component
+  kSkewDegrees,        // wire many vertices to one hub (degree-skew boost)
+};
+
+struct Mutation {
+  MutationKind kind = MutationKind::kAddEdges;
+  /// Seed for the mutation's private PRNG stream; independent of the base
+  /// graph's generator seed.
+  std::uint64_t seed = 1;
+  /// Magnitude: edges added/dropped/duplicated, vertices appended, size of
+  /// the unioned component, or spokes wired to the hub.
+  vidx_t count = 1;
+
+  friend bool operator==(const Mutation&, const Mutation&) = default;
+};
+
+/// Apply one mutation; the input is not modified. Counts larger than the
+/// graph allows (e.g. dropping more arcs than exist) saturate harmlessly.
+graph::EdgeList apply_mutation(const graph::EdgeList& graph,
+                               const Mutation& mutation);
+
+/// Left-to-right fold of apply_mutation over a trace.
+graph::EdgeList apply_mutations(const graph::EdgeList& graph,
+                                std::span<const Mutation> trace);
+
+/// Stable token used by the qa replay-file format ("add_edges", ...).
+std::string_view to_string(MutationKind kind);
+
+/// Inverse of to_string; nullopt for unknown tokens.
+std::optional<MutationKind> mutation_kind_from_string(std::string_view token);
+
+/// All kinds, for fuzzers and property tests that enumerate them.
+inline constexpr MutationKind kAllMutationKinds[] = {
+    MutationKind::kAddEdges,          MutationKind::kDropEdges,
+    MutationKind::kAddSelfLoops,      MutationKind::kDuplicateEdges,
+    MutationKind::kAddIsolated,       MutationKind::kDisconnectedUnion,
+    MutationKind::kSkewDegrees,
+};
+
+}  // namespace turbobc::gen

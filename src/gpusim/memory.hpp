@@ -14,6 +14,19 @@
 
 namespace turbobc::sim {
 
+/// Point-in-time copy of the allocation ledger. The QA oracle snapshots the
+/// ledger around a run and checks that it balances (every alloc freed, zero
+/// live bytes) — see qa/oracle.hpp, invariant "alloc_free_ledger".
+struct LedgerSnapshot {
+  std::size_t live_bytes = 0;
+  std::size_t peak_bytes = 0;
+  std::uint64_t alloc_count = 0;
+  std::uint64_t free_count = 0;
+
+  friend bool operator==(const LedgerSnapshot&,
+                         const LedgerSnapshot&) = default;
+};
+
 class MemoryManager {
  public:
   explicit MemoryManager(std::size_t capacity_bytes)
@@ -43,6 +56,10 @@ class MemoryManager {
   std::size_t capacity_bytes() const noexcept { return capacity_; }
   std::uint64_t alloc_count() const noexcept { return alloc_count_; }
   std::uint64_t free_count() const noexcept { return free_count_; }
+
+  LedgerSnapshot snapshot() const noexcept {
+    return {live_, peak_, alloc_count_, free_count_};
+  }
 
   /// Forget the high-water mark (not the live allocations); used between
   /// benchmark phases.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -27,63 +28,104 @@ void strip_cr(std::string& line) {
 }  // namespace
 
 EdgeList read_matrix_market(std::istream& in) {
+  // All rejection paths throw ParseError with the 1-based line number, so a
+  // malformed SuiteSparse download (or fuzz input) points at its own defect
+  // instead of producing UB or a silently wrong graph.
+  std::size_t lineno = 0;
   std::string line;
-  TBC_CHECK(static_cast<bool>(std::getline(in, line)),
-            "empty Matrix Market stream");
-  strip_cr(line);
+  const auto next_line = [&]() -> bool {
+    if (!std::getline(in, line)) return false;
+    ++lineno;
+    strip_cr(line);
+    return true;
+  };
+
+  if (!next_line()) throw ParseError("empty Matrix Market stream");
 
   std::istringstream header(line);
   std::string banner, object, fmt, field, symmetry;
   header >> banner >> object >> fmt >> field >> symmetry;
-  TBC_CHECK(banner == "%%MatrixMarket", "missing %%MatrixMarket banner");
-  TBC_CHECK(to_lower(object) == "matrix", "only matrix objects are supported");
-  TBC_CHECK(to_lower(fmt) == "coordinate",
-            "only coordinate (sparse) format is supported");
+  if (banner != "%%MatrixMarket") {
+    throw ParseError("missing %%MatrixMarket banner", lineno);
+  }
+  if (to_lower(object) != "matrix") {
+    throw ParseError("only matrix objects are supported", lineno);
+  }
+  if (to_lower(fmt) != "coordinate") {
+    throw ParseError("only coordinate (sparse) format is supported", lineno);
+  }
   field = to_lower(field);
   symmetry = to_lower(symmetry);
-  TBC_CHECK(field == "pattern" || field == "real" || field == "integer",
-            "unsupported Matrix Market field type: " + field);
-  TBC_CHECK(symmetry == "general" || symmetry == "symmetric",
-            "unsupported Matrix Market symmetry: " + symmetry);
+  if (field != "pattern" && field != "real" && field != "integer") {
+    throw ParseError("unsupported Matrix Market field type: " + field,
+                     lineno);
+  }
+  if (symmetry != "general" && symmetry != "symmetric") {
+    throw ParseError("unsupported Matrix Market symmetry: " + symmetry,
+                     lineno);
+  }
   const bool has_value = field != "pattern";
   const bool symmetric = symmetry == "symmetric";
 
   // Skip comments, read the size line.
   do {
-    TBC_CHECK(static_cast<bool>(std::getline(in, line)),
-              "Matrix Market stream ended before size line");
-    strip_cr(line);
+    if (!next_line()) {
+      throw ParseError("Matrix Market stream ended before size line", lineno);
+    }
   } while (!line.empty() && line[0] == '%');
 
   long long rows = 0, cols = 0, nnz = 0;
   {
+    // istream extraction sets failbit on values outside long long, so
+    // absurdly large dimension tokens land here rather than wrapping.
     std::istringstream size_line(line);
     size_line >> rows >> cols >> nnz;
-    TBC_CHECK(!size_line.fail(), "malformed Matrix Market size line");
+    if (size_line.fail()) {
+      throw ParseError("malformed Matrix Market size line: " + line, lineno);
+    }
   }
-  TBC_CHECK(rows == cols, "adjacency matrices must be square");
-  TBC_CHECK(rows >= 0 && nnz >= 0, "negative Matrix Market dimensions");
+  if (rows != cols) {
+    throw ParseError("adjacency matrices must be square", lineno);
+  }
+  if (rows < 0 || nnz < 0) {
+    throw ParseError("negative Matrix Market dimensions", lineno);
+  }
+  if (rows > static_cast<long long>(std::numeric_limits<vidx_t>::max())) {
+    throw ParseError("Matrix Market dimension overflows 32-bit vertex index",
+                     lineno);
+  }
 
   EdgeList el(static_cast<vidx_t>(rows), !symmetric);
   long long seen = 0;
-  while (seen < nnz && std::getline(in, line)) {
-    strip_cr(line);
+  while (seen < nnz && next_line()) {
     if (line.empty() || line[0] == '%') continue;
     std::istringstream entry(line);
     long long r = 0, c = 0;
     entry >> r >> c;
-    TBC_CHECK(!entry.fail(), "malformed Matrix Market entry: " + line);
+    if (entry.fail()) {
+      throw ParseError("malformed Matrix Market entry: " + line, lineno);
+    }
     if (has_value) {
       double value = 0.0;
       entry >> value;  // discarded: graphs are treated as unweighted
+      if (entry.fail()) {
+        throw ParseError("Matrix Market entry missing its value: " + line,
+                         lineno);
+      }
     }
-    TBC_CHECK(r >= 1 && r <= rows && c >= 1 && c <= cols,
-              "Matrix Market entry out of range: " + line);
+    if (r < 1 || r > rows || c < 1 || c > cols) {
+      throw ParseError("Matrix Market entry out of range: " + line, lineno);
+    }
     // Matrix entry A(r, c) is the arc r -> c.
     el.add_edge(static_cast<vidx_t>(r - 1), static_cast<vidx_t>(c - 1));
     ++seen;
   }
-  TBC_CHECK(seen == nnz, "Matrix Market stream ended before all entries");
+  if (seen != nnz) {
+    throw ParseError("Matrix Market stream ended before all entries (got " +
+                         std::to_string(seen) + " of " + std::to_string(nnz) +
+                         ")",
+                     lineno);
+  }
 
   if (symmetric) {
     el.symmetrize();

@@ -17,8 +17,10 @@
 
 namespace turbobc::graph {
 
-/// Parse a Matrix Market stream into an EdgeList. Non-square matrices and
-/// unsupported headers throw turbobc::InvalidArgument.
+/// Parse a Matrix Market stream into an EdgeList. Malformed input of any
+/// kind — unsupported headers, non-square or negative/overflowing
+/// dimensions, truncated or out-of-range entries — throws turbobc::ParseError
+/// (derived from InvalidArgument) carrying the offending 1-based line number.
 EdgeList read_matrix_market(std::istream& in);
 
 /// Convenience file wrapper; throws on unreadable paths.

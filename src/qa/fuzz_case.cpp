@@ -1,0 +1,321 @@
+#include "qa/fuzz_case.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "generators/generators.hpp"
+
+namespace turbobc::qa {
+
+namespace {
+
+using graph::EdgeList;
+
+/// Uniform integer in [lo, hi] drawn from a SplitMix64 stream.
+std::int64_t pick(SplitMix64& sm, std::int64_t lo, std::int64_t hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo + 1);
+  return lo + static_cast<std::int64_t>(sm.next() % span);
+}
+
+double pick_real(SplitMix64& sm, double lo, double hi) {
+  const double u =
+      static_cast<double>(sm.next() >> 11) * 0x1.0p-53;  // [0, 1)
+  return lo + u * (hi - lo);
+}
+
+/// Target vertex budget per size class; families aim at or below it.
+vidx_t size_budget(int size_class) {
+  switch (size_class) {
+    case 0: return 40;
+    case 1: return 140;
+    default: return 400;
+  }
+}
+
+EdgeList build_family_graph(const FuzzCase& c) {
+  // Every family derives its concrete parameters from the case seed via an
+  // independent SplitMix64 stream, clamped inside each generator's accepted
+  // range, so any (family, seed, size) triple is valid by construction.
+  SplitMix64 sm(c.seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(c.family));
+  const vidx_t budget = size_budget(c.size_class);
+  switch (c.family) {
+    case Family::kErdosRenyi: {
+      const auto n = static_cast<vidx_t>(pick(sm, 2, budget));
+      return gen::erdos_renyi(
+          {.n = n,
+           .arcs = static_cast<eidx_t>(pick(sm, 0, 4 * n)),
+           .directed = sm.next() % 2 == 0,
+           .seed = sm.next()});
+    }
+    case Family::kKronecker: {
+      const int max_scale = c.size_class == 0 ? 5 : (c.size_class == 1 ? 7 : 8);
+      return gen::kronecker(
+          {.scale = static_cast<int>(pick(sm, 2, max_scale)),
+           .edge_factor = pick_real(sm, 1.0, 8.0),
+           .seed = sm.next()});
+    }
+    case Family::kSmallWorld: {
+      const auto n = static_cast<vidx_t>(pick(sm, 4, budget));
+      return gen::small_world(
+          {.n = n,
+           .k = static_cast<int>(pick(sm, 2, std::min<vidx_t>(8, n - 1))),
+           .rewire_p = pick_real(sm, 0.0, 0.6),
+           .seed = sm.next()});
+    }
+    case Family::kMycielski: {
+      const int max_order = c.size_class == 0 ? 6 : (c.size_class == 1 ? 8 : 9);
+      return gen::mycielski(static_cast<int>(pick(sm, 2, max_order)));
+    }
+    case Family::kGrid: {
+      const auto side = static_cast<vidx_t>(
+          pick(sm, 2, std::max<vidx_t>(2, budget / 8)));
+      const auto cols = static_cast<vidx_t>(pick(sm, 2, 8));
+      return gen::triangulated_grid(side, cols);
+    }
+    case Family::kMarkovLattice: {
+      const auto length = static_cast<vidx_t>(
+          pick(sm, 2, std::max<vidx_t>(2, budget / 6)));
+      return gen::markov_lattice(
+          {.length = length,
+           .width = static_cast<vidx_t>(pick(sm, 2, 6)),
+           .burst_p = pick_real(sm, 0.0, 0.2),
+           .burst_size = static_cast<int>(pick(sm, 1, 8)),
+           .extra_stencil = static_cast<int>(pick(sm, 0, 2)),
+           .seed = sm.next()});
+    }
+    case Family::kRoad: {
+      return gen::road_network(
+          {.grid_rows = static_cast<vidx_t>(pick(sm, 2, 4)),
+           .grid_cols = static_cast<vidx_t>(pick(sm, 2, 4)),
+           .keep_p = pick_real(sm, 0.4, 1.0),
+           .subdivisions =
+               static_cast<int>(pick(sm, 0, c.size_class == 0 ? 2 : 6)),
+           .seed = sm.next()});
+    }
+    case Family::kKmer: {
+      return gen::kmer_like(
+          {.chains = static_cast<vidx_t>(pick(sm, 1, 6)),
+           .chain_len = static_cast<vidx_t>(pick(sm, 2, budget / 8 + 2)),
+           .branching = static_cast<int>(pick(sm, 1, 4)),
+           .seed = sm.next()});
+    }
+    case Family::kPreferential: {
+      return gen::preferential_attachment(
+          {.n = static_cast<vidx_t>(pick(sm, 2, budget)),
+           .m_attach = static_cast<int>(pick(sm, 1, 3)),
+           .directed = sm.next() % 2 == 0,
+           .seed = sm.next()});
+    }
+    case Family::kSuperhub: {
+      const auto n = static_cast<vidx_t>(pick(sm, 4, budget));
+      return gen::superhub_social(
+          {.n = n,
+           .out_degree = static_cast<int>(pick(sm, 1, 6)),
+           .celebrities = static_cast<int>(pick(sm, 1, std::min<vidx_t>(4, n - 1))),
+           .celebrity_p = pick_real(sm, 0.0, 0.8),
+           .seed = sm.next()});
+    }
+    case Family::kTraffic: {
+      const auto hubs = static_cast<int>(pick(sm, 2, 6));
+      const auto n = static_cast<vidx_t>(pick(sm, 2 * hubs + 1, budget + 2 * hubs + 1));
+      return gen::traffic_trace({.n = n,
+                                 .hubs = hubs,
+                                 .decay = pick_real(sm, 0.1, 0.9),
+                                 .seed = sm.next()});
+    }
+    case Family::kWeb: {
+      const auto n = static_cast<vidx_t>(pick(sm, 3, budget));
+      return gen::web_crawl(
+          {.n = n,
+           .out_degree = static_cast<int>(pick(sm, 1, 6)),
+           .copy_p = pick_real(sm, 0.0, 0.9),
+           .local_p = pick_real(sm, 0.0, 1.0),
+           .window = static_cast<vidx_t>(pick(sm, 1, std::max<vidx_t>(1, n / 2))),
+           .seed = sm.next()});
+    }
+    case Family::kLocalDigraph: {
+      const auto n = static_cast<vidx_t>(pick(sm, 3, budget));
+      return gen::random_local_digraph(
+          {.n = n,
+           .mean_out_degree = pick_real(sm, 0.5, 6.0),
+           .degree_dispersion = pick_real(sm, 0.2, 1.5),
+           .max_out_degree = static_cast<eidx_t>(pick(sm, 2, 32)),
+           .window = static_cast<vidx_t>(pick(sm, 1, std::max<vidx_t>(1, n / 2))),
+           .global_p = pick_real(sm, 0.0, 0.2),
+           .seed = sm.next()});
+    }
+    case Family::kExplicit:
+      break;  // handled by the caller
+  }
+  throw InternalError("unhandled fuzz family");
+}
+
+}  // namespace
+
+EdgeList build_graph(const FuzzCase& c) {
+  EdgeList base(0, true);
+  if (c.family == Family::kExplicit) {
+    base = EdgeList(c.explicit_n, c.explicit_directed);
+    for (const graph::Edge& e : c.explicit_edges) base.add_edge(e.u, e.v);
+  } else {
+    base = build_family_graph(c);
+  }
+  return gen::apply_mutations(base, c.mutations);
+}
+
+FuzzCase explicit_case(const EdgeList& graph, std::string name) {
+  FuzzCase c;
+  c.name = std::move(name);
+  c.family = Family::kExplicit;
+  c.explicit_n = graph.num_vertices();
+  c.explicit_directed = graph.directed();
+  c.explicit_edges = graph.edges();
+  return c;
+}
+
+void write_fuzz_case(std::ostream& out, const FuzzCase& c) {
+  out << "turbobc.fuzz.v1\n";
+  if (!c.name.empty()) out << "name " << c.name << '\n';
+  out << "family " << to_string(c.family) << '\n';
+  if (c.family == Family::kExplicit) {
+    out << "directed " << (c.explicit_directed ? 1 : 0) << '\n';
+    out << "vertices " << c.explicit_n << '\n';
+    for (const graph::Edge& e : c.explicit_edges) {
+      out << "arc " << e.u << ' ' << e.v << '\n';
+    }
+  } else {
+    out << "seed " << c.seed << '\n';
+    out << "size " << c.size_class << '\n';
+  }
+  for (const gen::Mutation& m : c.mutations) {
+    out << "mutation " << gen::to_string(m.kind) << ' ' << m.seed << ' '
+        << m.count << '\n';
+  }
+  out << "end\n";
+}
+
+FuzzCase read_fuzz_case(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  const auto next_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty() || line[0] == '#') continue;
+      return true;
+    }
+    return false;
+  };
+
+  if (!next_line() || line != "turbobc.fuzz.v1") {
+    throw ParseError("missing turbobc.fuzz.v1 header", line_no);
+  }
+
+  FuzzCase c;
+  bool have_family = false;
+  bool have_end = false;
+  while (next_line()) {
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "end") {
+      have_end = true;
+      break;
+    } else if (key == "name") {
+      fields >> c.name;
+    } else if (key == "family") {
+      std::string token;
+      fields >> token;
+      const auto family = family_from_string(token);
+      if (!family) throw ParseError("unknown family '" + token + "'", line_no);
+      c.family = *family;
+      have_family = true;
+    } else if (key == "seed") {
+      fields >> c.seed;
+    } else if (key == "size") {
+      fields >> c.size_class;
+      if (fields.fail() || c.size_class < 0 || c.size_class > kMaxSizeClass) {
+        throw ParseError("size class out of range", line_no);
+      }
+    } else if (key == "directed") {
+      int flag = 0;
+      fields >> flag;
+      c.explicit_directed = flag != 0;
+    } else if (key == "vertices") {
+      fields >> c.explicit_n;
+      if (fields.fail() || c.explicit_n < 0) {
+        throw ParseError("bad vertex count", line_no);
+      }
+    } else if (key == "arc") {
+      graph::Edge e;
+      fields >> e.u >> e.v;
+      if (fields.fail() || e.u < 0 || e.v < 0 || e.u >= c.explicit_n ||
+          e.v >= c.explicit_n) {
+        throw ParseError("arc endpoints out of range: " + line, line_no);
+      }
+      c.explicit_edges.push_back(e);
+    } else if (key == "mutation") {
+      std::string token;
+      gen::Mutation m;
+      fields >> token >> m.seed >> m.count;
+      const auto kind = gen::mutation_kind_from_string(token);
+      if (fields.fail() || !kind || m.count < 0) {
+        throw ParseError("malformed mutation record: " + line, line_no);
+      }
+      m.kind = *kind;
+      c.mutations.push_back(m);
+    } else {
+      throw ParseError("unknown fuzz-case key '" + key + "'", line_no);
+    }
+    if (fields.fail()) {
+      throw ParseError("malformed fuzz-case line: " + line, line_no);
+    }
+  }
+  if (!have_end) throw ParseError("fuzz case ended without 'end'", line_no);
+  if (!have_family) throw ParseError("fuzz case is missing 'family'", line_no);
+  return c;
+}
+
+void write_fuzz_case_file(const std::string& path, const FuzzCase& c) {
+  std::ofstream out(path);
+  TBC_CHECK(out.good(), "cannot open fuzz case for writing: " + path);
+  write_fuzz_case(out, c);
+}
+
+FuzzCase read_fuzz_case_file(const std::string& path) {
+  std::ifstream in(path);
+  TBC_CHECK(in.good(), "cannot open fuzz case: " + path);
+  return read_fuzz_case(in);
+}
+
+std::string_view to_string(Family family) {
+  switch (family) {
+    case Family::kErdosRenyi: return "erdos_renyi";
+    case Family::kKronecker: return "kronecker";
+    case Family::kSmallWorld: return "small_world";
+    case Family::kMycielski: return "mycielski";
+    case Family::kGrid: return "grid";
+    case Family::kMarkovLattice: return "markov_lattice";
+    case Family::kRoad: return "road";
+    case Family::kKmer: return "kmer";
+    case Family::kPreferential: return "preferential";
+    case Family::kSuperhub: return "superhub";
+    case Family::kTraffic: return "traffic";
+    case Family::kWeb: return "web";
+    case Family::kLocalDigraph: return "local_digraph";
+    case Family::kExplicit: return "explicit";
+  }
+  return "unknown";
+}
+
+std::optional<Family> family_from_string(std::string_view token) {
+  for (const Family f : kGeneratorFamilies) {
+    if (to_string(f) == token) return f;
+  }
+  if (token == to_string(Family::kExplicit)) return Family::kExplicit;
+  return std::nullopt;
+}
+
+}  // namespace turbobc::qa

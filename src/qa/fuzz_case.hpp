@@ -1,0 +1,103 @@
+// Fuzz-case specification and the `.fuzz` replay-file format.
+//
+// A FuzzCase is a self-contained, deterministic recipe for a test graph:
+// either a generator family plus a parameter seed and size class (the
+// family's concrete parameters are derived from the seed inside
+// build_graph, so one u64 reproduces the whole graph), or an explicit edge
+// list (the form minimized reproducers take). A mutation trace
+// (generators/mutate.hpp) is applied on top in order.
+//
+// The text format is line-based:
+//
+//   turbobc.fuzz.v1
+//   # free-form comments
+//   name star-shape
+//   family erdos_renyi          | family explicit
+//   seed 42                     | directed 1
+//   size 1                      | vertices 5
+//   mutation add_edges 7 5      | arc 0 1      (num_arcs() "arc" lines)
+//   ...                         | ...
+//   end
+//
+// Parsing reports turbobc::ParseError with the offending line number;
+// writing then re-reading any case reproduces it exactly, which is what
+// makes `turbobc_fuzz --replay` deterministic.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "generators/mutate.hpp"
+#include "graph/edge_list.hpp"
+
+namespace turbobc::qa {
+
+/// Generator families the fuzzer draws from — every entry point in
+/// turbobc::gen — plus kExplicit for literal graphs.
+enum class Family {
+  kErdosRenyi,
+  kKronecker,
+  kSmallWorld,
+  kMycielski,
+  kGrid,
+  kMarkovLattice,
+  kRoad,
+  kKmer,
+  kPreferential,
+  kSuperhub,
+  kTraffic,
+  kWeb,
+  kLocalDigraph,
+  kExplicit,
+};
+
+/// Families eligible for random drawing (kExplicit excluded).
+inline constexpr Family kGeneratorFamilies[] = {
+    Family::kErdosRenyi,  Family::kKronecker,  Family::kSmallWorld,
+    Family::kMycielski,   Family::kGrid,       Family::kMarkovLattice,
+    Family::kRoad,        Family::kKmer,       Family::kPreferential,
+    Family::kSuperhub,    Family::kTraffic,    Family::kWeb,
+    Family::kLocalDigraph,
+};
+
+struct FuzzCase {
+  std::string name;  // optional label (token, no whitespace)
+  Family family = Family::kErdosRenyi;
+  /// Parameter seed for generator families (ignored for kExplicit).
+  std::uint64_t seed = 1;
+  /// 0 = tiny (n <~ 40), 1 = small (n <~ 140), 2 = medium (n <~ 400).
+  int size_class = 0;
+  std::vector<gen::Mutation> mutations;
+
+  // kExplicit payload.
+  vidx_t explicit_n = 0;
+  bool explicit_directed = true;
+  std::vector<graph::Edge> explicit_edges;
+
+  friend bool operator==(const FuzzCase&, const FuzzCase&) = default;
+};
+
+inline constexpr int kMaxSizeClass = 2;
+
+/// Materialize the case's graph (family parameters derived from the seed,
+/// then the mutation trace applied). Deterministic.
+graph::EdgeList build_graph(const FuzzCase& c);
+
+/// Wrap a literal graph as an explicit case (used by the minimizer).
+FuzzCase explicit_case(const graph::EdgeList& graph, std::string name);
+
+void write_fuzz_case(std::ostream& out, const FuzzCase& c);
+FuzzCase read_fuzz_case(std::istream& in);
+
+/// File wrappers; throw InvalidArgument / ParseError on bad paths or input.
+void write_fuzz_case_file(const std::string& path, const FuzzCase& c);
+FuzzCase read_fuzz_case_file(const std::string& path);
+
+std::string_view to_string(Family family);
+std::optional<Family> family_from_string(std::string_view token);
+
+}  // namespace turbobc::qa

@@ -1,0 +1,174 @@
+#include "qa/fuzzer.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <iterator>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "qa/minimize.hpp"
+
+namespace turbobc::qa {
+
+namespace {
+
+/// Per-case oracle configuration: the expensive stages cycle on the
+/// configured cadences so every stage runs throughout the fuzz run without
+/// every case paying for all of them.
+OracleOptions case_oracle(const FuzzerOptions& options, int index) {
+  OracleOptions oracle = options.oracle;
+  const auto on_cadence = [index](int every, int phase) {
+    return every > 0 && index % every == phase % every;
+  };
+  oracle.check_exact = on_cadence(options.exact_every, 3);
+  oracle.check_determinism = on_cadence(options.determinism_every, 2);
+  oracle.check_edge_bc = on_cadence(options.edge_bc_every, 0);
+  return oracle;
+}
+
+std::string case_label(const FuzzCase& c, int index) {
+  std::ostringstream os;
+  os << "case " << index << " [" << to_string(c.family) << " seed " << c.seed
+     << " size " << c.size_class << " +" << c.mutations.size() << "mut]";
+  return os.str();
+}
+
+}  // namespace
+
+FuzzCase draw_case(const FuzzerOptions& options, int index) {
+  // One independent Xoshiro stream per case: a budget change never shifts
+  // the cases drawn for earlier indices.
+  SplitMix64 sm(options.seed);
+  const std::uint64_t run_key = sm.next();
+  Xoshiro256 rng(run_key ^
+                 (static_cast<std::uint64_t>(index) * 0x9e3779b97f4a7c15ULL));
+
+  FuzzCase c;
+  c.family = kGeneratorFamilies[rng.uniform(std::size(kGeneratorFamilies))];
+  c.seed = rng();
+  // Heavily biased towards tiny graphs: the oracle's cost is superlinear in
+  // n (exact stage, three variants), and small graphs hit edge cases at
+  // least as often as big ones.
+  const int max_size =
+      std::clamp(options.max_size_class, 0, kMaxSizeClass);
+  const std::uint64_t u = rng.uniform(16);
+  int size_class = 0;
+  if (u >= 13) size_class = 1;
+  if (u >= 15) size_class = 2;
+  c.size_class = std::min(size_class, max_size);
+
+  const auto num_mut = static_cast<int>(
+      rng.uniform(static_cast<std::uint64_t>(options.max_mutations) + 1));
+  for (int i = 0; i < num_mut; ++i) {
+    gen::Mutation m;
+    m.kind = gen::kAllMutationKinds[rng.uniform(
+        std::size(gen::kAllMutationKinds))];
+    m.seed = rng();
+    m.count = static_cast<vidx_t>(1 + rng.uniform(5));
+    c.mutations.push_back(m);
+  }
+
+  std::ostringstream name;
+  name << "fuzz-" << options.seed << "-" << index;
+  c.name = name.str();
+  return c;
+}
+
+FuzzSummary run_fuzzer(const FuzzerOptions& options) {
+  TBC_CHECK(options.budget >= 0, "fuzz budget must be non-negative");
+  FuzzSummary summary;
+  for (int index = 0; index < options.budget; ++index) {
+    const FuzzCase c = draw_case(options, index);
+    const OracleOptions oracle = case_oracle(options, index);
+
+    graph::EdgeList g;
+    try {
+      g = build_graph(c);
+    } catch (const std::exception& e) {
+      // A generator family rejecting its own derived parameters is a fuzzer
+      // bug, not a library bug — surface it as a failure with no graph.
+      FuzzFailure failure;
+      failure.original = c;
+      failure.report.violations.push_back(
+          {"unexpected_throw", std::string("build_graph: ") + e.what()});
+      summary.failures.push_back(std::move(failure));
+      ++summary.cases_run;
+      continue;
+    }
+
+    const OracleReport report = check_graph(g, oracle);
+    ++summary.cases_run;
+    summary.vertices_checked += report.vertices;
+    summary.arcs_checked += report.arcs;
+
+    if (!report.ok()) {
+      FuzzFailure failure;
+      failure.original = c;
+      failure.report = report;
+
+      const MinimizeResult minimized =
+          minimize_for_invariant(g, report.primary_invariant(), oracle);
+      failure.minimized =
+          explicit_case(minimized.graph, c.name + "-min");
+
+      if (!options.corpus_dir.empty()) {
+        std::filesystem::create_directories(options.corpus_dir);
+        std::ostringstream path;
+        path << options.corpus_dir << "/fail-" << report.primary_invariant()
+             << "-" << options.seed << "-" << index << ".fuzz";
+        failure.replay_path = path.str();
+        write_fuzz_case_file(failure.replay_path, failure.minimized);
+      }
+      if (options.log != nullptr) {
+        *options.log << "FAIL " << case_label(c, index) << ": "
+                     << report.summary() << "\n  minimized to n = "
+                     << minimized.graph.num_vertices() << ", m = "
+                     << minimized.graph.num_arcs() << " ("
+                     << minimized.evaluations << " oracle calls)";
+        if (!failure.replay_path.empty()) {
+          *options.log << "\n  replay: " << failure.replay_path;
+        }
+        *options.log << std::endl;
+      }
+      summary.failures.push_back(std::move(failure));
+      if (static_cast<int>(summary.failures.size()) >= options.max_failures) {
+        if (options.log != nullptr) {
+          *options.log << "stopping after " << summary.failures.size()
+                       << " failures" << std::endl;
+        }
+        break;
+      }
+    } else if (options.log != nullptr && options.budget >= 10 &&
+               (index + 1) % std::max(options.budget / 10, 1) == 0) {
+      *options.log << "fuzz progress: " << (index + 1) << "/"
+                   << options.budget << " cases, "
+                   << summary.failures.size() << " failures" << std::endl;
+    }
+  }
+  return summary;
+}
+
+ReplayResult replay_case(const FuzzCase& c, const OracleOptions& oracle) {
+  ReplayResult result;
+  result.replayed = c;
+  const graph::EdgeList g = build_graph(c);
+  result.report = check_graph(g, oracle);
+  result.failed = !result.report.ok();
+  if (result.failed) {
+    const MinimizeResult minimized =
+        minimize_for_invariant(g, result.report.primary_invariant(), oracle);
+    result.minimized = explicit_case(
+        minimized.graph,
+        (c.name.empty() ? std::string("replay") : c.name) + "-min");
+  }
+  return result;
+}
+
+ReplayResult replay_file(const std::string& path,
+                         const OracleOptions& oracle) {
+  return replay_case(read_fuzz_case_file(path), oracle);
+}
+
+}  // namespace turbobc::qa

@@ -1,0 +1,93 @@
+// The fuzz loop: seeded, budgeted differential testing of the whole BC
+// stack against the invariant oracle.
+//
+// Each case derives deterministically from (seed, case index): a generator
+// family, its parameter seed, a size class biased towards tiny graphs, and
+// a short structured-mutation trace (generators/mutate.hpp). The oracle
+// (qa/oracle.hpp) then runs every implementation on the resulting graph;
+// the expensive stages (exact all-sources, thread determinism, edge BC)
+// cycle on fixed cadences so a budget of N cases still exercises all of
+// them hundreds of times without N times the cost.
+//
+// On a violation the case is delta-debugged to a minimal explicit graph
+// (qa/minimize.hpp) and written as a self-contained `.fuzz` replay file;
+// `turbobc_fuzz --replay <file>` re-runs the oracle on it deterministically.
+// Everything here is pure w.r.t. (options) — same options, same verdicts,
+// same minimized graphs, at any host thread count.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "qa/fuzz_case.hpp"
+#include "qa/oracle.hpp"
+
+namespace turbobc::qa {
+
+struct FuzzerOptions {
+  std::uint64_t seed = 1;
+  /// Number of cases to run.
+  int budget = 1000;
+  /// Largest size class drawn (see FuzzCase::size_class).
+  int max_size_class = kMaxSizeClass;
+  /// Cap on mutations appended per case.
+  int max_mutations = 3;
+  /// Base oracle configuration; the per-case cadences below override the
+  /// check_* toggles case by case.
+  OracleOptions oracle;
+  /// Run the exact all-sources stage on every k-th case (0 disables).
+  int exact_every = 7;
+  /// Run the thread-determinism stage on every k-th case (0 disables).
+  int determinism_every = 5;
+  /// Run the edge-BC stage on every k-th case (0 disables).
+  int edge_bc_every = 3;
+  /// Stop early after this many distinct failures (each one costs a
+  /// minimization run).
+  int max_failures = 8;
+  /// Directory for minimized reproducer files; empty = do not write.
+  std::string corpus_dir;
+  /// Progress/diagnostic stream (null = silent).
+  std::ostream* log = nullptr;
+};
+
+struct FuzzFailure {
+  FuzzCase original;       ///< the case as drawn (family + seed + mutations)
+  FuzzCase minimized;      ///< explicit minimized reproducer
+  OracleReport report;     ///< oracle report on the ORIGINAL graph
+  std::string replay_path; ///< file written under corpus_dir ("" if not)
+};
+
+struct FuzzSummary {
+  int cases_run = 0;
+  std::int64_t vertices_checked = 0;
+  std::int64_t arcs_checked = 0;
+  std::vector<FuzzFailure> failures;
+
+  bool ok() const noexcept { return failures.empty(); }
+};
+
+/// Derive case number `index` of a fuzz run (exposed for tests; the loop
+/// calls this for indices [0, budget)).
+FuzzCase draw_case(const FuzzerOptions& options, int index);
+
+/// Run the loop. Deterministic in `options`.
+FuzzSummary run_fuzzer(const FuzzerOptions& options);
+
+struct ReplayResult {
+  FuzzCase replayed;
+  OracleReport report;
+  /// Minimized reproducer, present only when the oracle failed.
+  FuzzCase minimized;
+  bool failed = false;
+};
+
+/// Re-run the oracle on a stored case (the `--replay` path). Violations are
+/// minimized again so a replay reports the same minimal graph the original
+/// fuzz run found.
+ReplayResult replay_case(const FuzzCase& c, const OracleOptions& oracle = {});
+ReplayResult replay_file(const std::string& path,
+                         const OracleOptions& oracle = {});
+
+}  // namespace turbobc::qa

@@ -1,0 +1,160 @@
+#include "qa/minimize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace turbobc::qa {
+
+namespace {
+
+using graph::Edge;
+using graph::EdgeList;
+
+EdgeList from_arcs(vidx_t n, bool directed, const std::vector<Edge>& arcs) {
+  EdgeList out(n, directed);
+  for (const Edge& e : arcs) out.add_edge(e.u, e.v);
+  return out;
+}
+
+/// Removable unit for ddmin: a single arc on directed graphs; on undirected
+/// graphs the whole unordered edge (every copy of both arcs), so candidates
+/// never violate the both-arcs-present invariant of undirected EdgeLists.
+using Unit = std::vector<Edge>;
+
+std::vector<Unit> make_units(const EdgeList& g) {
+  std::vector<Unit> units;
+  if (g.directed()) {
+    units.reserve(g.edges().size());
+    for (const Edge& e : g.edges()) units.push_back({e});
+    return units;
+  }
+  std::map<std::pair<vidx_t, vidx_t>, Unit> grouped;
+  for (const Edge& e : g.edges()) {
+    grouped[{std::min(e.u, e.v), std::max(e.u, e.v)}].push_back(e);
+  }
+  units.reserve(grouped.size());
+  for (auto& [key, unit] : grouped) units.push_back(std::move(unit));
+  return units;
+}
+
+EdgeList from_units(vidx_t n, bool directed, const std::vector<Unit>& units) {
+  std::vector<Edge> arcs;
+  for (const Unit& unit : units) {
+    arcs.insert(arcs.end(), unit.begin(), unit.end());
+  }
+  return from_arcs(n, directed, arcs);
+}
+
+/// Drop vertices no arc touches and renumber the rest densely. Always keeps
+/// at least one vertex so the result stays a valid graph.
+EdgeList compact_vertices(const EdgeList& g) {
+  const vidx_t n = g.num_vertices();
+  std::vector<char> used(static_cast<std::size_t>(n), 0);
+  for (const Edge& e : g.edges()) {
+    used[static_cast<std::size_t>(e.u)] = 1;
+    used[static_cast<std::size_t>(e.v)] = 1;
+  }
+  std::vector<vidx_t> remap(static_cast<std::size_t>(n), -1);
+  vidx_t next = 0;
+  for (vidx_t v = 0; v < n; ++v) {
+    if (used[static_cast<std::size_t>(v)]) remap[static_cast<std::size_t>(v)] = next++;
+  }
+  if (next == 0) return EdgeList(std::min<vidx_t>(n, 1), g.directed());
+  std::vector<Edge> arcs;
+  arcs.reserve(g.edges().size());
+  for (const Edge& e : g.edges()) {
+    arcs.push_back({remap[static_cast<std::size_t>(e.u)],
+                    remap[static_cast<std::size_t>(e.v)]});
+  }
+  return from_arcs(next, g.directed(), arcs);
+}
+
+}  // namespace
+
+MinimizeResult minimize_graph(const EdgeList& graph,
+                              const FailurePredicate& still_fails,
+                              const MinimizeOptions& options) {
+  TBC_CHECK(still_fails(graph),
+            "minimize_graph requires a graph that fails the predicate");
+
+  MinimizeResult result;
+  result.original_arcs = graph.num_arcs();
+  result.original_vertices = graph.num_vertices();
+  result.evaluations = 1;  // the entry check above
+
+  EdgeList best = graph;
+  const auto budget_left = [&] {
+    return result.evaluations < options.max_evaluations;
+  };
+  const auto try_candidate = [&](const EdgeList& candidate) {
+    ++result.evaluations;
+    if (still_fails(candidate)) {
+      best = candidate;
+      return true;
+    }
+    return false;
+  };
+
+  // ddmin over removable units: try removing chunks of shrinking size.
+  // Chunk size restarts at half the current unit count after every
+  // successful removal (standard ddmin "reduce to complement" schedule).
+  std::vector<Unit> units = make_units(best);
+  std::size_t chunk = std::max<std::size_t>(units.size() / 2, 1);
+  while (!units.empty() && budget_left()) {
+    bool removed_any = false;
+    for (std::size_t start = 0; start < units.size() && budget_left();
+         start += chunk) {
+      const std::size_t stop = std::min(start + chunk, units.size());
+      std::vector<Unit> candidate;
+      candidate.reserve(units.size() - (stop - start));
+      candidate.insert(candidate.end(), units.begin(),
+                       units.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(candidate.end(),
+                       units.begin() + static_cast<std::ptrdiff_t>(stop),
+                       units.end());
+      if (try_candidate(
+              from_units(best.num_vertices(), best.directed(), candidate))) {
+        units = std::move(candidate);
+        removed_any = true;
+        chunk = std::max<std::size_t>(units.size() / 2, 1);
+        break;  // restart the sweep on the reduced list
+      }
+    }
+    if (!removed_any) {
+      if (chunk == 1) break;
+      chunk = std::max<std::size_t>(chunk / 2, 1);
+    }
+  }
+
+  // Vertex compaction: isolated vertices rarely carry the failure, and the
+  // renumbered graph is what gets committed as a corpus reproducer. Keep it
+  // only if the failure survives the renumbering.
+  if (budget_left()) {
+    const EdgeList compacted = compact_vertices(best);
+    if (compacted.num_vertices() < best.num_vertices()) {
+      try_candidate(compacted);
+    }
+  }
+
+  result.graph = std::move(best);
+  return result;
+}
+
+MinimizeResult minimize_for_invariant(const EdgeList& graph,
+                                      const std::string& invariant,
+                                      const OracleOptions& oracle_options,
+                                      const MinimizeOptions& options) {
+  return minimize_graph(
+      graph,
+      [&](const EdgeList& candidate) {
+        return check_graph(candidate, oracle_options).primary_invariant() ==
+               invariant;
+      },
+      options);
+}
+
+}  // namespace turbobc::qa

@@ -1,0 +1,53 @@
+// Delta-debugging minimizer for oracle failures.
+//
+// Given a graph on which the oracle reports a violation, shrink it to a
+// (locally) minimal explicit graph that still violates the SAME primary
+// invariant. The reduction is the classic ddmin loop over the arc list
+// (drop chunks, halve the chunk size when stuck) followed by a vertex
+// compaction pass that removes isolated vertices and renumbers — so the
+// reproducer a failing fuzz run writes to disk is usually a handful of arcs
+// instead of a few hundred.
+//
+// The predicate is injectable for tests; production use closes over
+// check_graph and the original report's primary_invariant().
+#pragma once
+
+#include <functional>
+
+#include "graph/edge_list.hpp"
+#include "qa/oracle.hpp"
+
+namespace turbobc::qa {
+
+/// Returns true when `candidate` still exhibits the failure being chased.
+using FailurePredicate = std::function<bool(const graph::EdgeList&)>;
+
+struct MinimizeOptions {
+  /// Cap on predicate evaluations; the loop stops reducing (keeping the best
+  /// graph so far) once spent. ddmin is O(m log m) probes in the typical
+  /// case, so the default is generous for fuzz-sized graphs.
+  int max_evaluations = 2000;
+};
+
+struct MinimizeResult {
+  graph::EdgeList graph;     // smallest failing graph found
+  int evaluations = 0;       // predicate calls spent
+  eidx_t original_arcs = 0;  // shape before reduction, for reporting
+  vidx_t original_vertices = 0;
+};
+
+/// ddmin over `graph`'s arcs with respect to `still_fails`. `graph` must
+/// satisfy the predicate on entry (TBC_CHECK enforced) — a minimizer seeded
+/// with a passing graph would "minimize" to garbage.
+MinimizeResult minimize_graph(const graph::EdgeList& graph,
+                              const FailurePredicate& still_fails,
+                              const MinimizeOptions& options = {});
+
+/// Convenience wrapper: minimize while the oracle still reports
+/// `invariant` as its primary violation.
+MinimizeResult minimize_for_invariant(const graph::EdgeList& graph,
+                                      const std::string& invariant,
+                                      const OracleOptions& oracle_options = {},
+                                      const MinimizeOptions& options = {});
+
+}  // namespace turbobc::qa

@@ -1,0 +1,475 @@
+#include "qa/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "baselines/bc_la_seq.hpp"
+#include "baselines/brandes.hpp"
+#include "baselines/gunrock_like.hpp"
+#include "baselines/ligra_like.hpp"
+#include "common/error.hpp"
+#include "core/footprint.hpp"
+#include "core/turbobc.hpp"
+#include "core/turbobc_batched.hpp"
+#include "core/turbobfs.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
+#include "graph/bfs_probe.hpp"
+#include "graph/csc.hpp"
+#include "graph/mtx_io.hpp"
+
+namespace turbobc::qa {
+
+namespace {
+
+using graph::EdgeList;
+
+/// Shortest-path counts are integers, and every implementation accumulates
+/// them in double — so they must agree EXACTLY while they fit a double's
+/// 53-bit mantissa. Beyond 2^53 (deep lattices reach sigma ~ 1e17) exact
+/// integer arithmetic is impossible and correct implementations summing in
+/// different orders drift by ulps; there a tight relative tolerance is the
+/// strongest checkable contract.
+bool sigma_matches(sigma_t actual, sigma_t expected) {
+  if (actual == expected) return true;
+  constexpr double kExactLimit = 9007199254740992.0;  // 2^53
+  if (std::abs(actual) <= kExactLimit && std::abs(expected) <= kExactLimit) {
+    return false;
+  }
+  const double err = std::abs(actual - expected) /
+                     std::max(std::abs(actual), std::abs(expected));
+  return err <= 1e-9;
+}
+
+/// RAII save/restore of the process-wide pool width: the determinism check
+/// flips it, and the oracle must leave the caller's configuration intact.
+struct PoolWidthGuard {
+  unsigned saved = sim::ExecutorPool::instance().threads();
+  ~PoolWidthGuard() { sim::ExecutorPool::instance().set_threads(saved); }
+};
+
+struct Checker {
+  const EdgeList& graph;     // raw input (implementations canonicalize)
+  const EdgeList& canon;     // canonical form (reference structure)
+  const OracleOptions& opt;
+  OracleReport& report;
+
+  void fail(const std::string& invariant, const std::string& detail) {
+    report.violations.push_back({invariant, detail});
+  }
+
+  /// Relative comparison of a BC-like vector against the Brandes values.
+  void compare_bc(const std::string& impl, const std::vector<bc_t>& expected,
+                  const std::vector<bc_t>& actual) {
+    if (expected.size() != actual.size()) {
+      std::ostringstream os;
+      os << impl << ": size " << actual.size() << " vs reference "
+         << expected.size();
+      fail("bc_agreement", os.str());
+      return;
+    }
+    for (std::size_t v = 0; v < expected.size(); ++v) {
+      const double err = std::abs(actual[v] - expected[v]) /
+                         std::max(1.0, std::abs(expected[v]));
+      if (!(err <= opt.tolerance)) {  // negated: catches NaN too
+        std::ostringstream os;
+        os << impl << ": bc[" << v << "] = " << actual[v] << " vs reference "
+           << expected[v] << " (rel err " << err << ")";
+        fail("bc_agreement", os.str());
+        return;  // one sample per implementation is enough to key on
+      }
+    }
+  }
+
+  /// Deterministic spread of up to max_sources sources over [0, n).
+  std::vector<vidx_t> pick_sources() const {
+    const vidx_t n = canon.num_vertices();
+    const auto want = static_cast<vidx_t>(
+        std::min<std::int64_t>(opt.max_sources, n));
+    std::vector<vidx_t> sources;
+    for (vidx_t i = 0; i < want; ++i) {
+      sources.push_back(static_cast<vidx_t>(
+          static_cast<std::uint64_t>(i) * n / want));
+    }
+    return sources;
+  }
+
+  // ------------------------------------------------------------ invariants
+
+  void check_mtx_roundtrip() {
+    std::ostringstream out;
+    graph::write_matrix_market(out, canon);
+    std::istringstream in(out.str());
+    EdgeList back = graph::read_matrix_market(in);
+    back.canonicalize();
+    if (back.num_vertices() != canon.num_vertices() ||
+        back.directed() != canon.directed() ||
+        !(back.edges() == canon.edges())) {
+      std::ostringstream os;
+      os << "write+reread changed the graph: n " << canon.num_vertices()
+         << " -> " << back.num_vertices() << ", m " << canon.num_arcs()
+         << " -> " << back.num_arcs();
+      fail("mtx_roundtrip", os.str());
+    }
+  }
+
+  void check_bfs_and_sigma(const graph::CscGraph& csc, vidx_t source,
+                           const graph::BfsResult& ref,
+                           const std::vector<sigma_t>& ref_sigma) {
+    // Brandes' sigma counts must match the reference BFS reachability.
+    for (std::size_t v = 0; v < ref_sigma.size(); ++v) {
+      const bool reachable = ref.depth[v] >= 0;
+      if (reachable != (ref_sigma[v] != 0)) {
+        std::ostringstream os;
+        os << "source " << source << ": vertex " << v << " depth "
+           << ref.depth[v] << " but sigma " << ref_sigma[v];
+        fail("sigma_agreement", os.str());
+        break;
+      }
+    }
+
+    // TurboBFS on the simulated device, every variant.
+    for (const bc::Variant variant :
+         {bc::Variant::kScCsc, bc::Variant::kScCooc, bc::Variant::kVeCsc}) {
+      sim::Device dev;
+      dev.set_keep_launch_records(false);
+      bc::TurboBfs bfs(dev, graph, variant);
+      const auto r = bfs.run(source);
+      if (r.height != ref.height || r.reached != ref.reached ||
+          !(r.depth == ref.depth)) {
+        std::ostringstream os;
+        os << "TurboBFS " << bc::to_string(variant) << " source " << source
+           << ": height " << r.height << "/" << ref.height << ", reached "
+           << r.reached << "/" << ref.reached;
+        fail("bfs_agreement", os.str());
+      }
+      for (std::size_t v = 0; v < ref_sigma.size(); ++v) {
+        if (!sigma_matches(r.sigma[v], ref_sigma[v])) {
+          std::ostringstream os;
+          os << "TurboBFS " << bc::to_string(variant) << " source " << source
+             << ": sigma[" << v << "] = " << r.sigma[v] << " vs Brandes "
+             << ref_sigma[v];
+          fail("sigma_agreement", os.str());
+          break;
+        }
+      }
+    }
+    (void)csc;
+  }
+
+  void check_dependency_conservation(vidx_t source,
+                                     const graph::BfsResult& ref,
+                                     const std::vector<bc_t>& delta) {
+    // Brandes pair dependencies telescoped over interior vertices: the sum
+    // of delta_s over all v equals sum over reachable t != s of
+    // (depth(t) - 1), because a random shortest s->t path has depth(t) - 1
+    // interior vertices. Halving (undirected) is undone first.
+    double lhs = 0.0;
+    for (const bc_t d : delta) lhs += d;
+    if (!canon.directed()) lhs *= 2.0;
+    double rhs = 0.0;
+    for (std::size_t v = 0; v < ref.depth.size(); ++v) {
+      if (static_cast<vidx_t>(v) != source && ref.depth[v] > 0) {
+        rhs += static_cast<double>(ref.depth[v] - 1);
+      }
+    }
+    const double err = std::abs(lhs - rhs) / std::max(1.0, rhs);
+    if (!(err <= 1e-9)) {
+      std::ostringstream os;
+      os << "source " << source << ": sum(delta) = " << lhs
+         << " but sum(depth - 1) over reachable targets = " << rhs;
+      fail("dependency_conservation", os.str());
+    }
+  }
+
+  /// One TurboBC single-source run with full ledger checks; returns the BC
+  /// vector (empty if construction legitimately failed).
+  std::vector<bc_t> run_turbobc_checked(bc::Variant variant, vidx_t source,
+                                        bool edge_bc,
+                                        std::vector<bc_t>* edge_out) {
+    sim::Device dev;
+    dev.set_keep_launch_records(false);
+    const sim::LedgerSnapshot before = dev.memory().snapshot();
+    std::vector<bc_t> bc;
+    {
+      bc::TurboBC algo(dev, graph, {.variant = variant, .edge_bc = edge_bc});
+      auto r = algo.run_single_source(source);
+      bc = std::move(r.bc);
+      if (edge_out != nullptr) *edge_out = std::move(r.edge_bc);
+
+      const std::size_t expected = expected_turbobc_peak_bytes(
+          variant, canon.num_vertices(), canon.num_arcs(), edge_bc);
+      if (r.peak_device_bytes != expected) {
+        std::ostringstream os;
+        os << bc::to_string(variant) << " source " << source
+           << ": simulated peak " << r.peak_device_bytes
+           << " B != analytic inventory " << expected << " B (n = "
+           << canon.num_vertices() << ", m = " << canon.num_arcs() << ")";
+        fail("footprint_ledger", os.str());
+      }
+    }
+    // Everything the run allocated must have been freed, and the ledger's
+    // alloc/free counters must balance.
+    const sim::LedgerSnapshot after = dev.memory().snapshot();
+    if (after.live_bytes != 0) {
+      std::ostringstream os;
+      os << bc::to_string(variant) << ": " << after.live_bytes
+         << " B still live after destruction";
+      fail("alloc_free_ledger", os.str());
+    }
+    if (after.alloc_count - before.alloc_count !=
+        after.free_count - before.free_count) {
+      std::ostringstream os;
+      os << bc::to_string(variant) << ": "
+         << (after.alloc_count - before.alloc_count) << " allocs vs "
+         << (after.free_count - before.free_count) << " frees";
+      fail("alloc_free_ledger", os.str());
+    }
+    return bc;
+  }
+
+  void check_single_source(vidx_t source, bool all_variants) {
+    const auto ref_delta = baseline::brandes_delta(canon, source);
+
+    // TurboBC: all variants on the primary source, the heuristic's pick on
+    // the rest (keeps the per-case budget flat while every variant still
+    // sees every graph family over the fuzz run).
+    std::vector<bc::Variant> variants;
+    if (all_variants) {
+      variants = {bc::Variant::kScCsc, bc::Variant::kScCooc,
+                  bc::Variant::kVeCsc};
+    } else {
+      variants = {bc::select_variant(canon)};
+    }
+    for (const bc::Variant variant : variants) {
+      const auto bc_vec = run_turbobc_checked(variant, source,
+                                              /*edge_bc=*/false, nullptr);
+      compare_bc(std::string("TurboBC-") + std::string(bc::to_string(variant)),
+                 ref_delta, bc_vec);
+    }
+
+    // Host baselines.
+    compare_bc("bc_la_seq",
+               ref_delta,
+               baseline::SequentialBcLa(canon).run_single_source(source).bc);
+    compare_bc("ligra_like",
+               ref_delta,
+               baseline::LigraLikeBc(canon).run_single_source(source).bc);
+    {
+      sim::Device dev;
+      dev.set_keep_launch_records(false);
+      baseline::GunrockLikeBc gunrock(dev, graph);
+      compare_bc("gunrock_like", ref_delta,
+                 gunrock.run_single_source(source).bc);
+      const std::size_t expected = expected_gunrock_inventory_bytes(
+          canon.num_vertices(), canon.num_arcs());
+      if (gunrock.inventory_bytes() != expected ||
+          gunrock.inventory_bytes() <
+              bc::gunrock_model_bytes(canon.num_vertices(),
+                                      canon.num_arcs())) {
+        std::ostringstream os;
+        os << "inventory " << gunrock.inventory_bytes()
+           << " B vs analytic " << expected << " B (paper floor "
+           << bc::gunrock_model_bytes(canon.num_vertices(), canon.num_arcs())
+           << " B)";
+        fail("gunrock_inventory", os.str());
+      }
+    }
+
+    check_dependency_conservation(
+        source, graph::bfs_reference(graph::CscGraph::from_edges(canon),
+                                     source),
+        ref_delta);
+  }
+
+  void check_edge_bc(vidx_t source) {
+    const auto ref = baseline::brandes_edge_delta(canon, source);
+    std::vector<bc_t> edge_vec;
+    const auto bc_vec =
+        run_turbobc_checked(bc::select_variant(canon), source,
+                            /*edge_bc=*/true, &edge_vec);
+    (void)bc_vec;
+    if (edge_vec.size() != ref.size()) {
+      std::ostringstream os;
+      os << "edge vector size " << edge_vec.size() << " vs " << ref.size();
+      fail("edge_bc_agreement", os.str());
+      return;
+    }
+    for (std::size_t a = 0; a < ref.size(); ++a) {
+      const double err = std::abs(edge_vec[a] - ref[a]) /
+                         std::max(1.0, std::abs(ref[a]));
+      if (!(err <= opt.tolerance)) {
+        std::ostringstream os;
+        os << "source " << source << ": edge_bc[" << a << "] = "
+           << edge_vec[a] << " vs Brandes " << ref[a];
+        fail("edge_bc_agreement", os.str());
+        return;
+      }
+    }
+  }
+
+  void check_exact() {
+    const auto ref = baseline::brandes_bc(canon);
+    {
+      sim::Device dev;
+      dev.set_keep_launch_records(false);
+      bc::TurboBC algo(dev, graph, {.variant = bc::select_variant(canon)});
+      compare_bc("TurboBC-exact", ref, algo.run_exact().bc);
+    }
+    {
+      sim::Device dev;
+      dev.set_keep_launch_records(false);
+      const auto batch = static_cast<vidx_t>(
+          std::clamp<vidx_t>(canon.num_vertices() / 4, 1, 8));
+      bc::TurboBCBatched batched(dev, graph, {.batch_size = batch});
+      compare_bc("TurboBC-batched", ref, batched.run_exact().bc);
+    }
+  }
+
+  void check_thread_determinism() {
+    const auto sources = pick_sources();
+    struct Run {
+      std::vector<bc_t> bc;
+      double seconds = 0.0;
+      std::size_t peak = 0;
+      std::map<std::string, sim::KernelAggregate, std::less<>> aggregates;
+    };
+    const auto run_at = [&](unsigned width) {
+      sim::ExecutorPool::instance().set_threads(width);
+      sim::Device dev;
+      dev.set_keep_launch_records(false);
+      bc::TurboBC algo(dev, graph, {.variant = bc::select_variant(canon)});
+      auto r = algo.run_sources(sources);
+      Run out;
+      out.bc = std::move(r.bc);
+      out.seconds = r.device_seconds;
+      out.peak = r.peak_device_bytes;
+      out.aggregates = dev.kernel_aggregates();
+      return out;
+    };
+    PoolWidthGuard guard;
+    const Run serial = run_at(1);
+    const Run parallel = run_at(opt.det_threads);
+
+    const auto mismatch = [&](const std::string& what) {
+      fail("thread_determinism",
+           "threads=1 vs threads=" + std::to_string(opt.det_threads) +
+               " differ in " + what);
+    };
+    if (serial.bc != parallel.bc) {
+      mismatch("BC vector");
+      return;
+    }
+    if (serial.seconds != parallel.seconds) {
+      mismatch("modeled seconds");
+    }
+    if (serial.peak != parallel.peak) {
+      mismatch("peak device bytes");
+    }
+    if (serial.aggregates.size() != parallel.aggregates.size()) {
+      mismatch("kernel aggregate set");
+      return;
+    }
+    auto ita = serial.aggregates.begin();
+    auto itb = parallel.aggregates.begin();
+    for (; ita != serial.aggregates.end(); ++ita, ++itb) {
+      const auto& a = ita->second;
+      const auto& b = itb->second;
+      if (ita->first != itb->first || a.launches != b.launches ||
+          a.load_transactions != b.load_transactions ||
+          a.store_transactions != b.store_transactions ||
+          a.l2_hit_transactions != b.l2_hit_transactions ||
+          a.dram_transactions != b.dram_transactions ||
+          a.time_s != b.time_s) {
+        mismatch("kernel aggregate " + ita->first);
+        return;
+      }
+    }
+  }
+
+  void run() {
+    check_mtx_roundtrip();
+    if (canon.num_vertices() == 0) return;  // nothing else is defined
+
+    const auto sources = pick_sources();
+    const auto csc = graph::CscGraph::from_edges(canon);
+    bool first = true;
+    for (const vidx_t source : sources) {
+      const auto ref_bfs = graph::bfs_reference(csc, source);
+      const auto ref_sigma = baseline::brandes_sigma(canon, source);
+      check_bfs_and_sigma(csc, source, ref_bfs, ref_sigma);
+      check_single_source(source, /*all_variants=*/first);
+      first = false;
+    }
+
+    if (opt.check_edge_bc && !sources.empty()) {
+      check_edge_bc(sources.front());
+    }
+    if (opt.check_exact && canon.num_vertices() <= opt.exact_max_vertices) {
+      check_exact();
+    }
+    if (opt.check_determinism && canon.num_vertices() > 1) {
+      check_thread_determinism();
+    }
+  }
+};
+
+}  // namespace
+
+std::string OracleReport::summary() const {
+  std::ostringstream os;
+  os << "n = " << vertices << ", m = " << arcs << ": ";
+  if (ok()) {
+    os << "all invariants hold";
+    return os.str();
+  }
+  os << violations.size() << " violation(s)";
+  for (const Violation& v : violations) {
+    os << "\n  [" << v.invariant << "] " << v.detail;
+  }
+  return os.str();
+}
+
+OracleReport check_graph(const EdgeList& graph, const OracleOptions& options) {
+  OracleReport report;
+  EdgeList canon = graph;
+  canon.canonicalize();
+  report.vertices = canon.num_vertices();
+  report.arcs = canon.num_arcs();
+
+  Checker checker{graph, canon, options, report};
+  try {
+    checker.run();
+  } catch (const std::exception& e) {
+    report.violations.push_back({"unexpected_throw", e.what()});
+  }
+  return report;
+}
+
+std::size_t expected_turbobc_peak_bytes(bc::Variant variant, vidx_t n,
+                                        eidx_t m, bool edge_bc) {
+  const auto un = static_cast<std::size_t>(n);
+  const auto um = static_cast<std::size_t>(m);
+  // Graph structure: one resident format (device_graph.hpp, 4-byte words).
+  const std::size_t graph_bytes = variant == bc::Variant::kScCooc
+                                      ? 8 * um           // row_A + col_A
+                                      : 4 * (un + 1) + 4 * um;  // CP_A + row_A
+  // bc accumulator + persistent S/sigma + the wider of the two stages:
+  // forward f/f_t/c-flag (8n + 4) vs dependency triple (12n). The paper's
+  // f/f_t free trick is exactly why the forward stage never dominates.
+  const std::size_t stages =
+      4 * un + 8 * un + std::max(8 * un + 4, 12 * un);
+  return graph_bytes + stages + (edge_bc ? 4 * um : 0);
+}
+
+std::size_t expected_gunrock_inventory_bytes(vidx_t n, eidx_t m) {
+  const auto un = static_cast<std::size_t>(n);
+  const auto um = static_cast<std::size_t>(m);
+  // CSR + CSC offsets/indices, 8 n-sized bookkeeping arrays, the queue
+  // counter, and the m-word load-balancing scratch — all 4-byte words.
+  return 4 * (2 * (un + 1) + 8 * un + 1 + 3 * um);
+}
+
+}  // namespace turbobc::qa

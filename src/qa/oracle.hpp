@@ -1,0 +1,98 @@
+// The shared invariant oracle: every checkable property of the BC stack,
+// evaluated on one graph.
+//
+// The oracle runs every implementation (TurboBC in all three SpMV variants,
+// the batched SpMM pipeline, the sequential linear-algebra baseline, the
+// gunrock- and ligra-style baselines) against the queue-based Brandes
+// reference and checks:
+//
+//   bc_agreement          cross-implementation BC values within tolerance
+//   bfs_agreement         per-source depth/height/reached vs reference BFS
+//   sigma_agreement       per-source shortest-path counts vs Brandes
+//   dependency_conservation  sum_v delta_s(v) == sum_t (depth(t) - 1) over
+//                         reachable t != s — the Brandes pair-dependency
+//                         sum telescoped over interior vertices
+//   footprint_ledger      TurboBC's simulated peak equals the analytic
+//                         inventory (the paper's 7n + m trick, in bytes)
+//   gunrock_inventory     gunrock's resident bytes equal its analytic
+//                         inventory and dominate the paper's 9n + 2m floor
+//   alloc_free_ledger     device alloc/free counts and live bytes balance
+//                         after every run
+//   thread_determinism    threads=1 vs threads=N modeled results are
+//                         bit-identical (BC vectors, seconds, peak,
+//                         per-kernel aggregates)
+//   mtx_roundtrip         write+reread through Matrix Market preserves the
+//                         canonical graph
+//   edge_bc_agreement     per-arc edge BC vs the Brandes edge oracle
+//
+// Each failed check appends a Violation naming the invariant; the fuzz loop
+// and the delta-debugging minimizer key on those names.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/variant.hpp"
+#include "graph/edge_list.hpp"
+
+namespace turbobc::qa {
+
+struct OracleOptions {
+  /// Relative tolerance for cross-implementation BC agreement (float-order
+  /// effects only: all implementations accumulate in double).
+  double tolerance = 1e-7;
+  /// Sources probed per graph (spread deterministically over [0, n)).
+  int max_sources = 2;
+  /// Pool width compared against serial in the determinism check.
+  unsigned det_threads = 4;
+  /// Exact all-sources cross-check (Brandes vs run_exact vs batched); the
+  /// costliest stage — the fuzzer enables it on a subset of cases and the
+  /// oracle skips it for graphs above exact_max_vertices regardless.
+  bool check_exact = true;
+  vidx_t exact_max_vertices = 64;
+  /// threads=1 vs threads=N bit-identical modeled results.
+  bool check_determinism = true;
+  /// Per-arc edge BC vs the Brandes edge oracle.
+  bool check_edge_bc = true;
+};
+
+struct Violation {
+  std::string invariant;  // stable name, e.g. "bc_agreement"
+  std::string detail;     // human-readable specifics
+};
+
+struct OracleReport {
+  std::vector<Violation> violations;
+  /// Canonical shape of the graph the checks ran on.
+  vidx_t vertices = 0;
+  eidx_t arcs = 0;
+
+  bool ok() const noexcept { return violations.empty(); }
+  /// First violated invariant name ("" when ok) — the minimizer's key.
+  std::string primary_invariant() const {
+    return violations.empty() ? std::string() : violations.front().invariant;
+  }
+  std::string summary() const;
+};
+
+/// Run every applicable invariant on `graph`. Never throws for graph
+/// shapes the library is specified to handle; an unexpected exception from
+/// an implementation is itself reported as an "unexpected_throw" violation.
+OracleReport check_graph(const graph::EdgeList& graph,
+                         const OracleOptions& options = {});
+
+/// Analytic TurboBC peak-footprint inventory in simulated device bytes:
+/// graph structure + bc accumulator (+ edge-BC array) + the dependency-stage
+/// maximum of per-source arrays. For the CSC layouts this equals the paper's
+/// 7n + m words (bc::turbobc_model_bytes) plus the one extra CP_A entry.
+std::size_t expected_turbobc_peak_bytes(bc::Variant variant, vidx_t n,
+                                        eidx_t m, bool edge_bc);
+
+/// Analytic gunrock-baseline inventory in simulated device bytes
+/// (CSR + CSC + 8 n-arrays + queue counter + m-word LB scratch).
+std::size_t expected_gunrock_inventory_bytes(vidx_t n, eidx_t m);
+
+}  // namespace turbobc::qa

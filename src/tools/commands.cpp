@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <numeric>
+#include <optional>
 #include <ostream>
 
 #include "baselines/brandes.hpp"
@@ -46,17 +47,24 @@ bc::Variant parse_variant(const CliArgs& args, const graph::EdgeList& g) {
   return bc::select_variant(g);
 }
 
-void print_top_vertices(std::ostream& out, const std::vector<bc_t>& bc,
-                        int k) {
+std::vector<vidx_t> top_order(const std::vector<bc_t>& bc, int k) {
   std::vector<vidx_t> order(bc.size());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](vidx_t a, vidx_t b) {
     return bc[static_cast<std::size_t>(a)] > bc[static_cast<std::size_t>(b)];
   });
+  order.resize(std::min<std::size_t>(order.size(),
+                                     static_cast<std::size_t>(std::max(k, 0))));
+  return order;
+}
+
+void print_top_vertices(std::ostream& out, const std::vector<bc_t>& bc,
+                        int k) {
   Table t({"rank", "vertex", "bc"});
-  for (int i = 0; i < k && i < static_cast<int>(order.size()); ++i) {
-    const auto v = static_cast<std::size_t>(order[static_cast<std::size_t>(i)]);
-    t.add_row({std::to_string(i + 1), std::to_string(v), fixed(bc[v], 3)});
+  int rank = 0;
+  for (const vidx_t v : top_order(bc, k)) {
+    t.add_row({std::to_string(++rank), std::to_string(v),
+               fixed(bc[static_cast<std::size_t>(v)], 3)});
   }
   t.print(out);
 }
@@ -73,11 +81,11 @@ std::string cli_usage() {
       "      --edge-factor), smallworld (--n --k --p), grid (--rows --cols),\n"
       "      road (--rows --cols --subdiv), erdos-renyi (--n --arcs\n"
       "      [--undirected]); all accept --seed\n"
-      "  turbobc_cli stats g.mtx\n"
+      "  turbobc_cli stats g.mtx [--json]\n"
       "  turbobc_cli bfs g.mtx [--source 0] [--variant auto]\n"
       "  turbobc_cli bc g.mtx [--source S | --exact [--batch K] | --approx K]\n"
       "      [--variant auto|autotune|sccooc|sccsc|vecsc] [--edge-bc]\n"
-      "      [--top 10] [--verify] [--trace out.json]\n"
+      "      [--top 10] [--verify] [--json] [--trace out.json]\n"
       "\n"
       "global options:\n"
       "  --threads N   host threads simulating the device (default: hardware\n"
@@ -145,6 +153,27 @@ int cmd_stats(const CliArgs& args, std::ostream& out, std::ostream& err) {
   const double scf = graph::scf_index(g);
   const auto probe = graph::bfs_reference(
       graph::CscGraph::from_edges(g), 0);
+
+  if (args.has("json")) {
+    out << "{\n"
+        << "  \"vertices\": " << g.num_vertices() << ",\n"
+        << "  \"arcs\": " << g.num_arcs() << ",\n"
+        << "  \"directed\": " << (g.directed() ? "true" : "false") << ",\n"
+        << "  \"degree\": {\"max\": " << deg.max << ", \"mean\": "
+        << fixed(deg.mean, 4) << ", \"stddev\": " << fixed(deg.stddev, 4)
+        << "},\n"
+        << "  \"scf_index\": " << fixed(scf, 4) << ",\n"
+        << "  \"irregular\": " << (graph::is_irregular(g) ? "true" : "false")
+        << ",\n"
+        << "  \"suggested_variant\": \""
+        << bc::to_string(bc::select_variant(g)) << "\",\n"
+        << "  \"bfs_height\": " << probe.height << ",\n"
+        << "  \"bfs_reached\": " << probe.reached << ",\n"
+        << "  \"model_bytes\": "
+        << bc::turbobc_model_bytes(g.num_vertices(), g.num_arcs()) << "\n"
+        << "}\n";
+    return 0;
+  }
 
   Table t({"property", "value"});
   t.add_row({"vertices", human_count(static_cast<double>(g.num_vertices()))});
@@ -235,18 +264,9 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
     mode = "single-source";
   }
 
-  out << mode << " BC via " << bc::to_string(variant) << ": "
-      << fixed(r.device_seconds * 1e3, 3) << " ms modeled, peak "
-      << human_bytes(r.peak_device_bytes) << '\n';
-  print_top_vertices(out, r.bc, static_cast<int>(args.get_int("top", 10)));
-
-  if (args.has("edge-bc")) {
-    bc_t top_edge = 0.0;
-    for (const bc_t v : r.edge_bc) top_edge = std::max(top_edge, v);
-    out << "edge BC computed for " << r.edge_bc.size()
-        << " arcs (max arc value " << fixed(top_edge, 3) << ")\n";
-  }
-
+  // Brandes verification, shared by the text and JSON paths: worst relative
+  // error, or unset when the mode has no exact oracle.
+  std::optional<double> verify_err;
   if (args.has("verify")) {
     std::vector<bc_t> golden;
     if (args.has("exact")) {
@@ -261,13 +281,56 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
         worst = std::max(worst, std::abs(r.bc[v] - golden[v]) /
                                     std::max(1.0, std::abs(golden[v])));
       }
-      out << "verification vs Brandes: max rel err " << fixed(worst, 9)
-          << (worst < 1e-6 ? " (OK)" : " (MISMATCH)") << '\n';
-      if (worst >= 1e-6) return 1;
-    } else {
+      verify_err = worst;
+    }
+  }
+
+  const int top_k = static_cast<int>(args.get_int("top", 10));
+  if (args.has("json")) {
+    out << "{\n"
+        << "  \"mode\": \"" << mode << "\",\n"
+        << "  \"variant\": \"" << bc::to_string(variant) << "\",\n"
+        << "  \"modeled_ms\": " << fixed(r.device_seconds * 1e3, 6) << ",\n"
+        << "  \"peak_bytes\": " << r.peak_device_bytes << ",\n"
+        << "  \"top\": [";
+    bool first = true;
+    for (const vidx_t v : top_order(r.bc, top_k)) {
+      out << (first ? "" : ", ") << "{\"vertex\": " << v << ", \"bc\": "
+          << fixed(r.bc[static_cast<std::size_t>(v)], 6) << "}";
+      first = false;
+    }
+    out << "]";
+    if (args.has("edge-bc")) {
+      bc_t top_edge = 0.0;
+      for (const bc_t v : r.edge_bc) top_edge = std::max(top_edge, v);
+      out << ",\n  \"edge_bc\": {\"arcs\": " << r.edge_bc.size()
+          << ", \"max\": " << fixed(top_edge, 6) << "}";
+    }
+    if (verify_err) {
+      out << ",\n  \"verify_max_rel_err\": " << fixed(*verify_err, 9);
+    }
+    out << "\n}\n";
+  } else {
+    out << mode << " BC via " << bc::to_string(variant) << ": "
+        << fixed(r.device_seconds * 1e3, 3) << " ms modeled, peak "
+        << human_bytes(r.peak_device_bytes) << '\n';
+    print_top_vertices(out, r.bc, top_k);
+
+    if (args.has("edge-bc")) {
+      bc_t top_edge = 0.0;
+      for (const bc_t v : r.edge_bc) top_edge = std::max(top_edge, v);
+      out << "edge BC computed for " << r.edge_bc.size()
+          << " arcs (max arc value " << fixed(top_edge, 3) << ")\n";
+    }
+
+    if (args.has("verify") && verify_err) {
+      out << "verification vs Brandes: max rel err " << fixed(*verify_err, 9)
+          << (*verify_err < 1e-6 ? " (OK)" : " (MISMATCH)") << '\n';
+    } else if (args.has("verify")) {
       out << "verification: skipped (approximate mode has no exact oracle)\n";
     }
   }
+  if (verify_err && *verify_err >= 1e-6) return 1;
 
   if (want_trace) {
     const std::string path = args.get("trace", "trace.json");

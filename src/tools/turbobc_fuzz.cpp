@@ -1,0 +1,119 @@
+// turbobc_fuzz: differential fuzzing of the BC stack against the invariant
+// oracle (see src/qa/). Two modes:
+//
+//   turbobc_fuzz --seed S --budget N [--corpus-dir DIR] [--threads T]
+//       run N seeded cases; exit 1 if any oracle violation was found
+//       (minimized reproducers are written under --corpus-dir when given).
+//
+//   turbobc_fuzz --replay FILE [FILE...]
+//       re-run the oracle on stored .fuzz cases; exit 1 if any fails.
+//       Deterministic: same verdict and same minimized graph every run and
+//       at every --threads width.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "gpusim/executor.hpp"
+#include "qa/fuzzer.hpp"
+
+namespace {
+
+void print_usage(std::ostream& out) {
+  out << "usage: turbobc_fuzz [options]\n"
+         "  --seed S          fuzz run seed (default 1)\n"
+         "  --budget N        number of cases (default 1000)\n"
+         "  --max-size K      largest size class 0..2 (default 2)\n"
+         "  --corpus-dir DIR  write minimized reproducers here\n"
+         "  --tolerance X     BC agreement tolerance (default 1e-7)\n"
+         "  --threads T       host pool width (default: hardware)\n"
+         "  --quiet           suppress progress output\n"
+         "  --replay FILE...  replay stored .fuzz cases instead of fuzzing\n";
+}
+
+int run_replay(const std::vector<std::string>& files,
+               const turbobc::qa::OracleOptions& oracle, bool quiet) {
+  int failures = 0;
+  for (const std::string& path : files) {
+    const auto result = turbobc::qa::replay_file(path, oracle);
+    if (result.failed) {
+      ++failures;
+      std::cout << path << ": FAIL — " << result.report.summary() << "\n";
+      std::cout << "  minimized reproducer: n = "
+                << result.minimized.explicit_n << ", "
+                << result.minimized.explicit_edges.size() << " arcs\n";
+      for (const auto& e : result.minimized.explicit_edges) {
+        std::cout << "    arc " << e.u << " " << e.v << "\n";
+      }
+    } else if (!quiet) {
+      std::cout << path << ": ok (" << result.report.summary() << ")\n";
+    }
+  }
+  std::cout << files.size() << " case(s) replayed, " << failures
+            << " failing\n";
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const turbobc::CliArgs args(argc, argv);
+  if (args.has("help")) {
+    print_usage(std::cout);
+    return 0;
+  }
+
+  const auto threads = args.get_int("threads", 0);
+  if (threads < 0) {
+    std::cerr << "--threads must be >= 0\n";
+    return 2;
+  }
+  turbobc::sim::ExecutorPool::instance().set_threads(
+      static_cast<unsigned>(threads));
+
+  turbobc::qa::OracleOptions oracle;
+  oracle.tolerance = args.get_double("tolerance", oracle.tolerance);
+  const bool quiet = args.has("quiet");
+
+  try {
+    if (args.has("replay")) {
+      std::vector<std::string> files;
+      files.push_back(args.get("replay", ""));
+      files.insert(files.end(), args.positional().begin(),
+                   args.positional().end());
+      if (files.front().empty()) {
+        print_usage(std::cerr);
+        return 2;
+      }
+      return run_replay(files, oracle, quiet);
+    }
+
+    turbobc::qa::FuzzerOptions options;
+    options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    options.budget = static_cast<int>(args.get_int("budget", 1000));
+    options.max_size_class =
+        static_cast<int>(args.get_int("max-size", turbobc::qa::kMaxSizeClass));
+    options.corpus_dir = args.get("corpus-dir", "");
+    options.oracle = oracle;
+    options.log = quiet ? nullptr : &std::cerr;
+
+    const auto summary = turbobc::qa::run_fuzzer(options);
+    std::cout << "fuzz: " << summary.cases_run << " cases, "
+              << summary.vertices_checked << " vertices / "
+              << summary.arcs_checked << " arcs checked, "
+              << summary.failures.size() << " oracle violation(s)\n";
+    for (const auto& failure : summary.failures) {
+      std::cout << "  " << failure.original.name << ": "
+                << failure.report.primary_invariant();
+      if (!failure.replay_path.empty()) {
+        std::cout << " -> " << failure.replay_path;
+      }
+      std::cout << "\n";
+    }
+    return summary.ok() ? 0 : 1;
+  } catch (const turbobc::Error& e) {
+    std::cerr << "turbobc_fuzz: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,237 @@
+// Property tests: every generator family matches its declared structural
+// signature (header-of-file claims: vertex/arc counts, degree shape, BFS
+// depth) across 32 seeds — not just the single seed the unit tests pin.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "generators/generators.hpp"
+#include "graph/bfs_probe.hpp"
+#include "graph/csc.hpp"
+#include "graph/stats.hpp"
+
+namespace turbobc::gen {
+namespace {
+
+using graph::EdgeList;
+
+constexpr std::uint64_t kSeeds = 32;
+
+bool is_symmetric(const EdgeList& el) {
+  std::set<std::pair<vidx_t, vidx_t>> arcs;
+  for (const auto& e : el.edges()) arcs.insert({e.u, e.v});
+  return std::all_of(el.edges().begin(), el.edges().end(), [&](const auto& e) {
+    return arcs.count({e.v, e.u}) != 0;
+  });
+}
+
+bool is_canonical(const EdgeList& el) {
+  EdgeList copy = el;
+  copy.canonicalize();
+  return copy.edges() == el.edges();
+}
+
+/// Endpoints in range, canonical arc list, and undirected graphs carry both
+/// arc directions — the structural contract every family must satisfy.
+void expect_well_formed(const EdgeList& el, std::uint64_t seed) {
+  for (const auto& e : el.edges()) {
+    ASSERT_GE(e.u, 0) << "seed " << seed;
+    ASSERT_LT(e.u, el.num_vertices()) << "seed " << seed;
+    ASSERT_GE(e.v, 0) << "seed " << seed;
+    ASSERT_LT(e.v, el.num_vertices()) << "seed " << seed;
+  }
+  EXPECT_TRUE(is_canonical(el)) << "seed " << seed;
+  if (!el.directed()) EXPECT_TRUE(is_symmetric(el)) << "seed " << seed;
+}
+
+vidx_t bfs_height(const EdgeList& el, vidx_t source = 0) {
+  return graph::bfs_reference(graph::CscGraph::from_edges(el), source).height;
+}
+
+TEST(GenProperties, ErdosRenyi) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const auto g = erdos_renyi(
+        {.n = 60, .arcs = 240, .directed = seed % 2 == 0, .seed = seed});
+    expect_well_formed(g, seed);
+    EXPECT_EQ(g.num_vertices(), 60);
+    EXPECT_GT(g.num_arcs(), 0);
+    // Target arc count before dedup; the canonical graph can only shrink
+    // (undirected symmetrization can double, hence the factor).
+    EXPECT_LE(g.num_arcs(), 2 * 240);
+    const auto again = erdos_renyi(
+        {.n = 60, .arcs = 240, .directed = seed % 2 == 0, .seed = seed});
+    EXPECT_EQ(g.edges(), again.edges()) << "seed " << seed;
+  }
+}
+
+TEST(GenProperties, Kronecker) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const auto g = kronecker({.scale = 6, .edge_factor = 8, .seed = seed});
+    expect_well_formed(g, seed);
+    EXPECT_EQ(g.num_vertices(), 64);
+    EXPECT_FALSE(g.directed());
+    // Scale-free shape: the hub dominates the mean.
+    const auto s = graph::degree_stats(g);
+    EXPECT_GT(static_cast<double>(s.max), 3.0 * s.mean) << "seed " << seed;
+  }
+}
+
+TEST(GenProperties, SmallWorld) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const auto g =
+        small_world({.n = 64, .k = 6, .rewire_p = 0.1, .seed = seed});
+    expect_well_formed(g, seed);
+    EXPECT_EQ(g.num_vertices(), 64);
+    const auto s = graph::degree_stats(g);
+    EXPECT_NEAR(s.mean, 6.0, 1.0) << "seed " << seed;
+    EXPECT_LT(s.stddev, 3.0) << "seed " << seed;
+  }
+}
+
+TEST(GenProperties, Mycielski) {
+  // Deterministic family: the parameter axis replaces the seed axis.
+  for (int k = 2; k <= 10; ++k) {
+    const auto g = mycielski(k);
+    expect_well_formed(g, static_cast<std::uint64_t>(k));
+    EXPECT_EQ(g.num_vertices(), mycielski_vertices(k)) << k;
+    EXPECT_FALSE(g.directed());
+    if (k >= 4) {
+      // Apex chains keep every BFS shallow.
+      EXPECT_LE(bfs_height(g, g.num_vertices() - 1), 3) << k;
+    }
+  }
+}
+
+TEST(GenProperties, TriangulatedGrid) {
+  for (vidx_t rows = 2; rows < 10; ++rows) {
+    const vidx_t cols = rows + 3;
+    const auto g = triangulated_grid(rows, cols);
+    expect_well_formed(g, static_cast<std::uint64_t>(rows));
+    EXPECT_EQ(g.num_vertices(), rows * cols);
+    EXPECT_LE(graph::degree_stats(g).max, 6) << rows;
+    const auto r = graph::bfs_reference(
+        graph::CscGraph::from_edges(g), 0);
+    EXPECT_EQ(r.reached, g.num_vertices()) << rows;  // connected
+  }
+}
+
+TEST(GenProperties, MarkovLattice) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const auto g =
+        markov_lattice({.length = 16, .width = 5, .seed = seed});
+    expect_well_formed(g, seed);
+    EXPECT_TRUE(g.directed());
+    EXPECT_EQ(g.num_vertices(), 16 * 5);
+    // The stencil advances one level per hop along the length dimension.
+    EXPECT_GE(bfs_height(g), 8) << "seed " << seed;
+  }
+}
+
+TEST(GenProperties, RoadNetwork) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const auto g = road_network({.grid_rows = 4,
+                                 .grid_cols = 4,
+                                 .keep_p = 0.8,
+                                 .subdivisions = 4,
+                                 .seed = seed});
+    expect_well_formed(g, seed);
+    EXPECT_FALSE(g.directed());
+    const auto s = graph::degree_stats(g);
+    EXPECT_NEAR(s.mean, 2.0, 0.5) << "seed " << seed;  // road signature
+    EXPECT_GE(bfs_height(g), 4) << "seed " << seed;    // deep BFS
+  }
+}
+
+TEST(GenProperties, KmerLike) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const auto g = kmer_like(
+        {.chains = 6, .chain_len = 10, .branching = 3, .seed = seed});
+    expect_well_formed(g, seed);
+    const auto s = graph::degree_stats(g);
+    EXPECT_LE(s.max, 2 * 3) << "seed " << seed;  // degree <= 2 * branching
+    EXPECT_NEAR(s.mean, 2.0, 0.5) << "seed " << seed;
+    EXPECT_GE(bfs_height(g), 5) << "seed " << seed;  // chain-deep
+  }
+}
+
+TEST(GenProperties, PreferentialAttachment) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const bool directed = seed % 2 == 1;
+    const auto g = preferential_attachment(
+        {.n = 80, .m_attach = 2, .directed = directed, .seed = seed});
+    expect_well_formed(g, seed);
+    EXPECT_EQ(g.num_vertices(), 80);
+    EXPECT_EQ(g.directed(), directed);
+    // Rich-get-richer: the biggest hub clears the mean by a wide margin.
+    const auto degrees = g.in_degrees();
+    const auto max_in = *std::max_element(degrees.begin(), degrees.end());
+    EXPECT_GT(max_in, 4) << "seed " << seed;
+  }
+}
+
+TEST(GenProperties, SuperhubSocial) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const auto g = superhub_social({.n = 100,
+                                    .out_degree = 6,
+                                    .celebrities = 4,
+                                    .celebrity_p = 0.3,
+                                    .seed = seed});
+    expect_well_formed(g, seed);
+    EXPECT_TRUE(g.directed());
+    EXPECT_EQ(g.num_vertices(), 100);
+    // ~30% of all arcs land on 4 celebrities: extreme in-degree skew.
+    const auto in = g.in_degrees();
+    const auto max_in = *std::max_element(in.begin(), in.end());
+    const double mean_in =
+        static_cast<double>(g.num_arcs()) / g.num_vertices();
+    EXPECT_GT(static_cast<double>(max_in), 3.0 * mean_in) << "seed " << seed;
+  }
+}
+
+TEST(GenProperties, TrafficTrace) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const auto g = traffic_trace({.n = 80, .hubs = 5, .seed = seed});
+    expect_well_formed(g, seed);
+    EXPECT_EQ(g.num_vertices(), 80);
+    // Monitoring-point stars: near-total degree concentration (scf ~ 2).
+    const auto s = graph::degree_stats(g);
+    EXPECT_GT(static_cast<double>(s.max), 5.0 * s.mean) << "seed " << seed;
+  }
+}
+
+TEST(GenProperties, WebCrawl) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const auto g = web_crawl({.n = 100,
+                              .out_degree = 6,
+                              .window = 20,
+                              .seed = seed});
+    expect_well_formed(g, seed);
+    EXPECT_TRUE(g.directed());
+    EXPECT_EQ(g.num_vertices(), 100);
+    const auto s = graph::degree_stats(g);
+    EXPECT_NEAR(s.mean, 6.0, 3.0) << "seed " << seed;
+  }
+}
+
+TEST(GenProperties, RandomLocalDigraph) {
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const auto g = random_local_digraph({.n = 100,
+                                         .mean_out_degree = 4.0,
+                                         .max_out_degree = 20,
+                                         .window = 10,
+                                         .seed = seed});
+    expect_well_formed(g, seed);
+    EXPECT_TRUE(g.directed());
+    EXPECT_EQ(g.num_vertices(), 100);
+    // The out-degree cap is a hard contract of the generator.
+    const auto out = g.out_degrees();
+    EXPECT_LE(*std::max_element(out.begin(), out.end()), 20)
+        << "seed " << seed;
+    // Window-local targets make the BFS deep relative to n.
+    EXPECT_GE(bfs_height(g), 3) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace turbobc::gen

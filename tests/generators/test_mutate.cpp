@@ -1,0 +1,151 @@
+// Mutation-hook tests: determinism, count semantics, and — the load-bearing
+// property for the fuzzer — preservation of the undirected both-arcs
+// invariant under ARBITRARY mutation traces.
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "generators/mutate.hpp"
+#include "generators/random_graphs.hpp"
+#include "generators/small_world.hpp"
+
+namespace turbobc::gen {
+namespace {
+
+using graph::Edge;
+using graph::EdgeList;
+
+/// Every copy of arc (u,v) must be matched by a copy of (v,u).
+bool arc_multiset_symmetric(const EdgeList& el) {
+  std::map<std::pair<vidx_t, vidx_t>, int> count;
+  for (const Edge& e : el.edges()) {
+    if (e.u == e.v) continue;  // self-loops are their own mirror
+    ++count[{e.u, e.v}];
+  }
+  for (const auto& [arc, n] : count) {
+    const auto rev = count.find({arc.second, arc.first});
+    if (rev == count.end() || rev->second != n) return false;
+  }
+  return true;
+}
+
+EdgeList undirected_base(std::uint64_t seed) {
+  return erdos_renyi({.n = 12, .arcs = 30, .directed = false, .seed = seed});
+}
+
+TEST(Mutate, IsDeterministic) {
+  const EdgeList base = undirected_base(1);
+  for (const MutationKind kind : kAllMutationKinds) {
+    const Mutation m{kind, 99, 4};
+    const EdgeList a = apply_mutation(base, m);
+    const EdgeList b = apply_mutation(base, m);
+    EXPECT_EQ(a.edges(), b.edges()) << to_string(kind);
+    EXPECT_EQ(a.num_vertices(), b.num_vertices()) << to_string(kind);
+  }
+}
+
+TEST(Mutate, AddEdgesGrowsArcCount) {
+  const EdgeList base = undirected_base(2);
+  const EdgeList out = apply_mutation(base, {MutationKind::kAddEdges, 5, 6});
+  EXPECT_GE(out.num_arcs(), base.num_arcs());
+  EXPECT_EQ(out.num_vertices(), base.num_vertices());
+}
+
+TEST(Mutate, DropEdgesShrinksArcCount) {
+  const EdgeList base = undirected_base(3);
+  const EdgeList out = apply_mutation(base, {MutationKind::kDropEdges, 5, 4});
+  EXPECT_LT(out.num_arcs(), base.num_arcs());
+  EXPECT_EQ(out.num_vertices(), base.num_vertices());
+}
+
+TEST(Mutate, AddIsolatedGrowsOnlyVertices) {
+  const EdgeList base = undirected_base(4);
+  const EdgeList out = apply_mutation(base, {MutationKind::kAddIsolated, 0, 3});
+  EXPECT_EQ(out.num_vertices(), base.num_vertices() + 3);
+  EXPECT_EQ(out.edges(), base.edges());
+}
+
+TEST(Mutate, DisconnectedUnionAddsUnreachableComponent) {
+  const EdgeList base = undirected_base(5);
+  const EdgeList out =
+      apply_mutation(base, {MutationKind::kDisconnectedUnion, 7, 4});
+  EXPECT_EQ(out.num_vertices(), base.num_vertices() + 4);
+  // No arc crosses from the original vertex range into the new component.
+  for (const Edge& e : out.edges()) {
+    const bool u_old = e.u < base.num_vertices();
+    const bool v_old = e.v < base.num_vertices();
+    EXPECT_EQ(u_old, v_old) << e.u << "->" << e.v;
+  }
+}
+
+TEST(Mutate, SelfLoopsAndDuplicatesVanishUnderCanonicalize) {
+  EdgeList base = undirected_base(6);
+  EdgeList out = apply_mutation(base, {MutationKind::kAddSelfLoops, 8, 5});
+  out = apply_mutation(out, {MutationKind::kDuplicateEdges, 9, 5});
+  EXPECT_GT(out.num_arcs(), base.num_arcs());
+  out.canonicalize();
+  base.canonicalize();
+  EXPECT_EQ(out.edges(), base.edges());
+}
+
+TEST(Mutate, SkewDegreesConcentratesOnAHub) {
+  const EdgeList base = undirected_base(7);
+  const EdgeList out =
+      apply_mutation(base, {MutationKind::kSkewDegrees, 11, 8});
+  EXPECT_GE(out.num_arcs(), base.num_arcs());
+  EXPECT_TRUE(arc_multiset_symmetric(out));
+}
+
+TEST(Mutate, CountSaturatesPastGraphSize) {
+  const EdgeList base = undirected_base(8);
+  // Dropping far more edges than exist must not throw or underflow.
+  const EdgeList out =
+      apply_mutation(base, {MutationKind::kDropEdges, 3, 10000});
+  EXPECT_GE(out.num_arcs(), 0);
+}
+
+TEST(Mutate, EmptyGraphSurvivesEveryKind) {
+  const EdgeList empty(0, true);
+  for (const MutationKind kind : kAllMutationKinds) {
+    const EdgeList out = apply_mutation(empty, {kind, 1, 2});
+    SUCCEED() << to_string(kind);
+    EXPECT_GE(out.num_vertices(), 0);
+  }
+}
+
+// The regression the first fuzz run caught: duplicate_edges copying one arc
+// of an undirected pair let a later drop_edges strip the only reverse copy,
+// leaving an "undirected" graph with asymmetric arcs.
+TEST(Mutate, UndirectedInvariantSurvivesDuplicateThenDrop) {
+  const EdgeList base = undirected_base(9);
+  EdgeList g = apply_mutation(base, {MutationKind::kDuplicateEdges, 1, 6});
+  ASSERT_TRUE(arc_multiset_symmetric(g));
+  g = apply_mutation(g, {MutationKind::kDropEdges, 2, 8});
+  EXPECT_TRUE(arc_multiset_symmetric(g));
+  g.canonicalize();
+  EXPECT_TRUE(arc_multiset_symmetric(g));
+}
+
+TEST(Mutate, UndirectedInvariantSurvivesRandomTraces) {
+  Xoshiro256 rng(42);
+  for (int trial = 0; trial < 40; ++trial) {
+    EdgeList g = small_world({.n = 16, .k = 4, .seed = rng()});
+    std::vector<Mutation> trace;
+    const int len = static_cast<int>(1 + rng.uniform(6));
+    for (int i = 0; i < len; ++i) {
+      trace.push_back({kAllMutationKinds[rng.uniform(
+                           std::size(kAllMutationKinds))],
+                       rng(), static_cast<vidx_t>(1 + rng.uniform(5))});
+    }
+    const EdgeList mutated = apply_mutations(g, trace);
+    ASSERT_TRUE(arc_multiset_symmetric(mutated)) << "trial " << trial;
+    EXPECT_FALSE(mutated.directed());
+  }
+}
+
+}  // namespace
+}  // namespace turbobc::gen

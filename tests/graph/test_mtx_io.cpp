@@ -111,6 +111,107 @@ TEST(MtxIo, RejectsTruncatedStream) {
   EXPECT_THROW(read_matrix_market(in), InvalidArgument);
 }
 
+// Hardening paths: each rejection throws ParseError with the offending
+// 1-based line number (ParseError derives from InvalidArgument, so the
+// generic expectations above still hold too).
+
+ParseError capture_parse_error(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    read_matrix_market(in);
+  } catch (const ParseError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "expected ParseError for: " << text;
+  return ParseError("unreached");
+}
+
+TEST(MtxIoHardening, RejectsNegativeDimensionsWithLineNumber) {
+  const ParseError e = capture_parse_error(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "-3 -3 1\n"
+      "1 1\n");
+  EXPECT_EQ(e.line_number(), 2u);
+  EXPECT_NE(std::string(e.what()).find("negative"), std::string::npos);
+}
+
+TEST(MtxIoHardening, RejectsDimensionOverflowingVertexIndex) {
+  // 2^31 does not fit the 32-bit vidx_t; before hardening this silently
+  // truncated in a static_cast.
+  const ParseError e = capture_parse_error(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2147483648 2147483648 0\n");
+  EXPECT_EQ(e.line_number(), 2u);
+  EXPECT_NE(std::string(e.what()).find("overflows"), std::string::npos);
+}
+
+TEST(MtxIoHardening, RejectsDimensionOverflowingLongLong) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "99999999999999999999999999 99999999999999999999999999 0\n");
+  EXPECT_THROW(read_matrix_market(in), ParseError);
+}
+
+TEST(MtxIoHardening, RejectsMalformedSizeLine) {
+  const ParseError e = capture_parse_error(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "three three 0\n");
+  EXPECT_EQ(e.line_number(), 2u);
+}
+
+TEST(MtxIoHardening, RejectsTruncatedEntryLine) {
+  const ParseError e = capture_parse_error(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3 2\n"
+      "1 2\n"
+      "3\n");
+  EXPECT_EQ(e.line_number(), 4u);
+}
+
+TEST(MtxIoHardening, RejectsEntryMissingRequiredValue) {
+  const ParseError e = capture_parse_error(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 2\n");
+  EXPECT_EQ(e.line_number(), 3u);
+  EXPECT_NE(std::string(e.what()).find("value"), std::string::npos);
+}
+
+TEST(MtxIoHardening, RejectsZeroIndexedEntry) {
+  const ParseError e = capture_parse_error(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "0 1\n");
+  EXPECT_EQ(e.line_number(), 3u);
+}
+
+TEST(MtxIoHardening, OutOfRangeEntryReportsItsLine) {
+  const ParseError e = capture_parse_error(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "% comment shifts the entry lines down\n"
+      "2 2 2\n"
+      "1 2\n"
+      "1 5\n");
+  EXPECT_EQ(e.line_number(), 5u);
+}
+
+TEST(MtxIoHardening, HeaderErrorsReportLineOne) {
+  const ParseError e = capture_parse_error(
+      "%%MatrixMarket matrix coordinate complex general\n"
+      "2 2 0\n");
+  EXPECT_EQ(e.line_number(), 1u);
+}
+
+TEST(MtxIoHardening, EmptyStreamReportsNoLine) {
+  std::istringstream in("");
+  try {
+    read_matrix_market(in);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line_number(), 0u);
+  }
+}
+
 TEST(MtxIo, RoundTripsDirectedGraph) {
   const auto el = gen::erdos_renyi({.n = 40, .arcs = 200, .directed = true,
                                     .seed = 9});

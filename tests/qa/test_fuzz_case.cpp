@@ -1,0 +1,168 @@
+// FuzzCase construction, the .fuzz text format, and its rejection paths.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "qa/fuzz_case.hpp"
+
+namespace turbobc::qa {
+namespace {
+
+TEST(FuzzCase, BuildGraphIsDeterministic) {
+  for (const Family family : kGeneratorFamilies) {
+    FuzzCase c;
+    c.family = family;
+    c.seed = 77;
+    c.size_class = 0;
+    const auto a = build_graph(c);
+    const auto b = build_graph(c);
+    EXPECT_EQ(a.edges(), b.edges()) << to_string(family);
+    EXPECT_EQ(a.num_vertices(), b.num_vertices()) << to_string(family);
+    EXPECT_GT(a.num_vertices(), 0) << to_string(family);
+  }
+}
+
+TEST(FuzzCase, SizeClassesGrow) {
+  FuzzCase c;
+  c.family = Family::kErdosRenyi;
+  c.seed = 5;
+  c.size_class = 0;
+  const auto tiny = build_graph(c);
+  c.size_class = kMaxSizeClass;
+  const auto medium = build_graph(c);
+  EXPECT_GT(medium.num_vertices(), tiny.num_vertices());
+}
+
+TEST(FuzzCase, EverySeedBuildsEveryFamily) {
+  // The fuzzer derives family parameters from arbitrary u64 seeds; no
+  // derived parameter may ever violate a generator's TBC_CHECK contract.
+  for (const Family family : kGeneratorFamilies) {
+    for (std::uint64_t seed = 0; seed < 16; ++seed) {
+      FuzzCase c;
+      c.family = family;
+      c.seed = seed * 0x9e3779b97f4a7c15ULL + seed;
+      c.size_class = static_cast<int>(seed % (kMaxSizeClass + 1));
+      EXPECT_NO_THROW(build_graph(c))
+          << to_string(family) << " seed " << c.seed;
+    }
+  }
+}
+
+TEST(FuzzCase, GeneratorCaseRoundTripsThroughText) {
+  FuzzCase c;
+  c.name = "roundtrip";
+  c.family = Family::kSmallWorld;
+  c.seed = 123456789;
+  c.size_class = 1;
+  c.mutations.push_back({gen::MutationKind::kAddEdges, 7, 3});
+  c.mutations.push_back({gen::MutationKind::kDisconnectedUnion, 8, 4});
+
+  std::ostringstream out;
+  write_fuzz_case(out, c);
+  std::istringstream in(out.str());
+  const FuzzCase back = read_fuzz_case(in);
+  EXPECT_EQ(back, c);
+  EXPECT_EQ(build_graph(back).edges(), build_graph(c).edges());
+}
+
+TEST(FuzzCase, ExplicitCaseRoundTripsThroughText) {
+  graph::EdgeList g(4, true);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 0);
+  const FuzzCase c = explicit_case(g, "explicit-roundtrip");
+
+  std::ostringstream out;
+  write_fuzz_case(out, c);
+  std::istringstream in(out.str());
+  const FuzzCase back = read_fuzz_case(in);
+  EXPECT_EQ(back, c);
+  EXPECT_EQ(build_graph(back).edges(), g.edges());
+}
+
+TEST(FuzzCase, FileRoundTrip) {
+  FuzzCase c;
+  c.family = Family::kGrid;
+  c.seed = 3;
+  const std::string path = ::testing::TempDir() + "/turbobc_case.fuzz";
+  write_fuzz_case_file(path, c);
+  EXPECT_EQ(read_fuzz_case_file(path), c);
+}
+
+TEST(FuzzCase, CommentsAndBlankLinesAreIgnored) {
+  std::istringstream in(
+      "turbobc.fuzz.v1\n"
+      "# header comment\n"
+      "\n"
+      "family grid\n"
+      "# interleaved\n"
+      "seed 9\n"
+      "end\n");
+  const FuzzCase c = read_fuzz_case(in);
+  EXPECT_EQ(c.family, Family::kGrid);
+  EXPECT_EQ(c.seed, 9u);
+}
+
+ParseError capture(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    read_fuzz_case(in);
+  } catch (const ParseError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "expected ParseError for: " << text;
+  return ParseError("unreached");
+}
+
+void expect_rejected(const std::string& text) {
+  std::istringstream in(text);
+  EXPECT_THROW(read_fuzz_case(in), ParseError) << text;
+}
+
+TEST(FuzzCaseErrors, MissingHeader) {
+  EXPECT_EQ(capture("family grid\nend\n").line_number(), 1u);
+}
+
+TEST(FuzzCaseErrors, UnknownFamily) {
+  const auto e = capture("turbobc.fuzz.v1\nfamily nosuch\nend\n");
+  EXPECT_EQ(e.line_number(), 2u);
+}
+
+TEST(FuzzCaseErrors, SizeClassOutOfRange) {
+  expect_rejected("turbobc.fuzz.v1\nfamily grid\nsize 9\nend\n");
+}
+
+TEST(FuzzCaseErrors, ArcOutOfRange) {
+  const auto e = capture(
+      "turbobc.fuzz.v1\n"
+      "family explicit\n"
+      "vertices 2\n"
+      "arc 0 5\n"
+      "end\n");
+  EXPECT_EQ(e.line_number(), 4u);
+}
+
+TEST(FuzzCaseErrors, ArcBeforeVertexCount) {
+  // explicit_n defaults to 0, so any arc is out of range until `vertices`.
+  expect_rejected("turbobc.fuzz.v1\nfamily explicit\narc 0 1\nend\n");
+}
+
+TEST(FuzzCaseErrors, MalformedMutation) {
+  expect_rejected("turbobc.fuzz.v1\nfamily grid\nmutation bogus 1 1\nend\n");
+}
+
+TEST(FuzzCaseErrors, UnknownKey) {
+  expect_rejected("turbobc.fuzz.v1\nfamily grid\nwhat 1\nend\n");
+}
+
+TEST(FuzzCaseErrors, MissingEnd) {
+  expect_rejected("turbobc.fuzz.v1\nfamily grid\nseed 1\n");
+}
+
+TEST(FuzzCaseErrors, MissingFamily) {
+  expect_rejected("turbobc.fuzz.v1\nseed 1\nend\n");
+}
+
+}  // namespace
+}  // namespace turbobc::qa

@@ -1,0 +1,147 @@
+// The invariant oracle itself: clean graphs must pass every check, the
+// analytic footprint helpers must match the paper's model, and a graph
+// violating a library precondition must surface as a violation rather
+// than an exception.
+#include <gtest/gtest.h>
+
+#include "core/footprint.hpp"
+#include "generators/generators.hpp"
+#include "qa/oracle.hpp"
+
+namespace turbobc::qa {
+namespace {
+
+using graph::EdgeList;
+
+TEST(Oracle, CleanUndirectedGraphPasses) {
+  const auto g =
+      gen::erdos_renyi({.n = 24, .arcs = 80, .directed = false, .seed = 4});
+  const OracleReport r = check_graph(g);
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_EQ(r.vertices, 24);
+  EXPECT_GT(r.arcs, 0);
+}
+
+TEST(Oracle, CleanDirectedGraphPasses) {
+  const auto g = gen::markov_lattice({.length = 6, .width = 3, .seed = 5});
+  const OracleReport r = check_graph(g);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(Oracle, EmptyGraphPasses) {
+  const OracleReport r = check_graph(EdgeList(0, true));
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_EQ(r.vertices, 0);
+  EXPECT_EQ(r.arcs, 0);
+}
+
+TEST(Oracle, SingleVertexPasses) {
+  const OracleReport r = check_graph(EdgeList(1, false));
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(Oracle, DisconnectedGraphPasses) {
+  // Two components plus isolated vertices: unreachable-vertex handling in
+  // every implementation, the depth -1 convention, zero contributions.
+  EdgeList g(9, false);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);
+  g.add_edge(4, 5);
+  g.add_edge(5, 4);
+  const OracleReport r = check_graph(g);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(Oracle, SelfLoopsAndDuplicatesAreCanonicalizedAway) {
+  EdgeList g(4, true);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);  // duplicate
+  g.add_edge(1, 1);  // self-loop
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const OracleReport r = check_graph(g);
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_EQ(r.arcs, 3);  // canonical shape is what the oracle reports
+}
+
+TEST(Oracle, PreconditionViolatingGraphReportsInsteadOfThrowing) {
+  // An "undirected" graph missing the reverse arc breaks the EdgeList
+  // contract; implementations disagree or throw, and the oracle must
+  // convert that into a report, never propagate.
+  EdgeList g(3, false);
+  g.add_edge(0, 1);  // no (1, 0)
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);
+  const OracleReport r = check_graph(g);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.primary_invariant().empty());
+}
+
+TEST(Oracle, ReportSummaryNamesInvariants) {
+  EdgeList g(3, false);
+  g.add_edge(0, 1);
+  const OracleReport r = check_graph(g);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.summary().find(r.primary_invariant()), std::string::npos);
+}
+
+TEST(Oracle, TolerantOptionsStillCatchAsymmetry) {
+  // The violation is structural, not numeric: loosening the tolerance must
+  // not make a broken graph pass.
+  EdgeList g(2, false);
+  g.add_edge(1, 0);
+  OracleOptions opt;
+  opt.tolerance = 1e-2;
+  EXPECT_FALSE(check_graph(g, opt).ok());
+}
+
+// Footprint helpers vs the paper's word model (footprint.hpp counts 4-byte
+// words: TurboBC 7n + m, gunrock-like 9n + 2m).
+
+TEST(OracleFootprint, CscPeakMatchesPaperModelPlusCpaEntry) {
+  const vidx_t n = 100;
+  const eidx_t m = 400;
+  // CSC structure stores n+1 offsets, the model counts n: exactly one
+  // extra 4-byte word separates the two.
+  EXPECT_EQ(expected_turbobc_peak_bytes(bc::Variant::kScCsc, n, m, false),
+            bc::turbobc_model_bytes(n, m) + 4);
+  EXPECT_EQ(expected_turbobc_peak_bytes(bc::Variant::kVeCsc, n, m, false),
+            bc::turbobc_model_bytes(n, m) + 4);
+}
+
+TEST(OracleFootprint, CoocPeakSwapsCscForCoordinatePair) {
+  const vidx_t n = 100;
+  const eidx_t m = 400;
+  // COOC stores 2m coordinates instead of (n+1) + m CSC words.
+  const auto csc = expected_turbobc_peak_bytes(bc::Variant::kScCsc, n, m, false);
+  const auto cooc =
+      expected_turbobc_peak_bytes(bc::Variant::kScCooc, n, m, false);
+  EXPECT_EQ(cooc, csc - 4 * (static_cast<std::size_t>(n) + 1) + 4 * m);
+}
+
+TEST(OracleFootprint, EdgeBcAddsOneWordPerArc) {
+  const vidx_t n = 50;
+  const eidx_t m = 200;
+  for (const auto v :
+       {bc::Variant::kScCooc, bc::Variant::kScCsc, bc::Variant::kVeCsc}) {
+    EXPECT_EQ(expected_turbobc_peak_bytes(v, n, m, true),
+              expected_turbobc_peak_bytes(v, n, m, false) + 4 * m);
+  }
+}
+
+TEST(OracleFootprint, GunrockInventoryDominatesItsModel) {
+  const vidx_t n = 100;
+  const eidx_t m = 400;
+  // The actual baseline inventory carries the CSR/CSC +1 offsets, a queue
+  // counter, and m words of load-balancing scratch beyond the 9n + 2m model.
+  EXPECT_GT(expected_gunrock_inventory_bytes(n, m),
+            bc::gunrock_model_bytes(n, m));
+  EXPECT_EQ(expected_gunrock_inventory_bytes(n, m),
+            bc::gunrock_model_bytes(n, m) + 4 * (2 + 1) + 4 * m +
+                4 * static_cast<std::size_t>(n));
+}
+
+}  // namespace
+}  // namespace turbobc::qa

@@ -1,0 +1,125 @@
+// Golden-file regression tests: turbobc_cli text and JSON output pinned
+// byte-for-byte on two fixed graphs (mycielski order 6 and an 8x8
+// triangulated grid — both fully deterministic).
+//
+// On an intentional output change, regenerate with
+//   TURBOBC_UPDATE_GOLDEN=1 ./test_tools --gtest_filter='GoldenCli.*'
+// and review the diff under tests/golden/.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "tools/commands.hpp"
+
+namespace turbobc::tools {
+namespace {
+
+std::string run_ok(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "turbobc_cli");
+  const CliArgs args(static_cast<int>(argv.size()), argv.data());
+  std::ostringstream out, err;
+  const int code = run_cli(args, out, err);
+  EXPECT_EQ(code, 0) << err.str();
+  return out.str();
+}
+
+std::string golden_path(const char* name) {
+  return std::string(TURBOBC_TESTS_DIR) + "/golden/" + name;
+}
+
+void expect_matches_golden(const std::string& actual, const char* name) {
+  const std::string path = golden_path(name);
+  if (std::getenv("TURBOBC_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream f(path, std::ios::binary);
+    f << actual;
+    SUCCEED() << "regenerated " << path;
+    return;
+  }
+  std::ifstream f(path, std::ios::binary);
+  ASSERT_TRUE(f.good()) << "missing golden file " << path
+                        << " (set TURBOBC_UPDATE_GOLDEN=1 to create)";
+  std::stringstream expected;
+  expected << f.rdbuf();
+  EXPECT_EQ(actual, expected.str()) << "output drifted from " << name;
+}
+
+std::string mycielski_graph() {
+  static const std::string path = [] {
+    const std::string p = ::testing::TempDir() + "/golden_mycielski.mtx";
+    run_ok({"generate", "--family", "mycielski", "--order", "6", "--out",
+            p.c_str()});
+    return p;
+  }();
+  return path;
+}
+
+std::string grid_graph() {
+  static const std::string path = [] {
+    const std::string p = ::testing::TempDir() + "/golden_grid.mtx";
+    run_ok({"generate", "--family", "grid", "--rows", "8", "--cols", "8",
+            "--out", p.c_str()});
+    return p;
+  }();
+  return path;
+}
+
+TEST(GoldenCli, StatsTextMycielski) {
+  const auto g = mycielski_graph();
+  expect_matches_golden(run_ok({"stats", g.c_str()}),
+                        "stats_mycielski6.txt.golden");
+}
+
+TEST(GoldenCli, StatsJsonMycielski) {
+  const auto g = mycielski_graph();
+  expect_matches_golden(run_ok({"stats", g.c_str(), "--json"}),
+                        "stats_mycielski6.json.golden");
+}
+
+TEST(GoldenCli, StatsTextGrid) {
+  const auto g = grid_graph();
+  expect_matches_golden(run_ok({"stats", g.c_str()}),
+                        "stats_grid8x8.txt.golden");
+}
+
+TEST(GoldenCli, StatsJsonGrid) {
+  const auto g = grid_graph();
+  expect_matches_golden(run_ok({"stats", g.c_str(), "--json"}),
+                        "stats_grid8x8.json.golden");
+}
+
+TEST(GoldenCli, BcExactTextMycielski) {
+  const auto g = mycielski_graph();
+  expect_matches_golden(
+      run_ok({"bc", g.c_str(), "--exact", "--edge-bc", "--verify", "--top",
+              "5"}),
+      "bc_mycielski6.txt.golden");
+}
+
+TEST(GoldenCli, BcExactJsonMycielski) {
+  const auto g = mycielski_graph();
+  expect_matches_golden(
+      run_ok({"bc", g.c_str(), "--exact", "--edge-bc", "--verify", "--top",
+              "5", "--json"}),
+      "bc_mycielski6.json.golden");
+}
+
+TEST(GoldenCli, BcSingleSourceTextGrid) {
+  const auto g = grid_graph();
+  expect_matches_golden(
+      run_ok({"bc", g.c_str(), "--source", "9", "--verify", "--top", "5"}),
+      "bc_grid8x8.txt.golden");
+}
+
+TEST(GoldenCli, BcSingleSourceJsonGrid) {
+  const auto g = grid_graph();
+  expect_matches_golden(
+      run_ok({"bc", g.c_str(), "--source", "9", "--verify", "--top", "5",
+              "--json"}),
+      "bc_grid8x8.json.golden");
+}
+
+}  // namespace
+}  // namespace turbobc::tools
