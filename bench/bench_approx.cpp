@@ -1,0 +1,284 @@
+// Adaptive approximate-BC benchmark: BENCH_approx.json.
+//
+// Two rows, one per claim:
+//
+//  * grounding — a small undirected Erdos-Renyi graph where TRUE exact BC
+//    is cheap (TurboBC::run_exact). Checks the statistical contract
+//    directly: every vertex's exact BC must lie inside the reported
+//    confidence interval. At this size the Hoeffding/Bernstein sample
+//    requirement exceeds n, so the run honestly reports converged = false
+//    after spending its full pivot budget — the intervals must hold anyway.
+//  * acceptance — a scale-free preferential-attachment graph (default
+//    n = 50k) at epsilon 0.05 / delta 0.1. Exact cost is projected from
+//    --pivots evenly-spread sources run through the SAME batched engine
+//    (modeled seconds x n/pivots), so the speedup ratio cancels engine
+//    overheads. The row must stop at < 20% of sources with >= 4x modeled
+//    speedup; the binary exits nonzero otherwise.
+//
+//   bench_approx [--n 50000] [--epsilon 0.05] [--delta 0.1] [--seed 1]
+//                [--batch 32] [--pivots 256] [--small-n 600] [--threads N]
+//                [--out BENCH_approx.json]
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "approx/driver.hpp"
+#include "bench_support/stamp.hpp"
+#include "common/cli.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/turbobc.hpp"
+#include "core/turbobc_batched.hpp"
+#include "generators/generators.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
+
+namespace {
+
+using namespace turbobc;
+
+struct ApproxBenchRow {
+  std::string name;
+  vidx_t n = 0;
+  eidx_t m = 0;
+  std::string engine;
+  std::string sampler;
+  double epsilon = 0.0;
+  double delta = 0.0;
+  vidx_t sources_used = 0;
+  vidx_t exact_sources = 0;     // n: what exact BC would have run
+  double fraction = 0.0;        // sources_used / n
+  bool converged = false;
+  double approx_modeled_s = 0.0;
+  double exact_modeled_s = 0.0;
+  bool exact_projected = false;  // true when exact cost is extrapolated
+  double speedup = 0.0;          // exact_modeled_s / approx_modeled_s
+  double max_rel_half_width = 0.0;
+  bool coverage_checked = false;  // true when exact BC was available
+  bool coverage_ok = false;
+};
+
+void write_approx_json(std::ostream& os, const bench::BenchStamp& stamp,
+                       const std::vector<ApproxBenchRow>& rows) {
+  os << "{\n";
+  bench::write_stamp_json(os, stamp);
+  os << ",\n\"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    os << "  {\"graph\": \"" << r.name << "\", \"n\": " << r.n
+       << ", \"m\": " << r.m << ", \"engine\": \"" << r.engine
+       << "\", \"sampler\": \"" << r.sampler
+       << "\", \"epsilon\": " << r.epsilon << ", \"delta\": " << r.delta
+       << ", \"sources_used\": " << r.sources_used
+       << ", \"exact_sources\": " << r.exact_sources
+       << ", \"fraction\": " << r.fraction << ", \"converged\": "
+       << (r.converged ? "true" : "false")
+       << ", \"approx_modeled_s\": " << r.approx_modeled_s
+       << ", \"exact_modeled_s\": " << r.exact_modeled_s
+       << ", \"exact_projected\": " << (r.exact_projected ? "true" : "false")
+       << ", \"speedup\": " << r.speedup
+       << ", \"max_rel_half_width\": " << r.max_rel_half_width
+       << ", \"coverage_checked\": " << (r.coverage_checked ? "true" : "false")
+       << ", \"coverage_ok\": " << (r.coverage_ok ? "true" : "false") << "}"
+       << (i + 1 < rows.size() ? "," : "") << '\n';
+  }
+  os << "]\n}\n";
+}
+
+void print_rows(std::ostream& os, const std::vector<ApproxBenchRow>& rows) {
+  Table t({"graph", "n", "m", "engine", "pivots", "frac", "converged",
+           "approx(s)", "exact(s)", "speedup", "rel-hw", "coverage"});
+  for (const auto& r : rows) {
+    t.add_row({r.name, human_count(static_cast<double>(r.n)),
+               human_count(static_cast<double>(r.m)), r.engine,
+               std::to_string(r.sources_used), fixed(r.fraction * 100, 1) + "%",
+               r.converged ? "yes" : "no", fixed(r.approx_modeled_s, 4),
+               fixed(r.exact_modeled_s, 4) + (r.exact_projected ? "*" : ""),
+               fixed(r.speedup, 1) + "x", fixed(r.max_rel_half_width, 4),
+               !r.coverage_checked ? "-" : (r.coverage_ok ? "yes" : "NO")});
+  }
+  t.print(os);
+  os << "  (* exact cost projected from evenly-spread pivots)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace turbobc;
+  using namespace turbobc::bench;
+
+  const CliArgs args(argc, argv);
+  const vidx_t n = static_cast<vidx_t>(args.get_int("n", 50000));
+  const double epsilon = args.get_double("epsilon", 0.05);
+  const double delta = args.get_double("delta", 0.1);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto batch = static_cast<vidx_t>(args.get_int("batch", 32));
+  const auto pivots = static_cast<vidx_t>(args.get_int("pivots", 256));
+  const vidx_t small_n = static_cast<vidx_t>(args.get_int("small-n", 600));
+  const int threads = static_cast<int>(args.get_int("threads", 0));
+  if (threads > 0) {
+    sim::ExecutorPool::instance().set_threads(static_cast<unsigned>(threads));
+  }
+
+  WallTimer run_timer;
+  std::vector<ApproxBenchRow> rows;
+
+  // Row 1: grounding on a graph small enough for true exact BC.
+  {
+    gen::ErdosRenyiParams er;
+    er.n = small_n;
+    er.arcs = static_cast<eidx_t>(small_n) * 5;
+    er.directed = false;
+    er.seed = 3;
+    const graph::EdgeList g = gen::erdos_renyi(er);
+    std::cerr << "  [approx] er-" << small_n << " exact ..." << std::flush;
+
+    ApproxBenchRow row;
+    row.name = "er-" + std::to_string(small_n);
+    row.n = g.num_vertices();
+    row.m = g.num_arcs();
+    row.epsilon = epsilon;
+    row.delta = delta;
+    row.exact_sources = row.n;
+
+    double exact_s = 0.0;
+    std::vector<bc_t> exact_bc;
+    {
+      sim::Device device;
+      device.set_keep_launch_records(false);
+      bc::TurboBC turbo(device, g, {.variant = bc::Variant::kScCsc});
+      const bc::BcResult r = turbo.run_exact();
+      exact_s = r.device_seconds;
+      exact_bc = r.bc;
+    }
+    std::cerr << " approx ..." << std::flush;
+
+    approx::ApproxOptions aopt;
+    aopt.epsilon = epsilon;
+    aopt.delta = delta;
+    aopt.seed = seed;
+    aopt.sampler = approx::SamplerKind::kUniform;
+    aopt.engine = approx::Engine::kScalar;
+    aopt.variant = bc::Variant::kScCsc;
+    sim::Device device;
+    device.set_keep_launch_records(false);
+    const approx::ApproxResult a = approx::run_adaptive(device, g, aopt);
+
+    row.engine = approx::engine_name(aopt.engine);
+    row.sampler = approx::sampler_name(aopt.sampler);
+    row.sources_used = a.sources_used;
+    row.fraction = static_cast<double>(a.sources_used) / row.n;
+    row.converged = a.converged;
+    row.approx_modeled_s = a.device_seconds;
+    row.exact_modeled_s = exact_s;
+    row.speedup = a.device_seconds > 0 ? exact_s / a.device_seconds : 0.0;
+    row.max_rel_half_width = a.max_half_width / a.norm;
+    row.coverage_checked = true;
+    row.coverage_ok = true;
+    for (vidx_t v = 0; v < row.n; ++v) {
+      const double err = std::abs(static_cast<double>(exact_bc[v]) -
+                                  static_cast<double>(a.bc[v]));
+      if (!(err <= a.half_width[v] + 1e-9 * a.norm)) row.coverage_ok = false;
+    }
+    std::cerr << " done (" << a.sources_used << " pivots, coverage "
+              << (row.coverage_ok ? "ok" : "VIOLATED") << ")\n";
+    rows.push_back(row);
+  }
+
+  // Row 2: acceptance at scale — scale-free graph, projected exact cost.
+  {
+    gen::PreferentialParams pa;
+    pa.n = n;
+    pa.m_attach = 4;
+    pa.directed = false;
+    pa.seed = 9;
+    const graph::EdgeList g = gen::preferential_attachment(pa);
+
+    ApproxBenchRow row;
+    row.name = "pref-" + std::to_string(n);
+    row.n = g.num_vertices();
+    row.m = g.num_arcs();
+    row.epsilon = epsilon;
+    row.delta = delta;
+    row.exact_sources = row.n;
+
+    // Projected exact cost: --pivots evenly-spread sources through the same
+    // batched engine, scaled to all n sources.
+    std::cerr << "  [approx] " << row.name << " exact projection ("
+              << pivots << " pivots) ..." << std::flush;
+    std::vector<vidx_t> spread;
+    spread.reserve(pivots);
+    for (vidx_t i = 0; i < pivots; ++i) {
+      spread.push_back(static_cast<vidx_t>(
+          static_cast<std::uint64_t>(i) * row.n / pivots));
+    }
+    double exact_s = 0.0;
+    {
+      sim::Device device;
+      device.set_keep_launch_records(false);
+      bc::TurboBCBatched turbo(device, g, {.batch_size = batch});
+      const bc::BcResult r = turbo.run_sources(spread);
+      exact_s = r.device_seconds * (static_cast<double>(row.n) / pivots);
+    }
+    std::cerr << " approx ..." << std::flush;
+
+    approx::ApproxOptions aopt;
+    aopt.epsilon = epsilon;
+    aopt.delta = delta;
+    aopt.seed = seed;
+    aopt.sampler = approx::SamplerKind::kUniform;
+    aopt.engine = approx::Engine::kBatched;
+    aopt.variant = bc::Variant::kScCsc;
+    aopt.batch_size = batch;
+    sim::Device device;
+    device.set_keep_launch_records(false);
+    const approx::ApproxResult a = approx::run_adaptive(device, g, aopt);
+
+    row.engine = approx::engine_name(aopt.engine);
+    row.sampler = approx::sampler_name(aopt.sampler);
+    row.sources_used = a.sources_used;
+    row.fraction = static_cast<double>(a.sources_used) / row.n;
+    row.converged = a.converged;
+    row.approx_modeled_s = a.device_seconds;
+    row.exact_modeled_s = exact_s;
+    row.exact_projected = true;
+    row.speedup = a.device_seconds > 0 ? exact_s / a.device_seconds : 0.0;
+    row.max_rel_half_width = a.max_half_width / a.norm;
+    std::cerr << " done (" << a.sources_used << " pivots, "
+              << fixed(row.fraction * 100, 1) << "% of n, speedup "
+              << fixed(row.speedup, 1) << "x)\n";
+    rows.push_back(row);
+  }
+
+  std::cout << "Adaptive approximate BC: epsilon " << epsilon << ", delta "
+            << delta << ", seed " << seed << "\n";
+  print_rows(std::cout, rows);
+
+  const std::string out_path = args.get("out", "BENCH_approx.json");
+  std::ofstream json(out_path);
+  write_approx_json(json, make_stamp(seed, run_timer.seconds()), rows);
+  std::cout << "\nwrote " << out_path << '\n';
+
+  int rc = 0;
+  if (!rows[0].coverage_ok) {
+    std::cerr << "ERROR: grounding row violated its confidence intervals\n";
+    rc = 1;
+  }
+  if (rows[1].converged && rows[1].fraction >= 0.20) {
+    std::cerr << "ERROR: acceptance row stopped at " << rows[1].fraction * 100
+              << "% of sources (need < 20%)\n";
+    rc = 1;
+  }
+  if (!rows[1].converged) {
+    std::cerr << "ERROR: acceptance row did not converge within budget\n";
+    rc = 1;
+  }
+  if (rows[1].speedup < 4.0) {
+    std::cerr << "ERROR: acceptance row modeled speedup " << rows[1].speedup
+              << "x (need >= 4x)\n";
+    rc = 1;
+  }
+  return rc;
+}

@@ -20,6 +20,7 @@
 
 #include "bench_support/runner.hpp"
 #include "common/cli.hpp"
+#include "common/timer.hpp"
 #include "generators/generators.hpp"
 
 int main(int argc, char** argv) {
@@ -63,6 +64,7 @@ int main(int argc, char** argv) {
                        .graph = gen::erdos_renyi(er),
                        .variant = bc::Variant::kScCsc});
 
+  WallTimer run_timer;
   std::vector<HostParallelRow> rows;
   for (const Workload& w : workloads) {
     std::cerr << "  [parallel] " << w.name << " ..." << std::flush;
@@ -78,7 +80,9 @@ int main(int argc, char** argv) {
 
   const std::string out_path = args.get("out", "BENCH_parallel.json");
   std::ofstream json(out_path);
-  write_parallel_json(json, rows);
+  BenchStamp stamp = make_stamp(kron.seed, run_timer.seconds());
+  stamp.threads = rows.front().threads;  // pool is back at width 1 by now
+  write_parallel_json(json, stamp, rows);
   std::cout << "\nwrote " << out_path << '\n';
 
   for (const auto& r : rows) {

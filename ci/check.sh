@@ -30,6 +30,24 @@ run_config() {
   echo "=== [$name] fuzz-smoke ==="
   "$dir/src/tools/turbobc_fuzz" --seed 1 --budget 2000 \
     --corpus-dir "$dir/fuzz-failures"
+  # Approximate-BC smoke: generate a mid-size scale-free graph, run the
+  # adaptive estimator end to end through the CLI on both engines, and pin
+  # the bit-identical-at-any-width contract by diffing --threads 1 vs 8.
+  # --max-sources keeps the wall clock CI-friendly on small runners.
+  echo "=== [$name] approx-smoke ==="
+  local cli="$dir/src/tools/turbobc_cli" g="$dir/approx_smoke.mtx"
+  "$cli" generate --family preferential --n 2000 --m-attach 3 --out "$g"
+  "$cli" approx "$g" --seed 1 --max-sources 256 --json --threads 1 \
+    > "$dir/approx_smoke_t1.json"
+  "$cli" approx "$g" --seed 1 --max-sources 256 --json --threads 8 \
+    > "$dir/approx_smoke_t8.json"
+  cmp "$dir/approx_smoke_t1.json" "$dir/approx_smoke_t8.json"
+  "$cli" approx "$g" --seed 1 --max-sources 256 --engine batched \
+    --sampler degree --json > /dev/null
+  # CLI misuse must exit 2 (usage), not crash or exit 1.
+  if "$cli" approx "$g" --epsilon banana > /dev/null 2>&1; then
+    echo "approx-smoke: malformed flag should have failed" >&2; exit 1
+  fi
 }
 
 run_config "release" "${prefix}-release"

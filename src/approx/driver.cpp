@@ -1,0 +1,102 @@
+#include "approx/driver.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/error.hpp"
+#include "core/turbobc_batched.hpp"
+
+namespace turbobc::approx {
+
+Engine parse_engine(const std::string& name) {
+  if (name == "scalar") return Engine::kScalar;
+  if (name == "batched") return Engine::kBatched;
+  throw UsageError("unknown engine '" + name +
+                   "' (expected scalar or batched)");
+}
+
+const char* engine_name(Engine engine) {
+  switch (engine) {
+    case Engine::kScalar: return "scalar";
+    case Engine::kBatched: return "batched";
+  }
+  return "?";
+}
+
+ApproxResult run_adaptive(sim::Device& device, const graph::EdgeList& graph,
+                          const ApproxOptions& options) {
+  const vidx_t n = graph.num_vertices();
+  TBC_CHECK(n > 0, "approx BC needs a non-empty graph");
+
+  PivotSampler sampler(graph, options.sampler, options.seed);
+
+  EstimatorOptions eopt;
+  eopt.epsilon = options.epsilon;
+  eopt.delta = options.delta;
+  eopt.top_k = options.top_k;
+  eopt.num_vertices = n;
+  eopt.directed = graph.directed();
+  eopt.max_weight = sampler.max_weight();
+  IncrementalEstimator estimator(eopt);
+
+  // Graph upload happens once, here — waves only pay per-source work.
+  std::optional<bc::TurboBC> scalar;
+  std::optional<bc::TurboBCBatched> batched;
+  if (options.engine == Engine::kScalar) {
+    bc::BcOptions bopt;
+    bopt.variant = options.variant;
+    scalar.emplace(device, graph, bopt);
+  } else {
+    bc::BatchedOptions bopt;
+    bopt.batch_size = options.batch_size;
+    batched.emplace(device, graph, bopt);
+  }
+
+  const vidx_t budget = options.max_sources > 0 ? options.max_sources : n;
+  vidx_t wave_size = options.initial_wave > 0
+                         ? options.initial_wave
+                         : std::max<vidx_t>(8, std::min<vidx_t>(n, 32));
+
+  ApproxResult result;
+  std::vector<vidx_t> sources;
+  std::vector<double> weights;
+  while (result.sources_used < budget && !result.converged) {
+    const vidx_t this_wave =
+        std::min<vidx_t>(wave_size, budget - result.sources_used);
+    sources.clear();
+    weights.clear();
+    sampler.draw(static_cast<std::size_t>(this_wave), sources, weights);
+
+    bc::TurboBC::MomentResult moments;
+    const bc::BcResult run =
+        scalar ? scalar->run_sources_moments(sources, weights, moments)
+               : batched->run_sources_moments(sources, weights, moments);
+    estimator.fold_wave(moments, sources.size());
+    const bool converged = estimator.check_stop();
+
+    WaveStats wave;
+    wave.sources = this_wave;
+    wave.device_seconds = run.device_seconds;
+    wave.peak_device_bytes = run.peak_device_bytes;
+    wave.max_half_width = estimator.max_half_width();
+    wave.converged = converged;
+    result.waves.push_back(wave);
+
+    // Left fold in wave order — the accounting the oracle recomputes.
+    result.device_seconds += run.device_seconds;
+    result.peak_device_bytes =
+        std::max(result.peak_device_bytes, run.peak_device_bytes);
+    result.sources_used += this_wave;
+    result.converged = converged;
+
+    wave_size = std::min<vidx_t>(wave_size * 2, budget);
+  }
+
+  result.bc = estimator.estimates();
+  result.half_width = estimator.half_widths();
+  result.norm = estimator.norm();
+  result.max_half_width = estimator.max_half_width();
+  return result;
+}
+
+}  // namespace turbobc::approx

@@ -1,0 +1,96 @@
+// Adaptive wave driver: pivots in geometric waves until the estimator's
+// stopping rule fires.
+//
+// Loop per wave:
+//   1. the sampler draws the wave's pivots (+ importance weights);
+//   2. the engine runs them with on-device moment accumulation —
+//      TurboBC::run_sources_moments fans the wave across the ExecutorPool
+//      with the PR-1 fixed-order merge, or TurboBCBatched processes it k
+//      lanes at a time on the main device;
+//   3. the estimator folds the wave's moments and evaluates the stopping
+//      rule (spending its next delta slice — see estimator.hpp).
+// Wave sizes double from initial_wave, so at most O(log n) checks happen
+// and the total work overshoots the oracle-optimal sample count by at most
+// 2x. Each wave's modeled seconds (moment download included) and peak
+// bytes are recorded; the run's totals are the left-fold sum / running max
+// over waves in order, so the oracle can recompute them exactly.
+//
+// Determinism: the pivot sequence is a pure function of (seed, graph,
+// sampler); the engine is bit-identical at any pool width; the estimator
+// is sequential host math. Hence the WHOLE ApproxResult is bit-identical
+// for a fixed seed at any --threads N.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "approx/estimator.hpp"
+#include "approx/sampler.hpp"
+#include "common/types.hpp"
+#include "core/turbobc.hpp"
+#include "core/variant.hpp"
+#include "gpusim/device.hpp"
+#include "graph/edge_list.hpp"
+
+namespace turbobc::approx {
+
+enum class Engine {
+  kScalar,   // TurboBC::run_sources_moments (pool-parallel fan-out)
+  kBatched,  // TurboBCBatched::run_sources_moments (SpMM lanes)
+};
+
+/// "scalar" / "batched". Throws UsageError otherwise.
+Engine parse_engine(const std::string& name);
+const char* engine_name(Engine engine);
+
+struct ApproxOptions {
+  double epsilon = 0.05;
+  double delta = 0.1;
+  /// 0: per-vertex epsilon target; otherwise top-k rank stability.
+  vidx_t top_k = 0;
+  std::uint64_t seed = 1;
+  SamplerKind sampler = SamplerKind::kUniform;
+  Engine engine = Engine::kScalar;
+  bc::Variant variant = bc::Variant::kScCsc;
+  vidx_t batch_size = 8;  // kBatched only
+  /// First wave's pivot count; 0 picks max(8, min(n, 32)).
+  vidx_t initial_wave = 0;
+  /// Hard pivot budget; 0 means n (the exact-BC source count). When the
+  /// budget runs out before the rule fires the result reports
+  /// converged = false with the intervals reached so far.
+  vidx_t max_sources = 0;
+};
+
+struct WaveStats {
+  vidx_t sources = 0;             // pivots in this wave
+  double device_seconds = 0.0;    // modeled seconds of this wave alone
+  std::size_t peak_device_bytes = 0;
+  double max_half_width = 0.0;    // after folding this wave
+  bool converged = false;         // stopping rule state after this wave
+};
+
+struct ApproxResult {
+  /// Per-vertex BC estimates (sum of weighted samples / sample count).
+  std::vector<bc_t> bc;
+  /// Per-vertex confidence half-widths; |BC_exact(v) - bc[v]| <=
+  /// half_width[v] for all v simultaneously with probability >= 1 - delta.
+  std::vector<double> half_width;
+  std::vector<WaveStats> waves;
+  /// Total pivots run (counts repeats: sampling is with replacement).
+  vidx_t sources_used = 0;
+  bool converged = false;
+  /// Left-fold sum of the waves' modeled seconds, in wave order.
+  double device_seconds = 0.0;
+  /// Max over waves' peak bytes.
+  std::size_t peak_device_bytes = 0;
+  /// The epsilon scale (see estimator.hpp).
+  double norm = 0.0;
+  double max_half_width = 0.0;
+};
+
+/// Estimate BC on `graph` to the configured target, running waves on
+/// `device` (graph uploaded once, at the first wave).
+ApproxResult run_adaptive(sim::Device& device, const graph::EdgeList& graph,
+                          const ApproxOptions& options);
+
+}  // namespace turbobc::approx

@@ -1,0 +1,113 @@
+#include "approx/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace turbobc::approx {
+
+IncrementalEstimator::IncrementalEstimator(const EstimatorOptions& options)
+    : options_(options) {
+  TBC_CHECK(options_.num_vertices > 0, "estimator needs num_vertices");
+  TBC_CHECK(options_.epsilon > 0.0, "epsilon must be positive");
+  TBC_CHECK(options_.delta > 0.0 && options_.delta < 1.0,
+            "delta must be in (0, 1)");
+  TBC_CHECK(options_.max_weight > 0.0, "max_weight must be positive");
+  TBC_CHECK(options_.top_k >= 0 && options_.top_k <= options_.num_vertices,
+            "top_k must be in [0, n]");
+  const auto n = static_cast<double>(options_.num_vertices);
+  const double cscale = options_.directed ? 1.0 : 0.5;
+  norm_ = std::max(1.0, cscale * (n - 1.0) * (n - 2.0));
+  range_ = options_.max_weight * cscale * std::max(n - 2.0, 0.0);
+  const auto nsz = static_cast<std::size_t>(options_.num_vertices);
+  sum_.assign(nsz, 0.0);
+  sumsq_.assign(nsz, 0.0);
+  half_width_.assign(nsz, range_ > 0.0 ? range_ : 0.0);
+  max_half_width_ = half_width_.empty() ? 0.0 : half_width_[0];
+}
+
+void IncrementalEstimator::fold_wave(const bc::TurboBC::MomentResult& wave,
+                                     std::size_t wave_samples) {
+  TBC_CHECK(wave.sum.size() == sum_.size() &&
+                wave.sumsq.size() == sumsq_.size(),
+            "wave moment size mismatch");
+  TBC_CHECK(wave_samples > 0, "wave must contain at least one pivot");
+  for (std::size_t v = 0; v < sum_.size(); ++v) {
+    sum_[v] += wave.sum[v];
+    sumsq_[v] += wave.sumsq[v];
+  }
+  samples_ += wave_samples;
+}
+
+std::vector<bc_t> IncrementalEstimator::estimates() const {
+  std::vector<bc_t> est(sum_.size(), 0.0);
+  if (samples_ == 0) return est;
+  const auto k = static_cast<double>(samples_);
+  for (std::size_t v = 0; v < sum_.size(); ++v) {
+    est[v] = sum_[v] / k;
+  }
+  return est;
+}
+
+bool IncrementalEstimator::check_stop() {
+  ++checks_;
+  if (samples_ < 2) return false;  // EB needs k >= 2; keep prior widths
+  const auto k = static_cast<double>(samples_);
+  const auto n = static_cast<double>(options_.num_vertices);
+
+  // Optional-stopping delta schedule: this check spends delta / 2^j, split
+  // between the two bound families and union-bounded over vertices.
+  const double delta_j =
+      options_.delta / std::ldexp(1.0, static_cast<int>(
+                                           std::min<std::size_t>(checks_, 960)));
+  const double dpp = delta_j / (2.0 * n);
+
+  const double hoeffding =
+      range_ * std::sqrt(std::log(2.0 / dpp) / (2.0 * k));
+  const double log_eb = std::log(4.0 / dpp);
+  const double eb_tail = 7.0 * range_ * log_eb / (3.0 * (k - 1.0));
+
+  max_half_width_ = 0.0;
+  for (std::size_t v = 0; v < sum_.size(); ++v) {
+    const double mean = sum_[v] / k;
+    // Unbiased sample variance from the raw moments, clamped against
+    // cancellation.
+    const double var =
+        std::max(0.0, (sumsq_[v] / k - mean * mean) * (k / (k - 1.0)));
+    const double bernstein =
+        std::sqrt(2.0 * var * log_eb / k) + eb_tail;
+    const double h = std::min(hoeffding, bernstein);
+    half_width_[v] = h;
+    max_half_width_ = std::max(max_half_width_, h);
+  }
+
+  const double target = options_.epsilon * norm_;
+  if (options_.top_k == 0) {
+    return max_half_width_ <= target;
+  }
+
+  // Top-k rank stability: order vertices by estimate (ties by index, so the
+  // ranking is deterministic) and require the best EXCLUDED vertex's upper
+  // bound to clear the k-th INCLUDED vertex's lower bound up to the slack.
+  const auto kk = static_cast<std::size_t>(options_.top_k);
+  if (kk >= sum_.size()) return max_half_width_ <= target;
+  std::vector<std::size_t> order(sum_.size());
+  for (std::size_t v = 0; v < order.size(); ++v) order[v] = v;
+  std::nth_element(order.begin(),
+                   order.begin() + static_cast<std::ptrdiff_t>(kk - 1),
+                   order.end(), [&](std::size_t a, std::size_t b) {
+                     if (sum_[a] != sum_[b]) return sum_[a] > sum_[b];
+                     return a < b;
+                   });
+  const std::size_t kth = order[kk - 1];
+  const double kth_lower = sum_[kth] / k - half_width_[kth];
+  double excluded_upper = -1.0;
+  for (std::size_t i = kk; i < order.size(); ++i) {
+    const std::size_t v = order[i];
+    excluded_upper = std::max(excluded_upper, sum_[v] / k + half_width_[v]);
+  }
+  return excluded_upper - kth_lower <= target;
+}
+
+}  // namespace turbobc::approx

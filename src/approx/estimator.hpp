@@ -1,0 +1,99 @@
+// Incremental BC estimator with anytime-valid confidence half-widths.
+//
+// Each pivot draw s contributes, per vertex v, one i.i.d. sample
+//   x_s(v) = w_s * c_s(v)   with   E[x_s(v)] = BC(v)
+// (see sampler.hpp). The engine's moment runs deliver sum(v) = sum x_s(v)
+// and sumsq(v) = sum x_s(v)^2 per wave; this class folds waves into running
+// totals and, between waves, turns them into per-vertex confidence
+// intervals two ways, keeping the tighter:
+//
+//   Hoeffding            h = R * sqrt(ln(2/d'') / (2k))
+//   empirical Bernstein  h = sqrt(2 V ln(4/d'') / k)
+//                            + 7 R ln(4/d'') / (3 (k-1))
+//     (Maurer & Pontil 2009, Thm 4; V is the unbiased sample variance)
+//
+// where R bounds one sample's range: a dependency contribution is at most
+// cscale * (n-2) (every other vertex's pair-dependency is <= 1; halved on
+// undirected graphs), so R = max_weight * cscale * (n-2).
+//
+// The stopping rule is checked AFTER EVERY WAVE, i.e. at a data-dependent
+// time, so a fixed-delta bound would be invalid under optional stopping.
+// Standard fix: the j-th check spends delta_j = delta / 2^j (sum over all
+// checks < delta), split evenly between the two bound families and
+// union-bounded over the n vertices, giving d'' = delta_j / (2n) per
+// vertex per family. Whenever the rule fires, ALL per-vertex intervals
+// hold simultaneously with probability >= 1 - delta.
+//
+// Two stopping modes, both scaled by norm = max(1, cscale*(n-1)*(n-2))
+// (the largest BC any vertex can have, so epsilon is a relative error):
+//   epsilon mode (top_k == 0):  max_v halfwidth(v) <= epsilon * norm
+//   top-k mode:  the k-th ranked vertex's lower bound separates from the
+//     best excluded vertex's upper bound up to epsilon * norm slack —
+//     i.e. the reported top-k set is stable at the target confidence.
+//
+// Everything here is sequential host double arithmetic over bit-identical
+// engine moments, so estimates and half-widths are bit-identical at any
+// --threads width.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/turbobc.hpp"
+
+namespace turbobc::approx {
+
+struct EstimatorOptions {
+  double epsilon = 0.05;
+  double delta = 0.1;
+  /// 0: per-vertex epsilon mode. Otherwise: top-k rank-stability mode.
+  vidx_t top_k = 0;
+  vidx_t num_vertices = 0;
+  bool directed = false;
+  /// sup_s w_s from the sampler; scales the sample range R.
+  double max_weight = 0.0;
+};
+
+class IncrementalEstimator {
+ public:
+  explicit IncrementalEstimator(const EstimatorOptions& options);
+
+  /// Fold one wave's moments (wave_samples pivots) into the running totals.
+  void fold_wave(const bc::TurboBC::MomentResult& wave,
+                 std::size_t wave_samples);
+
+  /// Evaluate the stopping rule; spends the next slice of the delta
+  /// schedule (so call exactly once per wave) and refreshes half_widths().
+  /// Returns true when the configured target is met.
+  bool check_stop();
+
+  /// Current BC estimates: sum(v) / k.
+  std::vector<bc_t> estimates() const;
+  /// Per-vertex confidence half-widths from the latest check_stop().
+  const std::vector<double>& half_widths() const noexcept {
+    return half_width_;
+  }
+
+  std::size_t samples() const noexcept { return samples_; }
+  std::size_t checks() const noexcept { return checks_; }
+  /// max_v half_width(v) from the latest check_stop().
+  double max_half_width() const noexcept { return max_half_width_; }
+  /// The epsilon scale: max(1, cscale*(n-1)*(n-2)).
+  double norm() const noexcept { return norm_; }
+  /// One sample's range bound R.
+  double sample_range() const noexcept { return range_; }
+
+ private:
+  EstimatorOptions options_;
+  double norm_ = 1.0;
+  double range_ = 0.0;
+  std::size_t samples_ = 0;
+  std::size_t checks_ = 0;
+  double max_half_width_ = 0.0;
+  std::vector<double> sum_;
+  std::vector<double> sumsq_;
+  std::vector<double> half_width_;
+};
+
+}  // namespace turbobc::approx

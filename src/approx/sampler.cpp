@@ -1,0 +1,106 @@
+#include "approx/sampler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "graph/components.hpp"
+
+namespace turbobc::approx {
+
+SamplerKind parse_sampler(const std::string& name) {
+  if (name == "uniform") return SamplerKind::kUniform;
+  if (name == "degree") return SamplerKind::kDegree;
+  if (name == "component") return SamplerKind::kComponent;
+  throw UsageError("unknown sampler '" + name +
+                   "' (expected uniform, degree, or component)");
+}
+
+const char* sampler_name(SamplerKind kind) {
+  switch (kind) {
+    case SamplerKind::kUniform: return "uniform";
+    case SamplerKind::kDegree: return "degree";
+    case SamplerKind::kComponent: return "component";
+  }
+  return "?";
+}
+
+PivotSampler::PivotSampler(const graph::EdgeList& graph, SamplerKind kind,
+                           std::uint64_t seed)
+    : kind_(kind), rng_(seed), n_(graph.num_vertices()) {
+  TBC_CHECK(n_ > 0, "pivot sampler needs a non-empty graph");
+  switch (kind_) {
+    case SamplerKind::kUniform:
+      max_weight_ = static_cast<double>(n_);
+      break;
+    case SamplerKind::kDegree: {
+      const std::vector<eidx_t> deg = graph.out_degrees();
+      cum_.resize(static_cast<std::size_t>(n_));
+      std::uint64_t total = 0;
+      for (std::size_t v = 0; v < cum_.size(); ++v) {
+        total += static_cast<std::uint64_t>(deg[v]) + 1;
+        cum_[v] = total;
+      }
+      // w_s = total / (deg_s + 1); the minimum-degree vertex carries the
+      // largest weight.
+      std::uint64_t min_mass = cum_[0];
+      for (std::size_t v = 1; v < cum_.size(); ++v) {
+        min_mass = std::min(min_mass, cum_[v] - cum_[v - 1]);
+      }
+      max_weight_ =
+          static_cast<double>(total) / static_cast<double>(min_mass);
+      break;
+    }
+    case SamplerKind::kComponent: {
+      const graph::Components comps = weakly_connected_components(graph);
+      comp_vertices_.resize(static_cast<std::size_t>(comps.count));
+      for (vidx_t v = 0; v < n_; ++v) {
+        comp_vertices_[static_cast<std::size_t>(
+                           comps.component[static_cast<std::size_t>(v)])]
+            .push_back(v);
+      }
+      std::size_t largest = 0;
+      for (const auto& cv : comp_vertices_) {
+        largest = std::max(largest, cv.size());
+      }
+      max_weight_ = static_cast<double>(comps.count) *
+                    static_cast<double>(largest);
+      break;
+    }
+  }
+}
+
+void PivotSampler::draw(std::size_t count, std::vector<vidx_t>& sources,
+                        std::vector<double>& weights) {
+  for (std::size_t i = 0; i < count; ++i) {
+    switch (kind_) {
+      case SamplerKind::kUniform: {
+        sources.push_back(static_cast<vidx_t>(
+            rng_.uniform(static_cast<std::uint64_t>(n_))));
+        weights.push_back(static_cast<double>(n_));
+        break;
+      }
+      case SamplerKind::kDegree: {
+        const std::uint64_t x = rng_.uniform(cum_.back());
+        const auto it = std::upper_bound(cum_.begin(), cum_.end(), x);
+        const auto v = static_cast<std::size_t>(it - cum_.begin());
+        const std::uint64_t mass =
+            v == 0 ? cum_[0] : cum_[v] - cum_[v - 1];
+        sources.push_back(static_cast<vidx_t>(v));
+        weights.push_back(static_cast<double>(cum_.back()) /
+                          static_cast<double>(mass));
+        break;
+      }
+      case SamplerKind::kComponent: {
+        const auto c = static_cast<std::size_t>(
+            rng_.uniform(comp_vertices_.size()));
+        const auto& cv = comp_vertices_[c];
+        sources.push_back(cv[static_cast<std::size_t>(rng_.uniform(cv.size()))]);
+        weights.push_back(static_cast<double>(comp_vertices_.size()) *
+                          static_cast<double>(cv.size()));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace turbobc::approx

@@ -1,0 +1,73 @@
+// Pivot samplers for approximate BC (the sampling side of src/approx/).
+//
+// Approximate BC estimates the exact sum over all n sources from a random
+// subset of "pivot" sources (Brandes & Pich 2007; Bader et al. 2007). This
+// sampler draws pivots i.i.d. WITH replacement so each draw is an
+// independent sample of the same random variable — exactly what the
+// Hoeffding / empirical-Bernstein bounds in estimator.hpp assume — and
+// attaches the importance weight w_s = 1 / p_s to every draw, making
+//   x_s(v) = w_s * c_s(v)
+// an unbiased per-draw sample of BC(v) for ANY draw distribution p
+// (c_s(v) is source s's dependency contribution). Three distributions:
+//
+//   uniform    p_s = 1/n                       (the classical estimator)
+//   degree     p_s = (out_deg(s)+1) / (m+n)    (hubs first: high-degree
+//              sources tend to reach more of the graph per wave; the +1
+//              keeps isolated vertices reachable so p is a distribution)
+//   component  p_s = 1 / (n_comp * |C(s)|)     (component uniform, then
+//              vertex uniform inside it: small components are not starved
+//              the way size-proportional sampling starves them)
+//
+// All draws use integer-only Xoshiro256 arithmetic (Lemire reduction), so
+// the pivot sequence is bit-reproducible from the seed alone, on every
+// platform, at every --threads width.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "common/types.hpp"
+#include "graph/edge_list.hpp"
+
+namespace turbobc::approx {
+
+enum class SamplerKind {
+  kUniform,
+  kDegree,
+  kComponent,
+};
+
+/// "uniform" / "degree" / "component". Throws UsageError otherwise.
+SamplerKind parse_sampler(const std::string& name);
+const char* sampler_name(SamplerKind kind);
+
+class PivotSampler {
+ public:
+  PivotSampler(const graph::EdgeList& graph, SamplerKind kind,
+               std::uint64_t seed);
+
+  /// Draw `count` pivots, appending to both vectors (kept parallel).
+  void draw(std::size_t count, std::vector<vidx_t>& sources,
+            std::vector<double>& weights);
+
+  SamplerKind kind() const noexcept { return kind_; }
+  /// sup_s w_s — the scale factor of the per-draw sample range, needed by
+  /// the estimator's Hoeffding bound.
+  double max_weight() const noexcept { return max_weight_; }
+
+ private:
+  SamplerKind kind_;
+  Xoshiro256 rng_;
+  vidx_t n_ = 0;
+  double max_weight_ = 0.0;
+  /// Degree sampler: cum_[v] = sum_{u <= v} (out_deg(u)+1), searched by
+  /// upper_bound on a uniform draw in [0, cum_.back()).
+  std::vector<std::uint64_t> cum_;
+  /// Component sampler: vertices grouped by component, plus per-component
+  /// weight n_comp * |C|.
+  std::vector<std::vector<vidx_t>> comp_vertices_;
+};
+
+}  // namespace turbobc::approx

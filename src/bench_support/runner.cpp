@@ -200,9 +200,11 @@ void print_parallel_rows(std::ostream& os,
   t.print(os);
 }
 
-void write_parallel_json(std::ostream& os,
+void write_parallel_json(std::ostream& os, const BenchStamp& stamp,
                          const std::vector<HostParallelRow>& rows) {
-  os << "[\n";
+  os << "{\n";
+  write_stamp_json(os, stamp);
+  os << ",\n\"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
     os << "  {\"graph\": \"" << r.name << "\", \"n\": " << r.n
@@ -215,7 +217,7 @@ void write_parallel_json(std::ostream& os,
        << (r.bit_identical ? "true" : "false") << "}"
        << (i + 1 < rows.size() ? "," : "") << '\n';
   }
-  os << "]\n";
+  os << "]\n}\n";
 }
 
 void print_rows(std::ostream& os, const std::string& title,

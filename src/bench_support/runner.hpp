@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_support/stamp.hpp"
 #include "bench_support/suite.hpp"
 #include "gpusim/device_props.hpp"
 #include "graph/stats.hpp"
@@ -106,9 +107,10 @@ HostParallelRow run_host_parallel_experiment(const Workload& w,
 void print_parallel_rows(std::ostream& os,
                          const std::vector<HostParallelRow>& rows);
 
-/// Machine-readable dump (BENCH_parallel.json): a JSON array with one object
-/// per row, fields matching HostParallelRow.
-void write_parallel_json(std::ostream& os,
+/// Machine-readable dump (BENCH_parallel.json): {"stamp": {...}, "rows":
+/// [...]} with one object per row, fields matching HostParallelRow (see
+/// bench_support/stamp.hpp for the provenance stamp).
+void write_parallel_json(std::ostream& os, const BenchStamp& stamp,
                          const std::vector<HostParallelRow>& rows);
 
 }  // namespace turbobc::bench

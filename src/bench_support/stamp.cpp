@@ -1,0 +1,49 @@
+#include "bench_support/stamp.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <ostream>
+
+#include "gpusim/executor.hpp"
+
+namespace turbobc::bench {
+
+std::string current_git_commit() {
+  FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[64] = {};
+  const std::size_t got = ::fread(buf, 1, sizeof(buf) - 1, pipe);
+  const int status = ::pclose(pipe);
+  if (status != 0 || got == 0) return "unknown";
+  std::string commit(buf, got);
+  while (!commit.empty() &&
+         (commit.back() == '\n' || commit.back() == '\r')) {
+    commit.pop_back();
+  }
+  return commit.empty() ? "unknown" : commit;
+}
+
+BenchStamp make_stamp(std::uint64_t seed, double host_wall_s) {
+  BenchStamp stamp;
+  stamp.seed = seed;
+  stamp.git_commit = current_git_commit();
+  stamp.threads = sim::ExecutorPool::instance().threads();
+  stamp.host_wall_s = host_wall_s;
+  const std::time_t now = std::time(nullptr);
+  std::tm utc = {};
+  if (gmtime_r(&now, &utc) != nullptr) {
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M:%S", &utc);
+    stamp.generated_utc = buf;
+  }
+  return stamp;
+}
+
+void write_stamp_json(std::ostream& os, const BenchStamp& stamp) {
+  os << "\"stamp\": {\"seed\": " << stamp.seed << ", \"git_commit\": \""
+     << stamp.git_commit << "\", \"threads\": " << stamp.threads
+     << ", \"host_wall_s\": " << stamp.host_wall_s
+     << ", \"generated_utc\": \"" << stamp.generated_utc << "\"}";
+}
+
+}  // namespace turbobc::bench

@@ -1,0 +1,41 @@
+// Provenance stamp for BENCH_*.json artifacts.
+//
+// Every bench JSON carries a "stamp" object next to its "rows" so the bench
+// trajectory stays comparable across PRs: the workload seed, the git commit
+// the binary was built from, the ExecutorPool width, and the run's host
+// wall-clock (modeled device time is per-row; the wall clock is what the
+// simulation itself cost). Shape:
+//
+//   { "stamp": { "seed": ..., "git_commit": "...", "threads": ...,
+//                "host_wall_s": ..., "generated_utc": "..." },
+//     "rows": [ ... ] }
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace turbobc::bench {
+
+struct BenchStamp {
+  std::uint64_t seed = 0;
+  std::string git_commit = "unknown";
+  unsigned threads = 0;
+  /// Host wall-clock seconds the whole bench run took.
+  double host_wall_s = 0.0;
+  /// UTC timestamp of the run, "YYYY-MM-DD HH:MM:SS".
+  std::string generated_utc;
+};
+
+/// Assemble a stamp: resolves the git commit and the current UTC time,
+/// reads the pool width from the ExecutorPool.
+BenchStamp make_stamp(std::uint64_t seed, double host_wall_s);
+
+/// Short git commit hash of the working tree ("unknown" when git or the
+/// repository is unavailable — never throws).
+std::string current_git_commit();
+
+/// The "stamp" JSON object (no trailing newline or comma).
+void write_stamp_json(std::ostream& os, const BenchStamp& stamp);
+
+}  // namespace turbobc::bench

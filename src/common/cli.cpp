@@ -1,5 +1,6 @@
 #include "common/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/error.hpp"
@@ -41,13 +42,29 @@ std::int64_t CliArgs::get_int(const std::string& name,
                               std::int64_t fallback) const {
   const auto it = options_.find(name);
   if (it == options_.end()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  // Strict: the whole value must be one integer. Silent garbage-to-zero
+  // here once turned "--seed 0x2A" into seed 0.
+  errno = 0;
+  char* end = nullptr;
+  const std::int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  if (it->second.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+    throw UsageError("--" + name + " expects an integer, got '" + it->second +
+                     "'");
+  }
+  return value;
 }
 
 double CliArgs::get_double(const std::string& name, double fallback) const {
   const auto it = options_.find(name);
   if (it == options_.end()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (it->second.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+    throw UsageError("--" + name + " expects a number, got '" + it->second +
+                     "'");
+  }
+  return value;
 }
 
 }  // namespace turbobc

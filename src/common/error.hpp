@@ -61,6 +61,15 @@ class InternalError : public Error {
   explicit InternalError(const std::string& what) : Error(what) {}
 };
 
+/// Command-line misuse (malformed flag value, unusable combination). CLI
+/// entry points catch this separately from Error to print usage and exit 2;
+/// the message is plain prose with no source-location decoration, so it is
+/// stable for golden tests.
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_check_failure(const char* expr, const char* file, int line,
                                       const std::string& message);

@@ -75,7 +75,8 @@ SourceStats TurboBC::run_source_on(sim::Device& dev,
                                    const spmv::DeviceCsc* csc,
                                    const spmv::DeviceCooc* cooc, vidx_t source,
                                    sim::DeviceBuffer<bc_t>& bc_dev,
-                                   sim::DeviceBuffer<bc_t>* ebc_dev) {
+                                   sim::DeviceBuffer<bc_t>* ebc_dev,
+                                   const MomentSink* moments) {
   using T = sigma_t;  // double: path counts overflow any integer width
   TBC_CHECK(source >= 0 && source < n_, "BC source vertex out of range");
   const auto n = static_cast<std::size_t>(n_);
@@ -292,6 +293,28 @@ SourceStats TurboBC::run_source_on(sim::Device& dev,
                        t.count_ops(1);
                      });
 
+  // Approx-estimator moment fold: the per-source weighted dependency sample
+  // x = w_s * delta(v) * scale and its square, accumulated into the two
+  // extra per-device float arrays. One thread per vertex; the source's own
+  // lane is skipped, matching the bc accumulation above.
+  if (moments != nullptr) {
+    const double weight = moments->weight;
+    sim::DeviceBuffer<bc_t>& msum = *moments->sum;
+    sim::DeviceBuffer<bc_t>& msumsq = *moments->sumsq;
+    sim::launch_scalar(dev, "approx_moment", static_cast<std::uint64_t>(n_),
+                       [&](sim::ThreadCtx& t) {
+                         const auto i = static_cast<std::size_t>(t.global_id());
+                         if (static_cast<vidx_t>(i) == source) return;
+                         const bc_t dl = delta.load(t, i);
+                         t.count_ops(2);
+                         if (dl != 0.0) {
+                           const bc_t x = dl * scale * weight;
+                           msum.store(t, i, msum.load(t, i) + x);
+                           msumsq.store(t, i, msumsq.load(t, i) + x * x);
+                         }
+                       });
+  }
+
   SourceStats stats;
   stats.bfs_depth = height;
   vidx_t reached = 0;
@@ -303,6 +326,22 @@ SourceStats TurboBC::run_source_on(sim::Device& dev,
 }
 
 BcResult TurboBC::run_sources(const std::vector<vidx_t>& sources) {
+  return run_sources_impl(sources, nullptr, nullptr);
+}
+
+BcResult TurboBC::run_sources_moments(const std::vector<vidx_t>& sources,
+                                      const std::vector<double>& weights,
+                                      MomentResult& moments) {
+  TBC_CHECK(weights.size() == sources.size(),
+            "run_sources_moments needs one weight per source");
+  TBC_CHECK(!options_.edge_bc,
+            "moment accumulation is not supported together with edge BC");
+  return run_sources_impl(sources, &weights, &moments);
+}
+
+BcResult TurboBC::run_sources_impl(const std::vector<vidx_t>& sources,
+                                   const std::vector<double>* weights,
+                                   MomentResult* moments) {
   device_.memory().reset_peak();
   const double start = device_clock(device_);
 
@@ -314,16 +353,29 @@ BcResult TurboBC::run_sources(const std::vector<vidx_t>& sources) {
     ebc_dev.emplace(device_, static_cast<std::size_t>(m_), "edge_bc", 4);
     ebc_dev->device_fill(0.0);
   }
+  // Moment arrays live for the whole call on the main device (merge target);
+  // replicas carry their own pair, so the wave footprint is 9n + m words on
+  // every device.
+  std::optional<sim::DeviceBuffer<bc_t>> msum, msumsq;
+  if (moments != nullptr) {
+    msum.emplace(device_, static_cast<std::size_t>(n_), "approx_sum", 4);
+    msumsq.emplace(device_, static_cast<std::size_t>(n_), "approx_sumsq", 4);
+    msum->device_fill(0.0);
+    msumsq->device_fill(0.0);
+  }
 
   BcResult result;
   if (sources.size() <= 1) {
     // Single source: run directly on the main device so callers inspecting
     // its launch records see the per-source kernel stream in place.
-    for (const vidx_t s : sources) {
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      MomentSink sink{msum ? &*msum : nullptr, msumsq ? &*msumsq : nullptr,
+                      weights != nullptr ? (*weights)[i] : 1.0};
       result.last_source =
           run_source_on(device_, csc_ ? &*csc_ : nullptr,
-                        cooc_ ? &*cooc_ : nullptr, s, bc_dev,
-                        ebc_dev ? &*ebc_dev : nullptr);
+                        cooc_ ? &*cooc_ : nullptr, sources[i], bc_dev,
+                        ebc_dev ? &*ebc_dev : nullptr,
+                        moments != nullptr ? &sink : nullptr);
     }
   } else {
     // Parallel source fan-out. Sources are split into contiguous blocks —
@@ -343,6 +395,8 @@ BcResult TurboBC::run_sources(const std::vector<vidx_t>& sources) {
       std::unique_ptr<sim::Device> dev;
       std::vector<bc_t> bc;
       std::vector<bc_t> ebc;
+      std::vector<bc_t> sum;
+      std::vector<bc_t> sumsq;
       SourceStats last;
       std::size_t peak_bytes = 0;
     };
@@ -372,6 +426,14 @@ BcResult TurboBC::run_sources(const std::vector<vidx_t>& sources) {
             rebc.emplace(rdev, static_cast<std::size_t>(m_), "edge_bc", 4);
             rebc->device_fill(0.0);
           }
+          std::optional<sim::DeviceBuffer<bc_t>> rsum, rsumsq;
+          if (moments != nullptr) {
+            rsum.emplace(rdev, static_cast<std::size_t>(n_), "approx_sum", 4);
+            rsumsq.emplace(rdev, static_cast<std::size_t>(n_), "approx_sumsq",
+                           4);
+            rsum->device_fill(0.0);
+            rsumsq->device_fill(0.0);
+          }
           // The main device already paid for the graph upload (at
           // construction) and the bc alloc/fill (above); drop the replica's
           // duplicate setup charges so the absorbed block timeline holds
@@ -381,12 +443,18 @@ BcResult TurboBC::run_sources(const std::vector<vidx_t>& sources) {
           rdev.memory().reset_peak();
 
           for (std::size_t i = sb; i < se; ++i) {
+            MomentSink sink{rsum ? &*rsum : nullptr,
+                            rsumsq ? &*rsumsq : nullptr,
+                            weights != nullptr ? (*weights)[i] : 1.0};
             out.last = run_source_on(rdev, rcsc ? &*rcsc : nullptr,
                                      rcooc ? &*rcooc : nullptr, sources[i],
-                                     rbc, rebc ? &*rebc : nullptr);
+                                     rbc, rebc ? &*rebc : nullptr,
+                                     moments != nullptr ? &sink : nullptr);
           }
           out.bc = rbc.host();
           if (rebc) out.ebc = rebc->host();
+          if (rsum) out.sum = rsum->host();
+          if (rsumsq) out.sumsq = rsumsq->host();
           out.peak_bytes = rdev.memory().peak_bytes();
         });
 
@@ -404,8 +472,24 @@ BcResult TurboBC::run_sources(const std::vector<vidx_t>& sources) {
           ebc_host[i] += blk.ebc[i];
         }
       }
+      if (msum) {
+        auto& sum_host = msum->host();
+        auto& sumsq_host = msumsq->host();
+        for (std::size_t i = 0; i < sum_host.size(); ++i) {
+          sum_host[i] += blk.sum[i];
+          sumsq_host[i] += blk.sumsq[i];
+        }
+      }
     }
     result.last_source = blocks.back().last;
+  }
+  // The adaptive driver reads the moments between waves to evaluate its
+  // stopping rule, so their download is part of the modeled wave time —
+  // unlike the final bc download below, which models reading results back
+  // after the experiment.
+  if (moments != nullptr) {
+    moments->sum = msum->copy_to_host();
+    moments->sumsq = msumsq->copy_to_host();
   }
   result.sources = static_cast<vidx_t>(sources.size());
   result.device_seconds = device_clock(device_) - start;

@@ -96,6 +96,32 @@ class TurboBC {
   /// therefore bit-identical for any pool width, including width 1.
   BcResult run_sources(const std::vector<vidx_t>& sources);
 
+  /// First and second moments of per-source importance-weighted dependency
+  /// samples, as needed by the approx estimator (src/approx/estimator.hpp):
+  /// for each vertex v,
+  ///   sum(v)   = sum_s  w_s * c_s(v)
+  ///   sumsq(v) = sum_s (w_s * c_s(v))^2
+  /// where c_s(v) is source s's dependency contribution (already halved on
+  /// undirected graphs, zero at v == s) and w_s the caller's importance
+  /// weight (1 / p_s for a source drawn with probability p_s).
+  struct MomentResult {
+    std::vector<bc_t> sum;
+    std::vector<bc_t> sumsq;
+  };
+
+  /// run_sources plus on-device moment accumulation: two extra n-word float
+  /// arrays ("approx_sum"/"approx_sumsq") ride along on every device
+  /// (raising the modeled footprint from 7n + m to 9n + m words), an
+  /// "approx_moment" kernel folds each source's dependency vector into them,
+  /// and the wave's moments are downloaded inside the modeled clock (the
+  /// adaptive driver must read them between waves to evaluate its stopping
+  /// rule). Same block fan-out and fixed-order merge as run_sources, so the
+  /// moments — like everything else — are bit-identical at any pool width.
+  /// `weights` must be parallel to `sources`. Incompatible with edge_bc.
+  BcResult run_sources_moments(const std::vector<vidx_t>& sources,
+                               const std::vector<double>& weights,
+                               MomentResult& moments);
+
   /// Approximate BC by uniform source sampling (Brandes & Pich style):
   /// num_sources sources drawn without replacement, results scaled by
   /// n / num_sources — an unbiased estimator of exact BC. Extension beyond
@@ -115,6 +141,14 @@ class TurboBC {
   std::size_t graph_device_bytes() const noexcept;
 
  private:
+  /// Per-source moment sink: the device arrays the "approx_moment" kernel
+  /// accumulates into, plus the source's importance weight.
+  struct MomentSink {
+    sim::DeviceBuffer<bc_t>* sum = nullptr;
+    sim::DeviceBuffer<bc_t>* sumsq = nullptr;
+    double weight = 1.0;
+  };
+
   /// One source's full pipeline against an explicit device and graph
   /// structure. `dev` is either the main device (serial / single-source) or
   /// a per-block replica of it (parallel fan-out — see run_sources); exactly
@@ -122,7 +156,15 @@ class TurboBC {
   SourceStats run_source_on(sim::Device& dev, const spmv::DeviceCsc* csc,
                             const spmv::DeviceCooc* cooc, vidx_t source,
                             sim::DeviceBuffer<bc_t>& bc_dev,
-                            sim::DeviceBuffer<bc_t>* ebc_dev);
+                            sim::DeviceBuffer<bc_t>* ebc_dev,
+                            const MomentSink* moments = nullptr);
+
+  /// Shared body of run_sources / run_sources_moments. `weights` is null
+  /// for plain runs; otherwise parallel to `sources`, with the per-block
+  /// moment partials merged into `moments` in fixed block order.
+  BcResult run_sources_impl(const std::vector<vidx_t>& sources,
+                            const std::vector<double>* weights,
+                            MomentResult* moments);
 
   sim::Device& device_;
   BcOptions options_;

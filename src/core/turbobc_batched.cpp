@@ -31,7 +31,8 @@ TurboBCBatched::TurboBCBatched(sim::Device& device,
 }
 
 void TurboBCBatched::run_batch(const std::vector<vidx_t>& batch,
-                               sim::DeviceBuffer<bc_t>& bc_dev) {
+                               sim::DeviceBuffer<bc_t>& bc_dev,
+                               const BatchMoments* moments) {
   sim::Device& dev = device_;
   const auto k = static_cast<std::size_t>(batch.size());
   const auto n = static_cast<std::size_t>(n_);
@@ -239,6 +240,33 @@ void TurboBCBatched::run_batch(const std::vector<vidx_t>& batch,
           bc_dev.store(t, v, bc_dev.load(t, v) + acc * scale);
         }
       });
+
+  if (moments != nullptr) {
+    sim::DeviceBuffer<bc_t>& msum = *moments->sum;
+    sim::DeviceBuffer<bc_t>& msumsq = *moments->sumsq;
+    const double* w = moments->weights;
+    sim::launch_scalar(
+        dev, "approx_moment_batched", static_cast<std::uint64_t>(n_),
+        [&](sim::ThreadCtx& t) {
+          const auto v = static_cast<std::size_t>(t.global_id());
+          bc_t s = 0.0;
+          bc_t s2 = 0.0;
+          for (std::size_t j = 0; j < k; ++j) {
+            if (static_cast<vidx_t>(v) == batch[j]) continue;
+            const bc_t dl = delta.load(t, slot(v, j));
+            t.count_ops(2);
+            if (dl != 0.0) {
+              const bc_t x = dl * scale * w[j];
+              s += x;
+              s2 += x * x;
+            }
+          }
+          if (s != 0.0) {
+            msum.store(t, v, msum.load(t, v) + s);
+            msumsq.store(t, v, msumsq.load(t, v) + s2);
+          }
+        });
+  }
 }
 
 BcResult TurboBCBatched::run_sources(const std::vector<vidx_t>& sources) {
@@ -259,6 +287,49 @@ BcResult TurboBCBatched::run_sources(const std::vector<vidx_t>& sources) {
                                   sources.begin() + static_cast<std::ptrdiff_t>(end)),
               bc_dev);
   }
+
+  BcResult result;
+  result.sources = static_cast<vidx_t>(sources.size());
+  result.device_seconds = device_clock(device_) - start;
+  result.peak_device_bytes = device_.memory().peak_bytes();
+  result.bc = bc_dev.copy_to_host();
+  return result;
+}
+
+BcResult TurboBCBatched::run_sources_moments(
+    const std::vector<vidx_t>& sources, const std::vector<double>& weights,
+    TurboBC::MomentResult& moments) {
+  TBC_CHECK(weights.size() == sources.size(),
+            "moment run needs one weight per source");
+  for (const vidx_t s : sources) {
+    TBC_CHECK(s >= 0 && s < n_, "batched BC source out of range");
+  }
+  device_.memory().reset_peak();
+  const double start = device_clock(device_);
+
+  sim::DeviceBuffer<bc_t> bc_dev(device_, static_cast<std::size_t>(n_),
+                                 "bc", 4);
+  bc_dev.device_fill(0.0);
+  sim::DeviceBuffer<bc_t> msum(device_, static_cast<std::size_t>(n_),
+                               "approx_sum", 4);
+  sim::DeviceBuffer<bc_t> msumsq(device_, static_cast<std::size_t>(n_),
+                                 "approx_sumsq", 4);
+  msum.device_fill(0.0);
+  msumsq.device_fill(0.0);
+
+  const auto k = static_cast<std::size_t>(options_.batch_size);
+  for (std::size_t begin = 0; begin < sources.size(); begin += k) {
+    const std::size_t end = std::min(sources.size(), begin + k);
+    const BatchMoments bm{&msum, &msumsq, weights.data() + begin};
+    run_batch(std::vector<vidx_t>(sources.begin() + static_cast<std::ptrdiff_t>(begin),
+                                  sources.begin() + static_cast<std::ptrdiff_t>(end)),
+              bc_dev, &bm);
+  }
+
+  // Downloaded inside the modeled clock — the adaptive driver reads the
+  // moments between waves (see TurboBC::run_sources_moments).
+  moments.sum = msum.copy_to_host();
+  moments.sumsq = msumsq.copy_to_host();
 
   BcResult result;
   result.sources = static_cast<vidx_t>(sources.size());

@@ -52,14 +52,32 @@ class TurboBCBatched {
   /// BC over the given sources, k at a time.
   BcResult run_sources(const std::vector<vidx_t>& sources);
 
+  /// run_sources plus on-device moment accumulation — the batched analogue
+  /// of TurboBC::run_sources_moments: an "approx_moment_batched" kernel
+  /// folds each batch's k dependency lanes into the same two extra n-word
+  /// arrays ("approx_sum"/"approx_sumsq"), and the moments are downloaded
+  /// inside the modeled clock. `weights` must be parallel to `sources`.
+  BcResult run_sources_moments(const std::vector<vidx_t>& sources,
+                               const std::vector<double>& weights,
+                               TurboBC::MomentResult& moments);
+
   vidx_t num_vertices() const noexcept { return n_; }
   eidx_t num_arcs() const noexcept { return m_; }
   const BatchedOptions& options() const noexcept { return options_; }
 
  private:
+  /// Per-batch moment sink: the whole-run accumulator arrays plus the k
+  /// importance weights of this batch's lanes.
+  struct BatchMoments {
+    sim::DeviceBuffer<bc_t>* sum = nullptr;
+    sim::DeviceBuffer<bc_t>* sumsq = nullptr;
+    const double* weights = nullptr;  // k entries, parallel to the batch
+  };
+
   /// One batch of up to batch_size sources accumulated into bc_dev.
   void run_batch(const std::vector<vidx_t>& batch,
-                 sim::DeviceBuffer<bc_t>& bc_dev);
+                 sim::DeviceBuffer<bc_t>& bc_dev,
+                 const BatchMoments* moments = nullptr);
 
   sim::Device& device_;
   BatchedOptions options_;

@@ -25,6 +25,7 @@ OracleOptions case_oracle(const FuzzerOptions& options, int index) {
   oracle.check_exact = on_cadence(options.exact_every, 3);
   oracle.check_determinism = on_cadence(options.determinism_every, 2);
   oracle.check_edge_bc = on_cadence(options.edge_bc_every, 0);
+  oracle.check_approx = on_cadence(options.approx_every, 1);
   return oracle;
 }
 

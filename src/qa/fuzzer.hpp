@@ -43,6 +43,10 @@ struct FuzzerOptions {
   int determinism_every = 5;
   /// Run the edge-BC stage on every k-th case (0 disables).
   int edge_bc_every = 3;
+  /// Run the approx-engine stage (coverage, engine agreement, accounting,
+  /// pool-width determinism — see oracle.hpp) on every k-th case
+  /// (0 disables).
+  int approx_every = 6;
   /// Stop early after this many distinct failures (each one costs a
   /// minimization run).
   int max_failures = 8;

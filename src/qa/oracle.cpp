@@ -5,6 +5,7 @@
 #include <map>
 #include <sstream>
 
+#include "approx/driver.hpp"
 #include "baselines/bc_la_seq.hpp"
 #include "baselines/brandes.hpp"
 #include "baselines/gunrock_like.hpp"
@@ -389,6 +390,142 @@ struct Checker {
     }
   }
 
+  /// Run the adaptive approx driver at a fixed small budget and return the
+  /// full result (the budget keeps a fuzz case cheap; the confidence
+  /// intervals it reports are valid at any stopping point).
+  approx::ApproxResult run_approx(approx::Engine engine, unsigned width) {
+    PoolWidthGuard guard;
+    sim::ExecutorPool::instance().set_threads(width);
+    sim::Device dev;
+    dev.set_keep_launch_records(false);
+    approx::ApproxOptions aopt;
+    aopt.epsilon = 0.05;
+    aopt.delta = 0.1;
+    aopt.seed = 42;
+    // Rotate the sampler by graph size so the whole corpus exercises all
+    // three draw distributions while each case stays deterministic.
+    const auto n = canon.num_vertices();
+    aopt.sampler = n % 3 == 0   ? approx::SamplerKind::kUniform
+                   : n % 3 == 1 ? approx::SamplerKind::kDegree
+                                : approx::SamplerKind::kComponent;
+    aopt.engine = engine;
+    aopt.variant = bc::select_variant(canon);
+    aopt.max_sources = std::min<vidx_t>(opt.approx_budget, n);
+    return approx::run_adaptive(dev, canon, aopt);
+  }
+
+  void check_approx() {
+    const approx::ApproxResult r = run_approx(approx::Engine::kScalar, 1);
+    const vidx_t n = canon.num_vertices();
+
+    // Coverage: with probability >= 1 - delta ALL exact values lie inside
+    // the reported intervals; the bounds are conservative enough (union
+    // bound + delta schedule) that a genuine miss at fuzz sizes signals a
+    // math bug, not bad luck.
+    const auto exact = baseline::brandes_bc(canon);
+    for (std::size_t v = 0; v < exact.size(); ++v) {
+      const double err = std::abs(exact[v] - r.bc[v]);
+      const double slack = r.half_width[v] + 1e-9 * r.norm;
+      if (!(err <= slack)) {  // negated: catches NaN too
+        std::ostringstream os;
+        os << "vertex " << v << ": exact " << exact[v] << " outside "
+           << r.bc[v] << " +/- " << r.half_width[v] << " (" << r.sources_used
+           << " pivots)";
+        fail("approx_coverage", os.str());
+        break;
+      }
+    }
+
+    // Accounting: totals must be the exact fold of the per-wave stats, and
+    // the scalar engine's peak must equal the 9n + m inventory.
+    double wave_seconds = 0.0;
+    std::size_t wave_peak = 0;
+    vidx_t wave_sources = 0;
+    for (const approx::WaveStats& w : r.waves) {
+      wave_seconds += w.device_seconds;
+      wave_peak = std::max(wave_peak, w.peak_device_bytes);
+      wave_sources += w.sources;
+    }
+    if (r.device_seconds != wave_seconds || r.peak_device_bytes != wave_peak ||
+        r.sources_used != wave_sources) {
+      std::ostringstream os;
+      os << "totals (" << r.device_seconds << " s, " << r.peak_device_bytes
+         << " B, " << r.sources_used << " pivots) != wave fold ("
+         << wave_seconds << " s, " << wave_peak << " B, " << wave_sources
+         << " pivots)";
+      fail("approx_accounting", os.str());
+    }
+    const std::size_t expected = expected_approx_peak_bytes(
+        bc::select_variant(canon), n, canon.num_arcs());
+    if (r.peak_device_bytes != expected) {
+      std::ostringstream os;
+      os << "simulated peak " << r.peak_device_bytes
+         << " B != analytic 9n+m inventory " << expected << " B (n = " << n
+         << ", m = " << canon.num_arcs() << ")";
+      fail("approx_accounting", os.str());
+    }
+
+    // Engine agreement: the batched SpMM engine sees the SAME pivot
+    // sequence (same seed) so its estimates must match the scalar engine's
+    // up to float-order effects.
+    if (n > 1) {
+      const approx::ApproxResult rb = run_approx(approx::Engine::kBatched, 1);
+      if (rb.sources_used != r.sources_used) {
+        std::ostringstream os;
+        os << "batched engine ran " << rb.sources_used << " pivots vs scalar "
+           << r.sources_used;
+        fail("approx_engine_agreement", os.str());
+      } else {
+        for (std::size_t v = 0; v < r.bc.size(); ++v) {
+          const double err = std::abs(rb.bc[v] - r.bc[v]) /
+                             std::max(1.0, std::abs(r.bc[v]));
+          if (!(err <= opt.tolerance)) {
+            std::ostringstream os;
+            os << "vertex " << v << ": batched " << rb.bc[v] << " vs scalar "
+               << r.bc[v] << " (rel err " << err << ")";
+            fail("approx_engine_agreement", os.str());
+            break;
+          }
+        }
+      }
+    }
+
+    // Determinism: the whole result object must be bit-identical across
+    // pool widths (PR 1's standard extended to the approx stack).
+    if (opt.check_determinism && n > 1) {
+      const approx::ApproxResult rp =
+          run_approx(approx::Engine::kScalar, opt.det_threads);
+      const auto mismatch = [&](const std::string& what) {
+        fail("approx_determinism",
+             "threads=1 vs threads=" + std::to_string(opt.det_threads) +
+                 " differ in " + what);
+      };
+      if (rp.bc != r.bc) mismatch("estimates");
+      if (rp.half_width != r.half_width) mismatch("half-widths");
+      if (rp.sources_used != r.sources_used || rp.converged != r.converged) {
+        mismatch("stopping decision");
+      }
+      if (rp.device_seconds != r.device_seconds ||
+          rp.peak_device_bytes != r.peak_device_bytes) {
+        mismatch("modeled totals");
+      }
+      if (rp.waves.size() != r.waves.size()) {
+        mismatch("wave count");
+      } else {
+        for (std::size_t w = 0; w < r.waves.size(); ++w) {
+          if (rp.waves[w].sources != r.waves[w].sources ||
+              rp.waves[w].device_seconds != r.waves[w].device_seconds ||
+              rp.waves[w].peak_device_bytes != r.waves[w].peak_device_bytes ||
+              rp.waves[w].max_half_width != r.waves[w].max_half_width ||
+              rp.waves[w].converged != r.waves[w].converged) {
+            mismatch("wave " + std::to_string(w) + " stats");
+            break;
+          }
+        }
+      }
+    }
+  }
+
   void run() {
     check_mtx_roundtrip();
     if (canon.num_vertices() == 0) return;  // nothing else is defined
@@ -412,6 +549,9 @@ struct Checker {
     }
     if (opt.check_determinism && canon.num_vertices() > 1) {
       check_thread_determinism();
+    }
+    if (opt.check_approx && canon.num_vertices() > 0) {
+      check_approx();
     }
   }
 };
@@ -462,6 +602,14 @@ std::size_t expected_turbobc_peak_bytes(bc::Variant variant, vidx_t n,
   const std::size_t stages =
       4 * un + 8 * un + std::max(8 * un + 4, 12 * un);
   return graph_bytes + stages + (edge_bc ? 4 * um : 0);
+}
+
+std::size_t expected_approx_peak_bytes(bc::Variant variant, vidx_t n,
+                                       eidx_t m) {
+  // The TurboBC inventory plus the two n-word moment accumulators that ride
+  // along on every device (main and replicas alike).
+  return expected_turbobc_peak_bytes(variant, n, m, /*edge_bc=*/false) +
+         8 * static_cast<std::size_t>(n);
 }
 
 std::size_t expected_gunrock_inventory_bytes(vidx_t n, eidx_t m) {

@@ -24,6 +24,15 @@
 //   mtx_roundtrip         write+reread through Matrix Market preserves the
 //                         canonical graph
 //   edge_bc_agreement     per-arc edge BC vs the Brandes edge oracle
+//   approx_coverage       every exact BC value lies inside the approx
+//                         engine's reported confidence interval
+//   approx_engine_agreement  scalar vs batched approx engines agree on the
+//                         estimates for the same pivot sequence
+//   approx_accounting     the approx run's modeled seconds / peak bytes /
+//                         pivot count equal the fold of its per-wave stats,
+//                         and the peak matches the analytic 9n + m inventory
+//   approx_determinism    approx results (estimates, half-widths, waves,
+//                         modeled numbers) bit-identical across pool widths
 //
 // Each failed check appends a Violation naming the invariant; the fuzz loop
 // and the delta-debugging minimizer key on those names.
@@ -57,6 +66,12 @@ struct OracleOptions {
   bool check_determinism = true;
   /// Per-arc edge BC vs the Brandes edge oracle.
   bool check_edge_bc = true;
+  /// Approx engine (src/approx/): interval coverage of the exact values,
+  /// scalar/batched agreement, wave accounting, and pool-width determinism.
+  bool check_approx = true;
+  /// Pivot budget of the oracle's approx runs (capped at n). Small keeps a
+  /// fuzz case cheap; the intervals it checks are valid at ANY budget.
+  vidx_t approx_budget = 96;
 };
 
 struct Violation {
@@ -94,5 +109,11 @@ std::size_t expected_turbobc_peak_bytes(bc::Variant variant, vidx_t n,
 /// Analytic gunrock-baseline inventory in simulated device bytes
 /// (CSR + CSC + 8 n-arrays + queue counter + m-word LB scratch).
 std::size_t expected_gunrock_inventory_bytes(vidx_t n, eidx_t m);
+
+/// Analytic peak of a scalar-engine approx wave: the TurboBC inventory plus
+/// the two n-word moment accumulators ("approx_sum"/"approx_sumsq") — the
+/// paper's 7n + m words grown to 9n + m.
+std::size_t expected_approx_peak_bytes(bc::Variant variant, vidx_t n,
+                                       eidx_t m);
 
 }  // namespace turbobc::qa

@@ -6,6 +6,7 @@
 #include <optional>
 #include <ostream>
 
+#include "approx/driver.hpp"
 #include "baselines/brandes.hpp"
 #include "common/error.hpp"
 #include "common/format.hpp"
@@ -41,9 +42,10 @@ bc::Variant parse_variant(const CliArgs& args, const graph::EdgeList& g) {
   if (v == "autotune") {
     return bc::autotune_variant(g, 0).best;
   }
-  TBC_CHECK(v == "auto",
-            "unknown variant '" + v +
-                "' (expected auto|autotune|sccooc|sccsc|vecsc)");
+  if (v != "auto") {
+    throw UsageError("unknown variant '" + v +
+                     "' (expected auto|autotune|sccooc|sccsc|vecsc)");
+  }
   return bc::select_variant(g);
 }
 
@@ -80,12 +82,20 @@ std::string cli_usage() {
       "      families: mycielski (--order), kronecker (--scale\n"
       "      --edge-factor), smallworld (--n --k --p), grid (--rows --cols),\n"
       "      road (--rows --cols --subdiv), erdos-renyi (--n --arcs\n"
-      "      [--undirected]); all accept --seed\n"
+      "      [--undirected]), preferential (--n --m-attach [--directed]);\n"
+      "      all accept --seed\n"
       "  turbobc_cli stats g.mtx [--json]\n"
       "  turbobc_cli bfs g.mtx [--source 0] [--variant auto]\n"
       "  turbobc_cli bc g.mtx [--source S | --exact [--batch K] | --approx K]\n"
       "      [--variant auto|autotune|sccooc|sccsc|vecsc] [--edge-bc]\n"
       "      [--top 10] [--verify] [--json] [--trace out.json]\n"
+      "  turbobc_cli approx g.mtx [--epsilon 0.05] [--delta 0.1] [--topk K]\n"
+      "      [--seed 1] [--sampler uniform|degree|component]\n"
+      "      [--engine scalar|batched] [--batch 8] [--max-sources N]\n"
+      "      [--variant auto|autotune|sccooc|sccsc|vecsc] [--top 10] [--json]\n"
+      "      adaptive sampling until every vertex's confidence half-width\n"
+      "      (or, with --topk, the top-k ranking) meets the target; same\n"
+      "      seed => bit-identical output at every --threads\n"
       "\n"
       "global options:\n"
       "  --threads N   host threads simulating the device (default: hardware\n"
@@ -131,6 +141,12 @@ int cmd_generate(const CliArgs& args, std::ostream& out, std::ostream& err) {
                           .arcs = args.get_int("arcs", 5000),
                           .directed = !args.has("undirected"),
                           .seed = seed});
+  } else if (family == "preferential") {
+    g = gen::preferential_attachment(
+        {.n = static_cast<vidx_t>(args.get_int("n", 10000)),
+         .m_attach = static_cast<int>(args.get_int("m-attach", 2)),
+         .directed = args.has("directed"),
+         .seed = seed});
   } else {
     err << "generate: unknown family '" << family << "'\n" << cli_usage();
     return 2;
@@ -341,22 +357,130 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+int cmd_approx(const CliArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional().size() < 2) {
+    err << "approx: missing graph file\n" << cli_usage();
+    return 2;
+  }
+  const auto g = load_graph(args, 1);
+
+  approx::ApproxOptions opt;
+  opt.epsilon = args.get_double("epsilon", 0.05);
+  opt.delta = args.get_double("delta", 0.1);
+  opt.top_k = static_cast<vidx_t>(args.get_int("topk", 0));
+  opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  opt.sampler = approx::parse_sampler(args.get("sampler", "uniform"));
+  opt.engine = approx::parse_engine(args.get("engine", "scalar"));
+  opt.variant = parse_variant(args, g);
+  opt.batch_size = static_cast<vidx_t>(args.get_int("batch", 8));
+  opt.max_sources = static_cast<vidx_t>(args.get_int("max-sources", 0));
+  opt.initial_wave = static_cast<vidx_t>(args.get_int("initial-wave", 0));
+  if (opt.epsilon <= 0.0) throw UsageError("--epsilon must be positive");
+  if (opt.delta <= 0.0 || opt.delta >= 1.0) {
+    throw UsageError("--delta must be in (0, 1)");
+  }
+  if (opt.top_k < 0 || opt.top_k > g.num_vertices()) {
+    throw UsageError("--topk must be in [0, n]");
+  }
+
+  sim::Device device;
+  const approx::ApproxResult r = approx::run_adaptive(device, g, opt);
+
+  const int top_k = static_cast<int>(
+      args.get_int("top", opt.top_k > 0 ? opt.top_k : 10));
+  if (args.has("json")) {
+    out << "{\n"
+        << "  \"mode\": \"approx\",\n"
+        << "  \"sampler\": \"" << approx::sampler_name(opt.sampler) << "\",\n"
+        << "  \"engine\": \"" << approx::engine_name(opt.engine) << "\",\n"
+        << "  \"variant\": \"" << bc::to_string(opt.variant) << "\",\n"
+        << "  \"epsilon\": " << fixed(opt.epsilon, 6) << ",\n"
+        << "  \"delta\": " << fixed(opt.delta, 6) << ",\n"
+        << "  \"topk\": " << opt.top_k << ",\n"
+        << "  \"seed\": " << opt.seed << ",\n"
+        << "  \"vertices\": " << g.num_vertices() << ",\n"
+        << "  \"sources_used\": " << r.sources_used << ",\n"
+        << "  \"exact_sources\": " << g.num_vertices() << ",\n"
+        << "  \"converged\": " << (r.converged ? "true" : "false") << ",\n"
+        << "  \"modeled_ms\": " << fixed(r.device_seconds * 1e3, 6) << ",\n"
+        << "  \"peak_bytes\": " << r.peak_device_bytes << ",\n"
+        << "  \"norm\": " << fixed(r.norm, 6) << ",\n"
+        << "  \"max_half_width\": " << fixed(r.max_half_width, 6) << ",\n"
+        << "  \"max_rel_half_width\": "
+        << fixed(r.max_half_width / r.norm, 9) << ",\n"
+        << "  \"waves\": [";
+    bool first = true;
+    for (const approx::WaveStats& w : r.waves) {
+      out << (first ? "" : ", ") << "{\"sources\": " << w.sources
+          << ", \"modeled_ms\": " << fixed(w.device_seconds * 1e3, 6)
+          << ", \"max_half_width\": " << fixed(w.max_half_width, 6)
+          << ", \"converged\": " << (w.converged ? "true" : "false") << "}";
+      first = false;
+    }
+    out << "],\n  \"top\": [";
+    first = true;
+    for (const vidx_t v : top_order(r.bc, top_k)) {
+      out << (first ? "" : ", ") << "{\"vertex\": " << v << ", \"bc\": "
+          << fixed(r.bc[static_cast<std::size_t>(v)], 6)
+          << ", \"half_width\": "
+          << fixed(r.half_width[static_cast<std::size_t>(v)], 6) << "}";
+      first = false;
+    }
+    out << "]\n}\n";
+  } else {
+    out << "approx BC (" << approx::sampler_name(opt.sampler) << " pivots, "
+        << approx::engine_name(opt.engine) << " engine, "
+        << bc::to_string(opt.variant) << "): " << r.sources_used << "/"
+        << g.num_vertices() << " sources, "
+        << (r.converged ? "converged" : "budget exhausted") << ", "
+        << fixed(r.device_seconds * 1e3, 3) << " ms modeled, peak "
+        << human_bytes(r.peak_device_bytes) << '\n'
+        << "max half-width " << fixed(r.max_half_width, 3) << " ("
+        << fixed(100.0 * r.max_half_width / r.norm, 4)
+        << "% of max possible BC) at confidence "
+        << fixed(100.0 * (1.0 - opt.delta), 1) << "%\n";
+
+    Table waves({"wave", "sources", "modeled ms", "max half-width"});
+    int wave_no = 0;
+    for (const approx::WaveStats& w : r.waves) {
+      waves.add_row({std::to_string(++wave_no), std::to_string(w.sources),
+                     fixed(w.device_seconds * 1e3, 3),
+                     fixed(w.max_half_width, 3)});
+    }
+    waves.print(out);
+
+    Table t({"rank", "vertex", "bc", "±"});
+    int rank = 0;
+    for (const vidx_t v : top_order(r.bc, top_k)) {
+      t.add_row({std::to_string(++rank), std::to_string(v),
+                 fixed(r.bc[static_cast<std::size_t>(v)], 3),
+                 fixed(r.half_width[static_cast<std::size_t>(v)], 3)});
+    }
+    t.print(out);
+  }
+  return 0;
+}
+
 int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
   if (args.positional().empty()) {
     err << cli_usage();
     return 2;
   }
   const std::string& cmd = args.positional()[0];
-  // Pool width for the host-parallel simulation engine; every modeled
-  // number is bit-identical for any width, so this is purely a wall-clock
-  // knob. 0 = hardware concurrency.
-  sim::ExecutorPool::instance().set_threads(
-      static_cast<unsigned>(args.get_int("threads", 0)));
   try {
+    // Pool width for the host-parallel simulation engine; every modeled
+    // number is bit-identical for any width, so this is purely a wall-clock
+    // knob. 0 = hardware concurrency.
+    sim::ExecutorPool::instance().set_threads(
+        static_cast<unsigned>(args.get_int("threads", 0)));
     if (cmd == "generate") return cmd_generate(args, out, err);
     if (cmd == "stats") return cmd_stats(args, out, err);
     if (cmd == "bfs") return cmd_bfs(args, out, err);
     if (cmd == "bc") return cmd_bc(args, out, err);
+    if (cmd == "approx") return cmd_approx(args, out, err);
+  } catch (const UsageError& e) {
+    err << "error: " << e.what() << '\n' << cli_usage();
+    return 2;
   } catch (const Error& e) {
     err << "error: " << e.what() << '\n';
     return 1;

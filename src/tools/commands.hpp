@@ -8,6 +8,8 @@
 //   bfs       — TurboBFS from a source: depth histogram, reach, timing
 //   bc        — betweenness centrality: single-source, exact, or sampled
 //               approximate; optional edge BC; optional verification
+//   approx    — adaptive approximate BC to an (epsilon, delta) target or
+//               stable top-k ranking (src/approx/ wave driver)
 #pragma once
 
 #include <iosfwd>
@@ -25,6 +27,7 @@ int cmd_generate(const CliArgs& args, std::ostream& out, std::ostream& err);
 int cmd_stats(const CliArgs& args, std::ostream& out, std::ostream& err);
 int cmd_bfs(const CliArgs& args, std::ostream& out, std::ostream& err);
 int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err);
+int cmd_approx(const CliArgs& args, std::ostream& out, std::ostream& err);
 
 /// The help text (also printed on usage errors).
 std::string cli_usage();

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/estimator.hpp"
+
+namespace turbobc::approx {
+namespace {
+
+bc::TurboBC::MomentResult wave_of(std::vector<bc_t> sum,
+                                  std::vector<bc_t> sumsq) {
+  bc::TurboBC::MomentResult m;
+  m.sum = std::move(sum);
+  m.sumsq = std::move(sumsq);
+  return m;
+}
+
+/// k identical samples of value x per vertex: sum = k*x, sumsq = k*x^2.
+bc::TurboBC::MomentResult constant_wave(const std::vector<double>& values,
+                                        std::size_t k) {
+  std::vector<bc_t> sum(values.size()), sumsq(values.size());
+  for (std::size_t v = 0; v < values.size(); ++v) {
+    sum[v] = static_cast<bc_t>(values[v] * static_cast<double>(k));
+    sumsq[v] = static_cast<bc_t>(values[v] * values[v] *
+                                 static_cast<double>(k));
+  }
+  return wave_of(std::move(sum), std::move(sumsq));
+}
+
+TEST(Estimator, NormAndRangeFormulas) {
+  // Undirected: cscale = 1/2 halves both the BC ceiling and the range.
+  IncrementalEstimator undirected({.epsilon = 0.1, .delta = 0.1, .top_k = 0,
+                                   .num_vertices = 10, .directed = false,
+                                   .max_weight = 10.0});
+  EXPECT_DOUBLE_EQ(undirected.norm(), 0.5 * 9 * 8);
+  EXPECT_DOUBLE_EQ(undirected.sample_range(), 10.0 * 0.5 * 8);
+
+  IncrementalEstimator directed({.epsilon = 0.1, .delta = 0.1, .top_k = 0,
+                                 .num_vertices = 10, .directed = true,
+                                 .max_weight = 10.0});
+  EXPECT_DOUBLE_EQ(directed.norm(), 9.0 * 8.0);
+  EXPECT_DOUBLE_EQ(directed.sample_range(), 10.0 * 8.0);
+}
+
+TEST(Estimator, TinyGraphsDegenerateGracefully) {
+  // n = 2: no vertex can be interior to a shortest path, so the sample
+  // range is 0 and the norm clamps to 1 — two samples converge instantly.
+  IncrementalEstimator est({.epsilon = 0.05, .delta = 0.1, .top_k = 0,
+                            .num_vertices = 2, .directed = false,
+                            .max_weight = 2.0});
+  EXPECT_DOUBLE_EQ(est.sample_range(), 0.0);
+  EXPECT_DOUBLE_EQ(est.norm(), 1.0);
+  est.fold_wave(constant_wave({0.0, 0.0}, 2), 2);
+  EXPECT_TRUE(est.check_stop());
+  EXPECT_DOUBLE_EQ(est.max_half_width(), 0.0);
+}
+
+TEST(Estimator, NoStopBeforeTwoSamples) {
+  // The Bernstein bound divides by k-1; a single sample can never fire.
+  IncrementalEstimator est({.epsilon = 100.0, .delta = 0.1, .top_k = 0,
+                            .num_vertices = 4, .directed = false,
+                            .max_weight = 4.0});
+  est.fold_wave(constant_wave({1.0, 1.0, 1.0, 1.0}, 1), 1);
+  EXPECT_FALSE(est.check_stop());
+  est.fold_wave(constant_wave({1.0, 1.0, 1.0, 1.0}, 1), 1);
+  EXPECT_TRUE(est.check_stop());
+}
+
+TEST(Estimator, EstimatesAreSampleMeans) {
+  IncrementalEstimator est({.epsilon = 0.05, .delta = 0.1, .top_k = 0,
+                            .num_vertices = 2, .directed = true,
+                            .max_weight = 2.0});
+  est.fold_wave(wave_of({2.0, 4.0}, {4.0, 16.0}), 2);
+  est.fold_wave(wave_of({4.0, 2.0}, {16.0, 4.0}), 2);
+  EXPECT_EQ(est.samples(), 4u);
+  const auto e = est.estimates();
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_DOUBLE_EQ(e[0], 6.0 / 4.0);
+  EXPECT_DOUBLE_EQ(e[1], 6.0 / 4.0);
+}
+
+TEST(Estimator, HalfWidthsShrinkWithSamples) {
+  IncrementalEstimator est({.epsilon = 1e-9, .delta = 0.1, .top_k = 0,
+                            .num_vertices = 8, .directed = false,
+                            .max_weight = 8.0});
+  const std::vector<double> values = {3.0, 1.0, 0.5, 0.0, 2.0, 2.0, 1.0, 0.0};
+  est.fold_wave(constant_wave(values, 16), 16);
+  est.check_stop();
+  const double h1 = est.max_half_width();
+  est.fold_wave(constant_wave(values, 240), 240);
+  est.check_stop();
+  const double h2 = est.max_half_width();
+  EXPECT_GT(h1, 0.0);
+  EXPECT_LT(h2, h1);
+  // Zero sample variance: the Bernstein bound's variance term vanishes, so
+  // the half-width must beat Hoeffding's R/sqrt(k) scaling by a wide margin.
+  const double hoeffding =
+      est.sample_range() *
+      std::sqrt(std::log(2.0 / (0.1 / 4.0 / 16.0)) / (2.0 * 256.0));
+  EXPECT_LT(h2, hoeffding);
+}
+
+TEST(Estimator, ZeroVarianceConvergesUnderEpsilon) {
+  IncrementalEstimator est({.epsilon = 0.05, .delta = 0.1, .top_k = 0,
+                            .num_vertices = 16, .directed = false,
+                            .max_weight = 16.0});
+  const std::vector<double> values(16, 1.0);
+  bool converged = false;
+  for (int wave = 0; wave < 40 && !converged; ++wave) {
+    est.fold_wave(constant_wave(values, 64), 64);
+    converged = est.check_stop();
+  }
+  EXPECT_TRUE(converged);
+  EXPECT_LE(est.max_half_width(), 0.05 * est.norm());
+}
+
+TEST(Estimator, TopKStopsOnSeparatedValues) {
+  // Vertex 0 is far above the rest; top-1 rank stability should fire long
+  // before every vertex's interval shrinks to epsilon * norm.
+  IncrementalEstimator topk({.epsilon = 0.05, .delta = 0.1, .top_k = 1,
+                             .num_vertices = 6, .directed = false,
+                             .max_weight = 6.0});
+  IncrementalEstimator full({.epsilon = 0.05, .delta = 0.1, .top_k = 0,
+                             .num_vertices = 6, .directed = false,
+                             .max_weight = 6.0});
+  const std::vector<double> values = {9.0, 0.5, 0.4, 0.3, 0.2, 0.1};
+  int topk_waves = 0, full_waves = 0;
+  for (int wave = 0; wave < 64; ++wave) {
+    topk.fold_wave(constant_wave(values, 8), 8);
+    ++topk_waves;
+    if (topk.check_stop()) break;
+  }
+  for (int wave = 0; wave < 64; ++wave) {
+    full.fold_wave(constant_wave(values, 8), 8);
+    ++full_waves;
+    if (full.check_stop()) break;
+  }
+  EXPECT_LE(topk_waves, full_waves);
+  const auto e = topk.estimates();
+  EXPECT_DOUBLE_EQ(e[0], 9.0);
+}
+
+TEST(Estimator, ChecksCountTheDeltaSchedule) {
+  IncrementalEstimator est({.epsilon = 1e-9, .delta = 0.1, .top_k = 0,
+                            .num_vertices = 4, .directed = false,
+                            .max_weight = 4.0});
+  EXPECT_EQ(est.checks(), 0u);
+  est.fold_wave(constant_wave({1, 1, 1, 1}, 4), 4);
+  est.check_stop();
+  est.check_stop();
+  EXPECT_EQ(est.checks(), 2u);
+}
+
+}  // namespace
+}  // namespace turbobc::approx

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "approx/sampler.hpp"
+#include "common/error.hpp"
+#include "generators/generators.hpp"
+#include "graph/components.hpp"
+
+namespace turbobc::approx {
+namespace {
+
+using graph::EdgeList;
+
+EdgeList star_graph(vidx_t leaves) {
+  EdgeList el(leaves + 1, /*directed=*/false);
+  for (vidx_t i = 1; i <= leaves; ++i) el.add_edge(0, i);
+  el.symmetrize();
+  return el;
+}
+
+EdgeList two_components() {
+  // Triangle {0,1,2} plus a 4-path {3,4,5,6}.
+  EdgeList el(7, /*directed=*/false);
+  el.add_edge(0, 1);
+  el.add_edge(1, 2);
+  el.add_edge(2, 0);
+  el.add_edge(3, 4);
+  el.add_edge(4, 5);
+  el.add_edge(5, 6);
+  el.symmetrize();
+  return el;
+}
+
+TEST(Sampler, ParseRoundTrip) {
+  EXPECT_EQ(parse_sampler("uniform"), SamplerKind::kUniform);
+  EXPECT_EQ(parse_sampler("degree"), SamplerKind::kDegree);
+  EXPECT_EQ(parse_sampler("component"), SamplerKind::kComponent);
+  EXPECT_STREQ(sampler_name(SamplerKind::kUniform), "uniform");
+  EXPECT_STREQ(sampler_name(SamplerKind::kDegree), "degree");
+  EXPECT_STREQ(sampler_name(SamplerKind::kComponent), "component");
+}
+
+TEST(Sampler, ParseUnknownThrowsUsageError) {
+  EXPECT_THROW(parse_sampler("random"), UsageError);
+  EXPECT_THROW(parse_sampler(""), UsageError);
+}
+
+class SamplerKinds : public ::testing::TestWithParam<SamplerKind> {};
+
+TEST_P(SamplerKinds, ReproducibleFromSeedAlone) {
+  const auto el = gen::mycielski(5);
+  PivotSampler a(el, GetParam(), 7);
+  PivotSampler b(el, GetParam(), 7);
+  std::vector<vidx_t> sa, sb;
+  std::vector<double> wa, wb;
+  a.draw(200, sa, wa);
+  b.draw(200, sb, wb);
+  EXPECT_EQ(sa, sb);
+  EXPECT_EQ(wa, wb);
+
+  PivotSampler c(el, GetParam(), 8);
+  std::vector<vidx_t> sc;
+  std::vector<double> wc;
+  c.draw(200, sc, wc);
+  EXPECT_NE(sa, sc) << "different seed should move the pivot sequence";
+}
+
+TEST_P(SamplerKinds, DrawAppendsContinuously) {
+  // 5 + 5 draws must equal one 10-draw: wave chunking cannot change the
+  // pivot sequence (this is what makes resume/restart deterministic).
+  const auto el = gen::mycielski(5);
+  PivotSampler chunked(el, GetParam(), 3);
+  PivotSampler whole(el, GetParam(), 3);
+  std::vector<vidx_t> s1, s2;
+  std::vector<double> w1, w2;
+  chunked.draw(5, s1, w1);
+  chunked.draw(5, s1, w1);
+  whole.draw(10, s2, w2);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(w1, w2);
+}
+
+TEST_P(SamplerKinds, DrawsInRangeAndWeightsBounded) {
+  const auto el = gen::erdos_renyi({.n = 64, .arcs = 300, .directed = true,
+                                    .seed = 11});
+  PivotSampler s(el, GetParam(), 5);
+  std::vector<vidx_t> sources;
+  std::vector<double> weights;
+  s.draw(500, sources, weights);
+  ASSERT_EQ(sources.size(), 500u);
+  ASSERT_EQ(weights.size(), 500u);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_GE(sources[i], 0);
+    EXPECT_LT(sources[i], el.num_vertices());
+    EXPECT_GT(weights[i], 0.0);
+    EXPECT_LE(weights[i], s.max_weight());
+  }
+}
+
+TEST_P(SamplerKinds, WeightsAreUnbiased) {
+  // E[w] = sum_s p_s * (1/p_s) = n for every draw distribution; the sample
+  // mean over many draws must land near n.
+  const auto el = gen::preferential_attachment({.n = 60, .m_attach = 2,
+                                                .directed = false, .seed = 4});
+  PivotSampler s(el, GetParam(), 1);
+  std::vector<vidx_t> sources;
+  std::vector<double> weights;
+  s.draw(20000, sources, weights);
+  double mean = 0.0;
+  for (const double w : weights) mean += w;
+  mean /= static_cast<double>(weights.size());
+  EXPECT_NEAR(mean, 60.0, 6.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, SamplerKinds,
+                         ::testing::Values(SamplerKind::kUniform,
+                                           SamplerKind::kDegree,
+                                           SamplerKind::kComponent),
+                         [](const auto& info) {
+                           return sampler_name(info.param);
+                         });
+
+TEST(Sampler, UniformWeightIsN) {
+  const auto el = gen::mycielski(5);
+  PivotSampler s(el, SamplerKind::kUniform, 2);
+  std::vector<vidx_t> sources;
+  std::vector<double> weights;
+  s.draw(100, sources, weights);
+  for (const double w : weights) {
+    EXPECT_EQ(w, static_cast<double>(el.num_vertices()));
+  }
+  EXPECT_EQ(s.max_weight(), static_cast<double>(el.num_vertices()));
+}
+
+TEST(Sampler, DegreeWeightMatchesInverseProbability) {
+  const auto el = gen::erdos_renyi({.n = 40, .arcs = 160, .directed = true,
+                                    .seed = 21});
+  const auto deg = el.out_degrees();
+  const double total = static_cast<double>(el.num_arcs()) +
+                       static_cast<double>(el.num_vertices());
+  PivotSampler s(el, SamplerKind::kDegree, 6);
+  std::vector<vidx_t> sources;
+  std::vector<double> weights;
+  s.draw(300, sources, weights);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const double mass = static_cast<double>(deg[sources[i]]) + 1.0;
+    EXPECT_DOUBLE_EQ(weights[i], total / mass);
+  }
+}
+
+TEST(Sampler, DegreePrefersHubs) {
+  const auto el = star_graph(49);
+  PivotSampler s(el, SamplerKind::kDegree, 9);
+  std::vector<vidx_t> sources;
+  std::vector<double> weights;
+  s.draw(2000, sources, weights);
+  std::map<vidx_t, int> freq;
+  for (const vidx_t v : sources) ++freq[v];
+  int best_leaf = 0;
+  for (const auto& [v, c] : freq) {
+    if (v != 0) best_leaf = std::max(best_leaf, c);
+  }
+  EXPECT_GT(freq[0], 4 * best_leaf)
+      << "the hub's draw mass must dominate any leaf's";
+}
+
+TEST(Sampler, ComponentWeightsAndCoverage) {
+  const auto el = two_components();
+  PivotSampler s(el, SamplerKind::kComponent, 13);
+  std::vector<vidx_t> sources;
+  std::vector<double> weights;
+  s.draw(400, sources, weights);
+  bool saw_triangle = false, saw_path = false;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    if (sources[i] <= 2) {
+      EXPECT_DOUBLE_EQ(weights[i], 2.0 * 3.0);  // n_comp * |C|
+      saw_triangle = true;
+    } else {
+      EXPECT_DOUBLE_EQ(weights[i], 2.0 * 4.0);
+      saw_path = true;
+    }
+  }
+  EXPECT_TRUE(saw_triangle);
+  EXPECT_TRUE(saw_path) << "component-uniform draws must not starve either";
+  EXPECT_EQ(s.max_weight(), 8.0);
+}
+
+}  // namespace
+}  // namespace turbobc::approx

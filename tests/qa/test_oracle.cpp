@@ -131,6 +131,40 @@ TEST(OracleFootprint, EdgeBcAddsOneWordPerArc) {
   }
 }
 
+TEST(OracleFootprint, ApproxPeakAddsTwoMomentArrays) {
+  // The moment runs carry two extra n-word float arrays ("approx_sum" /
+  // "approx_sumsq"), lifting the modeled footprint from 7n + m to 9n + m.
+  const vidx_t n = 100;
+  const eidx_t m = 400;
+  for (const auto v :
+       {bc::Variant::kScCooc, bc::Variant::kScCsc, bc::Variant::kVeCsc}) {
+    EXPECT_EQ(expected_approx_peak_bytes(v, n, m),
+              expected_turbobc_peak_bytes(v, n, m, false) +
+                  8 * static_cast<std::size_t>(n));
+  }
+}
+
+TEST(Oracle, ApproxChecksCanBeDisabled) {
+  const auto g =
+      gen::erdos_renyi({.n = 30, .arcs = 100, .directed = false, .seed = 9});
+  OracleOptions opt;
+  opt.check_approx = false;
+  const OracleReport r = check_graph(g, opt);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(Oracle, ApproxBudgetIsRespectedOnCleanGraphs) {
+  // A tiny pivot budget cannot converge, but coverage / accounting /
+  // determinism must still hold — the oracle checks the intervals, not the
+  // converged flag.
+  const auto g =
+      gen::erdos_renyi({.n = 40, .arcs = 150, .directed = true, .seed = 12});
+  OracleOptions opt;
+  opt.approx_budget = 8;
+  const OracleReport r = check_graph(g, opt);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
 TEST(OracleFootprint, GunrockInventoryDominatesItsModel) {
   const vidx_t n = 100;
   const eidx_t m = 400;

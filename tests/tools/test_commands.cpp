@@ -55,6 +55,45 @@ TEST(Cli, GenerateRejectsUnknownFamily) {
   EXPECT_EQ(r.code, 2);
 }
 
+TEST(Cli, GeneratePreferentialFamily) {
+  const std::string path = temp_mtx("cli_gen_pref.mtx");
+  const auto r = run({"generate", "--family", "preferential", "--n", "300",
+                      "--m-attach", "2", "--out", path.c_str()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good());
+}
+
+TEST(Cli, ApproxRunsWithBudgetAndReportsHonestly) {
+  const std::string path = temp_mtx("cli_approx_cmd.mtx");
+  ASSERT_EQ(run({"generate", "--family", "preferential", "--n", "400",
+                 "--m-attach", "3", "--out", path.c_str()})
+                .code,
+            0);
+  const auto r =
+      run({"approx", path.c_str(), "--max-sources", "64", "--json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"mode\": \"approx\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"sources_used\": 64"), std::string::npos);
+  EXPECT_NE(r.out.find("\"converged\": false"), std::string::npos)
+      << "a 64-pivot budget cannot meet the default target on n = 400";
+}
+
+TEST(Cli, ApproxValidatesFlagDomains) {
+  const std::string path = temp_mtx("cli_approx_domain.mtx");
+  ASSERT_EQ(run({"generate", "--family", "mycielski", "--order", "5",
+                 "--out", path.c_str()})
+                .code,
+            0);
+  const auto eps = run({"approx", path.c_str(), "--epsilon", "0"});
+  EXPECT_EQ(eps.code, 2);
+  EXPECT_NE(eps.err.find("--epsilon must be positive"), std::string::npos);
+  const auto delta = run({"approx", path.c_str(), "--delta", "1.5"});
+  EXPECT_EQ(delta.code, 2);
+  const auto topk = run({"approx", path.c_str(), "--topk", "-3"});
+  EXPECT_EQ(topk.code, 2);
+}
+
 TEST(Cli, GenerateRequiresOut) {
   const auto r = run({"generate", "--family", "mycielski"});
   EXPECT_EQ(r.code, 2);
@@ -153,8 +192,12 @@ TEST(Cli, BcVariantOverrideAndAutotune) {
     EXPECT_EQ(r.code, 0) << v << ": " << r.err;
     EXPECT_NE(r.out.find("(OK)"), std::string::npos) << v;
   }
+  // Unknown variants are CLI misuse: exit 2 with the usage text, like every
+  // other malformed flag.
   const auto bad = run({"bc", path.c_str(), "--variant", "bogus"});
-  EXPECT_EQ(bad.code, 1);
+  EXPECT_EQ(bad.code, 2);
+  EXPECT_NE(bad.err.find("unknown variant 'bogus'"), std::string::npos);
+  EXPECT_NE(bad.err.find("usage:"), std::string::npos);
 }
 
 TEST(Cli, BcTraceWritesJson) {

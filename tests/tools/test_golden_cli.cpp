@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "common/cli.hpp"
+#include "gpusim/executor.hpp"
 #include "tools/commands.hpp"
 
 namespace turbobc::tools {
@@ -23,7 +24,22 @@ std::string run_ok(std::vector<const char*> argv) {
   std::ostringstream out, err;
   const int code = run_cli(args, out, err);
   EXPECT_EQ(code, 0) << err.str();
+  sim::ExecutorPool::instance().set_threads(1);
   return out.str();
+}
+
+/// CLI-misuse runs: must exit 2 and print prose + usage to stderr only.
+/// The stderr text is golden-pinned — usage errors are part of the CLI's
+/// stable surface (they must never leak file:line internals).
+std::string run_usage_error(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "turbobc_cli");
+  const CliArgs args(static_cast<int>(argv.size()), argv.data());
+  std::ostringstream out, err;
+  const int code = run_cli(args, out, err);
+  EXPECT_EQ(code, 2) << "expected a usage error, got:\n" << out.str();
+  EXPECT_TRUE(out.str().empty()) << "usage errors must not write stdout";
+  sim::ExecutorPool::instance().set_threads(1);
+  return err.str();
 }
 
 std::string golden_path(const char* name) {
@@ -119,6 +135,62 @@ TEST(GoldenCli, BcSingleSourceJsonGrid) {
       run_ok({"bc", g.c_str(), "--source", "9", "--verify", "--top", "5",
               "--json"}),
       "bc_grid8x8.json.golden");
+}
+
+TEST(GoldenCli, ApproxTextMycielski) {
+  const auto g = mycielski_graph();
+  expect_matches_golden(
+      run_ok({"approx", g.c_str(), "--seed", "7", "--top", "5"}),
+      "approx_mycielski6.txt.golden");
+}
+
+TEST(GoldenCli, ApproxJsonMycielski) {
+  const auto g = mycielski_graph();
+  expect_matches_golden(
+      run_ok({"approx", g.c_str(), "--seed", "7", "--top", "5", "--json"}),
+      "approx_mycielski6.json.golden");
+}
+
+TEST(GoldenCli, ApproxJsonMycielskiIsThreadInvariant) {
+  // Same invocation at pool width 8 must reproduce the width-1 golden
+  // byte-for-byte: the adaptive run is bit-identical at any --threads.
+  const auto g = mycielski_graph();
+  expect_matches_golden(
+      run_ok({"approx", g.c_str(), "--seed", "7", "--top", "5", "--json",
+              "--threads", "8"}),
+      "approx_mycielski6.json.golden");
+}
+
+TEST(GoldenCli, ApproxJsonGridBatchedDegree) {
+  const auto g = grid_graph();
+  expect_matches_golden(
+      run_ok({"approx", g.c_str(), "--seed", "7", "--engine", "batched",
+              "--sampler", "degree", "--top", "5", "--json"}),
+      "approx_grid8x8.json.golden");
+}
+
+TEST(GoldenCli, ErrorUnknownCommand) {
+  expect_matches_golden(run_usage_error({"frobnicate"}),
+                        "cli_error_unknown_command.txt.golden");
+}
+
+TEST(GoldenCli, ErrorMalformedFlagValue) {
+  const auto g = mycielski_graph();
+  expect_matches_golden(
+      run_usage_error({"approx", g.c_str(), "--epsilon", "banana"}),
+      "cli_error_bad_flag.txt.golden");
+}
+
+TEST(GoldenCli, ErrorUnknownSampler) {
+  const auto g = mycielski_graph();
+  expect_matches_golden(
+      run_usage_error({"approx", g.c_str(), "--sampler", "random"}),
+      "cli_error_unknown_sampler.txt.golden");
+}
+
+TEST(GoldenCli, ErrorNoArguments) {
+  expect_matches_golden(run_usage_error({}),
+                        "cli_error_no_arguments.txt.golden");
 }
 
 }  // namespace
