@@ -1,0 +1,365 @@
+// Modeled multi-GPU scaling benchmark: BENCH_multigpu.json.
+//
+// Part 1 — strong scaling. Two suite graphs (a Table 1 Markov lattice on
+// scCSC and a Table 3 Mycielskian on veCSC) run a fixed evenly-spread
+// source set through the distributed engine: the replicated strategy at
+// K in {1, 2, 4, 8} plus the partitioned strategy at K = 4. Each row
+// reports modeled bulk-synchronous seconds, interconnect seconds and bytes,
+// the max per-device peak, the speedup against that graph's K = 1 row, and
+// whether the BC array is bit-identical to the single-device engine (it
+// must be — same pinned variant, shared float folds).
+//
+// Part 2 — acceptance past the memory wall. An Erdos-Renyi digraph on a
+// Titan Xp whose memory is scaled down by 1e-5 so the single-device
+// 7n + m inventory overflows: the K = 1 run MUST throw DeviceOutOfMemory
+// (caught and asserted), while the K = 4 auto run must pick the
+// partitioned strategy, keep every per-device peak under the scaled
+// capacity, and match sequential Brandes. The binary exits nonzero if any
+// of that fails, or if any scaling row loses bit-identity or falls under
+// half the ideal replicated speedup.
+//
+//   bench_multigpu [--sources 32] [--wall-sources 16] [--seed 1]
+//                  [--threads N] [--out BENCH_multigpu.json]
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/brandes.hpp"
+#include "bench_support/stamp.hpp"
+#include "bench_support/suite.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/turbobc.hpp"
+#include "dist/dist_turbobc.hpp"
+#include "dist/partition.hpp"
+#include "generators/generators.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
+#include "gpusim/topology.hpp"
+
+namespace {
+
+using namespace turbobc;
+
+struct ScaleRow {
+  std::string name;
+  vidx_t n = 0;
+  eidx_t m = 0;
+  std::string strategy;
+  int devices = 1;
+  vidx_t sources = 0;
+  double modeled_s = 0.0;  // bulk-synchronous critical path incl. comm
+  double comm_s = 0.0;
+  std::uint64_t comm_bytes = 0;
+  std::size_t max_peak_bytes = 0;
+  double speedup = 0.0;  // K = 1 replicate row of the same graph / this row
+  bool bit_identical = false;  // BC == single-device engine, bit for bit
+};
+
+struct WallResult {
+  std::string name;
+  vidx_t n = 0;
+  eidx_t m = 0;
+  int devices = 0;
+  vidx_t sources = 0;
+  std::uint64_t capacity_bytes = 0;  // scaled per-device global memory
+  std::uint64_t single_model_bytes = 0;  // replicated footprint model
+  bool oom_at_k1 = false;
+  std::string strategy;
+  double modeled_s = 0.0;
+  double comm_s = 0.0;
+  std::uint64_t comm_bytes = 0;
+  std::size_t max_peak_bytes = 0;
+  double max_rel_err = 0.0;  // vs sequential Brandes over the source set
+  bool bc_ok = false;
+};
+
+void write_multigpu_json(std::ostream& os, const bench::BenchStamp& stamp,
+                         const std::vector<ScaleRow>& rows,
+                         const WallResult& wall) {
+  os << "{\n";
+  bench::write_stamp_json(os, stamp);
+  os << ",\n\"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    os << "  {\"graph\": \"" << r.name << "\", \"n\": " << r.n
+       << ", \"m\": " << r.m << ", \"strategy\": \"" << r.strategy
+       << "\", \"devices\": " << r.devices << ", \"sources\": " << r.sources
+       << ", \"modeled_s\": " << r.modeled_s << ", \"comm_s\": " << r.comm_s
+       << ", \"comm_bytes\": " << r.comm_bytes
+       << ", \"max_peak_bytes\": " << r.max_peak_bytes
+       << ", \"speedup\": " << r.speedup << ", \"bit_identical\": "
+       << (r.bit_identical ? "true" : "false") << "}"
+       << (i + 1 < rows.size() ? "," : "") << '\n';
+  }
+  os << "],\n\"acceptance\": {\"graph\": \"" << wall.name
+     << "\", \"n\": " << wall.n << ", \"m\": " << wall.m
+     << ", \"devices\": " << wall.devices << ", \"sources\": " << wall.sources
+     << ", \"capacity_bytes\": " << wall.capacity_bytes
+     << ", \"single_model_bytes\": " << wall.single_model_bytes
+     << ", \"oom_at_k1\": " << (wall.oom_at_k1 ? "true" : "false")
+     << ", \"strategy\": \"" << wall.strategy
+     << "\", \"modeled_s\": " << wall.modeled_s
+     << ", \"comm_s\": " << wall.comm_s
+     << ", \"comm_bytes\": " << wall.comm_bytes
+     << ", \"max_peak_bytes\": " << wall.max_peak_bytes
+     << ", \"max_rel_err\": " << wall.max_rel_err
+     << ", \"bc_ok\": " << (wall.bc_ok ? "true" : "false") << "}\n}\n";
+}
+
+void print_rows(std::ostream& os, const std::vector<ScaleRow>& rows) {
+  Table t({"graph", "n", "m", "strategy", "K", "modeled(s)", "comm(s)",
+           "comm", "peak/dev", "speedup", "bits"});
+  for (const auto& r : rows) {
+    t.add_row({r.name, human_count(static_cast<double>(r.n)),
+               human_count(static_cast<double>(r.m)), r.strategy,
+               std::to_string(r.devices), fixed(r.modeled_s, 4),
+               fixed(r.comm_s, 6),
+               human_bytes(r.comm_bytes),
+               human_bytes(r.max_peak_bytes),
+               fixed(r.speedup, 2) + "x", r.bit_identical ? "ok" : "DRIFT"});
+  }
+  t.print(os);
+}
+
+std::vector<vidx_t> spread_sources(vidx_t n, vidx_t count) {
+  std::vector<vidx_t> s;
+  s.reserve(count);
+  for (vidx_t i = 0; i < count; ++i) {
+    s.push_back(
+        static_cast<vidx_t>(static_cast<std::uint64_t>(i) * n / count));
+  }
+  return s;
+}
+
+bool bits_equal(const std::vector<bc_t>& a, const std::vector<bc_t>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+/// One strong-scaling row: the given strategy at K devices, checked
+/// bit-for-bit against the single-device reference BC.
+ScaleRow run_scale_row(const bench::Workload& w,
+                       const std::vector<vidx_t>& sources,
+                       dist::Strategy strategy, int devices,
+                       const std::vector<bc_t>& reference_bc) {
+  sim::TopologyProps props = sim::TopologyProps::quad_titan_xp();
+  props.num_devices = devices;
+  sim::Topology topo(props);
+  dist::DistTurboBC engine(topo, w.graph,
+                           {.strategy = strategy, .variant = w.variant});
+  const dist::DistResult r = engine.run_sources(sources);
+
+  ScaleRow row;
+  row.name = w.name;
+  row.n = w.graph.num_vertices();
+  row.m = w.graph.num_arcs();
+  row.strategy = dist::to_string(r.strategy_used);
+  row.devices = devices;
+  row.sources = static_cast<vidx_t>(sources.size());
+  row.modeled_s = r.device_seconds;
+  row.comm_s = r.comm_seconds;
+  row.comm_bytes = r.comm_bytes;
+  row.max_peak_bytes = r.max_peak_bytes;
+  row.bit_identical = bits_equal(r.bc, reference_bc);
+  return row;
+}
+
+/// Part 2: the memory-wall acceptance scenario (see file comment).
+WallResult run_memory_wall(vidx_t wall_sources) {
+  const auto el = gen::erdos_renyi(
+      {.n = 3000, .arcs = 12000, .directed = true, .seed = 13});
+  sim::TopologyProps props = sim::TopologyProps::quad_titan_xp();
+  props.device = sim::DeviceProps::titan_xp_scaled_memory(1e-5);
+
+  WallResult wall;
+  wall.name = "er-3000";
+  wall.n = el.num_vertices();
+  wall.m = el.num_arcs();
+  wall.devices = props.num_devices;
+  wall.sources = wall_sources;
+  wall.capacity_bytes = props.device.global_mem_bytes;
+  wall.single_model_bytes = dist::replicated_device_bytes(
+      bc::Variant::kScCsc, wall.n, static_cast<std::uint64_t>(wall.m),
+      /*edge_bc=*/false);
+
+  // The whole-graph engine must hit the wall on one scaled device.
+  std::cerr << "  [multigpu] " << wall.name << " K=1 ..." << std::flush;
+  try {
+    sim::Device dev(props.device);
+    dev.set_keep_launch_records(false);
+    bc::TurboBC single(dev, el, {.variant = bc::Variant::kScCsc});
+    single.run_single_source(0);
+  } catch (const DeviceOutOfMemory& e) {
+    wall.oom_at_k1 = true;
+    std::cerr << " OOM as required (" << e.what() << ")\n";
+  }
+  if (!wall.oom_at_k1) std::cerr << " unexpectedly fit\n";
+
+  // K = 4 auto must partition, fit, and match sequential Brandes.
+  std::cerr << "  [multigpu] " << wall.name << " K=" << wall.devices
+            << " auto ..." << std::flush;
+  sim::Topology topo(props);
+  dist::DistTurboBC engine(topo, el, {.variant = bc::Variant::kScCsc});
+  const std::vector<vidx_t> sources = spread_sources(wall.n, wall_sources);
+  const dist::DistResult r = engine.run_sources(sources);
+  wall.strategy = dist::to_string(r.strategy_used);
+  wall.modeled_s = r.device_seconds;
+  wall.comm_s = r.comm_seconds;
+  wall.comm_bytes = r.comm_bytes;
+  wall.max_peak_bytes = r.max_peak_bytes;
+
+  std::vector<double> want(static_cast<std::size_t>(wall.n), 0.0);
+  for (const vidx_t s : sources) {
+    const std::vector<bc_t> delta = baseline::brandes_delta(el, s);
+    for (vidx_t v = 0; v < wall.n; ++v) want[v] += delta[v];
+  }
+  for (vidx_t v = 0; v < wall.n; ++v) {
+    const double scale = std::max(std::abs(want[v]), 1.0);
+    wall.max_rel_err =
+        std::max(wall.max_rel_err, std::abs(r.bc[v] - want[v]) / scale);
+  }
+  wall.bc_ok = wall.max_rel_err <= 1e-9;
+  std::cerr << " " << wall.strategy << ", peak "
+            << human_bytes(wall.max_peak_bytes) << " of "
+            << human_bytes(wall.capacity_bytes)
+            << ", max rel err " << wall.max_rel_err << "\n";
+  return wall;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace turbobc;
+  using namespace turbobc::bench;
+
+  const CliArgs args(argc, argv);
+  const auto num_sources = static_cast<vidx_t>(args.get_int("sources", 32));
+  const auto wall_sources =
+      static_cast<vidx_t>(args.get_int("wall-sources", 16));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int threads = static_cast<int>(args.get_int("threads", 0));
+  if (threads > 0) {
+    sim::ExecutorPool::instance().set_threads(static_cast<unsigned>(threads));
+  }
+
+  WallTimer run_timer;
+
+  // Two suite graphs, one per CSC layout family.
+  std::vector<Workload> workloads;
+  workloads.push_back(table1_suite()[2]);  // mark3j100sc(D), scCSC
+  workloads.push_back(table3_suite()[2]);  // mycielski17(U) stand-in, veCSC
+
+  std::vector<ScaleRow> rows;
+  for (const Workload& w : workloads) {
+    const vidx_t n = w.graph.num_vertices();
+    const std::vector<vidx_t> sources =
+        spread_sources(n, std::min(num_sources, n));
+
+    // Single-device reference: same pinned variant, same sources.
+    std::cerr << "  [multigpu] " << w.name << " reference ..." << std::flush;
+    std::vector<bc_t> reference_bc;
+    {
+      sim::Device device;
+      device.set_keep_launch_records(false);
+      bc::TurboBC turbo(device, w.graph, {.variant = w.variant});
+      reference_bc = turbo.run_sources(sources).bc;
+    }
+
+    double k1_seconds = 0.0;
+    for (const int devices : {1, 2, 4, 8}) {
+      std::cerr << " K=" << devices << std::flush;
+      ScaleRow row = run_scale_row(w, sources, dist::Strategy::kReplicate,
+                                   devices, reference_bc);
+      if (devices == 1) k1_seconds = row.modeled_s;
+      row.speedup = row.modeled_s > 0 ? k1_seconds / row.modeled_s : 0.0;
+      rows.push_back(row);
+    }
+    std::cerr << " partition K=4" << std::flush;
+    ScaleRow part = run_scale_row(w, sources, dist::Strategy::kPartition, 4,
+                                  reference_bc);
+    part.speedup = part.modeled_s > 0 ? k1_seconds / part.modeled_s : 0.0;
+    rows.push_back(part);
+    std::cerr << " done\n";
+  }
+
+  const WallResult wall = run_memory_wall(wall_sources);
+
+  std::cout << "Modeled multi-GPU strong scaling: " << num_sources
+            << " evenly-spread sources, PCIe star collectives\n";
+  print_rows(std::cout, rows);
+  std::cout << "\nMemory wall: " << wall.name << " (n " << wall.n << ", m "
+            << wall.m << ") on Titan Xp x 1e-5 memory — single-device model "
+            << human_bytes(wall.single_model_bytes)
+            << " vs capacity "
+            << human_bytes(wall.capacity_bytes)
+            << ": K=1 " << (wall.oom_at_k1 ? "OOM" : "fit (!)") << ", K="
+            << wall.devices << " " << wall.strategy << " peak "
+            << human_bytes(wall.max_peak_bytes)
+            << ", max rel err vs Brandes " << wall.max_rel_err << "\n";
+
+  const std::string out_path = args.get("out", "BENCH_multigpu.json");
+  std::ofstream json(out_path);
+  write_multigpu_json(json, make_stamp(seed, run_timer.seconds()), rows,
+                      wall);
+  std::cout << "\nwrote " << out_path << '\n';
+
+  int rc = 0;
+  for (const ScaleRow& r : rows) {
+    if (!r.bit_identical) {
+      std::cerr << "ERROR: " << r.name << " " << r.strategy << " K="
+                << r.devices << " drifted from the single-device BC\n";
+      rc = 1;
+    }
+    if (r.strategy == "replicate" && r.devices > 1 &&
+        r.speedup < 0.5 * r.devices) {
+      std::cerr << "ERROR: " << r.name << " replicate K=" << r.devices
+                << " speedup " << fixed(r.speedup, 2) << "x (need >= "
+                << fixed(0.5 * r.devices, 1) << "x)\n";
+      rc = 1;
+    }
+  }
+  // The partitioned shards must actually shrink the per-device footprint.
+  for (const Workload& w : workloads) {
+    std::size_t k1_peak = 0, part4_peak = 0;
+    for (const ScaleRow& r : rows) {
+      if (r.name != w.name) continue;
+      if (r.strategy == "replicate" && r.devices == 1)
+        k1_peak = r.max_peak_bytes;
+      if (r.strategy == "partition") part4_peak = r.max_peak_bytes;
+    }
+    if (part4_peak >= k1_peak) {
+      std::cerr << "ERROR: " << w.name << " partition K=4 peak did not drop"
+                << " below the whole-graph peak\n";
+      rc = 1;
+    }
+  }
+  if (!wall.oom_at_k1) {
+    std::cerr << "ERROR: memory-wall graph fit on one scaled device\n";
+    rc = 1;
+  }
+  if (wall.strategy != "partition") {
+    std::cerr << "ERROR: memory-wall auto strategy picked " << wall.strategy
+              << " (need partition)\n";
+    rc = 1;
+  }
+  if (wall.max_peak_bytes >= wall.capacity_bytes) {
+    std::cerr << "ERROR: memory-wall per-device peak " << wall.max_peak_bytes
+              << " B >= capacity " << wall.capacity_bytes << " B\n";
+    rc = 1;
+  }
+  if (!wall.bc_ok) {
+    std::cerr << "ERROR: memory-wall BC max rel err " << wall.max_rel_err
+              << " vs sequential Brandes (need <= 1e-9)\n";
+    rc = 1;
+  }
+  return rc;
+}

@@ -48,6 +48,22 @@ run_config() {
   if "$cli" approx "$g" --epsilon banana > /dev/null 2>&1; then
     echo "approx-smoke: malformed flag should have failed" >&2; exit 1
   fi
+  # Distributed-engine smoke: both strategies on a K=4 modeled topology over
+  # a small suite graph, --verify pinning the BC against sequential Brandes,
+  # and the repo-wide determinism contract pinned end to end by diffing the
+  # full --devices 4 JSON (BC, modeled times, comm bytes, shard rows) at
+  # pool width 8 against width 1, byte for byte.
+  echo "=== [$name] dist-smoke ==="
+  local dg="$dir/dist_smoke.mtx"
+  "$cli" generate --family mycielski --order 7 --out "$dg"
+  "$cli" bc "$dg" --exact --devices 4 --verify > /dev/null
+  "$cli" bc "$dg" --exact --devices 4 --dist partition --verify > /dev/null
+  "$cli" bc "$dg" --exact --devices 4 --dist partition --json --threads 1 \
+    > "$dir/dist_smoke_t1.json"
+  "$cli" bc "$dg" --exact --devices 4 --dist partition --json --threads 8 \
+    > "$dir/dist_smoke_t8.json"
+  cmp "$dir/dist_smoke_t1.json" "$dir/dist_smoke_t8.json"
+  "$cli" info --json > /dev/null
 }
 
 run_config "release" "${prefix}-release"

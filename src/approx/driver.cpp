@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "core/turbobc_batched.hpp"
+#include "dist/dist_turbobc.hpp"
 
 namespace turbobc::approx {
 
@@ -23,8 +24,21 @@ const char* engine_name(Engine engine) {
   return "?";
 }
 
-ApproxResult run_adaptive(sim::Device& device, const graph::EdgeList& graph,
-                          const ApproxOptions& options) {
+namespace {
+
+/// What one wave cost, whichever engine ran it.
+struct WaveRun {
+  double device_seconds = 0.0;
+  std::size_t peak_device_bytes = 0;
+};
+
+/// The engine-agnostic adaptive loop: `run_wave(sources, weights, moments)`
+/// executes one wave and reports its modeled cost; everything else
+/// (sampling, folding, the stopping rule, the left-fold accounting) is
+/// shared between the single-device and distributed drivers.
+template <typename RunWave>
+ApproxResult adaptive_loop(const graph::EdgeList& graph,
+                           const ApproxOptions& options, RunWave&& run_wave) {
   const vidx_t n = graph.num_vertices();
   TBC_CHECK(n > 0, "approx BC needs a non-empty graph");
 
@@ -38,19 +52,6 @@ ApproxResult run_adaptive(sim::Device& device, const graph::EdgeList& graph,
   eopt.directed = graph.directed();
   eopt.max_weight = sampler.max_weight();
   IncrementalEstimator estimator(eopt);
-
-  // Graph upload happens once, here — waves only pay per-source work.
-  std::optional<bc::TurboBC> scalar;
-  std::optional<bc::TurboBCBatched> batched;
-  if (options.engine == Engine::kScalar) {
-    bc::BcOptions bopt;
-    bopt.variant = options.variant;
-    scalar.emplace(device, graph, bopt);
-  } else {
-    bc::BatchedOptions bopt;
-    bopt.batch_size = options.batch_size;
-    batched.emplace(device, graph, bopt);
-  }
 
   const vidx_t budget = options.max_sources > 0 ? options.max_sources : n;
   vidx_t wave_size = options.initial_wave > 0
@@ -68,9 +69,7 @@ ApproxResult run_adaptive(sim::Device& device, const graph::EdgeList& graph,
     sampler.draw(static_cast<std::size_t>(this_wave), sources, weights);
 
     bc::TurboBC::MomentResult moments;
-    const bc::BcResult run =
-        scalar ? scalar->run_sources_moments(sources, weights, moments)
-               : batched->run_sources_moments(sources, weights, moments);
+    const WaveRun run = run_wave(sources, weights, moments);
     estimator.fold_wave(moments, sources.size());
     const bool converged = estimator.check_stop();
 
@@ -97,6 +96,51 @@ ApproxResult run_adaptive(sim::Device& device, const graph::EdgeList& graph,
   result.norm = estimator.norm();
   result.max_half_width = estimator.max_half_width();
   return result;
+}
+
+}  // namespace
+
+ApproxResult run_adaptive(sim::Device& device, const graph::EdgeList& graph,
+                          const ApproxOptions& options) {
+  // Graph upload happens once, here — waves only pay per-source work.
+  std::optional<bc::TurboBC> scalar;
+  std::optional<bc::TurboBCBatched> batched;
+  if (options.engine == Engine::kScalar) {
+    bc::BcOptions bopt;
+    bopt.variant = options.variant;
+    scalar.emplace(device, graph, bopt);
+  } else {
+    bc::BatchedOptions bopt;
+    bopt.batch_size = options.batch_size;
+    batched.emplace(device, graph, bopt);
+  }
+
+  return adaptive_loop(
+      graph, options,
+      [&](const std::vector<vidx_t>& sources,
+          const std::vector<double>& weights,
+          bc::TurboBC::MomentResult& moments) {
+        const bc::BcResult run =
+            scalar ? scalar->run_sources_moments(sources, weights, moments)
+                   : batched->run_sources_moments(sources, weights, moments);
+        return WaveRun{run.device_seconds, run.peak_device_bytes};
+      });
+}
+
+ApproxResult run_adaptive(dist::DistTurboBC& engine,
+                          const graph::EdgeList& graph,
+                          const ApproxOptions& options) {
+  TBC_CHECK(engine.strategy() == dist::Strategy::kReplicate,
+            "distributed approx waves need the replicated strategy");
+  return adaptive_loop(
+      graph, options,
+      [&](const std::vector<vidx_t>& sources,
+          const std::vector<double>& weights,
+          bc::TurboBC::MomentResult& moments) {
+        const dist::DistResult run =
+            engine.run_sources_moments(sources, weights, moments);
+        return WaveRun{run.device_seconds, run.max_peak_bytes};
+      });
 }
 
 }  // namespace turbobc::approx

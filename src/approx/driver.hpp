@@ -32,6 +32,10 @@
 #include "gpusim/device.hpp"
 #include "graph/edge_list.hpp"
 
+namespace turbobc::dist {
+class DistTurboBC;
+}
+
 namespace turbobc::approx {
 
 enum class Engine {
@@ -91,6 +95,18 @@ struct ApproxResult {
 /// Estimate BC on `graph` to the configured target, running waves on
 /// `device` (graph uploaded once, at the first wave).
 ApproxResult run_adaptive(sim::Device& device, const graph::EdgeList& graph,
+                          const ApproxOptions& options);
+
+/// Same adaptive loop with every wave fanned across a modeled multi-GPU node
+/// via DistTurboBC::run_sources_moments. `engine` must have resolved to the
+/// replicated strategy (moment waves need the whole graph per device);
+/// options.engine / batch_size are ignored — the distributed path is
+/// scalar-engine only. Estimates, half-widths and the pivot sequence are
+/// bit-identical to the single-device run for the same seed (shared block
+/// runner + fixed-order merge); per-wave modeled seconds additionally
+/// include the interconnect time of the wave's bc/moment all_reduces.
+ApproxResult run_adaptive(dist::DistTurboBC& engine,
+                          const graph::EdgeList& graph,
                           const ApproxOptions& options);
 
 }  // namespace turbobc::approx

@@ -13,17 +13,28 @@ ParseError::ParseError(const std::string& what, std::size_t line_number)
       }()),
       line_(line_number) {}
 
+namespace {
+// Nearest-MB rounding for the human-facing message; exact byte counts stay
+// available through the accessors.
+std::size_t to_mb(std::size_t bytes) {
+  return (bytes + (std::size_t{1} << 19)) >> 20;
+}
+}  // namespace
+
 DeviceOutOfMemory::DeviceOutOfMemory(std::size_t requested, std::size_t live,
-                                     std::size_t capacity)
+                                     std::size_t capacity, std::string label)
     : Error([&] {
         std::ostringstream os;
-        os << "simulated device out of memory: requested " << requested
-           << " B with " << live << " B live of " << capacity << " B capacity";
+        os << "simulated device out of memory: allocation ";
+        if (!label.empty()) os << "\"" << label << "\" ";
+        os << "of " << requested << " B denied (live " << to_mb(live)
+           << " MB of " << to_mb(capacity) << " MB capacity)";
         return os.str();
       }()),
       requested_(requested),
       live_(live),
-      capacity_(capacity) {}
+      capacity_(capacity),
+      label_(std::move(label)) {}
 
 namespace detail {
 

@@ -40,19 +40,25 @@ class ParseError : public InvalidArgument {
 };
 
 /// Raised by the device memory manager when an allocation would exceed the
-/// simulated GPU's global-memory capacity.
+/// simulated GPU's global-memory capacity. Carries the requesting buffer's
+/// label (empty for raw allocations) so Table-4-style OOM logs name the
+/// allocation that hit the wall, and the message rounds live/capacity to MB
+/// to keep those logs readable.
 class DeviceOutOfMemory : public Error {
  public:
-  DeviceOutOfMemory(std::size_t requested, std::size_t live, std::size_t capacity);
+  DeviceOutOfMemory(std::size_t requested, std::size_t live,
+                    std::size_t capacity, std::string label = {});
 
   std::size_t requested_bytes() const noexcept { return requested_; }
   std::size_t live_bytes() const noexcept { return live_; }
   std::size_t capacity_bytes() const noexcept { return capacity_; }
+  const std::string& label() const noexcept { return label_; }
 
  private:
   std::size_t requested_;
   std::size_t live_;
   std::size_t capacity_;
+  std::string label_;
 };
 
 /// Internal invariant violation; indicates a bug in TurboBC itself.

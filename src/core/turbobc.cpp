@@ -76,7 +76,7 @@ SourceStats TurboBC::run_source_on(sim::Device& dev,
                                    const spmv::DeviceCooc* cooc, vidx_t source,
                                    sim::DeviceBuffer<bc_t>& bc_dev,
                                    sim::DeviceBuffer<bc_t>* ebc_dev,
-                                   const MomentSink* moments) {
+                                   const MomentSink* moments) const {
   using T = sigma_t;  // double: path counts overflow any integer width
   TBC_CHECK(source >= 0 && source < n_, "BC source vertex out of range");
   const auto n = static_cast<std::size_t>(n_);
@@ -325,6 +325,69 @@ SourceStats TurboBC::run_source_on(sim::Device& dev,
   return stats;
 }
 
+TurboBC::BlockPlan TurboBC::block_plan(std::size_t count) {
+  BlockPlan plan;
+  plan.num_blocks = std::min(count, kMaxSourceBlocks);
+  plan.block_len =
+      plan.num_blocks > 0 ? (count + plan.num_blocks - 1) / plan.num_blocks
+                          : 0;
+  return plan;
+}
+
+TurboBC::BlockPartial TurboBC::run_source_block(
+    const sim::DeviceProps& props, const std::vector<vidx_t>& sources,
+    std::size_t begin, std::size_t end, const std::vector<double>* weights,
+    bool with_moments) const {
+  BlockPartial out;
+  out.dev = std::make_unique<sim::Device>(props);
+  sim::Device& rdev = *out.dev;
+  rdev.set_keep_launch_records(device_.keep_launch_records());
+
+  std::optional<spmv::DeviceCsc> rcsc;
+  std::optional<spmv::DeviceCooc> rcooc;
+  if (cooc_) {
+    rcooc.emplace(rdev, *cooc_);
+  } else {
+    rcsc.emplace(rdev, *csc_);
+  }
+  sim::DeviceBuffer<bc_t> rbc(rdev, static_cast<std::size_t>(n_), "bc", 4);
+  rbc.device_fill(0.0);
+  std::optional<sim::DeviceBuffer<bc_t>> rebc;
+  if (options_.edge_bc) {
+    rebc.emplace(rdev, static_cast<std::size_t>(m_), "edge_bc", 4);
+    rebc->device_fill(0.0);
+  }
+  std::optional<sim::DeviceBuffer<bc_t>> rsum, rsumsq;
+  if (with_moments) {
+    rsum.emplace(rdev, static_cast<std::size_t>(n_), "approx_sum", 4);
+    rsumsq.emplace(rdev, static_cast<std::size_t>(n_), "approx_sumsq", 4);
+    rsum->device_fill(0.0);
+    rsumsq->device_fill(0.0);
+  }
+  // The main device already paid for the graph upload (at construction) and
+  // the bc alloc/fill (run_sources_impl); drop the replica's duplicate setup
+  // charges so the block timeline holds only per-source work. The peak keeps
+  // the full replica footprint (graph + bc + per-source arrays), matching
+  // serial accounting.
+  rdev.reset_timeline();
+  rdev.memory().reset_peak();
+
+  for (std::size_t i = begin; i < end; ++i) {
+    MomentSink sink{rsum ? &*rsum : nullptr, rsumsq ? &*rsumsq : nullptr,
+                    weights != nullptr ? (*weights)[i] : 1.0};
+    out.last = run_source_on(rdev, rcsc ? &*rcsc : nullptr,
+                             rcooc ? &*rcooc : nullptr, sources[i], rbc,
+                             rebc ? &*rebc : nullptr,
+                             with_moments ? &sink : nullptr);
+  }
+  out.bc = rbc.host();
+  if (rebc) out.ebc = rebc->host();
+  if (rsum) out.sum = rsum->host();
+  if (rsumsq) out.sumsq = rsumsq->host();
+  out.peak_bytes = rdev.memory().peak_bytes();
+  return out;
+}
+
 BcResult TurboBC::run_sources(const std::vector<vidx_t>& sources) {
   return run_sources_impl(sources, nullptr, nullptr);
 }
@@ -388,78 +451,19 @@ BcResult TurboBC::run_sources_impl(const std::vector<vidx_t>& sources,
     // Width 1 executes the same blocks in the same order inline, so any
     // --threads N reproduces --threads 1 bit-for-bit.
     const std::size_t count = sources.size();
-    const std::size_t num_blocks = std::min(count, kMaxSourceBlocks);
-    const std::size_t block_len = (count + num_blocks - 1) / num_blocks;
-
-    struct BlockResult {
-      std::unique_ptr<sim::Device> dev;
-      std::vector<bc_t> bc;
-      std::vector<bc_t> ebc;
-      std::vector<bc_t> sum;
-      std::vector<bc_t> sumsq;
-      SourceStats last;
-      std::size_t peak_bytes = 0;
-    };
-    std::vector<BlockResult> blocks(num_blocks);
+    const BlockPlan plan = block_plan(count);
+    std::vector<BlockPartial> blocks(plan.num_blocks);
 
     sim::ExecutorPool::instance().for_tasks(
-        num_blocks, [&](std::size_t b, unsigned) {
-          const std::size_t sb = b * block_len;
-          const std::size_t se = std::min(count, sb + block_len);
-          BlockResult& out = blocks[b];
-          out.dev = std::make_unique<sim::Device>(device_.props());
-          sim::Device& rdev = *out.dev;
-          rdev.set_keep_launch_records(device_.keep_launch_records());
-
-          std::optional<spmv::DeviceCsc> rcsc;
-          std::optional<spmv::DeviceCooc> rcooc;
-          if (cooc_) {
-            rcooc.emplace(rdev, *cooc_);
-          } else {
-            rcsc.emplace(rdev, *csc_);
-          }
-          sim::DeviceBuffer<bc_t> rbc(rdev, static_cast<std::size_t>(n_),
-                                      "bc", 4);
-          rbc.device_fill(0.0);
-          std::optional<sim::DeviceBuffer<bc_t>> rebc;
-          if (options_.edge_bc) {
-            rebc.emplace(rdev, static_cast<std::size_t>(m_), "edge_bc", 4);
-            rebc->device_fill(0.0);
-          }
-          std::optional<sim::DeviceBuffer<bc_t>> rsum, rsumsq;
-          if (moments != nullptr) {
-            rsum.emplace(rdev, static_cast<std::size_t>(n_), "approx_sum", 4);
-            rsumsq.emplace(rdev, static_cast<std::size_t>(n_), "approx_sumsq",
-                           4);
-            rsum->device_fill(0.0);
-            rsumsq->device_fill(0.0);
-          }
-          // The main device already paid for the graph upload (at
-          // construction) and the bc alloc/fill (above); drop the replica's
-          // duplicate setup charges so the absorbed block timeline holds
-          // only per-source work. The peak keeps the full replica footprint
-          // (graph + bc + per-source arrays), matching serial accounting.
-          rdev.reset_timeline();
-          rdev.memory().reset_peak();
-
-          for (std::size_t i = sb; i < se; ++i) {
-            MomentSink sink{rsum ? &*rsum : nullptr,
-                            rsumsq ? &*rsumsq : nullptr,
-                            weights != nullptr ? (*weights)[i] : 1.0};
-            out.last = run_source_on(rdev, rcsc ? &*rcsc : nullptr,
-                                     rcooc ? &*rcooc : nullptr, sources[i],
-                                     rbc, rebc ? &*rebc : nullptr,
-                                     moments != nullptr ? &sink : nullptr);
-          }
-          out.bc = rbc.host();
-          if (rebc) out.ebc = rebc->host();
-          if (rsum) out.sum = rsum->host();
-          if (rsumsq) out.sumsq = rsumsq->host();
-          out.peak_bytes = rdev.memory().peak_bytes();
+        plan.num_blocks, [&](std::size_t b, unsigned) {
+          blocks[b] =
+              run_source_block(device_.props(), sources, plan.begin(b),
+                               plan.end(b, count), weights,
+                               moments != nullptr);
         });
 
     // Deterministic merge: block order, left fold.
-    for (BlockResult& blk : blocks) {
+    for (BlockPartial& blk : blocks) {
       device_.absorb_timeline(*blk.dev);
       device_.memory().note_peak(blk.peak_bytes);
       auto& bc_host = bc_dev.host();

@@ -22,6 +22,7 @@
 // the same single stored structure.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -140,6 +141,55 @@ class TurboBC {
   /// Device bytes held by the uploaded graph structure.
   std::size_t graph_device_bytes() const noexcept;
 
+  /// Fixed fan-out structure of a multi-source run: `count` sources split
+  /// into min(count, 64) contiguous blocks of ceil(count / blocks) sources.
+  /// A pure function of the source count — never of the pool width or any
+  /// device count — so every consumer (run_sources here, the replicated
+  /// strategy in src/dist/) folds the same block partials in the same order.
+  struct BlockPlan {
+    std::size_t num_blocks = 0;
+    std::size_t block_len = 0;
+    std::size_t begin(std::size_t b) const noexcept { return b * block_len; }
+    std::size_t end(std::size_t b, std::size_t count) const noexcept {
+      const std::size_t e = (b + 1) * block_len;
+      return e < count ? e : count;
+    }
+  };
+  static BlockPlan block_plan(std::size_t count);
+
+  /// Partials of one source block, run on a fresh replica device: the
+  /// replica's timeline (setup charges stripped — only per-source work),
+  /// raw bc / edge-bc (device nonzero order) / moment vectors, and the
+  /// replica's peak bytes including graph + accumulator footprint.
+  struct BlockPartial {
+    std::unique_ptr<sim::Device> dev;
+    std::vector<bc_t> bc;
+    std::vector<bc_t> ebc;
+    std::vector<bc_t> sum;
+    std::vector<bc_t> sumsq;
+    SourceStats last;
+    std::size_t peak_bytes = 0;
+  };
+
+  /// Run sources [begin, end) of `sources` on a fresh replica built from
+  /// `props`. Thread-safe (const; the replica is private to the call) — this
+  /// is the unit both the ExecutorPool fan-out and the distributed
+  /// replicated strategy schedule, which is what makes their BC folds
+  /// bit-identical. `weights` (nullable) and `with_moments` mirror
+  /// run_sources_moments.
+  BlockPartial run_source_block(const sim::DeviceProps& props,
+                                const std::vector<vidx_t>& sources,
+                                std::size_t begin, std::size_t end,
+                                const std::vector<double>* weights,
+                                bool with_moments) const;
+
+  /// Permutation from device nonzero order (column-major) to canonical arc
+  /// order; empty unless options.edge_bc. The dist driver applies it to its
+  /// own merged edge-bc partials.
+  const std::vector<eidx_t>& nz_to_canonical() const noexcept {
+    return nz_to_canonical_;
+  }
+
  private:
   /// Per-source moment sink: the device arrays the "approx_moment" kernel
   /// accumulates into, plus the source's importance weight.
@@ -157,7 +207,7 @@ class TurboBC {
                             const spmv::DeviceCooc* cooc, vidx_t source,
                             sim::DeviceBuffer<bc_t>& bc_dev,
                             sim::DeviceBuffer<bc_t>* ebc_dev,
-                            const MomentSink* moments = nullptr);
+                            const MomentSink* moments = nullptr) const;
 
   /// Shared body of run_sources / run_sources_moments. `weights` is null
   /// for plain runs; otherwise parallel to `sources`, with the per-block

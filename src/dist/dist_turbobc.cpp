@@ -1,0 +1,671 @@
+#include "dist/dist_turbobc.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "gpusim/executor.hpp"
+#include "gpusim/kernel.hpp"
+#include "graph/csc.hpp"
+#include "spmv/spmv_kernels.hpp"
+
+namespace turbobc::dist {
+
+namespace {
+
+/// Sum of every modeled on-device time component (kernels, flag readbacks,
+/// alloc/free overheads). Interconnect time is tracked separately in the
+/// topology ledger and folded into the critical path once, at the end.
+double device_clock(const sim::Device& d) {
+  return d.kernel_seconds() + d.transfer_seconds() + d.overhead_seconds();
+}
+
+/// Baselines for delta accounting: distributed runs share long-lived
+/// topology devices (graph/shard uploads stay live across runs), so every
+/// per-run figure is "now minus the value at run entry".
+struct RunBaseline {
+  std::vector<double> clock;
+  std::vector<std::uint64_t> sent;
+  std::vector<std::uint64_t> received;
+  double comm_seconds = 0.0;
+  std::uint64_t comm_bytes = 0;
+
+  static RunBaseline capture(sim::Topology& topo) {
+    RunBaseline b;
+    const int k_devices = topo.num_devices();
+    b.clock.resize(static_cast<std::size_t>(k_devices));
+    b.sent.resize(static_cast<std::size_t>(k_devices));
+    b.received.resize(static_cast<std::size_t>(k_devices));
+    for (int k = 0; k < k_devices; ++k) {
+      sim::Device& d = topo.device(k);
+      b.clock[static_cast<std::size_t>(k)] = device_clock(d);
+      b.sent[static_cast<std::size_t>(k)] = d.comm_bytes_sent();
+      b.received[static_cast<std::size_t>(k)] = d.comm_bytes_received();
+      d.memory().reset_peak();
+    }
+    b.comm_seconds = topo.comm_seconds();
+    b.comm_bytes = topo.comm_bytes_total();
+    return b;
+  }
+};
+
+/// Fill the per-device ShardInfo rows and the aggregate clocks of `result`
+/// from the deltas since `base`. `device_seconds` is the bulk-synchronous
+/// critical path: the slowest device's own work plus every interconnect
+/// operation once (collectives synchronize all devices; the ring copies are
+/// serialized by their data dependency).
+void finish_accounting(sim::Topology& topo, const RunBaseline& base,
+                       DistResult& result) {
+  const int k_devices = topo.num_devices();
+  result.comm_seconds = topo.comm_seconds() - base.comm_seconds;
+  result.comm_bytes = topo.comm_bytes_total() - base.comm_bytes;
+  double max_device = 0.0;
+  for (int k = 0; k < k_devices; ++k) {
+    sim::Device& d = topo.device(k);
+    ShardInfo& si = result.shards[static_cast<std::size_t>(k)];
+    si.device = k;
+    si.peak_bytes = d.memory().peak_bytes();
+    si.device_seconds =
+        device_clock(d) - base.clock[static_cast<std::size_t>(k)];
+    si.comm_bytes_sent =
+        d.comm_bytes_sent() - base.sent[static_cast<std::size_t>(k)];
+    si.comm_bytes_received =
+        d.comm_bytes_received() - base.received[static_cast<std::size_t>(k)];
+    max_device = std::max(max_device, si.device_seconds);
+    result.max_peak_bytes = std::max(result.max_peak_bytes, si.peak_bytes);
+  }
+  result.device_seconds = max_device + result.comm_seconds;
+}
+
+}  // namespace
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kAuto: return "auto";
+    case Strategy::kReplicate: return "replicate";
+    case Strategy::kPartition: return "partition";
+  }
+  return "?";
+}
+
+std::optional<Strategy> parse_strategy(std::string_view name) {
+  if (name == "auto") return Strategy::kAuto;
+  if (name == "replicate") return Strategy::kReplicate;
+  if (name == "partition") return Strategy::kPartition;
+  return std::nullopt;
+}
+
+DistTurboBC::DistTurboBC(sim::Topology& topology, const graph::EdgeList& graph,
+                         DistOptions options)
+    : topo_(topology), options_(options) {
+  graph::EdgeList canon = graph;
+  canon.canonicalize();
+  n_ = canon.num_vertices();
+  m_ = canon.num_arcs();
+  directed_ = canon.directed();
+  TBC_CHECK(n_ > 0, "DistTurboBC needs a non-empty graph");
+
+  const bc::Variant global_variant =
+      options_.variant ? *options_.variant : bc::select_variant(canon);
+  const std::uint64_t capacity = topo_.props().device.global_mem_bytes;
+  const std::uint64_t single_footprint = replicated_device_bytes(
+      global_variant, n_, static_cast<std::uint64_t>(m_), options_.edge_bc);
+
+  strategy_ = options_.strategy;
+  if (strategy_ == Strategy::kAuto) {
+    strategy_ = single_footprint <= capacity ? Strategy::kReplicate
+                                             : Strategy::kPartition;
+  }
+  TBC_CHECK(!(strategy_ == Strategy::kPartition && options_.edge_bc),
+            "edge BC needs the replicated strategy (whole graph on one "
+            "device)");
+
+  if (strategy_ == Strategy::kReplicate) {
+    plan_ = ShardPlan::make(n_, 1);
+    engine_.emplace(topo_.device(0), canon,
+                    bc::BcOptions{global_variant, false, options_.edge_bc});
+    return;
+  }
+
+  const int k_devices = topo_.num_devices();
+  plan_ = ShardPlan::make(n_, k_devices);
+  const graph::CscGraph csc = graph::CscGraph::from_edges(canon);
+  std::vector<HostShard> host_shards = make_host_shards(csc, plan_);
+  shards_.reserve(static_cast<std::size_t>(k_devices));
+  for (int k = 0; k < k_devices; ++k) {
+    HostShard& hs = host_shards[static_cast<std::size_t>(k)];
+    Shard sh;
+    sh.col_begin = hs.col_begin;
+    sh.col_end = hs.col_end;
+    if (options_.variant) {
+      sh.variant = *options_.variant;
+    } else {
+      // The paper's selection heuristic applied to the shard's own degree
+      // structure: a column block of an irregular graph can be regular and
+      // vice versa.
+      graph::EdgeList local(n_, directed_);
+      for (vidx_t c = 0; c < hs.n_local(); ++c) {
+        const auto begin = static_cast<std::size_t>(
+            hs.col_ptr[static_cast<std::size_t>(c)]);
+        const auto end = static_cast<std::size_t>(
+            hs.col_ptr[static_cast<std::size_t>(c) + 1]);
+        for (std::size_t j = begin; j < end; ++j) {
+          local.add_edge(hs.rows[j], hs.col_begin + c);
+        }
+      }
+      sh.variant = bc::select_variant(local);
+    }
+    if (sh.variant == bc::Variant::kScCooc) {
+      std::vector<vidx_t> cols;
+      cols.reserve(hs.rows.size());
+      for (vidx_t c = 0; c < hs.n_local(); ++c) {
+        const auto begin = static_cast<std::size_t>(
+            hs.col_ptr[static_cast<std::size_t>(c)]);
+        const auto end = static_cast<std::size_t>(
+            hs.col_ptr[static_cast<std::size_t>(c) + 1]);
+        cols.insert(cols.end(), end - begin, c);
+      }
+      sh.cooc.emplace(topo_.device(k), hs.n_local(), std::move(hs.rows),
+                      std::move(cols));
+    } else {
+      sh.csc.emplace(topo_.device(k), hs.n_local(), std::move(hs.col_ptr),
+                     std::move(hs.rows));
+    }
+    shards_.push_back(std::move(sh));
+  }
+}
+
+DistResult DistTurboBC::run_single_source(vidx_t source) {
+  const std::vector<vidx_t> sources{source};
+  return run_impl(sources, nullptr, nullptr);
+}
+
+DistResult DistTurboBC::run_exact() {
+  std::vector<vidx_t> sources(static_cast<std::size_t>(n_));
+  std::iota(sources.begin(), sources.end(), vidx_t{0});
+  return run_impl(sources, nullptr, nullptr);
+}
+
+DistResult DistTurboBC::run_sources(const std::vector<vidx_t>& sources) {
+  return run_impl(sources, nullptr, nullptr);
+}
+
+DistResult DistTurboBC::run_sources_moments(
+    const std::vector<vidx_t>& sources, const std::vector<double>& weights,
+    bc::TurboBC::MomentResult& moments) {
+  TBC_CHECK(strategy_ == Strategy::kReplicate,
+            "moment accumulation needs the replicated strategy");
+  TBC_CHECK(weights.size() == sources.size(),
+            "run_sources_moments needs one weight per source");
+  return run_impl(sources, &weights, &moments);
+}
+
+DistResult DistTurboBC::run_impl(const std::vector<vidx_t>& sources,
+                                 const std::vector<double>* weights,
+                                 bc::TurboBC::MomentResult* moments) {
+  for (const vidx_t s : sources) {
+    TBC_CHECK(s >= 0 && s < n_, "BC source vertex out of range");
+  }
+  if (strategy_ == Strategy::kReplicate) {
+    return run_replicated(sources, weights, moments);
+  }
+  TBC_CHECK(weights == nullptr && moments == nullptr,
+            "moment accumulation needs the replicated strategy");
+  return run_partitioned(sources);
+}
+
+DistResult DistTurboBC::run_replicated(const std::vector<vidx_t>& sources,
+                                       const std::vector<double>* weights,
+                                       bc::TurboBC::MomentResult* moments) {
+  const int k_devices = topo_.num_devices();
+  const auto nn = static_cast<std::size_t>(n_);
+  const RunBaseline base = RunBaseline::capture(topo_);
+
+  // Exactly the single-device fan-out (same block plan, same block runner,
+  // same fixed-order merge), with contiguous block ranges owned by devices.
+  const std::size_t count = sources.size();
+  const bc::TurboBC::BlockPlan plan = bc::TurboBC::block_plan(count);
+  const std::size_t per_device = std::max<std::size_t>(
+      1, (plan.num_blocks + static_cast<std::size_t>(k_devices) - 1) /
+             static_cast<std::size_t>(k_devices));
+  std::vector<bc::TurboBC::BlockPartial> blocks(plan.num_blocks);
+  sim::ExecutorPool::instance().for_tasks(
+      plan.num_blocks, [&](std::size_t b, unsigned) {
+        blocks[b] = engine_->run_source_block(topo_.props().device, sources,
+                                              plan.begin(b),
+                                              plan.end(b, count), weights,
+                                              moments != nullptr);
+      });
+
+  DistResult result;
+  result.strategy_used = Strategy::kReplicate;
+  result.bc.assign(nn, 0.0);
+  std::vector<bc_t> raw_ebc;
+  if (options_.edge_bc) raw_ebc.assign(static_cast<std::size_t>(m_), 0.0);
+  std::vector<bc_t> sum, sumsq;
+  if (moments != nullptr) {
+    sum.assign(nn, 0.0);
+    sumsq.assign(nn, 0.0);
+  }
+
+  // Deterministic merge: global block order, left fold — the same order
+  // TurboBC::run_sources_impl uses, so the bc values are bit-identical to
+  // the single-device engine for any device count and thread width.
+  for (std::size_t b = 0; b < plan.num_blocks; ++b) {
+    bc::TurboBC::BlockPartial& blk = blocks[b];
+    const int owner = static_cast<int>(
+        std::min(b / per_device, static_cast<std::size_t>(k_devices - 1)));
+    sim::Device& dev = topo_.device(owner);
+    dev.absorb_timeline(*blk.dev);
+    dev.memory().note_peak(blk.peak_bytes);
+    for (std::size_t i = 0; i < nn; ++i) result.bc[i] += blk.bc[i];
+    if (options_.edge_bc) {
+      for (std::size_t i = 0; i < raw_ebc.size(); ++i) {
+        raw_ebc[i] += blk.ebc[i];
+      }
+    }
+    if (moments != nullptr) {
+      for (std::size_t i = 0; i < nn; ++i) {
+        sum[i] += blk.sum[i];
+        sumsq[i] += blk.sumsq[i];
+      }
+    }
+  }
+  if (!blocks.empty()) result.last_source = blocks.back().last;
+
+  // Each device holds a partial bc array; one modeled all-reduce leaves the
+  // reduced array everywhere (the functional fold above already produced its
+  // value).
+  topo_.all_reduce(4ull * nn);
+  if (options_.edge_bc) {
+    topo_.all_reduce(4ull * static_cast<std::uint64_t>(m_));
+    const std::vector<eidx_t>& perm = engine_->nz_to_canonical();
+    result.edge_bc.assign(raw_ebc.size(), 0.0);
+    for (std::size_t nz = 0; nz < raw_ebc.size(); ++nz) {
+      result.edge_bc[static_cast<std::size_t>(perm[nz])] = raw_ebc[nz];
+    }
+  }
+  if (moments != nullptr) {
+    topo_.all_reduce(4ull * nn);
+    topo_.all_reduce(4ull * nn);
+    // The adaptive driver reads the moments between waves, so their download
+    // is part of the modeled wave time — mirroring the single-device engine.
+    topo_.device(0).charge_transfer(4ull * nn);
+    topo_.device(0).charge_transfer(4ull * nn);
+    moments->sum = std::move(sum);
+    moments->sumsq = std::move(sumsq);
+  }
+
+  result.sources = static_cast<vidx_t>(count);
+  result.shards.resize(static_cast<std::size_t>(k_devices));
+  for (int k = 0; k < k_devices; ++k) {
+    ShardInfo& si = result.shards[static_cast<std::size_t>(k)];
+    si.variant = engine_->options().variant;
+    si.col_begin = 0;
+    si.col_end = n_;
+    si.arcs = m_;
+  }
+  finish_accounting(topo_, base, result);
+  return result;
+}
+
+DistResult DistTurboBC::run_partitioned(const std::vector<vidx_t>& sources) {
+  using T = sigma_t;
+  const int k_devices = topo_.num_devices();
+  const auto nn = static_cast<std::size_t>(n_);
+  const RunBaseline base = RunBaseline::capture(topo_);
+
+  // Per-device bc accumulators live for the whole call (like the single
+  // engine's "bc" array), zeroed per source block.
+  std::vector<sim::DeviceBuffer<bc_t>> bck;
+  bck.reserve(static_cast<std::size_t>(k_devices));
+  for (int k = 0; k < k_devices; ++k) {
+    bck.emplace_back(topo_.device(k),
+                     static_cast<std::size_t>(shards_[static_cast<std::size_t>(
+                                                          k)].n_local()),
+                     "bc", 4);
+  }
+
+  // One source's whole pipeline, every shard stepping in lock-step in device
+  // order. Mirrors TurboBC::run_source_on stage for stage; the differences
+  // are the exchange buffer and the collectives around each SpMV.
+  const auto run_one = [&](vidx_t source) -> bc::SourceStats {
+    std::vector<sim::DeviceBuffer<std::int32_t>> S;
+    std::vector<sim::DeviceBuffer<T>> sigma;
+    S.reserve(static_cast<std::size_t>(k_devices));
+    sigma.reserve(static_cast<std::size_t>(k_devices));
+    for (int k = 0; k < k_devices; ++k) {
+      sim::Device& dev = topo_.device(k);
+      const auto nl =
+          static_cast<std::size_t>(shards_[static_cast<std::size_t>(k)]
+                                       .n_local());
+      S.emplace_back(dev, nl, "S");
+      sigma.emplace_back(dev, nl, "sigma", 4);
+      sigma.back().set_modeled_integer(true);
+      S.back().device_fill(0);
+      sigma.back().device_fill(0);
+    }
+
+    vidx_t height = 0;
+    {
+      // Forward (BFS) stage; f / f_t / exchange freed at scope end to make
+      // room for the dependency triple, like the single engine.
+      std::vector<sim::DeviceBuffer<T>> f, ft, xf;
+      std::vector<sim::DeviceBuffer<std::int32_t>> cflag;
+      f.reserve(static_cast<std::size_t>(k_devices));
+      ft.reserve(static_cast<std::size_t>(k_devices));
+      xf.reserve(static_cast<std::size_t>(k_devices));
+      cflag.reserve(static_cast<std::size_t>(k_devices));
+      for (int k = 0; k < k_devices; ++k) {
+        sim::Device& dev = topo_.device(k);
+        const auto nl =
+            static_cast<std::size_t>(shards_[static_cast<std::size_t>(k)]
+                                         .n_local());
+        f.emplace_back(dev, nl, "f", 4);
+        f.back().set_modeled_integer(true);
+        ft.emplace_back(dev, nl, "f_t", 4);
+        ft.back().set_modeled_integer(true);
+        xf.emplace_back(dev, nn, "exchange", 4);
+        xf.back().set_modeled_integer(true);
+        cflag.emplace_back(dev, 1, "c");
+        f.back().device_fill(T{0});
+      }
+
+      const int src_owner = plan_.owner(source);
+      const auto src_local = static_cast<std::size_t>(
+          source - plan_.col_begin(src_owner));
+      sim::launch_scalar(topo_.device(src_owner), "bfs_init", 1,
+                         [&](sim::ThreadCtx& t) {
+                           f[static_cast<std::size_t>(src_owner)].store(
+                               t, src_local, T{1});
+                           sigma[static_cast<std::size_t>(src_owner)].store(
+                               t, src_local, T{1});
+                         });
+
+      vidx_t d = 0;
+      while (true) {
+        ++d;
+        // Frontier exchange: one modeled all_gather; the payload copy itself
+        // is free host work (buffer host() staging), like copy_from_host's
+        // functional half.
+        topo_.all_gather(plan_.rank_bytes());
+        std::vector<T> frontier(nn, T{0});
+        for (int k = 0; k < k_devices; ++k) {
+          const auto& fk = f[static_cast<std::size_t>(k)].host();
+          std::copy(fk.begin(), fk.end(),
+                    frontier.begin() + plan_.col_begin(k));
+        }
+        for (int k = 0; k < k_devices; ++k) {
+          xf[static_cast<std::size_t>(k)].host() = frontier;
+        }
+
+        bool any_frontier = false;
+        for (int k = 0; k < k_devices; ++k) {
+          sim::Device& dev = topo_.device(k);
+          const auto kk = static_cast<std::size_t>(k);
+          const Shard& sh = shards_[kk];
+          ft[kk].device_fill(T{0});
+          switch (sh.variant) {
+            case bc::Variant::kScCooc:
+              spmv::spmv_forward_sccooc(dev, *sh.cooc, xf[kk], ft[kk]);
+              break;
+            case bc::Variant::kScCsc:
+              spmv::spmv_forward_sccsc(dev, *sh.csc, xf[kk], ft[kk],
+                                       sigma[kk]);
+              break;
+            case bc::Variant::kVeCsc:
+              spmv::spmv_forward_vecsc(dev, *sh.csc, xf[kk], ft[kk],
+                                       sigma[kk]);
+              break;
+          }
+          cflag[kk].device_fill(0);
+          const bool mask_in_update = sh.variant == bc::Variant::kScCooc;
+          sim::launch_scalar(
+              dev, "bfs_update", static_cast<std::uint64_t>(sh.n_local()),
+              [&](sim::ThreadCtx& t) {
+                const auto i = static_cast<std::size_t>(t.global_id());
+                T v = ft[kk].load(t, i);
+                t.count_ops(1);
+                if (mask_in_update && v != 0 && sigma[kk].load(t, i) != 0) {
+                  v = 0;
+                }
+                f[kk].store(t, i, v);
+                if (v != 0) {
+                  S[kk].store(t, i, d);
+                  sigma[kk].store(
+                      t, i, static_cast<T>(sigma[kk].load(t, i) + v));
+                  cflag[kk].store(t, 0, 1);
+                }
+              });
+          // Every device's frontier flag is read back each level (K 4-byte
+          // copies — the distributed version of the single readback).
+          if (cflag[kk].copy_to_host()[0] != 0) any_frontier = true;
+        }
+        if (!any_frontier) break;
+      }
+      height = d - 1;
+    }
+
+    // Backward (dependency) stage in the bytes just freed.
+    std::vector<sim::DeviceBuffer<bc_t>> delta, delta_u, delta_ut, xb;
+    delta.reserve(static_cast<std::size_t>(k_devices));
+    delta_u.reserve(static_cast<std::size_t>(k_devices));
+    delta_ut.reserve(static_cast<std::size_t>(k_devices));
+    xb.reserve(static_cast<std::size_t>(k_devices));
+    for (int k = 0; k < k_devices; ++k) {
+      sim::Device& dev = topo_.device(k);
+      const auto nl =
+          static_cast<std::size_t>(shards_[static_cast<std::size_t>(k)]
+                                       .n_local());
+      delta.emplace_back(dev, nl, "delta", 4);
+      delta_u.emplace_back(dev, nl, "delta_u", 4);
+      delta_ut.emplace_back(dev, nl, "delta_ut", 4);
+      xb.emplace_back(dev, nn, "exchange", 4);
+      delta.back().device_fill(0.0);
+    }
+
+    for (vidx_t d = height; d >= 2; --d) {
+      for (int k = 0; k < k_devices; ++k) {
+        const auto kk = static_cast<std::size_t>(k);
+        sim::launch_scalar(
+            topo_.device(k), "dep_prepare",
+            static_cast<std::uint64_t>(shards_[kk].n_local()),
+            [&](sim::ThreadCtx& t) {
+              const auto i = static_cast<std::size_t>(t.global_id());
+              bc_t out = 0.0;
+              if (S[kk].load(t, i) == d) {
+                const T sg = sigma[kk].load(t, i);
+                if (sg > 0) {
+                  out = (1.0 + delta[kk].load(t, i)) / static_cast<bc_t>(sg);
+                }
+              }
+              delta_u[kk].store(t, i, out);
+              t.count_ops(1);
+            });
+      }
+
+      if (!directed_) {
+        // Symmetric matrix: exchange delta_u, then each shard gathers its
+        // own columns. Per-column serial sums read the same rows in the same
+        // order as the single device — bit-identical.
+        topo_.all_gather(plan_.rank_bytes());
+        std::vector<bc_t> global_du(nn, 0.0);
+        for (int k = 0; k < k_devices; ++k) {
+          const auto& duk = delta_u[static_cast<std::size_t>(k)].host();
+          std::copy(duk.begin(), duk.end(),
+                    global_du.begin() + plan_.col_begin(k));
+        }
+        for (int k = 0; k < k_devices; ++k) {
+          const auto kk = static_cast<std::size_t>(k);
+          sim::Device& dev = topo_.device(k);
+          xb[kk].host() = global_du;
+          delta_ut[kk].device_fill(0.0);
+          const Shard& sh = shards_[kk];
+          switch (sh.variant) {
+            case bc::Variant::kScCooc:
+              spmv::spmv_backward_gather_sccooc(dev, *sh.cooc, xb[kk],
+                                                delta_ut[kk]);
+              break;
+            case bc::Variant::kScCsc:
+              spmv::spmv_backward_gather_sccsc(dev, *sh.csc, xb[kk],
+                                               delta_ut[kk]);
+              break;
+            case bc::Variant::kVeCsc:
+              spmv::spmv_backward_gather_vecsc(dev, *sh.csc, xb[kk],
+                                               delta_ut[kk]);
+              break;
+          }
+        }
+      } else {
+        // Directed: out-neighbour sums need the transposed product, a
+        // scatter into a full-length vector. The partial vector travels a
+        // modeled ring in device order, each shard scattering on top — the
+        // float adds land in global column order, the exact order the single
+        // device's one scatter kernel commits them in.
+        for (int k = 0; k < k_devices; ++k) {
+          const auto kk = static_cast<std::size_t>(k);
+          sim::Device& dev = topo_.device(k);
+          if (k == 0) {
+            xb[kk].device_fill(0.0);
+          } else {
+            topo_.device_to_device_copy(k - 1, k, 4ull * nn);
+            xb[kk].host() = xb[kk - 1].host();
+          }
+          const Shard& sh = shards_[kk];
+          switch (sh.variant) {
+            case bc::Variant::kScCooc:
+              spmv::spmv_backward_scatter_sccooc(dev, *sh.cooc, delta_u[kk],
+                                                 xb[kk]);
+              break;
+            case bc::Variant::kScCsc:
+              spmv::spmv_backward_scatter_sccsc(dev, *sh.csc, delta_u[kk],
+                                                xb[kk]);
+              break;
+            case bc::Variant::kVeCsc:
+              spmv::spmv_backward_scatter_vecsc(dev, *sh.csc, delta_u[kk],
+                                                xb[kk]);
+              break;
+          }
+        }
+        // The last device holds the full product; every shard receives its
+        // own slice.
+        const int tail = k_devices - 1;
+        const auto& full = xb[static_cast<std::size_t>(tail)].host();
+        for (int k = 0; k < k_devices; ++k) {
+          const auto kk = static_cast<std::size_t>(k);
+          if (k != tail) {
+            topo_.device_to_device_copy(
+                tail, k,
+                4ull * static_cast<std::uint64_t>(shards_[kk].n_local()));
+          }
+          auto& dst = delta_ut[kk].host();
+          std::copy(full.begin() + plan_.col_begin(k),
+                    full.begin() + plan_.col_end(k), dst.begin());
+        }
+      }
+
+      for (int k = 0; k < k_devices; ++k) {
+        const auto kk = static_cast<std::size_t>(k);
+        sim::launch_scalar(
+            topo_.device(k), "dep_update",
+            static_cast<std::uint64_t>(shards_[kk].n_local()),
+            [&](sim::ThreadCtx& t) {
+              const auto i = static_cast<std::size_t>(t.global_id());
+              if (S[kk].load(t, i) == d - 1) {
+                const bc_t du = delta_ut[kk].load(t, i);
+                if (du != 0.0) {
+                  const T sg = sigma[kk].load(t, i);
+                  delta[kk].store(
+                      t, i, delta[kk].load(t, i) + du * static_cast<bc_t>(sg));
+                }
+              }
+              t.count_ops(1);
+            });
+      }
+    }
+
+    const bc_t scale = directed_ ? 1.0 : 0.5;
+    for (int k = 0; k < k_devices; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      const vidx_t col_begin = plan_.col_begin(k);
+      sim::launch_scalar(
+          topo_.device(k), "bc_accum",
+          static_cast<std::uint64_t>(shards_[kk].n_local()),
+          [&](sim::ThreadCtx& t) {
+            const auto i = static_cast<std::size_t>(t.global_id());
+            if (col_begin + static_cast<vidx_t>(i) == source) return;
+            const bc_t dl = delta[kk].load(t, i);
+            if (dl != 0.0) {
+              bck[kk].store(t, i, bck[kk].load(t, i) + dl * scale);
+            }
+            t.count_ops(1);
+          });
+    }
+
+    bc::SourceStats stats;
+    stats.bfs_depth = height;
+    vidx_t reached = 0;
+    for (int k = 0; k < k_devices; ++k) {
+      for (const T s : sigma[static_cast<std::size_t>(k)].host()) {
+        if (s != 0) ++reached;
+      }
+    }
+    stats.reached = reached;
+    return stats;
+  };
+
+  // Same fixed source-block grouping as the single engine: per block the
+  // per-device bc arrays restart from zero and the block's contribution is
+  // folded on the host, so the float grouping matches the single engine's
+  // per-block partials exactly.
+  const std::size_t count = sources.size();
+  const bc::TurboBC::BlockPlan plan = bc::TurboBC::block_plan(count);
+  std::vector<std::vector<bc_t>> acc(static_cast<std::size_t>(k_devices));
+  for (int k = 0; k < k_devices; ++k) {
+    acc[static_cast<std::size_t>(k)].assign(
+        static_cast<std::size_t>(shards_[static_cast<std::size_t>(k)]
+                                     .n_local()),
+        0.0);
+  }
+  DistResult result;
+  result.strategy_used = Strategy::kPartition;
+  for (std::size_t b = 0; b < plan.num_blocks; ++b) {
+    for (int k = 0; k < k_devices; ++k) {
+      bck[static_cast<std::size_t>(k)].device_fill(0.0);
+    }
+    for (std::size_t i = plan.begin(b); i < plan.end(b, count); ++i) {
+      result.last_source = run_one(sources[i]);
+    }
+    for (int k = 0; k < k_devices; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      const auto& partial = bck[kk].host();
+      for (std::size_t i = 0; i < partial.size(); ++i) {
+        acc[kk][i] += partial[i];
+      }
+    }
+  }
+
+  result.bc.assign(nn, 0.0);
+  for (int k = 0; k < k_devices; ++k) {
+    const auto& slice = acc[static_cast<std::size_t>(k)];
+    std::copy(slice.begin(), slice.end(),
+              result.bc.begin() + plan_.col_begin(k));
+  }
+  result.sources = static_cast<vidx_t>(count);
+  result.shards.resize(static_cast<std::size_t>(k_devices));
+  for (int k = 0; k < k_devices; ++k) {
+    const auto kk = static_cast<std::size_t>(k);
+    ShardInfo& si = result.shards[kk];
+    si.variant = shards_[kk].variant;
+    si.col_begin = shards_[kk].col_begin;
+    si.col_end = shards_[kk].col_end;
+    si.arcs = shards_[kk].cooc ? shards_[kk].cooc->m() : shards_[kk].csc->m();
+  }
+  finish_accounting(topo_, base, result);
+  return result;
+}
+
+}  // namespace turbobc::dist

@@ -1,0 +1,77 @@
+#include "dist/partition.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace turbobc::dist {
+
+ShardPlan ShardPlan::make(vidx_t n, int num_shards) {
+  TBC_CHECK(num_shards >= 1, "partition needs at least one shard");
+  ShardPlan plan;
+  plan.n = n;
+  plan.num_shards = num_shards;
+  plan.block_len = std::max<vidx_t>(
+      1, (n + static_cast<vidx_t>(num_shards) - 1) /
+             static_cast<vidx_t>(num_shards));
+  return plan;
+}
+
+std::vector<HostShard> make_host_shards(const graph::CscGraph& csc,
+                                        const ShardPlan& plan) {
+  TBC_CHECK(csc.num_vertices() == plan.n,
+            "shard plan was built for a different graph");
+  const auto& cp = csc.col_ptr();
+  const auto& rows = csc.row_idx();
+  std::vector<HostShard> shards;
+  shards.reserve(static_cast<std::size_t>(plan.num_shards));
+  for (int k = 0; k < plan.num_shards; ++k) {
+    HostShard sh;
+    sh.col_begin = plan.col_begin(k);
+    sh.col_end = plan.col_end(k);
+    const eidx_t nz_begin = cp[static_cast<std::size_t>(sh.col_begin)];
+    const eidx_t nz_end = cp[static_cast<std::size_t>(sh.col_end)];
+    TBC_CHECK(nz_end - nz_begin <= std::numeric_limits<spmv::dptr_t>::max(),
+              "shard too large for 32-bit device column pointers");
+    sh.col_ptr.resize(static_cast<std::size_t>(sh.n_local()) + 1);
+    for (vidx_t c = sh.col_begin; c <= sh.col_end; ++c) {
+      sh.col_ptr[static_cast<std::size_t>(c - sh.col_begin)] =
+          static_cast<spmv::dptr_t>(cp[static_cast<std::size_t>(c)] -
+                                    nz_begin);
+    }
+    sh.rows.assign(rows.begin() + nz_begin, rows.begin() + nz_end);
+    shards.push_back(std::move(sh));
+  }
+  return shards;
+}
+
+std::uint64_t graph_shard_bytes(bc::Variant variant, vidx_t cols,
+                                std::uint64_t arcs) {
+  if (variant == bc::Variant::kScCooc) return 8ull * arcs;
+  return 4ull * (static_cast<std::uint64_t>(cols) + 1) + 4ull * arcs;
+}
+
+std::uint64_t partitioned_device_bytes(bc::Variant variant, vidx_t n,
+                                       vidx_t n_local,
+                                       std::uint64_t m_local) {
+  const std::uint64_t nl = static_cast<std::uint64_t>(n_local);
+  const std::uint64_t forward = 8ull * nl + 4;  // f, f_t, frontier flag
+  const std::uint64_t backward = 12ull * nl;    // delta / delta_u / delta_ut
+  return graph_shard_bytes(variant, n_local, m_local) +
+         4ull * static_cast<std::uint64_t>(n) +  // exchange buffer
+         4ull * nl +                             // bc accumulator
+         8ull * nl +                             // S, sigma
+         std::max(forward, backward);
+}
+
+std::uint64_t replicated_device_bytes(bc::Variant variant, vidx_t n,
+                                      std::uint64_t m, bool edge_bc) {
+  const std::uint64_t nn = static_cast<std::uint64_t>(n);
+  const std::uint64_t forward = 8ull * nn + 4;
+  const std::uint64_t backward = 12ull * nn;
+  return graph_shard_bytes(variant, n, m) + 4ull * nn + 8ull * nn +
+         std::max(forward, backward) + (edge_bc ? 4ull * m : 0ull);
+}
+
+}  // namespace turbobc::dist

@@ -1,0 +1,89 @@
+// 1D column partitioning for the distributed engine.
+//
+// The CSC matrix is split into K contiguous column blocks of ceil(n / K)
+// columns (the last block may be short or empty). A shard keeps its
+// column-pointer array rebased to the local column range while row indices
+// stay GLOBAL — the SpMV kernels then gather from a full-length exchanged
+// operand vector and write local-length results, unchanged from the
+// single-device code. Because the blocks are contiguous in column-major
+// nonzero order, concatenating per-shard results (and, for directed scatter,
+// accumulating shard contributions in device order) reproduces the
+// single-device float fold exactly — see DESIGN.md §8.
+//
+// The per-device footprint is the paper's algebra localized:
+//   7 n_local + m_local words  +  one n-word exchange buffer
+// which is what lets a graph whose 7n + m footprint overflows one device
+// run on K of them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/variant.hpp"
+#include "graph/csc.hpp"
+#include "spmv/device_graph.hpp"
+
+namespace turbobc::dist {
+
+/// Column ranges of the 1D partition: a pure function of (n, K), so every
+/// consumer (engine, oracle, bench) derives identical shard shapes.
+struct ShardPlan {
+  vidx_t n = 0;
+  int num_shards = 1;
+  vidx_t block_len = 0;  // ceil(n / num_shards)
+
+  static ShardPlan make(vidx_t n, int num_shards);
+
+  vidx_t col_begin(int k) const noexcept {
+    const auto b = static_cast<std::int64_t>(k) * block_len;
+    return b < n ? static_cast<vidx_t>(b) : n;
+  }
+  vidx_t col_end(int k) const noexcept { return col_begin(k + 1); }
+  vidx_t cols(int k) const noexcept { return col_end(k) - col_begin(k); }
+  /// Uniform per-rank frontier block in bytes (4-byte modeled words, padded
+  /// to the longest shard so the all_gather formula is rank-independent).
+  std::uint64_t rank_bytes() const noexcept {
+    return 4ull * static_cast<std::uint64_t>(block_len);
+  }
+  int owner(vidx_t v) const noexcept {
+    return static_cast<int>(v / block_len);
+  }
+};
+
+/// Host-side shard of the canonical CSC structure (see file comment).
+struct HostShard {
+  vidx_t col_begin = 0;
+  vidx_t col_end = 0;
+  std::vector<spmv::dptr_t> col_ptr;  // local, length n_local + 1
+  std::vector<vidx_t> rows;           // global row ids, length m_local
+
+  vidx_t n_local() const noexcept { return col_end - col_begin; }
+  eidx_t m_local() const noexcept {
+    return static_cast<eidx_t>(rows.size());
+  }
+};
+
+std::vector<HostShard> make_host_shards(const graph::CscGraph& csc,
+                                        const ShardPlan& plan);
+
+/// Uploaded-graph bytes for a (possibly local) column block under a variant:
+/// CSC keeps (cols + 1) pointer words + arcs row words, COOC 2 * arcs words.
+std::uint64_t graph_shard_bytes(bc::Variant variant, vidx_t cols,
+                                std::uint64_t arcs);
+
+/// Analytic per-device peak of the partitioned engine: shard graph +
+/// n-word exchange buffer + bc/S/sigma (3 n_local) + max(forward f/f_t/flag,
+/// backward delta triple). Checked against the simulator's MemoryManager by
+/// the QA oracle (invariant "dist_inventory").
+std::uint64_t partitioned_device_bytes(bc::Variant variant, vidx_t n,
+                                       vidx_t n_local, std::uint64_t m_local);
+
+/// Analytic single-device peak of the plain engine (graph + bc + S/sigma +
+/// dependency triple, + m-word edge array when edge_bc): what the auto
+/// strategy compares against device capacity to decide replicate vs
+/// partition, identical to the QA oracle's expected_turbobc_peak_bytes.
+std::uint64_t replicated_device_bytes(bc::Variant variant, vidx_t n,
+                                      std::uint64_t m, bool edge_bc);
+
+}  // namespace turbobc::dist

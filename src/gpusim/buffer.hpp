@@ -71,7 +71,7 @@ class DeviceBuffer {
         modeled_elem_bytes_(modeled_elem_bytes) {
     TBC_CHECK(modeled_elem_bytes_ >= 1 && modeled_elem_bytes_ <= 16,
               "modeled element width out of range for buffer " + name_);
-    base_addr_ = device_->memory().allocate(bytes());
+    base_addr_ = device_->memory().allocate(bytes(), name_);
     device_->charge_alloc_overhead();
   }
 

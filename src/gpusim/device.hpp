@@ -74,6 +74,24 @@ class Device {
 
   void charge_alloc_overhead() { overhead_seconds_ += props_.alloc_overhead_s; }
 
+  /// Record a modeled interconnect operation this device took part in (see
+  /// gpusim/topology.hpp). Comm time is tracked separately from the three
+  /// on-device clocks — total_seconds() stays "what this GPU did alone";
+  /// the distributed driver folds comm into its critical-path clock once,
+  /// at the topology level.
+  void charge_comm(double seconds, std::uint64_t bytes_sent,
+                   std::uint64_t bytes_received) {
+    comm_seconds_ += seconds;
+    comm_bytes_sent_ += bytes_sent;
+    comm_bytes_received_ += bytes_received;
+  }
+
+  double comm_seconds() const noexcept { return comm_seconds_; }
+  std::uint64_t comm_bytes_sent() const noexcept { return comm_bytes_sent_; }
+  std::uint64_t comm_bytes_received() const noexcept {
+    return comm_bytes_received_;
+  }
+
   /// Modeled seconds spent in kernels (what the paper's runtime columns
   /// measure: BC computation time, transfers excluded).
   double kernel_seconds() const noexcept { return kernel_seconds_; }
@@ -122,6 +140,9 @@ class Device {
     kernel_seconds_ += other.kernel_seconds_;
     transfer_seconds_ += other.transfer_seconds_;
     overhead_seconds_ += other.overhead_seconds_;
+    comm_seconds_ += other.comm_seconds_;
+    comm_bytes_sent_ += other.comm_bytes_sent_;
+    comm_bytes_received_ += other.comm_bytes_received_;
   }
 
   /// Clear the timeline (records, aggregates, accumulated time) and the L2
@@ -130,6 +151,8 @@ class Device {
     launches_.clear();
     aggregates_.clear();
     kernel_seconds_ = transfer_seconds_ = overhead_seconds_ = 0.0;
+    comm_seconds_ = 0.0;
+    comm_bytes_sent_ = comm_bytes_received_ = 0;
     cost_.reset_l2();
   }
 
@@ -142,6 +165,9 @@ class Device {
   double kernel_seconds_ = 0.0;
   double transfer_seconds_ = 0.0;
   double overhead_seconds_ = 0.0;
+  double comm_seconds_ = 0.0;
+  std::uint64_t comm_bytes_sent_ = 0;
+  std::uint64_t comm_bytes_received_ = 0;
   bool keep_launch_records_ = true;
 };
 

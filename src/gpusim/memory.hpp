@@ -9,6 +9,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <string_view>
 
 #include "common/error.hpp"
 
@@ -33,10 +35,12 @@ class MemoryManager {
       : capacity_(capacity_bytes) {}
 
   /// Reserve `bytes`; returns the simulated base address (256-byte aligned).
-  /// Throws turbobc::DeviceOutOfMemory when the allocation would not fit.
-  std::uint64_t allocate(std::size_t bytes) {
+  /// Throws turbobc::DeviceOutOfMemory when the allocation would not fit;
+  /// `label` (usually the requesting DeviceBuffer's name) rides along on the
+  /// exception so OOM logs name the allocation that hit the wall.
+  std::uint64_t allocate(std::size_t bytes, std::string_view label = {}) {
     if (live_ + bytes > capacity_) {
-      throw DeviceOutOfMemory(bytes, live_, capacity_);
+      throw DeviceOutOfMemory(bytes, live_, capacity_, std::string(label));
     }
     live_ += bytes;
     peak_ = live_ > peak_ ? live_ : peak_;

@@ -1,0 +1,146 @@
+#include "gpusim/topology.hpp"
+
+#include "common/error.hpp"
+
+namespace turbobc::sim {
+
+const char* to_string(CollectiveAlgo algo) {
+  switch (algo) {
+    case CollectiveAlgo::kRing:
+      return "ring";
+    case CollectiveAlgo::kStar:
+      return "star";
+  }
+  return "?";
+}
+
+const char* to_string(CommOp::Kind kind) {
+  switch (kind) {
+    case CommOp::Kind::kCopy:
+      return "copy";
+    case CommOp::Kind::kAllGather:
+      return "all_gather";
+    case CommOp::Kind::kAllReduce:
+      return "all_reduce";
+  }
+  return "?";
+}
+
+Topology::Topology(TopologyProps props) : props_(props) {
+  TBC_CHECK(props_.num_devices >= 1, "topology needs at least one device");
+  devices_.reserve(static_cast<std::size_t>(props_.num_devices));
+  for (int k = 0; k < props_.num_devices; ++k) {
+    devices_.push_back(std::make_unique<Device>(props_.device));
+  }
+}
+
+double Topology::copy_time(const LinkProps& link, std::uint64_t bytes) {
+  return link.latency_s + static_cast<double>(bytes) / link.bandwidth_bps;
+}
+
+double Topology::all_gather_time(const LinkProps& link, CollectiveAlgo algo,
+                                 int k, std::uint64_t bytes_per_rank) {
+  if (k <= 1) return 0.0;
+  const double steps = static_cast<double>(k - 1);
+  if (algo == CollectiveAlgo::kRing) {
+    // K-1 pipeline steps, each moving one rank's block per device.
+    return steps * copy_time(link, bytes_per_rank);
+  }
+  // Host-staged star: every device uploads its block, then downloads the
+  // K-1 blocks it is missing, both phases serialized over the shared link.
+  return static_cast<double>(k) * copy_time(link, bytes_per_rank) +
+         static_cast<double>(k) *
+             copy_time(link, static_cast<std::uint64_t>(k - 1) * bytes_per_rank);
+}
+
+double Topology::all_reduce_time(const LinkProps& link, CollectiveAlgo algo,
+                                 int k, std::uint64_t bytes) {
+  if (k <= 1) return 0.0;
+  if (algo == CollectiveAlgo::kRing) {
+    // Chunked reduce-scatter + all-gather: 2(K-1) steps of B/K-byte chunks.
+    const std::uint64_t chunk =
+        (bytes + static_cast<std::uint64_t>(k) - 1) /
+        static_cast<std::uint64_t>(k);
+    return 2.0 * static_cast<double>(k - 1) * copy_time(link, chunk);
+  }
+  // Host-staged star: every device uploads its full vector (host reduces),
+  // then downloads the result.
+  return 2.0 * static_cast<double>(k) * copy_time(link, bytes);
+}
+
+std::uint64_t Topology::all_gather_bytes_per_device(
+    CollectiveAlgo /*algo*/, int k, std::uint64_t bytes_per_rank) {
+  if (k <= 1) return 0;
+  // Logical payload: a device's block reaches K-1 peers and it learns K-1
+  // foreign blocks, independent of the physical schedule.
+  return static_cast<std::uint64_t>(k - 1) * bytes_per_rank;
+}
+
+std::uint64_t Topology::all_reduce_bytes_per_device(CollectiveAlgo algo, int k,
+                                                    std::uint64_t bytes) {
+  if (k <= 1) return 0;
+  if (algo == CollectiveAlgo::kRing) {
+    const std::uint64_t chunk =
+        (bytes + static_cast<std::uint64_t>(k) - 1) /
+        static_cast<std::uint64_t>(k);
+    return 2 * static_cast<std::uint64_t>(k - 1) * chunk;
+  }
+  // Star: one upload + one download of the full vector.
+  return bytes;
+}
+
+double Topology::record(CommOp::Kind kind, CollectiveAlgo algo, double time_s,
+                        std::uint64_t per_device_bytes) {
+  for (auto& dev : devices_) {
+    dev->charge_comm(time_s, per_device_bytes, per_device_bytes);
+  }
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(props_.num_devices) * per_device_bytes;
+  ops_.push_back(CommOp{kind, algo, time_s, total});
+  comm_seconds_ += time_s;
+  comm_bytes_ += total;
+  return time_s;
+}
+
+double Topology::device_to_device_copy(int src, int dst, std::uint64_t bytes) {
+  TBC_CHECK(src >= 0 && src < props_.num_devices && dst >= 0 &&
+                dst < props_.num_devices,
+            "device_to_device_copy endpoint out of range");
+  if (src == dst || bytes == 0) return 0.0;
+  const double t = copy_time(props_.active_link(), bytes);
+  devices_[static_cast<std::size_t>(src)]->charge_comm(t, bytes, 0);
+  devices_[static_cast<std::size_t>(dst)]->charge_comm(t, 0, bytes);
+  ops_.push_back(
+      CommOp{CommOp::Kind::kCopy, props_.default_algo(), t, bytes});
+  comm_seconds_ += t;
+  comm_bytes_ += bytes;
+  return t;
+}
+
+double Topology::all_gather(std::uint64_t bytes_per_rank,
+                            std::optional<CollectiveAlgo> algo) {
+  const int k = props_.num_devices;
+  if (k <= 1 || bytes_per_rank == 0) return 0.0;
+  const CollectiveAlgo a = algo.value_or(props_.default_algo());
+  return record(CommOp::Kind::kAllGather, a,
+                all_gather_time(props_.active_link(), a, k, bytes_per_rank),
+                all_gather_bytes_per_device(a, k, bytes_per_rank));
+}
+
+double Topology::all_reduce(std::uint64_t bytes,
+                            std::optional<CollectiveAlgo> algo) {
+  const int k = props_.num_devices;
+  if (k <= 1 || bytes == 0) return 0.0;
+  const CollectiveAlgo a = algo.value_or(props_.default_algo());
+  return record(CommOp::Kind::kAllReduce, a,
+                all_reduce_time(props_.active_link(), a, k, bytes),
+                all_reduce_bytes_per_device(a, k, bytes));
+}
+
+void Topology::reset_comm() {
+  ops_.clear();
+  comm_seconds_ = 0.0;
+  comm_bytes_ = 0;
+}
+
+}  // namespace turbobc::sim

@@ -1,0 +1,148 @@
+// Modeled multi-GPU topology: K simulated devices plus an interconnect cost
+// model for the collectives the distributed engine needs.
+//
+// The paper evaluates on a single Titan Xp; the dist layer (src/dist/) scales
+// the same kernels out over a modeled node of K such cards. Two link flavors
+// are modeled:
+//
+//  * PCIe 3.0 x16 (~12 GB/s, host-staged) — the default. Peer traffic is
+//    bounced through host memory, which the star collectives reflect.
+//  * NVLink-style peer links (optional) — direct all-to-all device links,
+//    which make ring collectives the natural schedule.
+//
+// Every primitive (device_to_device_copy / all_gather / all_reduce) has a
+// closed-form modeled time and a logical payload byte count, both accounted
+// in the participating devices' comm ledgers (Device::charge_comm) the same
+// way kernel launches land in their timelines. Byte counters record the
+// *logical* device-to-device payload (what a device contributes and what it
+// learns), so for every operation the sum of bytes sent equals the sum of
+// bytes received — the conservation invariant the QA oracle checks — while
+// the time formulas reflect the physical schedule (host staging for PCIe,
+// ring steps for NVLink).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/device_props.hpp"
+
+namespace turbobc::sim {
+
+/// A modeled point-to-point link.
+struct LinkProps {
+  double bandwidth_bps = 12e9;
+  double latency_s = 8.0e-6;
+};
+
+/// Collective schedule. Ring pipelines blocks around direct peer links;
+/// star stages everything through host memory (the only option on PCIe
+/// without peer access).
+enum class CollectiveAlgo : std::uint8_t { kRing, kStar };
+
+const char* to_string(CollectiveAlgo algo);
+
+struct TopologyProps {
+  int num_devices = 4;
+  DeviceProps device = DeviceProps::titan_xp();
+  /// Host-staged PCIe 3.0 x16 path between any two devices.
+  LinkProps pcie{12e9, 8.0e-6};
+  /// When true, devices also have direct NVLink-style peer links and
+  /// collectives default to ring schedules over them.
+  bool nvlink = false;
+  LinkProps peer{25e9, 2.0e-6};
+
+  /// The default modeled node: four Titan Xps on a PCIe switch.
+  static TopologyProps quad_titan_xp() { return TopologyProps{}; }
+
+  const LinkProps& active_link() const noexcept {
+    return nvlink ? peer : pcie;
+  }
+  CollectiveAlgo default_algo() const noexcept {
+    return nvlink ? CollectiveAlgo::kRing : CollectiveAlgo::kStar;
+  }
+  std::string interconnect_name() const {
+    return nvlink ? "NVLink-style peer links" : "PCIe 3.0 x16 (host-staged)";
+  }
+};
+
+/// One finished interconnect operation, recorded in execution order.
+struct CommOp {
+  enum class Kind : std::uint8_t { kCopy, kAllGather, kAllReduce };
+  Kind kind;
+  CollectiveAlgo algo;
+  double time_s = 0.0;
+  /// Logical payload: sum over devices of bytes sent (== bytes received).
+  std::uint64_t total_bytes = 0;
+};
+
+const char* to_string(CommOp::Kind kind);
+
+/// K simulated devices plus the interconnect ledger. Devices are owned here
+/// so shard engines can hold stable references for the whole run.
+class Topology {
+ public:
+  explicit Topology(TopologyProps props = TopologyProps::quad_titan_xp());
+
+  const TopologyProps& props() const noexcept { return props_; }
+  int num_devices() const noexcept { return props_.num_devices; }
+  Device& device(int k) { return *devices_[static_cast<std::size_t>(k)]; }
+  const Device& device(int k) const {
+    return *devices_[static_cast<std::size_t>(k)];
+  }
+
+  // ---- Primitives. Each returns its modeled time, appends a CommOp, and
+  // ---- charges every participating device's comm ledger.
+
+  /// Point-to-point copy of `bytes` from device `src` to device `dst`.
+  /// src == dst is a free no-op.
+  double device_to_device_copy(int src, int dst, std::uint64_t bytes);
+
+  /// Every device contributes a `bytes_per_rank` block; afterwards every
+  /// device holds all K blocks. K == 1 is a free no-op.
+  double all_gather(std::uint64_t bytes_per_rank,
+                    std::optional<CollectiveAlgo> algo = std::nullopt);
+
+  /// Element-wise reduction of a `bytes`-sized vector replicated on every
+  /// device; afterwards every device holds the reduced vector. K == 1 is a
+  /// free no-op.
+  double all_reduce(std::uint64_t bytes,
+                    std::optional<CollectiveAlgo> algo = std::nullopt);
+
+  // ---- Ledger.
+
+  double comm_seconds() const noexcept { return comm_seconds_; }
+  std::uint64_t comm_bytes_total() const noexcept { return comm_bytes_; }
+  const std::vector<CommOp>& ops() const noexcept { return ops_; }
+
+  /// Clear the interconnect ledger (not the devices' own ledgers).
+  void reset_comm();
+
+  // ---- Closed-form cost model, pinned by tests/gpusim/test_topology.cpp.
+
+  static double copy_time(const LinkProps& link, std::uint64_t bytes);
+  static double all_gather_time(const LinkProps& link, CollectiveAlgo algo,
+                                int k, std::uint64_t bytes_per_rank);
+  static double all_reduce_time(const LinkProps& link, CollectiveAlgo algo,
+                                int k, std::uint64_t bytes);
+  /// Logical payload per device (sent == received) for each collective.
+  static std::uint64_t all_gather_bytes_per_device(CollectiveAlgo algo, int k,
+                                                   std::uint64_t bytes_per_rank);
+  static std::uint64_t all_reduce_bytes_per_device(CollectiveAlgo algo, int k,
+                                                   std::uint64_t bytes);
+
+ private:
+  double record(CommOp::Kind kind, CollectiveAlgo algo, double time_s,
+                std::uint64_t per_device_bytes);
+
+  TopologyProps props_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<CommOp> ops_;
+  double comm_seconds_ = 0.0;
+  std::uint64_t comm_bytes_ = 0;
+};
+
+}  // namespace turbobc::sim

@@ -47,6 +47,11 @@ struct FuzzerOptions {
   /// pool-width determinism — see oracle.hpp) on every k-th case
   /// (0 disables).
   int approx_every = 6;
+  /// Run the distributed-engine stage (dist-vs-single bit agreement, shard
+  /// inventory, comm conservation — see oracle.hpp) on every k-th case
+  /// (0 disables). Phase-shifted from approx_every so the two six-cycles
+  /// never land on the same case.
+  int dist_every = 6;
   /// Stop early after this many distinct failures (each one costs a
   /// minimization run).
   int max_failures = 8;

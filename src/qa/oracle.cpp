@@ -15,6 +15,8 @@
 #include "core/turbobc.hpp"
 #include "core/turbobc_batched.hpp"
 #include "core/turbobfs.hpp"
+#include "dist/dist_turbobc.hpp"
+#include "dist/partition.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/executor.hpp"
 #include "graph/bfs_probe.hpp"
@@ -526,6 +528,88 @@ struct Checker {
     }
   }
 
+  /// Distributed engine (src/dist/): one single-source run per strategy on
+  /// an opt.dist_devices node, against the single-device engine with the
+  /// SAME pinned variant — the replicated strategy shares its block runner
+  /// and the partitioned fold replays its atomic order, so the BC vectors
+  /// must match bit-for-bit. Also checks each partitioned shard's simulated
+  /// peak against the analytic sharded inventory and the interconnect
+  /// ledger's byte conservation.
+  void check_dist() {
+    const vidx_t n = canon.num_vertices();
+    const bc::Variant variant = bc::select_variant(canon);
+    const vidx_t source = pick_sources().front();
+
+    sim::Device dev;
+    bc::TurboBC single(dev, canon, {.variant = variant});
+    const bc::BcResult ref = single.run_single_source(source);
+
+    for (const dist::Strategy strategy :
+         {dist::Strategy::kReplicate, dist::Strategy::kPartition}) {
+      sim::TopologyProps props;
+      props.num_devices = opt.dist_devices;
+      sim::Topology topo(props);
+      dist::DistTurboBC engine(topo, canon,
+                               {.strategy = strategy, .variant = variant});
+      const dist::DistResult r = engine.run_single_source(source);
+      const std::string name = dist::to_string(strategy);
+
+      if (r.bc.size() != ref.bc.size()) {
+        std::ostringstream os;
+        os << name << ": bc size " << r.bc.size() << " vs single-device "
+           << ref.bc.size();
+        fail("dist_bc_agreement", os.str());
+      } else {
+        for (std::size_t v = 0; v < ref.bc.size(); ++v) {
+          if (r.bc[v] != ref.bc[v]) {
+            std::ostringstream os;
+            os << name << ": bc[" << v << "] = " << r.bc[v]
+               << " != single-device " << ref.bc[v] << " (source " << source
+               << ", " << opt.dist_devices << " devices)";
+            fail("dist_bc_agreement", os.str());
+            break;
+          }
+        }
+      }
+
+      // Interconnect ledger: logical payloads conserve across the node, and
+      // the topology total equals the per-device fold.
+      std::uint64_t sent = 0;
+      std::uint64_t received = 0;
+      for (const dist::ShardInfo& s : r.shards) {
+        sent += s.comm_bytes_sent;
+        received += s.comm_bytes_received;
+      }
+      if (sent != received || sent != r.comm_bytes) {
+        std::ostringstream os;
+        os << name << ": " << sent << " B sent vs " << received
+           << " B received (ledger total " << r.comm_bytes << " B)";
+        fail("dist_comm_conservation", os.str());
+      }
+
+      // Partitioned shard peaks vs the analytic inventory. The simulator
+      // pads allocations to 256-byte granules, so each of the ~10 arrays
+      // may round up by at most one granule.
+      if (strategy == dist::Strategy::kPartition) {
+        for (const dist::ShardInfo& s : r.shards) {
+          const std::uint64_t model = dist::partitioned_device_bytes(
+              s.variant, n, s.col_end - s.col_begin,
+              static_cast<std::uint64_t>(s.arcs));
+          const std::uint64_t peak = s.peak_bytes;
+          if (peak < model || peak > model + 10 * 256) {
+            std::ostringstream os;
+            os << "device " << s.device << ": simulated peak " << peak
+               << " B outside analytic inventory " << model << " B (+2560 B "
+               << "granule slack; cols [" << s.col_begin << ", " << s.col_end
+               << "), " << s.arcs << " arcs)";
+            fail("dist_inventory", os.str());
+            break;
+          }
+        }
+      }
+    }
+  }
+
   void run() {
     check_mtx_roundtrip();
     if (canon.num_vertices() == 0) return;  // nothing else is defined
@@ -552,6 +636,9 @@ struct Checker {
     }
     if (opt.check_approx && canon.num_vertices() > 0) {
       check_approx();
+    }
+    if (opt.check_dist && canon.num_vertices() > 0) {
+      check_dist();
     }
   }
 };

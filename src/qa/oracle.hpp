@@ -33,6 +33,15 @@
 //                         and the peak matches the analytic 9n + m inventory
 //   approx_determinism    approx results (estimates, half-widths, waves,
 //                         modeled numbers) bit-identical across pool widths
+//   dist_bc_agreement     replicated and partitioned multi-GPU BC
+//                         bit-identical to the single-device engine (same
+//                         pinned variant)
+//   dist_inventory        each partitioned shard's simulated peak matches
+//                         the analytic "7 n_local + m_local + n exchange"
+//                         inventory (src/dist/partition.hpp)
+//   dist_comm_conservation  interconnect ledger: sum of logical bytes sent
+//                         equals sum received, and the topology total
+//                         equals the per-device fold
 //
 // Each failed check appends a Violation naming the invariant; the fuzz loop
 // and the delta-debugging minimizer key on those names.
@@ -72,6 +81,13 @@ struct OracleOptions {
   /// Pivot budget of the oracle's approx runs (capped at n). Small keeps a
   /// fuzz case cheap; the intervals it checks are valid at ANY budget.
   vidx_t approx_budget = 96;
+  /// Distributed engine (src/dist/): both strategies bit-identical to the
+  /// single-device engine, shard peaks vs the analytic inventory, and
+  /// comm-byte conservation.
+  bool check_dist = true;
+  /// Modeled device count of the oracle's topology. 3 makes the last column
+  /// shard uneven (and often empty on tiny graphs) — the interesting case.
+  int dist_devices = 3;
 };
 
 struct Violation {

@@ -37,6 +37,22 @@ class DeviceCsc {
     row_idx_.copy_from_host(g.row_idx());
   }
 
+  /// Upload a raw shard: `n_cols` local columns whose pointer array indexes
+  /// into `rows`. Used by the 1D-partitioned engine, whose column blocks keep
+  /// GLOBAL row ids (the SpMV kernels then gather from a full-length operand
+  /// vector while writing a local-length result).
+  DeviceCsc(sim::Device& device, vidx_t n_cols, std::vector<dptr_t> cp,
+            std::vector<vidx_t> rows)
+      : n_(n_cols),
+        m_(static_cast<eidx_t>(rows.size())),
+        col_ptr_(device, static_cast<std::size_t>(n_cols) + 1, "CP_A"),
+        row_idx_(device, rows.size(), "row_A") {
+    TBC_CHECK(cp.size() == static_cast<std::size_t>(n_cols) + 1,
+              "shard column pointer array has wrong length");
+    col_ptr_.copy_from_host(cp);
+    row_idx_.copy_from_host(rows);
+  }
+
   /// Clone an already-uploaded structure onto another device (used by the
   /// parallel source fan-out's replica devices: same arrays, same modeled
   /// widths, so replica memory accounting matches the original exactly).
@@ -70,6 +86,21 @@ class DeviceCooc {
         col_idx_(device, static_cast<std::size_t>(m_), "col_A") {
     row_idx_.copy_from_host(g.row_idx());
     col_idx_.copy_from_host(g.col_idx());
+  }
+
+  /// Upload a raw shard of `n_cols` local columns; `rows` keeps global row
+  /// ids while `cols` is rebased to the local column range (see DeviceCsc's
+  /// shard constructor).
+  DeviceCooc(sim::Device& device, vidx_t n_cols, std::vector<vidx_t> rows,
+             std::vector<vidx_t> cols)
+      : n_(n_cols),
+        m_(static_cast<eidx_t>(rows.size())),
+        row_idx_(device, rows.size(), "row_A"),
+        col_idx_(device, cols.size(), "col_A") {
+    TBC_CHECK(rows.size() == cols.size(),
+              "shard COOC index arrays have mismatched lengths");
+    row_idx_.copy_from_host(rows);
+    col_idx_.copy_from_host(cols);
   }
 
   /// Clone an already-uploaded structure onto another device (see

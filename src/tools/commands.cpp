@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <memory>
 #include <numeric>
 #include <optional>
 #include <ostream>
@@ -10,15 +11,18 @@
 #include "baselines/brandes.hpp"
 #include "common/error.hpp"
 #include "common/format.hpp"
+#include "common/prng.hpp"
 #include "common/table.hpp"
 #include "core/autotune.hpp"
 #include "core/footprint.hpp"
 #include "core/turbobc.hpp"
 #include "core/turbobc_batched.hpp"
 #include "core/turbobfs.hpp"
+#include "dist/dist_turbobc.hpp"
 #include "generators/generators.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/executor.hpp"
+#include "gpusim/topology.hpp"
 #include "gpusim/trace.hpp"
 #include "graph/bfs_probe.hpp"
 #include "graph/mtx_io.hpp"
@@ -71,6 +75,38 @@ void print_top_vertices(std::ostream& out, const std::vector<bc_t>& bc,
   t.print(out);
 }
 
+/// --devices / --nvlink into a modeled node description.
+sim::TopologyProps topology_props(const CliArgs& args, int default_devices) {
+  sim::TopologyProps props;
+  props.num_devices =
+      static_cast<int>(args.get_int("devices", default_devices));
+  if (props.num_devices < 1) throw UsageError("--devices must be >= 1");
+  props.nvlink = args.has("nvlink");
+  return props;
+}
+
+/// The same without-replacement uniform draw as TurboBC::run_approximate, so
+/// `bc --approx K --devices D` estimates from the identical pivot set (and
+/// hence, replicated, the identical scaled BC values) as one device.
+std::vector<vidx_t> sample_uniform_sources(vidx_t n, vidx_t k,
+                                           std::uint64_t seed) {
+  TBC_CHECK(k > 0, "need at least one sampled source");
+  k = std::min(k, n);
+  Xoshiro256 rng(seed);
+  std::vector<char> chosen(static_cast<std::size_t>(n), 0);
+  std::vector<vidx_t> sources;
+  sources.reserve(static_cast<std::size_t>(k));
+  while (static_cast<vidx_t>(sources.size()) < k) {
+    const auto v =
+        static_cast<vidx_t>(rng.uniform(static_cast<std::uint64_t>(n)));
+    if (!chosen[static_cast<std::size_t>(v)]) {
+      chosen[static_cast<std::size_t>(v)] = 1;
+      sources.push_back(v);
+    }
+  }
+  return sources;
+}
+
 }  // namespace
 
 std::string cli_usage() {
@@ -78,6 +114,9 @@ std::string cli_usage() {
       "turbobc_cli — linear-algebraic betweenness centrality toolkit\n"
       "\n"
       "usage:\n"
+      "  turbobc_cli info [--devices 4] [--nvlink] [--json]\n"
+      "      modeled hardware: per-device resources (SMs, clock, memory,\n"
+      "      bandwidth) and the interconnect cost model behind --devices\n"
       "  turbobc_cli generate --family F --out g.mtx [family options]\n"
       "      families: mycielski (--order), kronecker (--scale\n"
       "      --edge-factor), smallworld (--n --k --p), grid (--rows --cols),\n"
@@ -89,10 +128,16 @@ std::string cli_usage() {
       "  turbobc_cli bc g.mtx [--source S | --exact [--batch K] | --approx K]\n"
       "      [--variant auto|autotune|sccooc|sccsc|vecsc] [--edge-bc]\n"
       "      [--top 10] [--verify] [--json] [--trace out.json]\n"
+      "      [--devices K] [--dist auto|replicate|partition] [--nvlink]\n"
+      "      --devices > 1 scales out over a modeled multi-GPU node:\n"
+      "      'replicate' fans source blocks across whole-graph replicas,\n"
+      "      'partition' shards CSC column blocks so graphs past one\n"
+      "      device's memory wall still run; 'auto' picks by footprint\n"
       "  turbobc_cli approx g.mtx [--epsilon 0.05] [--delta 0.1] [--topk K]\n"
       "      [--seed 1] [--sampler uniform|degree|component]\n"
       "      [--engine scalar|batched] [--batch 8] [--max-sources N]\n"
       "      [--variant auto|autotune|sccooc|sccsc|vecsc] [--top 10] [--json]\n"
+      "      [--devices K] [--nvlink]\n"
       "      adaptive sampling until every vertex's confidence half-width\n"
       "      (or, with --topk, the top-k ranking) meets the target; same\n"
       "      seed => bit-identical output at every --threads\n"
@@ -101,6 +146,57 @@ std::string cli_usage() {
       "  --threads N   host threads simulating the device (default: hardware\n"
       "                concurrency; 1 = serial). Modeled results are\n"
       "                bit-identical for every N.\n";
+}
+
+int cmd_info(const CliArgs& args, std::ostream& out, std::ostream& /*err*/) {
+  const sim::TopologyProps props = topology_props(args, 4);
+  const sim::DeviceProps& d = props.device;
+  const sim::LinkProps& link = props.active_link();
+
+  if (args.has("json")) {
+    out << "{\n"
+        << "  \"devices\": " << props.num_devices << ",\n"
+        << "  \"device\": {\n"
+        << "    \"name\": \"" << d.name << "\",\n"
+        << "    \"sm_count\": " << d.sm_count << ",\n"
+        << "    \"cores_per_sm\": " << d.cores_per_sm << ",\n"
+        << "    \"issue_slots_per_sm\": " << d.issue_slots_per_sm << ",\n"
+        << "    \"clock_ghz\": " << fixed(d.clock_hz / 1e9, 2) << ",\n"
+        << "    \"global_mem_bytes\": " << d.global_mem_bytes << ",\n"
+        << "    \"dram_bandwidth_gbps\": " << fixed(d.dram_bandwidth_bps / 1e9, 1)
+        << ",\n"
+        << "    \"peak_glt_gbps\": " << fixed(d.theoretical_glt_bps / 1e9, 1)
+        << "\n"
+        << "  },\n"
+        << "  \"interconnect\": {\n"
+        << "    \"name\": \"" << props.interconnect_name() << "\",\n"
+        << "    \"bandwidth_gbps\": " << fixed(link.bandwidth_bps / 1e9, 1)
+        << ",\n"
+        << "    \"latency_us\": " << fixed(link.latency_s * 1e6, 1) << ",\n"
+        << "    \"default_algo\": \""
+        << sim::to_string(props.default_algo()) << "\"\n"
+        << "  }\n"
+        << "}\n";
+    return 0;
+  }
+
+  Table t({"property", "value"});
+  t.add_row({"device", d.name});
+  t.add_row({"modeled devices", std::to_string(props.num_devices)});
+  t.add_row({"SMs x cores/SM", std::to_string(d.sm_count) + " x " +
+                                   std::to_string(d.cores_per_sm)});
+  t.add_row({"issue slots / SM", std::to_string(d.issue_slots_per_sm)});
+  t.add_row({"clock", fixed(d.clock_hz / 1e9, 2) + " GHz"});
+  t.add_row({"global memory", human_bytes(d.global_mem_bytes)});
+  t.add_row({"DRAM bandwidth", fixed(d.dram_bandwidth_bps / 1e9, 1) + " GB/s"});
+  t.add_row({"peak GLT", fixed(d.theoretical_glt_bps / 1e9, 1) + " GB/s"});
+  t.add_row({"interconnect", props.interconnect_name()});
+  t.add_row({"link bandwidth", fixed(link.bandwidth_bps / 1e9, 1) + " GB/s"});
+  t.add_row({"link latency", fixed(link.latency_s * 1e6, 1) + " us"});
+  t.add_row({"collective schedule",
+             std::string(sim::to_string(props.default_algo()))});
+  t.print(out);
+  return 0;
 }
 
 int cmd_generate(const CliArgs& args, std::ostream& out, std::ostream& err) {
@@ -250,34 +346,89 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
   const auto g = load_graph(args, 1);
   const bc::Variant variant = parse_variant(args, g);
 
-  sim::Device device;
+  const auto devices = static_cast<int>(args.get_int("devices", 1));
+  const bool use_dist = devices > 1 || args.has("dist");
   const bool want_trace = args.has("trace");
-  device.set_keep_launch_records(want_trace);
-  bc::TurboBC turbo(device, g,
-                    {.variant = variant, .edge_bc = args.has("edge-bc")});
 
   bc::BcResult r;
   std::string mode;
-  if (args.has("exact") && args.has("batch")) {
-    // Multi-source batched pipeline (scCSC-based SpMM; see
-    // core/turbobc_batched.hpp).
-    bc::TurboBCBatched batched(
-        device, g,
-        {.batch_size = static_cast<vidx_t>(args.get_int("batch", 8))});
-    r = batched.run_exact();
-    mode = "exact, batched x" + std::to_string(args.get_int("batch", 8));
-  } else if (args.has("exact")) {
-    r = turbo.run_exact();
-    mode = "exact";
-  } else if (args.has("approx")) {
-    r = turbo.run_approximate(
-        {.num_sources = static_cast<vidx_t>(args.get_int("approx", 32)),
-         .seed = static_cast<std::uint64_t>(args.get_int("seed", 1))});
-    mode = "approximate (" + std::to_string(r.sources) + " sources)";
+  std::optional<dist::DistResult> dres;  // multi-GPU extras for reporting
+  dist::Strategy strategy_used = dist::Strategy::kReplicate;
+  std::unique_ptr<sim::Device> device;  // single-device path; kept for --trace
+  if (use_dist) {
+    const auto strategy = dist::parse_strategy(args.get("dist", "auto"));
+    if (!strategy) {
+      throw UsageError("unknown --dist '" + args.get("dist", "auto") +
+                       "' (expected auto|replicate|partition)");
+    }
+    if (args.has("batch")) {
+      throw UsageError("--batch is single-device only (drop --devices)");
+    }
+    if (want_trace) {
+      throw UsageError("--trace is single-device only (drop --devices)");
+    }
+    if (args.has("edge-bc") && *strategy == dist::Strategy::kPartition) {
+      throw UsageError(
+          "--edge-bc needs the replicated strategy (column shards do not own "
+          "whole arcs)");
+    }
+    sim::Topology topo(topology_props(args, devices));
+    dist::DistTurboBC engine(
+        topo, g,
+        {.strategy = *strategy,
+         .variant = variant,
+         .edge_bc = args.has("edge-bc")});
+    strategy_used = engine.strategy();
+    if (args.has("exact")) {
+      dres = engine.run_exact();
+      mode = "exact";
+    } else if (args.has("approx")) {
+      const auto sources = sample_uniform_sources(
+          g.num_vertices(), static_cast<vidx_t>(args.get_int("approx", 32)),
+          static_cast<std::uint64_t>(args.get_int("seed", 1)));
+      dres = engine.run_sources(sources);
+      const bc_t scale = static_cast<bc_t>(g.num_vertices()) /
+                         static_cast<bc_t>(sources.size());
+      for (bc_t& v : dres->bc) v *= scale;
+      for (bc_t& v : dres->edge_bc) v *= scale;
+      mode = "approximate (" + std::to_string(dres->sources) + " sources)";
+    } else {
+      dres = engine.run_single_source(
+          static_cast<vidx_t>(args.get_int("source", 0)));
+      mode = "single-source";
+    }
+    r.bc = dres->bc;
+    r.edge_bc = dres->edge_bc;
+    r.sources = dres->sources;
+    r.device_seconds = dres->device_seconds;
+    r.peak_device_bytes = dres->max_peak_bytes;
   } else {
-    r = turbo.run_single_source(
-        static_cast<vidx_t>(args.get_int("source", 0)));
-    mode = "single-source";
+    device = std::make_unique<sim::Device>();
+    device->set_keep_launch_records(want_trace);
+    bc::TurboBC turbo(*device, g,
+                      {.variant = variant, .edge_bc = args.has("edge-bc")});
+
+    if (args.has("exact") && args.has("batch")) {
+      // Multi-source batched pipeline (scCSC-based SpMM; see
+      // core/turbobc_batched.hpp).
+      bc::TurboBCBatched batched(
+          *device, g,
+          {.batch_size = static_cast<vidx_t>(args.get_int("batch", 8))});
+      r = batched.run_exact();
+      mode = "exact, batched x" + std::to_string(args.get_int("batch", 8));
+    } else if (args.has("exact")) {
+      r = turbo.run_exact();
+      mode = "exact";
+    } else if (args.has("approx")) {
+      r = turbo.run_approximate(
+          {.num_sources = static_cast<vidx_t>(args.get_int("approx", 32)),
+           .seed = static_cast<std::uint64_t>(args.get_int("seed", 1))});
+      mode = "approximate (" + std::to_string(r.sources) + " sources)";
+    } else {
+      r = turbo.run_single_source(
+          static_cast<vidx_t>(args.get_int("source", 0)));
+      mode = "single-source";
+    }
   }
 
   // Brandes verification, shared by the text and JSON paths: worst relative
@@ -307,8 +458,28 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
         << "  \"mode\": \"" << mode << "\",\n"
         << "  \"variant\": \"" << bc::to_string(variant) << "\",\n"
         << "  \"modeled_ms\": " << fixed(r.device_seconds * 1e3, 6) << ",\n"
-        << "  \"peak_bytes\": " << r.peak_device_bytes << ",\n"
-        << "  \"top\": [";
+        << "  \"peak_bytes\": " << r.peak_device_bytes << ",\n";
+    if (dres) {
+      out << "  \"devices\": " << devices << ",\n"
+          << "  \"strategy\": \"" << dist::to_string(strategy_used) << "\",\n"
+          << "  \"comm_ms\": " << fixed(dres->comm_seconds * 1e3, 6) << ",\n"
+          << "  \"comm_bytes\": " << dres->comm_bytes << ",\n"
+          << "  \"shards\": [";
+      bool sfirst = true;
+      for (const dist::ShardInfo& s : dres->shards) {
+        out << (sfirst ? "" : ", ") << "{\"device\": " << s.device
+            << ", \"variant\": \"" << bc::to_string(s.variant) << "\""
+            << ", \"cols\": [" << s.col_begin << ", " << s.col_end << "]"
+            << ", \"arcs\": " << s.arcs
+            << ", \"peak_bytes\": " << s.peak_bytes
+            << ", \"modeled_ms\": " << fixed(s.device_seconds * 1e3, 6)
+            << ", \"sent_bytes\": " << s.comm_bytes_sent
+            << ", \"received_bytes\": " << s.comm_bytes_received << "}";
+        sfirst = false;
+      }
+      out << "],\n";
+    }
+    out << "  \"top\": [";
     bool first = true;
     for (const vidx_t v : top_order(r.bc, top_k)) {
       out << (first ? "" : ", ") << "{\"vertex\": " << v << ", \"bc\": "
@@ -330,6 +501,25 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
     out << mode << " BC via " << bc::to_string(variant) << ": "
         << fixed(r.device_seconds * 1e3, 3) << " ms modeled, peak "
         << human_bytes(r.peak_device_bytes) << '\n';
+    if (dres) {
+      out << devices << " modeled devices, "
+          << dist::to_string(strategy_used) << " strategy: comm "
+          << fixed(dres->comm_seconds * 1e3, 3) << " ms, "
+          << human_bytes(dres->comm_bytes) << " exchanged\n";
+      Table st({"device", "variant", "cols", "arcs", "peak", "modeled ms",
+                "sent", "received"});
+      for (const dist::ShardInfo& s : dres->shards) {
+        st.add_row({std::to_string(s.device),
+                    std::string(bc::to_string(s.variant)),
+                    "[" + std::to_string(s.col_begin) + ", " +
+                        std::to_string(s.col_end) + ")",
+                    std::to_string(s.arcs), human_bytes(s.peak_bytes),
+                    fixed(s.device_seconds * 1e3, 3),
+                    human_bytes(s.comm_bytes_sent),
+                    human_bytes(s.comm_bytes_received)});
+      }
+      st.print(out);
+    }
     print_top_vertices(out, r.bc, top_k);
 
     if (args.has("edge-bc")) {
@@ -351,7 +541,7 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
   if (want_trace) {
     const std::string path = args.get("trace", "trace.json");
     std::ofstream f(path);
-    sim::write_chrome_trace(f, device);
+    sim::write_chrome_trace(f, *device);
     out << "kernel timeline written to " << path << '\n';
   }
   return 0;
@@ -383,8 +573,30 @@ int cmd_approx(const CliArgs& args, std::ostream& out, std::ostream& err) {
     throw UsageError("--topk must be in [0, n]");
   }
 
-  sim::Device device;
-  const approx::ApproxResult r = approx::run_adaptive(device, g, opt);
+  const auto devices = static_cast<int>(args.get_int("devices", 1));
+  approx::ApproxResult r;
+  if (devices > 1 || args.has("dist")) {
+    if (opt.engine == approx::Engine::kBatched) {
+      throw UsageError("--engine batched is single-device only");
+    }
+    const auto strategy = dist::parse_strategy(args.get("dist", "replicate"));
+    if (!strategy) {
+      throw UsageError("unknown --dist '" + args.get("dist", "replicate") +
+                       "' (expected auto|replicate|partition)");
+    }
+    if (*strategy == dist::Strategy::kPartition) {
+      throw UsageError(
+          "approx: moment waves need whole-graph replicas (--dist replicate)");
+    }
+    sim::Topology topo(topology_props(args, devices));
+    dist::DistTurboBC engine(
+        topo, g, {.strategy = dist::Strategy::kReplicate,
+                  .variant = opt.variant});
+    r = approx::run_adaptive(engine, g, opt);
+  } else {
+    sim::Device device;
+    r = approx::run_adaptive(device, g, opt);
+  }
 
   const int top_k = static_cast<int>(
       args.get_int("top", opt.top_k > 0 ? opt.top_k : 10));
@@ -397,8 +609,9 @@ int cmd_approx(const CliArgs& args, std::ostream& out, std::ostream& err) {
         << "  \"epsilon\": " << fixed(opt.epsilon, 6) << ",\n"
         << "  \"delta\": " << fixed(opt.delta, 6) << ",\n"
         << "  \"topk\": " << opt.top_k << ",\n"
-        << "  \"seed\": " << opt.seed << ",\n"
-        << "  \"vertices\": " << g.num_vertices() << ",\n"
+        << "  \"seed\": " << opt.seed << ",\n";
+    if (devices > 1) out << "  \"devices\": " << devices << ",\n";
+    out << "  \"vertices\": " << g.num_vertices() << ",\n"
         << "  \"sources_used\": " << r.sources_used << ",\n"
         << "  \"exact_sources\": " << g.num_vertices() << ",\n"
         << "  \"converged\": " << (r.converged ? "true" : "false") << ",\n"
@@ -430,6 +643,7 @@ int cmd_approx(const CliArgs& args, std::ostream& out, std::ostream& err) {
   } else {
     out << "approx BC (" << approx::sampler_name(opt.sampler) << " pivots, "
         << approx::engine_name(opt.engine) << " engine, "
+        << (devices > 1 ? std::to_string(devices) + " devices, " : "")
         << bc::to_string(opt.variant) << "): " << r.sources_used << "/"
         << g.num_vertices() << " sources, "
         << (r.converged ? "converged" : "budget exhausted") << ", "
@@ -473,6 +687,7 @@ int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
     // knob. 0 = hardware concurrency.
     sim::ExecutorPool::instance().set_threads(
         static_cast<unsigned>(args.get_int("threads", 0)));
+    if (cmd == "info") return cmd_info(args, out, err);
     if (cmd == "generate") return cmd_generate(args, out, err);
     if (cmd == "stats") return cmd_stats(args, out, err);
     if (cmd == "bfs") return cmd_bfs(args, out, err);

@@ -3,13 +3,16 @@
 // human-readable output to a stream; the thin main() in tools/ dispatches.
 //
 // Subcommands:
+//   info      — modeled hardware: device table plus interconnect cost model
 //   generate  — synthesize a benchmark-family graph and write Matrix Market
 //   stats     — structural profile of a .mtx graph (degrees, scf, class)
 //   bfs       — TurboBFS from a source: depth histogram, reach, timing
 //   bc        — betweenness centrality: single-source, exact, or sampled
-//               approximate; optional edge BC; optional verification
+//               approximate; optional edge BC; optional verification;
+//               --devices K scales out over a modeled multi-GPU node
 //   approx    — adaptive approximate BC to an (epsilon, delta) target or
-//               stable top-k ranking (src/approx/ wave driver)
+//               stable top-k ranking (src/approx/ wave driver); --devices K
+//               runs the waves on the replicated multi-GPU engine
 #pragma once
 
 #include <iosfwd>
@@ -23,6 +26,7 @@ namespace turbobc::tools {
 /// code (0 on success); usage problems print help and return 2.
 int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err);
 
+int cmd_info(const CliArgs& args, std::ostream& out, std::ostream& err);
 int cmd_generate(const CliArgs& args, std::ostream& out, std::ostream& err);
 int cmd_stats(const CliArgs& args, std::ostream& out, std::ostream& err);
 int cmd_bfs(const CliArgs& args, std::ostream& out, std::ostream& err);

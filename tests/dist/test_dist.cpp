@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "baselines/brandes.hpp"
+#include "common/error.hpp"
+#include "dist/dist_turbobc.hpp"
+#include "dist/partition.hpp"
+#include "generators/generators.hpp"
+#include "gpusim/executor.hpp"
+#include "graph/csc.hpp"
+
+namespace turbobc::dist {
+namespace {
+
+using graph::EdgeList;
+
+sim::TopologyProps quad() { return sim::TopologyProps::quad_titan_xp(); }
+
+/// Bit-exact comparison: the dist engine's contract is reproducing the
+/// single-device float folds exactly, not approximately.
+void expect_bits_equal(const std::vector<bc_t>& got,
+                       const std::vector<bc_t>& want,
+                       const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << what << " vertex " << i;
+  }
+}
+
+void expect_bc_near(const std::vector<bc_t>& got,
+                    const std::vector<bc_t>& want, const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double scale = std::max({std::abs(want[i]), 1.0});
+    EXPECT_NEAR(got[i], want[i], 1e-9 * scale) << what << " vertex " << i;
+  }
+}
+
+struct Case {
+  const char* name;
+  bc::Variant variant;
+};
+
+class DistVariants : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DistVariants, ReplicatedExactIsBitIdenticalToSingleEngine) {
+  for (const bool directed : {true, false}) {
+    const auto el = gen::erdos_renyi(
+        {.n = 60, .arcs = 300, .directed = directed, .seed = 7});
+    sim::Device dev;
+    bc::TurboBC single(dev, el, {.variant = GetParam().variant});
+    const auto want = single.run_exact();
+
+    sim::Topology topo(quad());
+    DistTurboBC dist(topo, el,
+                     {.strategy = Strategy::kReplicate,
+                      .variant = GetParam().variant});
+    const auto got = dist.run_exact();
+    EXPECT_EQ(got.strategy_used, Strategy::kReplicate);
+    expect_bits_equal(got.bc, want.bc,
+                      std::string("replicated directed=") +
+                          (directed ? "1" : "0"));
+    EXPECT_EQ(got.last_source.bfs_depth, want.last_source.bfs_depth);
+    EXPECT_EQ(got.last_source.reached, want.last_source.reached);
+  }
+}
+
+TEST_P(DistVariants, PartitionedExactIsBitIdenticalToSingleEngine) {
+  for (const bool directed : {true, false}) {
+    const auto el = gen::erdos_renyi(
+        {.n = 61, .arcs = 320, .directed = directed, .seed = 11});
+    sim::Device dev;
+    bc::TurboBC single(dev, el, {.variant = GetParam().variant});
+    const auto want = single.run_exact();
+
+    sim::Topology topo(quad());
+    DistTurboBC dist(topo, el,
+                     {.strategy = Strategy::kPartition,
+                      .variant = GetParam().variant});
+    const auto got = dist.run_exact();
+    EXPECT_EQ(got.strategy_used, Strategy::kPartition);
+    expect_bits_equal(got.bc, want.bc,
+                      std::string("partitioned directed=") +
+                          (directed ? "1" : "0"));
+    EXPECT_EQ(got.last_source.bfs_depth, want.last_source.bfs_depth);
+    EXPECT_EQ(got.last_source.reached, want.last_source.reached);
+  }
+}
+
+TEST_P(DistVariants, PartitionedSingleSourceMatchesBrandes) {
+  const auto el = gen::preferential_attachment(
+      {.n = 90, .m_attach = 3, .seed = 3});
+  sim::Topology topo(quad());
+  DistTurboBC dist(topo, el,
+                   {.strategy = Strategy::kPartition,
+                    .variant = GetParam().variant});
+  const auto got = dist.run_single_source(5);
+  expect_bc_near(got.bc, baseline::brandes_delta(el, 5), "partitioned delta");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, DistVariants,
+    ::testing::Values(Case{"scCOOC", bc::Variant::kScCooc},
+                      Case{"scCSC", bc::Variant::kScCsc},
+                      Case{"veCSC", bc::Variant::kVeCsc}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(ShardPlanTest, CoversVerticesExactlyOnce) {
+  for (const vidx_t n : {vidx_t{1}, vidx_t{3}, vidx_t{7}, vidx_t{64}}) {
+    for (const int k : {1, 2, 4, 5}) {
+      const ShardPlan plan = ShardPlan::make(n, k);
+      vidx_t covered = 0;
+      for (int s = 0; s < k; ++s) {
+        EXPECT_EQ(plan.col_begin(s), covered);
+        covered += plan.cols(s);
+      }
+      EXPECT_EQ(covered, n);
+      for (vidx_t v = 0; v < n; ++v) {
+        const int owner = plan.owner(v);
+        EXPECT_GE(v, plan.col_begin(owner));
+        EXPECT_LT(v, plan.col_end(owner));
+      }
+    }
+  }
+}
+
+TEST(ShardPlanTest, ShardsPartitionTheNonzeros) {
+  const auto el = gen::erdos_renyi(
+      {.n = 50, .arcs = 260, .directed = true, .seed = 2});
+  EdgeList canon = el;
+  canon.canonicalize();
+  const auto csc = graph::CscGraph::from_edges(canon);
+  const ShardPlan plan = ShardPlan::make(canon.num_vertices(), 4);
+  const auto shards = make_host_shards(csc, plan);
+  eidx_t total = 0;
+  for (const HostShard& sh : shards) {
+    EXPECT_EQ(sh.col_ptr.size(), static_cast<std::size_t>(sh.n_local()) + 1);
+    EXPECT_EQ(sh.col_ptr.front(), 0);
+    EXPECT_EQ(static_cast<eidx_t>(sh.col_ptr.back()), sh.m_local());
+    total += sh.m_local();
+  }
+  EXPECT_EQ(total, canon.num_arcs());
+}
+
+TEST(DistTurboBC, MoreDevicesThanVerticesStillCorrect) {
+  // n=3 path over 4 devices: the last shard is empty and must be harmless.
+  EdgeList el(3, true);
+  el.add_edge(0, 1);
+  el.add_edge(1, 2);
+  el.symmetrize();
+  sim::Topology topo(quad());
+  DistTurboBC dist(topo, el,
+                   {.strategy = Strategy::kPartition,
+                    .variant = bc::Variant::kScCsc});
+  const auto got = dist.run_exact();
+  expect_bc_near(got.bc, baseline::brandes_bc(el), "tiny partitioned");
+}
+
+TEST(DistTurboBC, AutoReplicatesWhenTheGraphFits) {
+  const auto el = gen::erdos_renyi(
+      {.n = 40, .arcs = 200, .directed = true, .seed = 5});
+  sim::Topology topo(quad());
+  DistTurboBC dist(topo, el, {});
+  EXPECT_EQ(dist.strategy(), Strategy::kReplicate);
+}
+
+TEST(DistTurboBC, AutoPartitionsPastTheMemoryWall) {
+  // Scale device memory down until the single-device 7n + m inventory
+  // overflows; the shards (plus exchange buffer) must still fit, and the
+  // answer must match the sequential baseline.
+  const auto el = gen::erdos_renyi(
+      {.n = 3000, .arcs = 12000, .directed = true, .seed = 13});
+  sim::TopologyProps props = quad();
+  props.device = sim::DeviceProps::titan_xp_scaled_memory(1e-5);
+
+  // The same graph OOMs on one such device.
+  {
+    sim::Device dev(props.device);
+    bc::TurboBC single(dev, el, {.variant = bc::Variant::kScCsc});
+    EXPECT_THROW(single.run_single_source(0), DeviceOutOfMemory);
+  }
+
+  sim::Topology topo(props);
+  DistTurboBC dist(topo, el, {.variant = bc::Variant::kScCsc});
+  EXPECT_EQ(dist.strategy(), Strategy::kPartition);
+  const auto got = dist.run_single_source(0);
+  expect_bc_near(got.bc, baseline::brandes_delta(el, 0), "past-the-wall");
+  for (const ShardInfo& sh : got.shards) {
+    EXPECT_LT(sh.peak_bytes, props.device.global_mem_bytes)
+        << "device " << sh.device;
+  }
+}
+
+TEST(DistTurboBC, PerDevicePeakMatchesTheFootprintModel) {
+  const auto el = gen::erdos_renyi(
+      {.n = 64, .arcs = 320, .directed = true, .seed = 17});
+  EdgeList canon = el;
+  canon.canonicalize();
+  sim::Topology topo(quad());
+  DistTurboBC dist(topo, el,
+                   {.strategy = Strategy::kPartition,
+                    .variant = bc::Variant::kScCsc});
+  const auto got = dist.run_single_source(1);
+  for (const ShardInfo& sh : got.shards) {
+    const std::uint64_t model = partitioned_device_bytes(
+        sh.variant, canon.num_vertices(), sh.col_end - sh.col_begin,
+        static_cast<std::uint64_t>(sh.arcs));
+    // The model counts payload words; the simulator pads every allocation to
+    // its 256-byte granule, so the measured peak may only exceed the model
+    // by bounded per-buffer padding (<= 10 live buffers per device).
+    EXPECT_GE(sh.peak_bytes, model) << "device " << sh.device;
+    EXPECT_LE(sh.peak_bytes, model + 10 * 256) << "device " << sh.device;
+  }
+}
+
+TEST(DistTurboBC, CommBytesAreConserved) {
+  const auto el = gen::erdos_renyi(
+      {.n = 80, .arcs = 400, .directed = true, .seed = 19});
+  sim::Topology topo(quad());
+  DistTurboBC dist(topo, el,
+                   {.strategy = Strategy::kPartition,
+                    .variant = bc::Variant::kScCsc});
+  const auto got = dist.run_single_source(2);
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  for (const ShardInfo& sh : got.shards) {
+    sent += sh.comm_bytes_sent;
+    received += sh.comm_bytes_received;
+  }
+  EXPECT_GT(sent, 0u);
+  EXPECT_EQ(sent, received);
+  EXPECT_GT(got.comm_seconds, 0.0);
+  EXPECT_GT(got.device_seconds, got.comm_seconds);
+}
+
+TEST(DistTurboBC, ModeledResultsAreBitIdenticalAcrossThreadWidths) {
+  const auto el = gen::erdos_renyi(
+      {.n = 70, .arcs = 350, .directed = false, .seed = 23});
+  struct Run {
+    std::vector<bc_t> bc;
+    double device_seconds;
+    double comm_seconds;
+    std::uint64_t comm_bytes;
+    std::size_t max_peak;
+  };
+  const auto run_at = [&](unsigned threads, Strategy strategy) {
+    sim::ExecutorPool::instance().set_threads(threads);
+    sim::Topology topo(quad());
+    DistTurboBC dist(topo, el,
+                     {.strategy = strategy,
+                      .variant = bc::Variant::kScCsc});
+    const auto r = dist.run_sources({0, 3, 5, 9, 11, 20, 33, 41});
+    return Run{r.bc, r.device_seconds, r.comm_seconds, r.comm_bytes,
+               r.max_peak_bytes};
+  };
+  for (const Strategy strategy :
+       {Strategy::kReplicate, Strategy::kPartition}) {
+    const Run serial = run_at(1, strategy);
+    const Run wide = run_at(8, strategy);
+    sim::ExecutorPool::instance().set_threads(1);
+    expect_bits_equal(wide.bc, serial.bc, "width determinism");
+    EXPECT_EQ(wide.device_seconds, serial.device_seconds);
+    EXPECT_EQ(wide.comm_seconds, serial.comm_seconds);
+    EXPECT_EQ(wide.comm_bytes, serial.comm_bytes);
+    EXPECT_EQ(wide.max_peak, serial.max_peak);
+  }
+}
+
+TEST(DistTurboBC, ReplicatedEdgeBcIsBitIdenticalToSingleEngine) {
+  const auto el = gen::erdos_renyi(
+      {.n = 40, .arcs = 200, .directed = true, .seed = 29});
+  sim::Device dev;
+  bc::TurboBC single(dev, el,
+                     {.variant = bc::Variant::kScCsc, .edge_bc = true});
+  const auto want = single.run_exact();
+
+  sim::Topology topo(quad());
+  DistTurboBC dist(topo, el,
+                   {.strategy = Strategy::kReplicate,
+                    .variant = bc::Variant::kScCsc,
+                    .edge_bc = true});
+  const auto got = dist.run_exact();
+  expect_bits_equal(got.edge_bc, want.edge_bc, "edge bc");
+}
+
+TEST(DistTurboBC, ReplicatedMomentsAreBitIdenticalToSingleEngine) {
+  const auto el = gen::erdos_renyi(
+      {.n = 50, .arcs = 250, .directed = false, .seed = 31});
+  const std::vector<vidx_t> sources{1, 4, 9, 16, 25};
+  const std::vector<double> weights{2.0, 1.5, 1.0, 3.0, 0.5};
+
+  sim::Device dev;
+  bc::TurboBC single(dev, el, {.variant = bc::Variant::kScCsc});
+  bc::TurboBC::MomentResult want_m;
+  single.run_sources_moments(sources, weights, want_m);
+
+  sim::Topology topo(quad());
+  DistTurboBC dist(topo, el,
+                   {.strategy = Strategy::kReplicate,
+                    .variant = bc::Variant::kScCsc});
+  bc::TurboBC::MomentResult got_m;
+  dist.run_sources_moments(sources, weights, got_m);
+  expect_bits_equal(got_m.sum, want_m.sum, "moment sum");
+  expect_bits_equal(got_m.sumsq, want_m.sumsq, "moment sumsq");
+}
+
+TEST(DistTurboBC, UnsupportedCombinationsAreRejected) {
+  const auto el = gen::erdos_renyi(
+      {.n = 30, .arcs = 120, .directed = true, .seed = 37});
+  sim::Topology topo(quad());
+  EXPECT_THROW(DistTurboBC(topo, el,
+                           {.strategy = Strategy::kPartition,
+                            .edge_bc = true}),
+               InvalidArgument);
+  DistTurboBC part(topo, el, {.strategy = Strategy::kPartition});
+  bc::TurboBC::MomentResult moments;
+  EXPECT_THROW(part.run_sources_moments({0}, {1.0}, moments),
+               InvalidArgument);
+  EXPECT_THROW(part.run_single_source(-1), InvalidArgument);
+}
+
+TEST(DistTurboBC, StrategyNamesRoundTrip) {
+  for (const Strategy s :
+       {Strategy::kAuto, Strategy::kReplicate, Strategy::kPartition}) {
+    EXPECT_EQ(parse_strategy(to_string(s)), s);
+  }
+  EXPECT_FALSE(parse_strategy("bogus").has_value());
+}
+
+}  // namespace
+}  // namespace turbobc::dist

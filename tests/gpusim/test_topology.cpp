@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "gpusim/topology.hpp"
+
+namespace turbobc::sim {
+namespace {
+
+// Round-number link so every expectation below is hand-computable: 1 us
+// latency, 1 GB/s -> a 1000-byte block costs exactly 2 us.
+constexpr LinkProps kLink{1e9, 1e-6};
+
+TopologyProps pcie_props(int k) {
+  TopologyProps p;
+  p.num_devices = k;
+  p.pcie = kLink;
+  p.nvlink = false;
+  return p;
+}
+
+TopologyProps nvlink_props(int k) {
+  TopologyProps p;
+  p.num_devices = k;
+  p.peer = kLink;
+  p.nvlink = true;
+  return p;
+}
+
+TEST(Topology, CopyTimeIsLatencyPlusBytesOverBandwidth) {
+  EXPECT_DOUBLE_EQ(Topology::copy_time(kLink, 1000), 1e-6 + 1000.0 / 1e9);
+  EXPECT_DOUBLE_EQ(Topology::copy_time(kLink, 0), 1e-6);
+}
+
+TEST(Topology, RingAllGatherTimeIsKMinusOnePipelineSteps) {
+  // K=4, 1000 B/rank: 3 steps of (1 us + 1 us) = 6 us.
+  EXPECT_DOUBLE_EQ(
+      Topology::all_gather_time(kLink, CollectiveAlgo::kRing, 4, 1000),
+      6e-6);
+  EXPECT_DOUBLE_EQ(
+      Topology::all_gather_time(kLink, CollectiveAlgo::kRing, 1, 1000), 0.0);
+}
+
+TEST(Topology, StarAllGatherTimeIsUploadPlusDownloadPhases) {
+  // K=4, 1000 B/rank: upload 4*(1us + 1us) = 8 us, download
+  // 4*(1us + 3000B/bw = 3us) = 16 us -> 24 us total.
+  EXPECT_DOUBLE_EQ(
+      Topology::all_gather_time(kLink, CollectiveAlgo::kStar, 4, 1000),
+      24e-6);
+}
+
+TEST(Topology, RingAllReduceTimeUsesChunkedSteps) {
+  // K=4, 4000 B: chunk = 1000 B, 2*(K-1) = 6 steps of 2 us = 12 us.
+  EXPECT_DOUBLE_EQ(
+      Topology::all_reduce_time(kLink, CollectiveAlgo::kRing, 4, 4000),
+      12e-6);
+  // Non-divisible size rounds the chunk up: B=10 over K=4 -> 3-byte chunks.
+  EXPECT_DOUBLE_EQ(
+      Topology::all_reduce_time(kLink, CollectiveAlgo::kRing, 4, 10),
+      6.0 * (1e-6 + 3.0 / 1e9));
+}
+
+TEST(Topology, StarAllReduceTimeIsTwoFullPasses) {
+  // K=4, 4000 B: 2*4*(1us + 4us) = 40 us.
+  EXPECT_DOUBLE_EQ(
+      Topology::all_reduce_time(kLink, CollectiveAlgo::kStar, 4, 4000),
+      40e-6);
+}
+
+TEST(Topology, CollectiveBytesPerDeviceAreLogicalPayload) {
+  // all_gather: K-1 foreign blocks regardless of schedule.
+  EXPECT_EQ(Topology::all_gather_bytes_per_device(CollectiveAlgo::kRing, 4,
+                                                  1000),
+            3000u);
+  EXPECT_EQ(Topology::all_gather_bytes_per_device(CollectiveAlgo::kStar, 4,
+                                                  1000),
+            3000u);
+  // ring all_reduce: 2(K-1) chunk transfers per device.
+  EXPECT_EQ(Topology::all_reduce_bytes_per_device(CollectiveAlgo::kRing, 4,
+                                                  4000),
+            6000u);
+  // star all_reduce: one upload + one download of the vector.
+  EXPECT_EQ(Topology::all_reduce_bytes_per_device(CollectiveAlgo::kStar, 4,
+                                                  4000),
+            4000u);
+  EXPECT_EQ(Topology::all_reduce_bytes_per_device(CollectiveAlgo::kRing, 1,
+                                                  4000),
+            0u);
+}
+
+TEST(Topology, DefaultAlgoFollowsInterconnect) {
+  EXPECT_EQ(pcie_props(4).default_algo(), CollectiveAlgo::kStar);
+  EXPECT_EQ(nvlink_props(4).default_algo(), CollectiveAlgo::kRing);
+}
+
+TEST(Topology, AllGatherChargesEveryDeviceAndConservesBytes) {
+  Topology topo(pcie_props(4));
+  const double t = topo.all_gather(1000);
+  EXPECT_DOUBLE_EQ(t, 24e-6);
+  EXPECT_DOUBLE_EQ(topo.comm_seconds(), t);
+  EXPECT_EQ(topo.comm_bytes_total(), 4u * 3000u);
+  ASSERT_EQ(topo.ops().size(), 1u);
+  EXPECT_EQ(topo.ops()[0].kind, CommOp::Kind::kAllGather);
+  EXPECT_EQ(topo.ops()[0].algo, CollectiveAlgo::kStar);
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_DOUBLE_EQ(topo.device(k).comm_seconds(), t);
+    EXPECT_EQ(topo.device(k).comm_bytes_sent(), 3000u);
+    sent += topo.device(k).comm_bytes_sent();
+    received += topo.device(k).comm_bytes_received();
+  }
+  EXPECT_EQ(sent, received);
+}
+
+TEST(Topology, NvlinkCollectivesDefaultToRing) {
+  Topology topo(nvlink_props(4));
+  EXPECT_DOUBLE_EQ(topo.all_gather(1000), 6e-6);
+  EXPECT_DOUBLE_EQ(topo.all_reduce(4000), 12e-6);
+  ASSERT_EQ(topo.ops().size(), 2u);
+  EXPECT_EQ(topo.ops()[0].algo, CollectiveAlgo::kRing);
+  EXPECT_EQ(topo.ops()[1].algo, CollectiveAlgo::kRing);
+}
+
+TEST(Topology, ExplicitAlgoOverridesDefault) {
+  Topology topo(pcie_props(4));
+  EXPECT_DOUBLE_EQ(topo.all_gather(1000, CollectiveAlgo::kRing), 6e-6);
+}
+
+TEST(Topology, CopyChargesSenderAndReceiverAsymmetrically) {
+  Topology topo(pcie_props(4));
+  const double t = topo.device_to_device_copy(1, 3, 1000);
+  EXPECT_DOUBLE_EQ(t, 2e-6);
+  EXPECT_EQ(topo.device(1).comm_bytes_sent(), 1000u);
+  EXPECT_EQ(topo.device(1).comm_bytes_received(), 0u);
+  EXPECT_EQ(topo.device(3).comm_bytes_sent(), 0u);
+  EXPECT_EQ(topo.device(3).comm_bytes_received(), 1000u);
+  EXPECT_EQ(topo.device(0).comm_bytes_sent(), 0u);
+  EXPECT_EQ(topo.comm_bytes_total(), 1000u);
+}
+
+TEST(Topology, DegenerateOperationsAreFreeNoOps) {
+  Topology topo(pcie_props(4));
+  EXPECT_DOUBLE_EQ(topo.device_to_device_copy(2, 2, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(topo.all_gather(0), 0.0);
+  EXPECT_DOUBLE_EQ(topo.all_reduce(0), 0.0);
+  Topology solo(pcie_props(1));
+  EXPECT_DOUBLE_EQ(solo.all_gather(1000), 0.0);
+  EXPECT_DOUBLE_EQ(solo.all_reduce(1000), 0.0);
+  EXPECT_TRUE(topo.ops().empty());
+  EXPECT_TRUE(solo.ops().empty());
+  EXPECT_EQ(topo.comm_bytes_total(), 0u);
+}
+
+TEST(Topology, ResetCommClearsTopologyLedgerOnly) {
+  Topology topo(pcie_props(2));
+  topo.all_reduce(1000);
+  ASSERT_FALSE(topo.ops().empty());
+  topo.reset_comm();
+  EXPECT_TRUE(topo.ops().empty());
+  EXPECT_DOUBLE_EQ(topo.comm_seconds(), 0.0);
+  EXPECT_EQ(topo.comm_bytes_total(), 0u);
+  // Per-device ledgers keep their history (reset via Device::reset_timeline).
+  EXPECT_GT(topo.device(0).comm_bytes_sent(), 0u);
+}
+
+TEST(Topology, CopyEndpointValidation) {
+  Topology topo(pcie_props(2));
+  EXPECT_THROW(topo.device_to_device_copy(0, 2, 16), InvalidArgument);
+  EXPECT_THROW(topo.device_to_device_copy(-1, 0, 16), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace turbobc::sim

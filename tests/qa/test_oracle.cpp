@@ -165,6 +165,27 @@ TEST(Oracle, ApproxBudgetIsRespectedOnCleanGraphs) {
   EXPECT_TRUE(r.ok()) << r.summary();
 }
 
+TEST(Oracle, DistChecksCanBeDisabled) {
+  const auto g =
+      gen::erdos_renyi({.n = 30, .arcs = 100, .directed = true, .seed = 15});
+  OracleOptions opt;
+  opt.check_dist = false;
+  const OracleReport r = check_graph(g, opt);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(Oracle, DistChecksPassWithMoreDevicesThanVertices) {
+  // Seven shards over five columns: trailing shards hold zero columns, the
+  // degenerate end of the 1D partition. Agreement, inventory and comm
+  // conservation must all hold on empty shards too.
+  const auto g =
+      gen::erdos_renyi({.n = 5, .arcs = 12, .directed = true, .seed = 21});
+  OracleOptions opt;
+  opt.dist_devices = 7;
+  const OracleReport r = check_graph(g, opt);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
 TEST(OracleFootprint, GunrockInventoryDominatesItsModel) {
   const vidx_t n = 100;
   const eidx_t m = 400;

@@ -169,6 +169,56 @@ TEST(GoldenCli, ApproxJsonGridBatchedDegree) {
       "approx_grid8x8.json.golden");
 }
 
+TEST(GoldenCli, InfoText) {
+  expect_matches_golden(run_ok({"info"}), "info.txt.golden");
+}
+
+TEST(GoldenCli, InfoJson) {
+  expect_matches_golden(run_ok({"info", "--json"}), "info.json.golden");
+}
+
+TEST(GoldenCli, InfoJsonNvlinkPair) {
+  expect_matches_golden(
+      run_ok({"info", "--json", "--devices", "2", "--nvlink"}),
+      "info_nvlink2.json.golden");
+}
+
+TEST(GoldenCli, BcDistReplicateTextMycielski) {
+  const auto g = mycielski_graph();
+  expect_matches_golden(
+      run_ok({"bc", g.c_str(), "--exact", "--devices", "4", "--verify",
+              "--top", "5"}),
+      "bc_dist_mycielski6.txt.golden");
+}
+
+TEST(GoldenCli, BcDistPartitionJsonGrid) {
+  const auto g = grid_graph();
+  expect_matches_golden(
+      run_ok({"bc", g.c_str(), "--exact", "--devices", "4", "--dist",
+              "partition", "--verify", "--top", "5", "--json"}),
+      "bc_dist_grid8x8.json.golden");
+}
+
+TEST(GoldenCli, BcDistPartitionJsonGridIsThreadInvariant) {
+  // The distributed engine inherits the repo-wide contract: the same
+  // invocation at pool width 8 reproduces the width-1 golden byte-for-byte
+  // (BC values, modeled/comm times, peaks, shard rows — everything).
+  const auto g = grid_graph();
+  expect_matches_golden(
+      run_ok({"bc", g.c_str(), "--exact", "--devices", "4", "--dist",
+              "partition", "--verify", "--top", "5", "--json", "--threads",
+              "8"}),
+      "bc_dist_grid8x8.json.golden");
+}
+
+TEST(GoldenCli, ErrorDistBatch) {
+  const auto g = mycielski_graph();
+  expect_matches_golden(
+      run_usage_error({"bc", g.c_str(), "--exact", "--batch", "4",
+                       "--devices", "2"}),
+      "cli_error_dist_batch.txt.golden");
+}
+
 TEST(GoldenCli, ErrorUnknownCommand) {
   expect_matches_golden(run_usage_error({"frobnicate"}),
                         "cli_error_unknown_command.txt.golden");
