@@ -1,0 +1,376 @@
+// Direction-optimizing forward sweep benchmark: BENCH_dobfs.json.
+//
+// Three hub-heavy families where a dense frontier makes the paper's
+// Algorithm 2 edge-parallel push sweep pay for all m arcs every level:
+// a Mycielskian (order 16), a Graph500 Kronecker (scale 17), and an
+// undirected preferential-attachment web graph. For each family the bench
+// runs the standalone forward sweep (TurboBfs) from the max-degree vertex
+// in four modes:
+//
+//   push-cooc   Variant::kScCooc + Advance::kPush — the unmasked
+//               edge-parallel sweep (paper Algorithm 2), the classic
+//               "push-only" DOBFS baseline. This is the speedup reference.
+//   push        select_variant's pick + Advance::kPush — the repo's masked
+//               column-scan sweep, for transparency (it is already
+//               pull-shaped, so its gap to `auto` is small by design).
+//   pull        same variant + Advance::kPull — every level pulls through
+//               the frontier bitmap.
+//   auto        same variant + Advance::kAuto — per-level Beamer
+//               alpha/beta switching (core/autotune.hpp).
+//
+// Every mode must produce bit-identical depth and sigma arrays (the pull
+// fold skips exact zeros only), and the `auto` row must clear a modeled
+// speedup threshold against push-cooc on at least kMinWinningFamilies
+// families (the web family is reported but not required: its diameter-2
+// frontier collapses before switching pays). Two more gates ride along:
+// a full TurboBC --advance auto run per family must peak at or under the
+// 7n + m + ceil(n/32)-word model of core/footprint.hpp (strictly below
+// the gunrock 9n + 2m inventory), and an auto run_sources fan-out at pool
+// width 1 vs 8 must be bit-identical. Any failed gate exits nonzero.
+//
+//   bench_dobfs [--seed 1] [--threads N] [--out BENCH_dobfs.json]
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_support/mteps.hpp"
+#include "bench_support/stamp.hpp"
+#include "common/cli.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/footprint.hpp"
+#include "core/turbobc.hpp"
+#include "core/turbobfs.hpp"
+#include "core/variant.hpp"
+#include "generators/generators.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
+#include "graph/stats.hpp"
+#include "qa/oracle.hpp"
+
+namespace {
+
+using namespace turbobc;
+
+// Acceptance thresholds (see file comment).
+constexpr double kSpeedupThreshold = 1.5;
+constexpr int kMinWinningFamilies = 2;
+
+struct ModeRow {
+  std::string family;
+  std::string mode;        // push-cooc | push | pull | auto
+  std::string variant;     // effective variant after the COOC->veCSC demotion
+  vidx_t n = 0;
+  eidx_t m = 0;
+  double modeled_s = 0.0;
+  double mteps = 0.0;
+  std::size_t peak_bytes = 0;
+  vidx_t height = 0;
+  vidx_t reached = 0;
+  double speedup_vs_push_cooc = 0.0;
+  bool bits_ok = false;  // depth+sigma bit-identical to the push-cooc run
+};
+
+struct FamilyGate {
+  std::string family;
+  vidx_t n = 0;
+  eidx_t m = 0;
+  double scf = 0.0;
+  std::string auto_variant;  // select_variant's pick (before demotion)
+  double auto_speedup = 0.0;
+  // Full TurboBC --advance auto footprint vs the closed forms.
+  std::size_t bc_peak_bytes = 0;
+  std::uint64_t dobfs_model_bytes = 0;
+  std::uint64_t gunrock_bytes = 0;
+  bool footprint_ok = false;
+  bool threads_bit_identical = false;
+};
+
+bool bits_equal_bc(const std::vector<bc_t>& a, const std::vector<bc_t>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+/// Highest-total-degree vertex: deterministic, always inside the giant
+/// component (Kronecker leaves many isolated vertices; BFS from one of
+/// those would time nothing in every mode).
+vidx_t max_degree_vertex(const graph::EdgeList& el) {
+  std::vector<eidx_t> deg(static_cast<std::size_t>(el.num_vertices()), 0);
+  for (const graph::Edge& e : el.edges()) {
+    ++deg[static_cast<std::size_t>(e.u)];
+    ++deg[static_cast<std::size_t>(e.v)];
+  }
+  const auto it = std::max_element(deg.begin(), deg.end());
+  return static_cast<vidx_t>(it - deg.begin());
+}
+
+bc::Variant effective_variant(bc::Variant v, bc::Advance a) {
+  // Mirror of the TurboBfs/TurboBC constructor demotion.
+  if (a != bc::Advance::kPush && v == bc::Variant::kScCooc) {
+    return bc::Variant::kVeCsc;
+  }
+  return v;
+}
+
+ModeRow run_mode(const std::string& family, const graph::EdgeList& el,
+                 vidx_t source, bc::Variant variant, bc::Advance advance,
+                 const std::string& mode_name,
+                 const bc::TurboBfsResult* reference,
+                 bc::TurboBfsResult* out = nullptr) {
+  sim::Device device;
+  device.set_keep_launch_records(false);
+  bc::TurboBfs bfs(device, el, variant, advance);
+  bc::TurboBfsResult r = bfs.run(source);
+
+  ModeRow row;
+  row.family = family;
+  row.mode = mode_name;
+  row.variant = bc::to_string(effective_variant(variant, advance));
+  row.n = el.num_vertices();
+  row.m = el.num_arcs();
+  row.modeled_s = r.device_seconds;
+  row.mteps = bench::mteps_single_source(el.num_arcs(), r.device_seconds);
+  row.peak_bytes = r.peak_device_bytes;
+  row.height = r.height;
+  row.reached = r.reached;
+  row.bits_ok = reference == nullptr ||
+                (r.depth == reference->depth && r.sigma == reference->sigma);
+  if (out != nullptr) *out = std::move(r);
+  return row;
+}
+
+/// Footprint + determinism gates on the full BC pipeline (not just the
+/// standalone sweep): one --advance auto source must peak within the
+/// 7n + m + ceil(n/32)-word model, and a 4-source auto fan-out must be
+/// bit-identical at pool width 1 and 8.
+void run_bc_gates(const graph::EdgeList& el, vidx_t source,
+                  bc::Variant variant, FamilyGate& gate) {
+  const vidx_t n = el.num_vertices();
+  const eidx_t m = el.num_arcs();
+  gate.dobfs_model_bytes = bc::turbobc_dobfs_model_bytes(n, m);
+  gate.gunrock_bytes = qa::expected_gunrock_inventory_bytes(n, m);
+  {
+    sim::Device device;
+    device.set_keep_launch_records(false);
+    bc::TurboBC turbo(device, el,
+                      {.variant = variant, .advance = bc::Advance::kAuto});
+    gate.bc_peak_bytes = turbo.run_single_source(source).peak_device_bytes;
+  }
+  // Slack mirrors the qa oracle: the 4(n+1)-byte CSC column pointer's tail
+  // word is the only allocation the word model rounds away.
+  gate.footprint_ok =
+      gate.bc_peak_bytes <= gate.dobfs_model_bytes + 16 &&
+      gate.dobfs_model_bytes < gate.gunrock_bytes;
+
+  std::vector<vidx_t> sources;
+  for (vidx_t i = 0; i < 4; ++i) {
+    sources.push_back(static_cast<vidx_t>(
+        static_cast<std::uint64_t>(i) * static_cast<std::uint64_t>(n) / 4));
+  }
+  std::vector<bc_t> bc_by_width[2];
+  const unsigned widths[2] = {1, 8};
+  for (int i = 0; i < 2; ++i) {
+    sim::ExecutorPool::instance().set_threads(widths[i]);
+    sim::Device device;
+    device.set_keep_launch_records(false);
+    bc::TurboBC turbo(device, el,
+                      {.variant = variant, .advance = bc::Advance::kAuto});
+    bc_by_width[i] = turbo.run_sources(sources).bc;
+  }
+  gate.threads_bit_identical = bits_equal_bc(bc_by_width[0], bc_by_width[1]);
+}
+
+void write_dobfs_json(std::ostream& os, const bench::BenchStamp& stamp,
+                      const std::vector<ModeRow>& rows,
+                      const std::vector<FamilyGate>& gates,
+                      int winning_families) {
+  os << "{\n";
+  bench::write_stamp_json(os, stamp);
+  os << ",\n\"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    os << "  {\"family\": \"" << r.family << "\", \"mode\": \"" << r.mode
+       << "\", \"variant\": \"" << r.variant << "\", \"n\": " << r.n
+       << ", \"m\": " << r.m << ", \"modeled_s\": " << r.modeled_s
+       << ", \"mteps\": " << r.mteps << ", \"peak_bytes\": " << r.peak_bytes
+       << ", \"height\": " << r.height << ", \"reached\": " << r.reached
+       << ", \"speedup_vs_push_cooc\": " << r.speedup_vs_push_cooc
+       << ", \"bits_ok\": " << (r.bits_ok ? "true" : "false") << "}"
+       << (i + 1 < rows.size() ? "," : "") << '\n';
+  }
+  os << "],\n\"gates\": [\n";
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const auto& g = gates[i];
+    os << "  {\"family\": \"" << g.family << "\", \"n\": " << g.n
+       << ", \"m\": " << g.m << ", \"scf\": " << g.scf
+       << ", \"auto_variant\": \"" << g.auto_variant
+       << "\", \"auto_speedup\": " << g.auto_speedup
+       << ", \"bc_peak_bytes\": " << g.bc_peak_bytes
+       << ", \"dobfs_model_bytes\": " << g.dobfs_model_bytes
+       << ", \"gunrock_bytes\": " << g.gunrock_bytes
+       << ", \"footprint_ok\": " << (g.footprint_ok ? "true" : "false")
+       << ", \"threads_bit_identical\": "
+       << (g.threads_bit_identical ? "true" : "false") << "}"
+       << (i + 1 < gates.size() ? "," : "") << '\n';
+  }
+  os << "],\n\"acceptance\": {\"speedup_threshold\": " << kSpeedupThreshold
+     << ", \"min_winning_families\": " << kMinWinningFamilies
+     << ", \"winning_families\": " << winning_families << "}\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace turbobc;
+  using namespace turbobc::bench;
+
+  const CliArgs args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto threads =
+      static_cast<unsigned>(args.get_count("threads", 0));
+  sim::ExecutorPool::instance().set_threads(threads);
+
+  WallTimer run_timer;
+
+  struct Family {
+    std::string name;
+    graph::EdgeList graph;
+  };
+  std::vector<Family> families;
+  std::cerr << "  [dobfs] generating graphs ..." << std::flush;
+  families.push_back({"mycielski16", gen::mycielski(16)});
+  families.push_back(
+      {"kron17", gen::kronecker({.scale = 17, .edge_factor = 16, .seed = 7})});
+  families.push_back(
+      {"web-100k", gen::preferential_attachment(
+                       {.n = 100000, .m_attach = 8, .seed = 3})});
+  std::cerr << " done\n";
+
+  std::vector<ModeRow> rows;
+  std::vector<FamilyGate> gates;
+  for (const Family& fam : families) {
+    const graph::EdgeList& el = fam.graph;
+    const vidx_t source = max_degree_vertex(el);
+    const bc::Variant auto_variant = bc::select_variant(el);
+    std::cerr << "  [dobfs] " << fam.name << " (n "
+              << human_count(static_cast<double>(el.num_vertices())) << ", m "
+              << human_count(static_cast<double>(el.num_arcs()))
+              << ", source " << source << ", variant "
+              << bc::to_string(auto_variant) << ")" << std::flush;
+
+    std::cerr << " push-cooc" << std::flush;
+    bc::TurboBfsResult reference;
+    ModeRow baseline =
+        run_mode(fam.name, el, source, bc::Variant::kScCooc,
+                 bc::Advance::kPush, "push-cooc", nullptr, &reference);
+    baseline.bits_ok = true;
+    baseline.speedup_vs_push_cooc = 1.0;
+
+    std::vector<ModeRow> fam_rows;
+    for (const auto& [advance, mode_name] :
+         {std::pair{bc::Advance::kPush, "push"},
+          std::pair{bc::Advance::kPull, "pull"},
+          std::pair{bc::Advance::kAuto, "auto"}}) {
+      std::cerr << ' ' << mode_name << std::flush;
+      ModeRow row = run_mode(fam.name, el, source, auto_variant, advance,
+                             mode_name, &reference);
+      row.speedup_vs_push_cooc = baseline.modeled_s / row.modeled_s;
+      fam_rows.push_back(row);
+    }
+
+    FamilyGate gate;
+    gate.family = fam.name;
+    gate.n = el.num_vertices();
+    gate.m = el.num_arcs();
+    gate.scf = graph::scf_index(el);
+    gate.auto_variant = bc::to_string(auto_variant);
+    for (const ModeRow& row : fam_rows) {
+      if (row.mode == "auto") gate.auto_speedup = row.speedup_vs_push_cooc;
+    }
+    std::cerr << " gates" << std::flush;
+    run_bc_gates(el, source, auto_variant, gate);
+    sim::ExecutorPool::instance().set_threads(threads);
+    std::cerr << " done\n";
+
+    rows.push_back(baseline);
+    rows.insert(rows.end(), fam_rows.begin(), fam_rows.end());
+    gates.push_back(gate);
+  }
+
+  int winning_families = 0;
+  for (const FamilyGate& g : gates) {
+    if (g.auto_speedup >= kSpeedupThreshold) ++winning_families;
+  }
+
+  std::cout << "Direction-optimizing forward sweep vs the Algorithm 2 "
+               "edge-parallel push baseline\n";
+  Table t({"family", "mode", "variant", "modeled(ms)", "MTEPS", "peak",
+           "height", "reached", "vs push-cooc", "bits"});
+  for (const ModeRow& r : rows) {
+    t.add_row({r.family, r.mode, r.variant, fixed(r.modeled_s * 1e3, 3),
+               human_count(r.mteps * 1e6), human_bytes(r.peak_bytes),
+               std::to_string(r.height),
+               human_count(static_cast<double>(r.reached)),
+               fixed(r.speedup_vs_push_cooc, 2) + "x",
+               r.bits_ok ? "ok" : "DRIFT"});
+  }
+  t.print(std::cout);
+  std::cout << "\nFootprint and determinism gates (--advance auto, full BC "
+               "pipeline)\n";
+  Table g({"family", "scf", "variant", "auto speedup", "BC peak",
+           "7n+m+n/32 model", "gunrock 9n+2m", "fit", "threads 1==8"});
+  for (const FamilyGate& gate : gates) {
+    g.add_row({gate.family, fixed(gate.scf, 1), gate.auto_variant,
+               fixed(gate.auto_speedup, 2) + "x",
+               human_bytes(gate.bc_peak_bytes),
+               human_bytes(gate.dobfs_model_bytes),
+               human_bytes(gate.gunrock_bytes),
+               gate.footprint_ok ? "ok" : "OVER",
+               gate.threads_bit_identical ? "ok" : "DRIFT"});
+  }
+  g.print(std::cout);
+
+  const std::string out_path = args.get("out", "BENCH_dobfs.json");
+  std::ofstream json(out_path);
+  write_dobfs_json(json, make_stamp(seed, run_timer.seconds()), rows, gates,
+                   winning_families);
+  std::cout << "\nwrote " << out_path << '\n';
+
+  int rc = 0;
+  for (const ModeRow& r : rows) {
+    if (!r.bits_ok) {
+      std::cerr << "ERROR: " << r.family << " " << r.mode
+                << " depth/sigma drifted from the push baseline\n";
+      rc = 1;
+    }
+  }
+  for (const FamilyGate& gate : gates) {
+    if (!gate.footprint_ok) {
+      std::cerr << "ERROR: " << gate.family << " --advance auto peak "
+                << gate.bc_peak_bytes << " B vs model "
+                << gate.dobfs_model_bytes << " B (gunrock "
+                << gate.gunrock_bytes << " B)\n";
+      rc = 1;
+    }
+    if (!gate.threads_bit_identical) {
+      std::cerr << "ERROR: " << gate.family
+                << " auto fan-out drifted between pool widths 1 and 8\n";
+      rc = 1;
+    }
+  }
+  if (winning_families < kMinWinningFamilies) {
+    std::cerr << "ERROR: only " << winning_families << " of "
+              << gates.size() << " families reached "
+              << kSpeedupThreshold << "x over push-cooc (need >= "
+              << kMinWinningFamilies << ")\n";
+    rc = 1;
+  }
+  return rc;
+}

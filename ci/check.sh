@@ -9,6 +9,12 @@
 #      or deferred to the single-threaded merge (float atomic adds), so the
 #      suite must be race-free.
 #
+# plus a focused ASan+UBSan stage (-DTURBOBC_SANITIZE=address): the
+# direction-optimizing smoke and the differential fuzz smoke only — the
+# paths that juggle the bitmap buffers, the widened convergence-flag
+# readback, and the oracle's mode cross-checks — so heap errors and UB in
+# the new kernels surface without paying for a third full-suite run.
+#
 # Usage: ci/check.sh [build-dir-prefix]   (default: build-ci)
 set -euo pipefail
 
@@ -64,9 +70,58 @@ run_config() {
     > "$dir/dist_smoke_t8.json"
   cmp "$dir/dist_smoke_t1.json" "$dir/dist_smoke_t8.json"
   "$cli" info --json > /dev/null
+  dobfs_smoke "$name" "$dir"
+}
+
+# Direction-optimizing smoke: every --advance mode on a hub-heavy graph
+# must produce byte-identical BC (the "top" ranking and the Brandes
+# verification line — modeled time, peak, and the demoted variant
+# legitimately differ between modes), --advance auto must reproduce the
+# width-1 JSON byte for byte at pool width 8, and count/enum misuse must
+# exit 2 (usage).
+dobfs_smoke() {
+  local name="$1" dir="$2"
+  echo "=== [$name] dobfs-smoke ==="
+  local cli="$dir/src/tools/turbobc_cli" g="$dir/dobfs_smoke.mtx"
+  # n kept small: the smoke runs exact BC five times and must stay
+  # CI-friendly under TSan/ASan's ~10x slowdown.
+  "$cli" generate --family preferential --n 1000 --m-attach 4 --out "$g"
+  for mode in push pull auto; do
+    "$cli" bc "$g" --exact --advance "$mode" --verify --json \
+      > "$dir/dobfs_smoke_$mode.json"
+    grep -E '"top"|"verify_max_rel_err"' "$dir/dobfs_smoke_$mode.json" \
+      > "$dir/dobfs_smoke_${mode}_bc.json"
+  done
+  cmp "$dir/dobfs_smoke_push_bc.json" "$dir/dobfs_smoke_pull_bc.json"
+  cmp "$dir/dobfs_smoke_push_bc.json" "$dir/dobfs_smoke_auto_bc.json"
+  "$cli" bc "$g" --exact --advance auto --verify --json --threads 8 \
+    > "$dir/dobfs_smoke_auto_t8.json"
+  cmp "$dir/dobfs_smoke_auto.json" "$dir/dobfs_smoke_auto_t8.json"
+  "$cli" bfs "$g" --source 0 --advance auto > /dev/null
+  if "$cli" bc "$g" --exact --advance sideways > /dev/null 2>&1; then
+    echo "dobfs-smoke: unknown --advance should have failed" >&2; exit 1
+  fi
+  if "$cli" bc "$g" --exact --devices 0 > /dev/null 2>&1; then
+    echo "dobfs-smoke: --devices 0 should have failed" >&2; exit 1
+  fi
+}
+
+# Focused ASan+UBSan stage (see file comment): build only the fuzzer and
+# the CLI, then run the two smokes that exercise the DO engine hardest.
+run_asan_stage() {
+  local name="asan" dir="${prefix}-asan"
+  echo "=== [$name] configure ==="
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release -DTURBOBC_SANITIZE=address
+  echo "=== [$name] build ==="
+  cmake --build "$dir" -j "$(nproc)" --target turbobc_fuzz turbobc_cli
+  dobfs_smoke "$name" "$dir"
+  echo "=== [$name] fuzz-smoke ==="
+  "$dir/src/tools/turbobc_fuzz" --seed 1 --budget 2000 \
+    --corpus-dir "$dir/fuzz-failures"
 }
 
 run_config "release" "${prefix}-release"
 run_config "tsan" "${prefix}-tsan" -DTURBOBC_SANITIZE=thread
+run_asan_stage
 
 echo "=== all configurations passed ==="

@@ -108,10 +108,12 @@ ApproxResult run_adaptive(sim::Device& device, const graph::EdgeList& graph,
   if (options.engine == Engine::kScalar) {
     bc::BcOptions bopt;
     bopt.variant = options.variant;
+    bopt.advance = options.advance;
     scalar.emplace(device, graph, bopt);
   } else {
     bc::BatchedOptions bopt;
     bopt.batch_size = options.batch_size;
+    bopt.advance = options.advance;
     batched.emplace(device, graph, bopt);
   }
 

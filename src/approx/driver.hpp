@@ -56,6 +56,10 @@ struct ApproxOptions {
   SamplerKind sampler = SamplerKind::kUniform;
   Engine engine = Engine::kScalar;
   bc::Variant variant = bc::Variant::kScCsc;
+  /// Forward-sweep advance, forwarded to the wave engine (scalar or
+  /// batched). Estimates are unaffected — the pull sweep is bit-identical —
+  /// only the modeled wave seconds and peak bytes change.
+  bc::Advance advance = bc::Advance::kPush;
   vidx_t batch_size = 8;  // kBatched only
   /// First wave's pivot count; 0 picks max(8, min(n, 32)).
   vidx_t initial_wave = 0;

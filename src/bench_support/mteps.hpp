@@ -1,6 +1,12 @@
 // Traversed-edges-per-second metrics, defined exactly as the paper does.
+//
+// A non-positive runtime is an accounting bug in the caller (every modeled
+// kernel charges time), so both helpers throw instead of silently reporting
+// 0.0 MTEPS — a zero used to slip into BENCH_*.json rows looking like a
+// measured value.
 #pragma once
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 
 namespace turbobc::bench {
@@ -8,17 +14,19 @@ namespace turbobc::bench {
 /// Per-vertex (single-source) BC: MTEPS = m / t with m in thousands of
 /// edges and t in milliseconds — i.e. edges / seconds / 1e6.
 inline double mteps_single_source(eidx_t m, double seconds) {
-  return seconds > 0.0
-             ? static_cast<double>(m) / seconds / 1e6
-             : 0.0;
+  TBC_CHECK(seconds > 0.0,
+            "MTEPS is undefined for a non-positive runtime — the caller's "
+            "timing accounting is broken");
+  return static_cast<double>(m) / seconds / 1e6;
 }
 
 /// Exact BC (all sources): MTEPS = n*m / t with n*m in millions and t in
 /// seconds.
 inline double mteps_exact(vidx_t n, eidx_t m, double seconds) {
-  return seconds > 0.0 ? static_cast<double>(n) * static_cast<double>(m) /
-                             seconds / 1e6
-                       : 0.0;
+  TBC_CHECK(seconds > 0.0,
+            "MTEPS is undefined for a non-positive runtime — the caller's "
+            "timing accounting is broken");
+  return static_cast<double>(n) * static_cast<double>(m) / seconds / 1e6;
 }
 
 }  // namespace turbobc::bench

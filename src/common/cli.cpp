@@ -54,6 +54,17 @@ std::int64_t CliArgs::get_int(const std::string& name,
   return value;
 }
 
+std::int64_t CliArgs::get_count(const std::string& name,
+                                std::int64_t fallback) const {
+  if (!has(name)) return fallback;
+  const std::int64_t value = get_int(name, fallback);
+  if (value < 1) {
+    throw UsageError("--" + name + " expects a positive count, got '" +
+                     get(name, "") + "'");
+  }
+  return value;
+}
+
 double CliArgs::get_double(const std::string& name, double fallback) const {
   const auto it = options_.find(name);
   if (it == options_.end()) return fallback;

@@ -20,6 +20,12 @@ class CliArgs {
 
   std::string get(const std::string& name, const std::string& fallback) const;
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  /// get_int restricted to positive counts (--devices, --threads, --budget,
+  /// batch sizes): a present flag with a zero or negative value throws a
+  /// prose UsageError (exit 2 in the CLIs) instead of wrapping through an
+  /// unsigned conversion or spinning downstream. An absent flag returns
+  /// `fallback` unchecked — sentinel fallbacks like 0 ("auto") stay legal.
+  std::int64_t get_count(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
 
   const std::vector<std::string>& positional() const noexcept {

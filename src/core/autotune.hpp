@@ -16,6 +16,30 @@
 
 namespace turbobc::bc {
 
+/// Beamer-style direction-switch thresholds for the kAuto advance mode.
+/// The per-level decision uses modeled edge/vertex counts the update kernel
+/// accumulates on-device (see core/turbobc.cpp):
+///   mf — in-edges of the new frontier, mu — in-edges of still-unvisited
+///   vertices, nf — new-frontier vertex count.
+/// Push switches to pull when the frontier's edge work approaches the
+/// unvisited side's (mf * alpha > mu); pull returns to push when the
+/// frontier thins out (nf * beta < n). Defaults are Beamer's published
+/// alpha = 14, beta = 24, which hold up on the modeled device too.
+struct DirectionThresholds {
+  double alpha = 14.0;
+  double beta = 24.0;
+};
+
+inline bool switch_to_pull(std::uint64_t mf, std::uint64_t mu,
+                           const DirectionThresholds& t) {
+  return static_cast<double>(mf) * t.alpha > static_cast<double>(mu);
+}
+
+inline bool switch_to_push(std::uint64_t nf, std::uint64_t n,
+                           const DirectionThresholds& t) {
+  return static_cast<double>(nf) * t.beta < static_cast<double>(n);
+}
+
 struct AutotuneResult {
   Variant best = Variant::kScCsc;
   /// Modeled single-source seconds per variant, indexed by

@@ -26,6 +26,20 @@ inline std::uint64_t turbobc_model_words(vidx_t n, eidx_t m) {
   return 7ull * static_cast<std::uint64_t>(n) + static_cast<std::uint64_t>(m);
 }
 
+/// TurboBC resident words with the direction-optimizing forward sweep
+/// enabled (--advance pull|auto): the push inventory plus the n/32-word
+/// dense frontier bitmap. Still strictly below gunrock's 9n + 2m for every
+/// non-empty graph — the whole point of pulling over the SAME CSC instead
+/// of keeping a second (CSR) structure resident the way gunrock does.
+inline std::uint64_t turbobc_dobfs_model_words(vidx_t n, eidx_t m) {
+  return turbobc_model_words(n, m) +
+         (static_cast<std::uint64_t>(n) + 31) / 32;
+}
+
+inline std::uint64_t turbobc_dobfs_model_bytes(vidx_t n, eidx_t m) {
+  return turbobc_dobfs_model_words(n, m) * kPaperWordBytes;
+}
+
 /// gunrock-style resident words — the paper's Figure 4 lower bound.
 inline std::uint64_t gunrock_model_words(vidx_t n, eidx_t m) {
   return 9ull * static_cast<std::uint64_t>(n) +

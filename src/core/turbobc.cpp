@@ -30,6 +30,17 @@ constexpr std::size_t kMaxSourceBlocks = 64;
 TurboBC::TurboBC(sim::Device& device, const graph::EdgeList& graph,
                  BcOptions options)
     : device_(device), options_(options) {
+  // The pull sweep folds CSC columns; COOC carries no column pointers, and
+  // only one sparse format may stay resident (paper Section 3.4). A
+  // direction-optimizing run therefore demotes kScCooc to a CSC layout —
+  // never larger for the same arcs (4(n+1) + 4m vs 8m words when m >= n+1).
+  // The target is veCSC, not scCSC: COOC is selected for extreme in-degree
+  // skew, exactly the shape where a thread-per-column scan serializes its
+  // warp on the hub column; the warp-per-column kernel stays balanced.
+  if (options_.advance != Advance::kPush &&
+      options_.variant == Variant::kScCooc) {
+    options_.variant = Variant::kVeCsc;
+  }
   graph::EdgeList canon = graph;
   canon.canonicalize();
   n_ = canon.num_vertices();
@@ -80,6 +91,7 @@ SourceStats TurboBC::run_source_on(sim::Device& dev,
   using T = sigma_t;  // double: path counts overflow any integer width
   TBC_CHECK(source >= 0 && source < n_, "BC source vertex out of range");
   const auto n = static_cast<std::size_t>(n_);
+  const bool dob = options_.advance != Advance::kPush;
 
   // All per-vertex device arrays are modeled at the paper's 4-byte width
   // (int32 S/f/f_t, float32 sigma/delta/bc — Figure 4); host-side values
@@ -101,7 +113,18 @@ SourceStats TurboBC::run_source_on(sim::Device& dev,
     sim::DeviceBuffer<T> ft(dev, n, "f_t", 4);
     f.set_modeled_integer(!options_.float_bfs);
     ft.set_modeled_integer(!options_.float_bfs);
-    sim::DeviceBuffer<std::int32_t> cflag(dev, 1, "c");
+    // Push mode: the paper's 1-element frontier flag. Direction-optimizing
+    // mode widens it to three int32 counters — [0] flag, [1] nf (new-frontier
+    // vertices), [2] mf (their in-edges) — accumulated with exact integer
+    // atomics, so the switch inputs are deterministic at any pool width and
+    // the per-level readback stays one small copy.
+    sim::DeviceBuffer<std::int32_t> cflag(dev, dob ? 3 : 1, "c");
+    std::optional<sim::DeviceBuffer<std::uint32_t>> bitmap;
+    if (dob) {
+      bitmap.emplace(
+          dev, static_cast<std::size_t>(spmv::frontier_bitmap_words(n_)),
+          "frontier_bitmap");
+    }
     f.device_fill(0);
 
     sim::launch_scalar(dev, "bfs_init", 1, [&](sim::ThreadCtx& t) {
@@ -109,20 +132,54 @@ SourceStats TurboBC::run_source_on(sim::Device& dev,
       sigma.store(t, static_cast<std::size_t>(source), T{1});
     });
 
+    // Direction-switch state (kAuto). The frontier about to be advanced
+    // starts as {source}: nf = 1, mf = its in-degree; mu tracks in-edges of
+    // the still-undiscovered side. The host mirror of col_ptr is free to
+    // read — only the per-level counters ride the modeled readback.
+    std::uint64_t nf = 1, mf = 0;
+    std::uint64_t mu = static_cast<std::uint64_t>(m_);
+    if (dob) {
+      const auto& cp = csc->col_ptr().host();
+      mf = static_cast<std::uint64_t>(
+          cp[static_cast<std::size_t>(source) + 1] -
+          cp[static_cast<std::size_t>(source)]);
+      mu -= mf;
+    }
+    bool pulling = false;
+
     vidx_t d = 0;
     while (true) {
       ++d;
+      if (dob) {
+        if (options_.advance == Advance::kPull) {
+          pulling = true;
+        } else if (pulling) {
+          pulling = !switch_to_push(nf, static_cast<std::uint64_t>(n_),
+                                    options_.thresholds);
+        } else {
+          pulling = switch_to_pull(mf, mu, options_.thresholds);
+        }
+      }
       ft.device_fill(T{0});
-      switch (options_.variant) {
-        case Variant::kScCooc:
-          spmv::spmv_forward_sccooc(dev, *cooc, f, ft);
-          break;
-        case Variant::kScCsc:
-          spmv::spmv_forward_sccsc(dev, *csc, f, ft, sigma);
-          break;
-        case Variant::kVeCsc:
-          spmv::spmv_forward_vecsc(dev, *csc, f, ft, sigma);
-          break;
+      if (pulling) {
+        spmv::frontier_to_bitmap(dev, f, n_, *bitmap);
+        if (options_.variant == Variant::kVeCsc) {
+          spmv::spmv_forward_pull_vecsc(dev, *csc, f, *bitmap, ft, sigma);
+        } else {
+          spmv::spmv_forward_pull_sccsc(dev, *csc, f, *bitmap, ft, sigma);
+        }
+      } else {
+        switch (options_.variant) {
+          case Variant::kScCooc:
+            spmv::spmv_forward_sccooc(dev, *cooc, f, ft);
+            break;
+          case Variant::kScCsc:
+            spmv::spmv_forward_sccsc(dev, *csc, f, ft, sigma);
+            break;
+          case Variant::kVeCsc:
+            spmv::spmv_forward_vecsc(dev, *csc, f, ft, sigma);
+            break;
+        }
       }
       cflag.device_fill(0);
       // The CSC kernels fuse the sigma mask into the SpMV (Algorithm 3); the
@@ -143,10 +200,25 @@ SourceStats TurboBC::run_source_on(sim::Device& dev,
                              sigma.store(t, i,
                                          static_cast<T>(sigma.load(t, i) + v));
                              cflag.store(t, 0, 1);
+                             if (dob) {
+                               cflag.atomic_add(t, 1, 1);
+                               cflag.atomic_add(
+                                   t, 2,
+                                   static_cast<std::int32_t>(
+                                       csc->col_ptr().load(t, i + 1) -
+                                       csc->col_ptr().load(t, i)));
+                             }
                            }
                          });
-      // Host reads the frontier flag each level (one 4-byte cudaMemcpy).
-      if (cflag.copy_to_host()[0] == 0) break;
+      // Host reads the frontier flag each level (one 4-byte cudaMemcpy; 12
+      // bytes in direction-optimizing mode, which also carries nf / mf).
+      const auto c_host = cflag.copy_to_host();
+      if (c_host[0] == 0) break;
+      if (dob) {
+        nf = static_cast<std::uint64_t>(c_host[1]);
+        mf = static_cast<std::uint64_t>(c_host[2]);
+        mu -= mf;
+      }
     }
     height = d - 1;
   }

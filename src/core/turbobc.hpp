@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/autotune.hpp"
 #include "core/variant.hpp"
 #include "gpusim/device.hpp"
 #include "graph/edge_list.hpp"
@@ -47,6 +48,19 @@ struct BcOptions {
   /// additional m-word device array. Costs one more kernel per level and
   /// raises the footprint from 7n + m to 7n + 2m words.
   bool edge_bc = false;
+  /// Forward-sweep frontier advance. kPush is the paper's Algorithm 1
+  /// pipeline, byte-for-byte. kPull / kAuto enable the direction-optimizing
+  /// engine: undiscovered columns scan their CSC in-neighbours against a
+  /// dense n/32-word frontier bitmap (footprint 7n + m + ceil(n/32) words),
+  /// with kAuto switching per level on the thresholds below. Needs CSC:
+  /// when combined with Variant::kScCooc the constructor falls back to
+  /// kVeCsc (only one sparse format may stay resident, CSC is never larger
+  /// than COOC for the same arcs, and warp-per-column stays balanced on the
+  /// in-degree skew COOC is picked for). The S / sigma / bc results are
+  /// bit-identical to push — the pull fold skips exact zeros only.
+  Advance advance = Advance::kPush;
+  /// Per-level push<->pull switch thresholds (kAuto only).
+  DirectionThresholds thresholds = {};
 };
 
 /// Statistics of one source's traversal.

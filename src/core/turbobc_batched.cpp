@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "gpusim/kernel.hpp"
+#include "spmv/spmv_kernels.hpp"
 
 namespace turbobc::bc {
 
@@ -55,6 +56,13 @@ void TurboBCBatched::run_batch(const std::vector<vidx_t>& batch,
     sim::DeviceBuffer<sigma_t> f(dev, nk, "f.k", 4);
     sim::DeviceBuffer<sigma_t> ft(dev, nk, "f_t.k", 4);
     sim::DeviceBuffer<std::int32_t> cflags(dev, k, "c.k");
+    const bool dob = options_.advance != Advance::kPush;
+    std::optional<sim::DeviceBuffer<std::uint32_t>> bitmap;
+    if (dob) {
+      bitmap.emplace(dev,
+                     static_cast<std::size_t>(spmv::frontier_bitmap_words(n_)),
+                     "frontier_bitmap");
+    }
     f.set_modeled_integer(true);
     ft.set_modeled_integer(true);
     f.device_fill(0);
@@ -70,12 +78,38 @@ void TurboBCBatched::run_batch(const std::vector<vidx_t>& batch,
     while (true) {
       ++d;
       ft.device_fill(0);
+      if (dob) {
+        // Any-lane frontier bitmap: bit v set when SOME lane has v on its
+        // front. One thread per word, no atomics — deterministic.
+        sim::launch_scalar(
+            dev, "frontier_to_bitmap_batched",
+            spmv::frontier_bitmap_words(n_), [&](sim::ThreadCtx& t) {
+              const auto w = static_cast<std::size_t>(t.global_id());
+              const std::size_t base = w * 32;
+              std::uint32_t word = 0;
+              for (std::size_t b = 0; b < 32; ++b) {
+                const std::size_t v = base + b;
+                if (v >= n) break;
+                for (std::size_t j = 0; j < k; ++j) {
+                  if (f.load(t, slot(v, j)) != 0) {
+                    word |= 1u << b;
+                    break;
+                  }
+                }
+              }
+              t.count_ops(1);
+              bitmap->store(t, w, word);
+            });
+      }
       // Batched masked SpMM (thread per column): the column's rows are
       // loaded ONCE and reused by every batch lane — the memory-traffic
-      // amortization.
+      // amortization. In direction-optimizing mode the bitmap is probed
+      // before a row's k frontier slots are touched; a clear bit means all
+      // k lanes would add an exact zero, so skipping them leaves every sum
+      // bit-identical.
       sim::launch_scalar(
-          dev, "bfs_spmm_sccsc", static_cast<std::uint64_t>(n_),
-          [&](sim::ThreadCtx& t) {
+          dev, dob ? "bfs_spmm_pull_sccsc" : "bfs_spmm_sccsc",
+          static_cast<std::uint64_t>(n_), [&](sim::ThreadCtx& t) {
             const auto v = static_cast<std::size_t>(t.global_id());
             std::uint32_t active = 0;
             for (std::size_t j = 0; j < k; ++j) {
@@ -89,6 +123,13 @@ void TurboBCBatched::run_batch(const std::vector<vidx_t>& batch,
               const auto u = static_cast<std::size_t>(
                   csc_->row_idx().load(t, static_cast<std::size_t>(e)));
               t.count_ops(1);
+              if (dob) {
+                const std::uint32_t word = bitmap->load(t, u / 32);
+                if (((word >> (static_cast<std::uint32_t>(u) & 31u)) & 1u) ==
+                    0) {
+                  continue;
+                }
+              }
               for (std::size_t j = 0; j < k; ++j) {
                 if ((active >> j) & 1u) {
                   sums[j] += f.load(t, slot(u, j));

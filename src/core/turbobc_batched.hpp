@@ -39,6 +39,14 @@ struct BatchedOptions {
   /// Sources processed simultaneously per pass, in [1, 32]. 1 degenerates to
   /// the paper's pipeline (modulo kernel fusion details).
   vidx_t batch_size = 8;
+  /// Forward-sweep advance. kPush is the plain batched SpMM. kPull probes an
+  /// ANY-LANE frontier bitmap (bit set when some lane of the batch has the
+  /// vertex on its front) before touching a row's k frontier slots, skipping
+  /// the k loads when every lane would contribute an exact zero — so sums
+  /// and results stay bit-identical to push. There is no per-level heuristic
+  /// for a batch (the k fronts disagree about direction), so kAuto behaves
+  /// as kPull here.
+  Advance advance = Advance::kPush;
 };
 
 class TurboBCBatched {

@@ -7,8 +7,18 @@
 namespace turbobc::bc {
 
 TurboBfs::TurboBfs(sim::Device& device, const graph::EdgeList& graph,
-                   Variant variant)
-    : device_(device), variant_(variant) {
+                   Variant variant, Advance advance,
+                   DirectionThresholds thresholds)
+    : device_(device),
+      variant_(variant),
+      advance_(advance),
+      thresholds_(thresholds) {
+  // Pull folds CSC columns — same kScCooc-to-veCSC demotion as TurboBC
+  // (warp-per-column stays balanced on the in-degree skew COOC was picked
+  // for; same CSC byte inventory).
+  if (advance_ != Advance::kPush && variant_ == Variant::kScCooc) {
+    variant_ = Variant::kVeCsc;
+  }
   graph::EdgeList canon = graph;
   canon.canonicalize();
   n_ = canon.num_vertices();
@@ -33,7 +43,14 @@ TurboBfsResult TurboBfs::run(vidx_t source) {
   sim::DeviceBuffer<sigma_t> sigma(dev, n, "sigma", 4);
   sim::DeviceBuffer<sigma_t> f(dev, n, "f", 4);
   sim::DeviceBuffer<sigma_t> ft(dev, n, "f_t", 4);
-  sim::DeviceBuffer<std::int32_t> cflag(dev, 1, "c");
+  const bool dob = advance_ != Advance::kPush;
+  sim::DeviceBuffer<std::int32_t> cflag(dev, dob ? 3 : 1, "c");
+  std::optional<sim::DeviceBuffer<std::uint32_t>> bitmap;
+  if (dob) {
+    bitmap.emplace(dev,
+                   static_cast<std::size_t>(spmv::frontier_bitmap_words(n_)),
+                   "frontier_bitmap");
+  }
   sigma.set_modeled_integer(true);
   f.set_modeled_integer(true);
   ft.set_modeled_integer(true);
@@ -46,20 +63,50 @@ TurboBfsResult TurboBfs::run(vidx_t source) {
     sigma.store(t, static_cast<std::size_t>(source), 1);
   });
 
+  // Direction-switch state — same model as TurboBC::run_source_on.
+  std::uint64_t nf = 1, mf = 0;
+  std::uint64_t mu = static_cast<std::uint64_t>(m_);
+  if (dob) {
+    const auto& cp = csc_->col_ptr().host();
+    mf = static_cast<std::uint64_t>(cp[static_cast<std::size_t>(source) + 1] -
+                                    cp[static_cast<std::size_t>(source)]);
+    mu -= mf;
+  }
+  bool pulling = false;
+
   vidx_t d = 0;
   while (true) {
     ++d;
+    if (dob) {
+      if (advance_ == Advance::kPull) {
+        pulling = true;
+      } else if (pulling) {
+        pulling =
+            !switch_to_push(nf, static_cast<std::uint64_t>(n_), thresholds_);
+      } else {
+        pulling = switch_to_pull(mf, mu, thresholds_);
+      }
+    }
     ft.device_fill(0);
-    switch (variant_) {
-      case Variant::kScCooc:
-        spmv::spmv_forward_sccooc(dev, *cooc_, f, ft);
-        break;
-      case Variant::kScCsc:
-        spmv::spmv_forward_sccsc(dev, *csc_, f, ft, sigma);
-        break;
-      case Variant::kVeCsc:
-        spmv::spmv_forward_vecsc(dev, *csc_, f, ft, sigma);
-        break;
+    if (pulling) {
+      spmv::frontier_to_bitmap(dev, f, n_, *bitmap);
+      if (variant_ == Variant::kVeCsc) {
+        spmv::spmv_forward_pull_vecsc(dev, *csc_, f, *bitmap, ft, sigma);
+      } else {
+        spmv::spmv_forward_pull_sccsc(dev, *csc_, f, *bitmap, ft, sigma);
+      }
+    } else {
+      switch (variant_) {
+        case Variant::kScCooc:
+          spmv::spmv_forward_sccooc(dev, *cooc_, f, ft);
+          break;
+        case Variant::kScCsc:
+          spmv::spmv_forward_sccsc(dev, *csc_, f, ft, sigma);
+          break;
+        case Variant::kVeCsc:
+          spmv::spmv_forward_vecsc(dev, *csc_, f, ft, sigma);
+          break;
+      }
     }
     cflag.device_fill(0);
     const bool mask_in_update = variant_ == Variant::kScCooc;
@@ -77,9 +124,23 @@ TurboBfsResult TurboBfs::run(vidx_t source) {
                            S.store(t, i, d);
                            sigma.store(t, i, sigma.load(t, i) + v);
                            cflag.store(t, 0, 1);
+                           if (dob) {
+                             cflag.atomic_add(t, 1, 1);
+                             cflag.atomic_add(
+                                 t, 2,
+                                 static_cast<std::int32_t>(
+                                     csc_->col_ptr().load(t, i + 1) -
+                                     csc_->col_ptr().load(t, i)));
+                           }
                          }
                        });
-    if (cflag.copy_to_host()[0] == 0) break;
+    const auto c_host = cflag.copy_to_host();
+    if (c_host[0] == 0) break;
+    if (dob) {
+      nf = static_cast<std::uint64_t>(c_host[1]);
+      mf = static_cast<std::uint64_t>(c_host[2]);
+      mu -= mf;
+    }
   }
 
   TurboBfsResult r;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/autotune.hpp"
 #include "core/variant.hpp"
 #include "gpusim/device.hpp"
 #include "graph/edge_list.hpp"
@@ -35,8 +36,14 @@ struct TurboBfsResult {
 
 class TurboBfs {
  public:
+  /// `advance` selects the forward-sweep engine; kPull / kAuto need CSC, so
+  /// kScCooc is demoted to kVeCsc exactly as in TurboBC. Depths, sigmas, and
+  /// heights are bit-identical across modes (the pull fold skips exact
+  /// zeros only) — the qa oracle enforces this.
   TurboBfs(sim::Device& device, const graph::EdgeList& graph,
-           Variant variant = Variant::kScCsc);
+           Variant variant = Variant::kScCsc,
+           Advance advance = Advance::kPush,
+           DirectionThresholds thresholds = {});
 
   TurboBfsResult run(vidx_t source);
 
@@ -46,6 +53,8 @@ class TurboBfs {
  private:
   sim::Device& device_;
   Variant variant_;
+  Advance advance_;
+  DirectionThresholds thresholds_;
   vidx_t n_ = 0;
   eidx_t m_ = 0;
   std::optional<spmv::DeviceCsc> csc_;

@@ -24,13 +24,39 @@ constexpr std::string_view to_string(Variant v) {
   return "?";
 }
 
+/// Forward-sweep frontier advance mode (Beamer-style direction
+/// optimization). kPush is the paper's Algorithm 1 SpMV; kPull scans CSC
+/// columns of undiscovered vertices against a dense frontier bitmap; kAuto
+/// switches per level on modeled frontier/unvisited edge counts (the α/β
+/// thresholds in core/autotune.hpp).
+enum class Advance {
+  kPush,
+  kPull,
+  kAuto,
+};
+
+constexpr std::string_view to_string(Advance a) {
+  switch (a) {
+    case Advance::kPush: return "push";
+    case Advance::kPull: return "pull";
+    case Advance::kAuto: return "auto";
+  }
+  return "?";
+}
+
 /// Pick a variant from graph structure, mirroring the paper's empirical
 /// rules: irregular graphs (high scale-free index) take the warp-per-column
 /// kernel; regular graphs with extreme max/mean degree skew (the mawi
 /// traces) take the skew-immune edge-parallel kernel; everything else takes
 /// the cheap thread-per-column kernel.
+///
+/// The skew test uses IN-degree stats: the scCSC/veCSC kernels parallelize
+/// over CSC columns, so the hub that starves them is a high in-degree
+/// column. (Out-degree hubs cost nothing extra there — their arcs are
+/// spread across many columns.) The scale-free index itself stays
+/// out-degree, matching the paper's Eq. 5.
 inline Variant select_variant(const graph::EdgeList& graph) {
-  const auto stats = graph::degree_stats(graph);
+  const auto stats = graph::in_degree_stats(graph);
   if (graph::is_irregular(graph)) return Variant::kVeCsc;
   if (stats.mean > 0.0 &&
       static_cast<double>(stats.max) > 50.0 * stats.mean) {

@@ -126,7 +126,8 @@ DistTurboBC::DistTurboBC(sim::Topology& topology, const graph::EdgeList& graph,
   if (strategy_ == Strategy::kReplicate) {
     plan_ = ShardPlan::make(n_, 1);
     engine_.emplace(topo_.device(0), canon,
-                    bc::BcOptions{global_variant, false, options_.edge_bc});
+                    bc::BcOptions{global_variant, false, options_.edge_bc,
+                                  options_.advance, options_.thresholds});
     return;
   }
 
@@ -157,6 +158,12 @@ DistTurboBC::DistTurboBC(sim::Topology& topology, const graph::EdgeList& graph,
         }
       }
       sh.variant = bc::select_variant(local);
+    }
+    // Pull folds CSC columns — same kScCooc-to-veCSC demotion as the single
+    // engine (balanced on in-degree skew, same CSC byte inventory).
+    if (options_.advance != bc::Advance::kPush &&
+        sh.variant == bc::Variant::kScCooc) {
+      sh.variant = bc::Variant::kVeCsc;
     }
     if (sh.variant == bc::Variant::kScCooc) {
       std::vector<vidx_t> cols;
@@ -353,12 +360,15 @@ DistResult DistTurboBC::run_partitioned(const std::vector<vidx_t>& sources) {
     {
       // Forward (BFS) stage; f / f_t / exchange freed at scope end to make
       // room for the dependency triple, like the single engine.
+      const bool dob = options_.advance != bc::Advance::kPush;
       std::vector<sim::DeviceBuffer<T>> f, ft, xf;
       std::vector<sim::DeviceBuffer<std::int32_t>> cflag;
+      std::vector<sim::DeviceBuffer<std::uint32_t>> fbm;
       f.reserve(static_cast<std::size_t>(k_devices));
       ft.reserve(static_cast<std::size_t>(k_devices));
       xf.reserve(static_cast<std::size_t>(k_devices));
       cflag.reserve(static_cast<std::size_t>(k_devices));
+      if (dob) fbm.reserve(static_cast<std::size_t>(k_devices));
       for (int k = 0; k < k_devices; ++k) {
         sim::Device& dev = topo_.device(k);
         const auto nl =
@@ -370,7 +380,13 @@ DistResult DistTurboBC::run_partitioned(const std::vector<vidx_t>& sources) {
         ft.back().set_modeled_integer(true);
         xf.emplace_back(dev, nn, "exchange", 4);
         xf.back().set_modeled_integer(true);
-        cflag.emplace_back(dev, 1, "c");
+        // Same 3-counter widening as the single engine in DO mode.
+        cflag.emplace_back(dev, dob ? 3 : 1, "c");
+        if (dob) {
+          fbm.emplace_back(
+              dev, static_cast<std::size_t>(spmv::frontier_bitmap_words(n_)),
+              "frontier_bitmap");
+        }
         f.back().device_fill(T{0});
       }
 
@@ -385,13 +401,44 @@ DistResult DistTurboBC::run_partitioned(const std::vector<vidx_t>& sources) {
                                t, src_local, T{1});
                          });
 
+      // Direction-switch state — same model as TurboBC::run_source_on; nf
+      // and mf are summed over shards from the widened flag readbacks.
+      std::uint64_t nf = 1, mf = 0;
+      std::uint64_t mu = static_cast<std::uint64_t>(m_);
+      if (dob) {
+        // The source's column is wholly owned by one shard, so the local
+        // pointer delta IS its global in-degree.
+        const auto& cp = shards_[static_cast<std::size_t>(src_owner)]
+                             .csc->col_ptr()
+                             .host();
+        mf = static_cast<std::uint64_t>(cp[src_local + 1] - cp[src_local]);
+        mu -= mf;
+      }
+      bool pulling = false;
+
       vidx_t d = 0;
       while (true) {
         ++d;
         // Frontier exchange: one modeled all_gather; the payload copy itself
         // is free host work (buffer host() staging), like copy_from_host's
-        // functional half.
-        topo_.all_gather(plan_.rank_bytes());
+        // functional half. Direction-optimizing runs gather the dense
+        // bitmap (ceil(block_len/32) words per rank) plus one packed block
+        // of the level's new frontier values, padded to the largest rank so
+        // the collective stays rank-uniform.
+        if (dob) {
+          topo_.all_gather(plan_.rank_bitmap_bytes());
+          std::uint64_t max_nf = 0;
+          for (int k = 0; k < k_devices; ++k) {
+            std::uint64_t c = 0;
+            for (const T v : f[static_cast<std::size_t>(k)].host()) {
+              if (v != 0) ++c;
+            }
+            max_nf = std::max(max_nf, c);
+          }
+          if (max_nf > 0) topo_.all_gather(4ull * max_nf);
+        } else {
+          topo_.all_gather(plan_.rank_bytes());
+        }
         std::vector<T> frontier(nn, T{0});
         for (int k = 0; k < k_devices; ++k) {
           const auto& fk = f[static_cast<std::size_t>(k)].host();
@@ -402,24 +449,49 @@ DistResult DistTurboBC::run_partitioned(const std::vector<vidx_t>& sources) {
           xf[static_cast<std::size_t>(k)].host() = frontier;
         }
 
+        if (dob) {
+          if (options_.advance == bc::Advance::kPull) {
+            pulling = true;
+          } else if (pulling) {
+            pulling = !bc::switch_to_push(nf, static_cast<std::uint64_t>(n_),
+                                          options_.thresholds);
+          } else {
+            pulling = bc::switch_to_pull(mf, mu, options_.thresholds);
+          }
+        }
+
         bool any_frontier = false;
+        std::uint64_t level_nf = 0, level_mf = 0;
         for (int k = 0; k < k_devices; ++k) {
           sim::Device& dev = topo_.device(k);
           const auto kk = static_cast<std::size_t>(k);
           const Shard& sh = shards_[kk];
           ft[kk].device_fill(T{0});
-          switch (sh.variant) {
-            case bc::Variant::kScCooc:
-              spmv::spmv_forward_sccooc(dev, *sh.cooc, xf[kk], ft[kk]);
-              break;
-            case bc::Variant::kScCsc:
-              spmv::spmv_forward_sccsc(dev, *sh.csc, xf[kk], ft[kk],
-                                       sigma[kk]);
-              break;
-            case bc::Variant::kVeCsc:
-              spmv::spmv_forward_vecsc(dev, *sh.csc, xf[kk], ft[kk],
-                                       sigma[kk]);
-              break;
+          if (pulling) {
+            // Local columns, global rows: the bitmap spans the full vertex
+            // range, the fold reads the exchanged full-length operand.
+            spmv::frontier_to_bitmap(dev, xf[kk], n_, fbm[kk]);
+            if (sh.variant == bc::Variant::kVeCsc) {
+              spmv::spmv_forward_pull_vecsc(dev, *sh.csc, xf[kk], fbm[kk],
+                                            ft[kk], sigma[kk]);
+            } else {
+              spmv::spmv_forward_pull_sccsc(dev, *sh.csc, xf[kk], fbm[kk],
+                                            ft[kk], sigma[kk]);
+            }
+          } else {
+            switch (sh.variant) {
+              case bc::Variant::kScCooc:
+                spmv::spmv_forward_sccooc(dev, *sh.cooc, xf[kk], ft[kk]);
+                break;
+              case bc::Variant::kScCsc:
+                spmv::spmv_forward_sccsc(dev, *sh.csc, xf[kk], ft[kk],
+                                         sigma[kk]);
+                break;
+              case bc::Variant::kVeCsc:
+                spmv::spmv_forward_vecsc(dev, *sh.csc, xf[kk], ft[kk],
+                                         sigma[kk]);
+                break;
+            }
           }
           cflag[kk].device_fill(0);
           const bool mask_in_update = sh.variant == bc::Variant::kScCooc;
@@ -438,13 +510,32 @@ DistResult DistTurboBC::run_partitioned(const std::vector<vidx_t>& sources) {
                   sigma[kk].store(
                       t, i, static_cast<T>(sigma[kk].load(t, i) + v));
                   cflag[kk].store(t, 0, 1);
+                  if (dob) {
+                    cflag[kk].atomic_add(t, 1, 1);
+                    cflag[kk].atomic_add(
+                        t, 2,
+                        static_cast<std::int32_t>(
+                            sh.csc->col_ptr().load(t, i + 1) -
+                            sh.csc->col_ptr().load(t, i)));
+                  }
                 }
               });
           // Every device's frontier flag is read back each level (K 4-byte
-          // copies — the distributed version of the single readback).
-          if (cflag[kk].copy_to_host()[0] != 0) any_frontier = true;
+          // copies — the distributed version of the single readback; 12
+          // bytes each in direction-optimizing mode).
+          const auto c_host = cflag[kk].copy_to_host();
+          if (c_host[0] != 0) any_frontier = true;
+          if (dob) {
+            level_nf += static_cast<std::uint64_t>(c_host[1]);
+            level_mf += static_cast<std::uint64_t>(c_host[2]);
+          }
         }
         if (!any_frontier) break;
+        if (dob) {
+          nf = level_nf;
+          mf = level_mf;
+          mu -= mf;
+        }
       }
       height = d - 1;
     }

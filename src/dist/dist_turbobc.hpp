@@ -58,6 +58,16 @@ struct DistOptions {
   std::optional<bc::Variant> variant;
   /// Edge betweenness (replicated strategy only).
   bool edge_bc = false;
+  /// Forward-sweep advance (core/variant.hpp). Replicated shards inherit it
+  /// wholesale — same code path as the single engine. The partitioned
+  /// strategy exchanges the frontier as a dense BITMAP per level
+  /// (ceil(block_len/32) words per rank instead of block_len) plus one
+  /// packed block of the level's NEW frontier values; a vertex enters the
+  /// frontier exactly once, so the packed traffic totals at most n words
+  /// over a whole BFS.
+  bc::Advance advance = bc::Advance::kPush;
+  /// Push<->pull switch thresholds for kAuto.
+  bc::DirectionThresholds thresholds;
 };
 
 /// Per-device outcome of one distributed run.

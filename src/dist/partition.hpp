@@ -46,6 +46,13 @@ struct ShardPlan {
   std::uint64_t rank_bytes() const noexcept {
     return 4ull * static_cast<std::uint64_t>(block_len);
   }
+  /// Per-rank frontier BITMAP in bytes — the direction-optimizing exchange:
+  /// ceil(block_len/32) words per level instead of block_len. Frontier
+  /// values travel separately as a packed block sized by the level's
+  /// new-frontier count (at most n words across a whole BFS).
+  std::uint64_t rank_bitmap_bytes() const noexcept {
+    return 4ull * ((static_cast<std::uint64_t>(block_len) + 31) / 32);
+  }
   int owner(vidx_t v) const noexcept {
     return static_cast<int>(v / block_len);
   }

@@ -5,9 +5,10 @@
 
 namespace turbobc::graph {
 
-DegreeStats degree_stats(const EdgeList& el) {
+namespace {
+
+DegreeStats stats_of(const std::vector<eidx_t>& deg) {
   DegreeStats s;
-  const auto deg = el.out_degrees();
   if (deg.empty()) return s;
   double sum = 0.0;
   double sumsq = 0.0;
@@ -22,6 +23,16 @@ DegreeStats degree_stats(const EdgeList& el) {
   const double var = std::max(0.0, sumsq / n - s.mean * s.mean);
   s.stddev = std::sqrt(var);
   return s;
+}
+
+}  // namespace
+
+DegreeStats degree_stats(const EdgeList& el) {
+  return stats_of(el.out_degrees());
+}
+
+DegreeStats in_degree_stats(const EdgeList& el) {
+  return stats_of(el.in_degrees());
 }
 
 double scf_raw(const EdgeList& el) {

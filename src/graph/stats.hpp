@@ -19,6 +19,12 @@ struct DegreeStats {
 /// Out-degree statistics (the paper uses out-degree for directed graphs).
 DegreeStats degree_stats(const EdgeList& el);
 
+/// In-degree statistics. The CSC-based kernels parallelize over columns, so
+/// their load balance is governed by in-degree: the column-skew test in
+/// bc::select_variant must look at these, not at the out-degree stats (on
+/// undirected graphs the two coincide — both arcs are present).
+DegreeStats in_degree_stats(const EdgeList& el);
+
 /// Raw scale-free metric of Li et al. (the paper's Eq. 5):
 ///   s(G) = sum over arcs (u,v) of degree(u) * degree(v)
 /// with degree = out-degree for directed graphs. Returned as double: on

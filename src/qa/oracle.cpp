@@ -610,6 +610,125 @@ struct Checker {
     }
   }
 
+  /// Direction-optimizing engine: pull and auto forward sweeps against push.
+  /// The contract (spmv_kernels.hpp): levels bit-identical by construction
+  /// (the pull fold skips exact zeros only), so depths / sigma / bc are
+  /// checked as hard as the rest of the oracle allows; each mode must also
+  /// be bit-identical across pool widths, and the DO peak must match its
+  /// analytic inventory while staying at 7n + m + ceil(n/32) words — below
+  /// gunrock's resident set.
+  void check_dobfs() {
+    const vidx_t n = canon.num_vertices();
+    const eidx_t m = canon.num_arcs();
+    const vidx_t source = pick_sources().front();
+    const bc::Variant variant = bc::select_variant(canon);
+
+    const auto run_bfs = [&](bc::Advance adv) {
+      sim::Device dev;
+      dev.set_keep_launch_records(false);
+      bc::TurboBfs bfs(dev, graph, variant, adv);
+      return bfs.run(source);
+    };
+    const auto run_bc = [&](bc::Advance adv) {
+      sim::Device dev;
+      dev.set_keep_launch_records(false);
+      bc::TurboBC algo(dev, graph, {.variant = variant, .advance = adv});
+      return algo.run_single_source(source);
+    };
+
+    const bc::TurboBfsResult push_bfs = run_bfs(bc::Advance::kPush);
+    const bc::BcResult push_bc = run_bc(bc::Advance::kPush);
+
+    for (const bc::Advance adv : {bc::Advance::kPull, bc::Advance::kAuto}) {
+      const std::string mode(bc::to_string(adv));
+
+      const bc::TurboBfsResult r = run_bfs(adv);
+      if (r.depth != push_bfs.depth || r.height != push_bfs.height ||
+          r.reached != push_bfs.reached) {
+        std::ostringstream os;
+        os << mode << " source " << source << ": levels differ from push ("
+           << "height " << r.height << "/" << push_bfs.height << ", reached "
+           << r.reached << "/" << push_bfs.reached << ")";
+        fail("dobfs_agreement", os.str());
+      }
+      for (std::size_t v = 0; v < push_bfs.sigma.size(); ++v) {
+        if (!sigma_matches(r.sigma[v], push_bfs.sigma[v])) {
+          std::ostringstream os;
+          os << mode << " source " << source << ": sigma[" << v << "] = "
+             << r.sigma[v] << " vs push " << push_bfs.sigma[v];
+          fail("dobfs_agreement", os.str());
+          break;
+        }
+      }
+
+      const bc::BcResult rb = run_bc(adv);
+      for (std::size_t v = 0; v < push_bc.bc.size(); ++v) {
+        const double err = std::abs(rb.bc[v] - push_bc.bc[v]) /
+                           std::max(1.0, std::abs(push_bc.bc[v]));
+        if (!(err <= opt.tolerance)) {
+          std::ostringstream os;
+          os << mode << " source " << source << ": bc[" << v << "] = "
+             << rb.bc[v] << " vs push " << push_bc.bc[v];
+          fail("dobfs_agreement", os.str());
+          break;
+        }
+      }
+
+      // Footprint: the byte-exact DO inventory, and the paper-scale bound
+      // 7n + m + ceil(n/32) words (+16 B slack: the CP_A tail entry and the
+      // tiny-n case where the widened forward stage outgrows the triple).
+      const std::size_t expected = expected_turbobc_peak_bytes(
+          variant, n, m, /*edge_bc=*/false, adv);
+      if (rb.peak_device_bytes != expected) {
+        std::ostringstream os;
+        os << mode << ": simulated peak " << rb.peak_device_bytes
+           << " B != analytic DO inventory " << expected << " B (n = " << n
+           << ", m = " << m << ")";
+        fail("dobfs_agreement", os.str());
+      }
+      if (rb.peak_device_bytes > bc::turbobc_dobfs_model_bytes(n, m) + 16) {
+        std::ostringstream os;
+        os << mode << ": simulated peak " << rb.peak_device_bytes
+           << " B above the 7n + m + ceil(n/32) model "
+           << bc::turbobc_dobfs_model_bytes(n, m) << " B";
+        fail("dobfs_agreement", os.str());
+      }
+    }
+    if (bc::turbobc_dobfs_model_bytes(n, m) >=
+        expected_gunrock_inventory_bytes(n, m)) {
+      std::ostringstream os;
+      os << "DO model " << bc::turbobc_dobfs_model_bytes(n, m)
+         << " B not below the gunrock inventory "
+         << expected_gunrock_inventory_bytes(n, m) << " B";
+      fail("dobfs_agreement", os.str());
+    }
+
+    // Per-mode pool-width determinism, same standard as thread_determinism.
+    if (opt.check_determinism && n > 1) {
+      const auto sources = pick_sources();
+      for (const bc::Advance adv : {bc::Advance::kPull, bc::Advance::kAuto}) {
+        const auto run_at = [&](unsigned width) {
+          PoolWidthGuard guard;
+          sim::ExecutorPool::instance().set_threads(width);
+          sim::Device dev;
+          dev.set_keep_launch_records(false);
+          bc::TurboBC algo(dev, graph,
+                           {.variant = variant, .advance = adv});
+          return algo.run_sources(sources);
+        };
+        const bc::BcResult a = run_at(1);
+        const bc::BcResult b = run_at(opt.det_threads);
+        if (a.bc != b.bc || a.device_seconds != b.device_seconds ||
+            a.peak_device_bytes != b.peak_device_bytes) {
+          fail("dobfs_agreement",
+               std::string(bc::to_string(adv)) + ": threads=1 vs threads=" +
+                   std::to_string(opt.det_threads) +
+                   " modeled results differ");
+        }
+      }
+    }
+  }
+
   void run() {
     check_mtx_roundtrip();
     if (canon.num_vertices() == 0) return;  // nothing else is defined
@@ -639,6 +758,9 @@ struct Checker {
     }
     if (opt.check_dist && canon.num_vertices() > 0) {
       check_dist();
+    }
+    if (opt.check_dobfs && canon.num_vertices() > 0) {
+      check_dobfs();
     }
   }
 };
@@ -676,9 +798,14 @@ OracleReport check_graph(const EdgeList& graph, const OracleOptions& options) {
 }
 
 std::size_t expected_turbobc_peak_bytes(bc::Variant variant, vidx_t n,
-                                        eidx_t m, bool edge_bc) {
+                                        eidx_t m, bool edge_bc,
+                                        bc::Advance advance) {
   const auto un = static_cast<std::size_t>(n);
   const auto um = static_cast<std::size_t>(m);
+  const bool dob = advance != bc::Advance::kPush;
+  // The engine demotes kScCooc to kVeCsc in direction-optimizing mode (pull
+  // needs column pointers); the inventory must mirror that.
+  if (dob && variant == bc::Variant::kScCooc) variant = bc::Variant::kVeCsc;
   // Graph structure: one resident format (device_graph.hpp, 4-byte words).
   const std::size_t graph_bytes = variant == bc::Variant::kScCooc
                                       ? 8 * um           // row_A + col_A
@@ -686,8 +813,12 @@ std::size_t expected_turbobc_peak_bytes(bc::Variant variant, vidx_t n,
   // bc accumulator + persistent S/sigma + the wider of the two stages:
   // forward f/f_t/c-flag (8n + 4) vs dependency triple (12n). The paper's
   // f/f_t free trick is exactly why the forward stage never dominates.
-  const std::size_t stages =
-      4 * un + 8 * un + std::max(8 * un + 4, 12 * un);
+  // Direction-optimizing mode widens the forward stage — three-counter flag
+  // block (12 B) plus the ceil(n/32)-word frontier bitmap — which the
+  // triple still dominates for n >= 4.
+  const std::size_t forward =
+      dob ? 8 * un + 12 + 4 * ((un + 31) / 32) : 8 * un + 4;
+  const std::size_t stages = 4 * un + 8 * un + std::max(forward, 12 * un);
   return graph_bytes + stages + (edge_bc ? 4 * um : 0);
 }
 

@@ -42,6 +42,12 @@
 //   dist_comm_conservation  interconnect ledger: sum of logical bytes sent
 //                         equals sum received, and the topology total
 //                         equals the per-device fold
+//   dobfs_agreement       direction-optimizing forward sweep: pull/auto
+//                         reproduce push's levels S bit-identically, sigma
+//                         and bc within oracle tolerance, each mode is
+//                         bit-identical at any --threads, and the DO peak
+//                         matches its analytic inventory and stays at
+//                         7n + m + ceil(n/32) words, below gunrock's
 //
 // Each failed check appends a Violation naming the invariant; the fuzz loop
 // and the delta-debugging minimizer key on those names.
@@ -88,6 +94,9 @@ struct OracleOptions {
   /// Modeled device count of the oracle's topology. 3 makes the last column
   /// shard uneven (and often empty on tiny graphs) — the interesting case.
   int dist_devices = 3;
+  /// Direction-optimizing forward sweep: push-vs-pull/auto agreement,
+  /// per-mode thread determinism, and the DO footprint inventory.
+  bool check_dobfs = true;
 };
 
 struct Violation {
@@ -119,8 +128,14 @@ OracleReport check_graph(const graph::EdgeList& graph,
 /// graph structure + bc accumulator (+ edge-BC array) + the dependency-stage
 /// maximum of per-source arrays. For the CSC layouts this equals the paper's
 /// 7n + m words (bc::turbobc_model_bytes) plus the one extra CP_A entry.
-std::size_t expected_turbobc_peak_bytes(bc::Variant variant, vidx_t n,
-                                        eidx_t m, bool edge_bc);
+/// A direction-optimizing `advance` widens the forward term: the 1-element
+/// frontier flag becomes 3 counters and the ceil(n/32)-word frontier bitmap
+/// joins f/f_t — still dominated by the dependency triple for n >= 4, so
+/// the engine's PEAK usually does not move at all (the bitmap lives only in
+/// the stage the paper's free trick already made the smaller one).
+std::size_t expected_turbobc_peak_bytes(
+    bc::Variant variant, vidx_t n, eidx_t m, bool edge_bc,
+    bc::Advance advance = bc::Advance::kPush);
 
 /// Analytic gunrock-baseline inventory in simulated device bytes
 /// (CSR + CSC + 8 n-arrays + queue counter + m-word LB scratch).

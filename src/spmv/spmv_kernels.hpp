@@ -134,6 +134,140 @@ void spmv_forward_vecsc(sim::Device& device, const DeviceCsc& g,
 }
 
 // ---------------------------------------------------------------------------
+// Pull (direction-optimizing) forward kernels.
+//
+// A pull step inverts the frontier test: every UNDISCOVERED column scans its
+// own CSC column (its in-neighbours), probes a dense frontier bitmap, and
+// folds the frontier values it finds — no atomics, no frontier-sized value
+// reads for non-frontier in-neighbours. The bitmap is n/32 words, small
+// enough to stay L2-resident, which is where the modeled win on dense
+// frontiers comes from.
+//
+// Bit-identity contract: the push scCSC kernel computes
+//   sum over the column, in k order, of f(row_k)
+// where f is exactly 0 off the frontier. The pull kernel folds only the
+// bitmap-set rows, in the SAME k order — skipping an exact +0 leaves every
+// partial sum bit-identical, so f_t (and hence S and sigma) match the push
+// sweep bit for bit. The veCSC pair preserves per-lane partial sums the
+// same way.
+// ---------------------------------------------------------------------------
+
+/// Number of 32-bit words in a dense frontier bitmap over n vertices.
+inline std::uint64_t frontier_bitmap_words(vidx_t n) {
+  return (static_cast<std::uint64_t>(n) + 31) / 32;
+}
+
+/// Rebuild the dense bitmap from the sparse-by-value frontier vector f:
+/// one thread per 32-bit word, each reading its 32 consecutive f values
+/// (fully coalesced) and composing the word — no atomics, deterministic.
+/// This is the bitmap<->sparse conversion pass the cost model charges per
+/// pull level.
+template <typename T>
+void frontier_to_bitmap(sim::Device& device, const sim::DeviceBuffer<T>& f,
+                        vidx_t n, sim::DeviceBuffer<std::uint32_t>& bitmap) {
+  sim::launch_scalar(
+      device, "frontier_to_bitmap", frontier_bitmap_words(n),
+      [&](sim::ThreadCtx& t) {
+        const auto w = static_cast<std::size_t>(t.global_id());
+        const std::size_t base = w * 32;
+        std::uint32_t word = 0;
+        for (std::size_t b = 0; b < 32; ++b) {
+          const std::size_t v = base + b;
+          if (v >= static_cast<std::size_t>(n)) break;
+          if (f.load(t, v) != 0) word |= 1u << b;
+        }
+        t.count_ops(1);
+        bitmap.store(t, w, word);
+      });
+}
+
+template <typename T, typename M>
+void spmv_forward_pull_sccsc(sim::Device& device, const DeviceCsc& g,
+                             const sim::DeviceBuffer<T>& x,
+                             const sim::DeviceBuffer<std::uint32_t>& bitmap,
+                             sim::DeviceBuffer<T>& y,
+                             const sim::DeviceBuffer<M>& sigma) {
+  sim::launch_scalar(
+      device, "bfs_spmv_pull_sccsc", static_cast<std::uint64_t>(g.n()),
+      [&](sim::ThreadCtx& t) {
+        const auto i = static_cast<std::size_t>(t.global_id());
+        if (sigma.load(t, i) != 0) return;
+        const dptr_t begin = g.col_ptr().load(t, i);
+        const dptr_t end = g.col_ptr().load(t, i + 1);
+        T sum = 0;
+        for (dptr_t k = begin; k < end; ++k) {
+          const vidx_t row = g.row_idx().load(t, static_cast<std::size_t>(k));
+          const std::uint32_t word =
+              bitmap.load(t, static_cast<std::size_t>(row) / 32);
+          t.count_ops(1);
+          if ((word >> (static_cast<std::uint32_t>(row) & 31u)) & 1u) {
+            sum += x.load(t, static_cast<std::size_t>(row));
+          }
+        }
+        if (sum > 0) y.store(t, i, sum);
+      });
+}
+
+template <typename T, typename M>
+void spmv_forward_pull_vecsc(sim::Device& device, const DeviceCsc& g,
+                             const sim::DeviceBuffer<T>& x,
+                             const sim::DeviceBuffer<std::uint32_t>& bitmap,
+                             sim::DeviceBuffer<T>& y,
+                             const sim::DeviceBuffer<M>& sigma) {
+  const vidx_t n = g.n();
+  sim::launch_warp(
+      device, "bfs_spmv_pull_vecsc", vecsc_grid_warps(device, n),
+      [&](sim::WarpCtx& w) {
+        for (auto col = static_cast<vidx_t>(w.warp_id()); col < n;
+             col = static_cast<vidx_t>(col + w.num_warps())) {
+          if (w.broadcast_load(sigma, static_cast<std::size_t>(col)) != 0) {
+            continue;
+          }
+          const dptr_t begin =
+              w.broadcast_load(g.col_ptr(), static_cast<std::size_t>(col));
+          const dptr_t end =
+              w.broadcast_load(g.col_ptr(), static_cast<std::size_t>(col) + 1);
+          std::array<T, sim::kWarpSize> sum{};
+          for (dptr_t base = begin; base < end; base += sim::kWarpSize) {
+            std::uint32_t mask = 0;
+            for (int lane = 0; lane < sim::kWarpSize; ++lane) {
+              if (base + lane < end) mask |= 1u << lane;
+            }
+            const auto rows = w.gather(g.row_idx(), mask, [&](int lane) {
+              return static_cast<std::size_t>(base + lane);
+            });
+            const auto words = w.gather(bitmap, mask, [&](int lane) {
+              return static_cast<std::size_t>(rows[lane]) / 32;
+            });
+            // Frontier-lane mask: only lanes whose row's bit is set load x.
+            std::uint32_t fmask = 0;
+            for (int lane = 0; lane < sim::kWarpSize; ++lane) {
+              if (((mask >> lane) & 1u) != 0 &&
+                  ((words[lane] >>
+                    (static_cast<std::uint32_t>(rows[lane]) & 31u)) &
+                   1u) != 0) {
+                fmask |= 1u << lane;
+              }
+            }
+            const auto vals = w.gather(x, fmask, [&](int lane) {
+              return static_cast<std::size_t>(rows[lane]);
+            });
+            for (int lane = 0; lane < sim::kWarpSize; ++lane) {
+              if ((fmask >> lane) & 1u) sum[lane] += vals[lane];
+            }
+            w.count_ops(1);
+          }
+          const T total = w.reduce_add(sum);
+          if (total > 0) {
+            w.scatter(y, 0x1u,
+                      [&](int) { return static_cast<std::size_t>(col); },
+                      [&](int) { return total; });
+          }
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
 // Backward (unmasked) kernels.
 // Gather form: y(v) += sum over column v of x(row). Correct out-neighbour
 // sum only when the matrix is symmetric (undirected graphs).

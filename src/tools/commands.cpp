@@ -53,6 +53,14 @@ bc::Variant parse_variant(const CliArgs& args, const graph::EdgeList& g) {
   return bc::select_variant(g);
 }
 
+bc::Advance parse_advance(const CliArgs& args) {
+  const std::string a = args.get("advance", "push");
+  if (a == "push") return bc::Advance::kPush;
+  if (a == "pull") return bc::Advance::kPull;
+  if (a == "auto") return bc::Advance::kAuto;
+  throw UsageError("unknown --advance '" + a + "' (expected push|pull|auto)");
+}
+
 std::vector<vidx_t> top_order(const std::vector<bc_t>& bc, int k) {
   std::vector<vidx_t> order(bc.size());
   std::iota(order.begin(), order.end(), 0);
@@ -79,8 +87,7 @@ void print_top_vertices(std::ostream& out, const std::vector<bc_t>& bc,
 sim::TopologyProps topology_props(const CliArgs& args, int default_devices) {
   sim::TopologyProps props;
   props.num_devices =
-      static_cast<int>(args.get_int("devices", default_devices));
-  if (props.num_devices < 1) throw UsageError("--devices must be >= 1");
+      static_cast<int>(args.get_count("devices", default_devices));
   props.nvlink = args.has("nvlink");
   return props;
 }
@@ -125,10 +132,17 @@ std::string cli_usage() {
       "      all accept --seed\n"
       "  turbobc_cli stats g.mtx [--json]\n"
       "  turbobc_cli bfs g.mtx [--source 0] [--variant auto]\n"
+      "      [--advance push|pull|auto]\n"
       "  turbobc_cli bc g.mtx [--source S | --exact [--batch K] | --approx K]\n"
       "      [--variant auto|autotune|sccooc|sccsc|vecsc] [--edge-bc]\n"
-      "      [--top 10] [--verify] [--json] [--trace out.json]\n"
+      "      [--advance push|pull|auto] [--top 10] [--verify] [--json]\n"
+      "      [--trace out.json]\n"
       "      [--devices K] [--dist auto|replicate|partition] [--nvlink]\n"
+      "      --advance picks the forward sweep: 'push' expands the frontier\n"
+      "      (the paper's SpMV), 'pull' has undiscovered columns probe a\n"
+      "      frontier bitmap, 'auto' switches per level by the Beamer\n"
+      "      alpha/beta rule at 7n + m + ceil(n/32) words; every mode's\n"
+      "      modeled results are bit-identical to push\n"
       "      --devices > 1 scales out over a modeled multi-GPU node:\n"
       "      'replicate' fans source blocks across whole-graph replicas,\n"
       "      'partition' shards CSC column blocks so graphs past one\n"
@@ -136,7 +150,8 @@ std::string cli_usage() {
       "  turbobc_cli approx g.mtx [--epsilon 0.05] [--delta 0.1] [--topk K]\n"
       "      [--seed 1] [--sampler uniform|degree|component]\n"
       "      [--engine scalar|batched] [--batch 8] [--max-sources N]\n"
-      "      [--variant auto|autotune|sccooc|sccsc|vecsc] [--top 10] [--json]\n"
+      "      [--variant auto|autotune|sccooc|sccsc|vecsc]\n"
+      "      [--advance push|pull|auto] [--top 10] [--json]\n"
       "      [--devices K] [--nvlink]\n"
       "      adaptive sampling until every vertex's confidence half-width\n"
       "      (or, with --topk, the top-k ranking) meets the target; same\n"
@@ -315,12 +330,16 @@ int cmd_bfs(const CliArgs& args, std::ostream& out, std::ostream& err) {
   const auto g = load_graph(args, 1);
   const auto source = static_cast<vidx_t>(args.get_int("source", 0));
   const bc::Variant variant = parse_variant(args, g);
+  const bc::Advance advance = parse_advance(args);
 
   sim::Device device;
-  bc::TurboBfs bfs(device, g, variant);
+  bc::TurboBfs bfs(device, g, variant, advance);
   const auto r = bfs.run(source);
 
   out << "BFS from " << source << " (" << bc::to_string(variant)
+      << (advance != bc::Advance::kPush
+              ? "/" + std::string(bc::to_string(advance))
+              : "")
       << "): reached " << r.reached << "/" << g.num_vertices()
       << ", tree height " << r.height << ", modeled "
       << fixed(r.device_seconds * 1e3, 3) << " ms\n";
@@ -345,8 +364,9 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
   }
   const auto g = load_graph(args, 1);
   const bc::Variant variant = parse_variant(args, g);
+  const bc::Advance advance = parse_advance(args);
 
-  const auto devices = static_cast<int>(args.get_int("devices", 1));
+  const auto devices = static_cast<int>(args.get_count("devices", 1));
   const bool use_dist = devices > 1 || args.has("dist");
   const bool want_trace = args.has("trace");
 
@@ -377,14 +397,15 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
         topo, g,
         {.strategy = *strategy,
          .variant = variant,
-         .edge_bc = args.has("edge-bc")});
+         .edge_bc = args.has("edge-bc"),
+         .advance = advance});
     strategy_used = engine.strategy();
     if (args.has("exact")) {
       dres = engine.run_exact();
       mode = "exact";
     } else if (args.has("approx")) {
       const auto sources = sample_uniform_sources(
-          g.num_vertices(), static_cast<vidx_t>(args.get_int("approx", 32)),
+          g.num_vertices(), static_cast<vidx_t>(args.get_count("approx", 32)),
           static_cast<std::uint64_t>(args.get_int("seed", 1)));
       dres = engine.run_sources(sources);
       const bc_t scale = static_cast<bc_t>(g.num_vertices()) /
@@ -406,22 +427,25 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
     device = std::make_unique<sim::Device>();
     device->set_keep_launch_records(want_trace);
     bc::TurboBC turbo(*device, g,
-                      {.variant = variant, .edge_bc = args.has("edge-bc")});
+                      {.variant = variant,
+                       .edge_bc = args.has("edge-bc"),
+                       .advance = advance});
 
     if (args.has("exact") && args.has("batch")) {
       // Multi-source batched pipeline (scCSC-based SpMM; see
       // core/turbobc_batched.hpp).
       bc::TurboBCBatched batched(
           *device, g,
-          {.batch_size = static_cast<vidx_t>(args.get_int("batch", 8))});
+          {.batch_size = static_cast<vidx_t>(args.get_count("batch", 8)),
+           .advance = advance});
       r = batched.run_exact();
-      mode = "exact, batched x" + std::to_string(args.get_int("batch", 8));
+      mode = "exact, batched x" + std::to_string(args.get_count("batch", 8));
     } else if (args.has("exact")) {
       r = turbo.run_exact();
       mode = "exact";
     } else if (args.has("approx")) {
       r = turbo.run_approximate(
-          {.num_sources = static_cast<vidx_t>(args.get_int("approx", 32)),
+          {.num_sources = static_cast<vidx_t>(args.get_count("approx", 32)),
            .seed = static_cast<std::uint64_t>(args.get_int("seed", 1))});
       mode = "approximate (" + std::to_string(r.sources) + " sources)";
     } else {
@@ -456,8 +480,11 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
   if (args.has("json")) {
     out << "{\n"
         << "  \"mode\": \"" << mode << "\",\n"
-        << "  \"variant\": \"" << bc::to_string(variant) << "\",\n"
-        << "  \"modeled_ms\": " << fixed(r.device_seconds * 1e3, 6) << ",\n"
+        << "  \"variant\": \"" << bc::to_string(variant) << "\",\n";
+    if (advance != bc::Advance::kPush) {
+      out << "  \"advance\": \"" << bc::to_string(advance) << "\",\n";
+    }
+    out << "  \"modeled_ms\": " << fixed(r.device_seconds * 1e3, 6) << ",\n"
         << "  \"peak_bytes\": " << r.peak_device_bytes << ",\n";
     if (dres) {
       out << "  \"devices\": " << devices << ",\n"
@@ -498,7 +525,11 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
     }
     out << "\n}\n";
   } else {
-    out << mode << " BC via " << bc::to_string(variant) << ": "
+    out << mode << " BC via " << bc::to_string(variant)
+        << (advance != bc::Advance::kPush
+                ? "/" + std::string(bc::to_string(advance))
+                : "")
+        << ": "
         << fixed(r.device_seconds * 1e3, 3) << " ms modeled, peak "
         << human_bytes(r.peak_device_bytes) << '\n';
     if (dres) {
@@ -562,7 +593,8 @@ int cmd_approx(const CliArgs& args, std::ostream& out, std::ostream& err) {
   opt.sampler = approx::parse_sampler(args.get("sampler", "uniform"));
   opt.engine = approx::parse_engine(args.get("engine", "scalar"));
   opt.variant = parse_variant(args, g);
-  opt.batch_size = static_cast<vidx_t>(args.get_int("batch", 8));
+  opt.advance = parse_advance(args);
+  opt.batch_size = static_cast<vidx_t>(args.get_count("batch", 8));
   opt.max_sources = static_cast<vidx_t>(args.get_int("max-sources", 0));
   opt.initial_wave = static_cast<vidx_t>(args.get_int("initial-wave", 0));
   if (opt.epsilon <= 0.0) throw UsageError("--epsilon must be positive");
@@ -573,7 +605,7 @@ int cmd_approx(const CliArgs& args, std::ostream& out, std::ostream& err) {
     throw UsageError("--topk must be in [0, n]");
   }
 
-  const auto devices = static_cast<int>(args.get_int("devices", 1));
+  const auto devices = static_cast<int>(args.get_count("devices", 1));
   approx::ApproxResult r;
   if (devices > 1 || args.has("dist")) {
     if (opt.engine == approx::Engine::kBatched) {
@@ -591,7 +623,8 @@ int cmd_approx(const CliArgs& args, std::ostream& out, std::ostream& err) {
     sim::Topology topo(topology_props(args, devices));
     dist::DistTurboBC engine(
         topo, g, {.strategy = dist::Strategy::kReplicate,
-                  .variant = opt.variant});
+                  .variant = opt.variant,
+                  .advance = opt.advance});
     r = approx::run_adaptive(engine, g, opt);
   } else {
     sim::Device device;
@@ -686,7 +719,7 @@ int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
     // number is bit-identical for any width, so this is purely a wall-clock
     // knob. 0 = hardware concurrency.
     sim::ExecutorPool::instance().set_threads(
-        static_cast<unsigned>(args.get_int("threads", 0)));
+        static_cast<unsigned>(args.get_count("threads", 0)));
     if (cmd == "info") return cmd_info(args, out, err);
     if (cmd == "generate") return cmd_generate(args, out, err);
     if (cmd == "stats") return cmd_stats(args, out, err);

@@ -64,19 +64,17 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto threads = args.get_int("threads", 0);
-  if (threads < 0) {
-    std::cerr << "--threads must be >= 0\n";
-    return 2;
-  }
-  turbobc::sim::ExecutorPool::instance().set_threads(
-      static_cast<unsigned>(threads));
-
-  turbobc::qa::OracleOptions oracle;
-  oracle.tolerance = args.get_double("tolerance", oracle.tolerance);
-  const bool quiet = args.has("quiet");
-
   try {
+    // Count flags must be positive; absent --threads falls back to 0
+    // ("hardware concurrency"). Parsing stays inside the try so a garbage
+    // value is a prose exit-2 error, not an uncaught exception.
+    turbobc::sim::ExecutorPool::instance().set_threads(
+        static_cast<unsigned>(args.get_count("threads", 0)));
+
+    turbobc::qa::OracleOptions oracle;
+    oracle.tolerance = args.get_double("tolerance", oracle.tolerance);
+    const bool quiet = args.has("quiet");
+
     if (args.has("replay")) {
       std::vector<std::string> files;
       files.push_back(args.get("replay", ""));
@@ -91,7 +89,7 @@ int main(int argc, char** argv) {
 
     turbobc::qa::FuzzerOptions options;
     options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-    options.budget = static_cast<int>(args.get_int("budget", 1000));
+    options.budget = static_cast<int>(args.get_count("budget", 1000));
     options.max_size_class =
         static_cast<int>(args.get_int("max-size", turbobc::qa::kMaxSizeClass));
     options.corpus_dir = args.get("corpus-dir", "");

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/cli.hpp"
+#include "common/error.hpp"
 
 namespace turbobc {
 namespace {
@@ -46,6 +47,36 @@ TEST(CliArgs, FlagBeforeFlagIsNotConsumedAsValue) {
   const auto a = parse({"prog", "--x", "--y", "5"});
   EXPECT_TRUE(a.has("x"));
   EXPECT_EQ(a.get_int("y", 0), 5);
+}
+
+TEST(CliArgs, GetIntRejectsGarbage) {
+  EXPECT_THROW(parse({"prog", "--k", "12x"}).get_int("k", 0), UsageError);
+  EXPECT_THROW(parse({"prog", "--k", "banana"}).get_int("k", 0), UsageError);
+  EXPECT_THROW(parse({"prog", "--k", ""}).get_int("k", 0), UsageError);
+  EXPECT_THROW(
+      parse({"prog", "--k", "99999999999999999999"}).get_int("k", 0),
+      UsageError);
+}
+
+TEST(CliArgs, GetCountAcceptsPositives) {
+  EXPECT_EQ(parse({"prog", "--devices", "4"}).get_count("devices", 1), 4);
+  EXPECT_EQ(parse({"prog", "--batch=1"}).get_count("batch", 8), 1);
+}
+
+TEST(CliArgs, GetCountRejectsNonPositiveValues) {
+  EXPECT_THROW(parse({"prog", "--devices", "0"}).get_count("devices", 1),
+               UsageError);
+  EXPECT_THROW(parse({"prog", "--threads", "-2"}).get_count("threads", 0),
+               UsageError);
+  EXPECT_THROW(parse({"prog", "--budget", "3x"}).get_count("budget", 1000),
+               UsageError);
+}
+
+TEST(CliArgs, GetCountAbsentFlagKeepsSentinelFallback) {
+  // Sentinel fallbacks like 0 ("auto" thread count) must stay legal when
+  // the flag is absent — only a present non-positive value is misuse.
+  EXPECT_EQ(parse({"prog"}).get_count("threads", 0), 0);
+  EXPECT_EQ(parse({"prog"}).get_count("devices", 1), 1);
 }
 
 }  // namespace

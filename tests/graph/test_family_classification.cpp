@@ -1,0 +1,121 @@
+// Per-family classification pinning (paper Table 1-3 taxonomy).
+//
+// Every generator family gets its scf classification (regular vs
+// irregular) and the variant bc::select_variant derives from it pinned as
+// an explicit expectation. This is the contract the autotuner's heuristics
+// feed on: a drift in scf_index, is_irregular, or the in-degree-skew COOC
+// rule shows up here as a named family flipping its verdict, not as a
+// silent perf regression in some downstream bench. The scf ranges are
+// deliberately loose (the pinned facts are the verdicts); measured values
+// at these shapes are recorded in the comments.
+#include <gtest/gtest.h>
+
+#include "core/variant.hpp"
+#include "generators/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace turbobc::graph {
+namespace {
+
+void expect_family(const EdgeList& el, bool want_irregular,
+                   bc::Variant want_variant, double scf_lo, double scf_hi) {
+  const double scf = scf_index(el);
+  EXPECT_GE(scf, scf_lo);
+  EXPECT_LE(scf, scf_hi);
+  EXPECT_EQ(is_irregular(el), want_irregular);
+  EXPECT_EQ(bc::select_variant(el), want_variant);
+}
+
+// Scale-free families: scf well above the irregularity threshold, veCSC.
+
+TEST(FamilyClassification, MycielskiIsIrregularVeCsc) {
+  // scf ~ 74.8 at order 10.
+  expect_family(gen::mycielski(10), true, bc::Variant::kVeCsc, 40.0, 150.0);
+}
+
+TEST(FamilyClassification, KroneckerIsIrregularVeCsc) {
+  // scf ~ 174.8 at scale 13, edge factor 16.
+  expect_family(gen::kronecker({.scale = 13, .edge_factor = 16, .seed = 5}),
+                true, bc::Variant::kVeCsc, 80.0, 400.0);
+}
+
+// Regular mesh-like families: scf near the mean degree, scCSC.
+
+TEST(FamilyClassification, TriangulatedGridIsRegularScCsc) {
+  // scf ~ 5.9 on 60x60.
+  expect_family(gen::triangulated_grid(60, 60), false, bc::Variant::kScCsc,
+                3.0, 9.0);
+}
+
+TEST(FamilyClassification, MarkovLatticeIsRegularScCsc) {
+  // scf ~ 6.1 at the mark3j-style defaults.
+  expect_family(gen::markov_lattice({}), false, bc::Variant::kScCsc, 3.0,
+                9.0);
+}
+
+TEST(FamilyClassification, RoadIsRegularScCsc) {
+  // scf ~ 2.1: subdivided mesh edges are near-paths (the paper reports
+  // scf = 2 for road networks).
+  expect_family(gen::road_network({.grid_rows = 20, .grid_cols = 20}), false,
+                bc::Variant::kScCsc, 1.8, 3.0);
+}
+
+TEST(FamilyClassification, SmallWorldIsRegularScCsc) {
+  // scf ~ 10.1 (ring degree k dominates).
+  expect_family(gen::small_world({.n = 20000}), false, bc::Variant::kScCsc,
+                6.0, 14.0);
+}
+
+TEST(FamilyClassification, ErdosRenyiIsRegularScCsc) {
+  // scf ~ 6.0 at mean degree 6: Poisson tails are not scale-free.
+  expect_family(gen::erdos_renyi(
+                    {.n = 20000, .arcs = 120000, .directed = true, .seed = 5}),
+                false, bc::Variant::kScCsc, 3.0, 10.0);
+}
+
+TEST(FamilyClassification, KmerIsRegularScCsc) {
+  // scf ~ 2.0: unitig chains are paths (paper Table 2 kmer rows).
+  expect_family(gen::kmer_like({}), false, bc::Variant::kScCsc, 1.8, 3.0);
+}
+
+TEST(FamilyClassification, WebCrawlIsRegularScCsc) {
+  // scf ~ 21.0 — high but under the irregularity threshold, and the
+  // locality window keeps the max in-degree under the 50x-mean COOC rule.
+  expect_family(gen::web_crawl({}), false, bc::Variant::kScCsc, 10.0, 35.0);
+}
+
+// Hub-dominated families: "regular" by scf, but the max in-degree exceeds
+// 50x the mean, so select_variant routes them to the edge-parallel COOC
+// kernel (a scalar column scan would serialize a warp on the hub column).
+
+TEST(FamilyClassification, PreferentialUndirectedIsHubbyScCooc) {
+  // scf ~ 24.8, max in-degree >> 50x mean.
+  expect_family(
+      gen::preferential_attachment({.n = 20000, .m_attach = 8, .seed = 3}),
+      false, bc::Variant::kScCooc, 12.0, 40.0);
+}
+
+TEST(FamilyClassification, PreferentialDirectedIsHubbyScCooc) {
+  // scf ~ 4.0: the new->old arc direction concentrates in-degree on the
+  // oldest vertices. This family is the reason select_variant reads
+  // in-degree stats — its OUT-degree is uniform (m_attach per vertex).
+  expect_family(gen::preferential_attachment({.n = 20000, .m_attach = 8,
+                                              .directed = true, .seed = 3}),
+                false, bc::Variant::kScCooc, 2.0, 8.0);
+}
+
+TEST(FamilyClassification, SuperhubSocialIsHubbyScCooc) {
+  // scf ~ 3.4; celebrities soak up ~30% of all arcs.
+  expect_family(gen::superhub_social({.n = 20000}), false,
+                bc::Variant::kScCooc, 2.0, 6.0);
+}
+
+TEST(FamilyClassification, TrafficTraceIsHubbyScCooc) {
+  // scf ~ 3.0; the mawi-style backbone hubs dominate (paper reports scf = 2
+  // for the mawi traces).
+  expect_family(gen::traffic_trace({}), false, bc::Variant::kScCooc, 2.0,
+                6.0);
+}
+
+}  // namespace
+}  // namespace turbobc::graph

@@ -140,7 +140,10 @@ TEST(Mteps, FormulasMatchThePaper) {
   EXPECT_DOUBLE_EQ(mteps_single_source(1000000, 1.0), 1.0);
   // Exact BC: n*m in millions over seconds.
   EXPECT_DOUBLE_EQ(mteps_exact(1000, 1000000, 10.0), 100.0);
-  EXPECT_DOUBLE_EQ(mteps_single_source(100, 0.0), 0.0);
+  // A zero or negative runtime means the caller's timing accounting broke;
+  // it must throw, not feed a silent 0.0 into a BENCH_*.json row.
+  EXPECT_THROW(mteps_single_source(100, 0.0), Error);
+  EXPECT_THROW(mteps_exact(1000, 1000000, -1.0), Error);
 }
 
 TEST(Footprint, Table4CapacityScalingPreservesTheCrossover) {

@@ -243,5 +243,64 @@ TEST(GoldenCli, ErrorNoArguments) {
                         "cli_error_no_arguments.txt.golden");
 }
 
+TEST(GoldenCli, ErrorZeroDevices) {
+  const auto g = mycielski_graph();
+  expect_matches_golden(
+      run_usage_error({"bc", g.c_str(), "--exact", "--devices", "0"}),
+      "cli_error_devices_zero.txt.golden");
+}
+
+TEST(GoldenCli, ErrorNegativeThreads) {
+  const auto g = mycielski_graph();
+  expect_matches_golden(
+      run_usage_error({"bc", g.c_str(), "--exact", "--threads", "-2"}),
+      "cli_error_threads_negative.txt.golden");
+}
+
+TEST(GoldenCli, ErrorTrailingGarbageBatch) {
+  const auto g = mycielski_graph();
+  expect_matches_golden(
+      run_usage_error({"bc", g.c_str(), "--exact", "--batch", "4x"}),
+      "cli_error_batch_garbage.txt.golden");
+}
+
+TEST(GoldenCli, ErrorUnknownAdvance) {
+  const auto g = mycielski_graph();
+  expect_matches_golden(
+      run_usage_error({"bc", g.c_str(), "--exact", "--advance", "sideways"}),
+      "cli_error_unknown_advance.txt.golden");
+}
+
+TEST(GoldenCli, BfsAdvanceAutoTextMycielski) {
+  const auto g = mycielski_graph();
+  expect_matches_golden(
+      run_ok({"bfs", g.c_str(), "--source", "0", "--advance", "auto"}),
+      "bfs_mycielski6_auto.txt.golden");
+}
+
+TEST(GoldenCli, BcAdvancePullJsonGrid) {
+  const auto g = grid_graph();
+  expect_matches_golden(
+      run_ok({"bc", g.c_str(), "--source", "9", "--advance", "pull",
+              "--verify", "--top", "5", "--json"}),
+      "bc_grid8x8_pull.json.golden");
+}
+
+TEST(GoldenCli, BcAdvanceAutoJsonGridIsThreadInvariant) {
+  // The direction-optimizing engine inherits the repo-wide determinism
+  // contract: --advance auto at pool width 8 must reproduce the width-1
+  // golden byte-for-byte.
+  const auto g = grid_graph();
+  const char* golden = "bc_grid8x8_auto_exact.json.golden";
+  expect_matches_golden(
+      run_ok({"bc", g.c_str(), "--exact", "--advance", "auto", "--verify",
+              "--top", "5", "--json"}),
+      golden);
+  expect_matches_golden(
+      run_ok({"bc", g.c_str(), "--exact", "--advance", "auto", "--verify",
+              "--top", "5", "--json", "--threads", "8"}),
+      golden);
+}
+
 }  // namespace
 }  // namespace turbobc::tools
