@@ -1,0 +1,315 @@
+// Bit-parallel multi-source BFS benchmark: BENCH_msbfs.json.
+//
+// Three families spanning the depth spectrum — a subdivided road network
+// (deep, the launch-amortization showcase), a Graph500 Kronecker (shallow,
+// hub-heavy), and a Watts–Strogatz small world — each sweeping 64 spread
+// sources through the batched engine at three widths:
+//
+//   per-source   TurboBCBatched k=1 — one lane per mask word, the widened
+//                pipeline with none of the bit-parallelism. This is the
+//                speedup reference ("what the batched engine costs when the
+//                mask carries a single source").
+//   k=8          an intermediate width, for the scaling curve.
+//   k=64         the full mask word: one frontier/visited word per vertex
+//                serves all 64 lanes.
+//
+// Gates (any failure exits nonzero):
+//   * k=64 must clear kSpeedupThreshold (4x) over per-source on at least
+//     kMinWinningFamilies (2) families;
+//   * every width's BC must be BIT-identical to the per-source TurboBC
+//     (kScCSC) run over the same sources — the fixed-fold-order contract;
+//   * the k=64 run serialized at pool width 1 and 8 must be byte-identical
+//     (values, modeled seconds, peak bytes, word-op traffic);
+//   * the k=64 peak must sit within slack of the m + 2n + max(2nk+6n, 5nk)
+//     word model of core/footprint.hpp.
+//
+//   bench_msbfs [--seed 1] [--threads N] [--out BENCH_msbfs.json]
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_support/stamp.hpp"
+#include "common/cli.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/footprint.hpp"
+#include "core/turbobc.hpp"
+#include "core/turbobc_batched.hpp"
+#include "generators/generators.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
+
+namespace {
+
+using namespace turbobc;
+
+constexpr double kSpeedupThreshold = 4.0;
+constexpr int kMinWinningFamilies = 2;
+// Same allocator slack the QA oracle grants the closed-form word model.
+constexpr std::uint64_t kPeakSlackBytes = 16 * 256;
+
+struct WidthRow {
+  std::string family;
+  vidx_t k = 0;
+  vidx_t n = 0;
+  eidx_t m = 0;
+  double modeled_s = 0.0;
+  std::size_t peak_bytes = 0;
+  std::uint64_t word_ops = 0;
+  double speedup_vs_per_source = 0.0;
+  bool bits_ok = false;  // BC bit-identical to per-source TurboBC
+};
+
+struct FamilyGate {
+  std::string family;
+  double k64_speedup = 0.0;
+  std::uint64_t msbfs_model_bytes = 0;
+  std::size_t k64_peak_bytes = 0;
+  bool footprint_ok = false;
+  bool threads_byte_identical = false;
+};
+
+std::vector<vidx_t> spread_sources(vidx_t n, vidx_t want) {
+  const vidx_t count = std::min(n, want);
+  std::vector<vidx_t> sources;
+  for (vidx_t i = 0; i < count; ++i) {
+    sources.push_back(static_cast<vidx_t>(
+        (static_cast<std::uint64_t>(i) * n) / count));
+  }
+  return sources;
+}
+
+bool bits_equal_bc(const std::vector<bc_t>& a, const std::vector<bc_t>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+struct BatchedRun {
+  bc::BcResult result;
+  std::uint64_t word_ops = 0;
+};
+
+BatchedRun run_batched(const graph::EdgeList& el,
+                       const std::vector<vidx_t>& sources, vidx_t k) {
+  sim::Device device;
+  device.set_keep_launch_records(false);
+  bc::TurboBCBatched batched(device, el, {.batch_size = k});
+  BatchedRun run;
+  run.result = batched.run_sources(sources);
+  for (const auto& [name, agg] : device.kernel_aggregates()) {
+    run.word_ops += agg.word_ops;
+  }
+  return run;
+}
+
+/// Everything the determinism contract covers, serialized to bytes: hex-exact
+/// BC values plus every modeled counter. Two pool widths must produce the
+/// same string, byte for byte.
+std::string serialize_run(const BatchedRun& run) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  for (const bc_t v : run.result.bc) os << v << ',';
+  os << '|' << run.result.device_seconds << '|'
+     << run.result.peak_device_bytes << '|' << run.word_ops;
+  return os.str();
+}
+
+void write_msbfs_json(std::ostream& os, const bench::BenchStamp& stamp,
+                      const std::vector<WidthRow>& rows,
+                      const std::vector<FamilyGate>& gates,
+                      int winning_families) {
+  os << "{\n";
+  bench::write_stamp_json(os, stamp);
+  os << ",\n\"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    os << "  {\"family\": \"" << r.family << "\", \"k\": " << r.k
+       << ", \"n\": " << r.n << ", \"m\": " << r.m
+       << ", \"modeled_s\": " << r.modeled_s
+       << ", \"peak_bytes\": " << r.peak_bytes
+       << ", \"word_ops\": " << r.word_ops
+       << ", \"speedup_vs_per_source\": " << r.speedup_vs_per_source
+       << ", \"bits_ok\": " << (r.bits_ok ? "true" : "false") << "}"
+       << (i + 1 < rows.size() ? "," : "") << '\n';
+  }
+  os << "],\n\"gates\": [\n";
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const auto& g = gates[i];
+    os << "  {\"family\": \"" << g.family
+       << "\", \"k64_speedup\": " << g.k64_speedup
+       << ", \"msbfs_model_bytes\": " << g.msbfs_model_bytes
+       << ", \"k64_peak_bytes\": " << g.k64_peak_bytes
+       << ", \"footprint_ok\": " << (g.footprint_ok ? "true" : "false")
+       << ", \"threads_byte_identical\": "
+       << (g.threads_byte_identical ? "true" : "false") << "}"
+       << (i + 1 < gates.size() ? "," : "") << '\n';
+  }
+  os << "],\n\"acceptance\": {\"speedup_threshold\": " << kSpeedupThreshold
+     << ", \"min_winning_families\": " << kMinWinningFamilies
+     << ", \"winning_families\": " << winning_families << "}\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace turbobc;
+  using namespace turbobc::bench;
+
+  const CliArgs args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto threads = static_cast<unsigned>(args.get_count("threads", 0));
+  sim::ExecutorPool::instance().set_threads(threads);
+
+  WallTimer run_timer;
+
+  struct Family {
+    std::string name;
+    graph::EdgeList graph;
+  };
+  std::vector<Family> families;
+  std::cerr << "  [msbfs] generating graphs ..." << std::flush;
+  families.push_back({"road-deep",
+                      gen::road_network({.grid_rows = 12, .grid_cols = 12,
+                                         .keep_p = 0.8, .subdivisions = 6,
+                                         .seed = 5})});
+  families.push_back(
+      {"kron13", gen::kronecker({.scale = 13, .edge_factor = 8, .seed = 7})});
+  families.push_back({"smallworld",
+                      gen::small_world({.n = 4000, .k = 6, .rewire_p = 0.1,
+                                        .seed = 9})});
+  std::cerr << " done\n";
+
+  std::vector<WidthRow> rows;
+  std::vector<FamilyGate> gates;
+  for (const Family& fam : families) {
+    const graph::EdgeList& el = fam.graph;
+    const auto sources = spread_sources(el.num_vertices(), 64);
+    std::cerr << "  [msbfs] " << fam.name << " (n "
+              << human_count(static_cast<double>(el.num_vertices())) << ", m "
+              << human_count(static_cast<double>(el.num_arcs())) << ", "
+              << sources.size() << " sources)" << std::flush;
+
+    std::cerr << " reference" << std::flush;
+    std::vector<bc_t> reference;
+    {
+      sim::Device device;
+      device.set_keep_launch_records(false);
+      bc::TurboBC plain(device, el, {.variant = bc::Variant::kScCsc});
+      reference = plain.run_sources(sources).bc;
+    }
+
+    double per_source_s = 0.0;
+    FamilyGate gate;
+    gate.family = fam.name;
+    for (const vidx_t k : {vidx_t{1}, vidx_t{8}, vidx_t{64}}) {
+      std::cerr << " k=" << k << std::flush;
+      const BatchedRun run = run_batched(el, sources, k);
+      WidthRow row;
+      row.family = fam.name;
+      row.k = k;
+      row.n = el.num_vertices();
+      row.m = el.num_arcs();
+      row.modeled_s = run.result.device_seconds;
+      row.peak_bytes = run.result.peak_device_bytes;
+      row.word_ops = run.word_ops;
+      row.bits_ok = bits_equal_bc(run.result.bc, reference);
+      if (k == 1) per_source_s = row.modeled_s;
+      row.speedup_vs_per_source =
+          row.modeled_s > 0.0 ? per_source_s / row.modeled_s : 0.0;
+      if (k == 64) {
+        gate.k64_speedup = row.speedup_vs_per_source;
+        gate.k64_peak_bytes = row.peak_bytes;
+        gate.msbfs_model_bytes = bc::turbobc_msbfs_model_bytes(
+            el.num_vertices(), el.num_arcs(),
+            static_cast<vidx_t>(std::min<std::size_t>(sources.size(), 64)));
+        gate.footprint_ok =
+            row.peak_bytes <= gate.msbfs_model_bytes + kPeakSlackBytes;
+      }
+      rows.push_back(row);
+    }
+
+    std::cerr << " threads" << std::flush;
+    std::string by_width[2];
+    const unsigned widths[2] = {1, 8};
+    for (int i = 0; i < 2; ++i) {
+      sim::ExecutorPool::instance().set_threads(widths[i]);
+      by_width[i] = serialize_run(run_batched(el, sources, 64));
+    }
+    sim::ExecutorPool::instance().set_threads(threads);
+    gate.threads_byte_identical = by_width[0] == by_width[1];
+    gates.push_back(gate);
+    std::cerr << " done\n";
+  }
+
+  int winning_families = 0;
+  for (const FamilyGate& g : gates) {
+    if (g.k64_speedup >= kSpeedupThreshold) ++winning_families;
+  }
+
+  std::cout << "Bit-parallel MS-BFS batched sweep vs the per-source batched "
+               "pipeline (64 spread sources)\n";
+  Table t({"family", "k", "modeled(ms)", "peak", "word ops",
+           "vs per-source", "bits"});
+  for (const WidthRow& r : rows) {
+    t.add_row({r.family, std::to_string(r.k), fixed(r.modeled_s * 1e3, 3),
+               human_bytes(r.peak_bytes),
+               human_count(static_cast<double>(r.word_ops)),
+               fixed(r.speedup_vs_per_source, 2) + "x",
+               r.bits_ok ? "ok" : "DRIFT"});
+  }
+  t.print(std::cout);
+  std::cout << "\nGates (k=64)\n";
+  Table g({"family", "speedup", "peak", "m+2n+max(2nk+6n,5nk) model", "fit",
+           "threads 1==8"});
+  for (const FamilyGate& gate : gates) {
+    g.add_row({gate.family, fixed(gate.k64_speedup, 2) + "x",
+               human_bytes(gate.k64_peak_bytes),
+               human_bytes(gate.msbfs_model_bytes),
+               gate.footprint_ok ? "ok" : "OVER",
+               gate.threads_byte_identical ? "ok" : "DRIFT"});
+  }
+  g.print(std::cout);
+
+  const std::string out_path = args.get("out", "BENCH_msbfs.json");
+  std::ofstream json(out_path);
+  write_msbfs_json(json, make_stamp(seed, run_timer.seconds()), rows, gates,
+                   winning_families);
+  std::cout << "\nwrote " << out_path << '\n';
+
+  int rc = 0;
+  for (const WidthRow& r : rows) {
+    if (!r.bits_ok) {
+      std::cerr << "ERROR: " << r.family << " k=" << r.k
+                << " BC drifted from the per-source TurboBC fold\n";
+      rc = 1;
+    }
+  }
+  for (const FamilyGate& gate : gates) {
+    if (!gate.footprint_ok) {
+      std::cerr << "ERROR: " << gate.family << " k=64 peak "
+                << gate.k64_peak_bytes << " B vs model "
+                << gate.msbfs_model_bytes << " B\n";
+      rc = 1;
+    }
+    if (!gate.threads_byte_identical) {
+      std::cerr << "ERROR: " << gate.family
+                << " k=64 run drifted between pool widths 1 and 8\n";
+      rc = 1;
+    }
+  }
+  if (winning_families < kMinWinningFamilies) {
+    std::cerr << "ERROR: only " << winning_families << " of " << gates.size()
+              << " families reached " << kSpeedupThreshold
+              << "x over per-source (need >= " << kMinWinningFamilies << ")\n";
+    rc = 1;
+  }
+  return rc;
+}

@@ -71,6 +71,46 @@ run_config() {
   cmp "$dir/dist_smoke_t1.json" "$dir/dist_smoke_t8.json"
   "$cli" info --json > /dev/null
   dobfs_smoke "$name" "$dir"
+  msbfs_smoke "$name" "$dir"
+}
+
+# MS-BFS smoke: the packed-mask batched sweep must reproduce the per-source
+# fold byte for byte (both engines print the same "top" ranking and Brandes
+# verification line), the batched JSON must be pool-width invariant, and the
+# partitioned mask exchange must hold the same contract across 4 modeled
+# devices. The Release stage additionally runs bench_msbfs, whose speedup /
+# bit-identity / footprint gates are enforced by its exit code.
+msbfs_smoke() {
+  local name="$1" dir="$2"
+  echo "=== [$name] msbfs-smoke ==="
+  local cli="$dir/src/tools/turbobc_cli" g="$dir/msbfs_smoke.mtx"
+  "$cli" generate --family smallworld --n 600 --k 4 --p 0.1 --out "$g"
+  "$cli" bc "$g" --exact --variant sccsc --verify --json \
+    > "$dir/msbfs_smoke_scalar.json"
+  "$cli" bc "$g" --exact --batch 64 --verify --json --threads 1 \
+    > "$dir/msbfs_smoke_batched_t1.json"
+  "$cli" bc "$g" --exact --batch 64 --verify --json --threads 8 \
+    > "$dir/msbfs_smoke_batched_t8.json"
+  cmp "$dir/msbfs_smoke_batched_t1.json" "$dir/msbfs_smoke_batched_t8.json"
+  for f in scalar batched_t1; do
+    grep -E '"top"|"verify_max_rel_err"' "$dir/msbfs_smoke_$f.json" \
+      > "$dir/msbfs_smoke_${f}_bc.json"
+  done
+  cmp "$dir/msbfs_smoke_scalar_bc.json" "$dir/msbfs_smoke_batched_t1_bc.json"
+  "$cli" bc "$g" --exact --batch 8 --devices 4 --dist partition --verify \
+    --json --threads 1 > "$dir/msbfs_smoke_dist_t1.json"
+  "$cli" bc "$g" --exact --batch 8 --devices 4 --dist partition --verify \
+    --json --threads 8 > "$dir/msbfs_smoke_dist_t8.json"
+  cmp "$dir/msbfs_smoke_dist_t1.json" "$dir/msbfs_smoke_dist_t8.json"
+  if "$cli" bc "$g" --exact --batch 8 --devices 4 > /dev/null 2>&1; then
+    echo "msbfs-smoke: --batch without --dist partition should have failed" \
+      >&2; exit 1
+  fi
+  if [ "$name" = "release" ]; then
+    echo "=== [$name] bench-msbfs ==="
+    cmake --build "$dir" -j "$(nproc)" --target bench_msbfs
+    "$dir/bench/bench_msbfs" --out "$dir/BENCH_msbfs.json"
+  fi
 }
 
 # Direction-optimizing smoke: every --advance mode on a hub-heavy graph

@@ -42,7 +42,8 @@ ApproxResult adaptive_loop(const graph::EdgeList& graph,
   const vidx_t n = graph.num_vertices();
   TBC_CHECK(n > 0, "approx BC needs a non-empty graph");
 
-  PivotSampler sampler(graph, options.sampler, options.seed);
+  PivotSampler sampler(graph, options.sampler, options.seed,
+                       options.components);
 
   EstimatorOptions eopt;
   eopt.epsilon = options.epsilon;

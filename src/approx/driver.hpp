@@ -67,6 +67,12 @@ struct ApproxOptions {
   /// budget runs out before the rule fires the result reports
   /// converged = false with the intervals reached so far.
   vidx_t max_sources = 0;
+  /// Optional precomputed weakly-connected component map for the component
+  /// sampler, cached ACROSS the run's waves (the sampler is built once per
+  /// run and keeps it) and reusable across runs on the same graph — the qa
+  /// oracle's scalar/batched/determinism trio shares one sweep this way.
+  /// Must outlive the run and match `graph`; ignored by the other samplers.
+  const graph::Components* components = nullptr;
 };
 
 struct WaveStats {

@@ -25,7 +25,8 @@ const char* sampler_name(SamplerKind kind) {
 }
 
 PivotSampler::PivotSampler(const graph::EdgeList& graph, SamplerKind kind,
-                           std::uint64_t seed)
+                           std::uint64_t seed,
+                           const graph::Components* components)
     : kind_(kind), rng_(seed), n_(graph.num_vertices()) {
   TBC_CHECK(n_ > 0, "pivot sampler needs a non-empty graph");
   switch (kind_) {
@@ -51,7 +52,18 @@ PivotSampler::PivotSampler(const graph::EdgeList& graph, SamplerKind kind,
       break;
     }
     case SamplerKind::kComponent: {
-      const graph::Components comps = weakly_connected_components(graph);
+      // A caller-supplied map skips the label sweep; it must describe this
+      // graph exactly.
+      graph::Components local;
+      if (components == nullptr) {
+        local = weakly_connected_components(graph);
+      } else {
+        TBC_CHECK(components->component.size() ==
+                      static_cast<std::size_t>(n_),
+                  "cached component map does not match the graph");
+      }
+      const graph::Components& comps =
+          components != nullptr ? *components : local;
       comp_vertices_.resize(static_cast<std::size_t>(comps.count));
       for (vidx_t v = 0; v < n_; ++v) {
         comp_vertices_[static_cast<std::size_t>(

@@ -29,6 +29,7 @@
 
 #include "common/prng.hpp"
 #include "common/types.hpp"
+#include "graph/components.hpp"
 #include "graph/edge_list.hpp"
 
 namespace turbobc::approx {
@@ -45,8 +46,16 @@ const char* sampler_name(SamplerKind kind);
 
 class PivotSampler {
  public:
+  /// `components` optionally supplies a precomputed weakly-connected
+  /// component map for the kComponent sampler (must match `graph`; ignored
+  /// by the other kinds). When null the sampler runs its own label sweep —
+  /// passing a cached map lets a caller that samples the same graph
+  /// repeatedly (the adaptive driver, the qa oracle's engine-agreement
+  /// runs) pay for the sweep once. The sampled distribution is identical
+  /// either way.
   PivotSampler(const graph::EdgeList& graph, SamplerKind kind,
-               std::uint64_t seed);
+               std::uint64_t seed,
+               const graph::Components* components = nullptr);
 
   /// Draw `count` pivots, appending to both vectors (kept parallel).
   void draw(std::size_t count, std::vector<vidx_t>& sources,

@@ -40,6 +40,31 @@ inline std::uint64_t turbobc_dobfs_model_bytes(vidx_t n, eidx_t m) {
   return turbobc_dobfs_model_words(n, m) * kPaperWordBytes;
 }
 
+/// MS-BFS batched-engine resident words for a k-source block (k <= 64).
+/// Forward stage: S + sigma (2nk) + the three packed mask arrays F/V/Fn —
+/// one 8-byte word per vertex each, i.e. 2 paper words, 6n total — plus the
+/// per-lane flag word(s) and source list. Backward stage: S + sigma + the
+/// dependency triple (5nk). The peak is whichever stage is larger:
+///   graph(m + n) + bc(n) + max(2nk + 6n, 5nk) words (+ small O(k) terms)
+/// For k = 1 the packed forward (8n) exceeds the scalar engine's 7n + m
+/// forward term by n — the masks don't amortize a singleton batch — but
+/// from k >= 2 on the backward triple dominates and the MS-BFS sweep is
+/// memory-free relative to the old 4nk frontier matrices: 2nk + 6n < 4nk
+/// for every k >= 4, and the old engine's peak is matched or beaten at
+/// every batch size while the sweep runs ~k sources per edge word-op.
+inline std::uint64_t turbobc_msbfs_model_words(vidx_t n, eidx_t m, vidx_t k) {
+  const auto nn = static_cast<std::uint64_t>(n);
+  const auto kk = static_cast<std::uint64_t>(k);
+  const std::uint64_t forward = 2 * nn * kk + 6 * nn;
+  const std::uint64_t backward = 5 * nn * kk;
+  return static_cast<std::uint64_t>(m) + nn + nn +  // graph + bc
+         (forward > backward ? forward : backward);
+}
+
+inline std::uint64_t turbobc_msbfs_model_bytes(vidx_t n, eidx_t m, vidx_t k) {
+  return turbobc_msbfs_model_words(n, m, k) * kPaperWordBytes;
+}
+
 /// gunrock-style resident words — the paper's Figure 4 lower bound.
 inline std::uint64_t gunrock_model_words(vidx_t n, eidx_t m) {
   return 9ull * static_cast<std::uint64_t>(n) +

@@ -105,6 +105,12 @@ SourceStats TurboBC::run_source_on(sim::Device& dev,
   sigma.device_fill(0);
 
   vidx_t height = 0;
+  // Per-level forward direction decisions, kept for the backward stage:
+  // pulled_level[d] records whether depth d was DISCOVERED in pull mode.
+  // delta_u at backward level d is nonzero exactly on the depth-d frontier,
+  // so a level sparse enough to pull forward is sparse enough to pull the
+  // dependency gather too — the switch state is computed once and reused.
+  std::vector<char> pulled_level;
   {
     // Forward (BFS) stage. f and f_t live only inside this scope: the
     // closing brace is the paper's cudaFree that makes room for the
@@ -159,6 +165,7 @@ SourceStats TurboBC::run_source_on(sim::Device& dev,
         } else {
           pulling = switch_to_pull(mf, mu, options_.thresholds);
         }
+        pulled_level.push_back(pulling ? 1 : 0);  // decision for depth d
       }
       ft.device_fill(T{0});
       if (pulling) {
@@ -228,6 +235,20 @@ SourceStats TurboBC::run_source_on(sim::Device& dev,
   sim::DeviceBuffer<bc_t> delta_u(dev, n, "delta_u", 4);
   sim::DeviceBuffer<bc_t> delta_ut(dev, n, "delta_ut", 4);
   delta.device_fill(0.0);
+  // Pulled dependency gather: under --advance pull|auto the undirected
+  // backward sweep reuses the forward sweep's per-level switch decisions.
+  // delta_u at level d is nonzero exactly on the depth-d frontier, so a
+  // level the forward sweep pulled is worth pulling here too — rebuild the
+  // n/32 bitmap from delta_u and probe it per edge instead of loading the
+  // 4-byte operand. Skipped terms are exact zeros and delta_u >= 0, so the
+  // gathered sums are bit-identical to the unmasked kernels. The directed
+  // scatter already skips zero columns at the source end; it needs no map.
+  std::optional<sim::DeviceBuffer<std::uint32_t>> bbitmap;
+  if (dob && !directed_) {
+    bbitmap.emplace(dev,
+                    static_cast<std::size_t>(spmv::frontier_bitmap_words(n_)),
+                    "frontier_bitmap");
+  }
 
   // Per-level building blocks; edge accumulation also runs at d = 1 (the
   // vertex recursion stops at d = 2, but depth-0 -> depth-1 arcs carry
@@ -302,7 +323,17 @@ SourceStats TurboBC::run_source_on(sim::Device& dev,
   for (vidx_t d = height; d >= 2; --d) {
     dep_prepare(d);
     delta_ut.device_fill(0.0);
-    if (!directed_) {
+    const bool pull_dep = bbitmap.has_value() &&
+                          static_cast<std::size_t>(d) <= pulled_level.size() &&
+                          pulled_level[static_cast<std::size_t>(d) - 1] != 0;
+    if (pull_dep) {
+      spmv::frontier_to_bitmap(dev, delta_u, n_, *bbitmap);
+      if (options_.variant == Variant::kVeCsc) {
+        spmv::spmv_backward_pull_vecsc(dev, *csc, delta_u, *bbitmap, delta_ut);
+      } else {
+        spmv::spmv_backward_pull_sccsc(dev, *csc, delta_u, *bbitmap, delta_ut);
+      }
+    } else if (!directed_) {
       switch (options_.variant) {
         case Variant::kScCooc:
           spmv::spmv_backward_gather_sccooc(dev, *cooc, delta_u, delta_ut);

@@ -20,8 +20,8 @@ TurboBCBatched::TurboBCBatched(sim::Device& device,
                                const graph::EdgeList& graph,
                                BatchedOptions options)
     : device_(device), options_(options) {
-  TBC_CHECK(options_.batch_size >= 1 && options_.batch_size <= 32,
-            "batch size must be in [1, 32]");
+  TBC_CHECK(options_.batch_size >= 1 && options_.batch_size <= 64,
+            "batch size must be in [1, 64]");
   graph::EdgeList canon = graph;
   canon.canonicalize();
   n_ = canon.num_vertices();
@@ -53,111 +53,100 @@ void TurboBCBatched::run_batch(const std::vector<vidx_t>& batch,
   std::vector<vidx_t> heights(k, 0);
   vidx_t max_height = 0;
   {
-    sim::DeviceBuffer<sigma_t> f(dev, nk, "f.k", 4);
-    sim::DeviceBuffer<sigma_t> ft(dev, nk, "f_t.k", 4);
-    sim::DeviceBuffer<std::int32_t> cflags(dev, k, "c.k");
+    // MS-BFS forward sweep (DESIGN.md §10): per-vertex packed 64-bit
+    // source-membership masks — F (current frontier), V (visited), Fn
+    // (next) — replace the n x k integer frontier matrices entirely. The
+    // frontier VALUE of a newly set bit is its new sigma, so the fused
+    // kernel accumulates straight into the sigma matrix and the whole
+    // forward state is 3 mask words per vertex (modeled at 8 bytes each)
+    // plus S/sigma.
     const bool dob = options_.advance != Advance::kPush;
+    const auto kc = static_cast<std::size_t>(dob ? k + 2 : k);
+    sim::DeviceBuffer<std::uint64_t> fmask(dev, n, "F.mask", 8);
+    sim::DeviceBuffer<std::uint64_t> vmask(dev, n, "V.mask", 8);
+    sim::DeviceBuffer<std::uint64_t> nmask(dev, n, "Fn.mask", 8);
+    // Per-lane convergence flags; in direction-optimizing mode two extra
+    // counters ([k] = new any-lane vertices, [k + 1] = their in-edges) feed
+    // the Beamer switch — the batched widening of the single engine's
+    // 3-word flag.
+    sim::DeviceBuffer<std::int32_t> cflags(dev, kc, "c.k");
     std::optional<sim::DeviceBuffer<std::uint32_t>> bitmap;
     if (dob) {
       bitmap.emplace(dev,
                      static_cast<std::size_t>(spmv::frontier_bitmap_words(n_)),
                      "frontier_bitmap");
     }
-    f.set_modeled_integer(true);
-    ft.set_modeled_integer(true);
-    f.device_fill(0);
+    fmask.device_fill(0);
+    vmask.device_fill(0);
+    const std::uint64_t full =
+        k == 64 ? ~0ull : ((1ull << k) - 1);
 
-    sim::launch_scalar(dev, "bfs_init_batched", k, [&](sim::ThreadCtx& t) {
+    // Seed the masks: lane j's thread composes the FULL membership word of
+    // its own source (duplicate sources in a batch collapse onto one
+    // vertex), so same-address stores are same-value — no atomics needed.
+    sim::launch_scalar(dev, "bfs_init_msbfs", k, [&](sim::ThreadCtx& t) {
       const auto j = static_cast<std::size_t>(t.global_id());
       const auto s = static_cast<std::size_t>(sources.load(t, j));
-      f.store(t, slot(s, j), 1);
+      std::uint64_t mask = 0;
+      for (std::size_t i = 0; i < k; ++i) {
+        if (static_cast<std::size_t>(sources.load(t, i)) == s) {
+          mask |= 1ull << i;
+        }
+      }
+      t.count_word_ops(1);
+      fmask.store(t, s, mask);
+      vmask.store(t, s, mask);
       sigma.store(t, slot(s, j), 1);
     });
 
+    // Direction-switch state over the ANY-LANE frontier, mirroring the
+    // single engine: nf / mf from the widened flag readback, mu decremented
+    // as levels consume edges.
+    std::uint64_t nf = 0, mf = 0;
+    std::uint64_t mu = static_cast<std::uint64_t>(m_);
+    if (dob) {
+      std::vector<vidx_t> distinct(batch);
+      std::sort(distinct.begin(), distinct.end());
+      distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                     distinct.end());
+      nf = distinct.size();
+      const auto& cp = csc_->col_ptr().host();
+      for (const vidx_t s : distinct) {
+        mf += static_cast<std::uint64_t>(
+            cp[static_cast<std::size_t>(s) + 1] -
+            cp[static_cast<std::size_t>(s)]);
+      }
+      mu -= mf;
+    }
+    bool pulling = false;
+
+    sim::DeviceBuffer<std::uint64_t>* cur = &fmask;
+    sim::DeviceBuffer<std::uint64_t>* nxt = &nmask;
     vidx_t d = 0;
     while (true) {
       ++d;
-      ft.device_fill(0);
-      if (dob) {
-        // Any-lane frontier bitmap: bit v set when SOME lane has v on its
-        // front. One thread per word, no atomics — deterministic.
-        sim::launch_scalar(
-            dev, "frontier_to_bitmap_batched",
-            spmv::frontier_bitmap_words(n_), [&](sim::ThreadCtx& t) {
-              const auto w = static_cast<std::size_t>(t.global_id());
-              const std::size_t base = w * 32;
-              std::uint32_t word = 0;
-              for (std::size_t b = 0; b < 32; ++b) {
-                const std::size_t v = base + b;
-                if (v >= n) break;
-                for (std::size_t j = 0; j < k; ++j) {
-                  if (f.load(t, slot(v, j)) != 0) {
-                    word |= 1u << b;
-                    break;
-                  }
-                }
-              }
-              t.count_ops(1);
-              bitmap->store(t, w, word);
-            });
-      }
-      // Batched masked SpMM (thread per column): the column's rows are
-      // loaded ONCE and reused by every batch lane — the memory-traffic
-      // amortization. In direction-optimizing mode the bitmap is probed
-      // before a row's k frontier slots are touched; a clear bit means all
-      // k lanes would add an exact zero, so skipping them leaves every sum
-      // bit-identical.
-      sim::launch_scalar(
-          dev, dob ? "bfs_spmm_pull_sccsc" : "bfs_spmm_sccsc",
-          static_cast<std::uint64_t>(n_), [&](sim::ThreadCtx& t) {
-            const auto v = static_cast<std::size_t>(t.global_id());
-            std::uint32_t active = 0;
-            for (std::size_t j = 0; j < k; ++j) {
-              if (sigma.load(t, slot(v, j)) == 0) active |= 1u << j;
-            }
-            if (active == 0) return;
-            const spmv::dptr_t begin = csc_->col_ptr().load(t, v);
-            const spmv::dptr_t end = csc_->col_ptr().load(t, v + 1);
-            sigma_t sums[32] = {};
-            for (spmv::dptr_t e = begin; e < end; ++e) {
-              const auto u = static_cast<std::size_t>(
-                  csc_->row_idx().load(t, static_cast<std::size_t>(e)));
-              t.count_ops(1);
-              if (dob) {
-                const std::uint32_t word = bitmap->load(t, u / 32);
-                if (((word >> (static_cast<std::uint32_t>(u) & 31u)) & 1u) ==
-                    0) {
-                  continue;
-                }
-              }
-              for (std::size_t j = 0; j < k; ++j) {
-                if ((active >> j) & 1u) {
-                  sums[j] += f.load(t, slot(u, j));
-                }
-              }
-            }
-            for (std::size_t j = 0; j < k; ++j) {
-              if (((active >> j) & 1u) && sums[j] > 0) {
-                ft.store(t, slot(v, j), sums[j]);
-              }
-            }
-          });
+      nxt->device_fill(0);
       cflags.device_fill(0);
-      sim::launch_scalar(
-          dev, "bfs_update_batched", static_cast<std::uint64_t>(n_),
-          [&](sim::ThreadCtx& t) {
-            const auto v = static_cast<std::size_t>(t.global_id());
-            for (std::size_t j = 0; j < k; ++j) {
-              const sigma_t x = ft.load(t, slot(v, j));
-              f.store(t, slot(v, j), x);
-              t.count_ops(1);
-              if (x != 0) {
-                S.store(t, slot(v, j), d);
-                sigma.store(t, slot(v, j), sigma.load(t, slot(v, j)) + x);
-                cflags.store(t, j, 1);
-              }
-            }
-          });
+      if (dob) {
+        if (options_.advance == Advance::kPull) {
+          pulling = true;
+        } else if (pulling) {
+          pulling = !switch_to_push(nf, static_cast<std::uint64_t>(n_),
+                                    options_.thresholds);
+        } else {
+          pulling = switch_to_pull(mf, mu, options_.thresholds);
+        }
+      }
+      if (pulling) {
+        spmv::msbfs_frontier_to_bitmap(dev, *cur, n_, *bitmap);
+        spmv::spmm_forward_msbfs_pull_sccsc(
+            dev, *csc_, static_cast<int>(k), full, d, *cur, *bitmap, vmask,
+            *nxt, sigma, S, cflags, dob);
+      } else {
+        spmv::spmm_forward_msbfs_sccsc(dev, *csc_, static_cast<int>(k), full,
+                                       d, *cur, vmask, *nxt, sigma, S, cflags,
+                                       dob);
+      }
       // ONE readback of k flags per level (vs one 4-byte readback per
       // source-level in the unbatched pipeline).
       const auto flags = cflags.copy_to_host();
@@ -169,6 +158,12 @@ void TurboBCBatched::run_batch(const std::vector<vidx_t>& batch,
         }
       }
       if (!any) break;
+      if (dob) {
+        nf = static_cast<std::uint64_t>(flags[k]);
+        mf = static_cast<std::uint64_t>(flags[k + 1]);
+        mu -= mf;
+      }
+      std::swap(cur, nxt);
     }
     max_height = *std::max_element(heights.begin(), heights.end());
   }
@@ -206,7 +201,7 @@ void TurboBCBatched::run_batch(const std::vector<vidx_t>& batch,
             const auto v = static_cast<std::size_t>(t.global_id());
             const spmv::dptr_t begin = csc_->col_ptr().load(t, v);
             const spmv::dptr_t end = csc_->col_ptr().load(t, v + 1);
-            bc_t sums[32] = {};
+            bc_t sums[64] = {};
             for (spmv::dptr_t e = begin; e < end; ++e) {
               const auto u = static_cast<std::size_t>(
                   csc_->row_idx().load(t, static_cast<std::size_t>(e)));
@@ -225,9 +220,9 @@ void TurboBCBatched::run_batch(const std::vector<vidx_t>& batch,
           dev, "dep_spmm_sccsc_scatter", static_cast<std::uint64_t>(n_),
           [&](sim::ThreadCtx& t) {
             const auto w = static_cast<std::size_t>(t.global_id());
-            std::uint32_t live = 0;
+            std::uint64_t live = 0;
             for (std::size_t j = 0; j < k; ++j) {
-              if (delta_u.load(t, slot(w, j)) != 0.0) live |= 1u << j;
+              if (delta_u.load(t, slot(w, j)) != 0.0) live |= 1ull << j;
             }
             if (live == 0) return;
             const spmv::dptr_t begin = csc_->col_ptr().load(t, w);
@@ -237,7 +232,7 @@ void TurboBCBatched::run_batch(const std::vector<vidx_t>& batch,
                   csc_->row_idx().load(t, static_cast<std::size_t>(e)));
               t.count_ops(1);
               for (std::size_t j = 0; j < k; ++j) {
-                if ((live >> j) & 1u) {
+                if ((live >> j) & 1ull) {
                   delta_ut.atomic_add(t, slot(u, j),
                                       delta_u.load(t, slot(w, j)));
                 }
@@ -265,21 +260,28 @@ void TurboBCBatched::run_batch(const std::vector<vidx_t>& batch,
         });
   }
 
+  // Strict per-lane LEFT fold into the running accumulator — the exact
+  // float grouping of the per-source engine's block merge (singleton blocks
+  // for <= 64 sources): bc(v) gains each lane's dl * scale one add at a
+  // time, in source order, skipping only exact zeros. This is what makes
+  // batched BC bit-identical to per-source TurboBC on any <= 64-source set.
   const bc_t scale = directed_ ? 1.0 : 0.5;
   sim::launch_scalar(
       dev, "bc_accum_batched", static_cast<std::uint64_t>(n_),
       [&](sim::ThreadCtx& t) {
         const auto v = static_cast<std::size_t>(t.global_id());
-        bc_t acc = 0.0;
+        bc_t acc = bc_dev.load(t, v);
+        bool touched = false;
         for (std::size_t j = 0; j < k; ++j) {
           if (static_cast<vidx_t>(v) == batch[j]) continue;
           const bc_t dl = delta.load(t, slot(v, j));
-          if (dl != 0.0) acc += dl;
+          if (dl != 0.0) {
+            acc += dl * scale;
+            touched = true;
+          }
           t.count_ops(1);
         }
-        if (acc != 0.0) {
-          bc_dev.store(t, v, bc_dev.load(t, v) + acc * scale);
-        }
+        if (touched) bc_dev.store(t, v, acc);
       });
 
   if (moments != nullptr) {
@@ -290,8 +292,12 @@ void TurboBCBatched::run_batch(const std::vector<vidx_t>& batch,
         dev, "approx_moment_batched", static_cast<std::uint64_t>(n_),
         [&](sim::ThreadCtx& t) {
           const auto v = static_cast<std::size_t>(t.global_id());
-          bc_t s = 0.0;
-          bc_t s2 = 0.0;
+          // Same per-lane left fold as bc_accum_batched, for the moment
+          // accumulators — bit-identical to the scalar engine's per-source
+          // "approx_moment" sequence.
+          bc_t s = msum.load(t, v);
+          bc_t s2 = msumsq.load(t, v);
+          bool touched = false;
           for (std::size_t j = 0; j < k; ++j) {
             if (static_cast<vidx_t>(v) == batch[j]) continue;
             const bc_t dl = delta.load(t, slot(v, j));
@@ -300,11 +306,12 @@ void TurboBCBatched::run_batch(const std::vector<vidx_t>& batch,
               const bc_t x = dl * scale * w[j];
               s += x;
               s2 += x * x;
+              touched = true;
             }
           }
-          if (s != 0.0) {
-            msum.store(t, v, msum.load(t, v) + s);
-            msumsq.store(t, v, msumsq.load(t, v) + s2);
+          if (touched) {
+            msum.store(t, v, s);
+            msumsq.store(t, v, s2);
           }
         });
   }

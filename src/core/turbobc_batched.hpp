@@ -1,23 +1,30 @@
-// Batched multi-source TurboBC: the frontier as an n x k MATRIX.
+// Batched multi-source TurboBC: the frontier as packed 64-bit masks.
 //
 // Algorithm 1 is a sequence of matrix-vector products; the natural
 // linear-algebra extension (and the standard GraphBLAS idiom for exact BC)
 // replaces the frontier vector f with an n x k matrix F holding k
-// independent BFS fronts, turning every SpMV into an SpMM. Two costs
-// amortize across the batch:
+// independent BFS fronts, turning every SpMV into an SpMM. This engine
+// stores that boolean matrix the MS-BFS way: per vertex one 64-bit
+// FRONTIER word, one VISITED word, one NEXT word (bit j = source j), so a
+// single edge traversal advances every source in the block with word ops —
+// see spmv/spmv_kernels.hpp and DESIGN.md §10. Three costs amortize:
 //
 //   * per-level kernel launches and the frontier-flag readback: ONE set per
 //     level instead of one per source-level — decisive on deep graphs,
 //     where the paper's own pipeline is launch-overhead-bound (road
 //     networks: ~5 launches x 3.5 us + an 8 us PCIe readback per level);
 //   * the graph structure streams from memory once per level for all k
-//     sources instead of once per source-level.
+//     sources instead of once per source-level;
+//   * the k per-source frontier values collapse into sigma itself (a newly
+//     discovered vertex had sigma == 0, so its frontier value IS its new
+//     sigma): the forward state is 2nk + 6n words instead of 4nk.
 //
-// The price is k x the per-vertex state (the footprint becomes ~(7n)k + m
-// words), so the batch size trades memory for launch amortization — the
-// same footprint-vs-speed axis the paper's design walks.
-// bench_ablation_batching measures the trade; tests verify every batch size
-// against Brandes.
+// The backward stage keeps k interleaved dependency columns (the paper's
+// float pipeline does not pack), so the footprint is ~(5n)k + 6n + m words
+// and the batch size still trades memory for amortization — the same
+// footprint-vs-speed axis the paper's design walks. bench_ablation_batching
+// and bench_msbfs measure the trade; tests verify every batch size against
+// Brandes and pin bit-identity against the per-source engine.
 //
 // Implemented for the CSC layout with scalar (thread-per-column) kernels —
 // the batched analogue of TurboBC-scCSC. Column-major per-vertex batch
@@ -28,6 +35,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/autotune.hpp"
 #include "core/turbobc.hpp"
 #include "gpusim/device.hpp"
 #include "graph/edge_list.hpp"
@@ -36,17 +44,21 @@
 namespace turbobc::bc {
 
 struct BatchedOptions {
-  /// Sources processed simultaneously per pass, in [1, 32]. 1 degenerates to
-  /// the paper's pipeline (modulo kernel fusion details).
+  /// Sources processed simultaneously per pass, in [1, 64] — one bit of the
+  /// packed masks per source. 1 degenerates to the paper's pipeline (modulo
+  /// kernel fusion details).
   vidx_t batch_size = 8;
-  /// Forward-sweep advance. kPush is the plain batched SpMM. kPull probes an
-  /// ANY-LANE frontier bitmap (bit set when some lane of the batch has the
-  /// vertex on its front) before touching a row's k frontier slots, skipping
-  /// the k loads when every lane would contribute an exact zero — so sums
-  /// and results stay bit-identical to push. There is no per-level heuristic
-  /// for a batch (the k fronts disagree about direction), so kAuto behaves
-  /// as kPull here.
+  /// Forward-sweep advance. kPush scans every unfinished column's in-edges
+  /// loading the 8-byte frontier word each. kPull probes the ANY-LANE n/32
+  /// frontier bitmap (bit set when some lane has the vertex on its front)
+  /// first, touching the word only on a hit — sums and results stay
+  /// bit-identical to push. kAuto applies the Beamer heuristic per level to
+  /// the any-lane frontier (new-vertex / new-edge counters widened onto the
+  /// flag array), switching between the two kernels like the single-source
+  /// engine does.
   Advance advance = Advance::kPush;
+  /// Switch points for kAuto (same defaults as the single-source engine).
+  DirectionThresholds thresholds = {};
 };
 
 class TurboBCBatched {

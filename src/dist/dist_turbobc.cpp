@@ -1,6 +1,7 @@
 #include "dist/dist_turbobc.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <numeric>
 #include <string>
@@ -122,6 +123,12 @@ DistTurboBC::DistTurboBC(sim::Topology& topology, const graph::EdgeList& graph,
   TBC_CHECK(!(strategy_ == Strategy::kPartition && options_.edge_bc),
             "edge BC needs the replicated strategy (whole graph on one "
             "device)");
+  TBC_CHECK(options_.batch_size >= 0 && options_.batch_size <= 64,
+            "dist batch size must be in [0, 64]");
+  TBC_CHECK(!(strategy_ == Strategy::kPartition && options_.batch_size > 0 &&
+              options_.advance != bc::Advance::kPush),
+            "the batched partitioned sweep is push-only (masks are "
+            "exchanged, not bitmaps)");
 
   if (strategy_ == Strategy::kReplicate) {
     plan_ = ShardPlan::make(n_, 1);
@@ -141,7 +148,11 @@ DistTurboBC::DistTurboBC(sim::Topology& topology, const graph::EdgeList& graph,
     Shard sh;
     sh.col_begin = hs.col_begin;
     sh.col_end = hs.col_end;
-    if (options_.variant) {
+    if (options_.batch_size > 0) {
+      // The MS-BFS block sweep is implemented for the scalar CSC layout
+      // only (like TurboBCBatched); every shard is pinned to it.
+      sh.variant = bc::Variant::kScCsc;
+    } else if (options_.variant) {
       sh.variant = *options_.variant;
     } else {
       // The paper's selection heuristic applied to the shard's own degree
@@ -221,6 +232,7 @@ DistResult DistTurboBC::run_impl(const std::vector<vidx_t>& sources,
   }
   TBC_CHECK(weights == nullptr && moments == nullptr,
             "moment accumulation needs the replicated strategy");
+  if (options_.batch_size > 0) return run_partitioned_batched(sources);
   return run_partitioned(sources);
 }
 
@@ -754,6 +766,408 @@ DistResult DistTurboBC::run_partitioned(const std::vector<vidx_t>& sources) {
     si.col_begin = shards_[kk].col_begin;
     si.col_end = shards_[kk].col_end;
     si.arcs = shards_[kk].cooc ? shards_[kk].cooc->m() : shards_[kk].csc->m();
+  }
+  finish_accounting(topo_, base, result);
+  return result;
+}
+
+DistResult DistTurboBC::run_partitioned_batched(
+    const std::vector<vidx_t>& sources) {
+  using T = sigma_t;
+  const int k_devices = topo_.num_devices();
+  const auto nn = static_cast<std::size_t>(n_);
+  const RunBaseline base = RunBaseline::capture(topo_);
+
+  // Per-device bc accumulators live for the whole call and accumulate every
+  // block on-device via the strict per-lane fold — the same float grouping
+  // as TurboBCBatched::run_sources, which never folds blocks on the host.
+  std::vector<sim::DeviceBuffer<bc_t>> bck;
+  bck.reserve(static_cast<std::size_t>(k_devices));
+  for (int k = 0; k < k_devices; ++k) {
+    bck.emplace_back(topo_.device(k),
+                     static_cast<std::size_t>(shards_[static_cast<std::size_t>(
+                                                          k)].n_local()),
+                     "bc", 4);
+    bck.back().device_fill(0.0);
+  }
+
+  DistResult result;
+  result.strategy_used = Strategy::kPartition;
+
+  // One MS-BFS block of kb <= 64 sources, every shard in lock-step. The
+  // forward exchange carries ONE 8-byte mask word per vertex per level for
+  // all lanes (2x the scalar rank payload, serving kb sources) plus the
+  // packed block of the level's new sigma values.
+  const auto run_block = [&](const std::vector<vidx_t>& batch) {
+    const auto kb = batch.size();
+    const std::uint64_t full = kb == 64 ? ~0ull : ((1ull << kb) - 1);
+    const auto slot = [kb](std::size_t v, std::size_t j) {
+      return v * kb + j;
+    };
+
+    std::vector<sim::DeviceBuffer<std::int32_t>> S;
+    std::vector<sim::DeviceBuffer<T>> sigma;
+    S.reserve(static_cast<std::size_t>(k_devices));
+    sigma.reserve(static_cast<std::size_t>(k_devices));
+    for (int k = 0; k < k_devices; ++k) {
+      sim::Device& dev = topo_.device(k);
+      const auto nl = static_cast<std::size_t>(
+          shards_[static_cast<std::size_t>(k)].n_local());
+      S.emplace_back(dev, nl * kb, "S.k");
+      sigma.emplace_back(dev, nl * kb, "sigma.k", 4);
+      sigma.back().set_modeled_integer(true);
+      S.back().device_fill(0);
+      sigma.back().device_fill(0);
+    }
+
+    vidx_t max_height = 0;
+    {
+      // Forward MS-BFS sweep. Local masks per shard column slice; the
+      // exchange operands (global masks + global frontier sigma values)
+      // are freed with the rest of the forward state at scope end.
+      std::vector<sim::DeviceBuffer<std::uint64_t>> fm, vm, nm, xm;
+      std::vector<sim::DeviceBuffer<T>> xs;
+      std::vector<sim::DeviceBuffer<std::int32_t>> cflags;
+      for (int k = 0; k < k_devices; ++k) {
+        sim::Device& dev = topo_.device(k);
+        const auto nl = static_cast<std::size_t>(
+            shards_[static_cast<std::size_t>(k)].n_local());
+        fm.emplace_back(dev, nl, "F.mask", 8);
+        vm.emplace_back(dev, nl, "V.mask", 8);
+        nm.emplace_back(dev, nl, "Fn.mask", 8);
+        xm.emplace_back(dev, nn, "exchange.mask", 8);
+        xs.emplace_back(dev, nn * kb, "exchange.sigma", 4);
+        xs.back().set_modeled_integer(true);
+        cflags.emplace_back(dev, kb, "c.k");
+        fm.back().device_fill(0);
+        vm.back().device_fill(0);
+      }
+
+      // Seed: lane j's source vertex gets the FULL membership word of that
+      // vertex (duplicate sources collapse — same-value stores), computed
+      // on its owner device, like the single engine's "bfs_init_msbfs".
+      std::vector<std::uint64_t> seed_mask(kb, 0);
+      for (std::size_t j = 0; j < kb; ++j) {
+        for (std::size_t i = 0; i < kb; ++i) {
+          if (batch[i] == batch[j]) seed_mask[j] |= 1ull << i;
+        }
+      }
+      for (std::size_t j = 0; j < kb; ++j) {
+        const int owner = plan_.owner(batch[j]);
+        const auto oo = static_cast<std::size_t>(owner);
+        const auto sl = static_cast<std::size_t>(
+            batch[j] - plan_.col_begin(owner));
+        const std::uint64_t mask = seed_mask[j];
+        sim::launch_scalar(topo_.device(owner), "bfs_init_msbfs", 1,
+                           [&](sim::ThreadCtx& t) {
+                             t.count_word_ops(1);
+                             fm[oo].store(t, sl, mask);
+                             vm[oo].store(t, sl, mask);
+                             sigma[oo].store(t, slot(sl, j), 1);
+                           });
+      }
+
+      std::vector<sim::DeviceBuffer<std::uint64_t>>* cur = &fm;
+      std::vector<sim::DeviceBuffer<std::uint64_t>>* nxt = &nm;
+      vidx_t d = 0;
+      while (true) {
+        ++d;
+        // Mask exchange: 8 bytes per vertex per rank (2x the scalar rank
+        // payload — for ALL kb lanes), plus the packed sigma values of the
+        // current frontier's set lanes, padded to the largest rank.
+        topo_.all_gather(2 * plan_.rank_bytes());
+        std::uint64_t max_pairs = 0;
+        std::vector<std::uint64_t> global_mask(nn, 0);
+        for (int k = 0; k < k_devices; ++k) {
+          const auto kk = static_cast<std::size_t>(k);
+          const auto& mk = (*cur)[kk].host();
+          std::uint64_t pairs = 0;
+          for (std::size_t i = 0; i < mk.size(); ++i) {
+            global_mask[static_cast<std::size_t>(plan_.col_begin(k)) + i] =
+                mk[i];
+            pairs += static_cast<std::uint64_t>(std::popcount(mk[i]));
+          }
+          max_pairs = std::max(max_pairs, pairs);
+        }
+        if (max_pairs > 0) topo_.all_gather(4ull * max_pairs);
+        // Assemble the global frontier-value operand (frontier slots only;
+        // everything else stays zero) and stage it on every device.
+        std::vector<T> global_vals(nn * kb, T{0});
+        for (int k = 0; k < k_devices; ++k) {
+          const auto kk = static_cast<std::size_t>(k);
+          const auto& mk = (*cur)[kk].host();
+          const auto& sg = sigma[kk].host();
+          const auto cb = static_cast<std::size_t>(plan_.col_begin(k));
+          for (std::size_t i = 0; i < mk.size(); ++i) {
+            for (std::uint64_t bits = mk[i]; bits != 0; bits &= bits - 1) {
+              const auto j =
+                  static_cast<std::size_t>(std::countr_zero(bits));
+              global_vals[slot(cb + i, j)] = sg[slot(i, j)];
+            }
+          }
+        }
+        for (int k = 0; k < k_devices; ++k) {
+          const auto kk = static_cast<std::size_t>(k);
+          xm[kk].host() = global_mask;
+          xs[kk].host() = global_vals;
+        }
+
+        bool any = false;
+        for (int k = 0; k < k_devices; ++k) {
+          const auto kk = static_cast<std::size_t>(k);
+          sim::Device& dev = topo_.device(k);
+          (*nxt)[kk].device_fill(0);
+          cflags[kk].device_fill(0);
+          spmv::spmm_forward_msbfs_exch_sccsc(
+              dev, *shards_[kk].csc, static_cast<int>(kb), full, d, xm[kk],
+              xs[kk], vm[kk], (*nxt)[kk], sigma[kk], S[kk], cflags[kk]);
+          // ONE kb-word flag readback per shard per level (vs one word per
+          // source-level in the scalar pipeline).
+          const auto flags = cflags[kk].copy_to_host();
+          for (std::size_t j = 0; j < kb; ++j) {
+            if (flags[j] != 0) any = true;
+          }
+        }
+        if (!any) break;
+        std::swap(cur, nxt);
+      }
+      max_height = d - 1;
+    }
+
+    // Backward stage: kb dependency columns per shard, same kernels as
+    // TurboBCBatched's inline lambdas, with the exchange around each level.
+    std::vector<sim::DeviceBuffer<bc_t>> delta, delta_u, delta_ut, xb;
+    for (int k = 0; k < k_devices; ++k) {
+      sim::Device& dev = topo_.device(k);
+      const auto nl = static_cast<std::size_t>(
+          shards_[static_cast<std::size_t>(k)].n_local());
+      delta.emplace_back(dev, nl * kb, "delta.k", 4);
+      delta_u.emplace_back(dev, nl * kb, "delta_u.k", 4);
+      delta_ut.emplace_back(dev, nl * kb, "delta_ut.k", 4);
+      xb.emplace_back(dev, nn * kb, "exchange", 4);
+      delta.back().device_fill(0.0);
+    }
+
+    for (vidx_t d = max_height; d >= 2; --d) {
+      for (int k = 0; k < k_devices; ++k) {
+        const auto kk = static_cast<std::size_t>(k);
+        sim::launch_scalar(
+            topo_.device(k), "dep_prepare_batched",
+            static_cast<std::uint64_t>(shards_[kk].n_local()),
+            [&](sim::ThreadCtx& t) {
+              const auto v = static_cast<std::size_t>(t.global_id());
+              for (std::size_t j = 0; j < kb; ++j) {
+                bc_t out = 0.0;
+                if (S[kk].load(t, slot(v, j)) == d) {
+                  const T sg = sigma[kk].load(t, slot(v, j));
+                  if (sg > 0) {
+                    out = (1.0 + delta[kk].load(t, slot(v, j))) /
+                          static_cast<bc_t>(sg);
+                  }
+                }
+                delta_u[kk].store(t, slot(v, j), out);
+                t.count_ops(1);
+              }
+            });
+      }
+
+      if (!directed_) {
+        // Exchange all kb delta_u columns, then per-shard column gathers in
+        // the same edge order as the single batched device — bit-identical.
+        topo_.all_gather(static_cast<std::uint64_t>(kb) * plan_.rank_bytes());
+        std::vector<bc_t> global_du(nn * kb, 0.0);
+        for (int k = 0; k < k_devices; ++k) {
+          const auto kk = static_cast<std::size_t>(k);
+          const auto& duk = delta_u[kk].host();
+          std::copy(duk.begin(), duk.end(),
+                    global_du.begin() +
+                        static_cast<std::ptrdiff_t>(
+                            static_cast<std::size_t>(plan_.col_begin(k)) *
+                            kb));
+        }
+        for (int k = 0; k < k_devices; ++k) {
+          const auto kk = static_cast<std::size_t>(k);
+          sim::Device& dev = topo_.device(k);
+          xb[kk].host() = global_du;
+          delta_ut[kk].device_fill(0.0);
+          const Shard& sh = shards_[kk];
+          sim::launch_scalar(
+              dev, "dep_spmm_sccsc",
+              static_cast<std::uint64_t>(sh.n_local()),
+              [&](sim::ThreadCtx& t) {
+                const auto v = static_cast<std::size_t>(t.global_id());
+                const spmv::dptr_t begin = sh.csc->col_ptr().load(t, v);
+                const spmv::dptr_t end = sh.csc->col_ptr().load(t, v + 1);
+                bc_t sums[64] = {};
+                for (spmv::dptr_t e = begin; e < end; ++e) {
+                  const auto u = static_cast<std::size_t>(
+                      sh.csc->row_idx().load(t, static_cast<std::size_t>(e)));
+                  t.count_ops(1);
+                  for (std::size_t j = 0; j < kb; ++j) {
+                    sums[j] += xb[kk].load(t, slot(u, j));
+                  }
+                }
+                for (std::size_t j = 0; j < kb; ++j) {
+                  if (sums[j] != 0.0) {
+                    delta_ut[kk].store(t, slot(v, j), sums[j]);
+                  }
+                }
+              });
+        }
+      } else {
+        // Directed: the kb-column scatter rides the same device-order ring
+        // as the scalar path, so the float adds commit in global column
+        // order — the single batched device's order.
+        for (int k = 0; k < k_devices; ++k) {
+          const auto kk = static_cast<std::size_t>(k);
+          sim::Device& dev = topo_.device(k);
+          if (k == 0) {
+            xb[kk].device_fill(0.0);
+          } else {
+            topo_.device_to_device_copy(
+                k - 1, k, 4ull * static_cast<std::uint64_t>(nn * kb));
+            xb[kk].host() = xb[kk - 1].host();
+          }
+          const Shard& sh = shards_[kk];
+          sim::launch_scalar(
+              dev, "dep_spmm_sccsc_scatter",
+              static_cast<std::uint64_t>(sh.n_local()),
+              [&](sim::ThreadCtx& t) {
+                const auto w = static_cast<std::size_t>(t.global_id());
+                std::uint64_t live = 0;
+                for (std::size_t j = 0; j < kb; ++j) {
+                  if (delta_u[kk].load(t, slot(w, j)) != 0.0) {
+                    live |= 1ull << j;
+                  }
+                }
+                if (live == 0) return;
+                const spmv::dptr_t begin = sh.csc->col_ptr().load(t, w);
+                const spmv::dptr_t end = sh.csc->col_ptr().load(t, w + 1);
+                for (spmv::dptr_t e = begin; e < end; ++e) {
+                  const auto u = static_cast<std::size_t>(
+                      sh.csc->row_idx().load(t, static_cast<std::size_t>(e)));
+                  t.count_ops(1);
+                  for (std::size_t j = 0; j < kb; ++j) {
+                    if ((live >> j) & 1ull) {
+                      xb[kk].atomic_add(t, slot(u, j),
+                                        delta_u[kk].load(t, slot(w, j)));
+                    }
+                  }
+                }
+              });
+        }
+        const int tail = k_devices - 1;
+        const auto& full_du = xb[static_cast<std::size_t>(tail)].host();
+        for (int k = 0; k < k_devices; ++k) {
+          const auto kk = static_cast<std::size_t>(k);
+          if (k != tail) {
+            topo_.device_to_device_copy(
+                tail, k,
+                4ull * static_cast<std::uint64_t>(
+                           static_cast<std::size_t>(shards_[kk].n_local()) *
+                           kb));
+          }
+          auto& dst = delta_ut[kk].host();
+          const auto cb = static_cast<std::size_t>(plan_.col_begin(k)) * kb;
+          std::copy(full_du.begin() + static_cast<std::ptrdiff_t>(cb),
+                    full_du.begin() +
+                        static_cast<std::ptrdiff_t>(cb + dst.size()),
+                    dst.begin());
+        }
+      }
+
+      for (int k = 0; k < k_devices; ++k) {
+        const auto kk = static_cast<std::size_t>(k);
+        sim::launch_scalar(
+            topo_.device(k), "dep_update_batched",
+            static_cast<std::uint64_t>(shards_[kk].n_local()),
+            [&](sim::ThreadCtx& t) {
+              const auto v = static_cast<std::size_t>(t.global_id());
+              for (std::size_t j = 0; j < kb; ++j) {
+                t.count_ops(1);
+                if (S[kk].load(t, slot(v, j)) == d - 1) {
+                  const bc_t du = delta_ut[kk].load(t, slot(v, j));
+                  if (du != 0.0) {
+                    const T sg = sigma[kk].load(t, slot(v, j));
+                    delta[kk].store(t, slot(v, j),
+                                    delta[kk].load(t, slot(v, j)) +
+                                        du * static_cast<bc_t>(sg));
+                  }
+                }
+              }
+            });
+      }
+    }
+
+    // Strict per-lane LEFT fold into the running shard accumulator — the
+    // exact kernel TurboBCBatched runs, on the local column slice.
+    const bc_t scale = directed_ ? 1.0 : 0.5;
+    for (int k = 0; k < k_devices; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      const vidx_t col_begin = plan_.col_begin(k);
+      sim::launch_scalar(
+          topo_.device(k), "bc_accum_batched",
+          static_cast<std::uint64_t>(shards_[kk].n_local()),
+          [&](sim::ThreadCtx& t) {
+            const auto i = static_cast<std::size_t>(t.global_id());
+            const vidx_t v = col_begin + static_cast<vidx_t>(i);
+            bc_t acc = bck[kk].load(t, i);
+            bool touched = false;
+            for (std::size_t j = 0; j < kb; ++j) {
+              if (v == batch[j]) continue;
+              const bc_t dl = delta[kk].load(t, slot(i, j));
+              if (dl != 0.0) {
+                acc += dl * scale;
+                touched = true;
+              }
+              t.count_ops(1);
+            }
+            if (touched) bck[kk].store(t, i, acc);
+          });
+    }
+
+    bc::SourceStats stats;
+    stats.bfs_depth = max_height;
+    vidx_t reached = 0;
+    for (int k = 0; k < k_devices; ++k) {
+      const auto& sg = sigma[static_cast<std::size_t>(k)].host();
+      const auto nl = sg.size() / kb;
+      for (std::size_t i = 0; i < nl; ++i) {
+        for (std::size_t j = 0; j < kb; ++j) {
+          if (sg[slot(i, j)] != 0) {
+            ++reached;
+            break;
+          }
+        }
+      }
+    }
+    stats.reached = reached;
+    return stats;
+  };
+
+  const auto kb = static_cast<std::size_t>(options_.batch_size);
+  for (std::size_t begin = 0; begin < sources.size(); begin += kb) {
+    const std::size_t end = std::min(sources.size(), begin + kb);
+    result.last_source = run_block(std::vector<vidx_t>(
+        sources.begin() + static_cast<std::ptrdiff_t>(begin),
+        sources.begin() + static_cast<std::ptrdiff_t>(end)));
+  }
+
+  result.bc.assign(nn, 0.0);
+  for (int k = 0; k < k_devices; ++k) {
+    const auto& slice = bck[static_cast<std::size_t>(k)].host();
+    std::copy(slice.begin(), slice.end(),
+              result.bc.begin() + plan_.col_begin(k));
+  }
+  result.sources = static_cast<vidx_t>(sources.size());
+  result.shards.resize(static_cast<std::size_t>(k_devices));
+  for (int k = 0; k < k_devices; ++k) {
+    const auto kk = static_cast<std::size_t>(k);
+    ShardInfo& si = result.shards[kk];
+    si.variant = shards_[kk].variant;
+    si.col_begin = shards_[kk].col_begin;
+    si.col_end = shards_[kk].col_end;
+    si.arcs = shards_[kk].csc->m();
   }
   finish_accounting(topo_, base, result);
   return result;

@@ -68,6 +68,17 @@ struct DistOptions {
   bc::Advance advance = bc::Advance::kPush;
   /// Push<->pull switch thresholds for kAuto.
   bc::DirectionThresholds thresholds;
+  /// Partitioned strategy: sources advanced per MS-BFS block, in [0, 64].
+  /// 0 (default) runs the per-source scalar pipeline. >= 1 packs each block
+  /// of sources into per-vertex 64-bit membership masks (the batched
+  /// engine's representation — core/turbobc_batched.hpp) so ONE 8-byte mask
+  /// word per frontier vertex per level crosses the interconnect for all
+  /// lanes at once, instead of one 4-byte frontier word per source-level.
+  /// Push advance + CSC shard layout only; BC values are bit-identical to
+  /// the single-device TurboBCBatched at the same batch size. The
+  /// replicated strategy ignores this (its whole-graph blocks already ride
+  /// TurboBC::run_source_block).
+  vidx_t batch_size = 0;
 };
 
 /// Per-device outcome of one distributed run.
@@ -144,6 +155,7 @@ class DistTurboBC {
                             const std::vector<double>* weights,
                             bc::TurboBC::MomentResult* moments);
   DistResult run_partitioned(const std::vector<vidx_t>& sources);
+  DistResult run_partitioned_batched(const std::vector<vidx_t>& sources);
 
   sim::Topology& topo_;
   DistOptions options_;

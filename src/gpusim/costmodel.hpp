@@ -83,6 +83,11 @@ struct LaunchRecord {
   std::uint64_t store_transactions = 0;
   std::uint64_t l2_hit_transactions = 0;
   std::uint64_t dram_transactions = 0;
+  /// 64-bit mask instructions (AND/OR/shift/popcount) issued by MS-BFS
+  /// kernels. A subset of issue_slots: each word op is charged as a normal
+  /// ALU instruction for timing AND counted here, so benches can report how
+  /// much of a sweep's work ran 64 sources wide. Zero for scalar kernels.
+  std::uint64_t word_ops = 0;
   double time_s = 0.0;
 
   std::uint64_t transaction_bytes(int sector_bytes) const {

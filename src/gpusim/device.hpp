@@ -27,6 +27,8 @@ struct KernelAggregate {
   std::uint64_t store_transactions = 0;
   std::uint64_t l2_hit_transactions = 0;
   std::uint64_t dram_transactions = 0;
+  /// 64-bit mask instructions (MS-BFS kernels only; see LaunchRecord).
+  std::uint64_t word_ops = 0;
   double time_s = 0.0;
 
   double glt_bps(int sector_bytes) const {
@@ -60,6 +62,7 @@ class Device {
     agg.store_transactions += rec.store_transactions;
     agg.l2_hit_transactions += rec.l2_hit_transactions;
     agg.dram_transactions += rec.dram_transactions;
+    agg.word_ops += rec.word_ops;
     agg.time_s += rec.time_s;
     if (keep_launch_records_) launches_.push_back(std::move(rec));
   }
@@ -135,6 +138,7 @@ class Device {
       mine.store_transactions += agg.store_transactions;
       mine.l2_hit_transactions += agg.l2_hit_transactions;
       mine.dram_transactions += agg.dram_transactions;
+      mine.word_ops += agg.word_ops;
       mine.time_s += agg.time_s;
     }
     kernel_seconds_ += other.kernel_seconds_;

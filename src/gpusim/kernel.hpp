@@ -85,6 +85,7 @@ inline void merge_shards(CostModel& cost, LaunchRecord& rec,
     rec.atomic_float_requests += sh.rec.atomic_float_requests;
     rec.load_transactions += sh.rec.load_transactions;
     rec.store_transactions += sh.rec.store_transactions;
+    rec.word_ops += sh.rec.word_ops;
     rec.max_warp_slots = std::max(rec.max_warp_slots, sh.max_warp_slots);
     cost.replay_sectors(rec, sh.sectors.data(), sh.sectors.size());
     for (const DeferredAdd& d : sh.deferred) d.apply();
@@ -122,11 +123,13 @@ class ThreadCtx {
  public:
   ThreadCtx(std::uint64_t global_id, std::vector<Access>& log,
             std::uint64_t& alu_ops,
-            std::vector<DeferredAdd>* deferred = nullptr)
+            std::vector<DeferredAdd>* deferred = nullptr,
+            std::uint64_t* word_ops = nullptr)
       : global_id_(global_id),
         log_(&log),
         alu_ops_(&alu_ops),
-        deferred_(deferred) {}
+        deferred_(deferred),
+        word_ops_(word_ops) {}
 
   std::uint64_t global_id() const noexcept { return global_id_; }
 
@@ -150,11 +153,21 @@ class ThreadCtx {
   /// Charge `n` ALU instructions on this lane (index arithmetic, compares).
   void count_ops(std::uint64_t n) { *alu_ops_ += n; }
 
+  /// Charge `n` 64-bit mask instructions (MS-BFS AND/OR/popcount): normal
+  /// ALU cost for timing, plus the launch-wide word-op traffic counter. The
+  /// counter target is the (per-shard) LaunchRecord, written single-threaded
+  /// within each shard, so the sum is exact under any pool width.
+  void count_word_ops(std::uint64_t n) {
+    *alu_ops_ += n;
+    if (word_ops_ != nullptr) *word_ops_ += n;
+  }
+
  private:
   std::uint64_t global_id_;
   std::vector<Access>* log_;
   std::uint64_t* alu_ops_;
   std::vector<DeferredAdd>* deferred_;
+  std::uint64_t* word_ops_ = nullptr;
 };
 
 namespace detail {
@@ -181,7 +194,7 @@ std::uint64_t run_scalar_warps(const DeviceProps& props, CostModel* cost,
       scratch.logs[lane].clear();
       scratch.alu[lane] = 0;
       ThreadCtx ctx(w * 32 + lane, scratch.logs[lane], scratch.alu[lane],
-                    deferred);
+                    deferred, &rec.word_ops);
       body(ctx);
       max_len = std::max(max_len, scratch.logs[lane].size());
       max_alu = std::max(max_alu, scratch.alu[lane]);
@@ -386,6 +399,13 @@ class WarpCtx {
   void count_ops(std::uint64_t n) {
     rec_->issue_slots += n;
     slots_ += n;
+  }
+
+  /// Charge `n` 64-bit mask warp instructions: ALU cost plus the launch's
+  /// word-op traffic counter (see ThreadCtx::count_word_ops).
+  void count_word_ops(std::uint64_t n) {
+    rec_->word_ops += n;
+    count_ops(n);
   }
 
  private:

@@ -27,6 +27,7 @@ OracleOptions case_oracle(const FuzzerOptions& options, int index) {
   oracle.check_edge_bc = on_cadence(options.edge_bc_every, 0);
   oracle.check_approx = on_cadence(options.approx_every, 1);
   oracle.check_dist = on_cadence(options.dist_every, 4);
+  oracle.check_msbfs = on_cadence(options.msbfs_every, 5);
   return oracle;
 }
 

@@ -52,6 +52,11 @@ struct FuzzerOptions {
   /// (0 disables). Phase-shifted from approx_every so the two six-cycles
   /// never land on the same case.
   int dist_every = 6;
+  /// Run the MS-BFS batched stage (per-source bit-identity, push/pull/auto
+  /// mask-sweep agreement, word-op accounting, footprint model — see
+  /// oracle.hpp) on every k-th case (0 disables). Phase-shifted so the
+  /// three six-cycles (approx, dist, msbfs) never coincide.
+  int msbfs_every = 6;
   /// Stop early after this many distinct failures (each one costs a
   /// minimization run).
   int max_failures = 8;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <optional>
 #include <sstream>
+#include <utility>
 
 #include "approx/driver.hpp"
 #include "baselines/bc_la_seq.hpp"
@@ -20,6 +22,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/executor.hpp"
 #include "graph/bfs_probe.hpp"
+#include "graph/components.hpp"
 #include "graph/csc.hpp"
 #include "graph/mtx_io.hpp"
 
@@ -385,7 +388,7 @@ struct Checker {
           a.store_transactions != b.store_transactions ||
           a.l2_hit_transactions != b.l2_hit_transactions ||
           a.dram_transactions != b.dram_transactions ||
-          a.time_s != b.time_s) {
+          a.word_ops != b.word_ops || a.time_s != b.time_s) {
         mismatch("kernel aggregate " + ita->first);
         return;
       }
@@ -394,8 +397,11 @@ struct Checker {
 
   /// Run the adaptive approx driver at a fixed small budget and return the
   /// full result (the budget keeps a fuzz case cheap; the confidence
-  /// intervals it reports are valid at any stopping point).
-  approx::ApproxResult run_approx(approx::Engine engine, unsigned width) {
+  /// intervals it reports are valid at any stopping point). `comps` feeds
+  /// the component sampler's cached map so the oracle's three runs on the
+  /// same graph share one label sweep.
+  approx::ApproxResult run_approx(approx::Engine engine, unsigned width,
+                                  const graph::Components* comps) {
     PoolWidthGuard guard;
     sim::ExecutorPool::instance().set_threads(width);
     sim::Device dev;
@@ -413,11 +419,20 @@ struct Checker {
     aopt.engine = engine;
     aopt.variant = bc::select_variant(canon);
     aopt.max_sources = std::min<vidx_t>(opt.approx_budget, n);
+    aopt.components = comps;
     return approx::run_adaptive(dev, canon, aopt);
   }
 
   void check_approx() {
-    const approx::ApproxResult r = run_approx(approx::Engine::kScalar, 1);
+    // One component sweep shared by every run below (only the kComponent
+    // rotation slot actually reads it).
+    std::optional<graph::Components> comps;
+    if (canon.num_vertices() % 3 == 2) {
+      comps.emplace(graph::weakly_connected_components(canon));
+    }
+    const graph::Components* comps_ptr = comps ? &*comps : nullptr;
+    const approx::ApproxResult r =
+        run_approx(approx::Engine::kScalar, 1, comps_ptr);
     const vidx_t n = canon.num_vertices();
 
     // Coverage: with probability >= 1 - delta ALL exact values lie inside
@@ -471,7 +486,8 @@ struct Checker {
     // sequence (same seed) so its estimates must match the scalar engine's
     // up to float-order effects.
     if (n > 1) {
-      const approx::ApproxResult rb = run_approx(approx::Engine::kBatched, 1);
+      const approx::ApproxResult rb =
+          run_approx(approx::Engine::kBatched, 1, comps_ptr);
       if (rb.sources_used != r.sources_used) {
         std::ostringstream os;
         os << "batched engine ran " << rb.sources_used << " pivots vs scalar "
@@ -496,7 +512,7 @@ struct Checker {
     // pool widths (PR 1's standard extended to the approx stack).
     if (opt.check_determinism && n > 1) {
       const approx::ApproxResult rp =
-          run_approx(approx::Engine::kScalar, opt.det_threads);
+          run_approx(approx::Engine::kScalar, opt.det_threads, comps_ptr);
       const auto mismatch = [&](const std::string& what) {
         fail("approx_determinism",
              "threads=1 vs threads=" + std::to_string(opt.det_threads) +
@@ -678,7 +694,7 @@ struct Checker {
       // 7n + m + ceil(n/32) words (+16 B slack: the CP_A tail entry and the
       // tiny-n case where the widened forward stage outgrows the triple).
       const std::size_t expected = expected_turbobc_peak_bytes(
-          variant, n, m, /*edge_bc=*/false, adv);
+          variant, n, m, /*edge_bc=*/false, adv, canon.directed());
       if (rb.peak_device_bytes != expected) {
         std::ostringstream os;
         os << mode << ": simulated peak " << rb.peak_device_bytes
@@ -729,6 +745,117 @@ struct Checker {
     }
   }
 
+  /// MS-BFS batched engine (core/turbobc_batched.*): the packed-mask SpMM
+  /// sweep must reproduce the per-source engine's BC vector BIT-for-bit
+  /// over any block of <= 64 sources — the fold-order contract documented
+  /// in turbobc_batched.cpp (strict per-lane left folds over exact-zero
+  /// skips) — in push, pull, and auto mode alike, at any pool width, with
+  /// the new word-op traffic accounted and the peak inside the MS-BFS
+  /// footprint model.
+  void check_msbfs() {
+    const vidx_t n = canon.num_vertices();
+    const eidx_t m = canon.num_arcs();
+    // Up to 16 sources spread over [0, n): enough lanes to exercise a
+    // partial final mask word while a fuzz case stays cheap (the reference
+    // runs one full per-source BC per lane); <= 64 keeps the per-source
+    // engine's fold in singleton blocks — the scope of the bit-identity
+    // contract.
+    const auto want = static_cast<vidx_t>(std::min<std::int64_t>(16, n));
+    std::vector<vidx_t> sources;
+    for (vidx_t i = 0; i < want; ++i) {
+      sources.push_back(static_cast<vidx_t>(
+          static_cast<std::uint64_t>(i) * n / want));
+    }
+    const auto k = static_cast<vidx_t>(sources.size());
+
+    // Per-source reference: the scalar engine on the same sources and the
+    // same layout the batched engine hard-codes (CSC, scalar kernels).
+    bc::BcResult ref;
+    {
+      sim::Device dev;
+      dev.set_keep_launch_records(false);
+      bc::TurboBC algo(dev, graph, {.variant = bc::Variant::kScCsc});
+      ref = algo.run_sources(sources);
+    }
+
+    const auto run_batched = [&](bc::Advance adv, unsigned width) {
+      PoolWidthGuard guard;
+      sim::ExecutorPool::instance().set_threads(width);
+      sim::Device dev;
+      dev.set_keep_launch_records(false);
+      bc::TurboBCBatched batched(dev, graph,
+                                 {.batch_size = k, .advance = adv});
+      bc::BcResult r = batched.run_sources(sources);
+      std::uint64_t words = 0;
+      for (const auto& [name, agg] : dev.kernel_aggregates()) {
+        words += agg.word_ops;
+      }
+      return std::make_pair(std::move(r), words);
+    };
+
+    const auto compare_bits = [&](const std::string& what,
+                                  const std::vector<bc_t>& a,
+                                  const std::vector<bc_t>& b) {
+      if (a.size() != b.size()) {
+        fail("msbfs_agreement", what + ": size " + std::to_string(a.size()) +
+                                    " vs " + std::to_string(b.size()));
+        return;
+      }
+      for (std::size_t v = 0; v < a.size(); ++v) {
+        if (a[v] != b[v]) {
+          std::ostringstream os;
+          os << what << ": bc[" << v << "] = " << a[v] << " vs " << b[v]
+             << " (" << k << " sources)";
+          fail("msbfs_agreement", os.str());
+          return;
+        }
+      }
+    };
+
+    const auto [push, push_words] = run_batched(bc::Advance::kPush, 1);
+    compare_bits("batched-push vs per-source", push.bc, ref.bc);
+    // The mask kernels issue word ops on every traversed edge; a zero total
+    // on a non-trivial graph means the accounting got disconnected.
+    if (m > 0 && push_words == 0) {
+      fail("msbfs_agreement",
+           "batched push run reported zero word ops on a non-empty graph");
+    }
+    // Footprint: the simulated peak must sit inside the MS-BFS model
+    // (allocation-granule + O(k) flag slack on either side).
+    const std::uint64_t model = bc::turbobc_msbfs_model_bytes(n, m, k);
+    constexpr std::uint64_t kSlack = 16 * 256;
+    if (push.peak_device_bytes > model + kSlack ||
+        push.peak_device_bytes + kSlack < model) {
+      std::ostringstream os;
+      os << "batched peak " << push.peak_device_bytes
+         << " B outside MS-BFS model " << model << " B (+/- " << kSlack
+         << " B; n = " << n << ", m = " << m << ", k = " << k << ")";
+      fail("msbfs_agreement", os.str());
+    }
+
+    for (const bc::Advance adv : {bc::Advance::kPull, bc::Advance::kAuto}) {
+      const auto [r, words] = run_batched(adv, 1);
+      (void)words;
+      compare_bits(std::string("batched-") + std::string(bc::to_string(adv)) +
+                       " vs batched-push",
+                   r.bc, push.bc);
+    }
+
+    // Pool-width determinism, the PR 1 standard: the whole modeled result
+    // (values, clock, peak, word-op ledger) is bit-identical at any width.
+    if (opt.check_determinism && n > 1) {
+      const auto [rp, wp] = run_batched(bc::Advance::kPush, opt.det_threads);
+      if (rp.bc != push.bc || rp.device_seconds != push.device_seconds ||
+          rp.peak_device_bytes != push.peak_device_bytes ||
+          wp != push_words) {
+        fail("msbfs_agreement",
+             "batched push: threads=1 vs threads=" +
+                 std::to_string(opt.det_threads) +
+                 " modeled results differ");
+      }
+    }
+  }
+
   void run() {
     check_mtx_roundtrip();
     if (canon.num_vertices() == 0) return;  // nothing else is defined
@@ -761,6 +888,10 @@ struct Checker {
     }
     if (opt.check_dobfs && canon.num_vertices() > 0) {
       check_dobfs();
+    }
+    if (opt.check_msbfs && canon.num_vertices() > 0 &&
+        canon.num_vertices() <= opt.msbfs_max_vertices) {
+      check_msbfs();
     }
   }
 };
@@ -799,7 +930,7 @@ OracleReport check_graph(const EdgeList& graph, const OracleOptions& options) {
 
 std::size_t expected_turbobc_peak_bytes(bc::Variant variant, vidx_t n,
                                         eidx_t m, bool edge_bc,
-                                        bc::Advance advance) {
+                                        bc::Advance advance, bool directed) {
   const auto un = static_cast<std::size_t>(n);
   const auto um = static_cast<std::size_t>(m);
   const bool dob = advance != bc::Advance::kPush;
@@ -810,15 +941,19 @@ std::size_t expected_turbobc_peak_bytes(bc::Variant variant, vidx_t n,
   const std::size_t graph_bytes = variant == bc::Variant::kScCooc
                                       ? 8 * um           // row_A + col_A
                                       : 4 * (un + 1) + 4 * um;  // CP_A + row_A
+  const std::size_t bitmap_bytes = 4 * ((un + 31) / 32);
   // bc accumulator + persistent S/sigma + the wider of the two stages:
   // forward f/f_t/c-flag (8n + 4) vs dependency triple (12n). The paper's
   // f/f_t free trick is exactly why the forward stage never dominates.
   // Direction-optimizing mode widens the forward stage — three-counter flag
   // block (12 B) plus the ceil(n/32)-word frontier bitmap — which the
-  // triple still dominates for n >= 4.
-  const std::size_t forward =
-      dob ? 8 * un + 12 + 4 * ((un + 31) / 32) : 8 * un + 4;
-  const std::size_t stages = 4 * un + 8 * un + std::max(forward, 12 * un);
+  // triple still dominates for n >= 4; the UNDIRECTED backward stage grows
+  // its own bitmap too (the pulled dependency gather rebuilds it from
+  // delta_u each level), so both stage terms carry it symmetrically.
+  const std::size_t forward = dob ? 8 * un + 12 + bitmap_bytes : 8 * un + 4;
+  const std::size_t backward =
+      12 * un + (dob && !directed ? bitmap_bytes : 0);
+  const std::size_t stages = 4 * un + 8 * un + std::max(forward, backward);
   return graph_bytes + stages + (edge_bc ? 4 * um : 0);
 }
 

@@ -48,6 +48,12 @@
 //                         bit-identical at any --threads, and the DO peak
 //                         matches its analytic inventory and stays at
 //                         7n + m + ceil(n/32) words, below gunrock's
+//   msbfs_agreement       packed-mask batched engine: BC over <= 64 sources
+//                         bit-identical to the per-source kScCsc engine,
+//                         pull/auto sweeps bit-identical to push, results
+//                         bit-identical across pool widths, word-op traffic
+//                         accounted, and the batched peak within the
+//                         MS-BFS footprint model (core/footprint.hpp)
 //
 // Each failed check appends a Violation naming the invariant; the fuzz loop
 // and the delta-debugging minimizer key on those names.
@@ -97,6 +103,13 @@ struct OracleOptions {
   /// Direction-optimizing forward sweep: push-vs-pull/auto agreement,
   /// per-mode thread determinism, and the DO footprint inventory.
   bool check_dobfs = true;
+  /// MS-BFS batched engine: bit-identity against the per-source engine,
+  /// push/pull/auto mask-sweep agreement, word-op accounting, and the
+  /// batched footprint model. The check runs a per-source reference BC per
+  /// lane, so (like check_exact) it is skipped above msbfs_max_vertices —
+  /// larger shapes are covered by tests/core/test_msbfs.cpp and bench_msbfs.
+  bool check_msbfs = true;
+  vidx_t msbfs_max_vertices = 220;
 };
 
 struct Violation {
@@ -130,12 +143,13 @@ OracleReport check_graph(const graph::EdgeList& graph,
 /// 7n + m words (bc::turbobc_model_bytes) plus the one extra CP_A entry.
 /// A direction-optimizing `advance` widens the forward term: the 1-element
 /// frontier flag becomes 3 counters and the ceil(n/32)-word frontier bitmap
-/// joins f/f_t — still dominated by the dependency triple for n >= 4, so
-/// the engine's PEAK usually does not move at all (the bitmap lives only in
-/// the stage the paper's free trick already made the smaller one).
+/// joins f/f_t — still dominated by the dependency triple for n >= 4. On
+/// UNDIRECTED graphs the pulled dependency gather adds the same bitmap to
+/// the backward stage (rebuilt from delta_u per level), so `directed` picks
+/// which backward term applies; push mode ignores it.
 std::size_t expected_turbobc_peak_bytes(
     bc::Variant variant, vidx_t n, eidx_t m, bool edge_bc,
-    bc::Advance advance = bc::Advance::kPush);
+    bc::Advance advance = bc::Advance::kPush, bool directed = false);
 
 /// Analytic gunrock-baseline inventory in simulated device bytes
 /// (CSR + CSC + 8 n-arrays + queue counter + m-word LB scratch).

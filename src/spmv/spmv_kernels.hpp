@@ -18,11 +18,18 @@
 // undirected graphs) and scatter form (directed graphs need out-neighbour
 // sums through the same single stored structure — see DESIGN.md).
 //
+// The batched engine's MS-BFS kernels (spmm_forward_msbfs_*) are the SpGEMM
+// view of the forward sweep over a boolean semiring: per-vertex 64-bit
+// source-membership masks replace up-to-64 integer frontier vectors, so one
+// edge traversal serves every source in the block with AND/OR/popcount word
+// ops (DESIGN.md §10).
+//
 // All kernels are templated on the vector element type: the BFS stage runs
 // on integers (sigma_t) and the dependency stage on doubles; the datatype
 // ablation bench instantiates the float versions.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 
 #include "gpusim/kernel.hpp"
@@ -268,6 +275,226 @@ void spmv_forward_pull_vecsc(sim::Device& device, const DeviceCsc& g,
 }
 
 // ---------------------------------------------------------------------------
+// MS-BFS (multi-source) forward kernels for the batched engine.
+//
+// State per vertex v: one 64-bit frontier word F(v) (bit j set iff v is on
+// source j's current frontier), one visited word V(v), and one next-frontier
+// word Fn(v). The per-source shortest-path counts live in the interleaved
+// sigma matrix (slot v*k + j) — and because a vertex newly discovered at
+// this level had sigma == 0 before, sigma doubles as the frontier VALUE
+// array: f(u, j) == sigma(u, j) for every frontier bit. The sweep therefore
+// needs no f/f_t matrices at all; three n-word mask arrays replace 2nk
+// words of per-source frontiers.
+//
+// One fused kernel per level and column v:
+//   w_e = F(row_e) & ~V(v)          one word op per edge, all k sources
+//   m   = OR over edges of w_e      new-lane mask for v
+//   sums[j] += sigma(row_e, j)      only for set bits j of w_e, in edge
+//                                   order — the same nonzero-skipping fold
+//                                   as the per-source kernels, so sigma is
+//                                   bit-identical per source
+//   commit: Fn(v) = m, V(v) |= m, sigma/S/flags stored for bits of m.
+//
+// Races: thread v is the only writer of row v in Fn/V/sigma/S; flag stores
+// are same-value; the degree counters are exact integer atomics. The pull
+// variant probes the any-lane n/32 frontier bitmap (bit v iff F(v) != 0)
+// before touching F — skipped edges have F == 0 and contribute nothing, so
+// push and pull commit identical state level by level.
+// ---------------------------------------------------------------------------
+
+/// Rebuild the any-lane frontier bitmap from the packed mask array: bit v
+/// set iff F(v) != 0. One thread per 32-bit word, fully coalesced reads.
+inline void msbfs_frontier_to_bitmap(
+    sim::Device& device, const sim::DeviceBuffer<std::uint64_t>& F, vidx_t n,
+    sim::DeviceBuffer<std::uint32_t>& bitmap) {
+  sim::launch_scalar(
+      device, "msbfs_to_bitmap", frontier_bitmap_words(n),
+      [&](sim::ThreadCtx& t) {
+        const auto w = static_cast<std::size_t>(t.global_id());
+        const std::size_t base = w * 32;
+        std::uint32_t word = 0;
+        for (std::size_t b = 0; b < 32; ++b) {
+          const std::size_t v = base + b;
+          if (v >= static_cast<std::size_t>(n)) break;
+          if (F.load(t, v) != 0) word |= 1u << b;
+        }
+        t.count_word_ops(1);
+        bitmap.store(t, w, word);
+      });
+}
+
+/// Shared commit tail of the push and pull MS-BFS kernels: store the new
+/// lane mask `m` for column v, mark visited, and write sigma / depth /
+/// per-lane convergence flags for each newly set bit. `count_degrees`
+/// enables the direction-switch counters cflags[k] (new any-lane vertices)
+/// and cflags[k+1] (their in-degrees).
+template <typename T>
+inline void msbfs_column_commit(
+    sim::ThreadCtx& t, std::size_t v, int k, vidx_t depth,
+    sim::DeviceBuffer<std::uint64_t>& V, sim::DeviceBuffer<std::uint64_t>& Fn,
+    sim::DeviceBuffer<T>& sigma, sim::DeviceBuffer<std::int32_t>& S,
+    sim::DeviceBuffer<std::int32_t>& cflags, bool count_degrees,
+    std::uint64_t degree, std::uint64_t vis, std::uint64_t m, const T* sums) {
+  if (m == 0) return;
+  Fn.store(t, v, m);
+  V.store(t, v, vis | m);
+  t.count_word_ops(2);
+  const auto kk = static_cast<std::size_t>(k);
+  for (std::uint64_t bits = m; bits != 0; bits &= bits - 1) {
+    const auto j = static_cast<std::size_t>(std::countr_zero(bits));
+    sigma.store(t, v * kk + j, sums[j]);
+    S.store(t, v * kk + j, static_cast<std::int32_t>(depth));
+    cflags.store(t, j, 1);
+  }
+  if (count_degrees) {
+    cflags.atomic_add(t, kk, 1);
+    cflags.atomic_add(t, kk + 1, static_cast<std::int32_t>(degree));
+  }
+}
+
+/// Push MS-BFS level: one thread per column v, serial scan of v's in-edges;
+/// every edge costs one 8-byte mask load + one word op for all k sources.
+template <typename T>
+void spmm_forward_msbfs_sccsc(
+    sim::Device& device, const DeviceCsc& g, int k, std::uint64_t full,
+    vidx_t depth, const sim::DeviceBuffer<std::uint64_t>& F,
+    sim::DeviceBuffer<std::uint64_t>& V, sim::DeviceBuffer<std::uint64_t>& Fn,
+    sim::DeviceBuffer<T>& sigma, sim::DeviceBuffer<std::int32_t>& S,
+    sim::DeviceBuffer<std::int32_t>& cflags, bool count_degrees) {
+  const auto kk = static_cast<std::size_t>(k);
+  sim::launch_scalar(
+      device, "bfs_spmm_msbfs_sccsc", static_cast<std::uint64_t>(g.n()),
+      [&](sim::ThreadCtx& t) {
+        const auto v = static_cast<std::size_t>(t.global_id());
+        const std::uint64_t vis = V.load(t, v);
+        t.count_word_ops(1);
+        if ((vis & full) == full) return;  // all lanes already discovered
+        const dptr_t begin = g.col_ptr().load(t, v);
+        const dptr_t end = g.col_ptr().load(t, v + 1);
+        T sums[64] = {};
+        std::uint64_t m = 0;
+        for (dptr_t e = begin; e < end; ++e) {
+          const vidx_t row = g.row_idx().load(t, static_cast<std::size_t>(e));
+          const std::uint64_t w =
+              F.load(t, static_cast<std::size_t>(row)) & ~vis;
+          t.count_word_ops(1);
+          if (w == 0) continue;
+          m |= w;
+          for (std::uint64_t bits = w; bits != 0; bits &= bits - 1) {
+            const auto j = static_cast<std::size_t>(
+                std::countr_zero(bits));
+            sums[j] += sigma.load(
+                t, static_cast<std::size_t>(row) * kk + j);
+          }
+        }
+        msbfs_column_commit(t, v, k, depth, V, Fn, sigma, S, cflags,
+                            count_degrees,
+                            static_cast<std::uint64_t>(end - begin), vis, m,
+                            sums);
+      });
+}
+
+/// Pull MS-BFS level: identical fold, but each edge first probes the
+/// any-lane frontier bitmap (4-byte word, L2-resident) and touches the
+/// 8-byte mask + sigma values only on a hit — the direction-optimized form
+/// for levels where most in-neighbours are off every lane's frontier.
+template <typename T>
+void spmm_forward_msbfs_pull_sccsc(
+    sim::Device& device, const DeviceCsc& g, int k, std::uint64_t full,
+    vidx_t depth, const sim::DeviceBuffer<std::uint64_t>& F,
+    const sim::DeviceBuffer<std::uint32_t>& bitmap,
+    sim::DeviceBuffer<std::uint64_t>& V, sim::DeviceBuffer<std::uint64_t>& Fn,
+    sim::DeviceBuffer<T>& sigma, sim::DeviceBuffer<std::int32_t>& S,
+    sim::DeviceBuffer<std::int32_t>& cflags, bool count_degrees) {
+  const auto kk = static_cast<std::size_t>(k);
+  sim::launch_scalar(
+      device, "bfs_spmm_msbfs_pull_sccsc", static_cast<std::uint64_t>(g.n()),
+      [&](sim::ThreadCtx& t) {
+        const auto v = static_cast<std::size_t>(t.global_id());
+        const std::uint64_t vis = V.load(t, v);
+        t.count_word_ops(1);
+        if ((vis & full) == full) return;
+        const dptr_t begin = g.col_ptr().load(t, v);
+        const dptr_t end = g.col_ptr().load(t, v + 1);
+        T sums[64] = {};
+        std::uint64_t m = 0;
+        for (dptr_t e = begin; e < end; ++e) {
+          const vidx_t row = g.row_idx().load(t, static_cast<std::size_t>(e));
+          const std::uint32_t word =
+              bitmap.load(t, static_cast<std::size_t>(row) / 32);
+          t.count_ops(1);
+          if (((word >> (static_cast<std::uint32_t>(row) & 31u)) & 1u) == 0) {
+            continue;
+          }
+          const std::uint64_t w =
+              F.load(t, static_cast<std::size_t>(row)) & ~vis;
+          t.count_word_ops(1);
+          if (w == 0) continue;
+          m |= w;
+          for (std::uint64_t bits = w; bits != 0; bits &= bits - 1) {
+            const auto j = static_cast<std::size_t>(
+                std::countr_zero(bits));
+            sums[j] += sigma.load(
+                t, static_cast<std::size_t>(row) * kk + j);
+          }
+        }
+        msbfs_column_commit(t, v, k, depth, V, Fn, sigma, S, cflags,
+                            count_degrees,
+                            static_cast<std::uint64_t>(end - begin), vis, m,
+                            sums);
+      });
+}
+
+/// Distributed push MS-BFS level over a column shard: the same fold as
+/// spmm_forward_msbfs_sccsc, except the frontier masks (Fx) and the frontier
+/// sigma values (Xs, slot row * k + j) are read from the EXCHANGED
+/// full-length operands — global row space, assembled by the partitioned
+/// engine's per-level all_gather — while visited/next/sigma/S commit to the
+/// shard's LOCAL column slice. A frontier vertex's value IS its sigma, so
+/// one 8-byte mask word plus the packed new values carry all k lanes across
+/// the interconnect per level. Per-column edge order equals the single
+/// device's, so the committed sigma matrix is bit-identical shard by shard.
+template <typename T>
+void spmm_forward_msbfs_exch_sccsc(
+    sim::Device& device, const DeviceCsc& g, int k, std::uint64_t full,
+    vidx_t depth, const sim::DeviceBuffer<std::uint64_t>& Fx,
+    const sim::DeviceBuffer<T>& Xs, sim::DeviceBuffer<std::uint64_t>& V,
+    sim::DeviceBuffer<std::uint64_t>& Fn, sim::DeviceBuffer<T>& sigma,
+    sim::DeviceBuffer<std::int32_t>& S,
+    sim::DeviceBuffer<std::int32_t>& cflags) {
+  const auto kk = static_cast<std::size_t>(k);
+  sim::launch_scalar(
+      device, "bfs_spmm_msbfs_sccsc", static_cast<std::uint64_t>(g.n()),
+      [&](sim::ThreadCtx& t) {
+        const auto v = static_cast<std::size_t>(t.global_id());
+        const std::uint64_t vis = V.load(t, v);
+        t.count_word_ops(1);
+        if ((vis & full) == full) return;
+        const dptr_t begin = g.col_ptr().load(t, v);
+        const dptr_t end = g.col_ptr().load(t, v + 1);
+        T sums[64] = {};
+        std::uint64_t m = 0;
+        for (dptr_t e = begin; e < end; ++e) {
+          const vidx_t row = g.row_idx().load(t, static_cast<std::size_t>(e));
+          const std::uint64_t w =
+              Fx.load(t, static_cast<std::size_t>(row)) & ~vis;
+          t.count_word_ops(1);
+          if (w == 0) continue;
+          m |= w;
+          for (std::uint64_t bits = w; bits != 0; bits &= bits - 1) {
+            const auto j = static_cast<std::size_t>(
+                std::countr_zero(bits));
+            sums[j] += Xs.load(t, static_cast<std::size_t>(row) * kk + j);
+          }
+        }
+        msbfs_column_commit(t, v, k, depth, V, Fn, sigma, S, cflags,
+                            /*count_degrees=*/false,
+                            static_cast<std::uint64_t>(end - begin), vis, m,
+                            sums);
+      });
+}
+
+// ---------------------------------------------------------------------------
 // Backward (unmasked) kernels.
 // Gather form: y(v) += sum over column v of x(row). Correct out-neighbour
 // sum only when the matrix is symmetric (undirected graphs).
@@ -348,6 +575,95 @@ void spmv_backward_gather_sccooc(sim::Device& device, const DeviceCooc& g,
         if (xv != 0) {
           const vidx_t col = g.col_idx().load(t, k);
           y.atomic_add(t, static_cast<std::size_t>(col), xv);
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Pulled backward gather: the dependency-stage twin of the pull forward
+// kernels. delta_u is nonzero only on the level-d frontier, so each column
+// probes the same n/32 dense bitmap (bit v iff delta_u(v) != 0, rebuilt per
+// level with frontier_to_bitmap) before loading the 4/8-byte value. The fold
+// skips only exact +0 terms in the same edge order as the unmasked gather —
+// delta_u >= 0, and x + 0.0 == x bitwise for non-negative x, so delta_ut is
+// bit-identical to the push (unmasked) backward sweep.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void spmv_backward_pull_sccsc(sim::Device& device, const DeviceCsc& g,
+                              const sim::DeviceBuffer<T>& x,
+                              const sim::DeviceBuffer<std::uint32_t>& bitmap,
+                              sim::DeviceBuffer<T>& y) {
+  sim::launch_scalar(
+      device, "dep_spmv_pull_sccsc", static_cast<std::uint64_t>(g.n()),
+      [&](sim::ThreadCtx& t) {
+        const auto i = static_cast<std::size_t>(t.global_id());
+        const dptr_t begin = g.col_ptr().load(t, i);
+        const dptr_t end = g.col_ptr().load(t, i + 1);
+        T sum = 0;
+        for (dptr_t k = begin; k < end; ++k) {
+          const vidx_t row = g.row_idx().load(t, static_cast<std::size_t>(k));
+          const std::uint32_t word =
+              bitmap.load(t, static_cast<std::size_t>(row) / 32);
+          t.count_ops(1);
+          if ((word >> (static_cast<std::uint32_t>(row) & 31u)) & 1u) {
+            sum += x.load(t, static_cast<std::size_t>(row));
+          }
+        }
+        if (sum != 0) y.store(t, i, sum);
+      });
+}
+
+template <typename T>
+void spmv_backward_pull_vecsc(sim::Device& device, const DeviceCsc& g,
+                              const sim::DeviceBuffer<T>& x,
+                              const sim::DeviceBuffer<std::uint32_t>& bitmap,
+                              sim::DeviceBuffer<T>& y) {
+  const vidx_t n = g.n();
+  sim::launch_warp(
+      device, "dep_spmv_pull_vecsc", vecsc_grid_warps(device, n),
+      [&](sim::WarpCtx& w) {
+        for (auto col = static_cast<vidx_t>(w.warp_id()); col < n;
+             col = static_cast<vidx_t>(col + w.num_warps())) {
+          const dptr_t begin =
+              w.broadcast_load(g.col_ptr(), static_cast<std::size_t>(col));
+          const dptr_t end =
+              w.broadcast_load(g.col_ptr(), static_cast<std::size_t>(col) + 1);
+          std::array<T, sim::kWarpSize> sum{};
+          for (dptr_t base = begin; base < end; base += sim::kWarpSize) {
+            std::uint32_t mask = 0;
+            for (int lane = 0; lane < sim::kWarpSize; ++lane) {
+              if (base + lane < end) mask |= 1u << lane;
+            }
+            const auto rows = w.gather(g.row_idx(), mask, [&](int lane) {
+              return static_cast<std::size_t>(base + lane);
+            });
+            const auto words = w.gather(bitmap, mask, [&](int lane) {
+              return static_cast<std::size_t>(rows[lane]) / 32;
+            });
+            std::uint32_t fmask = 0;
+            for (int lane = 0; lane < sim::kWarpSize; ++lane) {
+              if (((mask >> lane) & 1u) != 0 &&
+                  ((words[lane] >>
+                    (static_cast<std::uint32_t>(rows[lane]) & 31u)) &
+                   1u) != 0) {
+                fmask |= 1u << lane;
+              }
+            }
+            const auto vals = w.gather(x, fmask, [&](int lane) {
+              return static_cast<std::size_t>(rows[lane]);
+            });
+            for (int lane = 0; lane < sim::kWarpSize; ++lane) {
+              if ((fmask >> lane) & 1u) sum[lane] += vals[lane];
+            }
+            w.count_ops(1);
+          }
+          const T total = w.reduce_add(sum);
+          if (total != 0) {
+            w.scatter(y, 0x1u,
+                      [&](int) { return static_cast<std::size_t>(col); },
+                      [&](int) { return total; });
+          }
         }
       });
 }

@@ -147,6 +147,9 @@ std::string cli_usage() {
       "      'replicate' fans source blocks across whole-graph replicas,\n"
       "      'partition' shards CSC column blocks so graphs past one\n"
       "      device's memory wall still run; 'auto' picks by footprint\n"
+      "      --batch with --dist partition packs each source block into\n"
+      "      per-vertex 64-bit masks (MS-BFS) so one mask word per vertex\n"
+      "      per level crosses the interconnect for all lanes (push only)\n"
       "  turbobc_cli approx g.mtx [--epsilon 0.05] [--delta 0.1] [--topk K]\n"
       "      [--seed 1] [--sampler uniform|degree|component]\n"
       "      [--engine scalar|batched] [--batch 8] [--max-sources N]\n"
@@ -381,8 +384,15 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
       throw UsageError("unknown --dist '" + args.get("dist", "auto") +
                        "' (expected auto|replicate|partition)");
     }
-    if (args.has("batch")) {
-      throw UsageError("--batch is single-device only (drop --devices)");
+    if (args.has("batch") && *strategy != dist::Strategy::kPartition) {
+      throw UsageError(
+          "--batch with --devices needs --dist partition (replicated blocks "
+          "already ride the single-device engine)");
+    }
+    if (args.has("batch") && advance != bc::Advance::kPush) {
+      throw UsageError(
+          "--dist partition --batch is push-only (masks are exchanged, not "
+          "bitmaps)");
     }
     if (want_trace) {
       throw UsageError("--trace is single-device only (drop --devices)");
@@ -393,16 +403,21 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
           "whole arcs)");
     }
     sim::Topology topo(topology_props(args, devices));
-    dist::DistTurboBC engine(
-        topo, g,
-        {.strategy = *strategy,
-         .variant = variant,
-         .edge_bc = args.has("edge-bc"),
-         .advance = advance});
+    const auto dist_batch =
+        args.has("batch") ? static_cast<vidx_t>(args.get_count("batch", 8))
+                          : 0;
+    dist::DistTurboBC engine(topo, g,
+                             {.strategy = *strategy,
+                              .variant = variant,
+                              .edge_bc = args.has("edge-bc"),
+                              .advance = advance,
+                              .batch_size = dist_batch});
     strategy_used = engine.strategy();
+    const std::string batch_tag =
+        dist_batch > 0 ? ", batched x" + std::to_string(dist_batch) : "";
     if (args.has("exact")) {
       dres = engine.run_exact();
-      mode = "exact";
+      mode = "exact" + batch_tag;
     } else if (args.has("approx")) {
       const auto sources = sample_uniform_sources(
           g.num_vertices(), static_cast<vidx_t>(args.get_count("approx", 32)),
@@ -412,11 +427,12 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
                          static_cast<bc_t>(sources.size());
       for (bc_t& v : dres->bc) v *= scale;
       for (bc_t& v : dres->edge_bc) v *= scale;
-      mode = "approximate (" + std::to_string(dres->sources) + " sources)";
+      mode = "approximate (" + std::to_string(dres->sources) + " sources)" +
+             batch_tag;
     } else {
       dres = engine.run_single_source(
           static_cast<vidx_t>(args.get_int("source", 0)));
-      mode = "single-source";
+      mode = "single-source" + batch_tag;
     }
     r.bc = dres->bc;
     r.edge_bc = dres->edge_bc;

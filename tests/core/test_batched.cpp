@@ -53,7 +53,7 @@ TEST_P(BatchSizes, PartialLastBatchIsHandled) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Ks, BatchSizes,
-                         ::testing::Values(1, 2, 3, 8, 17, 32),
+                         ::testing::Values(1, 2, 3, 8, 17, 32, 64),
                          [](const auto& info) {
                            return "k" + std::to_string(info.param);
                          });
@@ -129,7 +129,7 @@ TEST(Batched, RejectsBadConfiguration) {
   const auto el = gen::mycielski(5);
   sim::Device dev;
   EXPECT_THROW(TurboBCBatched(dev, el, {.batch_size = 0}), InvalidArgument);
-  EXPECT_THROW(TurboBCBatched(dev, el, {.batch_size = 33}), InvalidArgument);
+  EXPECT_THROW(TurboBCBatched(dev, el, {.batch_size = 65}), InvalidArgument);
   TurboBCBatched ok(dev, el, {.batch_size = 4});
   EXPECT_THROW(ok.run_sources({99}), InvalidArgument);
 }
