@@ -1,0 +1,302 @@
+// Dynamic-graph serving benchmark: BENCH_serve.json.
+//
+// Four families drive the same serving workload: warm the per-source cache
+// with one full BC query, then stream alternating edge updates (random
+// insert / delete of an existing arc), answering a full exact BC query
+// after every event. Two systems are charged modeled device seconds:
+//
+//   serve      src/serve/ ServeEngine — the cone test keeps every block the
+//              update provably cannot touch, so a query pays only the
+//              invalidated sources.
+//   scratch    full recompute per update — TurboBC::run_exact() on the
+//              mutated graph (what a cache-less server would pay). Sampled
+//              every kScratchEvery events (the cost is near-constant: the
+//              graph changes by one arc per event) and doubling as the
+//              bit-identity reference on the sampled events; the per-event
+//              bit-identity over long streams on EVERY family is the
+//              serve_agreement test suite's job, not the bench's.
+//
+// The family spread covers the cone-size spectrum, which is a property of
+// directed reachability. The winners have tiny in-reachable sets, so an
+// update touches few sources: a citation-style DAG (preferential
+// attachment, new -> old — every path leads toward the early hubs) and a
+// "frontier" digraph (subcritical Erdos-Renyi, mean out-degree < 1, a
+// just-forming network below the giant-SCC threshold). The web crawl
+// (directed but threaded on a fully-reachable backbone chain) and the small
+// world (undirected and shallow: a random edge splits almost every source's
+// BFS into unequal depths) ride along to show the gate is a property of
+// the family, not of the harness.
+//
+// Gates (any failure exits nonzero):
+//   * mean serve query latency must clear kSpeedupThreshold (5x) over the
+//     scratch recompute on at least kMinWinningFamilies (2) families;
+//   * on every sampled event, the served BC must be BIT-identical to
+//     scratch run_exact on the mutated graph;
+//   * the full per-event BC stream (hexfloat values + modeled seconds) at
+//     pool width 1 and 8 must be byte-identical.
+//
+//   bench_serve [--seed 1] [--threads N] [--out BENCH_serve.json]
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support/stamp.hpp"
+#include "common/cli.hpp"
+#include "common/format.hpp"
+#include "common/prng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/turbobc.hpp"
+#include "generators/generators.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
+#include "serve/serve_engine.hpp"
+
+namespace {
+
+using namespace turbobc;
+
+constexpr double kSpeedupThreshold = 5.0;
+constexpr int kMinWinningFamilies = 2;
+constexpr int kScratchEvery = 4;  // scratch baseline sampled at this cadence
+
+struct FamilyRow {
+  std::string family;
+  vidx_t n = 0;
+  eidx_t m = 0;
+  int events = 0;
+  int applied = 0;              // events that actually changed the graph
+  double mean_invalidated = 0;  // blocks dropped per applied update
+  double warm_s = 0.0;          // modeled cost of the initial cold query
+  double serve_query_s = 0.0;   // mean modeled latency of a post-event query
+  double scratch_s = 0.0;       // mean modeled cost of scratch run_exact
+  double speedup = 0.0;
+  bool bits_ok = true;
+  bool threads_byte_identical = false;
+};
+
+struct Event {
+  serve::UpdateKind kind = serve::UpdateKind::kInsert;
+  vidx_t u = 0, v = 0;
+};
+
+/// Same stream shape as the serve_agreement suite: even events insert a
+/// uniform random pair, odd events delete a uniform random EXISTING arc of
+/// the current graph — a pure function of the evolving graph, so replays at
+/// different pool widths resolve identical edges.
+Event next_event(Xoshiro256& rng, const graph::EdgeList& g, int index) {
+  Event e;
+  if (index % 2 == 1 && g.num_arcs() > 0) {
+    e.kind = serve::UpdateKind::kDelete;
+    const graph::Edge edge = g.edges()[static_cast<std::size_t>(
+        rng.uniform(static_cast<std::uint64_t>(g.edges().size())))];
+    e.u = edge.u;
+    e.v = edge.v;
+  } else {
+    const auto n = static_cast<std::uint64_t>(g.num_vertices());
+    e.kind = serve::UpdateKind::kInsert;
+    e.u = static_cast<vidx_t>(rng.uniform(n));
+    e.v = static_cast<vidx_t>(rng.uniform(n));
+  }
+  return e;
+}
+
+struct StreamResult {
+  FamilyRow row;           // threads_byte_identical left for the caller
+  std::string transcript;  // hexfloat BC + modeled seconds per event
+};
+
+/// Run the serving stream at the given pool width. With `scratch_check`,
+/// every kScratchEvery-th served vector is charged against (and compared
+/// bit-for-bit with) a fresh run_exact on the mutated graph; without it
+/// only the serve side runs, which is what the width replay needs.
+StreamResult run_stream(const std::string& name, const graph::EdgeList& el,
+                        int events, std::uint64_t seed, unsigned width,
+                        bool scratch_check) {
+  sim::ExecutorPool::instance().set_threads(width);
+  serve::ServeEngine engine(el);
+  StreamResult r;
+  r.row.family = name;
+  r.row.n = engine.num_vertices();
+  r.row.m = engine.num_arcs();
+  r.row.events = events;
+
+  serve::QueryStats warm;
+  engine.query_bc(&warm);
+  r.row.warm_s = warm.device_seconds;
+
+  char buf[48];
+  std::uint64_t invalidated = 0;
+  int scratch_samples = 0;
+  Xoshiro256 rng(0x5e7eULL + seed * 1000003 +
+                 static_cast<std::uint64_t>(engine.num_arcs()));
+  for (int event = 0; event < events; ++event) {
+    const Event e = next_event(rng, engine.graph(), event);
+    const serve::UpdateStats u = engine.apply_update(e.kind, e.u, e.v);
+    if (u.applied) {
+      ++r.row.applied;
+      invalidated += u.invalidated;
+    }
+    serve::QueryStats q;
+    const std::vector<bc_t>& served = engine.query_bc(&q);
+    r.row.serve_query_s += q.device_seconds;
+    for (const bc_t x : served) {
+      std::snprintf(buf, sizeof buf, "%a ", x);
+      r.transcript += buf;
+    }
+    std::snprintf(buf, sizeof buf, "| %a\n", q.device_seconds);
+    r.transcript += buf;
+
+    if (scratch_check && event % kScratchEvery == kScratchEvery - 1) {
+      sim::Device dev;
+      dev.set_keep_launch_records(false);
+      bc::TurboBC scratch(dev, engine.graph(),
+                          {.variant = engine.options().variant});
+      const bc::BcResult ref = scratch.run_exact();
+      r.row.scratch_s += ref.device_seconds;
+      ++scratch_samples;
+      if (served != ref.bc) r.row.bits_ok = false;
+    }
+  }
+  if (events > 0) r.row.serve_query_s /= events;
+  if (scratch_samples > 0) r.row.scratch_s /= scratch_samples;
+  if (r.row.applied > 0) {
+    r.row.mean_invalidated =
+        static_cast<double>(invalidated) / r.row.applied;
+  }
+  r.row.speedup =
+      r.row.serve_query_s > 0.0 ? r.row.scratch_s / r.row.serve_query_s : 0.0;
+  return r;
+}
+
+void write_serve_json(std::ostream& os, const bench::BenchStamp& stamp,
+                      const std::vector<FamilyRow>& rows,
+                      int winning_families) {
+  os << "{\n";
+  bench::write_stamp_json(os, stamp);
+  os << ",\n\"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    os << "  {\"family\": \"" << r.family << "\", \"n\": " << r.n
+       << ", \"m\": " << r.m << ", \"events\": " << r.events
+       << ", \"applied\": " << r.applied
+       << ", \"mean_invalidated\": " << r.mean_invalidated
+       << ", \"warm_s\": " << r.warm_s
+       << ", \"serve_query_s\": " << r.serve_query_s
+       << ", \"scratch_s\": " << r.scratch_s << ", \"speedup\": " << r.speedup
+       << ", \"bits_ok\": " << (r.bits_ok ? "true" : "false")
+       << ", \"threads_byte_identical\": "
+       << (r.threads_byte_identical ? "true" : "false") << "}"
+       << (i + 1 < rows.size() ? "," : "") << '\n';
+  }
+  os << "],\n\"acceptance\": {\"speedup_threshold\": " << kSpeedupThreshold
+     << ", \"min_winning_families\": " << kMinWinningFamilies
+     << ", \"winning_families\": " << winning_families << "}\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace turbobc;
+  using namespace turbobc::bench;
+
+  const CliArgs args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto threads = static_cast<unsigned>(args.get_count("threads", 0));
+  sim::ExecutorPool::instance().set_threads(threads);
+
+  WallTimer run_timer;
+
+  struct Family {
+    std::string name;
+    int events;
+    graph::EdgeList graph;
+  };
+  std::vector<Family> families;
+  std::cerr << "  [serve] generating graphs ..." << std::flush;
+  families.push_back(
+      {"citation", 16,
+       gen::preferential_attachment(
+           {.n = 1000, .m_attach = 3, .directed = true, .seed = 3})});
+  families.push_back(
+      {"frontier", 16,
+       gen::erdos_renyi(
+           {.n = 1200, .arcs = 900, .directed = true, .seed = 5})});
+  families.push_back({"web", 8,
+                      gen::web_crawl({.n = 500, .out_degree = 5,
+                                      .copy_p = 0.4, .local_p = 0.85,
+                                      .window = 60, .seed = 7})});
+  families.push_back({"smallworld", 8,
+                      gen::small_world({.n = 400, .k = 4, .rewire_p = 0.1,
+                                        .seed = 9})});
+  std::cerr << " done\n";
+
+  std::vector<FamilyRow> rows;
+  for (const Family& fam : families) {
+    std::cerr << "  [serve] " << fam.name << " (n "
+              << human_count(static_cast<double>(fam.graph.num_vertices()))
+              << ", m "
+              << human_count(static_cast<double>(fam.graph.num_arcs()))
+              << ", " << fam.events << " events)" << std::flush;
+    std::cerr << " stream" << std::flush;
+    StreamResult wide = run_stream(fam.name, fam.graph, fam.events, seed, 8,
+                                   /*scratch_check=*/true);
+    std::cerr << " threads" << std::flush;
+    const StreamResult serial =
+        run_stream(fam.name, fam.graph, fam.events, seed, 1,
+                   /*scratch_check=*/false);
+    wide.row.threads_byte_identical = serial.transcript == wide.transcript;
+    rows.push_back(wide.row);
+    std::cerr << " done\n";
+  }
+  sim::ExecutorPool::instance().set_threads(threads);
+
+  int winning_families = 0;
+  for (const FamilyRow& r : rows) {
+    if (r.speedup >= kSpeedupThreshold) ++winning_families;
+  }
+
+  std::cout << "Dynamic-graph serving: cone-test cache vs full "
+               "recompute-per-update\n";
+  Table t({"family", "n", "m", "events", "inval/upd", "warm(ms)", "query(ms)",
+           "scratch(ms)", "speedup", "bits", "threads 1==8"});
+  for (const FamilyRow& r : rows) {
+    t.add_row({r.family, std::to_string(r.n), std::to_string(r.m),
+               std::to_string(r.events), fixed(r.mean_invalidated, 1),
+               fixed(r.warm_s * 1e3, 3), fixed(r.serve_query_s * 1e3, 3),
+               fixed(r.scratch_s * 1e3, 3), fixed(r.speedup, 2) + "x",
+               r.bits_ok ? "ok" : "DRIFT",
+               r.threads_byte_identical ? "ok" : "DRIFT"});
+  }
+  t.print(std::cout);
+
+  const std::string out_path = args.get("out", "BENCH_serve.json");
+  std::ofstream json(out_path);
+  write_serve_json(json, make_stamp(seed, run_timer.seconds()), rows,
+                   winning_families);
+  std::cout << "\nwrote " << out_path << '\n';
+
+  int rc = 0;
+  for (const FamilyRow& r : rows) {
+    if (!r.bits_ok) {
+      std::cerr << "ERROR: " << r.family
+                << " served BC drifted from scratch run_exact\n";
+      rc = 1;
+    }
+    if (!r.threads_byte_identical) {
+      std::cerr << "ERROR: " << r.family
+                << " per-event stream drifted between pool widths 1 and 8\n";
+      rc = 1;
+    }
+  }
+  if (winning_families < kMinWinningFamilies) {
+    std::cerr << "ERROR: only " << winning_families << " of " << rows.size()
+              << " families reached " << kSpeedupThreshold
+              << "x over scratch (need >= " << kMinWinningFamilies << ")\n";
+    rc = 1;
+  }
+  return rc;
+}

@@ -72,6 +72,51 @@ run_config() {
   "$cli" info --json > /dev/null
   dobfs_smoke "$name" "$dir"
   msbfs_smoke "$name" "$dir"
+  serve_smoke "$name" "$dir"
+}
+
+# Serving smoke: a scripted session through `turbobc_cli serve`, the
+# warm-cache post-update query compared against a cold (all-scratch)
+# session on the same mutated graph, the JSON transcript diffed at
+# --threads 1 vs 8 byte for byte, and a malformed script probing the
+# exit-2 usage surface. The Release stage additionally runs bench_serve,
+# whose >=5x serving-speedup / bit-identity / pool-width gates are
+# enforced by its exit code.
+serve_smoke() {
+  local name="$1" dir="$2"
+  echo "=== [$name] serve-smoke ==="
+  local cli="$dir/src/tools/turbobc_cli" g="$dir/serve_smoke.mtx"
+  "$cli" generate --family mycielski --order 7 --out "$g"
+  printf 'bc 5\ninsert 0 90\ntop 5\nbc 5\ndelete 0 90\nbc 5\nstats\n' \
+    > "$dir/serve_smoke_session.txt"
+  "$cli" serve "$g" --script "$dir/serve_smoke_session.txt" \
+    > "$dir/serve_smoke.txt"
+  "$cli" serve "$g" --script "$dir/serve_smoke_session.txt" --json \
+    --threads 1 > "$dir/serve_smoke_t1.json"
+  "$cli" serve "$g" --script "$dir/serve_smoke_session.txt" --json \
+    --threads 8 > "$dir/serve_smoke_t8.json"
+  cmp "$dir/serve_smoke_t1.json" "$dir/serve_smoke_t8.json"
+  # Incremental vs scratch: the warm session answers its post-update query
+  # from surviving cache blocks plus cone recomputes; the cold session
+  # recomputes every source on the same mutated graph. The ranked BC lines
+  # of the final query must agree exactly.
+  printf 'bc 5\ninsert 0 90\nbc 5\n' > "$dir/serve_smoke_warm.txt"
+  printf 'insert 0 90\nbc 5\n' > "$dir/serve_smoke_cold.txt"
+  "$cli" serve "$g" --script "$dir/serve_smoke_warm.txt" \
+    | grep '^  ' | tail -5 > "$dir/serve_smoke_warm_bc.txt"
+  "$cli" serve "$g" --script "$dir/serve_smoke_cold.txt" \
+    | grep '^  ' > "$dir/serve_smoke_cold_bc.txt"
+  cmp "$dir/serve_smoke_warm_bc.txt" "$dir/serve_smoke_cold_bc.txt"
+  printf 'bc 2\nfrobnicate\n' > "$dir/serve_smoke_bad.txt"
+  if "$cli" serve "$g" --script "$dir/serve_smoke_bad.txt" >/dev/null 2>&1
+  then
+    echo "serve-smoke: malformed script should have failed" >&2; exit 1
+  fi
+  if [ "$name" = "release" ]; then
+    echo "=== [$name] bench-serve ==="
+    cmake --build "$dir" -j "$(nproc)" --target bench_serve
+    "$dir/bench/bench_serve" --out "$dir/BENCH_serve.json"
+  fi
 }
 
 # MS-BFS smoke: the packed-mask batched sweep must reproduce the per-source

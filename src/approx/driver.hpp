@@ -71,7 +71,11 @@ struct ApproxOptions {
   /// sampler, cached ACROSS the run's waves (the sampler is built once per
   /// run and keeps it) and reusable across runs on the same graph — the qa
   /// oracle's scalar/batched/determinism trio shares one sweep this way.
-  /// Must outlive the run and match `graph`; ignored by the other samplers.
+  /// Must outlive the run and MATCH `graph`: a map computed before an edge
+  /// update silently mis-stratifies the sampler afterwards. Callers that
+  /// mutate between runs should hold the map in a graph::ComponentCache and
+  /// call its invalidate() on every mutation (the src/serve/ engine does
+  /// exactly that). Ignored by the other samplers.
   const graph::Components* components = nullptr;
 };
 

@@ -437,6 +437,25 @@ TurboBC::BlockPlan TurboBC::block_plan(std::size_t count) {
   return plan;
 }
 
+std::vector<bc_t> TurboBC::fold_source_blocks(
+    const std::vector<const std::vector<bc_t>*>& contributions,
+    std::size_t n) {
+  std::vector<bc_t> bc(n, 0.0);
+  const std::size_t count = contributions.size();
+  if (count == 0) return bc;
+  const BlockPlan plan = block_plan(count);
+  std::vector<bc_t> partial(n);
+  for (std::size_t b = 0; b < plan.num_blocks; ++b) {
+    std::fill(partial.begin(), partial.end(), 0.0);
+    for (std::size_t i = plan.begin(b); i < plan.end(b, count); ++i) {
+      const std::vector<bc_t>& c = *contributions[i];
+      for (std::size_t v = 0; v < n; ++v) partial[v] += c[v];
+    }
+    for (std::size_t v = 0; v < n; ++v) bc[v] += partial[v];
+  }
+  return bc;
+}
+
 TurboBC::BlockPartial TurboBC::run_source_block(
     const sim::DeviceProps& props, const std::vector<vidx_t>& sources,
     std::size_t begin, std::size_t end, const std::vector<double>* weights,

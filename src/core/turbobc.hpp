@@ -171,6 +171,21 @@ class TurboBC {
   };
   static BlockPlan block_plan(std::size_t count);
 
+  /// Host-side replay of the run_sources merge over per-source contribution
+  /// vectors (each as returned by run_single_source for the source at that
+  /// position): sources grouped by block_plan(count), a zero-initialized
+  /// per-block partial left-folded source by source, then the block partials
+  /// left-folded in block order — plain double adds throughout, exactly the
+  /// adds the device accumulator and the block merge perform. Because the
+  /// bc-accumulation kernel only ever ADDS terms (skipping exact zeros,
+  /// which is bitwise neutral on the non-negative partial sums), the result
+  /// is bit-identical to run_sources over the same source order at any pool
+  /// width. The serving layer (src/serve/) folds its cached blocks through
+  /// this to reproduce run_exact byte for byte.
+  static std::vector<bc_t> fold_source_blocks(
+      const std::vector<const std::vector<bc_t>*>& contributions,
+      std::size_t n);
+
   /// Partials of one source block, run on a fresh replica device: the
   /// replica's timeline (setup charges stripped — only per-source work),
   /// raw bc / edge-bc (device nonzero order) / moment vectors, and the

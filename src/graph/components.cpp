@@ -50,6 +50,14 @@ Components weakly_connected_components(const EdgeList& graph) {
   return c;
 }
 
+const Components& ComponentCache::get(const EdgeList& graph) {
+  if (!cached_.has_value()) {
+    cached_.emplace(weakly_connected_components(graph));
+    ++recomputes_;
+  }
+  return *cached_;
+}
+
 EdgeList extract_component(const EdgeList& graph, const Components& comps,
                            vidx_t component_id,
                            std::vector<vidx_t>* mapping) {

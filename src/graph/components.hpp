@@ -7,6 +7,8 @@
 // notion for source selection.
 #pragma once
 
+#include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "common/types.hpp"
@@ -35,5 +37,35 @@ Components weakly_connected_components(const EdgeList& graph);
 EdgeList extract_component(const EdgeList& graph, const Components& comps,
                            vidx_t component_id,
                            std::vector<vidx_t>* mapping = nullptr);
+
+/// Memoized component map for callers that sample the same graph repeatedly
+/// (the approx driver's ApproxOptions::components contract). get() runs the
+/// label sweep once and returns the cached map on every later call; a caller
+/// that MUTATES its graph must call invalidate() before the next get(), or
+/// the stale map silently mis-stratifies the component sampler (component
+/// ids, counts and sizes all go wrong the moment an edge update merges or
+/// splits a component). The serving engine (src/serve/) invalidates on every
+/// edge update; recomputes() exposes the sweep count so tests can pin both
+/// the memoization and the invalidation.
+class ComponentCache {
+ public:
+  /// The component map of `graph`: cached copy if valid, else a fresh
+  /// weakly_connected_components sweep (cached for later calls). The
+  /// reference stays stable until the next invalidate().
+  const Components& get(const EdgeList& graph);
+
+  /// Drop the cached map. MUST be called between mutating the graph and the
+  /// next get().
+  void invalidate() noexcept { cached_.reset(); }
+
+  bool valid() const noexcept { return cached_.has_value(); }
+
+  /// Number of label sweeps run so far (cache misses).
+  std::size_t recomputes() const noexcept { return recomputes_; }
+
+ private:
+  std::optional<Components> cached_;
+  std::size_t recomputes_ = 0;
+};
 
 }  // namespace turbobc::graph

@@ -16,6 +16,18 @@ void EdgeList::add_edge(vidx_t u, vidx_t v) {
   edges_.push_back(Edge{u, v});
 }
 
+bool EdgeList::has_edge(vidx_t u, vidx_t v) const {
+  return std::find(edges_.begin(), edges_.end(), Edge{u, v}) != edges_.end();
+}
+
+std::size_t EdgeList::remove_edge(vidx_t u, vidx_t v) {
+  TBC_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_,
+            "edge endpoint out of range");
+  const std::size_t before = edges_.size();
+  std::erase(edges_, Edge{u, v});
+  return before - edges_.size();
+}
+
 void EdgeList::canonicalize() {
   std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
     return a.u != b.u ? a.u < b.u : a.v < b.v;

@@ -38,6 +38,15 @@ class EdgeList {
   /// Append one arc; vertices must be in [0, n).
   void add_edge(vidx_t u, vidx_t v);
 
+  /// Whether the arc (u, v) is present (linear scan; the edge list is the
+  /// interchange format — sparse structures answer this in O(deg)).
+  bool has_edge(vidx_t u, vidx_t v) const;
+
+  /// Remove every copy of the arc (u, v); returns the number removed (0 or,
+  /// after canonicalize(), at most 1). Undirected callers remove both
+  /// orientations to keep the both-arcs-present invariant.
+  std::size_t remove_edge(vidx_t u, vidx_t v);
+
   /// Sort by (u, v), drop duplicate arcs and self-loops. Idempotent.
   void canonicalize();
 

@@ -28,6 +28,7 @@ OracleOptions case_oracle(const FuzzerOptions& options, int index) {
   oracle.check_approx = on_cadence(options.approx_every, 1);
   oracle.check_dist = on_cadence(options.dist_every, 4);
   oracle.check_msbfs = on_cadence(options.msbfs_every, 5);
+  oracle.check_serve = on_cadence(options.serve_every, 2);
   return oracle;
 }
 

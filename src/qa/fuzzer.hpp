@@ -57,6 +57,11 @@ struct FuzzerOptions {
   /// oracle.hpp) on every k-th case (0 disables). Phase-shifted so the
   /// three six-cycles (approx, dist, msbfs) never coincide.
   int msbfs_every = 6;
+  /// Run the serving-engine stage (scratch-vs-incremental BC bit-identity
+  /// over a random update stream, session-transcript pool-width
+  /// byte-identity — see oracle.hpp) on every k-th case (0 disables).
+  /// Phase 2 of the six-cycle, so the four six-cycles stay disjoint.
+  int serve_every = 6;
   /// Stop early after this many distinct failures (each one costs a
   /// minimization run).
   int max_failures = 8;

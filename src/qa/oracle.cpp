@@ -21,10 +21,13 @@
 #include "dist/partition.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/executor.hpp"
+#include "common/prng.hpp"
 #include "graph/bfs_probe.hpp"
 #include "graph/components.hpp"
 #include "graph/csc.hpp"
 #include "graph/mtx_io.hpp"
+#include "serve/serve_engine.hpp"
+#include "serve/session.hpp"
 
 namespace turbobc::qa {
 
@@ -856,6 +859,87 @@ struct Checker {
     }
   }
 
+  void check_serve() {
+    const vidx_t n = canon.num_vertices();
+    serve::ServeOptions sopt;  // kScCsc / push / component sampler, seed 1
+    serve::ServeEngine engine(canon, sopt);
+
+    // Scratch-vs-incremental bit-identity: the served full-BC vector must
+    // equal a from-scratch run_exact on the engine's CURRENT graph, bit for
+    // bit (shared fold order — see TurboBC::fold_source_blocks).
+    const auto scratch_compare = [&](int event) {
+      const std::vector<bc_t>& served = engine.query_bc();
+      sim::Device dev;
+      dev.set_keep_launch_records(false);
+      bc::TurboBC algo(dev, engine.graph(), {.variant = sopt.variant});
+      const bc::BcResult ref = algo.run_exact();
+      if (served == ref.bc) return;
+      for (std::size_t v = 0; v < served.size(); ++v) {
+        if (served[v] != ref.bc[v]) {
+          std::ostringstream os;
+          os << "after event " << event << ": served bc[" << v << "] = "
+             << served[v] << " vs scratch " << ref.bc[v] << " (epoch "
+             << engine.counters().epoch << ")";
+          fail("serve_agreement", os.str());
+          return;
+        }
+      }
+      fail("serve_agreement", "served bc size mismatch vs scratch");
+    };
+
+    scratch_compare(0);
+    Xoshiro256 rng(0x5e2e0000ULL + static_cast<std::uint64_t>(n) * 1000003 +
+                   static_cast<std::uint64_t>(canon.num_arcs()));
+    const auto rand_vertex = [&] {
+      return static_cast<vidx_t>(rng.uniform(static_cast<std::uint64_t>(n)));
+    };
+    for (int event = 1; event <= opt.serve_updates; ++event) {
+      // Odd events delete an existing arc (when there is one) so the stream
+      // exercises real deletions, not just absent-edge no-ops.
+      if (event % 2 == 1 && engine.graph().num_arcs() > 0) {
+        const auto& edges = engine.graph().edges();
+        const graph::Edge e = edges[static_cast<std::size_t>(
+            rng.uniform(static_cast<std::uint64_t>(edges.size())))];
+        engine.remove_edge(e.u, e.v);
+      } else {
+        engine.insert_edge(rand_vertex(), rand_vertex());
+      }
+      scratch_compare(event);
+      if (!report.violations.empty() &&
+          report.violations.back().invariant == "serve_agreement") {
+        return;  // one failing event is enough to key on
+      }
+    }
+
+    // Transcript determinism: the same scripted session must produce a
+    // byte-identical transcript at pool widths 1 and N — queries, updates,
+    // approx waves, modeled stats and all.
+    if (opt.check_determinism && n > 1) {
+      std::ostringstream script;
+      script << "bc 3\n"
+             << "insert " << rand_vertex() << ' ' << rand_vertex() << "\n"
+             << "top 3\n"
+             << "approx 0.5\n"
+             << "delete " << rand_vertex() << ' ' << rand_vertex() << "\n"
+             << "bc 3\n"
+             << "stats\n";
+      const auto transcript = [&](unsigned width) {
+        PoolWidthGuard guard;
+        sim::ExecutorPool::instance().set_threads(width);
+        std::istringstream in(script.str());
+        std::ostringstream out;
+        serve::run_session(canon, {.json = false, .top = 3, .engine = sopt},
+                           in, out);
+        return out.str();
+      };
+      if (transcript(1) != transcript(opt.det_threads)) {
+        fail("serve_agreement",
+             "session transcript differs between pool widths 1 and " +
+                 std::to_string(opt.det_threads));
+      }
+    }
+  }
+
   void run() {
     check_mtx_roundtrip();
     if (canon.num_vertices() == 0) return;  // nothing else is defined
@@ -892,6 +976,10 @@ struct Checker {
     if (opt.check_msbfs && canon.num_vertices() > 0 &&
         canon.num_vertices() <= opt.msbfs_max_vertices) {
       check_msbfs();
+    }
+    if (opt.check_serve && canon.num_vertices() > 0 &&
+        canon.num_vertices() <= opt.serve_max_vertices) {
+      check_serve();
     }
   }
 };

@@ -54,6 +54,13 @@
 //                         bit-identical across pool widths, word-op traffic
 //                         accounted, and the batched peak within the
 //                         MS-BFS footprint model (core/footprint.hpp)
+//   serve_agreement       dynamic-graph serving engine (src/serve/): after
+//                         every event of a random insert/delete stream the
+//                         incrementally-maintained BC is bit-identical to a
+//                         scratch run_exact on the mutated graph, and a
+//                         scripted session's whole transcript (queries,
+//                         updates, approx, stats) is byte-identical at
+//                         pool widths 1 and N
 //
 // Each failed check appends a Violation naming the invariant; the fuzz loop
 // and the delta-debugging minimizer key on those names.
@@ -110,6 +117,16 @@ struct OracleOptions {
   /// larger shapes are covered by tests/core/test_msbfs.cpp and bench_msbfs.
   bool check_msbfs = true;
   vidx_t msbfs_max_vertices = 220;
+  /// Serving engine (src/serve/): incremental-vs-scratch BC bit-identity
+  /// after every event of a random update stream, plus byte-identity of a
+  /// scripted session transcript across pool widths. Each scratch compare
+  /// is a full run_exact, so (like check_exact) the check is skipped above
+  /// serve_max_vertices.
+  bool check_serve = true;
+  vidx_t serve_max_vertices = 72;
+  /// Edge updates in the oracle's stream (the standalone agreement test
+  /// runs >= 50; a fuzz case keeps it short).
+  int serve_updates = 3;
 };
 
 struct Violation {

@@ -1,0 +1,197 @@
+// Dynamic-graph BC serving engine: load a graph once, answer a stream of
+// BC / top-k / approx queries interleaved with edge inserts and deletes,
+// recomputing only what an update can actually touch.
+//
+// Cache layout (host side — the simulated device footprint per recompute
+// stays the paper's 7n + m words):
+//   per source s: the dependency contribution block c_s (n doubles, exactly
+//   TurboBC::run_single_source(s).bc — halved on undirected graphs, zero at
+//   v == s) and the BFS depth vector d(s, ·) (n int32, -1 = unreachable).
+//   12 n bytes per source, n(12n) total when fully warm.
+//
+// Invalidation — the BFS-distance cone test. An edge update on (u, v) can
+// change source s's SSSP DAG (distances, path counts, or DAG arcs) only in
+// these cases, evaluated against the PRE-update depths d = d(s, ·):
+//
+//   directed insert   d(s,u) finite and (v unreachable or d(s,v) > d(s,u))
+//                     — the new arc shortens v (gap >= 2), adds shortest
+//                     paths (gap == 1), or first reaches v; arcs into
+//                     equal-or-lower levels sit outside every DAG.
+//   directed delete   d(s,u) finite and d(s,v) == d(s,u) + 1 — the arc is
+//                     removed FROM the DAG; any other arc never carried a
+//                     shortest path.
+//   undirected        either orientation qualifies above, which collapses
+//   (insert+delete)   to d(s,u) != d(s,v) (two unreachables compare equal:
+//                     an edge inside a foreign component cannot touch s).
+//
+// Every other source keeps a BYTE-identical block: its distances and sigma
+// are unchanged (integer BFS), and the backward float gather only gains or
+// loses exact-zero terms from the off-DAG arc — adding or dropping +0.0
+// against the non-negative partial sums never changes a bit. This refines
+// the |d(s,u) - d(s,v)| <= 1 candidate rule: a shortcut insert with gap >= 2
+// DOES affect s (it must invalidate), while gap == 0 never does.
+//
+// Determinism. Full-BC queries fold the cached blocks through
+// TurboBC::fold_source_blocks — the same block_plan grouping and left-fold
+// order run_exact uses — so a served BC vector is bit-identical to a scratch
+// TurboBC::run_exact() on the current graph, at any --threads (recomputes
+// run inline on the engine's own device; the fold is sequential host math).
+// Approx queries run the PR 3 adaptive Hoeffding estimator on the current
+// graph, with the component sampler's map held in a graph::ComponentCache
+// that every edge update invalidates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "approx/driver.hpp"
+#include "common/types.hpp"
+#include "core/turbobc.hpp"
+#include "core/variant.hpp"
+#include "gpusim/device.hpp"
+#include "graph/components.hpp"
+#include "graph/csc.hpp"
+#include "graph/edge_list.hpp"
+
+namespace turbobc::serve {
+
+enum class UpdateKind { kInsert, kDelete };
+
+/// The cone test (exposed for the property suite): can an update of `kind`
+/// on edge (u, v) change source s's dependency block, given the PRE-update
+/// depths du = d(s,u), dv = d(s,v) (-1 = unreachable)? `directed` is the
+/// graph's orientation flag; undirected updates carry both arcs. Sound by
+/// construction: false guarantees the recomputed block is byte-identical.
+bool update_affects_source(vidx_t du, vidx_t dv, UpdateKind kind,
+                           bool directed);
+
+/// The k highest-BC vertices of `bc`, ties broken by lower vertex id — a
+/// total order, so the ranking (and every transcript built on it) is
+/// deterministic even when BC values collide.
+std::vector<vidx_t> rank_vertices(const std::vector<bc_t>& bc, vidx_t k);
+
+struct ServeOptions {
+  bc::Variant variant = bc::Variant::kScCsc;
+  bc::Advance advance = bc::Advance::kPush;
+  /// Pivot distribution of approx queries. Component (the default) is the
+  /// one that exercises the ComponentCache invalidation contract.
+  approx::SamplerKind sampler = approx::SamplerKind::kComponent;
+  /// Seed of every approx query's pivot stream (queries are repeatable: the
+  /// same query on the same epoch returns bit-identical results).
+  std::uint64_t seed = 1;
+};
+
+/// What one edge update did.
+struct UpdateStats {
+  bool applied = false;     ///< false: no-op (insert present / delete absent)
+  vidx_t invalidated = 0;   ///< warm blocks dropped by the cone test
+  vidx_t valid = 0;         ///< warm blocks surviving the update
+};
+
+/// What one query cost.
+struct QueryStats {
+  vidx_t recomputed = 0;          ///< cache misses paid by this query
+  vidx_t cached = 0;              ///< blocks served straight from cache
+  double device_seconds = 0.0;    ///< modeled seconds charged to this query
+};
+
+class ServeEngine {
+ public:
+  /// Canonicalizes and holds the graph; nothing is computed until the first
+  /// query (cold cache).
+  explicit ServeEngine(graph::EdgeList graph, ServeOptions options = {});
+
+  const graph::EdgeList& graph() const noexcept { return graph_; }
+  vidx_t num_vertices() const noexcept { return graph_.num_vertices(); }
+  eidx_t num_arcs() const noexcept { return graph_.num_arcs(); }
+  bool directed() const noexcept { return graph_.directed(); }
+  const ServeOptions& options() const noexcept { return options_; }
+
+  /// Apply one edge update (undirected graphs insert/remove both arcs;
+  /// self-loops are no-ops — the canonical graph never holds them). Runs the
+  /// cone test against every warm block, drops the affected ones, advances
+  /// the epoch, and invalidates the component cache. Endpoints must be in
+  /// [0, n).
+  UpdateStats apply_update(UpdateKind kind, vidx_t u, vidx_t v);
+  UpdateStats insert_edge(vidx_t u, vidx_t v) {
+    return apply_update(UpdateKind::kInsert, u, v);
+  }
+  UpdateStats remove_edge(vidx_t u, vidx_t v) {
+    return apply_update(UpdateKind::kDelete, u, v);
+  }
+
+  /// Full exact BC of the current graph — bit-identical to a scratch
+  /// TurboBC::run_exact() with the same options. Recomputes only cold
+  /// blocks; the returned reference is valid until the next update.
+  const std::vector<bc_t>& query_bc(QueryStats* stats = nullptr);
+
+  /// The k highest-BC vertices of query_bc() under rank_vertices' total
+  /// order (ties broken by lower vertex id, so transcripts reproduce).
+  std::vector<vidx_t> query_top(vidx_t k, QueryStats* stats = nullptr);
+
+  /// Adaptive approximate BC on the current graph to the (epsilon, delta)
+  /// target (src/approx/ wave driver), pivots drawn by options().sampler
+  /// with the cached component map. Bit-identical per epoch at any pool
+  /// width.
+  approx::ApproxResult query_approx(double epsilon, double delta,
+                                    QueryStats* stats = nullptr);
+
+  // ---- introspection (tests, oracle, bench) ----
+
+  /// Is source s's block warm (served without recompute)?
+  bool block_valid(vidx_t s) const;
+  vidx_t valid_blocks() const;
+
+  /// Source s's dependency contribution block / depth vector, recomputing
+  /// if cold (the recompute cost lands on the running counters, not on any
+  /// QueryStats).
+  const std::vector<bc_t>& block(vidx_t s);
+  const std::vector<vidx_t>& depths(vidx_t s);
+
+  /// Label sweeps the component cache has run (see graph::ComponentCache).
+  std::size_t component_recomputes() const noexcept {
+    return components_.recomputes();
+  }
+
+  struct Counters {
+    std::uint64_t queries = 0;        ///< bc/top/approx queries answered
+    std::uint64_t updates = 0;        ///< updates applied (graph changed)
+    std::uint64_t noop_updates = 0;   ///< updates that were no-ops
+    std::uint64_t invalidated = 0;    ///< blocks dropped by cone tests
+    std::uint64_t recomputed = 0;     ///< per-source recomputes paid
+    std::uint64_t served_cached = 0;  ///< block reads served from cache
+    std::uint64_t epoch = 0;          ///< graph version (updates applied)
+    double device_seconds = 0.0;      ///< modeled seconds across all queries
+  };
+  const Counters& counters() const noexcept { return counters_; }
+
+ private:
+  struct Block {
+    bool valid = false;
+    std::vector<bc_t> delta;
+    std::vector<vidx_t> depth;
+  };
+
+  /// The per-epoch engine (device + uploaded graph), built lazily on the
+  /// first recompute after construction or an update.
+  bc::TurboBC& engine();
+  /// Host CSC of the current graph (depth recomputes), built lazily.
+  const graph::CscGraph& csc();
+  /// Warm block s, charging a recompute to `stats` (nullable) on a miss.
+  Block& ensure_block(vidx_t s, QueryStats* stats);
+
+  graph::EdgeList graph_;
+  ServeOptions options_;
+  std::vector<Block> blocks_;
+  std::vector<bc_t> bc_;   ///< folded full BC, valid while bc_valid_
+  bool bc_valid_ = false;
+  std::unique_ptr<sim::Device> device_;
+  std::unique_ptr<bc::TurboBC> engine_;
+  std::optional<graph::CscGraph> csc_;
+  graph::ComponentCache components_;
+  Counters counters_;
+};
+
+}  // namespace turbobc::serve

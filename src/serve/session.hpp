@@ -1,0 +1,46 @@
+// Line-based serve session: a tiny command language over ServeEngine, the
+// substance of `turbobc_cli serve`. One command per line:
+//
+//   bc [K]           full exact BC; print the top K vertices (default top)
+//   top K            ranked vertex ids only (same order as bc)
+//   approx EPS [D]   adaptive approximate BC to (EPS, D); D defaults to 0.1
+//   insert U V       insert edge (both arcs when the graph is undirected)
+//   delete U V       delete edge (ditto)
+//   stats            running engine counters
+//
+// Blank lines and lines starting with '#' are skipped. The WHOLE script is
+// parsed before anything executes; a malformed line throws UsageError
+// ("serve: ..." prose, no source-location decoration) with nothing written
+// to the output stream, so the CLI exits 2 with a golden-stable stderr
+// message and an empty stdout — the repo-wide misuse contract.
+//
+// Output is one line per command — plain text or, with SessionOptions::json,
+// JSON Lines — preceded by a header line describing the loaded graph. Every
+// number printed is deterministic (modeled clock, fixed fold order, index
+// tie-breaks), so a transcript is byte-identical across runs and pool
+// widths; the qa oracle and golden tests compare transcripts verbatim.
+#pragma once
+
+#include <iosfwd>
+
+#include "serve/serve_engine.hpp"
+
+namespace turbobc::serve {
+
+struct SessionOptions {
+  /// JSON Lines instead of plain text.
+  bool json = false;
+  /// Default K of a bare `bc` command.
+  vidx_t top = 5;
+  ServeOptions engine;
+};
+
+/// Run the whole script (one command per line) against a fresh engine on
+/// `graph`, writing one transcript line per command to `out`. Returns the
+/// engine's final counters. Throws UsageError on the first malformed line,
+/// before any output is written.
+ServeEngine::Counters run_session(graph::EdgeList graph,
+                                  const SessionOptions& options,
+                                  std::istream& script, std::ostream& out);
+
+}  // namespace turbobc::serve

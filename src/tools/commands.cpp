@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <numeric>
 #include <optional>
@@ -27,6 +28,7 @@
 #include "graph/bfs_probe.hpp"
 #include "graph/mtx_io.hpp"
 #include "graph/stats.hpp"
+#include "serve/session.hpp"
 
 namespace turbobc::tools {
 
@@ -159,6 +161,17 @@ std::string cli_usage() {
       "      adaptive sampling until every vertex's confidence half-width\n"
       "      (or, with --topk, the top-k ranking) meets the target; same\n"
       "      seed => bit-identical output at every --threads\n"
+      "  turbobc_cli serve g.mtx [--script session.txt] [--json] [--top 5]\n"
+      "      [--variant auto|autotune|sccooc|sccsc|vecsc]\n"
+      "      [--advance push|pull|auto]\n"
+      "      [--sampler uniform|degree|component] [--seed 1]\n"
+      "      dynamic-graph serving session: one command per line from\n"
+      "      --script (or stdin) — 'bc [K]', 'top K', 'approx EPS [DELTA]',\n"
+      "      'insert U V', 'delete U V', 'stats'; '#' starts a comment.\n"
+      "      Edge updates invalidate only the sources whose BFS cone the\n"
+      "      edge touches; queries recompute just those, and full-BC\n"
+      "      answers stay bit-identical to `bc --exact` on the mutated\n"
+      "      graph at every --threads\n"
       "\n"
       "global options:\n"
       "  --threads N   host threads simulating the device (default: hardware\n"
@@ -724,6 +737,29 @@ int cmd_approx(const CliArgs& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+int cmd_serve(const CliArgs& args, std::ostream& out, std::ostream& /*err*/) {
+  graph::EdgeList g = load_graph(args, 1);
+  serve::SessionOptions opt;
+  opt.json = args.has("json");
+  const std::int64_t top = args.get_int("top", 5);
+  if (top < 0) throw UsageError("--top must be >= 0");
+  opt.top = static_cast<vidx_t>(top);
+  opt.engine.variant = parse_variant(args, g);
+  opt.engine.advance = parse_advance(args);
+  opt.engine.sampler = approx::parse_sampler(args.get("sampler", "component"));
+  opt.engine.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  const std::string script = args.get("script", "");
+  if (script.empty()) {
+    serve::run_session(std::move(g), opt, std::cin, out);
+  } else {
+    std::ifstream in(script);
+    if (!in) throw Error("serve: cannot open script '" + script + "'");
+    serve::run_session(std::move(g), opt, in, out);
+  }
+  return 0;
+}
+
 int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
   if (args.positional().empty()) {
     err << cli_usage();
@@ -742,6 +778,7 @@ int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
     if (cmd == "bfs") return cmd_bfs(args, out, err);
     if (cmd == "bc") return cmd_bc(args, out, err);
     if (cmd == "approx") return cmd_approx(args, out, err);
+    if (cmd == "serve") return cmd_serve(args, out, err);
   } catch (const UsageError& e) {
     err << "error: " << e.what() << '\n' << cli_usage();
     return 2;

@@ -13,6 +13,10 @@
 //   approx    — adaptive approximate BC to an (epsilon, delta) target or
 //               stable top-k ranking (src/approx/ wave driver); --devices K
 //               runs the waves on the replicated multi-GPU engine
+//   serve     — long-running dynamic-graph session: load once, then run a
+//               command script (bc / top / approx / insert / delete /
+//               stats) against the incrementally-maintained cache
+//               (src/serve/), from --script FILE or stdin
 #pragma once
 
 #include <iosfwd>
@@ -32,6 +36,7 @@ int cmd_stats(const CliArgs& args, std::ostream& out, std::ostream& err);
 int cmd_bfs(const CliArgs& args, std::ostream& out, std::ostream& err);
 int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err);
 int cmd_approx(const CliArgs& args, std::ostream& out, std::ostream& err);
+int cmd_serve(const CliArgs& args, std::ostream& out, std::ostream& err);
 
 /// The help text (also printed on usage errors).
 std::string cli_usage();

@@ -1,0 +1,103 @@
+// Regression suite for graph::ComponentCache and the ApproxOptions
+// component-map contract. The PR 6 approx driver documented that the
+// caller-supplied map must match the graph but offered no invalidation
+// hook, so a caller that mutated the graph and re-sampled kept stratifying
+// by the STALE map. These tests pin the cache's memoization semantics and
+// the mutate-then-resample workflow that exposed the gap.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+
+#include "approx/driver.hpp"
+#include "core/turbobc.hpp"
+#include "gpusim/device.hpp"
+#include "graph/components.hpp"
+#include "graph/edge_list.hpp"
+
+namespace turbobc::graph {
+namespace {
+
+/// Two undirected components: path 0-1-2 and edge 3-4.
+EdgeList two_components() {
+  EdgeList g(5, false);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);
+  g.add_edge(3, 4);
+  g.add_edge(4, 3);
+  g.canonicalize();
+  return g;
+}
+
+TEST(ComponentCache, MemoizesUntilInvalidated) {
+  EdgeList g = two_components();
+  ComponentCache cache;
+  EXPECT_FALSE(cache.valid());
+  EXPECT_EQ(cache.recomputes(), 0u);
+
+  const Components& first = cache.get(g);
+  EXPECT_EQ(first.count, 2);
+  EXPECT_TRUE(cache.valid());
+  EXPECT_EQ(cache.recomputes(), 1u);
+
+  // Repeated gets reuse the same sweep (and the same object).
+  EXPECT_EQ(&cache.get(g), &first);
+  EXPECT_EQ(cache.recomputes(), 1u);
+
+  cache.invalidate();
+  EXPECT_FALSE(cache.valid());
+  EXPECT_EQ(cache.get(g).count, 2);
+  EXPECT_EQ(cache.recomputes(), 2u);
+}
+
+TEST(ComponentCache, MutateThenResampleSeesTheNewStructure) {
+  EdgeList g = two_components();
+  ComponentCache cache;
+  ASSERT_EQ(cache.get(g).count, 2);
+
+  // Mutate: bridge the two components. The cached map is now stale — the
+  // invalidation hook is what keeps the next get honest.
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  g.canonicalize();
+  cache.invalidate();
+
+  const Components& after = cache.get(g);
+  EXPECT_EQ(after.count, 1);
+  EXPECT_EQ(after.sizes[static_cast<std::size_t>(after.largest())], 5);
+  EXPECT_EQ(cache.recomputes(), 2u);
+
+  // Re-sample with the refreshed map: the component sampler must accept it
+  // and the intervals must cover the exact values of the MUTATED graph.
+  approx::ApproxOptions opt;
+  opt.epsilon = 0.5;
+  opt.delta = 0.1;
+  opt.sampler = approx::SamplerKind::kComponent;
+  opt.components = &after;
+  sim::Device device;
+  const approx::ApproxResult r = approx::run_adaptive(device, g, opt);
+
+  sim::Device exact_device;
+  bc::TurboBC algo(exact_device, g, {});
+  const std::vector<bc_t> exact = algo.run_exact().bc;
+  ASSERT_EQ(r.bc.size(), exact.size());
+  for (std::size_t v = 0; v < exact.size(); ++v) {
+    EXPECT_LE(std::abs(r.bc[v] - exact[v]), r.half_width[v])
+        << "vertex " << v << ": stale-map symptoms — interval misses exact";
+  }
+}
+
+TEST(ComponentCache, MoveKeepsTheCachedSweep) {
+  EdgeList g = two_components();
+  ComponentCache cache;
+  cache.get(g);
+  ComponentCache moved = std::move(cache);
+  EXPECT_TRUE(moved.valid());
+  EXPECT_EQ(moved.recomputes(), 1u);
+  EXPECT_EQ(moved.get(g).count, 2);
+}
+
+}  // namespace
+}  // namespace turbobc::graph

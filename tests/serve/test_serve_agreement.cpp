@@ -1,0 +1,128 @@
+// End-to-end serving agreement, the acceptance bar for src/serve/: on every
+// generator family, drive a 52-event random insert/delete stream and prove
+//
+//   1. after EVERY event the incrementally-maintained full BC is
+//      bit-identical to a from-scratch TurboBC::run_exact() on the mutated
+//      graph (pool width 8 — the fan-out path), and
+//   2. the per-event BC stream at pool width 1 is byte-identical to the
+//      width-8 stream (hexfloat serialization of every value).
+//
+// Together: serve == scratch at width 8, width 1 == width 8, hence serve is
+// bit-identical to scratch exact BC at both widths over the whole stream.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "core/turbobc.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
+#include "graph/edge_list.hpp"
+#include "qa/fuzz_case.hpp"
+#include "serve/serve_engine.hpp"
+
+namespace turbobc::serve {
+namespace {
+
+constexpr int kEvents = 52;
+
+struct Event {
+  UpdateKind kind = UpdateKind::kInsert;
+  vidx_t u = 0, v = 0;
+};
+
+/// The stream is a pure function of the family graph: deletes target an arc
+/// index of the CURRENT graph, so both pool-width replays (which mutate
+/// identically) resolve the same edges.
+Event next_event(Xoshiro256& rng, const graph::EdgeList& g, int index) {
+  Event e;
+  if (index % 2 == 1 && g.num_arcs() > 0) {
+    e.kind = UpdateKind::kDelete;
+    const graph::Edge edge = g.edges()[static_cast<std::size_t>(
+        rng.uniform(static_cast<std::uint64_t>(g.edges().size())))];
+    e.u = edge.u;
+    e.v = edge.v;
+  } else {
+    const auto n = static_cast<std::uint64_t>(g.num_vertices());
+    e.kind = UpdateKind::kInsert;
+    e.u = static_cast<vidx_t>(rng.uniform(n));
+    e.v = static_cast<vidx_t>(rng.uniform(n));
+  }
+  return e;
+}
+
+void append_hex(std::string& transcript, const std::vector<bc_t>& bc) {
+  char buf[40];
+  for (const bc_t x : bc) {
+    std::snprintf(buf, sizeof buf, "%a ", x);
+    transcript += buf;
+  }
+  transcript += '\n';
+}
+
+/// Run the stream at the given pool width; returns the hexfloat transcript
+/// of every post-event BC vector. With `scratch_check`, each vector is also
+/// compared bit-for-bit against a fresh run_exact on the mutated graph.
+std::string run_stream(qa::Family family, unsigned width,
+                       bool scratch_check) {
+  sim::ExecutorPool::instance().set_threads(width);
+  qa::FuzzCase c;
+  c.family = family;
+  c.seed = 11;
+  c.size_class = 0;
+  graph::EdgeList g = qa::build_graph(c);
+  g.canonicalize();
+  ServeEngine engine(std::move(g));
+
+  std::string transcript;
+  Xoshiro256 rng(0xa9eeULL + static_cast<std::uint64_t>(engine.num_arcs()));
+  for (int event = 0; event < kEvents; ++event) {
+    const Event e = next_event(rng, engine.graph(), event);
+    engine.apply_update(e.kind, e.u, e.v);
+    const std::vector<bc_t>& served = engine.query_bc();
+    append_hex(transcript, served);
+    if (scratch_check) {
+      sim::Device dev;
+      dev.set_keep_launch_records(false);
+      bc::TurboBC scratch(dev, engine.graph(),
+                          {.variant = engine.options().variant});
+      const std::vector<bc_t> ref = scratch.run_exact().bc;
+      if (served != ref) {
+        ADD_FAILURE() << "served BC diverged from scratch after event "
+                      << event << " ("
+                      << (e.kind == UpdateKind::kInsert ? "insert"
+                                                        : "delete")
+                      << " " << e.u << " " << e.v << ") on "
+                      << qa::to_string(family);
+        break;
+      }
+    }
+  }
+  sim::ExecutorPool::instance().set_threads(1);
+  EXPECT_GE(engine.counters().updates + engine.counters().noop_updates,
+            static_cast<std::uint64_t>(kEvents));
+  return transcript;
+}
+
+class ServeAgreement : public ::testing::TestWithParam<qa::Family> {};
+
+TEST_P(ServeAgreement, FiftyTwoEventStreamBitIdenticalAtWidths1And8) {
+  const qa::Family family = GetParam();
+  const std::string wide = run_stream(family, 8, /*scratch_check=*/true);
+  if (::testing::Test::HasFailure()) return;
+  const std::string serial = run_stream(family, 1, /*scratch_check=*/false);
+  EXPECT_EQ(serial, wide)
+      << "per-event BC stream differs between pool widths 1 and 8 on "
+      << qa::to_string(family);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ServeAgreement,
+                         ::testing::ValuesIn(qa::kGeneratorFamilies),
+                         [](const auto& info) {
+                           return std::string(qa::to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace turbobc::serve

@@ -1,0 +1,125 @@
+// Property test for the serving engine's cone invalidation rule, across
+// every generator family, both orientations, and both update kinds:
+//
+//   for every source s OUTSIDE the cone of an edge update, the cached
+//   dependency block is BYTE-identical to a from-scratch
+//   run_single_source(s) on the post-update graph,
+//
+// i.e. the cone test is sound — what it keeps, a full recompute would
+// reproduce bit for bit — and the engine's block_valid flags match the
+// update_affects_source predicate evaluated on the pre-update depths.
+// (In-cone sources carry no claim: they are recomputed on demand.)
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/prng.hpp"
+#include "core/turbobc.hpp"
+#include "gpusim/device.hpp"
+#include "graph/edge_list.hpp"
+#include "qa/fuzz_case.hpp"
+#include "serve/serve_engine.hpp"
+
+namespace turbobc::serve {
+namespace {
+
+/// The family's size-0 graph forced to the requested orientation: directed
+/// keeps/marks every arc as one-way; undirected symmetrizes.
+graph::EdgeList family_graph(qa::Family family, bool directed) {
+  qa::FuzzCase c;
+  c.family = family;
+  c.seed = 7;
+  c.size_class = 0;
+  graph::EdgeList g = qa::build_graph(c);
+  g.canonicalize();
+  if (directed == g.directed()) return g;
+  if (!directed) {
+    g.symmetrize();
+    return g;
+  }
+  graph::EdgeList d(g.num_vertices(), true);
+  for (const graph::Edge& e : g.edges()) d.add_edge(e.u, e.v);
+  d.canonicalize();
+  return d;
+}
+
+/// One update event: warm every block, apply the event, then check flag
+/// correctness and out-of-cone byte-identity against scratch recomputes on
+/// the mutated graph.
+void check_event(ServeEngine& engine, UpdateKind kind, vidx_t u, vidx_t v) {
+  const vidx_t n = engine.num_vertices();
+  engine.query_bc();  // warm all blocks
+  ASSERT_EQ(engine.valid_blocks(), n);
+
+  // Pre-update depths and blocks, per source.
+  std::vector<std::vector<vidx_t>> depth(static_cast<std::size_t>(n));
+  std::vector<std::vector<bc_t>> cached(static_cast<std::size_t>(n));
+  for (vidx_t s = 0; s < n; ++s) {
+    depth[static_cast<std::size_t>(s)] = engine.depths(s);
+    cached[static_cast<std::size_t>(s)] = engine.block(s);
+  }
+
+  const bool directed = engine.directed();
+  const UpdateStats stats = engine.apply_update(kind, u, v);
+  if (!stats.applied) return;  // no-op events assert nothing here
+
+  sim::Device dev;
+  bc::TurboBC scratch(dev, engine.graph(),
+                      {.variant = engine.options().variant});
+  for (vidx_t s = 0; s < n; ++s) {
+    const auto& d = depth[static_cast<std::size_t>(s)];
+    const bool in_cone = update_affects_source(
+        d[static_cast<std::size_t>(u)], d[static_cast<std::size_t>(v)], kind,
+        directed);
+    ASSERT_EQ(engine.block_valid(s), !in_cone)
+        << "block flag disagrees with the cone predicate: source " << s
+        << ", edge (" << u << ", " << v << "), "
+        << (kind == UpdateKind::kInsert ? "insert" : "delete");
+    if (in_cone) continue;
+    ASSERT_EQ(cached[static_cast<std::size_t>(s)],
+              scratch.run_single_source(s).bc)
+        << "out-of-cone block not byte-identical after recompute: source "
+        << s << ", edge (" << u << ", " << v << "), "
+        << (kind == UpdateKind::kInsert ? "insert" : "delete");
+  }
+}
+
+class ServeConeProperty
+    : public ::testing::TestWithParam<std::tuple<qa::Family, bool>> {};
+
+TEST_P(ServeConeProperty, OutOfConeBlocksAreByteIdentical) {
+  const auto [family, directed] = GetParam();
+  graph::EdgeList g = family_graph(family, directed);
+  const vidx_t n = g.num_vertices();
+  ASSERT_GT(n, 1);
+  ServeEngine engine(std::move(g));
+
+  Xoshiro256 rng(0xc0eULL + static_cast<std::uint64_t>(n));
+  const auto rand_vertex = [&] {
+    return static_cast<vidx_t>(rng.uniform(static_cast<std::uint64_t>(n)));
+  };
+  // Two inserts of random pairs and two deletes of existing arcs — each
+  // event re-warms the cache, so every event checks against a fully valid
+  // pre-state.
+  for (int i = 0; i < 2; ++i) {
+    check_event(engine, UpdateKind::kInsert, rand_vertex(), rand_vertex());
+    if (engine.num_arcs() > 0) {
+      const auto& edges = engine.graph().edges();
+      const graph::Edge e = edges[static_cast<std::size_t>(
+          rng.uniform(static_cast<std::uint64_t>(edges.size())))];
+      check_event(engine, UpdateKind::kDelete, e.u, e.v);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, ServeConeProperty,
+    ::testing::Combine(::testing::ValuesIn(qa::kGeneratorFamilies),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return std::string(qa::to_string(std::get<0>(info.param))) +
+             (std::get<1>(info.param) ? "_directed" : "_undirected");
+    });
+
+}  // namespace
+}  // namespace turbobc::serve

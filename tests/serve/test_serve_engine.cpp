@@ -1,0 +1,263 @@
+// Unit tests for the dynamic-graph serving engine: cone-test truth table,
+// cache behavior across updates, counters, bit-identity of served BC, the
+// component-cache invalidation hook, and the session script runner.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/turbobc.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
+#include "graph/edge_list.hpp"
+#include "serve/serve_engine.hpp"
+#include "serve/session.hpp"
+
+namespace turbobc::serve {
+namespace {
+
+/// 0-1-2-3-4 path, undirected (both arcs per edge).
+graph::EdgeList path5() {
+  graph::EdgeList g(5, false);
+  for (vidx_t v = 0; v + 1 < 5; ++v) {
+    g.add_edge(v, v + 1);
+    g.add_edge(v + 1, v);
+  }
+  g.canonicalize();
+  return g;
+}
+
+/// Directed chain 0 -> 1 -> 2 -> 3 plus a spare vertex 4.
+graph::EdgeList chain4_plus_isolated() {
+  graph::EdgeList g(5, true);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.canonicalize();
+  return g;
+}
+
+std::vector<bc_t> scratch_exact(const graph::EdgeList& g) {
+  sim::Device dev;
+  bc::TurboBC algo(dev, g, {.variant = bc::Variant::kScCsc});
+  return algo.run_exact().bc;
+}
+
+TEST(UpdateAffectsSource, DirectedInsert) {
+  const auto affects = [](vidx_t du, vidx_t dv) {
+    return update_affects_source(du, dv, UpdateKind::kInsert,
+                                 /*directed=*/true);
+  };
+  // Unreachable tail: the new arc is invisible from s.
+  EXPECT_FALSE(affects(-1, -1));
+  EXPECT_FALSE(affects(-1, 3));
+  // Reachable tail, unreachable head: v becomes reachable.
+  EXPECT_TRUE(affects(2, -1));
+  // Arc into a deeper level: new shortest paths (gap 1) or a shortcut
+  // (gap >= 2 — the case the naive |du - dv| <= 1 rule gets wrong).
+  EXPECT_TRUE(affects(1, 2));
+  EXPECT_TRUE(affects(0, 5));
+  // Arc into the same or a shallower level: outside every shortest path.
+  EXPECT_FALSE(affects(2, 2));
+  EXPECT_FALSE(affects(3, 1));
+}
+
+TEST(UpdateAffectsSource, DirectedDelete) {
+  const auto affects = [](vidx_t du, vidx_t dv) {
+    return update_affects_source(du, dv, UpdateKind::kDelete,
+                                 /*directed=*/true);
+  };
+  // Only DAG arcs (exactly one level down) ever carried shortest paths.
+  EXPECT_TRUE(affects(0, 1));
+  EXPECT_TRUE(affects(4, 5));
+  EXPECT_FALSE(affects(-1, 2));
+  EXPECT_FALSE(affects(2, 2));
+  EXPECT_FALSE(affects(2, 1));
+  EXPECT_FALSE(affects(0, 5));
+  EXPECT_FALSE(affects(3, -1));
+}
+
+TEST(UpdateAffectsSource, Undirected) {
+  for (const UpdateKind kind : {UpdateKind::kInsert, UpdateKind::kDelete}) {
+    // Equal depths (including both-unreachable): no orientation qualifies.
+    EXPECT_FALSE(update_affects_source(2, 2, kind, false));
+    EXPECT_FALSE(update_affects_source(-1, -1, kind, false));
+    // Any depth gap: the lower endpoint reaches one level into the other.
+    EXPECT_TRUE(update_affects_source(1, 2, kind, false));
+    EXPECT_TRUE(update_affects_source(2, 1, kind, false));
+    EXPECT_TRUE(update_affects_source(3, -1, kind, false));
+    EXPECT_TRUE(update_affects_source(-1, 3, kind, false));
+    EXPECT_TRUE(update_affects_source(0, 4, kind, false));
+  }
+}
+
+TEST(RankVertices, BreaksTiesByIndex) {
+  const std::vector<bc_t> bc = {1.0, 3.0, 1.0, 3.0, 0.0};
+  EXPECT_EQ(rank_vertices(bc, 5), (std::vector<vidx_t>{1, 3, 0, 2, 4}));
+  EXPECT_EQ(rank_vertices(bc, 2), (std::vector<vidx_t>{1, 3}));
+  EXPECT_TRUE(rank_vertices(bc, 0).empty());
+}
+
+TEST(ServeEngine, ColdQueryMatchesScratchExactBitwise) {
+  ServeEngine engine(path5());
+  QueryStats stats;
+  const std::vector<bc_t>& served = engine.query_bc(&stats);
+  EXPECT_EQ(served, scratch_exact(engine.graph()));
+  EXPECT_EQ(stats.recomputed, 5);
+  EXPECT_EQ(stats.cached, 0);
+  EXPECT_GT(stats.device_seconds, 0.0);
+
+  // Second query: everything cached, nothing recomputed.
+  QueryStats again;
+  engine.query_bc(&again);
+  EXPECT_EQ(again.recomputed, 0);
+  EXPECT_EQ(again.cached, 5);
+  EXPECT_EQ(again.device_seconds, 0.0);
+  EXPECT_EQ(engine.counters().queries, 2u);
+}
+
+TEST(ServeEngine, NoopUpdatesLeaveCacheWarm) {
+  ServeEngine engine(path5());
+  engine.query_bc();
+  ASSERT_EQ(engine.valid_blocks(), 5);
+
+  // Insert of a present edge, delete of an absent one, self-loop: no-ops.
+  EXPECT_FALSE(engine.insert_edge(0, 1).applied);
+  EXPECT_FALSE(engine.remove_edge(0, 3).applied);
+  EXPECT_FALSE(engine.insert_edge(2, 2).applied);
+  EXPECT_EQ(engine.valid_blocks(), 5);
+  EXPECT_EQ(engine.counters().epoch, 0u);
+  EXPECT_EQ(engine.counters().noop_updates, 3u);
+  EXPECT_EQ(engine.counters().updates, 0u);
+}
+
+TEST(ServeEngine, DirectedUpdateInvalidatesOnlyTheCone) {
+  // Chain 0 -> 1 -> 2 -> 3, vertex 4 isolated. Insert arc (2, 4): only
+  // sources that reach 2 (namely 0, 1, 2) can be affected; 3 and 4 never
+  // see the new arc.
+  ServeEngine engine(chain4_plus_isolated());
+  engine.query_bc();
+  const UpdateStats s = engine.insert_edge(2, 4);
+  EXPECT_TRUE(s.applied);
+  EXPECT_EQ(s.invalidated, 3);
+  EXPECT_EQ(s.valid, 2);
+  EXPECT_FALSE(engine.block_valid(0));
+  EXPECT_FALSE(engine.block_valid(1));
+  EXPECT_FALSE(engine.block_valid(2));
+  EXPECT_TRUE(engine.block_valid(3));
+  EXPECT_TRUE(engine.block_valid(4));
+
+  // The next full query pays exactly the invalidated blocks and is again
+  // bit-identical to scratch.
+  QueryStats stats;
+  const std::vector<bc_t>& served = engine.query_bc(&stats);
+  EXPECT_EQ(stats.recomputed, 3);
+  EXPECT_EQ(stats.cached, 2);
+  EXPECT_EQ(served, scratch_exact(engine.graph()));
+}
+
+TEST(ServeEngine, InsertThenDeleteRoundTripsBitwise) {
+  ServeEngine engine(path5());
+  const std::vector<bc_t> before = engine.query_bc();  // copy
+  ASSERT_TRUE(engine.insert_edge(0, 4).applied);
+  const std::vector<bc_t> mutated = engine.query_bc();
+  EXPECT_NE(before, mutated);
+  EXPECT_EQ(mutated, scratch_exact(engine.graph()));
+  ASSERT_TRUE(engine.remove_edge(0, 4).applied);
+  EXPECT_EQ(engine.query_bc(), before);
+  EXPECT_EQ(engine.counters().epoch, 2u);
+}
+
+TEST(ServeEngine, ApproxQueryInvalidatesComponentMapOnUpdate) {
+  // Two components: path 0-1-2 and edge 3-4. The component sampler's map
+  // must be recomputed after the update that merges them — the PR 6 approx
+  // driver cached this map with no invalidation hook; ServeEngine routes it
+  // through graph::ComponentCache.
+  graph::EdgeList g(5, false);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);
+  g.add_edge(3, 4);
+  g.add_edge(4, 3);
+  g.canonicalize();
+  ServeEngine engine(std::move(g));
+  ASSERT_EQ(engine.options().sampler, approx::SamplerKind::kComponent);
+
+  const approx::ApproxResult r1 = engine.query_approx(0.5, 0.2);
+  engine.query_approx(0.5, 0.2);
+  EXPECT_EQ(engine.component_recomputes(), 1u)
+      << "same epoch: the component map must be computed once and reused";
+
+  ASSERT_TRUE(engine.insert_edge(2, 3).applied);
+  const approx::ApproxResult r2 = engine.query_approx(0.5, 0.2);
+  EXPECT_EQ(engine.component_recomputes(), 2u)
+      << "the update must invalidate the cached component map";
+  EXPECT_EQ(r1.bc.size(), r2.bc.size());
+
+  // Repeatability within the new epoch (fixed seed, fresh device per query).
+  const approx::ApproxResult r3 = engine.query_approx(0.5, 0.2);
+  EXPECT_EQ(r2.bc, r3.bc);
+  EXPECT_EQ(engine.component_recomputes(), 2u);
+}
+
+TEST(ServeEngine, ApproxIntervalsCoverServedExact) {
+  ServeEngine engine(path5());
+  const approx::ApproxResult approx = engine.query_approx(0.5, 0.1);
+  const std::vector<bc_t>& exact = engine.query_bc();
+  ASSERT_EQ(approx.bc.size(), exact.size());
+  for (std::size_t v = 0; v < exact.size(); ++v) {
+    EXPECT_LE(std::abs(approx.bc[v] - exact[v]), approx.half_width[v])
+        << "vertex " << v;
+  }
+}
+
+TEST(Session, TranscriptIsDeterministicAcrossPoolWidths) {
+  const auto transcript = [](unsigned width, bool json) {
+    sim::ExecutorPool::instance().set_threads(width);
+    std::istringstream script(
+        "bc 3\ninsert 0 3\ntop 3\napprox 0.5\ndelete 1 2\nbc 3\nstats\n");
+    std::ostringstream out;
+    run_session(path5(), {.json = json, .top = 3}, script, out);
+    sim::ExecutorPool::instance().set_threads(1);
+    return out.str();
+  };
+  for (const bool json : {false, true}) {
+    const std::string serial = transcript(1, json);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, transcript(8, json)) << "json=" << json;
+  }
+}
+
+TEST(Session, MalformedLinesThrowBeforeAnyOutput) {
+  const auto expect_usage_error = [](const char* script_text) {
+    std::istringstream script(script_text);
+    std::ostringstream out;
+    EXPECT_THROW(run_session(path5(), {}, script, out), UsageError)
+        << script_text;
+    EXPECT_TRUE(out.str().empty())
+        << "parse errors must precede all output, got: " << out.str();
+  };
+  expect_usage_error("bogus\n");
+  expect_usage_error("bc 2\ninsert 3\n");       // arity
+  expect_usage_error("insert 0 99\n");          // vertex out of range
+  expect_usage_error("approx 2.0\n");           // epsilon outside (0, 1)
+  expect_usage_error("top -1\n");               // negative count
+  expect_usage_error("insert 0 1.5\n");         // trailing garbage
+  expect_usage_error("stats now\n");            // arity on stats
+}
+
+TEST(Session, CommentsAndBlankLinesAreSkipped) {
+  std::istringstream script("# header\n\n   \nstats\n");
+  std::ostringstream out;
+  const ServeEngine::Counters c = run_session(path5(), {}, script, out);
+  EXPECT_EQ(c.queries, 0u);
+  // hello + stats lines only.
+  const std::string transcript = out.str();
+  EXPECT_EQ(std::count(transcript.begin(), transcript.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace turbobc::serve

@@ -286,6 +286,104 @@ TEST(GoldenCli, BcAdvancePullJsonGrid) {
       "bc_grid8x8_pull.json.golden");
 }
 
+/// A fixed serve session script (query -> update -> query, both kinds plus
+/// approx and stats), written once to the test temp dir.
+std::string serve_script() {
+  static const std::string path = [] {
+    const std::string p = ::testing::TempDir() + "/golden_serve_session.txt";
+    std::ofstream f(p, std::ios::binary);
+    f << "# golden serve session\n"
+         "bc 5\n"
+         "top 3\n"
+         "insert 0 5\n"
+         "bc 5\n"
+         "delete 0 5\n"
+         "top 3\n"
+         "approx 0.5 0.2\n"
+         "stats\n";
+    return p;
+  }();
+  return path;
+}
+
+TEST(GoldenCli, ServeSessionTextMycielski) {
+  const auto g = mycielski_graph();
+  const auto s = serve_script();
+  expect_matches_golden(
+      run_ok({"serve", g.c_str(), "--script", s.c_str()}),
+      "serve_mycielski6.txt.golden");
+}
+
+TEST(GoldenCli, ServeSessionJsonMycielski) {
+  const auto g = mycielski_graph();
+  const auto s = serve_script();
+  expect_matches_golden(
+      run_ok({"serve", g.c_str(), "--script", s.c_str(), "--json"}),
+      "serve_mycielski6.json.golden");
+}
+
+TEST(GoldenCli, ServeSessionJsonMycielskiIsThreadInvariant) {
+  // The serving engine inherits the repo-wide contract: the same session at
+  // pool width 8 reproduces the width-1 golden byte-for-byte — cached
+  // blocks, recompute costs, approx waves, modeled stats and all.
+  const auto g = mycielski_graph();
+  const auto s = serve_script();
+  expect_matches_golden(
+      run_ok({"serve", g.c_str(), "--script", s.c_str(), "--json",
+              "--threads", "8"}),
+      "serve_mycielski6.json.golden");
+}
+
+TEST(GoldenCli, ServeSessionJsonGrid) {
+  const auto g = grid_graph();
+  const auto s = serve_script();
+  expect_matches_golden(
+      run_ok({"serve", g.c_str(), "--script", s.c_str(), "--json"}),
+      "serve_grid8x8.json.golden");
+}
+
+/// Misuse scripts: exit 2, empty stdout, golden-pinned stderr — the whole
+/// script is parsed before anything executes, so nothing leaks.
+std::string misuse_script(const char* name, const char* text) {
+  const std::string p = ::testing::TempDir() + "/" + name;
+  std::ofstream f(p, std::ios::binary);
+  f << text;
+  return p;
+}
+
+TEST(GoldenCli, ErrorServeUnknownCommand) {
+  const auto g = mycielski_graph();
+  const auto s =
+      misuse_script("serve_bad_cmd.txt", "bc 3\nfrobnicate 1 2\n");
+  expect_matches_golden(
+      run_usage_error({"serve", g.c_str(), "--script", s.c_str()}),
+      "cli_error_serve_unknown_command.txt.golden");
+}
+
+TEST(GoldenCli, ErrorServeInsertArity) {
+  const auto g = mycielski_graph();
+  const auto s = misuse_script("serve_bad_arity.txt", "insert 3\n");
+  expect_matches_golden(
+      run_usage_error({"serve", g.c_str(), "--script", s.c_str()}),
+      "cli_error_serve_insert_arity.txt.golden");
+}
+
+TEST(GoldenCli, ErrorServeVertexOutOfRange) {
+  const auto g = mycielski_graph();
+  const auto s = misuse_script("serve_bad_vertex.txt", "delete 0 4711\n");
+  expect_matches_golden(
+      run_usage_error({"serve", g.c_str(), "--script", s.c_str()}),
+      "cli_error_serve_vertex_range.txt.golden");
+}
+
+TEST(GoldenCli, ErrorServeEpsilonOutOfRange) {
+  const auto g = mycielski_graph();
+  const auto s = misuse_script("serve_bad_epsilon.txt", "approx 2.5\n");
+  expect_matches_golden(
+      run_usage_error({"serve", g.c_str(), "--script", s.c_str()}),
+      "cli_error_serve_epsilon_range.txt.golden");
+}
+
 TEST(GoldenCli, BcAdvanceAutoJsonGridIsThreadInvariant) {
   // The direction-optimizing engine inherits the repo-wide determinism
   // contract: --advance auto at pool width 8 must reproduce the width-1
