@@ -1,0 +1,434 @@
+// Out-of-core compressed-storage benchmark: BENCH_ooc.json.
+//
+// Four families across the compressibility spectrum — a Watts–Strogatz
+// small world (near-diagonal columns, the codec's best case), a Graph500
+// Kronecker (hub columns with small gaps), a Markov lattice (banded local
+// stencil), and a subdivided road network (degree-2 chains, the codec's
+// worst case: offsets dominate) — each run
+// through the resident uncompressed engine, the resident compressed engine
+// (--compress), and StreamingTurboBC under eviction pressure.
+//
+// Gates (any failure exits nonzero):
+//   * the delta-varint image must clear kRatioThreshold (1.5x) over the
+//     uncompressed CSC on at least kMinWinningFamilies (2) families — the
+//     same bytes are the graph's one-time PCIe upload, so this is also the
+//     modeled H2D transfer-byte reduction;
+//   * compressed and streamed BC must be BIT-identical to the uncompressed
+//     kScCsc engine on every family;
+//   * the compressed gather's 1-byte loads must coalesce into FEWER modeled
+//     memory transactions than the uncompressed 4-byte loads on at least
+//     kMinWinningFamilies families;
+//   * the compressed peak must sit inside the 7n-words + compressed-image
+//     model (core/footprint.hpp turbobc_ooc_model_bytes), and the streamed
+//     peak below the resident compressed peak;
+//   * the compressed run serialized at pool widths 1 and 8 must be
+//     byte-identical (values, modeled seconds, peak bytes);
+//   * the crossing: on a device sized between the streamed and resident
+//     peaks, the resident engine must die with DeviceOutOfMemory while the
+//     streamed engine completes with the same BC vector.
+//
+//   bench_ooc [--seed 1] [--threads N] [--out BENCH_ooc.json]
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_support/stamp.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/footprint.hpp"
+#include "core/turbobc.hpp"
+#include "generators/generators.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
+#include "graph/csc.hpp"
+#include "storage/compressed_csc.hpp"
+#include "storage/streaming_bc.hpp"
+
+namespace {
+
+using namespace turbobc;
+
+constexpr double kRatioThreshold = 1.5;
+constexpr int kMinWinningFamilies = 2;
+constexpr vidx_t kSources = 6;
+constexpr int kStreamShards = 8;
+constexpr int kStreamWindow = 2;
+
+struct EngineRun {
+  bc::BcResult result;
+  std::uint64_t load_transactions = 0;
+  std::uint64_t store_transactions = 0;
+};
+
+struct FamilyRow {
+  std::string family;
+  vidx_t n = 0;
+  eidx_t m = 0;
+  std::uint64_t csc_bytes = 0;         // uncompressed resident graph image
+  std::uint64_t compressed_bytes = 0;  // delta-varint image (model_bytes)
+  double ratio = 0.0;
+  bool ratio_ok = false;
+  double plain_s = 0.0;
+  double compressed_s = 0.0;
+  double streamed_s = 0.0;
+  std::size_t plain_peak = 0;
+  std::size_t compressed_peak = 0;
+  std::size_t streamed_peak = 0;
+  std::uint64_t plain_loads = 0;
+  std::uint64_t compressed_loads = 0;
+  bool transactions_ok = false;
+  bool compressed_bits_ok = false;
+  bool streamed_bits_ok = false;
+  bool footprint_ok = false;
+  bool streamed_peak_ok = false;
+  bool threads_byte_identical = false;
+  storage::StreamingLedger ledger;
+};
+
+struct Crossing {
+  std::string family;
+  std::size_t device_bytes = 0;
+  std::size_t resident_peak = 0;
+  std::size_t streamed_peak = 0;
+  bool resident_oom = false;
+  bool streamed_completed = false;
+  bool streamed_bits_ok = false;
+};
+
+std::vector<vidx_t> spread_sources(vidx_t n, vidx_t want) {
+  const vidx_t count = std::min(n, want);
+  std::vector<vidx_t> sources;
+  for (vidx_t i = 0; i < count; ++i) {
+    sources.push_back(static_cast<vidx_t>(
+        (static_cast<std::uint64_t>(i) * n) / count));
+  }
+  return sources;
+}
+
+EngineRun run_resident(const graph::EdgeList& el,
+                       const std::vector<vidx_t>& sources, bool compress) {
+  sim::Device device;
+  device.set_keep_launch_records(false);
+  bc::TurboBC algo(device, el,
+                   {.variant = bc::Variant::kScCsc, .compress = compress});
+  EngineRun run;
+  run.result = algo.run_sources(sources);
+  for (const auto& [name, agg] : device.kernel_aggregates()) {
+    run.load_transactions += agg.load_transactions;
+    run.store_transactions += agg.store_transactions;
+  }
+  return run;
+}
+
+/// Hex-exact serialization of everything the determinism contract covers.
+std::string serialize_run(const EngineRun& run) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  for (const bc_t v : run.result.bc) os << v << ',';
+  os << '|' << run.result.device_seconds << '|'
+     << run.result.peak_device_bytes << '|' << run.load_transactions << '|'
+     << run.store_transactions;
+  return os.str();
+}
+
+bool bits_equal(const std::vector<bc_t>& a, const std::vector<bc_t>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+void write_ooc_json(std::ostream& os, const bench::BenchStamp& stamp,
+                    const std::vector<FamilyRow>& rows,
+                    const Crossing& crossing, int ratio_wins,
+                    int transaction_wins) {
+  os << "{\n";
+  bench::write_stamp_json(os, stamp);
+  os << ",\n\"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    os << "  {\"family\": \"" << r.family << "\", \"n\": " << r.n
+       << ", \"m\": " << r.m << ", \"csc_bytes\": " << r.csc_bytes
+       << ", \"compressed_bytes\": " << r.compressed_bytes
+       << ", \"compression_ratio\": " << r.ratio
+       << ", \"ratio_ok\": " << (r.ratio_ok ? "true" : "false")
+       << ", \"plain_s\": " << r.plain_s
+       << ", \"compressed_s\": " << r.compressed_s
+       << ", \"streamed_s\": " << r.streamed_s
+       << ", \"plain_peak\": " << r.plain_peak
+       << ", \"compressed_peak\": " << r.compressed_peak
+       << ", \"streamed_peak\": " << r.streamed_peak
+       << ", \"plain_load_transactions\": " << r.plain_loads
+       << ", \"compressed_load_transactions\": " << r.compressed_loads
+       << ", \"transactions_ok\": "
+       << (r.transactions_ok ? "true" : "false")
+       << ", \"compressed_bits_ok\": "
+       << (r.compressed_bits_ok ? "true" : "false")
+       << ", \"streamed_bits_ok\": "
+       << (r.streamed_bits_ok ? "true" : "false")
+       << ", \"footprint_ok\": " << (r.footprint_ok ? "true" : "false")
+       << ", \"streamed_peak_ok\": "
+       << (r.streamed_peak_ok ? "true" : "false")
+       << ", \"threads_byte_identical\": "
+       << (r.threads_byte_identical ? "true" : "false")
+       << ", \"stream\": {\"uploads\": " << r.ledger.shard_uploads
+       << ", \"upload_bytes\": " << r.ledger.upload_bytes
+       << ", \"refetch_bytes\": " << r.ledger.refetch_bytes
+       << ", \"evictions\": " << r.ledger.evictions << "}}"
+       << (i + 1 < rows.size() ? "," : "") << '\n';
+  }
+  os << "],\n\"crossing\": {\"family\": \"" << crossing.family
+     << "\", \"device_bytes\": " << crossing.device_bytes
+     << ", \"resident_peak\": " << crossing.resident_peak
+     << ", \"streamed_peak\": " << crossing.streamed_peak
+     << ", \"resident_oom\": " << (crossing.resident_oom ? "true" : "false")
+     << ", \"streamed_completed\": "
+     << (crossing.streamed_completed ? "true" : "false")
+     << ", \"streamed_bits_ok\": "
+     << (crossing.streamed_bits_ok ? "true" : "false") << "},\n";
+  os << "\"acceptance\": {\"ratio_threshold\": " << kRatioThreshold
+     << ", \"min_winning_families\": " << kMinWinningFamilies
+     << ", \"ratio_wins\": " << ratio_wins
+     << ", \"transaction_wins\": " << transaction_wins << "}\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace turbobc;
+  using namespace turbobc::bench;
+
+  const CliArgs args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto threads = static_cast<unsigned>(args.get_count("threads", 0));
+  sim::ExecutorPool::instance().set_threads(threads);
+
+  WallTimer run_timer;
+
+  struct Family {
+    std::string name;
+    graph::EdgeList graph;
+  };
+  std::vector<Family> families;
+  std::cerr << "  [ooc] generating graphs ..." << std::flush;
+  families.push_back({"smallworld",
+                      gen::small_world({.n = 3000, .k = 8, .rewire_p = 0.05,
+                                        .seed = seed})});
+  families.push_back({"kron12", gen::kronecker({.scale = 12, .edge_factor = 8,
+                                                .seed = seed + 1})});
+  families.push_back({"mark3j",
+                      gen::markov_lattice({.length = 60, .width = 40,
+                                           .seed = seed + 2})});
+  families.push_back({"road-deep",
+                      gen::road_network({.grid_rows = 10, .grid_cols = 10,
+                                         .keep_p = 0.85, .subdivisions = 5,
+                                         .seed = seed + 3})});
+  std::cerr << " done\n";
+
+  std::vector<FamilyRow> rows;
+  Crossing crossing;
+  for (const Family& fam : families) {
+    graph::EdgeList el = fam.graph;
+    el.canonicalize();
+    const auto sources = spread_sources(el.num_vertices(), kSources);
+    std::cerr << "  [ooc] " << fam.name << " (n "
+              << human_count(static_cast<double>(el.num_vertices())) << ", m "
+              << human_count(static_cast<double>(el.num_arcs())) << ")"
+              << std::flush;
+
+    FamilyRow row;
+    row.family = fam.name;
+    row.n = el.num_vertices();
+    row.m = el.num_arcs();
+    const storage::CompressedCsc packed =
+        storage::encode_csc(graph::CscGraph::from_edges(el));
+    row.csc_bytes = 4ull * (static_cast<std::uint64_t>(row.n) + 1) +
+                    4ull * static_cast<std::uint64_t>(row.m);
+    row.compressed_bytes = packed.model_bytes();
+    row.ratio = packed.compression_ratio();
+    row.ratio_ok = row.ratio >= kRatioThreshold;
+
+    std::cerr << " plain" << std::flush;
+    const EngineRun plain = run_resident(el, sources, /*compress=*/false);
+    row.plain_s = plain.result.device_seconds;
+    row.plain_peak = plain.result.peak_device_bytes;
+    row.plain_loads = plain.load_transactions;
+
+    std::cerr << " compressed" << std::flush;
+    const EngineRun compressed = run_resident(el, sources, /*compress=*/true);
+    row.compressed_s = compressed.result.device_seconds;
+    row.compressed_peak = compressed.result.peak_device_bytes;
+    row.compressed_loads = compressed.load_transactions;
+    row.compressed_bits_ok = bits_equal(compressed.result.bc, plain.result.bc);
+    row.transactions_ok = row.compressed_loads < row.plain_loads;
+    // 16 B slack: the CP_A tail entry plus the forward c-flag word, same as
+    // the resident model grants (qa/oracle.cpp).
+    row.footprint_ok =
+        row.compressed_peak <=
+        bc::turbobc_ooc_model_bytes(row.n, row.compressed_bytes) + 16;
+
+    std::cerr << " streamed" << std::flush;
+    {
+      sim::Device device;
+      device.set_keep_launch_records(false);
+      storage::StreamingTurboBC streamed(
+          device, packed,
+          {.num_shards = kStreamShards, .window = kStreamWindow});
+      const bc::BcResult r = streamed.run_sources(sources);
+      row.streamed_s = r.device_seconds;
+      row.streamed_peak = r.peak_device_bytes;
+      row.streamed_bits_ok = bits_equal(r.bc, plain.result.bc);
+      row.streamed_peak_ok = row.streamed_peak < row.compressed_peak;
+      row.ledger = streamed.ledger();
+
+      // The crossing demo rides on the first family: pick a device size
+      // between the streamed and resident peaks and show the OOM flip.
+      if (crossing.family.empty()) {
+        crossing.family = fam.name;
+        crossing.resident_peak = row.plain_peak;
+        crossing.streamed_peak = row.streamed_peak;
+        crossing.device_bytes = (row.streamed_peak + row.plain_peak) / 2;
+        sim::DeviceProps small = sim::DeviceProps::titan_xp();
+        small.global_mem_bytes = crossing.device_bytes;
+        try {
+          sim::Device tight(small);
+          tight.set_keep_launch_records(false);
+          bc::TurboBC algo(tight, el, {.variant = bc::Variant::kScCsc});
+          algo.run_sources(sources);
+        } catch (const DeviceOutOfMemory&) {
+          crossing.resident_oom = true;
+        }
+        try {
+          sim::Device tight(small);
+          tight.set_keep_launch_records(false);
+          storage::StreamingTurboBC tight_streamed(
+              tight, packed,
+              {.num_shards = kStreamShards, .window = kStreamWindow});
+          const bc::BcResult tr = tight_streamed.run_sources(sources);
+          crossing.streamed_completed = true;
+          crossing.streamed_bits_ok = bits_equal(tr.bc, plain.result.bc);
+        } catch (const DeviceOutOfMemory&) {
+          crossing.streamed_completed = false;
+        }
+      }
+    }
+
+    std::cerr << " threads" << std::flush;
+    std::string by_width[2];
+    const unsigned widths[2] = {1, 8};
+    for (int i = 0; i < 2; ++i) {
+      sim::ExecutorPool::instance().set_threads(widths[i]);
+      by_width[i] = serialize_run(run_resident(el, sources, true));
+    }
+    sim::ExecutorPool::instance().set_threads(threads);
+    row.threads_byte_identical = by_width[0] == by_width[1];
+
+    rows.push_back(row);
+    std::cerr << " done\n";
+  }
+
+  int ratio_wins = 0;
+  int transaction_wins = 0;
+  for (const FamilyRow& r : rows) {
+    if (r.ratio_ok) ++ratio_wins;
+    if (r.transactions_ok) ++transaction_wins;
+  }
+
+  std::cout << "Out-of-core delta-varint storage: resident vs compressed vs "
+               "streamed (" << kSources << " spread sources)\n";
+  Table t({"family", "n", "m", "csc", "compressed", "ratio", "peak plain",
+           "peak comp", "peak stream", "bits"});
+  for (const FamilyRow& r : rows) {
+    t.add_row({r.family, human_count(static_cast<double>(r.n)),
+               human_count(static_cast<double>(r.m)),
+               human_bytes(r.csc_bytes), human_bytes(r.compressed_bytes),
+               fixed(r.ratio, 2) + "x", human_bytes(r.plain_peak),
+               human_bytes(r.compressed_peak), human_bytes(r.streamed_peak),
+               r.compressed_bits_ok && r.streamed_bits_ok ? "ok" : "DRIFT"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nModeled traffic (load transactions) and the PCIe ledger\n";
+  Table g({"family", "loads plain", "loads comp", "fewer", "uploads",
+           "upload bytes", "refetch bytes", "evictions", "threads 1==8"});
+  for (const FamilyRow& r : rows) {
+    g.add_row({r.family, human_count(static_cast<double>(r.plain_loads)),
+               human_count(static_cast<double>(r.compressed_loads)),
+               r.transactions_ok ? "ok" : "MORE",
+               std::to_string(r.ledger.shard_uploads),
+               human_bytes(r.ledger.upload_bytes),
+               human_bytes(r.ledger.refetch_bytes),
+               std::to_string(r.ledger.evictions),
+               r.threads_byte_identical ? "ok" : "DRIFT"});
+  }
+  g.print(std::cout);
+
+  std::cout << "\nOut-of-core crossing (" << crossing.family << ", device "
+            << human_bytes(crossing.device_bytes) << "): resident "
+            << (crossing.resident_oom ? "OOM" : "FIT (unexpected)")
+            << ", streamed "
+            << (crossing.streamed_completed ? "completed" : "OOM (unexpected)")
+            << (crossing.streamed_bits_ok ? ", bits ok" : ", BITS DRIFTED")
+            << "\n";
+
+  const std::string out_path = args.get("out", "BENCH_ooc.json");
+  std::ofstream json(out_path);
+  write_ooc_json(json, make_stamp(seed, run_timer.seconds()), rows, crossing,
+                 ratio_wins, transaction_wins);
+  std::cout << "\nwrote " << out_path << '\n';
+
+  int rc = 0;
+  for (const FamilyRow& r : rows) {
+    if (!r.compressed_bits_ok || !r.streamed_bits_ok) {
+      std::cerr << "ERROR: " << r.family
+                << " compressed/streamed BC drifted from the uncompressed "
+                   "engine\n";
+      rc = 1;
+    }
+    if (!r.footprint_ok) {
+      std::cerr << "ERROR: " << r.family << " compressed peak "
+                << r.compressed_peak << " B above the 7n + compressed model "
+                << bc::turbobc_ooc_model_bytes(r.n, r.compressed_bytes)
+                << " B\n";
+      rc = 1;
+    }
+    if (!r.streamed_peak_ok) {
+      std::cerr << "ERROR: " << r.family << " streamed peak "
+                << r.streamed_peak << " B not below resident compressed peak "
+                << r.compressed_peak << " B\n";
+      rc = 1;
+    }
+    if (!r.threads_byte_identical) {
+      std::cerr << "ERROR: " << r.family
+                << " compressed run drifted between pool widths 1 and 8\n";
+      rc = 1;
+    }
+  }
+  if (ratio_wins < kMinWinningFamilies) {
+    std::cerr << "ERROR: only " << ratio_wins << " of " << rows.size()
+              << " families reached the " << kRatioThreshold
+              << "x compression ratio (need >= " << kMinWinningFamilies
+              << ")\n";
+    rc = 1;
+  }
+  if (transaction_wins < kMinWinningFamilies) {
+    std::cerr << "ERROR: only " << transaction_wins << " of " << rows.size()
+              << " families reduced modeled load transactions (need >= "
+              << kMinWinningFamilies << ")\n";
+    rc = 1;
+  }
+  if (!crossing.resident_oom || !crossing.streamed_completed ||
+      !crossing.streamed_bits_ok) {
+    std::cerr << "ERROR: out-of-core crossing did not demonstrate "
+                 "OOM-at-resident -> completes-streamed\n";
+    rc = 1;
+  }
+  return rc;
+}

@@ -73,6 +73,60 @@ run_config() {
   dobfs_smoke "$name" "$dir"
   msbfs_smoke "$name" "$dir"
   serve_smoke "$name" "$dir"
+  ooc_smoke "$name" "$dir"
+}
+
+# Out-of-core smoke: the compressed (delta-varint CCSC) engine must
+# reproduce the uncompressed BC byte for byte (the "top" ranking and the
+# Brandes verification line — modeled time, transactions, and peak
+# legitimately differ), the streamed run (LRU shard window over the PCIe
+# model) must be pool-width invariant byte for byte across the full JSON
+# at --threads 1 vs 8, and the two failure surfaces must map to their
+# documented exit codes: a malformed chunk mid-ingest is a data error
+# (exit 1 with a clean ParseError line, never a crash — the CLI-misuse
+# class, exit 2, is probed via --stream-window without --compress). The
+# Release stage additionally runs bench_ooc, whose compression-ratio /
+# bit-identity / transaction-reduction / OOM-crossing gates are enforced
+# by its exit code, and re-checks select_variant's 50x in-degree COOC
+# rule against the vendored real-graph fixtures via bench_ablation_scf.
+ooc_smoke() {
+  local name="$1" dir="$2"
+  echo "=== [$name] ooc-smoke ==="
+  local cli="$dir/src/tools/turbobc_cli" g="$dir/ooc_smoke.mtx"
+  "$cli" generate --family smallworld --n 800 --k 6 --p 0.05 --out "$g"
+  "$cli" bc "$g" --exact --verify --json > "$dir/ooc_smoke_plain.json"
+  "$cli" bc "$g" --exact --compress --verify --json \
+    > "$dir/ooc_smoke_compressed.json"
+  for f in plain compressed; do
+    grep -E '"top"|"verify_max_rel_err"' "$dir/ooc_smoke_$f.json" \
+      > "$dir/ooc_smoke_${f}_bc.json"
+  done
+  cmp "$dir/ooc_smoke_plain_bc.json" "$dir/ooc_smoke_compressed_bc.json"
+  "$cli" bc "$g" --exact --compress --stream-window 2 --stream-shards 6 \
+    --json --threads 1 > "$dir/ooc_smoke_stream_t1.json"
+  "$cli" bc "$g" --exact --compress --stream-window 2 --stream-shards 6 \
+    --json --threads 8 > "$dir/ooc_smoke_stream_t8.json"
+  cmp "$dir/ooc_smoke_stream_t1.json" "$dir/ooc_smoke_stream_t8.json"
+  printf '%%%%MatrixMarket matrix coordinate pattern general\n5 5 4\n1 2\n2 3\n7 !\n' \
+    > "$dir/ooc_smoke_bad.mtx"
+  local rc=0
+  "$cli" bc "$dir/ooc_smoke_bad.mtx" --compress >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 1 ]; then
+    echo "ooc-smoke: malformed chunk should exit 1, got $rc" >&2; exit 1
+  fi
+  rc=0
+  "$cli" bc "$g" --stream-window 2 >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "ooc-smoke: --stream-window without --compress should exit 2," \
+      "got $rc" >&2; exit 1
+  fi
+  if [ "$name" = "release" ]; then
+    echo "=== [$name] bench-ooc ==="
+    cmake --build "$dir" -j "$(nproc)" --target bench_ooc bench_ablation_scf
+    "$dir/bench/bench_ooc" --out "$dir/BENCH_ooc.json"
+    "$dir/bench/bench_ablation_scf" \
+      bench/fixtures/karate.mtx bench/fixtures/florentine.mtx > /dev/null
+  fi
 }
 
 # Serving smoke: a scripted session through `turbobc_cli serve`, the

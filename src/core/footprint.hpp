@@ -65,6 +65,20 @@ inline std::uint64_t turbobc_msbfs_model_bytes(vidx_t n, eidx_t m, vidx_t k) {
   return turbobc_msbfs_model_words(n, m, k) * kPaperWordBytes;
 }
 
+/// Out-of-core (compressed) resident bytes: the 7n working vectors — and the
+/// n/32-word frontier bitmap when the direction-optimizing sweep is on —
+/// plus the delta-varint compressed graph structure
+/// (storage::CompressedCsc::model_bytes(): two (n+1)-word offset arrays and
+/// the varint stream). The graph term replaces the CSC's (n+1) + m words;
+/// at ~1-2 bytes per arc the compressed stream undercuts the m-word row
+/// array by 2-4x, which is what moves the Table-4-style OOM wall.
+inline std::uint64_t turbobc_ooc_model_bytes(
+    vidx_t n, std::uint64_t compressed_graph_bytes, bool dobfs = false) {
+  std::uint64_t words = 7ull * static_cast<std::uint64_t>(n);
+  if (dobfs) words += (static_cast<std::uint64_t>(n) + 31) / 32;
+  return words * kPaperWordBytes + compressed_graph_bytes;
+}
+
 /// gunrock-style resident words — the paper's Figure 4 lower bound.
 inline std::uint64_t gunrock_model_words(vidx_t n, eidx_t m) {
   return 9ull * static_cast<std::uint64_t>(n) +

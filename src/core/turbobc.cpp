@@ -8,6 +8,7 @@
 #include "gpusim/executor.hpp"
 #include "gpusim/kernel.hpp"
 #include "spmv/spmv_kernels.hpp"
+#include "storage/ccsc_kernels.hpp"
 
 namespace turbobc::bc {
 
@@ -41,6 +42,16 @@ TurboBC::TurboBC(sim::Device& device, const graph::EdgeList& graph,
       options_.variant == Variant::kScCooc) {
     options_.variant = Variant::kVeCsc;
   }
+  // Compressed storage decodes each column's varint chain sequentially —
+  // a warp cannot stride the byte stream — so any variant demotes to the
+  // thread-per-column scCSC layout (the same precedent as the COOC
+  // demotion above).
+  if (options_.compress) {
+    TBC_CHECK(!options_.edge_bc,
+              "compressed storage does not support edge BC (the edge "
+              "accumulator indexes arcs by raw nonzero position)");
+    options_.variant = Variant::kScCsc;
+  }
   graph::EdgeList canon = graph;
   canon.canonicalize();
   n_ = canon.num_vertices();
@@ -49,7 +60,10 @@ TurboBC::TurboBC(sim::Device& device, const graph::EdgeList& graph,
   TBC_CHECK(n_ > 0, "TurboBC needs a non-empty graph");
 
   // Exactly one sparse format resides on the device (paper Section 3.4).
-  if (options_.variant == Variant::kScCooc) {
+  if (options_.compress) {
+    ccsc_.emplace(device_,
+                  storage::encode_csc(graph::CscGraph::from_edges(canon)));
+  } else if (options_.variant == Variant::kScCooc) {
     cooc_.emplace(device_, graph::CoocGraph::from_edges(canon));
   } else {
     csc_.emplace(device_, graph::CscGraph::from_edges(canon));
@@ -76,6 +90,7 @@ TurboBC::TurboBC(sim::Device& device, const graph::EdgeList& graph,
 }
 
 std::size_t TurboBC::graph_device_bytes() const noexcept {
+  if (ccsc_) return ccsc_->device_bytes();
   if (cooc_) {
     return (cooc_->row_idx().bytes() + cooc_->col_idx().bytes());
   }
@@ -84,7 +99,9 @@ std::size_t TurboBC::graph_device_bytes() const noexcept {
 
 SourceStats TurboBC::run_source_on(sim::Device& dev,
                                    const spmv::DeviceCsc* csc,
-                                   const spmv::DeviceCooc* cooc, vidx_t source,
+                                   const spmv::DeviceCooc* cooc,
+                                   const storage::DeviceCompressedCsc* ccsc,
+                                   vidx_t source,
                                    sim::DeviceBuffer<bc_t>& bc_dev,
                                    sim::DeviceBuffer<bc_t>* ebc_dev,
                                    const MomentSink* moments) const {
@@ -145,7 +162,7 @@ SourceStats TurboBC::run_source_on(sim::Device& dev,
     std::uint64_t nf = 1, mf = 0;
     std::uint64_t mu = static_cast<std::uint64_t>(m_);
     if (dob) {
-      const auto& cp = csc->col_ptr().host();
+      const auto& cp = ccsc ? ccsc->col_ptr().host() : csc->col_ptr().host();
       mf = static_cast<std::uint64_t>(
           cp[static_cast<std::size_t>(source) + 1] -
           cp[static_cast<std::size_t>(source)]);
@@ -170,11 +187,15 @@ SourceStats TurboBC::run_source_on(sim::Device& dev,
       ft.device_fill(T{0});
       if (pulling) {
         spmv::frontier_to_bitmap(dev, f, n_, *bitmap);
-        if (options_.variant == Variant::kVeCsc) {
+        if (ccsc != nullptr) {
+          storage::spmv_forward_pull_ccsc(dev, *ccsc, f, *bitmap, ft, sigma);
+        } else if (options_.variant == Variant::kVeCsc) {
           spmv::spmv_forward_pull_vecsc(dev, *csc, f, *bitmap, ft, sigma);
         } else {
           spmv::spmv_forward_pull_sccsc(dev, *csc, f, *bitmap, ft, sigma);
         }
+      } else if (ccsc != nullptr) {
+        storage::spmv_forward_push_ccsc(dev, *ccsc, f, ft, sigma);
       } else {
         switch (options_.variant) {
           case Variant::kScCooc:
@@ -208,12 +229,14 @@ SourceStats TurboBC::run_source_on(sim::Device& dev,
                                          static_cast<T>(sigma.load(t, i) + v));
                              cflag.store(t, 0, 1);
                              if (dob) {
+                               const auto& cp = ccsc != nullptr
+                                                    ? ccsc->col_ptr()
+                                                    : csc->col_ptr();
                                cflag.atomic_add(t, 1, 1);
                                cflag.atomic_add(
                                    t, 2,
                                    static_cast<std::int32_t>(
-                                       csc->col_ptr().load(t, i + 1) -
-                                       csc->col_ptr().load(t, i)));
+                                       cp.load(t, i + 1) - cp.load(t, i)));
                              }
                            }
                          });
@@ -328,34 +351,45 @@ SourceStats TurboBC::run_source_on(sim::Device& dev,
                           pulled_level[static_cast<std::size_t>(d) - 1] != 0;
     if (pull_dep) {
       spmv::frontier_to_bitmap(dev, delta_u, n_, *bbitmap);
-      if (options_.variant == Variant::kVeCsc) {
+      if (ccsc != nullptr) {
+        storage::spmv_backward_pull_ccsc(dev, *ccsc, delta_u, *bbitmap,
+                                         delta_ut);
+      } else if (options_.variant == Variant::kVeCsc) {
         spmv::spmv_backward_pull_vecsc(dev, *csc, delta_u, *bbitmap, delta_ut);
       } else {
         spmv::spmv_backward_pull_sccsc(dev, *csc, delta_u, *bbitmap, delta_ut);
       }
     } else if (!directed_) {
-      switch (options_.variant) {
-        case Variant::kScCooc:
-          spmv::spmv_backward_gather_sccooc(dev, *cooc, delta_u, delta_ut);
-          break;
-        case Variant::kScCsc:
-          spmv::spmv_backward_gather_sccsc(dev, *csc, delta_u, delta_ut);
-          break;
-        case Variant::kVeCsc:
-          spmv::spmv_backward_gather_vecsc(dev, *csc, delta_u, delta_ut);
-          break;
+      if (ccsc != nullptr) {
+        storage::spmv_backward_gather_ccsc(dev, *ccsc, delta_u, delta_ut);
+      } else {
+        switch (options_.variant) {
+          case Variant::kScCooc:
+            spmv::spmv_backward_gather_sccooc(dev, *cooc, delta_u, delta_ut);
+            break;
+          case Variant::kScCsc:
+            spmv::spmv_backward_gather_sccsc(dev, *csc, delta_u, delta_ut);
+            break;
+          case Variant::kVeCsc:
+            spmv::spmv_backward_gather_vecsc(dev, *csc, delta_u, delta_ut);
+            break;
+        }
       }
     } else {
-      switch (options_.variant) {
-        case Variant::kScCooc:
-          spmv::spmv_backward_scatter_sccooc(dev, *cooc, delta_u, delta_ut);
-          break;
-        case Variant::kScCsc:
-          spmv::spmv_backward_scatter_sccsc(dev, *csc, delta_u, delta_ut);
-          break;
-        case Variant::kVeCsc:
-          spmv::spmv_backward_scatter_vecsc(dev, *csc, delta_u, delta_ut);
-          break;
+      if (ccsc != nullptr) {
+        storage::spmv_backward_scatter_ccsc(dev, *ccsc, delta_u, delta_ut);
+      } else {
+        switch (options_.variant) {
+          case Variant::kScCooc:
+            spmv::spmv_backward_scatter_sccooc(dev, *cooc, delta_u, delta_ut);
+            break;
+          case Variant::kScCsc:
+            spmv::spmv_backward_scatter_sccsc(dev, *csc, delta_u, delta_ut);
+            break;
+          case Variant::kVeCsc:
+            spmv::spmv_backward_scatter_vecsc(dev, *csc, delta_u, delta_ut);
+            break;
+        }
       }
     }
 
@@ -467,7 +501,10 @@ TurboBC::BlockPartial TurboBC::run_source_block(
 
   std::optional<spmv::DeviceCsc> rcsc;
   std::optional<spmv::DeviceCooc> rcooc;
-  if (cooc_) {
+  std::optional<storage::DeviceCompressedCsc> rccsc;
+  if (ccsc_) {
+    rccsc.emplace(rdev, *ccsc_);
+  } else if (cooc_) {
     rcooc.emplace(rdev, *cooc_);
   } else {
     rcsc.emplace(rdev, *csc_);
@@ -498,7 +535,8 @@ TurboBC::BlockPartial TurboBC::run_source_block(
     MomentSink sink{rsum ? &*rsum : nullptr, rsumsq ? &*rsumsq : nullptr,
                     weights != nullptr ? (*weights)[i] : 1.0};
     out.last = run_source_on(rdev, rcsc ? &*rcsc : nullptr,
-                             rcooc ? &*rcooc : nullptr, sources[i], rbc,
+                             rcooc ? &*rcooc : nullptr,
+                             rccsc ? &*rccsc : nullptr, sources[i], rbc,
                              rebc ? &*rebc : nullptr,
                              with_moments ? &sink : nullptr);
   }
@@ -558,8 +596,8 @@ BcResult TurboBC::run_sources_impl(const std::vector<vidx_t>& sources,
                       weights != nullptr ? (*weights)[i] : 1.0};
       result.last_source =
           run_source_on(device_, csc_ ? &*csc_ : nullptr,
-                        cooc_ ? &*cooc_ : nullptr, sources[i], bc_dev,
-                        ebc_dev ? &*ebc_dev : nullptr,
+                        cooc_ ? &*cooc_ : nullptr, ccsc_ ? &*ccsc_ : nullptr,
+                        sources[i], bc_dev, ebc_dev ? &*ebc_dev : nullptr,
                         moments != nullptr ? &sink : nullptr);
     }
   } else {

@@ -32,6 +32,7 @@
 #include "gpusim/device.hpp"
 #include "graph/edge_list.hpp"
 #include "spmv/device_graph.hpp"
+#include "storage/device_ccsc.hpp"
 
 namespace turbobc::bc {
 
@@ -61,6 +62,15 @@ struct BcOptions {
   Advance advance = Advance::kPush;
   /// Per-level push<->pull switch thresholds (kAuto only).
   DirectionThresholds thresholds = {};
+  /// Out-of-core extension (DESIGN.md §12): keep the graph resident as a
+  /// delta-varint compressed CSC (storage::CompressedCsc) and decode row
+  /// ids inside the gather loops. The varint chain is sequential per
+  /// column, so any variant demotes to the thread-per-column kScCsc layout
+  /// (mirroring the COOC demotion under pull); results are bit-identical
+  /// to the uncompressed kernels — same rows, same fold order, same
+  /// arithmetic. Incompatible with edge_bc (the edge accumulator indexes
+  /// the per-arc array by raw nonzero position).
+  bool compress = false;
 };
 
 /// Statistics of one source's traversal.
@@ -231,10 +241,12 @@ class TurboBC {
   /// One source's full pipeline against an explicit device and graph
   /// structure. `dev` is either the main device (serial / single-source) or
   /// a per-block replica of it (parallel fan-out — see run_sources); exactly
-  /// one of `csc` / `cooc` is non-null, matching options_.variant.
+  /// one of `csc` / `cooc` / `ccsc` is non-null, matching options_.variant
+  /// and options_.compress.
   SourceStats run_source_on(sim::Device& dev, const spmv::DeviceCsc* csc,
-                            const spmv::DeviceCooc* cooc, vidx_t source,
-                            sim::DeviceBuffer<bc_t>& bc_dev,
+                            const spmv::DeviceCooc* cooc,
+                            const storage::DeviceCompressedCsc* ccsc,
+                            vidx_t source, sim::DeviceBuffer<bc_t>& bc_dev,
                             sim::DeviceBuffer<bc_t>* ebc_dev,
                             const MomentSink* moments = nullptr) const;
 
@@ -252,6 +264,7 @@ class TurboBC {
   bool directed_ = false;
   std::optional<spmv::DeviceCsc> csc_;
   std::optional<spmv::DeviceCooc> cooc_;
+  std::optional<storage::DeviceCompressedCsc> ccsc_;
   /// Permutation from device nonzero order (column-major) to canonical arc
   /// order; built only when options.edge_bc is set.
   std::vector<eidx_t> nz_to_canonical_;

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "gpusim/kernel.hpp"
 #include "spmv/spmv_kernels.hpp"
+#include "storage/ccsc_kernels.hpp"
 
 namespace turbobc::bc {
 
@@ -28,7 +29,12 @@ TurboBCBatched::TurboBCBatched(sim::Device& device,
   m_ = canon.num_arcs();
   directed_ = canon.directed();
   TBC_CHECK(n_ > 0, "batched TurboBC needs a non-empty graph");
-  csc_.emplace(device_, graph::CscGraph::from_edges(canon));
+  if (options_.compress) {
+    ccsc_.emplace(device_,
+                  storage::encode_csc(graph::CscGraph::from_edges(canon)));
+  } else {
+    csc_.emplace(device_, graph::CscGraph::from_edges(canon));
+  }
 }
 
 void TurboBCBatched::run_batch(const std::vector<vidx_t>& batch,
@@ -110,7 +116,8 @@ void TurboBCBatched::run_batch(const std::vector<vidx_t>& batch,
       distinct.erase(std::unique(distinct.begin(), distinct.end()),
                      distinct.end());
       nf = distinct.size();
-      const auto& cp = csc_->col_ptr().host();
+      const auto& cp =
+          ccsc_ ? ccsc_->col_ptr().host() : csc_->col_ptr().host();
       for (const vidx_t s : distinct) {
         mf += static_cast<std::uint64_t>(
             cp[static_cast<std::size_t>(s) + 1] -
@@ -139,9 +146,19 @@ void TurboBCBatched::run_batch(const std::vector<vidx_t>& batch,
       }
       if (pulling) {
         spmv::msbfs_frontier_to_bitmap(dev, *cur, n_, *bitmap);
-        spmv::spmm_forward_msbfs_pull_sccsc(
-            dev, *csc_, static_cast<int>(k), full, d, *cur, *bitmap, vmask,
-            *nxt, sigma, S, cflags, dob);
+        if (ccsc_) {
+          storage::spmm_forward_msbfs_pull_ccsc(
+              dev, *ccsc_, static_cast<int>(k), full, d, *cur, *bitmap, vmask,
+              *nxt, sigma, S, cflags, dob);
+        } else {
+          spmv::spmm_forward_msbfs_pull_sccsc(
+              dev, *csc_, static_cast<int>(k), full, d, *cur, *bitmap, vmask,
+              *nxt, sigma, S, cflags, dob);
+        }
+      } else if (ccsc_) {
+        storage::spmm_forward_msbfs_ccsc(dev, *ccsc_, static_cast<int>(k),
+                                         full, d, *cur, vmask, *nxt, sigma, S,
+                                         cflags, dob);
       } else {
         spmv::spmm_forward_msbfs_sccsc(dev, *csc_, static_cast<int>(k), full,
                                        d, *cur, vmask, *nxt, sigma, S, cflags,
@@ -194,7 +211,15 @@ void TurboBCBatched::run_batch(const std::vector<vidx_t>& batch,
         });
 
     delta_ut.device_fill(0.0);
-    if (!directed_) {
+    if (ccsc_) {
+      // Compressed twins of the two inline loops below, decoding rows from
+      // the varint stream (storage/ccsc_kernels.hpp).
+      if (!directed_) {
+        storage::dep_spmm_gather_ccsc(dev, *ccsc_, k, delta_u, delta_ut);
+      } else {
+        storage::dep_spmm_scatter_ccsc(dev, *ccsc_, k, delta_u, delta_ut);
+      }
+    } else if (!directed_) {
       sim::launch_scalar(
           dev, "dep_spmm_sccsc", static_cast<std::uint64_t>(n_),
           [&](sim::ThreadCtx& t) {

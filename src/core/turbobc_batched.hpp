@@ -40,6 +40,7 @@
 #include "gpusim/device.hpp"
 #include "graph/edge_list.hpp"
 #include "spmv/device_graph.hpp"
+#include "storage/device_ccsc.hpp"
 
 namespace turbobc::bc {
 
@@ -59,6 +60,12 @@ struct BatchedOptions {
   Advance advance = Advance::kPush;
   /// Switch points for kAuto (same defaults as the single-source engine).
   DirectionThresholds thresholds = {};
+  /// Keep the graph resident as a delta-varint compressed CSC and decode
+  /// row ids inside the SpMM loops (storage/ccsc_kernels.hpp). Same masks,
+  /// same per-column edge order, same fold arithmetic — sigma and bc stay
+  /// bit-identical to the uncompressed batched engine and hence to the
+  /// per-source engine. See BcOptions::compress.
+  bool compress = false;
 };
 
 class TurboBCBatched {
@@ -105,6 +112,7 @@ class TurboBCBatched {
   eidx_t m_ = 0;
   bool directed_ = false;
   std::optional<spmv::DeviceCsc> csc_;
+  std::optional<storage::DeviceCompressedCsc> ccsc_;
 };
 
 }  // namespace turbobc::bc

@@ -3,12 +3,13 @@
 #include "common/error.hpp"
 #include "gpusim/kernel.hpp"
 #include "spmv/spmv_kernels.hpp"
+#include "storage/ccsc_kernels.hpp"
 
 namespace turbobc::bc {
 
 TurboBfs::TurboBfs(sim::Device& device, const graph::EdgeList& graph,
                    Variant variant, Advance advance,
-                   DirectionThresholds thresholds)
+                   DirectionThresholds thresholds, bool compress)
     : device_(device),
       variant_(variant),
       advance_(advance),
@@ -19,12 +20,18 @@ TurboBfs::TurboBfs(sim::Device& device, const graph::EdgeList& graph,
   if (advance_ != Advance::kPush && variant_ == Variant::kScCooc) {
     variant_ = Variant::kVeCsc;
   }
+  // The varint decode is sequential per column: compressed runs demote to
+  // the thread-per-column scCSC layout (see BcOptions::compress).
+  if (compress) variant_ = Variant::kScCsc;
   graph::EdgeList canon = graph;
   canon.canonicalize();
   n_ = canon.num_vertices();
   m_ = canon.num_arcs();
   TBC_CHECK(n_ > 0, "TurboBFS needs a non-empty graph");
-  if (variant_ == Variant::kScCooc) {
+  if (compress) {
+    ccsc_.emplace(device_,
+                  storage::encode_csc(graph::CscGraph::from_edges(canon)));
+  } else if (variant_ == Variant::kScCooc) {
     cooc_.emplace(device_, graph::CoocGraph::from_edges(canon));
   } else {
     csc_.emplace(device_, graph::CscGraph::from_edges(canon));
@@ -67,7 +74,7 @@ TurboBfsResult TurboBfs::run(vidx_t source) {
   std::uint64_t nf = 1, mf = 0;
   std::uint64_t mu = static_cast<std::uint64_t>(m_);
   if (dob) {
-    const auto& cp = csc_->col_ptr().host();
+    const auto& cp = ccsc_ ? ccsc_->col_ptr().host() : csc_->col_ptr().host();
     mf = static_cast<std::uint64_t>(cp[static_cast<std::size_t>(source) + 1] -
                                     cp[static_cast<std::size_t>(source)]);
     mu -= mf;
@@ -90,11 +97,15 @@ TurboBfsResult TurboBfs::run(vidx_t source) {
     ft.device_fill(0);
     if (pulling) {
       spmv::frontier_to_bitmap(dev, f, n_, *bitmap);
-      if (variant_ == Variant::kVeCsc) {
+      if (ccsc_) {
+        storage::spmv_forward_pull_ccsc(dev, *ccsc_, f, *bitmap, ft, sigma);
+      } else if (variant_ == Variant::kVeCsc) {
         spmv::spmv_forward_pull_vecsc(dev, *csc_, f, *bitmap, ft, sigma);
       } else {
         spmv::spmv_forward_pull_sccsc(dev, *csc_, f, *bitmap, ft, sigma);
       }
+    } else if (ccsc_) {
+      storage::spmv_forward_push_ccsc(dev, *ccsc_, f, ft, sigma);
     } else {
       switch (variant_) {
         case Variant::kScCooc:
@@ -125,12 +136,13 @@ TurboBfsResult TurboBfs::run(vidx_t source) {
                            sigma.store(t, i, sigma.load(t, i) + v);
                            cflag.store(t, 0, 1);
                            if (dob) {
+                             const auto& cp = ccsc_ ? ccsc_->col_ptr()
+                                                    : csc_->col_ptr();
                              cflag.atomic_add(t, 1, 1);
                              cflag.atomic_add(
                                  t, 2,
                                  static_cast<std::int32_t>(
-                                     csc_->col_ptr().load(t, i + 1) -
-                                     csc_->col_ptr().load(t, i)));
+                                     cp.load(t, i + 1) - cp.load(t, i)));
                            }
                          }
                        });

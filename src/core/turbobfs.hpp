@@ -19,6 +19,7 @@
 #include "gpusim/device.hpp"
 #include "graph/edge_list.hpp"
 #include "spmv/device_graph.hpp"
+#include "storage/device_ccsc.hpp"
 
 namespace turbobc::bc {
 
@@ -40,10 +41,14 @@ class TurboBfs {
   /// kScCooc is demoted to kVeCsc exactly as in TurboBC. Depths, sigmas, and
   /// heights are bit-identical across modes (the pull fold skips exact
   /// zeros only) — the qa oracle enforces this.
+  /// `compress` keeps the graph resident as a delta-varint compressed CSC
+  /// and decodes rows inside the gather loops; the sequential decode demotes
+  /// any variant to kScCsc (see BcOptions::compress). Depths / sigmas are
+  /// bit-identical to the uncompressed run.
   TurboBfs(sim::Device& device, const graph::EdgeList& graph,
            Variant variant = Variant::kScCsc,
            Advance advance = Advance::kPush,
-           DirectionThresholds thresholds = {});
+           DirectionThresholds thresholds = {}, bool compress = false);
 
   TurboBfsResult run(vidx_t source);
 
@@ -59,6 +64,7 @@ class TurboBfs {
   eidx_t m_ = 0;
   std::optional<spmv::DeviceCsc> csc_;
   std::optional<spmv::DeviceCooc> cooc_;
+  std::optional<storage::DeviceCompressedCsc> ccsc_;
 };
 
 }  // namespace turbobc::bc

@@ -29,6 +29,7 @@ OracleOptions case_oracle(const FuzzerOptions& options, int index) {
   oracle.check_dist = on_cadence(options.dist_every, 4);
   oracle.check_msbfs = on_cadence(options.msbfs_every, 5);
   oracle.check_serve = on_cadence(options.serve_every, 2);
+  oracle.check_ooc = on_cadence(options.ooc_every, 0);
   return oracle;
 }
 

@@ -62,6 +62,11 @@ struct FuzzerOptions {
   /// byte-identity — see oracle.hpp) on every k-th case (0 disables).
   /// Phase 2 of the six-cycle, so the four six-cycles stay disjoint.
   int serve_every = 6;
+  /// Run the out-of-core storage stage (codec round-trip, compressed and
+  /// streamed BC bit-identity, fetch-free ledger, compressed inventory —
+  /// see oracle.hpp) on every k-th case (0 disables). Phase 0 of the
+  /// six-cycle — the slot the other six-cycles leave free.
+  int ooc_every = 6;
   /// Stop early after this many distinct failures (each one costs a
   /// minimization run).
   int max_failures = 8;

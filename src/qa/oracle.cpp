@@ -28,6 +28,8 @@
 #include "graph/mtx_io.hpp"
 #include "serve/serve_engine.hpp"
 #include "serve/session.hpp"
+#include "storage/compressed_csc.hpp"
+#include "storage/streaming_bc.hpp"
 
 namespace turbobc::qa {
 
@@ -940,6 +942,156 @@ struct Checker {
     }
   }
 
+  /// Out-of-core storage stack (src/storage/): the delta-varint codec must
+  /// round-trip the canonical CSC bit-exactly; the compressed kernels must
+  /// reproduce the uncompressed kScCsc engine's BC bit-for-bit in push /
+  /// pull / auto at any pool width (the demotion contract: compress pins
+  /// the layout to kScCsc whatever variant was asked for); StreamingTurboBC
+  /// must equal the resident compressed engine both under a window that
+  /// forces eviction and on the fetch-free fast path, whose ledger must
+  /// stay refetch- and eviction-free; and the compressed image's device
+  /// bytes must be byte-exact against the analytic model.
+  void check_ooc() {
+    const vidx_t n = canon.num_vertices();
+    const eidx_t m = canon.num_arcs();
+    const auto csc = graph::CscGraph::from_edges(canon);
+    const storage::CompressedCsc cgraph = storage::encode_csc(csc);
+
+    if (!storage::round_trips(cgraph, csc)) {
+      fail("ooc_agreement",
+           "delta-varint codec does not round-trip the canonical CSC");
+      return;  // every engine below decodes this stream
+    }
+
+    const auto sources = pick_sources();
+    const auto run_engine = [&](bool compress, bc::Advance adv,
+                                unsigned width) {
+      PoolWidthGuard guard;
+      sim::ExecutorPool::instance().set_threads(width);
+      sim::Device dev;
+      dev.set_keep_launch_records(false);
+      // The uncompressed reference is pinned to kScCsc — the layout the
+      // compressed engine demotes to — so agreement is bit-exact, not
+      // tolerance-based. The compressed run asks for the auto-selected
+      // variant to exercise the demotion path itself.
+      bc::TurboBC algo(dev, graph,
+                       {.variant = compress ? bc::select_variant(canon)
+                                            : bc::Variant::kScCsc,
+                        .advance = adv,
+                        .compress = compress});
+      return algo.run_sources(sources);
+    };
+    const auto compare_bits = [&](const std::string& what,
+                                  const std::vector<bc_t>& actual,
+                                  const std::vector<bc_t>& expected) {
+      if (actual.size() != expected.size()) {
+        fail("ooc_agreement",
+             what + ": size " + std::to_string(actual.size()) + " vs " +
+                 std::to_string(expected.size()));
+        return;
+      }
+      for (std::size_t v = 0; v < actual.size(); ++v) {
+        if (actual[v] != expected[v]) {
+          std::ostringstream os;
+          os << what << ": bc[" << v << "] = " << actual[v] << " vs "
+             << expected[v];
+          fail("ooc_agreement", os.str());
+          return;
+        }
+      }
+    };
+
+    bc::BcResult packed_push;
+    for (const bc::Advance adv :
+         {bc::Advance::kPush, bc::Advance::kPull, bc::Advance::kAuto}) {
+      const std::string mode(bc::to_string(adv));
+      const bc::BcResult plain = run_engine(false, adv, 1);
+      const bc::BcResult packed = run_engine(true, adv, 1);
+      compare_bits(mode + ": compressed vs uncompressed", packed.bc,
+                   plain.bc);
+      if (adv == bc::Advance::kPush) packed_push = packed;
+    }
+
+    // ooc_inventory: the resident compressed image is byte-exact against
+    // the codec's model, and the engine's simulated peak is the analytic
+    // kScCsc inventory with the graph term swapped for that image.
+    {
+      sim::Device dev;
+      dev.set_keep_launch_records(false);
+      bc::TurboBC algo(dev, graph, {.compress = true});
+      if (algo.graph_device_bytes() != cgraph.model_bytes()) {
+        std::ostringstream os;
+        os << "compressed device image " << algo.graph_device_bytes()
+           << " B != model " << cgraph.model_bytes() << " B";
+        fail("ooc_inventory", os.str());
+      }
+      const bc::BcResult r = algo.run_sources(sources);
+      const std::size_t csc_bytes =
+          4 * (static_cast<std::size_t>(n) + 1) +
+          4 * static_cast<std::size_t>(m);
+      const std::size_t expected =
+          expected_turbobc_peak_bytes(bc::Variant::kScCsc, n, m,
+                                      /*edge_bc=*/false) -
+          csc_bytes + cgraph.model_bytes();
+      if (r.peak_device_bytes != expected) {
+        std::ostringstream os;
+        os << "compressed peak " << r.peak_device_bytes
+           << " B != analytic inventory " << expected << " B (n = " << n
+           << ", m = " << m << ")";
+        fail("ooc_inventory", os.str());
+      }
+    }
+
+    // Streamed == resident: a window of 1 over >= 2 shards forces LRU
+    // eviction and refetch every sweep; the BC must still be bit-identical.
+    {
+      sim::Device dev;
+      dev.set_keep_launch_records(false);
+      storage::StreamingTurboBC streamed(dev, cgraph,
+                                         {.num_shards = 3, .window = 1});
+      compare_bits("streamed(window=1) vs resident compressed",
+                   streamed.run_sources(sources).bc, packed_push.bc);
+    }
+
+    // Fetch-free fast path: window >= shards means every shard uploads
+    // once and the ledger stays refetch- and eviction-free.
+    {
+      sim::Device dev;
+      dev.set_keep_launch_records(false);
+      storage::StreamingTurboBC fast(dev, cgraph,
+                                     {.num_shards = 2, .window = 4});
+      compare_bits("streamed(fetch-free) vs resident compressed",
+                   fast.run_sources(sources).bc, packed_push.bc);
+      if (!fast.fetch_free()) {
+        fail("ooc_agreement",
+             "window >= num_shards but engine does not report fetch_free");
+      }
+      if (fast.ledger().refetch_bytes != 0 || fast.ledger().evictions != 0) {
+        std::ostringstream os;
+        os << "fetch-free window reported refetch traffic ("
+           << fast.ledger().refetch_bytes << " B, "
+           << fast.ledger().evictions << " evictions)";
+        fail("ooc_agreement", os.str());
+      }
+    }
+
+    // Pool-width determinism, the PR 1 standard: compressed modeled results
+    // are bit-identical at any width (sources run serially, so this must
+    // hold for the streamed engine's values too).
+    if (opt.check_determinism && n > 1) {
+      const bc::BcResult wide = run_engine(true, bc::Advance::kPush,
+                                           opt.det_threads);
+      if (wide.bc != packed_push.bc ||
+          wide.device_seconds != packed_push.device_seconds ||
+          wide.peak_device_bytes != packed_push.peak_device_bytes) {
+        fail("ooc_agreement",
+             "compressed push: threads=1 vs threads=" +
+                 std::to_string(opt.det_threads) +
+                 " modeled results differ");
+      }
+    }
+  }
+
   void run() {
     check_mtx_roundtrip();
     if (canon.num_vertices() == 0) return;  // nothing else is defined
@@ -980,6 +1132,10 @@ struct Checker {
     if (opt.check_serve && canon.num_vertices() > 0 &&
         canon.num_vertices() <= opt.serve_max_vertices) {
       check_serve();
+    }
+    if (opt.check_ooc && canon.num_vertices() > 0 &&
+        canon.num_vertices() <= opt.ooc_max_vertices) {
+      check_ooc();
     }
   }
 };

@@ -61,6 +61,18 @@
 //                         scripted session's whole transcript (queries,
 //                         updates, approx, stats) is byte-identical at
 //                         pool widths 1 and N
+//   ooc_agreement         out-of-core storage (src/storage/): the codec
+//                         round-trips the CSC bit-exactly, the compressed
+//                         kernels reproduce the uncompressed engine's BC
+//                         bit-for-bit in push/pull/auto at any pool width,
+//                         and StreamingTurboBC (including the fetch-free
+//                         window, whose ledger must show zero refetch
+//                         bytes) equals the resident compressed engine
+//   ooc_inventory         the compressed graph's simulated device bytes
+//                         match CompressedCsc::model_bytes exactly, and
+//                         the compressed engine's simulated peak equals
+//                         the analytic TurboBC inventory with the graph
+//                         term swapped for the compressed image
 //
 // Each failed check appends a Violation naming the invariant; the fuzz loop
 // and the delta-debugging minimizer key on those names.
@@ -127,6 +139,13 @@ struct OracleOptions {
   /// Edge updates in the oracle's stream (the standalone agreement test
   /// runs >= 50; a fuzz case keeps it short).
   int serve_updates = 3;
+  /// Out-of-core storage (src/storage/): codec round-trip, compressed-vs-
+  /// uncompressed BC bit-identity across advance modes and pool widths,
+  /// streamed-vs-resident bit-identity, the zero-refetch fast-path ledger,
+  /// and the compressed device-byte inventory. Runs several full BC passes,
+  /// so (like check_exact) it is skipped above ooc_max_vertices.
+  bool check_ooc = true;
+  vidx_t ooc_max_vertices = 100;
 };
 
 struct Violation {

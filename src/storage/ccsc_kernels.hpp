@@ -1,0 +1,361 @@
+// SpMV/SpMM kernels over the delta-varint compressed CSC (DESIGN.md §12).
+//
+// Each kernel is the thread-per-column scCSC kernel from
+// spmv/spmv_kernels.hpp with the row-id load replaced by an inline LEB128
+// decode from the byte stream:
+//
+//   * every byte consumed is one DeviceBuffer<uint8>::load — a 1-byte Access
+//     the coalescing model packs ~4x denser into 32-byte sectors than the
+//     4-byte row-id loads it replaces (fewer memory transactions), and
+//   * every byte also charges one t.count_word_ops(1) — the decode ALU cost
+//     (shift/or/continuation test), surfaced in the KernelAggregate word_ops
+//     column so the transactions-vs-ALU tradeoff is measurable per kernel.
+//
+// Bit-identity: the decode yields exactly the row sequence the uncompressed
+// kernel loads, in the same k order, and the fold arithmetic is untouched —
+// so sigma / delta / bc agree bit for bit with the uncompressed kernels
+// (oracle invariant `ooc_agreement`).
+//
+// `col_base` shifts the OPERAND index space: a streamed shard's columns are
+// local (the launch covers g.n() local columns) while x / y / sigma stay
+// full-length global vectors, so masks read and results write at
+// col_base + i. Resident callers pass 0. Decoded row ids are always global.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "gpusim/kernel.hpp"
+#include "spmv/spmv_kernels.hpp"
+#include "storage/device_ccsc.hpp"
+
+namespace turbobc::storage {
+
+/// Sequential varint reader over one column's byte range. Every consumed
+/// byte is a charged 1-byte load plus one decode word-op.
+class CcscCursor {
+ public:
+  CcscCursor(const DeviceCompressedCsc& g, sim::ThreadCtx& t,
+             std::size_t local_col)
+      : g_(g), t_(t) {
+    pos_ = static_cast<std::size_t>(g.byte_off().load(t, local_col));
+  }
+
+  /// Decode the next row id (absolute for the first call, prior + gap
+  /// afterwards — the inverse of encode_csc's delta chain).
+  vidx_t next() {
+    std::uint32_t value = 0;
+    int shift = 0;
+    while (true) {
+      const std::uint8_t b = g_.bytes().load(t_, pos_++);
+      t_.count_word_ops(1);
+      value |= static_cast<std::uint32_t>(b & 0x7Fu) << shift;
+      if ((b & 0x80u) == 0) break;
+      shift += 7;
+    }
+    acc_ = first_ ? value : acc_ + value;
+    first_ = false;
+    return static_cast<vidx_t>(acc_);
+  }
+
+ private:
+  const DeviceCompressedCsc& g_;
+  sim::ThreadCtx& t_;
+  std::size_t pos_ = 0;
+  std::uint32_t acc_ = 0;
+  bool first_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Forward (masked) kernels — compressed twins of bfs_spmv_sccsc and
+// bfs_spmv_pull_sccsc.
+// ---------------------------------------------------------------------------
+
+template <typename T, typename M>
+void spmv_forward_push_ccsc(sim::Device& device, const DeviceCompressedCsc& g,
+                            const sim::DeviceBuffer<T>& x,
+                            sim::DeviceBuffer<T>& y,
+                            const sim::DeviceBuffer<M>& sigma,
+                            vidx_t col_base = 0) {
+  sim::launch_scalar(
+      device, "bfs_spmv_ccsc", static_cast<std::uint64_t>(g.n()),
+      [&](sim::ThreadCtx& t) {
+        const auto i = static_cast<std::size_t>(t.global_id());
+        const auto gi = static_cast<std::size_t>(col_base) + i;
+        if (sigma.load(t, gi) != 0) return;
+        const spmv::dptr_t begin = g.col_ptr().load(t, i);
+        const spmv::dptr_t end = g.col_ptr().load(t, i + 1);
+        CcscCursor cur(g, t, i);
+        T sum = 0;
+        for (spmv::dptr_t k = begin; k < end; ++k) {
+          const vidx_t row = cur.next();
+          sum += x.load(t, static_cast<std::size_t>(row));
+          t.count_ops(1);
+        }
+        if (sum > 0) y.store(t, gi, sum);
+      });
+}
+
+template <typename T, typename M>
+void spmv_forward_pull_ccsc(sim::Device& device, const DeviceCompressedCsc& g,
+                            const sim::DeviceBuffer<T>& x,
+                            const sim::DeviceBuffer<std::uint32_t>& bitmap,
+                            sim::DeviceBuffer<T>& y,
+                            const sim::DeviceBuffer<M>& sigma,
+                            vidx_t col_base = 0) {
+  sim::launch_scalar(
+      device, "bfs_spmv_pull_ccsc", static_cast<std::uint64_t>(g.n()),
+      [&](sim::ThreadCtx& t) {
+        const auto i = static_cast<std::size_t>(t.global_id());
+        const auto gi = static_cast<std::size_t>(col_base) + i;
+        if (sigma.load(t, gi) != 0) return;
+        const spmv::dptr_t begin = g.col_ptr().load(t, i);
+        const spmv::dptr_t end = g.col_ptr().load(t, i + 1);
+        CcscCursor cur(g, t, i);
+        T sum = 0;
+        // The gap chain is sequential, so a pulled column still decodes
+        // every varint; the saving is skipping the frontier-value load on
+        // bitmap misses, exactly as in the uncompressed pull kernel.
+        for (spmv::dptr_t k = begin; k < end; ++k) {
+          const vidx_t row = cur.next();
+          const std::uint32_t word =
+              bitmap.load(t, static_cast<std::size_t>(row) / 32);
+          t.count_ops(1);
+          if ((word >> (static_cast<std::uint32_t>(row) & 31u)) & 1u) {
+            sum += x.load(t, static_cast<std::size_t>(row));
+          }
+        }
+        if (sum > 0) y.store(t, gi, sum);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Backward (unmasked) kernels — compressed twins of dep_spmv_sccsc,
+// dep_spmv_pull_sccsc and dep_spmv_sccsc_scatter.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void spmv_backward_gather_ccsc(sim::Device& device,
+                               const DeviceCompressedCsc& g,
+                               const sim::DeviceBuffer<T>& x,
+                               sim::DeviceBuffer<T>& y, vidx_t col_base = 0) {
+  sim::launch_scalar(
+      device, "dep_spmv_ccsc", static_cast<std::uint64_t>(g.n()),
+      [&](sim::ThreadCtx& t) {
+        const auto i = static_cast<std::size_t>(t.global_id());
+        const spmv::dptr_t begin = g.col_ptr().load(t, i);
+        const spmv::dptr_t end = g.col_ptr().load(t, i + 1);
+        CcscCursor cur(g, t, i);
+        T sum = 0;
+        for (spmv::dptr_t k = begin; k < end; ++k) {
+          const vidx_t row = cur.next();
+          sum += x.load(t, static_cast<std::size_t>(row));
+          t.count_ops(1);
+        }
+        if (sum != 0) {
+          y.store(t, static_cast<std::size_t>(col_base) + i, sum);
+        }
+      });
+}
+
+template <typename T>
+void spmv_backward_pull_ccsc(sim::Device& device, const DeviceCompressedCsc& g,
+                             const sim::DeviceBuffer<T>& x,
+                             const sim::DeviceBuffer<std::uint32_t>& bitmap,
+                             sim::DeviceBuffer<T>& y, vidx_t col_base = 0) {
+  sim::launch_scalar(
+      device, "dep_spmv_pull_ccsc", static_cast<std::uint64_t>(g.n()),
+      [&](sim::ThreadCtx& t) {
+        const auto i = static_cast<std::size_t>(t.global_id());
+        const spmv::dptr_t begin = g.col_ptr().load(t, i);
+        const spmv::dptr_t end = g.col_ptr().load(t, i + 1);
+        CcscCursor cur(g, t, i);
+        T sum = 0;
+        for (spmv::dptr_t k = begin; k < end; ++k) {
+          const vidx_t row = cur.next();
+          const std::uint32_t word =
+              bitmap.load(t, static_cast<std::size_t>(row) / 32);
+          t.count_ops(1);
+          if ((word >> (static_cast<std::uint32_t>(row) & 31u)) & 1u) {
+            sum += x.load(t, static_cast<std::size_t>(row));
+          }
+        }
+        if (sum != 0) {
+          y.store(t, static_cast<std::size_t>(col_base) + i, sum);
+        }
+      });
+}
+
+template <typename T>
+void spmv_backward_scatter_ccsc(sim::Device& device,
+                                const DeviceCompressedCsc& g,
+                                const sim::DeviceBuffer<T>& x,
+                                sim::DeviceBuffer<T>& y, vidx_t col_base = 0) {
+  sim::launch_scalar(
+      device, "dep_spmv_ccsc_scatter", static_cast<std::uint64_t>(g.n()),
+      [&](sim::ThreadCtx& t) {
+        const auto w = static_cast<std::size_t>(t.global_id());
+        const T xv = x.load(t, static_cast<std::size_t>(col_base) + w);
+        if (xv == 0) return;  // zero column: no decode needed
+        const spmv::dptr_t begin = g.col_ptr().load(t, w);
+        const spmv::dptr_t end = g.col_ptr().load(t, w + 1);
+        CcscCursor cur(g, t, w);
+        for (spmv::dptr_t k = begin; k < end; ++k) {
+          const vidx_t row = cur.next();
+          y.atomic_add(t, static_cast<std::size_t>(row), xv);
+          t.count_ops(1);
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
+// MS-BFS (batched engine) twins — the fused SpMM level kernels of
+// spmv_kernels.hpp with decoded rows, plus the two batched dependency
+// sweeps that turbobc_batched.cpp otherwise writes inline over the CSC.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void spmm_forward_msbfs_ccsc(
+    sim::Device& device, const DeviceCompressedCsc& g, int k,
+    std::uint64_t full, vidx_t depth,
+    const sim::DeviceBuffer<std::uint64_t>& F,
+    sim::DeviceBuffer<std::uint64_t>& V, sim::DeviceBuffer<std::uint64_t>& Fn,
+    sim::DeviceBuffer<T>& sigma, sim::DeviceBuffer<std::int32_t>& S,
+    sim::DeviceBuffer<std::int32_t>& cflags, bool count_degrees) {
+  const auto kk = static_cast<std::size_t>(k);
+  sim::launch_scalar(
+      device, "bfs_spmm_msbfs_ccsc", static_cast<std::uint64_t>(g.n()),
+      [&](sim::ThreadCtx& t) {
+        const auto v = static_cast<std::size_t>(t.global_id());
+        const std::uint64_t vis = V.load(t, v);
+        t.count_word_ops(1);
+        if ((vis & full) == full) return;
+        const spmv::dptr_t begin = g.col_ptr().load(t, v);
+        const spmv::dptr_t end = g.col_ptr().load(t, v + 1);
+        CcscCursor cur(g, t, v);
+        T sums[64] = {};
+        std::uint64_t m = 0;
+        for (spmv::dptr_t e = begin; e < end; ++e) {
+          const vidx_t row = cur.next();
+          const std::uint64_t w =
+              F.load(t, static_cast<std::size_t>(row)) & ~vis;
+          t.count_word_ops(1);
+          if (w == 0) continue;
+          m |= w;
+          for (std::uint64_t bits = w; bits != 0; bits &= bits - 1) {
+            const auto j = static_cast<std::size_t>(std::countr_zero(bits));
+            sums[j] += sigma.load(t, static_cast<std::size_t>(row) * kk + j);
+          }
+        }
+        spmv::msbfs_column_commit(t, v, k, depth, V, Fn, sigma, S, cflags,
+                                  count_degrees,
+                                  static_cast<std::uint64_t>(end - begin),
+                                  vis, m, sums);
+      });
+}
+
+template <typename T>
+void spmm_forward_msbfs_pull_ccsc(
+    sim::Device& device, const DeviceCompressedCsc& g, int k,
+    std::uint64_t full, vidx_t depth,
+    const sim::DeviceBuffer<std::uint64_t>& F,
+    const sim::DeviceBuffer<std::uint32_t>& bitmap,
+    sim::DeviceBuffer<std::uint64_t>& V, sim::DeviceBuffer<std::uint64_t>& Fn,
+    sim::DeviceBuffer<T>& sigma, sim::DeviceBuffer<std::int32_t>& S,
+    sim::DeviceBuffer<std::int32_t>& cflags, bool count_degrees) {
+  const auto kk = static_cast<std::size_t>(k);
+  sim::launch_scalar(
+      device, "bfs_spmm_msbfs_pull_ccsc", static_cast<std::uint64_t>(g.n()),
+      [&](sim::ThreadCtx& t) {
+        const auto v = static_cast<std::size_t>(t.global_id());
+        const std::uint64_t vis = V.load(t, v);
+        t.count_word_ops(1);
+        if ((vis & full) == full) return;
+        const spmv::dptr_t begin = g.col_ptr().load(t, v);
+        const spmv::dptr_t end = g.col_ptr().load(t, v + 1);
+        CcscCursor cur(g, t, v);
+        T sums[64] = {};
+        std::uint64_t m = 0;
+        for (spmv::dptr_t e = begin; e < end; ++e) {
+          const vidx_t row = cur.next();
+          const std::uint32_t word =
+              bitmap.load(t, static_cast<std::size_t>(row) / 32);
+          t.count_ops(1);
+          if (((word >> (static_cast<std::uint32_t>(row) & 31u)) & 1u) == 0) {
+            continue;
+          }
+          const std::uint64_t w =
+              F.load(t, static_cast<std::size_t>(row)) & ~vis;
+          t.count_word_ops(1);
+          if (w == 0) continue;
+          m |= w;
+          for (std::uint64_t bits = w; bits != 0; bits &= bits - 1) {
+            const auto j = static_cast<std::size_t>(std::countr_zero(bits));
+            sums[j] += sigma.load(t, static_cast<std::size_t>(row) * kk + j);
+          }
+        }
+        spmv::msbfs_column_commit(t, v, k, depth, V, Fn, sigma, S, cflags,
+                                  count_degrees,
+                                  static_cast<std::uint64_t>(end - begin),
+                                  vis, m, sums);
+      });
+}
+
+/// Batched dependency gather (undirected): compressed twin of the batched
+/// engine's inline "dep_spmm_sccsc" loop.
+inline void dep_spmm_gather_ccsc(sim::Device& device,
+                                 const DeviceCompressedCsc& g, std::size_t k,
+                                 const sim::DeviceBuffer<bc_t>& delta_u,
+                                 sim::DeviceBuffer<bc_t>& delta_ut) {
+  sim::launch_scalar(
+      device, "dep_spmm_ccsc", static_cast<std::uint64_t>(g.n()),
+      [&](sim::ThreadCtx& t) {
+        const auto v = static_cast<std::size_t>(t.global_id());
+        const spmv::dptr_t begin = g.col_ptr().load(t, v);
+        const spmv::dptr_t end = g.col_ptr().load(t, v + 1);
+        CcscCursor cur(g, t, v);
+        bc_t sums[64] = {};
+        for (spmv::dptr_t e = begin; e < end; ++e) {
+          const auto u = static_cast<std::size_t>(cur.next());
+          t.count_ops(1);
+          for (std::size_t j = 0; j < k; ++j) {
+            sums[j] += delta_u.load(t, u * k + j);
+          }
+        }
+        for (std::size_t j = 0; j < k; ++j) {
+          if (sums[j] != 0.0) delta_ut.store(t, v * k + j, sums[j]);
+        }
+      });
+}
+
+/// Batched dependency scatter (directed): compressed twin of the batched
+/// engine's inline "dep_spmm_sccsc_scatter" loop.
+inline void dep_spmm_scatter_ccsc(sim::Device& device,
+                                  const DeviceCompressedCsc& g, std::size_t k,
+                                  const sim::DeviceBuffer<bc_t>& delta_u,
+                                  sim::DeviceBuffer<bc_t>& delta_ut) {
+  sim::launch_scalar(
+      device, "dep_spmm_ccsc_scatter", static_cast<std::uint64_t>(g.n()),
+      [&](sim::ThreadCtx& t) {
+        const auto w = static_cast<std::size_t>(t.global_id());
+        std::uint64_t live = 0;
+        for (std::size_t j = 0; j < k; ++j) {
+          if (delta_u.load(t, w * k + j) != 0.0) live |= 1ull << j;
+        }
+        if (live == 0) return;
+        const spmv::dptr_t begin = g.col_ptr().load(t, w);
+        const spmv::dptr_t end = g.col_ptr().load(t, w + 1);
+        CcscCursor cur(g, t, w);
+        for (spmv::dptr_t e = begin; e < end; ++e) {
+          const auto u = static_cast<std::size_t>(cur.next());
+          t.count_ops(1);
+          for (std::size_t j = 0; j < k; ++j) {
+            if ((live >> j) & 1ull) {
+              delta_ut.atomic_add(t, u * k + j, delta_u.load(t, w * k + j));
+            }
+          }
+        }
+      });
+}
+
+}  // namespace turbobc::storage

@@ -1,0 +1,169 @@
+// Delta-varint compressed CSC: the out-of-core graph container (DESIGN.md
+// §12).
+//
+// Each CSC column's row ids are sorted strictly ascending (CscGraph drops
+// duplicates and self-loops), so the column is stored as its first row id
+// followed by the gaps to each successor, every value LEB128-encoded: seven
+// payload bits per byte, high bit set on continuation bytes. Gaps are >= 1,
+// so a column of d in-neighbours over a small id range costs ~d bytes
+// instead of 4d — the compression the paper's footprint argument (7n + m
+// words) extends to graphs whose m words alone overflow the device.
+//
+// Layout (CompressedCsc):
+//   col_ptr  (n+1 words)  — edge offsets, identical to the CSC's CP_A. Kept
+//                           because the engines read in-degrees (Beamer
+//                           direction counters, MS-BFS commit) without
+//                           decoding the column.
+//   byte_off (n+1 words)  — byte offsets: column v's varints occupy
+//                           bytes [byte_off[v], byte_off[v+1]).
+//   bytes    (B bytes)    — the concatenated varint stream.
+//
+// Exact round-trip: decode_column reproduces the CSC's row ids byte for
+// byte, which tests/storage/test_codec.cpp property-checks over every
+// generator family. The decode is sequential per column — why the engines
+// demote compressed runs to the thread-per-column scCSC variant.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "graph/csc.hpp"
+
+namespace turbobc::storage {
+
+/// 32-bit offsets, matching the device's dptr_t: both the edge count and the
+/// compressed byte count must stay below 2^31 (checked at encode time).
+using coff_t = std::int32_t;
+
+struct CompressedCsc {
+  vidx_t n = 0;
+  eidx_t m = 0;
+  bool directed = true;
+  /// Edge offsets (CP_A), size n + 1.
+  std::vector<coff_t> col_ptr;
+  /// Byte offsets into `bytes`, size n + 1, monotone non-decreasing.
+  std::vector<coff_t> byte_off;
+  /// Concatenated per-column varint streams.
+  std::vector<std::uint8_t> bytes;
+
+  vidx_t num_vertices() const noexcept { return n; }
+  eidx_t num_arcs() const noexcept { return m; }
+
+  /// Device-resident bytes of this structure: two (n+1)-word offset arrays
+  /// plus the varint stream. The uncompressed CSC costs (n+1) + m words.
+  std::uint64_t model_bytes() const noexcept {
+    return 2ull * (static_cast<std::uint64_t>(n) + 1) * 4ull +
+           static_cast<std::uint64_t>(bytes.size());
+  }
+
+  /// Compression ratio of the graph structure alone: uncompressed CSC bytes
+  /// over compressed bytes (> 1 means the codec won).
+  double compression_ratio() const noexcept {
+    const auto raw = (static_cast<double>(n) + 1.0 +
+                      static_cast<double>(m)) * 4.0;
+    const auto packed = static_cast<double>(model_bytes());
+    return packed > 0.0 ? raw / packed : 1.0;
+  }
+};
+
+/// Append `value` to `out` as LEB128 (7 payload bits per byte, high bit =
+/// continuation). At most 5 bytes for a 32-bit value.
+inline void varint_append(std::vector<std::uint8_t>& out,
+                          std::uint32_t value) {
+  while (value >= 0x80u) {
+    out.push_back(static_cast<std::uint8_t>((value & 0x7Fu) | 0x80u));
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+/// Host-side LEB128 decode; advances `pos`. The device kernels inline the
+/// same loop over a DeviceBuffer so every byte is charged in the cost model.
+inline std::uint32_t varint_read(const std::uint8_t* bytes,
+                                 std::size_t& pos) {
+  std::uint32_t value = 0;
+  int shift = 0;
+  while (true) {
+    const std::uint8_t b = bytes[pos++];
+    value |= static_cast<std::uint32_t>(b & 0x7Fu) << shift;
+    if ((b & 0x80u) == 0) return value;
+    shift += 7;
+  }
+}
+
+/// Delta-varint encode a CSC. Column v becomes varint(row_0) followed by
+/// varint(row_k - row_{k-1}) for k >= 1 — valid because CscGraph's rows
+/// ascend strictly within each column.
+inline CompressedCsc encode_csc(const graph::CscGraph& g) {
+  CompressedCsc c;
+  c.n = g.num_vertices();
+  c.m = g.num_arcs();
+  c.directed = g.directed();
+  TBC_CHECK(static_cast<std::uint64_t>(c.m) <=
+                static_cast<std::uint64_t>(
+                    std::numeric_limits<coff_t>::max()),
+            "graph too large for 32-bit compressed column pointers");
+  const auto n = static_cast<std::size_t>(c.n);
+  c.col_ptr.resize(n + 1);
+  c.byte_off.resize(n + 1);
+  c.bytes.reserve(static_cast<std::size_t>(c.m));
+  c.byte_off[0] = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    c.col_ptr[v] = static_cast<coff_t>(g.col_ptr()[v]);
+    vidx_t prev = 0;
+    bool first = true;
+    for (eidx_t k = g.col_ptr()[v]; k < g.col_ptr()[v + 1]; ++k) {
+      const vidx_t row = g.row_idx()[static_cast<std::size_t>(k)];
+      TBC_CHECK(first || row > prev,
+                "CSC rows must ascend strictly within each column");
+      varint_append(c.bytes, first ? static_cast<std::uint32_t>(row)
+                                   : static_cast<std::uint32_t>(row - prev));
+      prev = row;
+      first = false;
+    }
+    TBC_CHECK(c.bytes.size() <=
+                  static_cast<std::size_t>(
+                      std::numeric_limits<coff_t>::max()),
+              "compressed byte stream overflows 32-bit offsets");
+    c.byte_off[v + 1] = static_cast<coff_t>(c.bytes.size());
+  }
+  c.col_ptr[n] = static_cast<coff_t>(g.col_ptr()[n]);
+  return c;
+}
+
+/// Decode one column's row ids (host side; tests and the streaming loader).
+inline std::vector<vidx_t> decode_column(const CompressedCsc& c, vidx_t v) {
+  std::vector<vidx_t> rows;
+  const auto deg = static_cast<std::size_t>(c.col_ptr[v + 1] - c.col_ptr[v]);
+  rows.reserve(deg);
+  auto pos = static_cast<std::size_t>(c.byte_off[v]);
+  std::uint32_t acc = 0;
+  for (std::size_t k = 0; k < deg; ++k) {
+    acc = (k == 0 ? varint_read(c.bytes.data(), pos)
+                  : acc + varint_read(c.bytes.data(), pos));
+    rows.push_back(static_cast<vidx_t>(acc));
+  }
+  return rows;
+}
+
+/// Full round-trip check: does `c` decode to exactly `g`'s arrays?
+inline bool round_trips(const CompressedCsc& c, const graph::CscGraph& g) {
+  if (c.n != g.num_vertices() || c.m != g.num_arcs()) return false;
+  for (vidx_t v = 0; v < c.n; ++v) {
+    const auto rows = decode_column(c, v);
+    const auto begin = static_cast<std::size_t>(g.col_ptr()[v]);
+    if (rows.size() !=
+        static_cast<std::size_t>(g.col_ptr()[v + 1]) - begin) {
+      return false;
+    }
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      if (rows[k] != g.row_idx()[begin + k]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace turbobc::storage

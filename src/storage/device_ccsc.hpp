@@ -1,0 +1,111 @@
+// Device-resident delta-varint compressed CSC (DESIGN.md §12).
+//
+// Three buffers mirror the host CompressedCsc layout:
+//   CP_A      (n+1 dptr_t)  — edge offsets, same modeled width as DeviceCsc's
+//                             column pointers so degree reads cost the same.
+//   CPB_A     (n+1 dptr_t)  — byte offsets into the varint stream.
+//   row_bytes (B uint8)     — the varint stream, modeled at ONE byte per
+//                             element. Sequential byte loads from one column
+//                             coalesce into ~4x fewer 32-byte sectors than
+//                             4-byte row-id loads — the fewer-transactions
+//                             side of the decode tradeoff, charged by the
+//                             existing coalescing model with no cost-model
+//                             changes.
+//
+// The shard constructor uploads a REBASED column window: `n_cols` local
+// columns with col_ptr/byte_off rebased to start at zero, used by
+// StreamingTurboBC's resident window. Row ids stay global in the stream
+// (they are what the varints decode to), so kernels gather from full-length
+// operand vectors while writing local columns — the same convention as the
+// 1D-partitioned DeviceCsc shards.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "gpusim/buffer.hpp"
+#include "spmv/device_graph.hpp"
+#include "storage/compressed_csc.hpp"
+
+namespace turbobc::storage {
+
+class DeviceCompressedCsc {
+ public:
+  DeviceCompressedCsc(sim::Device& device, const CompressedCsc& c)
+      : n_(c.n),
+        m_(c.m),
+        col_ptr_(device, static_cast<std::size_t>(c.n) + 1, "CP_A"),
+        byte_off_(device, static_cast<std::size_t>(c.n) + 1, "CPB_A"),
+        bytes_(device, c.bytes.size(), "row_bytes",
+               /*modeled_elem_bytes=*/1) {
+    TBC_CHECK(c.col_ptr.size() == static_cast<std::size_t>(c.n) + 1 &&
+                  c.byte_off.size() == static_cast<std::size_t>(c.n) + 1,
+              "compressed CSC offset arrays have wrong length");
+    col_ptr_.copy_from_host(c.col_ptr);
+    byte_off_.copy_from_host(c.byte_off);
+    bytes_.copy_from_host(c.bytes);
+  }
+
+  /// Upload a raw column shard: `n_cols` local columns whose offset arrays
+  /// are rebased to zero; the varint stream still decodes to GLOBAL row ids.
+  DeviceCompressedCsc(sim::Device& device, vidx_t n_cols,
+                      std::vector<spmv::dptr_t> cp,
+                      std::vector<spmv::dptr_t> boff,
+                      std::vector<std::uint8_t> stream)
+      : n_(n_cols),
+        m_(cp.empty() ? 0 : static_cast<eidx_t>(cp.back())),
+        col_ptr_(device, static_cast<std::size_t>(n_cols) + 1, "CP_A"),
+        byte_off_(device, static_cast<std::size_t>(n_cols) + 1, "CPB_A"),
+        bytes_(device, stream.size(), "row_bytes",
+               /*modeled_elem_bytes=*/1) {
+    TBC_CHECK(cp.size() == static_cast<std::size_t>(n_cols) + 1 &&
+                  boff.size() == static_cast<std::size_t>(n_cols) + 1,
+              "compressed shard offset arrays have wrong length");
+    col_ptr_.copy_from_host(cp);
+    byte_off_.copy_from_host(boff);
+    bytes_.copy_from_host(stream);
+  }
+
+  /// Clone onto another device (parallel source fan-out replicas).
+  DeviceCompressedCsc(sim::Device& device, const DeviceCompressedCsc& other)
+      : n_(other.n_),
+        m_(other.m_),
+        col_ptr_(device, other.col_ptr_.size(), "CP_A"),
+        byte_off_(device, other.byte_off_.size(), "CPB_A"),
+        bytes_(device, other.bytes_.size(), "row_bytes",
+               /*modeled_elem_bytes=*/1) {
+    col_ptr_.copy_from_host(other.col_ptr_.host());
+    byte_off_.copy_from_host(other.byte_off_.host());
+    bytes_.copy_from_host(other.bytes_.host());
+  }
+
+  vidx_t n() const noexcept { return n_; }
+  eidx_t m() const noexcept { return m_; }
+  const sim::DeviceBuffer<spmv::dptr_t>& col_ptr() const noexcept {
+    return col_ptr_;
+  }
+  const sim::DeviceBuffer<spmv::dptr_t>& byte_off() const noexcept {
+    return byte_off_;
+  }
+  const sim::DeviceBuffer<std::uint8_t>& bytes() const noexcept {
+    return bytes_;
+  }
+
+  /// Device bytes this structure occupies under the modeled widths.
+  std::uint64_t device_bytes() const noexcept {
+    return 4ull * (static_cast<std::uint64_t>(n_) + 1) * 2 +
+           static_cast<std::uint64_t>(bytes_.size());
+  }
+
+ private:
+  vidx_t n_;
+  eidx_t m_;
+  sim::DeviceBuffer<spmv::dptr_t> col_ptr_;
+  sim::DeviceBuffer<spmv::dptr_t> byte_off_;
+  sim::DeviceBuffer<std::uint8_t> bytes_;
+};
+
+}  // namespace turbobc::storage

@@ -1,0 +1,357 @@
+#include "storage/mtx_stream.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dist/partition.hpp"
+
+namespace turbobc::storage {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Chunked line iterator: reads `chunk` bytes at a time and reassembles
+/// lines across chunk boundaries, reproducing std::getline semantics (a
+/// final line without trailing newline is still a line; the '\r' of CRLF
+/// files is stripped like mtx_io does).
+class ChunkedLineReader {
+ public:
+  ChunkedLineReader(std::istream& in, std::size_t chunk)
+      : in_(in), buf_(std::max<std::size_t>(chunk, 64)) {}
+
+  /// Fills `line` with the next line (without its newline). Returns false at
+  /// end of stream. `lineno()` is the 1-based number of the returned line.
+  bool next(std::string& line) {
+    line.clear();
+    while (true) {
+      if (pos_ == len_) {
+        if (eof_) break;
+        in_.read(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+        len_ = static_cast<std::size_t>(in_.gcount());
+        pos_ = 0;
+        if (len_ < buf_.size()) eof_ = true;
+        if (len_ == 0) break;
+      }
+      const char* base = buf_.data() + pos_;
+      const auto avail = len_ - pos_;
+      const char* nl = static_cast<const char*>(std::memchr(base, '\n', avail));
+      if (nl != nullptr) {
+        line.append(base, static_cast<std::size_t>(nl - base));
+        pos_ += static_cast<std::size_t>(nl - base) + 1;
+        ++lineno_;
+        strip_cr(line);
+        return true;
+      }
+      line.append(base, avail);
+      pos_ = len_;
+    }
+    if (!line.empty()) {
+      ++lineno_;
+      strip_cr(line);
+      return true;
+    }
+    return false;
+  }
+
+  std::size_t lineno() const noexcept { return lineno_; }
+
+ private:
+  static void strip_cr(std::string& line) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+  }
+
+  std::istream& in_;
+  std::vector<char> buf_;
+  std::size_t pos_ = 0;
+  std::size_t len_ = 0;
+  std::size_t lineno_ = 0;
+  bool eof_ = false;
+};
+
+/// One spilled arc: the CSC coordinate (column first so the finalize sort
+/// is a plain record compare).
+struct ArcRec {
+  vidx_t col;
+  vidx_t row;
+  friend bool operator==(const ArcRec&, const ArcRec&) = default;
+  friend auto operator<=>(const ArcRec&, const ArcRec&) = default;
+};
+
+/// Per-bucket arc sink. With a single bucket everything stays in memory;
+/// otherwise each bucket buffers a few thousand records and appends them to
+/// its own spill file, so host memory stays bounded by chunk + one bucket.
+class BucketSpill {
+ public:
+  BucketSpill(int num_buckets, const std::string& spill_dir)
+      : buckets_(static_cast<std::size_t>(num_buckets)) {
+    if (num_buckets <= 1) return;
+    static std::atomic<unsigned> counter{0};
+    const fs::path base =
+        spill_dir.empty() ? fs::temp_directory_path() : fs::path(spill_dir);
+    dir_ = base / ("turbobc-spill-" + std::to_string(::getpid()) + "-" +
+                   std::to_string(counter.fetch_add(1)));
+    fs::create_directories(dir_);
+    files_.resize(buckets_.size());
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      files_[b].open(bucket_path(b), std::ios::binary | std::ios::trunc);
+      TBC_CHECK(files_[b].good(),
+                "cannot open spill file in " + dir_.string());
+    }
+  }
+
+  ~BucketSpill() {
+    std::error_code ec;  // best-effort cleanup; never throws
+    if (!dir_.empty()) {
+      files_.clear();
+      fs::remove_all(dir_, ec);
+    }
+  }
+
+  void add(int bucket, ArcRec rec) {
+    auto& buf = buckets_[static_cast<std::size_t>(bucket)];
+    buf.push_back(rec);
+    if (!files_.empty() && buf.size() >= kFlushRecords) {
+      flush(static_cast<std::size_t>(bucket));
+    }
+  }
+
+  /// Drains bucket `b` (spill file + unflushed tail) into a sorted,
+  /// deduplicated, self-loop-free record list.
+  std::vector<ArcRec> finalize(std::size_t b) {
+    std::vector<ArcRec> recs;
+    if (!files_.empty()) {
+      flush(b);
+      files_[b].close();
+      std::ifstream in(bucket_path(b), std::ios::binary);
+      TBC_CHECK(in.good(), "cannot reopen spill file in " + dir_.string());
+      in.seekg(0, std::ios::end);
+      const auto bytes = static_cast<std::size_t>(in.tellg());
+      in.seekg(0);
+      recs.resize(bytes / sizeof(ArcRec));
+      in.read(reinterpret_cast<char*>(recs.data()),
+              static_cast<std::streamsize>(bytes));
+      std::error_code ec;
+      fs::remove(bucket_path(b), ec);
+    } else {
+      recs = std::move(buckets_[b]);
+    }
+    buckets_[b] = {};
+    std::sort(recs.begin(), recs.end());
+    recs.erase(std::unique(recs.begin(), recs.end()), recs.end());
+    std::erase_if(recs, [](const ArcRec& r) { return r.col == r.row; });
+    return recs;
+  }
+
+ private:
+  static constexpr std::size_t kFlushRecords = 4096;
+
+  fs::path bucket_path(std::size_t b) const {
+    return dir_ / ("bucket-" + std::to_string(b) + ".bin");
+  }
+
+  void flush(std::size_t b) {
+    auto& buf = buckets_[b];
+    if (buf.empty()) return;
+    files_[b].write(reinterpret_cast<const char*>(buf.data()),
+                    static_cast<std::streamsize>(buf.size() * sizeof(ArcRec)));
+    TBC_CHECK(files_[b].good(), "spill write failed in " + dir_.string());
+    buf.clear();
+  }
+
+  std::vector<std::vector<ArcRec>> buckets_;
+  std::vector<std::ofstream> files_;
+  fs::path dir_;
+};
+
+}  // namespace
+
+CompressedCsc read_matrix_market_compressed(std::istream& in,
+                                            const ChunkedMtxOptions& options) {
+  // Header / size-line grammar and every rejection path mirror
+  // graph::read_matrix_market exactly (same messages, same 1-based line
+  // numbers) — tests assert on both.
+  ChunkedLineReader reader(in, options.chunk_bytes);
+  std::string line;
+
+  if (!reader.next(line)) throw ParseError("empty Matrix Market stream");
+
+  std::istringstream header(line);
+  std::string banner, object, fmt, field, symmetry;
+  header >> banner >> object >> fmt >> field >> symmetry;
+  if (banner != "%%MatrixMarket") {
+    throw ParseError("missing %%MatrixMarket banner", reader.lineno());
+  }
+  if (to_lower(object) != "matrix") {
+    throw ParseError("only matrix objects are supported", reader.lineno());
+  }
+  if (to_lower(fmt) != "coordinate") {
+    throw ParseError("only coordinate (sparse) format is supported",
+                     reader.lineno());
+  }
+  field = to_lower(field);
+  symmetry = to_lower(symmetry);
+  if (field != "pattern" && field != "real" && field != "integer") {
+    throw ParseError("unsupported Matrix Market field type: " + field,
+                     reader.lineno());
+  }
+  if (symmetry != "general" && symmetry != "symmetric") {
+    throw ParseError("unsupported Matrix Market symmetry: " + symmetry,
+                     reader.lineno());
+  }
+  const bool has_value = field != "pattern";
+  const bool symmetric = symmetry == "symmetric";
+
+  do {
+    if (!reader.next(line)) {
+      throw ParseError("Matrix Market stream ended before size line",
+                       reader.lineno());
+    }
+  } while (!line.empty() && line[0] == '%');
+
+  long long rows = 0, cols = 0, nnz = 0;
+  {
+    std::istringstream size_line(line);
+    size_line >> rows >> cols >> nnz;
+    if (size_line.fail()) {
+      throw ParseError("malformed Matrix Market size line: " + line,
+                       reader.lineno());
+    }
+  }
+  if (rows != cols) {
+    throw ParseError("adjacency matrices must be square", reader.lineno());
+  }
+  if (rows < 0 || nnz < 0) {
+    throw ParseError("negative Matrix Market dimensions", reader.lineno());
+  }
+  if (rows > static_cast<long long>(std::numeric_limits<vidx_t>::max())) {
+    throw ParseError("Matrix Market dimension overflows 32-bit vertex index",
+                     reader.lineno());
+  }
+
+  const auto n = static_cast<vidx_t>(rows);
+  // Column buckets from the distributed engine's 1D partition: contiguous
+  // ceil(n / K) column blocks, K bounded by bucket_cols and the open-file cap.
+  const vidx_t bucket_cols = std::max<vidx_t>(options.bucket_cols, 1);
+  const int num_buckets = static_cast<int>(std::clamp<long long>(
+      (static_cast<long long>(n) + bucket_cols - 1) / bucket_cols, 1, 256));
+  const dist::ShardPlan plan = dist::ShardPlan::make(n, num_buckets);
+  BucketSpill spill(num_buckets, options.spill_dir);
+
+  // Single pass over the entries. The matrix entry A(r, c) is the arc
+  // r -> c, spilled under its CSC column c; symmetric storage spills the
+  // mirror arc too (EdgeList::symmetrize semantics — dedup at finalize
+  // absorbs the doubled diagonal).
+  long long seen = 0;
+  while (seen < nnz && reader.next(line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream entry(line);
+    long long r = 0, c = 0;
+    entry >> r >> c;
+    if (entry.fail()) {
+      throw ParseError("malformed Matrix Market entry: " + line,
+                       reader.lineno());
+    }
+    if (has_value) {
+      double value = 0.0;
+      entry >> value;  // discarded: graphs are treated as unweighted
+      if (entry.fail()) {
+        throw ParseError("Matrix Market entry missing its value: " + line,
+                         reader.lineno());
+      }
+    }
+    if (r < 1 || r > rows || c < 1 || c > cols) {
+      throw ParseError("Matrix Market entry out of range: " + line,
+                       reader.lineno());
+    }
+    const auto u = static_cast<vidx_t>(r - 1);
+    const auto v = static_cast<vidx_t>(c - 1);
+    spill.add(plan.owner(v), ArcRec{v, u});
+    if (symmetric) spill.add(plan.owner(u), ArcRec{u, v});
+    ++seen;
+  }
+  if (seen != nnz) {
+    throw ParseError("Matrix Market stream ended before all entries (got " +
+                         std::to_string(seen) + " of " + std::to_string(nnz) +
+                         ")",
+                     reader.lineno());
+  }
+
+  // Finalize bucket by bucket in column order: each bucket's sorted records
+  // ARE the canonical CSC slice (columns ascend across buckets, rows ascend
+  // within a column after sort + dedup + self-loop drop), so the encode is a
+  // straight append.
+  CompressedCsc out;
+  out.n = n;
+  out.directed = !symmetric;
+  out.col_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  out.byte_off.assign(static_cast<std::size_t>(n) + 1, 0);
+  std::uint64_t total_arcs = 0;
+  for (int b = 0; b < num_buckets; ++b) {
+    const std::vector<ArcRec> recs = spill.finalize(static_cast<std::size_t>(b));
+    total_arcs += recs.size();
+    TBC_CHECK(total_arcs <= static_cast<std::uint64_t>(
+                                std::numeric_limits<coff_t>::max()),
+              "graph too large for 32-bit compressed column pointers");
+    std::size_t i = 0;
+    for (vidx_t v = plan.col_begin(b); v < plan.col_end(b); ++v) {
+      vidx_t prev = 0;
+      bool first = true;
+      while (i < recs.size() && recs[i].col == v) {
+        const vidx_t row = recs[i].row;
+        varint_append(out.bytes,
+                      first ? static_cast<std::uint32_t>(row)
+                            : static_cast<std::uint32_t>(row - prev));
+        prev = row;
+        first = false;
+        ++i;
+        ++out.col_ptr[static_cast<std::size_t>(v) + 1];
+      }
+      TBC_CHECK(out.bytes.size() <= static_cast<std::size_t>(
+                                        std::numeric_limits<coff_t>::max()),
+                "compressed byte stream overflows 32-bit offsets");
+      out.byte_off[static_cast<std::size_t>(v) + 1] =
+          static_cast<coff_t>(out.bytes.size());
+    }
+  }
+  for (std::size_t v = 0; v < static_cast<std::size_t>(n); ++v) {
+    out.col_ptr[v + 1] += out.col_ptr[v];
+  }
+  out.m = static_cast<eidx_t>(total_arcs);
+  return out;
+}
+
+CompressedCsc read_matrix_market_compressed_file(
+    const std::string& path, const ChunkedMtxOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  TBC_CHECK(in.good(), "cannot open Matrix Market file: " + path);
+  return read_matrix_market_compressed(in, options);
+}
+
+graph::EdgeList to_edge_list(const CompressedCsc& c) {
+  graph::EdgeList el(c.n, c.directed);
+  for (vidx_t v = 0; v < c.n; ++v) {
+    for (const vidx_t u : decode_column(c, v)) el.add_edge(u, v);
+  }
+  return el;
+}
+
+}  // namespace turbobc::storage

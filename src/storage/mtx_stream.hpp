@@ -1,0 +1,61 @@
+// Chunked out-of-core Matrix Market ingest (DESIGN.md §12).
+//
+// graph::read_matrix_market materializes the whole EdgeList before building
+// a CSC — ~3 copies of the arc list live at peak, which defeats the point of
+// compressed storage for graphs near host memory. This loader makes ONE pass
+// over the file in fixed-size byte chunks (lines may straddle chunk
+// boundaries; a partial tail is carried into the next read), appends each
+// parsed arc as a fixed-width record to the spill bucket owning its column
+// (contiguous column ranges from dist::ShardPlan — the same 1D partition
+// the distributed engine uses), then finalizes bucket by bucket: sort by
+// (column, row), drop duplicates and self-loops, delta-varint encode
+// straight into the CompressedCsc. Peak host memory is one chunk buffer
+// plus one bucket's records, never the whole arc list.
+//
+// Equivalence contract (tests/storage/test_mtx_stream.cpp): for any stream,
+// the result is byte-identical to
+//   encode_csc(graph::CscGraph::from_edges(graph::read_matrix_market(in)))
+// and malformed input throws ParseError with the SAME message and 1-based
+// line number as graph::read_matrix_market — truncation at a chunk boundary
+// included.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "graph/edge_list.hpp"
+#include "storage/compressed_csc.hpp"
+
+namespace turbobc::storage {
+
+struct ChunkedMtxOptions {
+  /// Read granule in bytes (clamped to >= 64). Small values in tests force
+  /// entry lines to straddle chunk boundaries.
+  std::size_t chunk_bytes = 1u << 20;
+  /// Columns per spill bucket — the host-memory bound of the finalize pass.
+  /// The bucket count is capped at 256 open spill files.
+  vidx_t bucket_cols = 1 << 15;
+  /// Directory for spill files; "" uses the system temp directory. A unique
+  /// subdirectory is created and removed (also on throw). Single-bucket
+  /// ingests keep records in memory and never touch the disk.
+  std::string spill_dir;
+};
+
+/// Chunked parse of a Matrix Market stream into a delta-varint compressed
+/// CSC. Same accepted dialect and same ParseError taxonomy as
+/// graph::read_matrix_market.
+CompressedCsc read_matrix_market_compressed(
+    std::istream& in, const ChunkedMtxOptions& options = {});
+
+/// File wrapper; throws InvalidArgument on unreadable paths (same message as
+/// graph::read_matrix_market_file).
+CompressedCsc read_matrix_market_compressed_file(
+    const std::string& path, const ChunkedMtxOptions& options = {});
+
+/// Inflate a compressed graph back to an EdgeList (arcs in column-major
+/// order, already canonical: unique, self-loop-free, ascending per column).
+/// Lets chunk-ingested graphs feed engines that take EdgeList.
+graph::EdgeList to_edge_list(const CompressedCsc& c);
+
+}  // namespace turbobc::storage

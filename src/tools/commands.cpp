@@ -29,6 +29,8 @@
 #include "graph/mtx_io.hpp"
 #include "graph/stats.hpp"
 #include "serve/session.hpp"
+#include "storage/mtx_stream.hpp"
+#include "storage/streaming_bc.hpp"
 
 namespace turbobc::tools {
 
@@ -38,6 +40,21 @@ graph::EdgeList load_graph(const CliArgs& args, std::size_t positional_index) {
   TBC_CHECK(args.positional().size() > positional_index,
             "missing graph file argument");
   return graph::read_matrix_market_file(args.positional()[positional_index]);
+}
+
+/// --compress ingests through the chunked out-of-core loader instead of the
+/// whole-file reader; the compressed image is kept for the streaming engine
+/// and inflated for everything that takes an EdgeList. Returns the edge
+/// list; `cgraph` receives the compressed image only under --compress.
+graph::EdgeList load_graph_maybe_compressed(
+    const CliArgs& args, std::size_t positional_index,
+    std::optional<storage::CompressedCsc>& cgraph) {
+  if (!args.has("compress")) return load_graph(args, positional_index);
+  TBC_CHECK(args.positional().size() > positional_index,
+            "missing graph file argument");
+  cgraph = storage::read_matrix_market_compressed_file(
+      args.positional()[positional_index]);
+  return storage::to_edge_list(*cgraph);
 }
 
 bc::Variant parse_variant(const CliArgs& args, const graph::EdgeList& g) {
@@ -134,12 +151,13 @@ std::string cli_usage() {
       "      all accept --seed\n"
       "  turbobc_cli stats g.mtx [--json]\n"
       "  turbobc_cli bfs g.mtx [--source 0] [--variant auto]\n"
-      "      [--advance push|pull|auto]\n"
+      "      [--advance push|pull|auto] [--compress]\n"
       "  turbobc_cli bc g.mtx [--source S | --exact [--batch K] | --approx K]\n"
       "      [--variant auto|autotune|sccooc|sccsc|vecsc] [--edge-bc]\n"
       "      [--advance push|pull|auto] [--top 10] [--verify] [--json]\n"
       "      [--trace out.json]\n"
       "      [--devices K] [--dist auto|replicate|partition] [--nvlink]\n"
+      "      [--compress] [--stream-window W [--stream-shards K]]\n"
       "      --advance picks the forward sweep: 'push' expands the frontier\n"
       "      (the paper's SpMV), 'pull' has undiscovered columns probe a\n"
       "      frontier bitmap, 'auto' switches per level by the Beamer\n"
@@ -152,6 +170,13 @@ std::string cli_usage() {
       "      --batch with --dist partition packs each source block into\n"
       "      per-vertex 64-bit masks (MS-BFS) so one mask word per vertex\n"
       "      per level crosses the interconnect for all lanes (push only)\n"
+      "      --compress ingests the file through the chunked out-of-core\n"
+      "      loader and keeps the graph as a delta-varint compressed CSC,\n"
+      "      decoded inside the kernels; results stay bit-identical.\n"
+      "      --stream-window W additionally leaves the compressed column\n"
+      "      shards (--stream-shards, default 4) on the host and keeps only\n"
+      "      W device-resident, fetching over the modeled PCIe link — how a\n"
+      "      graph past one device's memory still completes (push only)\n"
       "  turbobc_cli approx g.mtx [--epsilon 0.05] [--delta 0.1] [--topk K]\n"
       "      [--seed 1] [--sampler uniform|degree|component]\n"
       "      [--engine scalar|batched] [--batch 8] [--max-sources N]\n"
@@ -343,16 +368,18 @@ int cmd_bfs(const CliArgs& args, std::ostream& out, std::ostream& err) {
     err << "bfs: missing graph file\n" << cli_usage();
     return 2;
   }
-  const auto g = load_graph(args, 1);
+  std::optional<storage::CompressedCsc> cgraph;
+  const auto g = load_graph_maybe_compressed(args, 1, cgraph);
   const auto source = static_cast<vidx_t>(args.get_int("source", 0));
   const bc::Variant variant = parse_variant(args, g);
   const bc::Advance advance = parse_advance(args);
 
   sim::Device device;
-  bc::TurboBfs bfs(device, g, variant, advance);
+  bc::TurboBfs bfs(device, g, variant, advance, {}, args.has("compress"));
   const auto r = bfs.run(source);
 
-  out << "BFS from " << source << " (" << bc::to_string(variant)
+  out << "BFS from " << source << " ("
+      << (args.has("compress") ? "compressed " : "") << bc::to_string(variant)
       << (advance != bc::Advance::kPush
               ? "/" + std::string(bc::to_string(advance))
               : "")
@@ -378,13 +405,43 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
     err << "bc: missing graph file\n" << cli_usage();
     return 2;
   }
-  const auto g = load_graph(args, 1);
+  std::optional<storage::CompressedCsc> cgraph;
+  const auto g = load_graph_maybe_compressed(args, 1, cgraph);
   const bc::Variant variant = parse_variant(args, g);
   const bc::Advance advance = parse_advance(args);
 
   const auto devices = static_cast<int>(args.get_count("devices", 1));
   const bool use_dist = devices > 1 || args.has("dist");
   const bool want_trace = args.has("trace");
+  const bool compress = args.has("compress");
+  const bool streaming = args.has("stream-window");
+  if (compress && args.has("edge-bc")) {
+    throw UsageError(
+        "--compress does not support --edge-bc (the edge accumulator indexes "
+        "arcs by raw nonzero position)");
+  }
+  if (compress && use_dist) {
+    throw UsageError(
+        "--compress is single-device (use --stream-window for graphs past "
+        "one device's memory)");
+  }
+  if (streaming && !compress) {
+    throw UsageError("--stream-window needs --compress");
+  }
+  if (streaming && advance != bc::Advance::kPush) {
+    throw UsageError(
+        "--stream-window is push-only (a direction-optimized sweep would "
+        "re-fetch the shard window per level)");
+  }
+  if (streaming && args.has("batch")) {
+    throw UsageError("--stream-window does not support --batch");
+  }
+
+  // Streamed out-of-core run: the compressed column shards stay on the host
+  // and only --stream-window of them are device-resident at a time.
+  std::optional<storage::StreamingLedger> sledger;
+  int stream_shards = 0;
+  bool stream_fetch_free = false;
 
   bc::BcResult r;
   std::string mode;
@@ -452,13 +509,42 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
     r.sources = dres->sources;
     r.device_seconds = dres->device_seconds;
     r.peak_device_bytes = dres->max_peak_bytes;
+  } else if (streaming) {
+    device = std::make_unique<sim::Device>();
+    device->set_keep_launch_records(want_trace);
+    storage::StreamingTurboBC streng(
+        *device, *cgraph,
+        {.num_shards = static_cast<int>(args.get_count("stream-shards", 4)),
+         .window = static_cast<int>(args.get_count("stream-window", 2))});
+    if (args.has("exact")) {
+      r = streng.run_exact();
+      mode = "exact, streamed";
+    } else if (args.has("approx")) {
+      const auto sources = sample_uniform_sources(
+          g.num_vertices(), static_cast<vidx_t>(args.get_count("approx", 32)),
+          static_cast<std::uint64_t>(args.get_int("seed", 1)));
+      r = streng.run_sources(sources);
+      const bc_t scale = static_cast<bc_t>(g.num_vertices()) /
+                         static_cast<bc_t>(sources.size());
+      for (bc_t& v : r.bc) v *= scale;
+      mode = "approximate (" + std::to_string(r.sources) +
+             " sources), streamed";
+    } else {
+      r = streng.run_single_source(
+          static_cast<vidx_t>(args.get_int("source", 0)));
+      mode = "single-source, streamed";
+    }
+    sledger = streng.ledger();
+    stream_shards = streng.num_shards();
+    stream_fetch_free = streng.fetch_free();
   } else {
     device = std::make_unique<sim::Device>();
     device->set_keep_launch_records(want_trace);
     bc::TurboBC turbo(*device, g,
                       {.variant = variant,
                        .edge_bc = args.has("edge-bc"),
-                       .advance = advance});
+                       .advance = advance,
+                       .compress = compress});
 
     if (args.has("exact") && args.has("batch")) {
       // Multi-source batched pipeline (scCSC-based SpMM; see
@@ -466,7 +552,8 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
       bc::TurboBCBatched batched(
           *device, g,
           {.batch_size = static_cast<vidx_t>(args.get_count("batch", 8)),
-           .advance = advance});
+           .advance = advance,
+           .compress = compress});
       r = batched.run_exact();
       mode = "exact, batched x" + std::to_string(args.get_count("batch", 8));
     } else if (args.has("exact")) {
@@ -513,6 +600,22 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
     if (advance != bc::Advance::kPush) {
       out << "  \"advance\": \"" << bc::to_string(advance) << "\",\n";
     }
+    if (compress) {
+      out << "  \"compress\": true,\n"
+          << "  \"compressed_graph_bytes\": " << cgraph->model_bytes()
+          << ",\n"
+          << "  \"compression_ratio\": "
+          << fixed(cgraph->compression_ratio(), 4) << ",\n";
+    }
+    if (sledger) {
+      out << "  \"stream\": {\"window\": " << args.get_count("stream-window", 2)
+          << ", \"shards\": " << stream_shards
+          << ", \"fetch_free\": " << (stream_fetch_free ? "true" : "false")
+          << ", \"uploads\": " << sledger->shard_uploads
+          << ", \"upload_bytes\": " << sledger->upload_bytes
+          << ", \"refetch_bytes\": " << sledger->refetch_bytes
+          << ", \"evictions\": " << sledger->evictions << "},\n";
+    }
     out << "  \"modeled_ms\": " << fixed(r.device_seconds * 1e3, 6) << ",\n"
         << "  \"peak_bytes\": " << r.peak_device_bytes << ",\n";
     if (dres) {
@@ -554,13 +657,28 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
     }
     out << "\n}\n";
   } else {
-    out << mode << " BC via " << bc::to_string(variant)
+    out << mode << " BC via " << (compress ? "compressed " : "")
+        << bc::to_string(variant)
         << (advance != bc::Advance::kPush
                 ? "/" + std::string(bc::to_string(advance))
                 : "")
         << ": "
         << fixed(r.device_seconds * 1e3, 3) << " ms modeled, peak "
         << human_bytes(r.peak_device_bytes) << '\n';
+    if (compress) {
+      out << "compressed graph: " << human_bytes(cgraph->model_bytes())
+          << " (ratio " << fixed(cgraph->compression_ratio(), 2)
+          << "x vs raw CSC)\n";
+    }
+    if (sledger) {
+      out << "streamed " << stream_shards << " shards through a window of "
+          << args.get_count("stream-window", 2) << ": "
+          << sledger->shard_uploads << " uploads, "
+          << human_bytes(sledger->upload_bytes) << " fetched ("
+          << human_bytes(sledger->refetch_bytes) << " refetched, "
+          << sledger->evictions << " evictions"
+          << (stream_fetch_free ? ", fetch-free fast path" : "") << ")\n";
+    }
     if (dres) {
       out << devices << " modeled devices, "
           << dist::to_string(strategy_used) << " strategy: comm "

@@ -186,6 +186,25 @@ TEST(Oracle, DistChecksPassWithMoreDevicesThanVertices) {
   EXPECT_TRUE(r.ok()) << r.summary();
 }
 
+TEST(Oracle, OocChecksCanBeDisabled) {
+  const auto g =
+      gen::erdos_renyi({.n = 30, .arcs = 100, .directed = false, .seed = 33});
+  OracleOptions opt;
+  opt.check_ooc = false;
+  const OracleReport r = check_graph(g, opt);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(Oracle, OocChecksPassOnDirectedScatterPath) {
+  // Directed graphs route the streamed backward stage through the CCSC
+  // scatter kernel; the clean-graph pass above covers the undirected
+  // gather twin.
+  const auto g =
+      gen::erdos_renyi({.n = 28, .arcs = 90, .directed = true, .seed = 34});
+  const OracleReport r = check_graph(g);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
 TEST(OracleFootprint, GunrockInventoryDominatesItsModel) {
   const vidx_t n = 100;
   const eidx_t m = 400;

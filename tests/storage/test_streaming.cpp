@@ -1,0 +1,172 @@
+// StreamingTurboBC (src/storage/streaming_bc.*): bit-identity against the
+// resident compressed engine under eviction pressure, the fetch-free
+// small-graph fast path, the PCIe byte ledger, and the out-of-core
+// crossing — a device too small for the resident engine completes streamed.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/turbobc.hpp"
+#include "gpusim/device.hpp"
+#include "graph/csc.hpp"
+#include "graph/edge_list.hpp"
+#include "qa/fuzz_case.hpp"
+#include "storage/compressed_csc.hpp"
+#include "storage/streaming_bc.hpp"
+
+namespace turbobc::storage {
+namespace {
+
+graph::EdgeList family_graph(qa::Family family, std::uint64_t seed,
+                             int size_class) {
+  qa::FuzzCase c;
+  c.family = family;
+  c.seed = seed;
+  c.size_class = size_class;
+  graph::EdgeList el = qa::build_graph(c);
+  el.canonicalize();
+  return el;
+}
+
+bc::BcResult resident_compressed(const graph::EdgeList& el,
+                                 const std::vector<vidx_t>& sources) {
+  sim::Device dev;
+  dev.set_keep_launch_records(false);
+  bc::TurboBC algo(dev, el, {.compress = true});
+  return algo.run_sources(sources);
+}
+
+TEST(Streaming, EvictionWindowMatchesResidentBitForBit) {
+  for (const qa::Family family :
+       {qa::Family::kSmallWorld, qa::Family::kLocalDigraph}) {
+    const graph::EdgeList el = family_graph(family, 21, 1);
+    const CompressedCsc packed =
+        encode_csc(graph::CscGraph::from_edges(el));
+    std::vector<vidx_t> sources{0, el.num_vertices() / 2,
+                                el.num_vertices() - 1};
+    const bc::BcResult ref = resident_compressed(el, sources);
+
+    sim::Device dev;
+    dev.set_keep_launch_records(false);
+    StreamingTurboBC streamed(dev, packed, {.num_shards = 5, .window = 2});
+    const bc::BcResult got = streamed.run_sources(sources);
+    EXPECT_EQ(got.bc, ref.bc);  // bitwise, not tolerance
+    EXPECT_FALSE(streamed.fetch_free());
+    // A 2-shard window over 5 shards re-fetches on every sweep.
+    EXPECT_GT(streamed.ledger().evictions, 0u);
+    EXPECT_GT(streamed.ledger().refetch_bytes, 0u);
+    EXPECT_GT(streamed.ledger().upload_bytes,
+              streamed.ledger().refetch_bytes);
+  }
+}
+
+TEST(Streaming, ExactMatchesResidentOnDirectedScatter) {
+  const graph::EdgeList el = family_graph(qa::Family::kErdosRenyi, 9, 0);
+  ASSERT_TRUE(el.directed());  // exercises the atomic-scatter backward path
+  const CompressedCsc packed = encode_csc(graph::CscGraph::from_edges(el));
+  std::vector<vidx_t> all(static_cast<std::size_t>(el.num_vertices()));
+  for (vidx_t v = 0; v < el.num_vertices(); ++v) {
+    all[static_cast<std::size_t>(v)] = v;
+  }
+  const bc::BcResult ref = resident_compressed(el, all);
+
+  sim::Device dev;
+  dev.set_keep_launch_records(false);
+  StreamingTurboBC streamed(dev, packed, {.num_shards = 4, .window = 1});
+  EXPECT_EQ(streamed.run_exact().bc, ref.bc);
+}
+
+/// The small-graph fast path: window >= shards degrades to the resident
+/// engine — every shard uploads exactly once, nothing is ever evicted or
+/// re-fetched, and the ledger proves it.
+TEST(Streaming, FetchFreeFastPathUploadsEachShardOnce) {
+  const graph::EdgeList el = family_graph(qa::Family::kGrid, 15, 1);
+  const CompressedCsc packed = encode_csc(graph::CscGraph::from_edges(el));
+  std::vector<vidx_t> sources{0, el.num_vertices() - 1};
+  const bc::BcResult ref = resident_compressed(el, sources);
+
+  sim::Device dev;
+  dev.set_keep_launch_records(false);
+  StreamingTurboBC streamed(dev, packed, {.num_shards = 3, .window = 8});
+  EXPECT_TRUE(streamed.fetch_free());
+  const bc::BcResult got = streamed.run_sources(sources);
+  EXPECT_EQ(got.bc, ref.bc);
+  const StreamingLedger& ledger = streamed.ledger();
+  EXPECT_EQ(ledger.shard_uploads,
+            static_cast<std::uint64_t>(streamed.num_shards()));
+  EXPECT_EQ(ledger.refetch_bytes, 0u);
+  EXPECT_EQ(ledger.evictions, 0u);
+  EXPECT_GT(ledger.upload_bytes, 0u);
+}
+
+TEST(Streaming, SingleVertexAndSingleShard) {
+  graph::EdgeList el(2, /*directed=*/false);
+  el.add_edge(0, 1);
+  el.symmetrize();
+  const CompressedCsc packed = encode_csc(graph::CscGraph::from_edges(el));
+  sim::Device dev;
+  StreamingTurboBC streamed(dev, packed, {.num_shards = 1, .window = 1});
+  EXPECT_TRUE(streamed.fetch_free());
+  const bc::BcResult r = streamed.run_exact();
+  EXPECT_EQ(r.bc, (std::vector<bc_t>{0.0, 0.0}));
+}
+
+TEST(Streaming, RejectsEmptyGraphAndBadOptions) {
+  const CompressedCsc empty =
+      encode_csc(graph::CscGraph::from_edges(graph::EdgeList{}));
+  sim::Device dev;
+  EXPECT_THROW(StreamingTurboBC(dev, empty, {}), Error);
+
+  graph::EdgeList el(3, true);
+  el.add_edge(0, 1);
+  const CompressedCsc packed = encode_csc(graph::CscGraph::from_edges(el));
+  EXPECT_THROW(StreamingTurboBC(dev, packed, {.num_shards = 0}), Error);
+  EXPECT_THROW(
+      StreamingTurboBC(dev, packed, {.num_shards = 2, .window = 0}), Error);
+}
+
+/// The crossing the subsystem exists for: on a device sized between the
+/// streamed peak and the resident peak, the resident engine dies with
+/// DeviceOutOfMemory while the streamed engine completes — with the same
+/// BC vector it produces on an unconstrained device.
+TEST(Streaming, CompletesWhereResidentEngineOoms) {
+  const graph::EdgeList el = family_graph(qa::Family::kSmallWorld, 29, 2);
+  const CompressedCsc packed = encode_csc(graph::CscGraph::from_edges(el));
+  const std::vector<vidx_t> sources{0, el.num_vertices() / 3};
+
+  // Measure both peaks unconstrained.
+  const bc::BcResult resident = resident_compressed(el, sources);
+  bc::BcResult streamed_ref;
+  {
+    sim::Device dev;
+    dev.set_keep_launch_records(false);
+    StreamingTurboBC streamed(dev, packed, {.num_shards = 8, .window = 1});
+    streamed_ref = streamed.run_sources(sources);
+  }
+  ASSERT_LT(streamed_ref.peak_device_bytes, resident.peak_device_bytes);
+
+  // A device that fits the streamed image but not the resident one.
+  sim::DeviceProps small = sim::DeviceProps::titan_xp();
+  small.global_mem_bytes = (streamed_ref.peak_device_bytes +
+                            resident.peak_device_bytes) / 2;
+
+  EXPECT_THROW(
+      {
+        sim::Device dev(small);
+        dev.set_keep_launch_records(false);
+        bc::TurboBC algo(dev, el, {.compress = true});
+        algo.run_sources(sources);
+      },
+      DeviceOutOfMemory);
+
+  sim::Device dev(small);
+  dev.set_keep_launch_records(false);
+  StreamingTurboBC streamed(dev, packed, {.num_shards = 8, .window = 1});
+  const bc::BcResult got = streamed.run_sources(sources);
+  EXPECT_EQ(got.bc, streamed_ref.bc);
+  EXPECT_EQ(got.bc, resident.bc);
+}
+
+}  // namespace
+}  // namespace turbobc::storage
