@@ -1,0 +1,451 @@
+// Concurrent serve-daemon benchmark: BENCH_daemon.json.
+//
+// Four lockstep socket clients drive a phase-barriered mixed workload
+// against a real DaemonServer (JSON wire mode, one response line per
+// request): in every phase each client issues one `approx` query (the
+// concurrent read path — identical modeled cost per client, so the phase's
+// cost multiset is deterministic whatever the arrival order), then each
+// issues one `bc` (one incremental recompute plus three cache hits, every
+// response stamped with (epoch, digest)), then client 0 applies one edge
+// update (which barriers the scheduler's reader lanes). The same workload
+// runs twice per family, at reader_lanes = 1 and reader_lanes = 4 — this
+// box has one core, so query throughput scaling is measured where every
+// other bench measures time: on the modeled clock, here the scheduler's
+// reader-lane makespan.
+//
+// Gates (any failure exits nonzero):
+//   * modeled makespan at 1 lane must be >= kSpeedupThreshold (2x) the
+//     makespan at 4 lanes on at least kMinWinningFamilies (2) families;
+//   * every served bc (epoch, digest) pair, from every client in both runs,
+//     must equal a serial from-scratch run_exact replay of the scheduler's
+//     epoch-ordered update log — served results are bit-identical to
+//     recomputation at their epoch, whatever the interleaving;
+//   * zero dropped requests: every request line gets exactly one response
+//     (lockstep accounting per client), no BUSY bounces, no parse errors,
+//     and the two lane configurations log identical update sequences.
+//
+//   bench_daemon [--seed 1] [--threads N] [--out BENCH_daemon.json]
+#include <barrier>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_support/stamp.hpp"
+#include "common/cli.hpp"
+#include "common/format.hpp"
+#include "common/prng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/turbobc.hpp"
+#include "daemon/server.hpp"
+#include "daemon/socket.hpp"
+#include "generators/generators.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
+#include "serve/protocol.hpp"
+
+namespace {
+
+using namespace turbobc;
+
+constexpr double kSpeedupThreshold = 2.0;
+constexpr int kMinWinningFamilies = 2;
+constexpr int kPhases = 3;
+constexpr int kClients = 4;
+constexpr double kApproxEpsilon = 0.02;  // far from convergence: the approx
+constexpr double kApproxDelta = 0.1;     // runs its full n-pivot budget
+
+struct ClientLog {
+  int sent = 0;
+  int received = 0;
+  std::vector<std::pair<std::uint64_t, std::string>> bc_pairs;
+  std::string error;  // non-empty marks a failed client
+};
+
+struct WorkloadRun {
+  unsigned lanes = 1;
+  daemon::Scheduler::Metrics metrics;
+  std::vector<daemon::Scheduler::UpdateRecord> log;
+  std::vector<ClientLog> clients;
+  int requests = 0;
+  int responses = 0;
+};
+
+struct FamilyRow {
+  std::string family;
+  vidx_t n = 0;
+  eidx_t m = 0;
+  WorkloadRun one;   // reader_lanes = 1
+  WorkloadRun four;  // reader_lanes = 4
+  double speedup = 0.0;
+  bool speedup_ok = false;
+  bool digests_ok = false;
+  bool drops_ok = false;
+  bool logs_match = false;
+};
+
+/// One lockstep client: send a line, block for its single JSON response.
+class LockstepClient {
+ public:
+  explicit LockstepClient(const daemon::SocketAddr& addr)
+      : fd_(daemon::connect_socket(addr)), reader_(fd_, 1 << 16) {
+    std::string hello;
+    if (reader_.next(hello) != daemon::LineReader::Status::kLine) {
+      throw Error("bench_daemon: no hello from server");
+    }
+  }
+  ~LockstepClient() { daemon::close_socket(fd_); }
+
+  std::string request(const std::string& line, ClientLog& log) {
+    if (!daemon::send_all(fd_, line + "\n")) {
+      throw Error("bench_daemon: send failed");
+    }
+    ++log.sent;
+    std::string response;
+    if (reader_.next(response) != daemon::LineReader::Status::kLine) {
+      throw Error("bench_daemon: connection closed mid-request");
+    }
+    ++log.received;
+    return response;
+  }
+
+ private:
+  int fd_;
+  daemon::LineReader reader_;
+};
+
+/// The per-phase update stream, identical across runs and lane counts.
+std::vector<std::string> update_script(const graph::EdgeList& el,
+                                       std::uint64_t seed) {
+  Xoshiro256 rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  const auto n = static_cast<std::uint64_t>(el.num_vertices());
+  std::vector<std::string> updates;
+  for (int p = 0; p < kPhases; ++p) {
+    std::ostringstream os;
+    os << (p % 2 == 0 ? "insert " : "delete ") << rng.uniform(n) << ' '
+       << rng.uniform(n);
+    updates.push_back(os.str());
+  }
+  return updates;
+}
+
+WorkloadRun run_workload(const graph::EdgeList& el, unsigned lanes,
+                         std::uint64_t seed) {
+  daemon::DaemonOptions dopt;
+  dopt.listen = "127.0.0.1:0";
+  dopt.json = true;
+  dopt.top = 3;
+  dopt.sched.reader_lanes = lanes;
+  daemon::DaemonServer server(el, dopt);
+  server.start();
+
+  const std::vector<std::string> updates = update_script(el, seed);
+  WorkloadRun run;
+  run.lanes = lanes;
+  run.clients.resize(kClients);
+  std::barrier phase_barrier(kClients);
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientLog& log = run.clients[static_cast<std::size_t>(c)];
+      try {
+        LockstepClient client(server.bound());
+        std::ostringstream approx_cmd;
+        approx_cmd << "approx " << kApproxEpsilon << ' ' << kApproxDelta;
+        for (int p = 0; p < kPhases; ++p) {
+          // Region 1: four concurrent approx queries of identical modeled
+          // cost — the lane clock's parallel payload.
+          phase_barrier.arrive_and_wait();
+          client.request(approx_cmd.str(), log);
+          // Region 2: four concurrent bc queries; one recomputes, three hit
+          // the cache, all four report this epoch's digest.
+          phase_barrier.arrive_and_wait();
+          const std::string bc = client.request("bc 3", log);
+          unsigned long long epoch = 0;
+          char digest[17] = {};
+          if (std::sscanf(bc.c_str(),
+                          "{\"event\":\"bc\",\"epoch\":%llu,"
+                          "\"digest\":\"%16[0-9a-f]\"",
+                          &epoch, digest) != 2) {
+            throw Error("bench_daemon: unparseable bc response: " + bc);
+          }
+          log.bc_pairs.emplace_back(epoch, digest);
+          // Region 3: one writer applies the phase's update; everyone else
+          // waits so the next phase starts at a settled epoch.
+          phase_barrier.arrive_and_wait();
+          if (c == 0) {
+            client.request(updates[static_cast<std::size_t>(p)], log);
+          }
+          phase_barrier.arrive_and_wait();
+        }
+      } catch (const std::exception& e) {
+        log.error = e.what();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  run.metrics = server.scheduler().metrics();
+  run.log = server.scheduler().update_log();
+  server.stop();
+  for (const ClientLog& log : run.clients) {
+    run.requests += log.sent;
+    run.responses += log.received;
+  }
+  return run;
+}
+
+/// Serial scratch replay of the update log: epoch -> bc digest of a full
+/// run_exact on the graph state at that epoch (the serve engine pins the
+/// kScCsc variant, so the fold order matches bit for bit).
+std::map<std::uint64_t, std::string> replay_digests(
+    const graph::EdgeList& canon,
+    const std::vector<daemon::Scheduler::UpdateRecord>& log) {
+  const auto digest_of = [](const graph::EdgeList& state) {
+    sim::Device dev;
+    dev.set_keep_launch_records(false);
+    bc::TurboBC algo(dev, state,
+                     {.variant = serve::ServeOptions{}.variant});
+    return serve::digest_hex(serve::bc_digest(algo.run_exact().bc));
+  };
+  std::map<std::uint64_t, std::string> digests;
+  graph::EdgeList state = canon;
+  digests[0] = digest_of(state);
+  for (const auto& rec : log) {
+    if (!rec.applied) continue;
+    if (rec.kind == serve::UpdateKind::kInsert) {
+      state.add_edge(rec.u, rec.v);
+      if (!canon.directed()) state.add_edge(rec.v, rec.u);
+    } else {
+      state.remove_edge(rec.u, rec.v);
+      if (!canon.directed()) state.remove_edge(rec.v, rec.u);
+    }
+    state.canonicalize();
+    digests[rec.epoch] = digest_of(state);
+  }
+  return digests;
+}
+
+bool digests_match(const WorkloadRun& run,
+                   const std::map<std::uint64_t, std::string>& expected,
+                   const std::string& family) {
+  bool ok = true;
+  for (const ClientLog& log : run.clients) {
+    for (const auto& [epoch, digest] : log.bc_pairs) {
+      const auto it = expected.find(epoch);
+      if (it == expected.end() || it->second != digest) {
+        std::cerr << "ERROR: " << family << " lanes=" << run.lanes
+                  << ": served digest " << digest << " at epoch " << epoch
+                  << " != scratch replay "
+                  << (it == expected.end() ? std::string("<unknown epoch>")
+                                           : it->second)
+                  << "\n";
+        ok = false;
+      }
+    }
+  }
+  return ok;
+}
+
+/// Zero-drop accounting: every request answered, nothing bounced or
+/// misparsed, every client finished cleanly, all expected queries counted.
+bool drops_ok(const WorkloadRun& run, const std::string& family) {
+  bool ok = true;
+  for (std::size_t c = 0; c < run.clients.size(); ++c) {
+    const ClientLog& log = run.clients[c];
+    if (!log.error.empty()) {
+      std::cerr << "ERROR: " << family << " lanes=" << run.lanes
+                << " client " << c << ": " << log.error << "\n";
+      ok = false;
+    }
+    if (log.sent != log.received) {
+      std::cerr << "ERROR: " << family << " lanes=" << run.lanes
+                << " client " << c << ": sent " << log.sent
+                << " requests, received " << log.received << " responses\n";
+      ok = false;
+    }
+  }
+  const auto queries = static_cast<std::uint64_t>(2 * kClients * kPhases);
+  if (run.metrics.queries != queries ||
+      run.metrics.updates != static_cast<std::uint64_t>(kPhases) ||
+      run.metrics.busy != 0 || run.metrics.errors != 0 ||
+      run.metrics.queue_depth != 0) {
+    std::cerr << "ERROR: " << family << " lanes=" << run.lanes
+              << ": metrics queries=" << run.metrics.queries << " updates="
+              << run.metrics.updates << " busy=" << run.metrics.busy
+              << " errors=" << run.metrics.errors << " queue="
+              << run.metrics.queue_depth << " (expected " << queries
+              << " queries, " << kPhases << " updates, all else 0)\n";
+    ok = false;
+  }
+  return ok;
+}
+
+bool logs_equal(const std::vector<daemon::Scheduler::UpdateRecord>& a,
+                const std::vector<daemon::Scheduler::UpdateRecord>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].kind != b[i].kind || a[i].u != b[i].u || a[i].v != b[i].v ||
+        a[i].applied != b[i].applied || a[i].epoch != b[i].epoch) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void write_daemon_json(std::ostream& os, const bench::BenchStamp& stamp,
+                       const std::vector<FamilyRow>& rows, int speedup_wins) {
+  os << "{\n";
+  bench::write_stamp_json(os, stamp);
+  os << ",\n\"workload\": {\"clients\": " << kClients << ", \"phases\": "
+     << kPhases << ", \"approx_epsilon\": " << kApproxEpsilon << "},\n";
+  os << "\"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    os << "  {\"family\": \"" << r.family << "\", \"n\": " << r.n
+       << ", \"m\": " << r.m
+       << ", \"requests\": " << r.one.requests + r.four.requests
+       << ", \"responses\": " << r.one.responses + r.four.responses
+       << ", \"makespan_1_s\": " << r.one.metrics.modeled_makespan_seconds
+       << ", \"makespan_4_s\": " << r.four.metrics.modeled_makespan_seconds
+       << ", \"query_seconds\": " << r.one.metrics.modeled_query_seconds
+       << ", \"speedup\": " << r.speedup
+       << ", \"speedup_ok\": " << (r.speedup_ok ? "true" : "false")
+       << ", \"digests_ok\": " << (r.digests_ok ? "true" : "false")
+       << ", \"drops_ok\": " << (r.drops_ok ? "true" : "false")
+       << ", \"update_logs_match\": " << (r.logs_match ? "true" : "false")
+       << ", \"busy\": " << r.one.metrics.busy + r.four.metrics.busy
+       << ", \"final_epoch\": " << r.four.metrics.epoch << "}"
+       << (i + 1 < rows.size() ? "," : "") << '\n';
+  }
+  os << "],\n\"acceptance\": {\"speedup_threshold\": " << kSpeedupThreshold
+     << ", \"min_winning_families\": " << kMinWinningFamilies
+     << ", \"speedup_wins\": " << speedup_wins << "}\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace turbobc;
+  using namespace turbobc::bench;
+
+  const CliArgs args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto threads = static_cast<unsigned>(args.get_count("threads", 0));
+  sim::ExecutorPool::instance().set_threads(threads);
+
+  WallTimer run_timer;
+
+  struct Family {
+    std::string name;
+    graph::EdgeList graph;
+  };
+  std::vector<Family> families;
+  std::cerr << "  [daemon] generating graphs ..." << std::flush;
+  families.push_back({"smallworld",
+                      gen::small_world({.n = 360, .k = 6, .rewire_p = 0.1,
+                                        .seed = seed})});
+  families.push_back({"kron9", gen::kronecker({.scale = 9, .edge_factor = 6,
+                                               .seed = seed + 1})});
+  families.push_back({"mark3j",
+                      gen::markov_lattice({.length = 20, .width = 18,
+                                           .seed = seed + 2})});
+  std::cerr << " done\n";
+
+  std::vector<FamilyRow> rows;
+  for (const Family& fam : families) {
+    graph::EdgeList el = fam.graph;
+    el.canonicalize();
+    std::cerr << "  [daemon] " << fam.name << " (n "
+              << human_count(static_cast<double>(el.num_vertices())) << ", m "
+              << human_count(static_cast<double>(el.num_arcs())) << ")"
+              << std::flush;
+
+    FamilyRow row;
+    row.family = fam.name;
+    row.n = el.num_vertices();
+    row.m = el.num_arcs();
+
+    std::cerr << " lanes=1" << std::flush;
+    row.one = run_workload(el, 1, seed);
+    std::cerr << " lanes=4" << std::flush;
+    row.four = run_workload(el, 4, seed);
+
+    std::cerr << " replay" << std::flush;
+    const auto expected = replay_digests(el, row.four.log);
+    row.digests_ok = digests_match(row.one, expected, fam.name) &&
+                     digests_match(row.four, expected, fam.name);
+    row.drops_ok =
+        drops_ok(row.one, fam.name) && drops_ok(row.four, fam.name);
+    row.logs_match = logs_equal(row.one.log, row.four.log);
+
+    const double m4 = row.four.metrics.modeled_makespan_seconds;
+    row.speedup =
+        m4 > 0.0 ? row.one.metrics.modeled_makespan_seconds / m4 : 0.0;
+    row.speedup_ok = row.speedup >= kSpeedupThreshold;
+
+    rows.push_back(row);
+    std::cerr << " done\n";
+  }
+
+  int speedup_wins = 0;
+  for (const FamilyRow& r : rows) {
+    if (r.speedup_ok) ++speedup_wins;
+  }
+
+  std::cout << "Serve daemon under " << kClients
+            << " concurrent clients: modeled reader-lane makespan at 1 vs 4 "
+               "lanes (" << kPhases << " phases, approx-heavy)\n";
+  Table t({"family", "n", "m", "queries", "updates", "makespan 1",
+           "makespan 4", "speedup", "digests", "drops"});
+  for (const FamilyRow& r : rows) {
+    t.add_row({r.family, human_count(static_cast<double>(r.n)),
+               human_count(static_cast<double>(r.m)),
+               std::to_string(r.one.metrics.queries),
+               std::to_string(r.one.metrics.updates),
+               fixed(r.one.metrics.modeled_makespan_seconds, 4) + " s",
+               fixed(r.four.metrics.modeled_makespan_seconds, 4) + " s",
+               fixed(r.speedup, 2) + "x", r.digests_ok ? "ok" : "DRIFT",
+               r.drops_ok ? "none" : "DROPPED"});
+  }
+  t.print(std::cout);
+
+  const std::string out_path = args.get("out", "BENCH_daemon.json");
+  std::ofstream json(out_path);
+  write_daemon_json(json, make_stamp(seed, run_timer.seconds()), rows,
+                    speedup_wins);
+  std::cout << "\nwrote " << out_path << '\n';
+
+  int rc = 0;
+  for (const FamilyRow& r : rows) {
+    if (!r.digests_ok) {
+      std::cerr << "ERROR: " << r.family
+                << " served digests drifted from the scratch replay\n";
+      rc = 1;
+    }
+    if (!r.drops_ok) {
+      std::cerr << "ERROR: " << r.family << " dropped or bounced requests\n";
+      rc = 1;
+    }
+    if (!r.logs_match) {
+      std::cerr << "ERROR: " << r.family
+                << " update logs differ between lane configurations\n";
+      rc = 1;
+    }
+  }
+  if (speedup_wins < kMinWinningFamilies) {
+    std::cerr << "ERROR: only " << speedup_wins << " of " << rows.size()
+              << " families reached the " << kSpeedupThreshold
+              << "x modeled makespan speedup at 4 reader lanes (need >= "
+              << kMinWinningFamilies << ")\n";
+    rc = 1;
+  }
+  return rc;
+}

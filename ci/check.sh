@@ -74,6 +74,55 @@ run_config() {
   msbfs_smoke "$name" "$dir"
   serve_smoke "$name" "$dir"
   ooc_smoke "$name" "$dir"
+  daemon_smoke "$name" "$dir"
+}
+
+# Daemon smoke: a real socket round trip through `turbobc_cli daemon` /
+# `turbobc_cli client` — start the daemon on an ephemeral TCP port, parse
+# the resolved address from its 'listening' banner, replay a mixed session
+# through the client, and diff the client transcript byte for byte against
+# `serve --wire --json --script` on the same graph (the byte-identity the
+# qa daemon_agreement invariant pins in-process, here pinned across a real
+# TCP hop and the CLI surface). A second connection's `shutdown` then stops
+# the server gracefully; its exit status and stopped-banner are checked.
+# Runs under TSan too — this is the repo's only real-concurrency subsystem.
+# The Release stage additionally runs bench_daemon, whose >=2x reader-lane
+# throughput-scaling / digest-vs-scratch-replay / zero-drop gates are
+# enforced by its exit code.
+daemon_smoke() {
+  local name="$1" dir="$2"
+  echo "=== [$name] daemon-smoke ==="
+  local cli="$dir/src/tools/turbobc_cli" g="$dir/daemon_smoke.mtx"
+  "$cli" generate --family mycielski --order 6 --out "$g"
+  printf 'bc 5\ninsert 0 40\ntop 5\ndelete 0 40\nbc 5\nstats\n' \
+    > "$dir/daemon_smoke_session.txt"
+  "$cli" daemon "$g" --listen 127.0.0.1:0 --json \
+    > "$dir/daemon_smoke_server.log" &
+  local daemon_pid=$!
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^daemon: listening on //p' "$dir/daemon_smoke_server.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "daemon-smoke: server never printed its listening banner" >&2
+    kill "$daemon_pid" 2>/dev/null || true
+    exit 1
+  fi
+  "$cli" client --connect "$addr" --script "$dir/daemon_smoke_session.txt" \
+    > "$dir/daemon_smoke_client.jsonl"
+  "$cli" serve "$g" --wire --json --script "$dir/daemon_smoke_session.txt" \
+    > "$dir/daemon_smoke_serve.jsonl"
+  cmp "$dir/daemon_smoke_client.jsonl" "$dir/daemon_smoke_serve.jsonl"
+  printf 'shutdown\n' | "$cli" client --connect "$addr" > /dev/null
+  wait "$daemon_pid"
+  grep -q '^daemon: stopped after 2 connection' "$dir/daemon_smoke_server.log"
+  if [ "$name" = "release" ]; then
+    echo "=== [$name] bench-daemon ==="
+    cmake --build "$dir" -j "$(nproc)" --target bench_daemon
+    "$dir/bench/bench_daemon" --out "$dir/BENCH_daemon.json"
+  fi
 }
 
 # Out-of-core smoke: the compressed (delta-varint CCSC) engine must
@@ -125,7 +174,8 @@ ooc_smoke() {
     cmake --build "$dir" -j "$(nproc)" --target bench_ooc bench_ablation_scf
     "$dir/bench/bench_ooc" --out "$dir/BENCH_ooc.json"
     "$dir/bench/bench_ablation_scf" \
-      bench/fixtures/karate.mtx bench/fixtures/florentine.mtx > /dev/null
+      bench/fixtures/karate.mtx bench/fixtures/florentine.mtx \
+      bench/fixtures/mawi_tail.mtx > /dev/null
   fi
 }
 

@@ -1,0 +1,43 @@
+#include "daemon/client.hpp"
+
+#include <sys/socket.h>
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <thread>
+
+#include "daemon/socket.hpp"
+
+namespace turbobc::daemon {
+
+int run_client(const ClientOptions& options, std::istream& script,
+               std::ostream& out) {
+  const SocketAddr addr = parse_socket_addr(options.connect);
+  const int fd = connect_socket(addr);
+
+  // Drain responses concurrently so a slow consumer can never deadlock
+  // against a daemon blocked on its own send buffer.
+  std::thread reader([fd, &out] {
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n <= 0) return;
+      out.write(chunk, static_cast<std::streamsize>(n));
+    }
+  });
+
+  std::string line;
+  while (std::getline(script, line)) {
+    line += '\n';
+    if (!send_all(fd, line)) break;  // daemon went away mid-script
+  }
+  shutdown_write(fd);  // end-of-script: daemon drains, responds, closes
+
+  reader.join();
+  out.flush();
+  close_socket(fd);
+  return 0;
+}
+
+}  // namespace turbobc::daemon

@@ -1,0 +1,29 @@
+// Loopback client for the serve daemon (`turbobc_cli client --connect`):
+// connect, stream request lines from a script (or stdin), and copy every
+// response byte to the output stream until the server closes. Used by
+// tests, the daemon-smoke CI stage, and bench_daemon's concurrent drivers.
+//
+// Flow control is deliberately dumb: all script lines are sent as they are
+// read, responses are drained by a background reader thread, and after the
+// last line the write side is half-closed — the daemon sees EOF, finishes
+// the requests in flight, and closes, which ends the reader. Because the
+// daemon answers a connection's requests strictly in order, the captured
+// transcript for a single connection is deterministic (and byte-identical
+// to `serve --wire --script` on the same graph and script).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace turbobc::daemon {
+
+struct ClientOptions {
+  std::string connect;  ///< HOST:PORT or unix:PATH
+};
+
+/// Run one client session; returns the process exit code (0 on success).
+/// Throws Error if the connection cannot be established.
+int run_client(const ClientOptions& options, std::istream& script,
+               std::ostream& out);
+
+}  // namespace turbobc::daemon

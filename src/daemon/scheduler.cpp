@@ -1,0 +1,270 @@
+#include "daemon/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "approx/driver.hpp"
+#include "gpusim/device.hpp"
+
+namespace turbobc::daemon {
+
+using serve::Command;
+using serve::RenderOptions;
+
+namespace {
+
+std::string fixed6(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", x);
+  return buf;
+}
+
+std::uint64_t now_micros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Upper bound of the log2 bucket holding the q-quantile of the histogram.
+std::uint64_t bucket_quantile(const std::uint64_t (&buckets)[64], double q) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : buckets) total += b;
+  if (total == 0) return 0;
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(q * total));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < 64; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return i == 0 ? 1 : (1ull << i);
+  }
+  return ~0ull;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(graph::EdgeList graph,
+                     serve::ServeOptions engine_options, Options options)
+    : options_(options), engine_(std::move(graph), engine_options) {
+  num_vertices_ = engine_.num_vertices();
+  if (options_.reader_lanes == 0) options_.reader_lanes = 1;
+  if (options_.update_queue_limit == 0) options_.update_queue_limit = 1;
+  lane_busy_.assign(options_.reader_lanes, 0.0);
+}
+
+std::string Scheduler::hello(const RenderOptions& render) {
+  std::shared_lock<std::shared_mutex> rd(epoch_mu_);
+  std::lock_guard<std::mutex> eng(engine_mu_);
+  return serve::render_hello(engine_, render);
+}
+
+std::string Scheduler::execute(const Command& c, const RenderOptions& render) {
+  switch (c.kind) {
+    case Command::kBc:
+    case Command::kTop:
+    case Command::kApprox:
+    case Command::kStats:
+      return execute_query(c, render);
+    case Command::kInsert:
+    case Command::kDelete:
+      return execute_update(c, render);
+    case Command::kMetrics:
+      return render_metrics(render);
+    case Command::kShutdown: {
+      // The server handles shutdown before dispatching here; render a bye
+      // for direct (test) callers.
+      std::shared_lock<std::shared_mutex> rd(epoch_mu_);
+      std::lock_guard<std::mutex> eng(engine_mu_);
+      return serve::render_bye(engine_.counters().epoch, render);
+    }
+  }
+  return serve::render_error("unreachable command kind", render);
+}
+
+std::string Scheduler::execute_query(const Command& c,
+                                     const RenderOptions& render) {
+  const std::uint64_t t0 = now_micros();
+  std::shared_lock<std::shared_mutex> rd(epoch_mu_);
+  std::string response;
+  double modeled = 0.0;
+
+  if (c.kind == Command::kApprox) {
+    // Options (and the component map) resolve under the engine lock; the
+    // estimator itself runs on a private device with only the shared epoch
+    // lock held — the concurrent read path.
+    approx::ApproxOptions opt;
+    std::uint64_t epoch = 0;
+    {
+      std::lock_guard<std::mutex> eng(engine_mu_);
+      opt = engine_.make_approx_options(c.epsilon, c.delta);
+      epoch = engine_.counters().epoch;
+    }
+    sim::Device device;
+    device.set_keep_launch_records(false);
+    const approx::ApproxResult result =
+        approx::run_adaptive(device, engine_.graph(), opt);
+    {
+      std::lock_guard<std::mutex> eng(engine_mu_);
+      engine_.note_query(result.device_seconds);
+    }
+    modeled = result.device_seconds;
+    response = serve::render_approx(c.epsilon, c.delta, result, epoch, render);
+  } else {
+    std::lock_guard<std::mutex> eng(engine_mu_);
+    const std::uint64_t epoch = engine_.counters().epoch;
+    switch (c.kind) {
+      case Command::kBc: {
+        serve::QueryStats stats;
+        const std::vector<bc_t>& bc = engine_.query_bc(&stats);
+        modeled = stats.device_seconds;
+        response = serve::render_bc(engine_, bc,
+                                    serve::rank_vertices(bc, c.k), stats,
+                                    epoch, render);
+        break;
+      }
+      case Command::kTop: {
+        serve::QueryStats stats;
+        response = serve::render_top(engine_.query_top(c.k, &stats), epoch,
+                                     render);
+        modeled = stats.device_seconds;
+        break;
+      }
+      case Command::kStats:
+        response = serve::render_stats(engine_.counters(), render);
+        break;
+      default:
+        break;
+    }
+  }
+
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  note_query_cost(modeled, now_micros() - t0);
+  return response;
+}
+
+std::string Scheduler::execute_update(const Command& c,
+                                      const RenderOptions& render) {
+  const std::size_t limit = options_.update_queue_limit;
+  // Ticketed admission: fetch_add claims a queue slot; over-limit claims
+  // are returned immediately with BUSY — backpressure, never a drop.
+  const std::size_t pending =
+      pending_updates_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (pending > limit) {
+    pending_updates_.fetch_sub(1, std::memory_order_acq_rel);
+    busy_.fetch_add(1, std::memory_order_relaxed);
+    return serve::render_busy(pending - 1, limit, render);
+  }
+
+  const serve::UpdateKind kind = c.kind == Command::kInsert
+                                     ? serve::UpdateKind::kInsert
+                                     : serve::UpdateKind::kDelete;
+  std::string response;
+  {
+    std::unique_lock<std::shared_mutex> wr(epoch_mu_);
+    const serve::UpdateStats stats = engine_.apply_update(kind, c.u, c.v);
+    const std::uint64_t epoch = engine_.counters().epoch;
+    {
+      std::lock_guard<std::mutex> lg(log_mu_);
+      update_log_.push_back({kind, c.u, c.v, stats.applied, epoch});
+    }
+    response = serve::render_update(
+        c.kind == Command::kInsert ? "insert" : "delete", c.u, c.v, stats,
+        epoch, render);
+  }
+  pending_updates_.fetch_sub(1, std::memory_order_acq_rel);
+  updates_.fetch_add(1, std::memory_order_relaxed);
+  note_update_barrier();
+  return response;
+}
+
+void Scheduler::note_query_cost(double modeled_seconds,
+                                std::uint64_t wall_micros) {
+  std::lock_guard<std::mutex> g(clock_mu_);
+  auto lane = std::min_element(lane_busy_.begin(), lane_busy_.end());
+  *lane = std::max(*lane, barrier_clock_) + modeled_seconds;
+  modeled_query_seconds_ += modeled_seconds;
+  int bucket = 0;
+  while (bucket < 63 && (1ull << bucket) < std::max<std::uint64_t>(
+                                               wall_micros, 1)) {
+    ++bucket;
+  }
+  ++latency_buckets_[bucket];
+}
+
+void Scheduler::note_update_barrier() {
+  std::lock_guard<std::mutex> g(clock_mu_);
+  double t = barrier_clock_;
+  for (const double l : lane_busy_) t = std::max(t, l);
+  barrier_clock_ = t;
+  for (double& l : lane_busy_) l = t;
+}
+
+std::vector<Scheduler::UpdateRecord> Scheduler::update_log() const {
+  std::lock_guard<std::mutex> lg(log_mu_);
+  return update_log_;
+}
+
+serve::ServeEngine::Counters Scheduler::engine_counters() {
+  std::shared_lock<std::shared_mutex> rd(epoch_mu_);
+  std::lock_guard<std::mutex> eng(engine_mu_);
+  return engine_.counters();
+}
+
+Scheduler::Metrics Scheduler::metrics() {
+  Metrics m;
+  m.queries = queries_.load(std::memory_order_relaxed);
+  m.updates = updates_.load(std::memory_order_relaxed);
+  m.busy = busy_.load(std::memory_order_relaxed);
+  m.errors = errors_.load(std::memory_order_relaxed);
+  m.queue_depth = pending_updates_.load(std::memory_order_acquire);
+  m.queue_limit = options_.update_queue_limit;
+  m.reader_lanes = options_.reader_lanes;
+  const serve::ServeEngine::Counters c = engine_counters();
+  m.epoch = c.epoch;
+  const std::uint64_t touched = c.served_cached + c.recomputed;
+  m.cache_hit_ratio =
+      touched == 0 ? 0.0
+                   : static_cast<double>(c.served_cached) /
+                         static_cast<double>(touched);
+  {
+    std::lock_guard<std::mutex> g(clock_mu_);
+    m.p50_micros = bucket_quantile(latency_buckets_, 0.50);
+    m.p99_micros = bucket_quantile(latency_buckets_, 0.99);
+    m.modeled_query_seconds = modeled_query_seconds_;
+    double makespan = barrier_clock_;
+    for (const double l : lane_busy_) makespan = std::max(makespan, l);
+    m.modeled_makespan_seconds = makespan;
+  }
+  return m;
+}
+
+std::string Scheduler::render_metrics(const RenderOptions& render) {
+  const Metrics m = metrics();
+  std::ostringstream out;
+  if (render.json) {
+    out << "{\"event\":\"metrics\",\"epoch\":" << m.epoch << ",\"queries\":"
+        << m.queries << ",\"updates\":" << m.updates << ",\"busy\":" << m.busy
+        << ",\"errors\":" << m.errors << ",\"queue_depth\":" << m.queue_depth
+        << ",\"queue_limit\":" << m.queue_limit << ",\"cache_hit_ratio\":"
+        << fixed6(m.cache_hit_ratio) << ",\"p50_micros\":" << m.p50_micros
+        << ",\"p99_micros\":" << m.p99_micros << ",\"reader_lanes\":"
+        << m.reader_lanes << ",\"modeled_query_seconds\":"
+        << fixed6(m.modeled_query_seconds) << ",\"modeled_makespan_seconds\":"
+        << fixed6(m.modeled_makespan_seconds) << "}\n";
+    return out.str();
+  }
+  out << "metrics: epoch=" << m.epoch << " queries=" << m.queries
+      << " updates=" << m.updates << " busy=" << m.busy << " errors="
+      << m.errors << " queue=" << m.queue_depth << "/" << m.queue_limit
+      << " cache_hit=" << fixed6(m.cache_hit_ratio) << " p50_us="
+      << m.p50_micros << " p99_us=" << m.p99_micros << " lanes="
+      << m.reader_lanes << " modeled_query_s="
+      << fixed6(m.modeled_query_seconds) << " modeled_makespan_s="
+      << fixed6(m.modeled_makespan_seconds) << '\n';
+  return out.str();
+}
+
+}  // namespace turbobc::daemon

@@ -1,0 +1,145 @@
+// Reader-writer scheduler over ServeEngine — the concurrency core of the
+// serve daemon. This is the repo's first REAL (not modeled) concurrency on
+// the query path, so the locking contract is spelled out:
+//
+//   epoch_mu_ (shared_mutex)  Readers-vs-writers. Every query holds it
+//     shared; insert/delete hold it exclusive. While any shared holder
+//     exists the graph, the component map, and the epoch are frozen.
+//   engine_mu_ (mutex, under a shared epoch_mu_)  ServeEngine is not
+//     internally thread-safe — query paths warm blocks and bump counters —
+//     so every call into the engine serializes here. bc/top/stats queries
+//     run entirely under it; approx queries only build their options under
+//     it (pre-warming the component map via make_approx_options), then run
+//     the estimator on a PRIVATE sim::Device outside, so approx is the
+//     genuinely concurrent compute path (fanned across sim::ExecutorPool,
+//     whose run_job serializes concurrent submitters).
+//
+// Updates ride a ticketed admission queue: at most update_queue_limit
+// updates may be admitted (queued on the exclusive lock) at once; the
+// excess gets an explicit BUSY response immediately — backpressure, never a
+// silent drop. Each applied update is appended, under the exclusive lock,
+// to an epoch-ordered update log that bench_daemon and the daemon_agreement
+// oracle replay serially from scratch to gate served digests per epoch.
+//
+// Metrics plane: real wall-clock latency quantiles (log2-bucketed micros),
+// engine cache hit ratio, queue depth, and a MODELED reader-lane clock —
+// each query's modeled device seconds are assigned to the least-busy of
+// reader_lanes lanes, updates barrier all lanes — whose makespan is the
+// modeled serving time the bench's throughput-scaling gate compares at 1 vs
+// 4 lanes (this box has one core; wall-clock scaling is measured by proxy
+// through the same cost model every other bench gates on).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/serve_engine.hpp"
+
+namespace turbobc::daemon {
+
+class Scheduler {
+ public:
+  struct Options {
+    /// Updates admitted (applying or queued on the exclusive lock) before
+    /// further updates bounce with BUSY.
+    std::size_t update_queue_limit = 8;
+    /// Modeled concurrent-reader lanes of the metrics-plane serving clock.
+    unsigned reader_lanes = 1;
+  };
+
+  Scheduler(graph::EdgeList graph, serve::ServeOptions engine_options,
+            Options options);
+
+  /// Vertex count (fixed for the daemon's lifetime: updates rewire edges,
+  /// never grow the vertex set) — bounds command parsing.
+  vidx_t num_vertices() const noexcept { return num_vertices_; }
+
+  /// The connect-time greeting line.
+  std::string hello(const serve::RenderOptions& render);
+
+  /// Execute one parsed command and return its rendered response. Thread-
+  /// safe; kMetrics/kShutdown render via the metrics plane / render_bye.
+  std::string execute(const serve::Command& c,
+                      const serve::RenderOptions& render);
+
+  /// Parse-error accounting for the server's error responses.
+  void note_error() noexcept { errors_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// One applied-or-noop update, in epoch order.
+  struct UpdateRecord {
+    serve::UpdateKind kind = serve::UpdateKind::kInsert;
+    vidx_t u = 0, v = 0;
+    bool applied = false;
+    std::uint64_t epoch = 0;  ///< epoch AFTER this update
+  };
+  std::vector<UpdateRecord> update_log() const;
+
+  /// Engine counters snapshot (takes the engine lock).
+  serve::ServeEngine::Counters engine_counters();
+
+  struct Metrics {
+    std::uint64_t queries = 0;       ///< bc/top/approx/stats served
+    std::uint64_t updates = 0;       ///< insert/delete responses (incl. noop)
+    std::uint64_t busy = 0;          ///< updates bounced with BUSY
+    std::uint64_t errors = 0;        ///< malformed frames answered with error
+    std::uint64_t epoch = 0;
+    std::size_t queue_depth = 0;     ///< updates admitted right now
+    std::size_t queue_limit = 0;
+    double cache_hit_ratio = 0.0;    ///< served_cached / (cached + recomputed)
+    std::uint64_t p50_micros = 0;    ///< log2-bucket upper bounds
+    std::uint64_t p99_micros = 0;
+    double modeled_query_seconds = 0.0;     ///< serial sum of query cost
+    double modeled_makespan_seconds = 0.0;  ///< reader-lane clock makespan
+    unsigned reader_lanes = 1;
+  };
+  Metrics metrics();
+  std::string render_metrics(const serve::RenderOptions& render);
+
+  // ---- test seams ----
+
+  /// Hold the reader side so subsequent updates queue (or bounce)
+  /// deterministically. Release by destroying the returned lock.
+  std::shared_lock<std::shared_mutex> hold_readers_for_test() {
+    return std::shared_lock<std::shared_mutex>(epoch_mu_);
+  }
+  std::size_t pending_updates() const noexcept {
+    return pending_updates_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::string execute_query(const serve::Command& c,
+                            const serve::RenderOptions& render);
+  std::string execute_update(const serve::Command& c,
+                             const serve::RenderOptions& render);
+  void note_query_cost(double modeled_seconds, std::uint64_t wall_micros);
+  void note_update_barrier();
+
+  Options options_;
+  vidx_t num_vertices_ = 0;
+
+  std::shared_mutex epoch_mu_;
+  std::mutex engine_mu_;
+  serve::ServeEngine engine_;  // guarded by engine_mu_ (+ epoch_mu_ rules)
+
+  std::atomic<std::size_t> pending_updates_{0};
+  std::atomic<std::uint64_t> busy_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> updates_{0};
+
+  mutable std::mutex log_mu_;
+  std::vector<UpdateRecord> update_log_;  // guarded by log_mu_
+
+  std::mutex clock_mu_;  // metrics-plane clock + latency histogram
+  std::vector<double> lane_busy_;
+  double barrier_clock_ = 0.0;
+  double modeled_query_seconds_ = 0.0;
+  std::uint64_t latency_buckets_[64] = {};
+};
+
+}  // namespace turbobc::daemon

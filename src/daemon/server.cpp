@@ -1,0 +1,140 @@
+#include "daemon/server.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "serve/protocol.hpp"
+
+namespace turbobc::daemon {
+
+DaemonServer::DaemonServer(graph::EdgeList graph, const DaemonOptions& options)
+    : options_(options),
+      render_{options.json, /*wire=*/true},
+      scheduler_(std::move(graph), options.engine, options.sched) {}
+
+DaemonServer::~DaemonServer() { stop(); }
+
+void DaemonServer::start() {
+  const SocketAddr addr = parse_socket_addr(options_.listen);
+  listen_fd_ = listen_socket(addr);
+  bound_ = local_addr(listen_fd_, addr);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void DaemonServer::accept_loop() {
+  for (;;) {
+    const int fd = accept_connection(listen_fd_);
+    if (fd < 0) return;  // listener closed: stop path
+    if (stopping_.load(std::memory_order_acquire)) {
+      close_socket(fd);
+      return;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> g(conn_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void DaemonServer::serve_connection(int fd) {
+  send_all(fd, scheduler_.hello(render_));
+  LineReader reader(fd, options_.max_line);
+  std::string line;
+  for (;;) {
+    const LineReader::Status status = reader.next(line);
+    if (status == LineReader::Status::kEof) break;
+    if (status == LineReader::Status::kOverflow) {
+      scheduler_.note_error();
+      send_all(fd, serve::render_error(
+                       "line exceeds " + std::to_string(options_.max_line) +
+                           " bytes; closing connection",
+                       render_));
+      break;
+    }
+    std::optional<serve::Command> c;
+    try {
+      c = serve::parse_command(line, scheduler_.num_vertices(), options_.top,
+                               serve::Grammar::kDaemon);
+    } catch (const UsageError& e) {
+      scheduler_.note_error();
+      if (!send_all(fd, serve::render_error(e.what(), render_))) break;
+      continue;
+    }
+    if (!c.has_value()) continue;  // blank / comment: no response frame
+    if (c->kind == serve::Command::kShutdown) {
+      send_all(fd, scheduler_.execute(*c, render_));  // renders bye
+      request_stop();
+      break;
+    }
+    if (!send_all(fd, scheduler_.execute(*c, render_))) break;
+  }
+  // Deregister BEFORE closing: stop() must never shutdown_read a recycled
+  // fd number.
+  {
+    std::lock_guard<std::mutex> g(conn_mu_);
+    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                    conn_fds_.end());
+  }
+  close_socket(fd);
+}
+
+void DaemonServer::request_stop() {
+  std::lock_guard<std::mutex> g(stop_mu_);
+  stop_requested_ = true;
+  stop_cv_.notify_all();
+}
+
+void DaemonServer::wait() {
+  {
+    std::unique_lock<std::mutex> lock(stop_mu_);
+    stop_cv_.wait(lock, [this] { return stop_requested_ || stopped_; });
+    if (stopped_) return;
+  }
+  stop();
+}
+
+void DaemonServer::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    // Someone else is stopping (or stopped); wait for them to finish.
+    std::unique_lock<std::mutex> lock(stop_mu_);
+    stop_cv_.wait(lock, [this] { return stopped_; });
+    return;
+  }
+
+  // Wake the accept loop (shutdown, not close — close does not unblock a
+  // thread already inside accept()); no new connections.
+  if (listen_fd_ >= 0) shutdown_both(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    close_socket(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // Drain: half-close every connection's read side — its loop finishes the
+  // request in flight (responses still go out) and exits on EOF.
+  {
+    std::lock_guard<std::mutex> g(conn_mu_);
+    for (const int fd : conn_fds_) shutdown_read(fd);
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> g(conn_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+
+  if (bound_.unix_domain) ::unlink(bound_.path.c_str());
+
+  std::lock_guard<std::mutex> g(stop_mu_);
+  stop_requested_ = true;
+  stopped_ = true;
+  stop_cv_.notify_all();
+}
+
+}  // namespace turbobc::daemon

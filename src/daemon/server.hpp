@@ -1,0 +1,100 @@
+// The serve daemon: a TCP / Unix-domain-socket front-end speaking the serve
+// session language (serve/protocol.hpp, Grammar::kDaemon) over newline-
+// delimited frames, one thread per connection, all connections multiplexed
+// onto one Scheduler (reader-writer locking, bounded update admission,
+// epoch-stamped wire responses).
+//
+// Connection protocol: on accept the server sends one hello line, then
+// answers one response per non-blank non-comment request line. Malformed
+// lines get an `error` response and the connection continues; a line beyond
+// max_line gets an `error` response and the connection CLOSES (framing is
+// lost). `shutdown` answers `bye` and initiates a graceful stop: the
+// listener closes, every other connection's read side is shut down so its
+// loop drains the request in flight and exits, and stop() joins everything.
+// Abrupt client disconnects (EOF, reset, vanished peer mid-response) just
+// end that connection.
+//
+// A single connection replaying a script produces a byte-identical
+// transcript to `turbobc_cli serve --wire --script` on the same graph —
+// the daemon-smoke CI stage and the qa daemon_agreement invariant pin it.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/scheduler.hpp"
+#include "daemon/socket.hpp"
+#include "graph/edge_list.hpp"
+#include "serve/serve_engine.hpp"
+
+namespace turbobc::daemon {
+
+struct DaemonOptions {
+  std::string listen;        ///< HOST:PORT or unix:PATH
+  bool json = false;         ///< JSON Lines responses
+  vidx_t top = 5;            ///< default K of a bare `bc`
+  std::size_t max_line = 4096;  ///< oversized-frame guard (bytes)
+  Scheduler::Options sched;
+  serve::ServeOptions engine;
+};
+
+class DaemonServer {
+ public:
+  /// Canonicalizes the graph into the scheduler; nothing listens yet.
+  DaemonServer(graph::EdgeList graph, const DaemonOptions& options);
+  ~DaemonServer();
+
+  /// Bind + listen + spawn the accept thread. Throws Error on bind failure.
+  void start();
+
+  /// The bound address (an ephemeral TCP :0 resolves to the real port).
+  const SocketAddr& bound() const noexcept { return bound_; }
+
+  /// Block until a `shutdown` command arrives (or stop() is called from
+  /// another thread), then drain and join. Returns once fully stopped.
+  void wait();
+
+  /// Graceful stop: close the listener, half-close every connection's read
+  /// side, drain in-flight requests, join all threads. Idempotent; safe
+  /// from any thread except a connection thread.
+  void stop();
+
+  Scheduler& scheduler() noexcept { return scheduler_; }
+  const DaemonOptions& options() const noexcept { return options_; }
+
+  /// Connections accepted over the server's lifetime.
+  std::uint64_t connections_accepted() const noexcept {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  void request_stop();
+
+  DaemonOptions options_;
+  serve::RenderOptions render_;
+  Scheduler scheduler_;
+
+  int listen_fd_ = -1;
+  SocketAddr bound_;
+  std::thread accept_thread_;
+
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;  // guarded by conn_mu_
+  std::vector<int> conn_fds_;              // open connections, by fd
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;  // guarded by stop_mu_
+  bool stopped_ = false;
+};
+
+}  // namespace turbobc::daemon

@@ -1,0 +1,237 @@
+#include "daemon/socket.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace turbobc::daemon {
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw Error("daemon: " + what + ": " + std::strerror(errno));
+}
+
+sockaddr_un unix_sockaddr(const std::string& path) {
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof sa.sun_path) {
+    throw Error("daemon: unix socket path too long (" +
+                std::to_string(path.size()) + " > " +
+                std::to_string(sizeof sa.sun_path - 1) + "): " + path);
+  }
+  std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+  return sa;
+}
+
+/// Resolve a TCP host:port into the first usable IPv4/IPv6 address and run
+/// `use` on a fresh socket for it.
+int with_resolved(const SocketAddr& addr, bool passive,
+                  int (*use)(int, const sockaddr*, socklen_t)) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (passive) hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(addr.host.empty() ? nullptr : addr.host.c_str(),
+                               std::to_string(addr.port).c_str(), &hints,
+                               &res);
+  if (rc != 0) {
+    throw Error("daemon: cannot resolve '" + addr.host +
+                "': " + gai_strerror(rc));
+  }
+  int last_errno = 0;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    if (passive) {
+      const int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    }
+    if (use(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(res);
+      return fd;
+    }
+    last_errno = errno;
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  errno = last_errno;
+  sys_fail((passive ? "cannot bind " : "cannot connect to ") + addr.display());
+}
+
+}  // namespace
+
+std::string SocketAddr::display() const {
+  if (unix_domain) return "unix:" + path;
+  return host + ":" + std::to_string(port);
+}
+
+SocketAddr parse_socket_addr(const std::string& spec) {
+  SocketAddr addr;
+  if (spec.rfind("unix:", 0) == 0) {
+    addr.unix_domain = true;
+    addr.path = spec.substr(5);
+    if (addr.path.empty()) {
+      throw UsageError("daemon: empty unix socket path in '" + spec + "'");
+    }
+    return addr;
+  }
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    throw UsageError("daemon: address '" + spec +
+                     "' is not HOST:PORT or unix:PATH");
+  }
+  addr.host = spec.substr(0, colon);
+  const std::string port = spec.substr(colon + 1);
+  std::size_t pos = 0;
+  long value = -1;
+  try {
+    value = std::stol(port, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != port.size() || value < 0 || value > 65535) {
+    throw UsageError("daemon: bad port '" + port + "' in '" + spec + "'");
+  }
+  addr.port = static_cast<int>(value);
+  return addr;
+}
+
+int listen_socket(const SocketAddr& addr) {
+  int fd = -1;
+  if (addr.unix_domain) {
+    const sockaddr_un sa = unix_sockaddr(addr.path);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) sys_fail("cannot create unix socket");
+    ::unlink(addr.path.c_str());  // stale socket file from a dead daemon
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      sys_fail("cannot bind " + addr.display());
+    }
+  } else {
+    fd = with_resolved(addr, /*passive=*/true, ::bind);
+  }
+  if (::listen(fd, 64) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    sys_fail("cannot listen on " + addr.display());
+  }
+  return fd;
+}
+
+SocketAddr local_addr(int fd, const SocketAddr& requested) {
+  if (requested.unix_domain) return requested;
+  sockaddr_storage ss{};
+  socklen_t len = sizeof ss;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&ss), &len) != 0) {
+    sys_fail("getsockname");
+  }
+  SocketAddr bound = requested;
+  if (ss.ss_family == AF_INET) {
+    bound.port = ntohs(reinterpret_cast<const sockaddr_in&>(ss).sin_port);
+  } else if (ss.ss_family == AF_INET6) {
+    bound.port = ntohs(reinterpret_cast<const sockaddr_in6&>(ss).sin6_port);
+  }
+  return bound;
+}
+
+int accept_connection(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    return -1;  // listener closed/shut down: the stop path
+  }
+}
+
+int connect_socket(const SocketAddr& addr) {
+  if (addr.unix_domain) {
+    const sockaddr_un sa = unix_sockaddr(addr.path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) sys_fail("cannot create unix socket");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) !=
+        0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      sys_fail("cannot connect to " + addr.display());
+    }
+    return fd;
+  }
+  return with_resolved(addr, /*passive=*/false, ::connect);
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // peer vanished: abrupt disconnect, not an error
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void close_socket(int fd) { ::close(fd); }
+
+void shutdown_read(int fd) { ::shutdown(fd, SHUT_RD); }
+
+void shutdown_write(int fd) { ::shutdown(fd, SHUT_WR); }
+
+void shutdown_both(int fd) { ::shutdown(fd, SHUT_RDWR); }
+
+LineReader::Status LineReader::next(std::string& line) {
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      // A terminated frame is still bounded: without this check a newline
+      // arriving in the same chunk as an oversized line would sneak the
+      // whole line past the guard.
+      if (nl > max_line_) return Status::kOverflow;
+      line.assign(buf_, 0, nl);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      buf_.erase(0, nl + 1);
+      return Status::kLine;
+    }
+    if (buf_.size() > max_line_) return Status::kOverflow;
+    if (eof_) {
+      // A trailing unterminated frame still parses (script files without a
+      // final newline); emptiness means an orderly end of stream.
+      if (buf_.empty()) return Status::kEof;
+      line = std::move(buf_);
+      buf_.clear();
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return Status::kLine;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      eof_ = true;  // reset-by-peer etc.: treat as abrupt end of stream
+      continue;
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace turbobc::daemon

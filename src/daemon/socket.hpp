@@ -1,0 +1,85 @@
+// Thin POSIX socket layer for the serve daemon: address parsing shared by
+// `daemon --listen` and `client --connect`, blocking listen/accept/connect
+// helpers, and newline framing with an oversized-line guard.
+//
+// Addresses:
+//   HOST:PORT     TCP (numeric or resolvable host; PORT 0 binds ephemeral
+//                 and the bound port is readable back via local_addr)
+//   unix:PATH     Unix-domain stream socket at PATH
+//
+// All helpers throw turbobc::Error on system failures (prose prefixed
+// "daemon:"), never errno-silently. SIGPIPE is suppressed per-send
+// (MSG_NOSIGNAL): a peer that vanished mid-response surfaces as a false
+// return from send_all, which the per-connection loop treats as an abrupt
+// disconnect — never a process kill.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace turbobc::daemon {
+
+struct SocketAddr {
+  bool unix_domain = false;
+  std::string host;  ///< TCP only
+  int port = 0;      ///< TCP only; 0 = ephemeral
+  std::string path;  ///< unix only
+
+  /// Canonical spec string ("127.0.0.1:4040" / "unix:/tmp/bc.sock").
+  std::string display() const;
+};
+
+/// Parse a listen/connect spec (see file comment). Throws UsageError on a
+/// malformed spec.
+SocketAddr parse_socket_addr(const std::string& spec);
+
+/// Bind + listen. For unix addresses a stale socket file is unlinked first.
+/// Returns the listening fd.
+int listen_socket(const SocketAddr& addr);
+
+/// The locally bound address of `fd` (resolves an ephemeral TCP port).
+SocketAddr local_addr(int fd, const SocketAddr& requested);
+
+/// Accept one connection; returns -1 when the listener was closed or shut
+/// down (the server's stop path).
+int accept_connection(int listen_fd);
+
+/// Connect to `addr`; returns the connected fd.
+int connect_socket(const SocketAddr& addr);
+
+/// Write the whole buffer; false if the peer disappeared.
+bool send_all(int fd, const std::string& data);
+
+/// Close, ignoring errors (teardown paths).
+void close_socket(int fd);
+
+/// Half-close: stop reading (wakes a blocked reader on the peer loop) while
+/// leaving writes — in-flight responses — intact.
+void shutdown_read(int fd);
+/// Half-close the write side (client end-of-script signal).
+void shutdown_write(int fd);
+
+/// Full shutdown — the only portable way to WAKE a thread blocked in
+/// accept() on this fd (close() alone can leave it blocked forever).
+void shutdown_both(int fd);
+
+/// Incremental newline-delimited reader over a blocking socket.
+class LineReader {
+ public:
+  LineReader(int fd, std::size_t max_line) : fd_(fd), max_line_(max_line) {}
+
+  enum class Status {
+    kLine,      ///< `line` holds one frame (newline stripped, '\r' too)
+    kEof,       ///< orderly end of stream (no partial frame pending)
+    kOverflow,  ///< a frame exceeded max_line; the stream is unframed now
+  };
+  Status next(std::string& line);
+
+ private:
+  int fd_;
+  std::size_t max_line_;
+  std::string buf_;
+  bool eof_ = false;
+};
+
+}  // namespace turbobc::daemon

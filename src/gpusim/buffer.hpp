@@ -152,6 +152,23 @@ class DeviceBuffer {
     return detail::read_elem(data_[i], ctx.concurrent());
   }
 
+  /// Vectorized load: `count` consecutive elements fetched as ONE modeled
+  /// access of width count * modeled_elem_bytes (e.g. an aligned 4-byte word
+  /// read from a byte stream — the compressed CSC's raw-column path). The
+  /// combined width must fit one 16-byte vector lane, like CUDA's widest
+  /// ld.v4 / uint4 load.
+  template <typename Ctx>
+  void load_span(Ctx& ctx, std::size_t i, std::size_t count, T* out) const {
+    const std::size_t width = count * modeled_elem_bytes_;
+    TBC_CHECK(width >= 1 && width <= 16,
+              "load_span width out of vector-lane range for buffer " + name_);
+    ctx.record(Access{addr_of(i), static_cast<std::uint8_t>(width),
+                      MemOp::kLoad});
+    for (std::size_t k = 0; k < count; ++k) {
+      out[k] = detail::read_elem(data_[i + k], ctx.concurrent());
+    }
+  }
+
   template <typename Ctx>
   void store(Ctx& ctx, std::size_t i, T value) {
     ctx.record(Access{addr_of(i),

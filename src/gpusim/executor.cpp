@@ -16,6 +16,10 @@ thread_local bool tls_in_job = false;
 }  // namespace
 
 struct ExecutorPool::Impl {
+  // One job occupies the pool at a time. External submitters (the daemon's
+  // concurrent query threads) serialize here; nested launches never reach
+  // this lock (they run inline via the in_pool_job() check in run_job).
+  std::mutex submit_mutex;
   std::mutex mutex;
   std::condition_variable job_cv;    // workers wait here for a job
   std::condition_variable done_cv;   // run_job waits here for completion
@@ -112,6 +116,7 @@ void ExecutorPool::run_job(const std::function<void(unsigned)>& slot_fn) {
     }
     return;
   }
+  std::lock_guard<std::mutex> submit(impl_->submit_mutex);
   {
     std::lock_guard<std::mutex> g(impl_->mutex);
     impl_->job = &slot_fn;

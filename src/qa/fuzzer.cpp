@@ -30,6 +30,7 @@ OracleOptions case_oracle(const FuzzerOptions& options, int index) {
   oracle.check_msbfs = on_cadence(options.msbfs_every, 5);
   oracle.check_serve = on_cadence(options.serve_every, 2);
   oracle.check_ooc = on_cadence(options.ooc_every, 0);
+  oracle.check_daemon = on_cadence(options.daemon_every, 3);
   return oracle;
 }
 

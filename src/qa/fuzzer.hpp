@@ -67,6 +67,12 @@ struct FuzzerOptions {
   /// see oracle.hpp) on every k-th case (0 disables). Phase 0 of the
   /// six-cycle — the slot the other six-cycles leave free.
   int ooc_every = 6;
+  /// Run the serve-daemon stage (socket transcript byte-identity, concurrent
+  /// (epoch, digest) pairs vs a scratch replay of the update log — see
+  /// oracle.hpp) on every k-th case (0 disables). Twelve-cycle at phase 3 —
+  /// the six-cycle slot the other stages leave free — because each run
+  /// spawns a real server plus client threads.
+  int daemon_every = 12;
   /// Stop early after this many distinct failures (each one costs a
   /// minimization run).
   int max_failures = 8;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <map>
 #include <optional>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "approx/driver.hpp"
@@ -17,6 +19,8 @@
 #include "core/turbobc.hpp"
 #include "core/turbobc_batched.hpp"
 #include "core/turbobfs.hpp"
+#include "daemon/client.hpp"
+#include "daemon/server.hpp"
 #include "dist/dist_turbobc.hpp"
 #include "dist/partition.hpp"
 #include "gpusim/device.hpp"
@@ -26,6 +30,7 @@
 #include "graph/components.hpp"
 #include "graph/csc.hpp"
 #include "graph/mtx_io.hpp"
+#include "serve/protocol.hpp"
 #include "serve/serve_engine.hpp"
 #include "serve/session.hpp"
 #include "storage/compressed_csc.hpp"
@@ -942,6 +947,155 @@ struct Checker {
     }
   }
 
+  /// Serve daemon (src/daemon/): the socket front-end must add nothing and
+  /// lose nothing. A single connection replaying a script over a real
+  /// loopback socket produces a transcript byte-identical to run_session in
+  /// wire mode (text and JSON); under concurrent connections, every bc
+  /// response's (epoch, digest) pair must match a serial from-scratch
+  /// replay of the scheduler's epoch-ordered update log — the wire response
+  /// is a pure function of (command, epoch) whatever the interleaving.
+  void check_daemon() {
+    const vidx_t n = canon.num_vertices();
+    Xoshiro256 rng(0xdae30000ULL + static_cast<std::uint64_t>(n) * 1000003 +
+                   static_cast<std::uint64_t>(canon.num_arcs()));
+    const auto rand_vertex = [&] {
+      return static_cast<vidx_t>(rng.uniform(static_cast<std::uint64_t>(n)));
+    };
+    // Runs inside raw std::threads below, so failures must not escape.
+    const auto client_run = [](const daemon::SocketAddr& addr,
+                               const std::string& script) -> std::string {
+      try {
+        std::istringstream in(script);
+        std::ostringstream out;
+        daemon::ClientOptions copt;
+        copt.connect = addr.display();
+        daemon::run_client(copt, in, out);
+        return out.str();
+      } catch (const std::exception& e) {
+        return std::string("<client threw: ") + e.what() + ">";
+      }
+    };
+
+    // Single-connection transcript byte-identity vs run_session (wire mode).
+    std::ostringstream script;
+    script << "bc 3\n"
+           << "insert " << rand_vertex() << ' ' << rand_vertex() << "\n"
+           << "top 3\n"
+           << "delete " << rand_vertex() << ' ' << rand_vertex() << "\n"
+           << "bc 3\n"
+           << "stats\n";
+    for (const bool json : {false, true}) {
+      daemon::DaemonOptions dopt;
+      dopt.listen = "127.0.0.1:0";
+      dopt.json = json;
+      dopt.top = 3;
+      daemon::DaemonServer server(canon, dopt);
+      server.start();
+      const std::string daemon_out = client_run(server.bound(), script.str());
+      server.stop();
+
+      std::istringstream in(script.str());
+      std::ostringstream session_out;
+      serve::SessionOptions sopt;
+      sopt.json = json;
+      sopt.wire = true;
+      sopt.top = 3;
+      serve::run_session(canon, sopt, in, session_out);
+      if (daemon_out != session_out.str()) {
+        fail("daemon_agreement",
+             std::string("single-connection transcript differs from ") +
+                 "run_session wire mode (json=" + (json ? "1" : "0") + ")");
+        return;
+      }
+    }
+
+    // Concurrent clients: three readers and one updating writer race over
+    // real sockets; afterwards every served (epoch, digest) pair must equal
+    // the scratch replay of the update log at that epoch.
+    daemon::DaemonOptions dopt;
+    dopt.listen = "127.0.0.1:0";
+    dopt.top = 3;
+    daemon::DaemonServer server(canon, dopt);
+    server.start();
+
+    std::ostringstream writer;
+    for (int event = 1; event <= opt.serve_updates; ++event) {
+      writer << (event % 2 == 1 ? "insert " : "delete ") << rand_vertex()
+             << ' ' << rand_vertex() << "\n";
+    }
+    std::vector<std::string> transcripts(4);
+    {
+      std::vector<std::thread> clients;
+      for (std::size_t i = 0; i < 3; ++i) {
+        clients.emplace_back([&, i] {
+          transcripts[i] = client_run(server.bound(), "bc 2\nbc 2\n");
+        });
+      }
+      clients.emplace_back([&] {
+        transcripts[3] = client_run(server.bound(), writer.str());
+      });
+      for (std::thread& t : clients) t.join();
+    }
+    const auto log = server.scheduler().update_log();
+    server.stop();
+
+    // Serial scratch replay: epoch -> digest of run_exact on the graph
+    // state after that epoch's update (the serve engine pins kScCsc).
+    const auto digest_of = [&](const EdgeList& state) {
+      sim::Device dev;
+      dev.set_keep_launch_records(false);
+      bc::TurboBC algo(dev, state,
+                       {.variant = serve::ServeOptions{}.variant});
+      return serve::bc_digest(algo.run_exact().bc);
+    };
+    std::map<std::uint64_t, std::uint64_t> expected;
+    EdgeList state = canon;
+    expected[0] = digest_of(state);
+    for (const auto& rec : log) {
+      if (!rec.applied) continue;
+      if (rec.kind == serve::UpdateKind::kInsert) {
+        state.add_edge(rec.u, rec.v);
+        if (!canon.directed()) state.add_edge(rec.v, rec.u);
+      } else {
+        state.remove_edge(rec.u, rec.v);
+        if (!canon.directed()) state.remove_edge(rec.v, rec.u);
+      }
+      state.canonicalize();
+      expected[rec.epoch] = digest_of(state);
+    }
+
+    std::size_t bc_lines = 0;
+    for (const std::string& transcript : transcripts) {
+      std::istringstream lines(transcript);
+      std::string line;
+      while (std::getline(lines, line)) {
+        unsigned long long epoch = 0;
+        char digest[17] = {};
+        if (std::sscanf(line.c_str(), "bc: epoch=%llu digest=%16s", &epoch,
+                        digest) != 2) {
+          continue;
+        }
+        ++bc_lines;
+        const auto it = expected.find(epoch);
+        if (it == expected.end() ||
+            serve::digest_hex(it->second) != digest) {
+          std::ostringstream os;
+          os << "served digest " << digest << " at epoch " << epoch
+             << " != scratch replay "
+             << (it == expected.end() ? std::string("<unknown epoch>")
+                                      : serve::digest_hex(it->second));
+          fail("daemon_agreement", os.str());
+          return;
+        }
+      }
+    }
+    if (bc_lines != 6) {
+      fail("daemon_agreement",
+           "concurrent readers answered " + std::to_string(bc_lines) +
+               " bc responses, expected 6");
+    }
+  }
+
   /// Out-of-core storage stack (src/storage/): the delta-varint codec must
   /// round-trip the canonical CSC bit-exactly; the compressed kernels must
   /// reproduce the uncompressed kScCsc engine's BC bit-for-bit in push /
@@ -1132,6 +1286,10 @@ struct Checker {
     if (opt.check_serve && canon.num_vertices() > 0 &&
         canon.num_vertices() <= opt.serve_max_vertices) {
       check_serve();
+    }
+    if (opt.check_daemon && canon.num_vertices() > 0 &&
+        canon.num_vertices() <= opt.daemon_max_vertices) {
+      check_daemon();
     }
     if (opt.check_ooc && canon.num_vertices() > 0 &&
         canon.num_vertices() <= opt.ooc_max_vertices) {

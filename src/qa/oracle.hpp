@@ -68,6 +68,14 @@
 //                         and StreamingTurboBC (including the fetch-free
 //                         window, whose ledger must show zero refetch
 //                         bytes) equals the resident compressed engine
+//   daemon_agreement      serve daemon (src/daemon/): a single connection
+//                         replaying a script over a real loopback socket
+//                         produces a transcript byte-identical to
+//                         run_session in wire mode (text and JSON), and
+//                         under concurrent client connections every bc
+//                         response's (epoch, digest) pair matches a serial
+//                         from-scratch replay of the scheduler's
+//                         epoch-ordered update log
 //   ooc_inventory         the compressed graph's simulated device bytes
 //                         match CompressedCsc::model_bytes exactly, and
 //                         the compressed engine's simulated peak equals
@@ -139,6 +147,13 @@ struct OracleOptions {
   /// Edge updates in the oracle's stream (the standalone agreement test
   /// runs >= 50; a fuzz case keeps it short).
   int serve_updates = 3;
+  /// Serve daemon (src/daemon/): single-connection transcript byte-identity
+  /// against run_session in wire mode, and concurrent clients' (epoch,
+  /// digest) pairs against a serial scratch replay of the update log. Spawns
+  /// a real socket server plus client threads and several full run_exact
+  /// replays, so (like check_exact) it is skipped above daemon_max_vertices.
+  bool check_daemon = true;
+  vidx_t daemon_max_vertices = 48;
   /// Out-of-core storage (src/storage/): codec round-trip, compressed-vs-
   /// uncompressed BC bit-identity across advance modes and pool widths,
   /// streamed-vs-resident bit-identity, the zero-refetch fast-path ledger,

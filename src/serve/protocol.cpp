@@ -1,0 +1,361 @@
+#include "serve/protocol.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace turbobc::serve {
+namespace {
+
+std::string fixed6(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", x);
+  return buf;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  std::string t;
+  while (in >> t) tokens.push_back(std::move(t));
+  return tokens;
+}
+
+[[noreturn]] void bad(const std::string& detail) {
+  throw UsageError("serve: " + detail);
+}
+
+vidx_t parse_vertex(const std::string& token, vidx_t n,
+                    const std::string& what) {
+  std::size_t pos = 0;
+  long value = -1;
+  try {
+    value = std::stol(token, &pos);
+  } catch (const std::exception&) {
+    bad("expected " + what + ", got '" + token + "'");
+  }
+  if (pos != token.size()) {
+    bad("expected " + what + ", got '" + token + "'");
+  }
+  if (value < 0 || value >= static_cast<long>(n)) {
+    bad(what + " " + token + " out of range [0, " + std::to_string(n) + ")");
+  }
+  return static_cast<vidx_t>(value);
+}
+
+vidx_t parse_count(const std::string& token, const std::string& what) {
+  std::size_t pos = 0;
+  long value = -1;
+  try {
+    value = std::stol(token, &pos);
+  } catch (const std::exception&) {
+    bad("expected " + what + ", got '" + token + "'");
+  }
+  if (pos != token.size() || value < 0) {
+    bad("expected " + what + ", got '" + token + "'");
+  }
+  return static_cast<vidx_t>(value);
+}
+
+double parse_real(const std::string& token, const std::string& what) {
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    bad("expected " + what + ", got '" + token + "'");
+  }
+  if (pos != token.size() || !(value > 0.0) || !(value < 1.0)) {
+    bad(what + " must be in (0, 1), got '" + token + "'");
+  }
+  return value;
+}
+
+void expect_arity(const std::vector<std::string>& tokens, std::size_t lo,
+                  std::size_t hi) {
+  const std::size_t args = tokens.size() - 1;
+  if (args < lo || args > hi) {
+    std::string want = std::to_string(lo);
+    if (hi != lo) want += hi == lo + 1 ? " or " + std::to_string(hi)
+                                       : ".." + std::to_string(hi);
+    bad("'" + tokens[0] + "' takes " + want + " argument" +
+        (hi == 1 ? "" : "s") + ", got " + std::to_string(args));
+  }
+}
+
+}  // namespace
+
+std::optional<Command> parse_command(const std::string& line, vidx_t n,
+                                     vidx_t default_top, Grammar grammar) {
+  const std::vector<std::string> tokens = tokenize(line);
+  if (tokens.empty() || tokens[0][0] == '#') return std::nullopt;
+  const std::string& cmd = tokens[0];
+  Command c;
+  if (cmd == "bc" || cmd == "top") {
+    expect_arity(tokens, cmd == "top" ? 1 : 0, 1);
+    c.kind = cmd == "bc" ? Command::kBc : Command::kTop;
+    c.k = tokens.size() > 1 ? parse_count(tokens[1], "top count K")
+                            : default_top;
+    if (c.k > n) c.k = n;
+  } else if (cmd == "approx") {
+    expect_arity(tokens, 1, 2);
+    c.kind = Command::kApprox;
+    c.epsilon = parse_real(tokens[1], "epsilon");
+    c.delta = tokens.size() > 2 ? parse_real(tokens[2], "delta") : 0.1;
+  } else if (cmd == "insert" || cmd == "delete") {
+    expect_arity(tokens, 2, 2);
+    c.kind = cmd == "insert" ? Command::kInsert : Command::kDelete;
+    c.u = parse_vertex(tokens[1], n, "vertex U");
+    c.v = parse_vertex(tokens[2], n, "vertex V");
+  } else if (cmd == "stats") {
+    expect_arity(tokens, 0, 0);
+    c.kind = Command::kStats;
+  } else if (grammar == Grammar::kDaemon && cmd == "metrics") {
+    expect_arity(tokens, 0, 0);
+    c.kind = Command::kMetrics;
+  } else if (grammar == Grammar::kDaemon && cmd == "shutdown") {
+    expect_arity(tokens, 0, 0);
+    c.kind = Command::kShutdown;
+  } else {
+    bad("unknown command '" + cmd +
+        (grammar == Grammar::kDaemon
+             ? "' (expected bc, top, approx, insert, delete, stats, "
+               "metrics, or shutdown)"
+             : "' (expected bc, top, approx, insert, delete, or stats)"));
+  }
+  return c;
+}
+
+std::uint64_t fnv1a64(const void* data, std::size_t size) noexcept {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t bc_digest(const std::vector<bc_t>& bc) noexcept {
+  static_assert(sizeof(bc_t) == 8, "bc digest hashes raw double bytes");
+  return fnv1a64(bc.data(), bc.size() * sizeof(bc_t));
+}
+
+std::string digest_hex(std::uint64_t digest) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_hello(const ServeEngine& engine, const RenderOptions& r) {
+  std::ostringstream out;
+  if (r.json) {
+    out << "{\"event\":\"hello\",\"n\":" << engine.num_vertices()
+        << ",\"m\":" << engine.num_arcs() << ",\"directed\":"
+        << (engine.directed() ? "true" : "false");
+    if (r.wire) out << ",\"epoch\":" << engine.counters().epoch;
+    out << "}\n";
+  } else {
+    out << "serve: n=" << engine.num_vertices() << " m=" << engine.num_arcs()
+        << " directed=" << (engine.directed() ? "yes" : "no");
+    if (r.wire) out << " epoch=" << engine.counters().epoch;
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string render_bc(const ServeEngine& engine, const std::vector<bc_t>& bc,
+                      const std::vector<vidx_t>& top, const QueryStats& stats,
+                      std::uint64_t epoch, const RenderOptions& r) {
+  std::ostringstream out;
+  if (r.json) {
+    out << "{\"event\":\"bc\",";
+    if (r.wire) {
+      out << "\"epoch\":" << epoch << ",\"digest\":\""
+          << digest_hex(bc_digest(bc)) << "\",";
+    }
+    out << "\"top\":[";
+    for (std::size_t i = 0; i < top.size(); ++i) {
+      const vidx_t v = top[i];
+      if (i > 0) out << ',';
+      out << "{\"v\":" << v << ",\"bc\":"
+          << fixed6(bc[static_cast<std::size_t>(v)]) << "}";
+    }
+    out << "]";
+    if (!r.wire) {
+      out << ",\"recomputed\":" << stats.recomputed << ",\"cached\":"
+          << stats.cached;
+    }
+    out << "}\n";
+    return out.str();
+  }
+  out << "bc: ";
+  if (r.wire) {
+    out << "epoch=" << epoch << " digest=" << digest_hex(bc_digest(bc))
+        << " top " << top.size() << " of " << engine.num_vertices() << "\n";
+  } else {
+    out << "top " << top.size() << " of " << engine.num_vertices()
+        << " (recomputed " << stats.recomputed << ", cached " << stats.cached
+        << ")\n";
+  }
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    const vidx_t v = top[i];
+    out << "  " << (i + 1) << ". v=" << v << " bc="
+        << fixed6(bc[static_cast<std::size_t>(v)]) << '\n';
+  }
+  return out.str();
+}
+
+std::string render_top(const std::vector<vidx_t>& top, std::uint64_t epoch,
+                       const RenderOptions& r) {
+  std::ostringstream out;
+  if (r.json) {
+    out << "{\"event\":\"top\",";
+    if (r.wire) out << "\"epoch\":" << epoch << ',';
+    out << "\"v\":[";
+    for (std::size_t i = 0; i < top.size(); ++i) {
+      if (i > 0) out << ',';
+      out << top[i];
+    }
+    out << "]}\n";
+    return out.str();
+  }
+  out << "top:";
+  if (r.wire) out << " epoch=" << epoch;
+  for (const vidx_t v : top) out << ' ' << v;
+  out << '\n';
+  return out.str();
+}
+
+std::string render_approx(double epsilon, double delta,
+                          const approx::ApproxResult& result,
+                          std::uint64_t epoch, const RenderOptions& r) {
+  std::ostringstream out;
+  if (r.json) {
+    out << "{\"event\":\"approx\",";
+    if (r.wire) out << "\"epoch\":" << epoch << ',';
+    out << "\"epsilon\":" << fixed6(epsilon) << ",\"delta\":" << fixed6(delta)
+        << ",\"sources\":" << result.sources_used << ",\"converged\":"
+        << (result.converged ? "true" : "false") << ",\"max_half_width\":"
+        << fixed6(result.max_half_width) << "}\n";
+    return out.str();
+  }
+  out << "approx eps=" << fixed6(epsilon) << " delta=" << fixed6(delta)
+      << ':';
+  if (r.wire) out << " epoch=" << epoch;
+  out << " sources=" << result.sources_used << " converged="
+      << (result.converged ? "yes" : "no") << " max_half_width="
+      << fixed6(result.max_half_width) << '\n';
+  return out.str();
+}
+
+std::string render_update(const char* op, vidx_t u, vidx_t v,
+                          const UpdateStats& stats, std::uint64_t epoch,
+                          const RenderOptions& r) {
+  std::ostringstream out;
+  if (r.json) {
+    out << "{\"event\":\"update\",\"op\":\"" << op << "\",\"u\":" << u
+        << ",\"v\":" << v << ",\"applied\":"
+        << (stats.applied ? "true" : "false");
+    if (r.wire) {
+      out << ",\"epoch\":" << epoch;
+    } else {
+      out << ",\"invalidated\":" << stats.invalidated << ",\"valid\":"
+          << stats.valid;
+    }
+    out << "}\n";
+    return out.str();
+  }
+  out << op << ' ' << u << ' ' << v << ": ";
+  if (r.wire) {
+    out << (stats.applied ? "applied" : "no-op") << " epoch=" << epoch
+        << '\n';
+  } else if (stats.applied) {
+    out << "applied invalidated=" << stats.invalidated << " valid="
+        << stats.valid << '\n';
+  } else {
+    out << "no-op\n";
+  }
+  return out.str();
+}
+
+std::string render_stats(const ServeEngine::Counters& c,
+                         const RenderOptions& r) {
+  std::ostringstream out;
+  if (r.json) {
+    out << "{\"event\":\"stats\",\"epoch\":" << c.epoch << ",\"queries\":"
+        << c.queries << ",\"updates\":" << c.updates << ",\"noop\":"
+        << c.noop_updates << ",\"recomputed\":" << c.recomputed
+        << ",\"cached\":" << c.served_cached << ",\"invalidated\":"
+        << c.invalidated << ",\"device_seconds\":" << fixed6(c.device_seconds)
+        << "}\n";
+    return out.str();
+  }
+  out << "stats: epoch=" << c.epoch << " queries=" << c.queries
+      << " updates=" << c.updates << " noop=" << c.noop_updates
+      << " recomputed=" << c.recomputed << " cached=" << c.served_cached
+      << " invalidated=" << c.invalidated << " device_s="
+      << fixed6(c.device_seconds) << '\n';
+  return out.str();
+}
+
+std::string render_error(const std::string& detail, const RenderOptions& r) {
+  if (r.json) {
+    return "{\"event\":\"error\",\"detail\":\"" + json_escape(detail) +
+           "\"}\n";
+  }
+  return "error: " + detail + "\n";
+}
+
+std::string render_busy(std::size_t pending, std::size_t limit,
+                        const RenderOptions& r) {
+  std::ostringstream out;
+  if (r.json) {
+    out << "{\"event\":\"busy\",\"pending\":" << pending << ",\"limit\":"
+        << limit << "}\n";
+  } else {
+    out << "busy: update queue full (pending=" << pending << " limit="
+        << limit << "), retry\n";
+  }
+  return out.str();
+}
+
+std::string render_bye(std::uint64_t epoch, const RenderOptions& r) {
+  std::ostringstream out;
+  if (r.json) {
+    out << "{\"event\":\"bye\",\"epoch\":" << epoch << "}\n";
+  } else {
+    out << "bye: epoch=" << epoch << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace turbobc::serve

@@ -1,0 +1,121 @@
+// Shared grammar and rendering for the serve session language — the single
+// definition both `turbobc_cli serve` (script/stdin sessions, session.cpp)
+// and the socket daemon (src/daemon/) speak.
+//
+// Grammar: one command per line —
+//
+//   bc [K]           full exact BC; print the top K vertices (default top)
+//   top K            ranked vertex ids only (same order as bc)
+//   approx EPS [D]   adaptive approximate BC to (EPS, D); D defaults to 0.1
+//   insert U V       insert edge (both arcs when the graph is undirected)
+//   delete U V       delete edge (ditto)
+//   stats            running engine counters
+//
+// plus, under Grammar::kDaemon only,
+//
+//   metrics          live serving counters (queue depth, latency quantiles)
+//   shutdown         graceful daemon stop (drain in-flight, then exit)
+//
+// Rendering: one line per event, plain text or JSON Lines, byte-identical
+// across runs and pool widths in both modes. RenderOptions::wire switches to
+// the daemon's epoch-deterministic schema: every event is stamped with the
+// graph epoch it was computed against, bc events carry a 64-bit FNV-1a
+// digest of the full BC vector's raw double bytes (bit-identity is gateable
+// over the wire despite %.6f display rounding), and the order-sensitive
+// cache fields (per-query recomputed/cached, per-update invalidated/valid
+// counts) are DROPPED — under concurrent connections those depend on
+// interleaving; the aggregate story lives on the metrics plane instead. A
+// wire response is therefore a pure function of (command, epoch), which is
+// what the daemon_agreement oracle and bench_daemon replay against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/serve_engine.hpp"
+
+namespace turbobc::serve {
+
+/// A parsed command line.
+struct Command {
+  enum Kind {
+    kBc,
+    kTop,
+    kApprox,
+    kInsert,
+    kDelete,
+    kStats,
+    kMetrics,   // daemon grammar only
+    kShutdown,  // daemon grammar only
+  } kind = kBc;
+  vidx_t k = 0;  // kBc / kTop
+  vidx_t u = 0, v = 0;
+  double epsilon = 0.0, delta = 0.0;
+
+  bool is_update() const noexcept { return kind == kInsert || kind == kDelete; }
+  bool is_query() const noexcept {
+    return kind == kBc || kind == kTop || kind == kApprox || kind == kStats;
+  }
+};
+
+/// Which command set a line is parsed against.
+enum class Grammar { kSession, kDaemon };
+
+/// Parse one line against the grammar. Blank lines and '#' comments return
+/// nullopt. A malformed line throws UsageError with "serve: ..." prose (no
+/// source-location decoration) — session mode turns that into exit 2, the
+/// daemon into an `error` response. `n` bounds vertex arguments;
+/// `default_top` fills a bare `bc`.
+std::optional<Command> parse_command(const std::string& line, vidx_t n,
+                                     vidx_t default_top, Grammar grammar);
+
+/// 64-bit FNV-1a over a raw byte range.
+std::uint64_t fnv1a64(const void* data, std::size_t size) noexcept;
+
+/// Digest of a BC vector's raw double bytes: equal digests over the wire
+/// mean bit-identical vectors (modulo 2^-64 collisions), which is how remote
+/// clients gate served results against a scratch replay.
+std::uint64_t bc_digest(const std::vector<bc_t>& bc) noexcept;
+
+/// Fixed-width lower-case hex (16 digits) of a digest.
+std::string digest_hex(std::uint64_t digest);
+
+struct RenderOptions {
+  /// JSON Lines instead of plain text.
+  bool json = false;
+  /// Daemon wire schema: epoch stamps + bc digests, no order-sensitive
+  /// cache fields (see file comment).
+  bool wire = false;
+};
+
+// Each renderer returns one complete line INCLUDING the trailing '\n' (bc in
+// text mode is one line per ranked vertex plus the header). With
+// RenderOptions{json, false} the output is byte-identical to the historical
+// session transcript — the serve goldens pin it.
+std::string render_hello(const ServeEngine& engine, const RenderOptions& r);
+std::string render_bc(const ServeEngine& engine, const std::vector<bc_t>& bc,
+                      const std::vector<vidx_t>& top, const QueryStats& stats,
+                      std::uint64_t epoch, const RenderOptions& r);
+std::string render_top(const std::vector<vidx_t>& top, std::uint64_t epoch,
+                       const RenderOptions& r);
+std::string render_approx(double epsilon, double delta,
+                          const approx::ApproxResult& result,
+                          std::uint64_t epoch, const RenderOptions& r);
+std::string render_update(const char* op, vidx_t u, vidx_t v,
+                          const UpdateStats& stats, std::uint64_t epoch,
+                          const RenderOptions& r);
+std::string render_stats(const ServeEngine::Counters& c,
+                         const RenderOptions& r);
+
+// Daemon-only responses (no non-wire legacy form to preserve).
+std::string render_error(const std::string& detail, const RenderOptions& r);
+std::string render_busy(std::size_t pending, std::size_t limit,
+                        const RenderOptions& r);
+std::string render_bye(std::uint64_t epoch, const RenderOptions& r);
+
+/// Escape a string for embedding inside a JSON string literal.
+std::string json_escape(const std::string& s);
+
+}  // namespace turbobc::serve

@@ -164,10 +164,9 @@ std::vector<vidx_t> ServeEngine::query_top(vidx_t k, QueryStats* stats) {
   return rank_vertices(query_bc(stats), k);
 }
 
-approx::ApproxResult ServeEngine::query_approx(double epsilon, double delta,
-                                               QueryStats* stats) {
+approx::ApproxOptions ServeEngine::make_approx_options(double epsilon,
+                                                       double delta) {
   TBC_CHECK(graph_.num_vertices() > 0, "approx query on an empty graph");
-  ++counters_.queries;
   approx::ApproxOptions opt;
   opt.epsilon = epsilon;
   opt.delta = delta;
@@ -178,11 +177,22 @@ approx::ApproxResult ServeEngine::query_approx(double epsilon, double delta,
   if (options_.sampler == approx::SamplerKind::kComponent) {
     opt.components = &components_.get(graph_);
   }
+  return opt;
+}
+
+void ServeEngine::note_query(double device_seconds) {
+  ++counters_.queries;
+  counters_.device_seconds += device_seconds;
+}
+
+approx::ApproxResult ServeEngine::query_approx(double epsilon, double delta,
+                                               QueryStats* stats) {
+  const approx::ApproxOptions opt = make_approx_options(epsilon, delta);
   // Approx queries run on their own device: the estimator never touches the
   // cached blocks, so the serving cache stays warm across them.
   sim::Device device;
   approx::ApproxResult result = approx::run_adaptive(device, graph_, opt);
-  counters_.device_seconds += result.device_seconds;
+  note_query(result.device_seconds);
   if (stats != nullptr) stats->device_seconds += result.device_seconds;
   return result;
 }

@@ -138,6 +138,19 @@ class ServeEngine {
   approx::ApproxResult query_approx(double epsilon, double delta,
                                     QueryStats* stats = nullptr);
 
+  /// The fully-resolved options query_approx would run with — sampler,
+  /// seed, variant, advance, and (for the component sampler) a pointer to
+  /// the freshly-warmed component map. The daemon scheduler calls this under
+  /// its engine lock, then runs approx::run_adaptive on a PRIVATE device
+  /// outside the lock: the estimator only reads graph() and the component
+  /// map, both frozen while the epoch's shared lock is held, so approx
+  /// queries are the daemon's genuinely concurrent compute path. Pair with
+  /// note_query() to land the cost on the counters afterwards.
+  approx::ApproxOptions make_approx_options(double epsilon, double delta);
+
+  /// Account one externally-executed query (see make_approx_options).
+  void note_query(double device_seconds);
+
   // ---- introspection (tests, oracle, bench) ----
 
   /// Is source s's block warm (served without recompute)?

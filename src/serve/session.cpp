@@ -1,246 +1,25 @@
 #include "serve/session.hpp"
 
-#include <cstdio>
 #include <istream>
 #include <ostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "common/error.hpp"
+#include "serve/protocol.hpp"
 
 namespace turbobc::serve {
 namespace {
 
-std::string fixed6(double x) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.6f", x);
-  return buf;
-}
-
-std::vector<std::string> tokenize(const std::string& line) {
-  std::istringstream in(line);
-  std::vector<std::string> tokens;
-  std::string t;
-  while (in >> t) tokens.push_back(std::move(t));
-  return tokens;
-}
-
-[[noreturn]] void bad(const std::string& detail) {
-  throw UsageError("serve: " + detail);
-}
-
-vidx_t parse_vertex(const std::string& token, vidx_t n,
-                    const std::string& what) {
-  std::size_t pos = 0;
-  long value = -1;
-  try {
-    value = std::stol(token, &pos);
-  } catch (const std::exception&) {
-    bad("expected " + what + ", got '" + token + "'");
-  }
-  if (pos != token.size()) {
-    bad("expected " + what + ", got '" + token + "'");
-  }
-  if (value < 0 || value >= static_cast<long>(n)) {
-    bad(what + " " + token + " out of range [0, " + std::to_string(n) + ")");
-  }
-  return static_cast<vidx_t>(value);
-}
-
-vidx_t parse_count(const std::string& token, const std::string& what) {
-  std::size_t pos = 0;
-  long value = -1;
-  try {
-    value = std::stol(token, &pos);
-  } catch (const std::exception&) {
-    bad("expected " + what + ", got '" + token + "'");
-  }
-  if (pos != token.size() || value < 0) {
-    bad("expected " + what + ", got '" + token + "'");
-  }
-  return static_cast<vidx_t>(value);
-}
-
-double parse_real(const std::string& token, const std::string& what) {
-  std::size_t pos = 0;
-  double value = 0.0;
-  try {
-    value = std::stod(token, &pos);
-  } catch (const std::exception&) {
-    bad("expected " + what + ", got '" + token + "'");
-  }
-  if (pos != token.size() || !(value > 0.0) || !(value < 1.0)) {
-    bad(what + " must be in (0, 1), got '" + token + "'");
-  }
-  return value;
-}
-
-void expect_arity(const std::vector<std::string>& tokens, std::size_t lo,
-                  std::size_t hi) {
-  const std::size_t args = tokens.size() - 1;
-  if (args < lo || args > hi) {
-    std::string want = std::to_string(lo);
-    if (hi != lo) want += hi == lo + 1 ? " or " + std::to_string(hi)
-                                       : ".." + std::to_string(hi);
-    bad("'" + tokens[0] + "' takes " + want + " argument" +
-        (hi == 1 ? "" : "s") + ", got " + std::to_string(args));
-  }
-}
-
-class Transcript {
- public:
-  Transcript(std::ostream& out, bool json) : out_(out), json_(json) {}
-
-  void hello(const ServeEngine& engine) {
-    if (json_) {
-      out_ << "{\"event\":\"hello\",\"n\":" << engine.num_vertices()
-           << ",\"m\":" << engine.num_arcs() << ",\"directed\":"
-           << (engine.directed() ? "true" : "false") << "}\n";
-    } else {
-      out_ << "serve: n=" << engine.num_vertices() << " m="
-           << engine.num_arcs() << " directed="
-           << (engine.directed() ? "yes" : "no") << '\n';
-    }
-  }
-
-  void bc(const ServeEngine& engine, const std::vector<bc_t>& bc,
-          const std::vector<vidx_t>& top, const QueryStats& stats) {
-    if (json_) {
-      out_ << "{\"event\":\"bc\",\"top\":[";
-      for (std::size_t i = 0; i < top.size(); ++i) {
-        const vidx_t v = top[i];
-        if (i > 0) out_ << ',';
-        out_ << "{\"v\":" << v << ",\"bc\":"
-             << fixed6(bc[static_cast<std::size_t>(v)]) << "}";
-      }
-      out_ << "],\"recomputed\":" << stats.recomputed << ",\"cached\":"
-           << stats.cached << "}\n";
-      return;
-    }
-    out_ << "bc: top " << top.size() << " of " << engine.num_vertices()
-         << " (recomputed " << stats.recomputed << ", cached "
-         << stats.cached << ")\n";
-    for (std::size_t i = 0; i < top.size(); ++i) {
-      const vidx_t v = top[i];
-      out_ << "  " << (i + 1) << ". v=" << v << " bc="
-           << fixed6(bc[static_cast<std::size_t>(v)]) << '\n';
-    }
-  }
-
-  void top(const std::vector<vidx_t>& top) {
-    if (json_) {
-      out_ << "{\"event\":\"top\",\"v\":[";
-      for (std::size_t i = 0; i < top.size(); ++i) {
-        if (i > 0) out_ << ',';
-        out_ << top[i];
-      }
-      out_ << "]}\n";
-      return;
-    }
-    out_ << "top:";
-    for (const vidx_t v : top) out_ << ' ' << v;
-    out_ << '\n';
-  }
-
-  void approx(double epsilon, double delta,
-              const approx::ApproxResult& result) {
-    if (json_) {
-      out_ << "{\"event\":\"approx\",\"epsilon\":" << fixed6(epsilon)
-           << ",\"delta\":" << fixed6(delta) << ",\"sources\":"
-           << result.sources_used << ",\"converged\":"
-           << (result.converged ? "true" : "false")
-           << ",\"max_half_width\":" << fixed6(result.max_half_width)
-           << "}\n";
-      return;
-    }
-    out_ << "approx eps=" << fixed6(epsilon) << " delta=" << fixed6(delta)
-         << ": sources=" << result.sources_used << " converged="
-         << (result.converged ? "yes" : "no")
-         << " max_half_width=" << fixed6(result.max_half_width) << '\n';
-  }
-
-  void update(const char* op, vidx_t u, vidx_t v, const UpdateStats& stats) {
-    if (json_) {
-      out_ << "{\"event\":\"update\",\"op\":\"" << op << "\",\"u\":" << u
-           << ",\"v\":" << v << ",\"applied\":"
-           << (stats.applied ? "true" : "false") << ",\"invalidated\":"
-           << stats.invalidated << ",\"valid\":" << stats.valid << "}\n";
-      return;
-    }
-    out_ << op << ' ' << u << ' ' << v << ": ";
-    if (stats.applied) {
-      out_ << "applied invalidated=" << stats.invalidated
-           << " valid=" << stats.valid << '\n';
-    } else {
-      out_ << "no-op\n";
-    }
-  }
-
-  void stats(const ServeEngine::Counters& c) {
-    if (json_) {
-      out_ << "{\"event\":\"stats\",\"epoch\":" << c.epoch << ",\"queries\":"
-           << c.queries << ",\"updates\":" << c.updates << ",\"noop\":"
-           << c.noop_updates << ",\"recomputed\":" << c.recomputed
-           << ",\"cached\":" << c.served_cached << ",\"invalidated\":"
-           << c.invalidated << ",\"device_seconds\":"
-           << fixed6(c.device_seconds) << "}\n";
-      return;
-    }
-    out_ << "stats: epoch=" << c.epoch << " queries=" << c.queries
-         << " updates=" << c.updates << " noop=" << c.noop_updates
-         << " recomputed=" << c.recomputed << " cached=" << c.served_cached
-         << " invalidated=" << c.invalidated
-         << " device_s=" << fixed6(c.device_seconds) << '\n';
-  }
-
- private:
-  std::ostream& out_;
-  bool json_;
-};
-
-/// A parsed script line. Parsing is complete before execution starts, so a
-/// malformed line aborts the session with nothing computed or printed.
-struct Command {
-  enum Kind { kBc, kTop, kApprox, kInsert, kDelete, kStats } kind = kBc;
-  vidx_t k = 0;  // kBc / kTop
-  vidx_t u = 0, v = 0;
-  double epsilon = 0.0, delta = 0.0;
-};
-
+/// Parse the whole script up front (session contract: a malformed line
+/// aborts with nothing computed or printed).
 std::vector<Command> parse_script(std::istream& script, vidx_t n,
                                   vidx_t default_top) {
   std::vector<Command> commands;
   std::string line;
   while (std::getline(script, line)) {
-    const std::vector<std::string> tokens = tokenize(line);
-    if (tokens.empty() || tokens[0][0] == '#') continue;
-    const std::string& cmd = tokens[0];
-    Command c;
-    if (cmd == "bc" || cmd == "top") {
-      expect_arity(tokens, cmd == "top" ? 1 : 0, 1);
-      c.kind = cmd == "bc" ? Command::kBc : Command::kTop;
-      c.k = tokens.size() > 1 ? parse_count(tokens[1], "top count K")
-                              : default_top;
-      if (c.k > n) c.k = n;
-    } else if (cmd == "approx") {
-      expect_arity(tokens, 1, 2);
-      c.kind = Command::kApprox;
-      c.epsilon = parse_real(tokens[1], "epsilon");
-      c.delta = tokens.size() > 2 ? parse_real(tokens[2], "delta") : 0.1;
-    } else if (cmd == "insert" || cmd == "delete") {
-      expect_arity(tokens, 2, 2);
-      c.kind = cmd == "insert" ? Command::kInsert : Command::kDelete;
-      c.u = parse_vertex(tokens[1], n, "vertex U");
-      c.v = parse_vertex(tokens[2], n, "vertex V");
-    } else if (cmd == "stats") {
-      expect_arity(tokens, 0, 0);
-      c.kind = Command::kStats;
-    } else {
-      bad("unknown command '" + cmd +
-          "' (expected bc, top, approx, insert, delete, or stats)");
+    if (const auto c = parse_command(line, n, default_top, Grammar::kSession)) {
+      commands.push_back(*c);
     }
-    commands.push_back(c);
   }
   return commands;
 }
@@ -254,33 +33,43 @@ ServeEngine::Counters run_session(graph::EdgeList graph,
   const std::vector<Command> commands =
       parse_script(script, engine.num_vertices(), options.top);
 
-  Transcript transcript(out, options.json);
-  transcript.hello(engine);
+  const RenderOptions render{options.json, options.wire};
+  out << render_hello(engine, render);
   for (const Command& c : commands) {
     switch (c.kind) {
       case Command::kBc: {
         QueryStats stats;
         const std::vector<bc_t>& bc = engine.query_bc(&stats);
-        transcript.bc(engine, bc, rank_vertices(bc, c.k), stats);
+        out << render_bc(engine, bc, rank_vertices(bc, c.k), stats,
+                         engine.counters().epoch, render);
         break;
       }
-      case Command::kTop: {
-        transcript.top(engine.query_top(c.k, nullptr));
+      case Command::kTop:
+        out << render_top(engine.query_top(c.k, nullptr),
+                          engine.counters().epoch, render);
         break;
-      }
       case Command::kApprox:
-        transcript.approx(c.epsilon, c.delta,
-                          engine.query_approx(c.epsilon, c.delta, nullptr));
+        out << render_approx(c.epsilon, c.delta,
+                             engine.query_approx(c.epsilon, c.delta, nullptr),
+                             engine.counters().epoch, render);
         break;
       case Command::kInsert:
-        transcript.update("insert", c.u, c.v, engine.insert_edge(c.u, c.v));
+      case Command::kDelete: {
+        // Apply FIRST: wire responses are stamped with the post-update epoch
+        // (the graph version the response describes).
+        const bool ins = c.kind == Command::kInsert;
+        const UpdateStats stats = ins ? engine.insert_edge(c.u, c.v)
+                                      : engine.remove_edge(c.u, c.v);
+        out << render_update(ins ? "insert" : "delete", c.u, c.v, stats,
+                             engine.counters().epoch, render);
         break;
-      case Command::kDelete:
-        transcript.update("delete", c.u, c.v, engine.remove_edge(c.u, c.v));
-        break;
+      }
       case Command::kStats:
-        transcript.stats(engine.counters());
+        out << render_stats(engine.counters(), render);
         break;
+      case Command::kMetrics:
+      case Command::kShutdown:
+        break;  // not in the session grammar; parse_command never yields them
     }
   }
   return engine.counters();

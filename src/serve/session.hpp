@@ -1,12 +1,6 @@
-// Line-based serve session: a tiny command language over ServeEngine, the
-// substance of `turbobc_cli serve`. One command per line:
-//
-//   bc [K]           full exact BC; print the top K vertices (default top)
-//   top K            ranked vertex ids only (same order as bc)
-//   approx EPS [D]   adaptive approximate BC to (EPS, D); D defaults to 0.1
-//   insert U V       insert edge (both arcs when the graph is undirected)
-//   delete U V       delete edge (ditto)
-//   stats            running engine counters
+// Line-based serve session: the serve command language (see
+// serve/protocol.hpp for the grammar) run against a fresh ServeEngine, the
+// substance of `turbobc_cli serve`.
 //
 // Blank lines and lines starting with '#' are skipped. The WHOLE script is
 // parsed before anything executes; a malformed line throws UsageError
@@ -19,6 +13,12 @@
 // number printed is deterministic (modeled clock, fixed fold order, index
 // tie-breaks), so a transcript is byte-identical across runs and pool
 // widths; the qa oracle and golden tests compare transcripts verbatim.
+//
+// SessionOptions::wire switches to the daemon wire schema (epoch stamps, bc
+// digests, no order-sensitive cache fields): a single daemon connection
+// replaying the same command sequence produces a byte-identical transcript
+// to `serve --wire --script`, which is what daemon-smoke and the
+// daemon_agreement oracle compare.
 #pragma once
 
 #include <iosfwd>
@@ -30,6 +30,8 @@ namespace turbobc::serve {
 struct SessionOptions {
   /// JSON Lines instead of plain text.
   bool json = false;
+  /// Daemon wire schema (epoch stamps + digests; see serve/protocol.hpp).
+  bool wire = false;
   /// Default K of a bare `bc` command.
   vidx_t top = 5;
   ServeOptions engine;

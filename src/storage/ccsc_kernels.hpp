@@ -31,19 +31,36 @@
 
 namespace turbobc::storage {
 
-/// Sequential varint reader over one column's byte range. Every consumed
-/// byte is a charged 1-byte load plus one decode word-op.
+/// Sequential row-id reader over one column's byte range. The format bitmap
+/// picks the branch per column: varint chains consume one charged 1-byte
+/// load plus one decode word-op per byte; raw hub columns read each row id
+/// as a single charged 4-byte vector load (load_span) with no decode ALU —
+/// the same shape as the uncompressed kernel's row-index load.
 class CcscCursor {
  public:
   CcscCursor(const DeviceCompressedCsc& g, sim::ThreadCtx& t,
              std::size_t local_col)
       : g_(g), t_(t) {
     pos_ = static_cast<std::size_t>(g.byte_off().load(t, local_col));
+    const std::uint32_t word = g.fmt().load(t, local_col >> 5);
+    raw_ = ((word >> (local_col & 31u)) & 1u) != 0;
+    t.count_word_ops(1);  // bitmap shift/test
   }
 
-  /// Decode the next row id (absolute for the first call, prior + gap
-  /// afterwards — the inverse of encode_csc's delta chain).
+  /// The next row id: a raw 4-byte word, or a decoded varint (absolute for
+  /// the first call, prior + gap afterwards — the inverse of
+  /// append_column_bytes's delta chain).
   vidx_t next() {
+    if (raw_) {
+      std::uint8_t w[4];
+      g_.bytes().load_span(t_, pos_, 4, w);
+      pos_ += 4;
+      return static_cast<vidx_t>(
+          static_cast<std::uint32_t>(w[0]) |
+          static_cast<std::uint32_t>(w[1]) << 8 |
+          static_cast<std::uint32_t>(w[2]) << 16 |
+          static_cast<std::uint32_t>(w[3]) << 24);
+    }
     std::uint32_t value = 0;
     int shift = 0;
     while (true) {
@@ -64,6 +81,7 @@ class CcscCursor {
   std::size_t pos_ = 0;
   std::uint32_t acc_ = 0;
   bool first_ = true;
+  bool raw_ = false;
 };
 
 // ---------------------------------------------------------------------------

@@ -14,14 +14,27 @@
 //                           because the engines read in-degrees (Beamer
 //                           direction counters, MS-BFS commit) without
 //                           decoding the column.
-//   byte_off (n+1 words)  — byte offsets: column v's varints occupy
+//   byte_off (n+1 words)  — byte offsets: column v's encoding occupies
 //                           bytes [byte_off[v], byte_off[v+1]).
-//   bytes    (B bytes)    — the concatenated varint stream.
+//   bytes    (B bytes)    — the concatenated per-column streams.
+//   fmt      (n/32 words) — per-column format bitmap. Bit v clear: column v
+//                           is the delta-varint chain above. Bit v set: the
+//                           column is RAW — absolute row ids as 4-byte
+//                           little-endian words, no deltas.
+//
+// The raw fallback exists for hub columns. A varint hub column with large
+// gaps costs ~1.8 bytes/arc decoded one byte-load at a time, so its memory
+// transactions EXCEED the uncompressed kernel's one aligned 4-byte load per
+// arc — the kron hub-tail load-transaction rise bench_ooc reports. Columns
+// whose degree reaches kRawColumnDegree and whose varint form exceeds
+// kRawBytesPerArcX4/4 bytes per arc are stored raw instead: one 4-byte load
+// per arc again, bounded stream growth (raw is never chosen where varint is
+// already dense).
 //
 // Exact round-trip: decode_column reproduces the CSC's row ids byte for
 // byte, which tests/storage/test_codec.cpp property-checks over every
-// generator family. The decode is sequential per column — why the engines
-// demote compressed runs to the thread-per-column scCSC variant.
+// generator family. The varint decode is sequential per column — why the
+// engines demote compressed runs to the thread-per-column scCSC variant.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +51,26 @@ namespace turbobc::storage {
 /// compressed byte count must stay below 2^31 (checked at encode time).
 using coff_t = std::int32_t;
 
+/// Minimum in-degree for the raw fallback to be considered. Very short
+/// columns carry the absolute-first-row varint as fixed overhead, so their
+/// bytes/arc reads artificially high; below this floor the stream growth
+/// from going raw outweighs the handful of saved loads (tuned against
+/// bench_ooc: 8 keeps road-deep's degree-2 chains varint).
+inline constexpr std::size_t kRawColumnDegree = 8;
+
+/// Break-even density, quadrupled to stay integral: a column goes raw only
+/// when its varint encoding exceeds kRawBytesPerArcX4/4 bytes per arc
+/// (1.25). Below that the varint stream is dense enough that its byte loads
+/// pack into fewer 32-byte sectors than raw words would need; above it the
+/// multi-byte gap chains issue more load transactions than one 4-byte word
+/// per arc (the kron hub-tail rise bench_ooc reports).
+inline constexpr std::size_t kRawBytesPerArcX4 = 5;
+
+/// Words in the per-column format bitmap for n columns.
+inline constexpr std::size_t fmt_words(vidx_t n) noexcept {
+  return (static_cast<std::size_t>(n) + 31u) / 32u;
+}
+
 struct CompressedCsc {
   vidx_t n = 0;
   eidx_t m = 0;
@@ -46,16 +79,28 @@ struct CompressedCsc {
   std::vector<coff_t> col_ptr;
   /// Byte offsets into `bytes`, size n + 1, monotone non-decreasing.
   std::vector<coff_t> byte_off;
-  /// Concatenated per-column varint streams.
+  /// Concatenated per-column streams (varint chains or raw LE words).
   std::vector<std::uint8_t> bytes;
+  /// Format bitmap, fmt_words(n) words: bit v set = column v stored raw.
+  std::vector<std::uint32_t> fmt;
 
   vidx_t num_vertices() const noexcept { return n; }
   eidx_t num_arcs() const noexcept { return m; }
 
-  /// Device-resident bytes of this structure: two (n+1)-word offset arrays
-  /// plus the varint stream. The uncompressed CSC costs (n+1) + m words.
+  /// Is column v stored as raw 4-byte row ids (vs a delta-varint chain)?
+  /// A missing bitmap word (hand-built fixtures) means all-varint.
+  bool raw_column(vidx_t v) const noexcept {
+    const std::size_t w = static_cast<std::size_t>(v) >> 5;
+    if (w >= fmt.size()) return false;
+    return ((fmt[w] >> (static_cast<std::uint32_t>(v) & 31u)) & 1u) != 0;
+  }
+
+  /// Device-resident bytes of this structure: two (n+1)-word offset arrays,
+  /// the format bitmap, and the byte stream. The uncompressed CSC costs
+  /// (n+1) + m words.
   std::uint64_t model_bytes() const noexcept {
     return 2ull * (static_cast<std::uint64_t>(n) + 1) * 4ull +
+           4ull * static_cast<std::uint64_t>(fmt.size()) +
            static_cast<std::uint64_t>(bytes.size());
   }
 
@@ -94,9 +139,42 @@ inline std::uint32_t varint_read(const std::uint8_t* bytes,
   }
 }
 
-/// Delta-varint encode a CSC. Column v becomes varint(row_0) followed by
-/// varint(row_k - row_{k-1}) for k >= 1 — valid because CscGraph's rows
-/// ascend strictly within each column.
+/// Append one column's `deg` strictly-ascending row ids to `bytes` in the
+/// cheaper of the two formats; returns true when the column went raw. The
+/// single encode path shared by encode_csc and the chunked Matrix Market
+/// loader: the varint chain is written first and rewound (a resize, no
+/// copy) when the raw rule fires, so both callers apply bit-identical
+/// format decisions.
+inline bool append_column_bytes(std::vector<std::uint8_t>& bytes,
+                                const vidx_t* rows, std::size_t deg) {
+  const std::size_t start = bytes.size();
+  vidx_t prev = 0;
+  for (std::size_t k = 0; k < deg; ++k) {
+    const vidx_t row = rows[k];
+    TBC_CHECK(k == 0 || row > prev,
+              "CSC rows must ascend strictly within each column");
+    varint_append(bytes, k == 0 ? static_cast<std::uint32_t>(row)
+                                : static_cast<std::uint32_t>(row - prev));
+    prev = row;
+  }
+  if (deg < kRawColumnDegree ||
+      4 * (bytes.size() - start) <= kRawBytesPerArcX4 * deg) {
+    return false;
+  }
+  bytes.resize(start);
+  for (std::size_t k = 0; k < deg; ++k) {
+    const auto row = static_cast<std::uint32_t>(rows[k]);
+    bytes.push_back(static_cast<std::uint8_t>(row & 0xFFu));
+    bytes.push_back(static_cast<std::uint8_t>((row >> 8) & 0xFFu));
+    bytes.push_back(static_cast<std::uint8_t>((row >> 16) & 0xFFu));
+    bytes.push_back(static_cast<std::uint8_t>((row >> 24) & 0xFFu));
+  }
+  return true;
+}
+
+/// Compress a CSC: per column, delta-varint or the raw hub fallback (see
+/// append_column_bytes). Valid because CscGraph's rows ascend strictly
+/// within each column.
 inline CompressedCsc encode_csc(const graph::CscGraph& g) {
   CompressedCsc c;
   c.n = g.num_vertices();
@@ -109,20 +187,15 @@ inline CompressedCsc encode_csc(const graph::CscGraph& g) {
   const auto n = static_cast<std::size_t>(c.n);
   c.col_ptr.resize(n + 1);
   c.byte_off.resize(n + 1);
+  c.fmt.assign(fmt_words(c.n), 0u);
   c.bytes.reserve(static_cast<std::size_t>(c.m));
   c.byte_off[0] = 0;
   for (std::size_t v = 0; v < n; ++v) {
     c.col_ptr[v] = static_cast<coff_t>(g.col_ptr()[v]);
-    vidx_t prev = 0;
-    bool first = true;
-    for (eidx_t k = g.col_ptr()[v]; k < g.col_ptr()[v + 1]; ++k) {
-      const vidx_t row = g.row_idx()[static_cast<std::size_t>(k)];
-      TBC_CHECK(first || row > prev,
-                "CSC rows must ascend strictly within each column");
-      varint_append(c.bytes, first ? static_cast<std::uint32_t>(row)
-                                   : static_cast<std::uint32_t>(row - prev));
-      prev = row;
-      first = false;
+    const auto begin = static_cast<std::size_t>(g.col_ptr()[v]);
+    const auto deg = static_cast<std::size_t>(g.col_ptr()[v + 1]) - begin;
+    if (append_column_bytes(c.bytes, g.row_idx().data() + begin, deg)) {
+      c.fmt[v >> 5] |= 1u << (v & 31u);
     }
     TBC_CHECK(c.bytes.size() <=
                   static_cast<std::size_t>(
@@ -140,6 +213,17 @@ inline std::vector<vidx_t> decode_column(const CompressedCsc& c, vidx_t v) {
   const auto deg = static_cast<std::size_t>(c.col_ptr[v + 1] - c.col_ptr[v]);
   rows.reserve(deg);
   auto pos = static_cast<std::size_t>(c.byte_off[v]);
+  if (c.raw_column(v)) {
+    for (std::size_t k = 0; k < deg; ++k, pos += 4) {
+      const std::uint32_t row =
+          static_cast<std::uint32_t>(c.bytes[pos]) |
+          static_cast<std::uint32_t>(c.bytes[pos + 1]) << 8 |
+          static_cast<std::uint32_t>(c.bytes[pos + 2]) << 16 |
+          static_cast<std::uint32_t>(c.bytes[pos + 3]) << 24;
+      rows.push_back(static_cast<vidx_t>(row));
+    }
+    return rows;
+  }
   std::uint32_t acc = 0;
   for (std::size_t k = 0; k < deg; ++k) {
     acc = (k == 0 ? varint_read(c.bytes.data(), pos)

@@ -1,16 +1,20 @@
 // Device-resident delta-varint compressed CSC (DESIGN.md §12).
 //
-// Three buffers mirror the host CompressedCsc layout:
+// Four buffers mirror the host CompressedCsc layout:
 //   CP_A      (n+1 dptr_t)  — edge offsets, same modeled width as DeviceCsc's
 //                             column pointers so degree reads cost the same.
 //   CPB_A     (n+1 dptr_t)  — byte offsets into the varint stream.
-//   row_bytes (B uint8)     — the varint stream, modeled at ONE byte per
+//   row_bytes (B uint8)     — the byte stream, modeled at ONE byte per
 //                             element. Sequential byte loads from one column
 //                             coalesce into ~4x fewer 32-byte sectors than
 //                             4-byte row-id loads — the fewer-transactions
 //                             side of the decode tradeoff, charged by the
 //                             existing coalescing model with no cost-model
 //                             changes.
+//   CFMT_A    (n/32 words)  — the per-column format bitmap: raw hub columns
+//                             read row ids as single 4-byte vector loads
+//                             (DeviceBuffer::load_span) instead of the
+//                             byte-at-a-time varint walk.
 //
 // The shard constructor uploads a REBASED column window: `n_cols` local
 // columns with col_ptr/byte_off rebased to start at zero, used by
@@ -40,13 +44,20 @@ class DeviceCompressedCsc {
         col_ptr_(device, static_cast<std::size_t>(c.n) + 1, "CP_A"),
         byte_off_(device, static_cast<std::size_t>(c.n) + 1, "CPB_A"),
         bytes_(device, c.bytes.size(), "row_bytes",
-               /*modeled_elem_bytes=*/1) {
+               /*modeled_elem_bytes=*/1),
+        fmt_(device, fmt_words(c.n), "CFMT_A") {
     TBC_CHECK(c.col_ptr.size() == static_cast<std::size_t>(c.n) + 1 &&
                   c.byte_off.size() == static_cast<std::size_t>(c.n) + 1,
               "compressed CSC offset arrays have wrong length");
     col_ptr_.copy_from_host(c.col_ptr);
     byte_off_.copy_from_host(c.byte_off);
     bytes_.copy_from_host(c.bytes);
+    if (c.fmt.size() == fmt_words(c.n)) {
+      fmt_.copy_from_host(c.fmt);
+    } else {
+      // Hand-built fixtures without a bitmap: all-varint.
+      fmt_.copy_from_host(std::vector<std::uint32_t>(fmt_words(c.n), 0u));
+    }
   }
 
   /// Upload a raw column shard: `n_cols` local columns whose offset arrays
@@ -54,19 +65,24 @@ class DeviceCompressedCsc {
   DeviceCompressedCsc(sim::Device& device, vidx_t n_cols,
                       std::vector<spmv::dptr_t> cp,
                       std::vector<spmv::dptr_t> boff,
-                      std::vector<std::uint8_t> stream)
+                      std::vector<std::uint8_t> stream,
+                      std::vector<std::uint32_t> fmt)
       : n_(n_cols),
         m_(cp.empty() ? 0 : static_cast<eidx_t>(cp.back())),
         col_ptr_(device, static_cast<std::size_t>(n_cols) + 1, "CP_A"),
         byte_off_(device, static_cast<std::size_t>(n_cols) + 1, "CPB_A"),
         bytes_(device, stream.size(), "row_bytes",
-               /*modeled_elem_bytes=*/1) {
+               /*modeled_elem_bytes=*/1),
+        fmt_(device, fmt_words(n_cols), "CFMT_A") {
     TBC_CHECK(cp.size() == static_cast<std::size_t>(n_cols) + 1 &&
                   boff.size() == static_cast<std::size_t>(n_cols) + 1,
               "compressed shard offset arrays have wrong length");
+    TBC_CHECK(fmt.size() == fmt_words(n_cols),
+              "compressed shard format bitmap has wrong length");
     col_ptr_.copy_from_host(cp);
     byte_off_.copy_from_host(boff);
     bytes_.copy_from_host(stream);
+    fmt_.copy_from_host(fmt);
   }
 
   /// Clone onto another device (parallel source fan-out replicas).
@@ -76,10 +92,12 @@ class DeviceCompressedCsc {
         col_ptr_(device, other.col_ptr_.size(), "CP_A"),
         byte_off_(device, other.byte_off_.size(), "CPB_A"),
         bytes_(device, other.bytes_.size(), "row_bytes",
-               /*modeled_elem_bytes=*/1) {
+               /*modeled_elem_bytes=*/1),
+        fmt_(device, other.fmt_.size(), "CFMT_A") {
     col_ptr_.copy_from_host(other.col_ptr_.host());
     byte_off_.copy_from_host(other.byte_off_.host());
     bytes_.copy_from_host(other.bytes_.host());
+    fmt_.copy_from_host(other.fmt_.host());
   }
 
   vidx_t n() const noexcept { return n_; }
@@ -93,10 +111,14 @@ class DeviceCompressedCsc {
   const sim::DeviceBuffer<std::uint8_t>& bytes() const noexcept {
     return bytes_;
   }
+  const sim::DeviceBuffer<std::uint32_t>& fmt() const noexcept {
+    return fmt_;
+  }
 
   /// Device bytes this structure occupies under the modeled widths.
   std::uint64_t device_bytes() const noexcept {
     return 4ull * (static_cast<std::uint64_t>(n_) + 1) * 2 +
+           4ull * static_cast<std::uint64_t>(fmt_.size()) +
            static_cast<std::uint64_t>(bytes_.size());
   }
 
@@ -106,6 +128,7 @@ class DeviceCompressedCsc {
   sim::DeviceBuffer<spmv::dptr_t> col_ptr_;
   sim::DeviceBuffer<spmv::dptr_t> byte_off_;
   sim::DeviceBuffer<std::uint8_t> bytes_;
+  sim::DeviceBuffer<std::uint32_t> fmt_;
 };
 
 }  // namespace turbobc::storage

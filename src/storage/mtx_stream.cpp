@@ -304,7 +304,9 @@ CompressedCsc read_matrix_market_compressed(std::istream& in,
   out.directed = !symmetric;
   out.col_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
   out.byte_off.assign(static_cast<std::size_t>(n) + 1, 0);
+  out.fmt.assign(fmt_words(n), 0u);
   std::uint64_t total_arcs = 0;
+  std::vector<vidx_t> col_rows;  // reused per-column scratch
   for (int b = 0; b < num_buckets; ++b) {
     const std::vector<ArcRec> recs = spill.finalize(static_cast<std::size_t>(b));
     total_arcs += recs.size();
@@ -313,17 +315,18 @@ CompressedCsc read_matrix_market_compressed(std::istream& in,
               "graph too large for 32-bit compressed column pointers");
     std::size_t i = 0;
     for (vidx_t v = plan.col_begin(b); v < plan.col_end(b); ++v) {
-      vidx_t prev = 0;
-      bool first = true;
+      col_rows.clear();
       while (i < recs.size() && recs[i].col == v) {
-        const vidx_t row = recs[i].row;
-        varint_append(out.bytes,
-                      first ? static_cast<std::uint32_t>(row)
-                            : static_cast<std::uint32_t>(row - prev));
-        prev = row;
-        first = false;
+        col_rows.push_back(recs[i].row);
         ++i;
         ++out.col_ptr[static_cast<std::size_t>(v) + 1];
+      }
+      // Same per-column format decision as encode_csc: the shared helper
+      // keeps the chunked loader's image bit-identical to the in-memory
+      // encode of the same graph.
+      if (append_column_bytes(out.bytes, col_rows.data(), col_rows.size())) {
+        out.fmt[static_cast<std::size_t>(v) >> 5] |=
+            1u << (static_cast<std::uint32_t>(v) & 31u);
       }
       TBC_CHECK(out.bytes.size() <= static_cast<std::size_t>(
                                         std::numeric_limits<coff_t>::max()),

@@ -54,7 +54,17 @@ StreamingTurboBC::StreamingTurboBC(sim::Device& device,
     img.stream.assign(
         graph.bytes.begin() + byte0,
         graph.bytes.begin() + graph.byte_off[e]);
+    // Re-pack the format bitmap into local column positions (the global and
+    // local bit offsets differ unless col_begin is a multiple of 32).
+    img.fmt.assign(fmt_words(img.cols), 0u);
+    for (std::size_t v = b; v < e; ++v) {
+      if (graph.raw_column(static_cast<vidx_t>(v))) {
+        const std::size_t lv = v - b;
+        img.fmt[lv >> 5] |= 1u << (static_cast<std::uint32_t>(lv) & 31u);
+      }
+    }
     img.device_bytes = 8ull * (static_cast<std::uint64_t>(img.cols) + 1) +
+                       4ull * static_cast<std::uint64_t>(img.fmt.size()) +
                        static_cast<std::uint64_t>(img.stream.size());
     shards_.push_back(std::move(img));
   }
@@ -83,7 +93,7 @@ const DeviceCompressedCsc& StreamingTurboBC::resident(std::size_t k) {
   // The DeviceBuffer uploads inside this construction are the modeled PCIe
   // fetch — charged to the device's transfer ledger as they happen.
   window_[k].emplace(device_, img.cols, img.col_ptr, img.byte_off,
-                     img.stream);
+                     img.stream, img.fmt);
   ++resident_count_;
   ++ledger_.shard_uploads;
   ledger_.upload_bytes += img.device_bytes;

@@ -86,14 +86,16 @@ class StreamingTurboBC {
   const StreamingOptions& options() const noexcept { return options_; }
 
  private:
-  /// Host-side image of one column shard: offsets rebased to zero, varint
-  /// stream decoding to global rows (DeviceCompressedCsc shard convention).
+  /// Host-side image of one column shard: offsets rebased to zero, byte
+  /// stream decoding to global rows (DeviceCompressedCsc shard convention),
+  /// format bitmap re-packed into local column positions.
   struct ShardImage {
     vidx_t col_begin = 0;
     vidx_t cols = 0;
     std::vector<spmv::dptr_t> col_ptr;
     std::vector<spmv::dptr_t> byte_off;
     std::vector<std::uint8_t> stream;
+    std::vector<std::uint32_t> fmt;
     std::uint64_t device_bytes = 0;
     bool uploaded_once = false;
   };

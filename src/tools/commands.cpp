@@ -28,6 +28,8 @@
 #include "graph/bfs_probe.hpp"
 #include "graph/mtx_io.hpp"
 #include "graph/stats.hpp"
+#include "daemon/client.hpp"
+#include "daemon/server.hpp"
 #include "serve/session.hpp"
 #include "storage/mtx_stream.hpp"
 #include "storage/streaming_bc.hpp"
@@ -197,6 +199,26 @@ std::string cli_usage() {
       "      edge touches; queries recompute just those, and full-BC\n"
       "      answers stay bit-identical to `bc --exact` on the mutated\n"
       "      graph at every --threads\n"
+      "      --wire switches to the daemon wire schema: every event is\n"
+      "      stamped with the graph epoch and 'bc' carries a 64-bit FNV-1a\n"
+      "      digest of the full BC vector's raw bytes; a daemon connection\n"
+      "      replaying the same script produces the identical transcript\n"
+      "  turbobc_cli daemon g.mtx --listen HOST:PORT|unix:PATH [--json]\n"
+      "      [--top 5] [--queue-limit 8] [--readers 1] [--max-line 4096]\n"
+      "      [--variant ...] [--advance ...] [--sampler ...] [--seed 1]\n"
+      "      socket front-end for the serve session language, newline-\n"
+      "      delimited, one thread per connection: queries (bc/top/approx/\n"
+      "      stats) run concurrently under a shared lock, insert/delete\n"
+      "      serialize under an exclusive lock with a bounded admission\n"
+      "      queue (over-limit updates get an explicit 'busy' response);\n"
+      "      every response is epoch-stamped (--wire schema). Extra wire\n"
+      "      commands: 'metrics' (live counters: latency quantiles, cache\n"
+      "      hit ratio, queue depth, modeled reader-lane clock) and\n"
+      "      'shutdown' (graceful drain). --listen HOST:0 binds an\n"
+      "      ephemeral port and prints it on the 'listening' line\n"
+      "  turbobc_cli client --connect HOST:PORT|unix:PATH [--script f]\n"
+      "      loopback client: stream commands from --script (or stdin) to\n"
+      "      a daemon and copy responses to stdout until the server closes\n"
       "\n"
       "global options:\n"
       "  --threads N   host threads simulating the device (default: hardware\n"
@@ -855,17 +877,27 @@ int cmd_approx(const CliArgs& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// --variant/--advance/--sampler/--seed into serve-engine options (shared by
+/// serve and daemon).
+serve::ServeOptions parse_serve_engine_options(const CliArgs& args,
+                                               const graph::EdgeList& g) {
+  serve::ServeOptions opt;
+  opt.variant = parse_variant(args, g);
+  opt.advance = parse_advance(args);
+  opt.sampler = approx::parse_sampler(args.get("sampler", "component"));
+  opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  return opt;
+}
+
 int cmd_serve(const CliArgs& args, std::ostream& out, std::ostream& /*err*/) {
   graph::EdgeList g = load_graph(args, 1);
   serve::SessionOptions opt;
   opt.json = args.has("json");
+  opt.wire = args.has("wire");
   const std::int64_t top = args.get_int("top", 5);
   if (top < 0) throw UsageError("--top must be >= 0");
   opt.top = static_cast<vidx_t>(top);
-  opt.engine.variant = parse_variant(args, g);
-  opt.engine.advance = parse_advance(args);
-  opt.engine.sampler = approx::parse_sampler(args.get("sampler", "component"));
-  opt.engine.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  opt.engine = parse_serve_engine_options(args, g);
 
   const std::string script = args.get("script", "");
   if (script.empty()) {
@@ -876,6 +908,59 @@ int cmd_serve(const CliArgs& args, std::ostream& out, std::ostream& /*err*/) {
     serve::run_session(std::move(g), opt, in, out);
   }
   return 0;
+}
+
+int cmd_daemon(const CliArgs& args, std::ostream& out, std::ostream& /*err*/) {
+  graph::EdgeList g = load_graph(args, 1);
+  daemon::DaemonOptions opt;
+  opt.listen = args.get("listen", "");
+  if (opt.listen.empty()) {
+    throw UsageError("daemon: --listen HOST:PORT or --listen unix:PATH is "
+                     "required");
+  }
+  opt.json = args.has("json");
+  const std::int64_t top = args.get_int("top", 5);
+  if (top < 0) throw UsageError("--top must be >= 0");
+  opt.top = static_cast<vidx_t>(top);
+  const std::int64_t queue = args.get_int("queue-limit", 8);
+  if (queue < 1) throw UsageError("--queue-limit must be >= 1");
+  opt.sched.update_queue_limit = static_cast<std::size_t>(queue);
+  const std::int64_t lanes = args.get_int("readers", 1);
+  if (lanes < 1) throw UsageError("--readers must be >= 1");
+  opt.sched.reader_lanes = static_cast<unsigned>(lanes);
+  const std::int64_t max_line = args.get_int("max-line", 4096);
+  if (max_line < 64) throw UsageError("--max-line must be >= 64");
+  opt.max_line = static_cast<std::size_t>(max_line);
+  opt.engine = parse_serve_engine_options(args, g);
+
+  daemon::DaemonServer server(std::move(g), opt);
+  server.start();
+  // Scripts (CI's daemon-smoke) parse this line for the resolved ephemeral
+  // port, so it must come out before the first connection is served.
+  out << "daemon: listening on " << server.bound().display() << '\n';
+  out.flush();
+  server.wait();
+  const daemon::Scheduler::Metrics m = server.scheduler().metrics();
+  out << "daemon: stopped after " << server.connections_accepted()
+      << " connection(s), " << m.queries << " queries, " << m.updates
+      << " updates (epoch " << m.epoch << ")\n";
+  return 0;
+}
+
+int cmd_client(const CliArgs& args, std::ostream& out, std::ostream& /*err*/) {
+  daemon::ClientOptions opt;
+  opt.connect = args.get("connect", "");
+  if (opt.connect.empty()) {
+    throw UsageError("client: --connect HOST:PORT or --connect unix:PATH is "
+                     "required");
+  }
+  const std::string script = args.get("script", "");
+  if (script.empty()) {
+    return daemon::run_client(opt, std::cin, out);
+  }
+  std::ifstream in(script);
+  if (!in) throw Error("client: cannot open script '" + script + "'");
+  return daemon::run_client(opt, in, out);
 }
 
 int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
@@ -897,6 +982,8 @@ int run_cli(const CliArgs& args, std::ostream& out, std::ostream& err) {
     if (cmd == "bc") return cmd_bc(args, out, err);
     if (cmd == "approx") return cmd_approx(args, out, err);
     if (cmd == "serve") return cmd_serve(args, out, err);
+    if (cmd == "daemon") return cmd_daemon(args, out, err);
+    if (cmd == "client") return cmd_client(args, out, err);
   } catch (const UsageError& e) {
     err << "error: " << e.what() << '\n' << cli_usage();
     return 2;

@@ -16,7 +16,14 @@
 //   serve     — long-running dynamic-graph session: load once, then run a
 //               command script (bc / top / approx / insert / delete /
 //               stats) against the incrementally-maintained cache
-//               (src/serve/), from --script FILE or stdin
+//               (src/serve/), from --script FILE or stdin; --wire renders
+//               the daemon's epoch-stamped schema
+//   daemon    — socket front-end (TCP or unix) for the serve session
+//               language with concurrent readers, serialized updates under
+//               a bounded admission queue, and a live metrics plane
+//               (src/daemon/)
+//   client    — loopback client driving a daemon from --script FILE or
+//               stdin, printing responses verbatim
 #pragma once
 
 #include <iosfwd>
@@ -37,6 +44,8 @@ int cmd_bfs(const CliArgs& args, std::ostream& out, std::ostream& err);
 int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err);
 int cmd_approx(const CliArgs& args, std::ostream& out, std::ostream& err);
 int cmd_serve(const CliArgs& args, std::ostream& out, std::ostream& err);
+int cmd_daemon(const CliArgs& args, std::ostream& out, std::ostream& err);
+int cmd_client(const CliArgs& args, std::ostream& out, std::ostream& err);
 
 /// The help text (also printed on usage errors).
 std::string cli_usage();

@@ -1,0 +1,314 @@
+// Daemon tests: golden wire sessions over a real socket (text and JSON,
+// byte-identical across executor-pool widths per epoch), the error paths
+// (malformed frame, oversized line, abrupt disconnect), and the scheduler's
+// BUSY backpressure under a full update queue.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/scheduler.hpp"
+#include "daemon/server.hpp"
+#include "daemon/socket.hpp"
+#include "gpusim/executor.hpp"
+#include "graph/edge_list.hpp"
+#include "serve/protocol.hpp"
+#include "serve/session.hpp"
+
+namespace turbobc::daemon {
+namespace {
+
+/// 0-1-2-3-4 path, undirected: tiny, fully deterministic BC.
+graph::EdgeList path5() {
+  graph::EdgeList g(5, false);
+  for (vidx_t v = 0; v + 1 < 5; ++v) {
+    g.add_edge(v, v + 1);
+    g.add_edge(v + 1, v);
+  }
+  g.canonicalize();
+  return g;
+}
+
+/// Restore the executor pool width on scope exit.
+class PoolWidthGuard {
+ public:
+  explicit PoolWidthGuard(unsigned width)
+      : saved_(sim::ExecutorPool::instance().threads()) {
+    sim::ExecutorPool::instance().set_threads(width);
+  }
+  ~PoolWidthGuard() { sim::ExecutorPool::instance().set_threads(saved_); }
+
+ private:
+  unsigned saved_;
+};
+
+std::string recv_all(int fd) {
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+DaemonOptions loopback_options(bool json = false, std::size_t max_line = 4096) {
+  DaemonOptions opt;
+  opt.listen = "127.0.0.1:0";  // ephemeral port per test
+  opt.json = json;
+  opt.top = 3;
+  opt.max_line = max_line;
+  return opt;
+}
+
+/// Drive one full connection: send `script`, half-close, read the whole
+/// response stream, then stop the server.
+std::string daemon_transcript(const std::string& script,
+                              const DaemonOptions& opt) {
+  DaemonServer server(path5(), opt);
+  server.start();
+  const int fd = connect_socket(server.bound());
+  EXPECT_TRUE(send_all(fd, script));
+  shutdown_write(fd);
+  const std::string out = recv_all(fd);
+  close_socket(fd);
+  server.stop();
+  return out;
+}
+
+/// The same command sequence through the in-process session runner in wire
+/// mode — the transcript the daemon must reproduce byte for byte.
+std::string session_transcript(const std::string& script, bool json) {
+  std::istringstream in(script);
+  std::ostringstream out;
+  serve::SessionOptions opt;
+  opt.top = 3;
+  opt.json = json;
+  opt.wire = true;
+  serve::run_session(path5(), opt, in, out);
+  return out.str();
+}
+
+constexpr const char* kMixedScript =
+    "bc 3\n"
+    "insert 0 4\n"
+    "bc 3\n"
+    "top 2\n"
+    "delete 0 4\n"
+    "bc 3\n"
+    "stats\n";
+
+TEST(DaemonWire, GoldenTextSession) {
+  const std::string got = daemon_transcript(kMixedScript, loopback_options());
+  // Pinned transcript: epoch stamps advance only on applied updates, and the
+  // bc digest at epoch 2 (insert 0-4 then delete 0-4) returns to the epoch-0
+  // digest bit for bit.
+  const std::string want =
+      "serve: n=5 m=8 directed=no epoch=0\n"
+      "bc: epoch=0 digest=efded9dc5b29e6f5 top 3 of 5\n"
+      "  1. v=2 bc=4.000000\n"
+      "  2. v=1 bc=3.000000\n"
+      "  3. v=3 bc=3.000000\n"
+      "insert 0 4: applied epoch=1\n"
+      "bc: epoch=1 digest=33e81a0dcc8f3478 top 3 of 5\n"
+      "  1. v=0 bc=1.000000\n"
+      "  2. v=1 bc=1.000000\n"
+      "  3. v=2 bc=1.000000\n"
+      "top: epoch=1 0 1\n"
+      "delete 0 4: applied epoch=2\n"
+      "bc: epoch=2 digest=efded9dc5b29e6f5 top 3 of 5\n"
+      "  1. v=2 bc=4.000000\n"
+      "  2. v=1 bc=3.000000\n"
+      "  3. v=3 bc=3.000000\n"
+      "stats: epoch=2 queries=4 updates=2 noop=0 recomputed=13 cached=7 "
+      "invalidated=8 device_s=";
+  ASSERT_GE(got.size(), want.size());
+  EXPECT_EQ(got.substr(0, want.size()), want);
+}
+
+TEST(DaemonWire, MatchesServeScriptByteForByte) {
+  for (const bool json : {false, true}) {
+    const std::string daemon_out =
+        daemon_transcript(kMixedScript, loopback_options(json));
+    const std::string session_out = session_transcript(kMixedScript, json);
+    EXPECT_EQ(daemon_out, session_out) << "json=" << json;
+  }
+}
+
+TEST(DaemonWire, ByteIdenticalAcrossPoolWidths) {
+  for (const bool json : {false, true}) {
+    std::string at_width_1, at_width_8;
+    {
+      PoolWidthGuard guard(1);
+      at_width_1 = daemon_transcript(kMixedScript, loopback_options(json));
+    }
+    {
+      PoolWidthGuard guard(8);
+      at_width_8 = daemon_transcript(kMixedScript, loopback_options(json));
+    }
+    EXPECT_EQ(at_width_1, at_width_8) << "json=" << json;
+    // Sanity: the transcript really reached the final epoch in both renders.
+    EXPECT_NE(at_width_1.find(json ? "\"epoch\":2" : "epoch=2"),
+              std::string::npos);
+  }
+}
+
+TEST(DaemonWire, JsonSessionStampsEveryEventWithEpoch) {
+  const std::string got =
+      daemon_transcript(kMixedScript, loopback_options(/*json=*/true));
+  std::istringstream lines(got);
+  std::string line;
+  std::size_t events = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"epoch\":"), std::string::npos) << line;
+    ++events;
+  }
+  EXPECT_EQ(events, 8u);  // hello + 7 responses
+}
+
+TEST(DaemonErrors, MalformedFrameAnswersErrorAndKeepsConnection) {
+  const std::string got = daemon_transcript(
+      "bogus 1 2\n"
+      "top 2\n",
+      loopback_options());
+  EXPECT_NE(got.find("error: serve: unknown command 'bogus'"),
+            std::string::npos)
+      << got;
+  // The connection survived the bad frame: the next command still answers.
+  EXPECT_NE(got.find("top: epoch=0 2 1"), std::string::npos) << got;
+}
+
+TEST(DaemonErrors, OversizedLineClosesWithError) {
+  const std::string got = daemon_transcript(
+      std::string(256, 'x') + "\ntop 2\n",
+      loopback_options(/*json=*/false, /*max_line=*/64));
+  EXPECT_NE(got.find("error: line exceeds 64 bytes"), std::string::npos)
+      << got;
+  // The stream is unframed after an overflow: the connection closes and the
+  // trailing command is never answered.
+  EXPECT_EQ(got.find("top:"), std::string::npos) << got;
+}
+
+TEST(DaemonErrors, AbruptDisconnectLeavesServerServing) {
+  DaemonServer server(path5(), loopback_options());
+  server.start();
+
+  // First client vanishes mid-session without a half-close handshake.
+  const int fd1 = connect_socket(server.bound());
+  EXPECT_TRUE(send_all(fd1, "bc 2\n"));
+  close_socket(fd1);  // abrupt: responses may race the close; must not wedge
+
+  // A second client gets a full, correct session afterwards.
+  const int fd2 = connect_socket(server.bound());
+  EXPECT_TRUE(send_all(fd2, "top 2\n"));
+  shutdown_write(fd2);
+  const std::string got = recv_all(fd2);
+  close_socket(fd2);
+  server.stop();
+
+  EXPECT_NE(got.find("serve: n=5"), std::string::npos) << got;
+  EXPECT_NE(got.find("top: epoch=0 2 1"), std::string::npos) << got;
+  EXPECT_EQ(server.connections_accepted(), 2u);
+}
+
+TEST(DaemonScheduler, BusyUnderFullUpdateQueue) {
+  Scheduler::Options sched;
+  sched.update_queue_limit = 2;
+  Scheduler scheduler(path5(), {}, sched);
+  const serve::RenderOptions render{/*json=*/false, /*wire=*/true};
+
+  serve::Command insert;
+  insert.kind = serve::Command::kInsert;
+  insert.u = 0;
+  insert.v = 4;
+
+  // Freeze the reader side so admitted updates queue on the exclusive lock.
+  auto readers = scheduler.hold_readers_for_test();
+
+  std::vector<std::thread> writers;
+  std::vector<std::string> responses(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    writers.emplace_back([&, i] {
+      responses[i] = scheduler.execute(insert, render);
+    });
+  }
+  // Both updates must be ADMITTED (ticketed), not answered, while readers
+  // hold the lock.
+  while (scheduler.pending_updates() < 2) std::this_thread::yield();
+
+  // The queue is full: the next update bounces immediately with BUSY even
+  // though the lock is still held — backpressure, never a silent drop.
+  const std::string busy = scheduler.execute(insert, render);
+  EXPECT_NE(busy.find("busy: update queue full (pending=2 limit=2)"),
+            std::string::npos)
+      << busy;
+
+  readers.unlock();  // drain: both admitted updates now apply
+  for (std::thread& t : writers) t.join();
+
+  // Exactly one of the two identical inserts applied; both were answered.
+  std::size_t applied = 0, noop = 0;
+  for (const std::string& r : responses) {
+    if (r.find(": applied") != std::string::npos) ++applied;
+    if (r.find(": no-op") != std::string::npos) ++noop;
+  }
+  EXPECT_EQ(applied, 1u);
+  EXPECT_EQ(noop, 1u);
+
+  const auto m = scheduler.metrics();
+  EXPECT_EQ(m.updates, 2u);
+  EXPECT_EQ(m.busy, 1u);
+  EXPECT_EQ(m.epoch, 1u);
+  EXPECT_EQ(m.queue_depth, 0u);
+
+  // The epoch-ordered update log recorded both admitted updates, in order.
+  const auto log = scheduler.update_log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_TRUE(log[0].applied);
+  EXPECT_FALSE(log[1].applied);
+  EXPECT_EQ(log[0].epoch, 1u);
+  EXPECT_EQ(log[1].epoch, 1u);
+}
+
+TEST(DaemonScheduler, MetricsCountQueriesAndRenderBothFormats) {
+  Scheduler scheduler(path5(), {}, {});
+  const serve::RenderOptions text{false, true};
+  const serve::RenderOptions json{true, true};
+
+  serve::Command bc;
+  bc.kind = serve::Command::kBc;
+  bc.k = 2;
+  serve::Command top;
+  top.kind = serve::Command::kTop;
+  top.k = 2;
+  scheduler.execute(bc, text);
+  scheduler.execute(top, text);
+
+  const auto m = scheduler.metrics();
+  EXPECT_EQ(m.queries, 2u);
+  EXPECT_EQ(m.updates, 0u);
+  EXPECT_GT(m.modeled_query_seconds, 0.0);
+  EXPECT_GE(m.modeled_makespan_seconds, 0.0);
+  EXPECT_GE(m.p99_micros, m.p50_micros);
+
+  const std::string t = scheduler.render_metrics(text);
+  EXPECT_EQ(t.rfind("metrics: epoch=0 queries=2 updates=0 busy=0 errors=0 "
+                    "queue=0/8",
+                    0),
+            0u)
+      << t;
+  const std::string j = scheduler.render_metrics(json);
+  EXPECT_EQ(j.rfind("{\"event\":\"metrics\"", 0), 0u) << j;
+  EXPECT_NE(j.find("\"queries\":2"), std::string::npos) << j;
+}
+
+}  // namespace
+}  // namespace turbobc::daemon

@@ -186,6 +186,26 @@ TEST(Oracle, DistChecksPassWithMoreDevicesThanVertices) {
   EXPECT_TRUE(r.ok()) << r.summary();
 }
 
+TEST(Oracle, DaemonChecksCanBeDisabled) {
+  const auto g =
+      gen::erdos_renyi({.n = 26, .arcs = 90, .directed = false, .seed = 41});
+  OracleOptions opt;
+  opt.check_daemon = false;
+  const OracleReport r = check_graph(g, opt);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(Oracle, DaemonChecksPassOnDirectedGraph) {
+  // The daemon stage on a clean directed graph: socket transcripts vs the
+  // wire session, and the concurrent (epoch, digest) replay — insert and
+  // delete apply single arcs here, the branch the undirected clean-graph
+  // pass does not reach.
+  const auto g =
+      gen::erdos_renyi({.n = 22, .arcs = 70, .directed = true, .seed = 42});
+  const OracleReport r = check_graph(g);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
 TEST(Oracle, OocChecksCanBeDisabled) {
   const auto g =
       gen::erdos_renyi({.n = 30, .arcs = 100, .directed = false, .seed = 33});

@@ -51,15 +51,23 @@ void check_shape(const CompressedCsc& c, const graph::CscGraph& g) {
     EXPECT_LE(c.col_ptr[v], c.col_ptr[v + 1]);
     EXPECT_LE(c.byte_off[v], c.byte_off[v + 1]);
     EXPECT_EQ(static_cast<eidx_t>(c.col_ptr[v]), g.col_ptr()[v]);
-    // A column's varints cost at least one byte per row and at most five.
     const auto deg = c.col_ptr[v + 1] - c.col_ptr[v];
     const auto span = c.byte_off[v + 1] - c.byte_off[v];
-    EXPECT_GE(span, deg);
-    EXPECT_LE(span, 5 * deg);
+    if (c.raw_column(static_cast<vidx_t>(v))) {
+      // Raw columns are exactly one LE word per row, and the fallback only
+      // fires on hub columns whose varint form was sparse.
+      EXPECT_EQ(static_cast<std::size_t>(span), 4u * deg);
+      EXPECT_GE(static_cast<std::size_t>(deg), kRawColumnDegree);
+    } else {
+      // A column's varints cost at least one byte per row and at most five.
+      EXPECT_GE(span, deg);
+      EXPECT_LE(span, 5 * deg);
+    }
   }
+  ASSERT_EQ(c.fmt.size(), fmt_words(c.n));
   EXPECT_EQ(c.model_bytes(),
             2ull * (static_cast<std::uint64_t>(c.n) + 1) * 4ull +
-                c.bytes.size());
+                4ull * c.fmt.size() + c.bytes.size());
 }
 
 /// Every generator family x 32 seeds: encode must round-trip the canonical
@@ -132,6 +140,48 @@ TEST(Codec, DecodeColumnReproducesGaps) {
   const CompressedCsc c = encode_csc(csc);
   EXPECT_EQ(c.byte_off[1] - c.byte_off[0], 4);
   EXPECT_EQ(decode_column(c, 0), (std::vector<vidx_t>{3, 4, 200}));
+}
+
+TEST(Codec, RawFallbackOnSparseHubColumn) {
+  // A hub column whose in-neighbours are spread across a wide id range:
+  // every gap needs two varint bytes (2 bytes/arc > the 1.5 break-even), so
+  // the column is stored raw — one 4-byte word per row.
+  const std::size_t deg = kRawColumnDegree + 8;
+  graph::EdgeList el(static_cast<vidx_t>(deg * 1000), /*directed=*/true);
+  for (std::size_t k = 0; k < deg; ++k) {
+    el.add_edge(static_cast<vidx_t>(k * 997 + 1), 0);
+  }
+  const auto csc = graph::CscGraph::from_edges(el);
+  const CompressedCsc c = encode_csc(csc);
+  EXPECT_TRUE(c.raw_column(0));
+  EXPECT_EQ(static_cast<std::size_t>(c.byte_off[1]), 4u * deg);
+  EXPECT_TRUE(round_trips(c, csc));
+}
+
+TEST(Codec, DenseHubColumnStaysVarint) {
+  // Same degree but consecutive rows: one varint byte per arc is already
+  // denser than raw words, so the hub stays delta-varint.
+  const std::size_t deg = kRawColumnDegree + 8;
+  graph::EdgeList el(static_cast<vidx_t>(deg + 1), /*directed=*/true);
+  for (std::size_t k = 0; k < deg; ++k) {
+    el.add_edge(static_cast<vidx_t>(k + 1), 0);
+  }
+  const auto csc = graph::CscGraph::from_edges(el);
+  const CompressedCsc c = encode_csc(csc);
+  EXPECT_FALSE(c.raw_column(0));
+  EXPECT_EQ(static_cast<std::size_t>(c.byte_off[1]), deg);  // 1 byte/arc
+  EXPECT_TRUE(round_trips(c, csc));
+}
+
+TEST(Codec, ShortColumnNeverGoesRaw) {
+  // Below the degree floor even maximally sparse columns stay varint: the
+  // decode cost is amortized over too few arcs to justify stream growth.
+  graph::EdgeList el(1u << 20, /*directed=*/true);
+  for (std::size_t k = 0; k < kRawColumnDegree - 1; ++k) {
+    el.add_edge(static_cast<vidx_t>(k * 30000 + 7), 0);
+  }
+  const CompressedCsc c = encode_csc(graph::CscGraph::from_edges(el));
+  EXPECT_FALSE(c.raw_column(0));
 }
 
 TEST(Codec, CompressionWinsOnDenseColumns) {

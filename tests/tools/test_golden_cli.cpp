@@ -7,6 +7,8 @@
 // and review the diff under tests/golden/.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -64,7 +66,10 @@ void expect_matches_golden(const std::string& actual, const char* name) {
 
 std::string mycielski_graph() {
   static const std::string path = [] {
-    const std::string p = ::testing::TempDir() + "/golden_mycielski.mtx";
+    // Pid-suffixed: ctest spawns each GoldenCli case as its own process, and
+    // two processes regenerating one shared file race (truncate vs read).
+    const std::string p = ::testing::TempDir() + "/golden_mycielski." +
+                          std::to_string(::getpid()) + ".mtx";
     run_ok({"generate", "--family", "mycielski", "--order", "6", "--out",
             p.c_str()});
     return p;
@@ -74,7 +79,8 @@ std::string mycielski_graph() {
 
 std::string grid_graph() {
   static const std::string path = [] {
-    const std::string p = ::testing::TempDir() + "/golden_grid.mtx";
+    const std::string p = ::testing::TempDir() + "/golden_grid." +
+                          std::to_string(::getpid()) + ".mtx";
     run_ok({"generate", "--family", "grid", "--rows", "8", "--cols", "8",
             "--out", p.c_str()});
     return p;
@@ -290,7 +296,8 @@ TEST(GoldenCli, BcAdvancePullJsonGrid) {
 /// approx and stats), written once to the test temp dir.
 std::string serve_script() {
   static const std::string path = [] {
-    const std::string p = ::testing::TempDir() + "/golden_serve_session.txt";
+    const std::string p = ::testing::TempDir() + "/golden_serve_session." +
+                          std::to_string(::getpid()) + ".txt";
     std::ofstream f(p, std::ios::binary);
     f << "# golden serve session\n"
          "bc 5\n"
