@@ -1,0 +1,264 @@
+// Hybrid CPU-GPU co-execution benchmark: BENCH_hybrid.json.
+//
+// Four block-rich families — a Watts–Strogatz small world, a Graph500
+// Kronecker, a subdivided road network, and an Erdos–Renyi digraph — each
+// run exact all-sources two ways:
+//
+//   * device-only: the single-engine TurboBC (kScCsc pinned, the variant
+//     the host arithmetic reproduces) on one modeled GPU;
+//   * hybrid: HybridTurboBC with the same one modeled GPU plus the host
+//     (CpuModel's 22-core ligra-style currency) draining the same 64-source
+//     block queue, heavy blocks first, probe-calibrated split.
+//
+// The comparison is makespan vs makespan on the same modeled clock: the
+// co-executed run wins exactly when the host's stolen tail overlaps device
+// work, which is the whole point of the scheduler.
+//
+// Gates (any failure exits nonzero):
+//   * hybrid BC must be BIT-identical to the device-only engine on every
+//     family (the co-execution transparency contract);
+//   * the hybrid makespan must beat device-only by kSpeedupThreshold (1.2x)
+//     on at least kMinWinningFamilies (2) families;
+//   * the host must actually run blocks on every winning family (a "win"
+//     with zero host blocks would mean the baseline regressed instead);
+//   * the full hybrid report serialized at pool widths 1 and 8 must be
+//     byte-identical (BC bits, makespan, busy, per-processor stats).
+//
+//   bench_hybrid [--seed 1] [--threads N] [--out BENCH_hybrid.json]
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_support/stamp.hpp"
+#include "common/cli.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/turbobc.hpp"
+#include "generators/generators.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
+#include "hybrid/hybrid_bc.hpp"
+
+namespace {
+
+using namespace turbobc;
+
+constexpr double kSpeedupThreshold = 1.2;
+constexpr int kMinWinningFamilies = 2;
+
+struct FamilyRow {
+  std::string family;
+  vidx_t n = 0;
+  eidx_t m = 0;
+  std::size_t blocks = 0;
+  double device_only_s = 0.0;
+  double hybrid_s = 0.0;       // modeled makespan
+  double hybrid_busy_s = 0.0;  // serial sum of per-block seconds
+  double speedup = 0.0;
+  std::size_t host_blocks = 0;
+  std::size_t host_sources = 0;
+  double host_utilization = 0.0;
+  double gpu_utilization = 0.0;
+  bool bits_ok = false;
+  bool speedup_ok = false;
+  bool threads_byte_identical = false;
+};
+
+bool bits_equal(const std::vector<bc_t>& a, const std::vector<bc_t>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+hybrid::HybridResult run_hybrid(const graph::EdgeList& el) {
+  sim::Device device;
+  device.set_keep_launch_records(false);
+  hybrid::HybridTurboBC engine(device, el, {}, {.devices = 1});
+  return engine.run_exact();
+}
+
+/// Hex-exact serialization of everything the determinism contract covers:
+/// the BC bits plus every modeled number in the hybrid report.
+std::string serialize_hybrid(const hybrid::HybridResult& hr) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  for (const bc_t v : hr.result.bc) os << v << ',';
+  os << '|' << hr.makespan_seconds << '|' << hr.busy_seconds << '|'
+     << hr.probe_block << '|' << hr.num_blocks;
+  for (const hybrid::ProcessorStat& p : hr.processors) {
+    os << '|' << p.name << ':' << p.blocks << ':' << p.sources << ':'
+       << p.rate << ':' << p.busy_seconds << ':' << p.utilization;
+  }
+  return os.str();
+}
+
+void write_hybrid_json(std::ostream& os, const bench::BenchStamp& stamp,
+                       const std::vector<FamilyRow>& rows, int speedup_wins) {
+  os << "{\n";
+  bench::write_stamp_json(os, stamp);
+  os << ",\n\"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    os << "  {\"family\": \"" << r.family << "\", \"n\": " << r.n
+       << ", \"m\": " << r.m << ", \"blocks\": " << r.blocks
+       << ", \"device_only_s\": " << r.device_only_s
+       << ", \"hybrid_makespan_s\": " << r.hybrid_s
+       << ", \"hybrid_busy_s\": " << r.hybrid_busy_s
+       << ", \"speedup\": " << r.speedup
+       << ", \"speedup_ok\": " << (r.speedup_ok ? "true" : "false")
+       << ", \"host_blocks\": " << r.host_blocks
+       << ", \"host_sources\": " << r.host_sources
+       << ", \"host_utilization\": " << r.host_utilization
+       << ", \"gpu_utilization\": " << r.gpu_utilization
+       << ", \"bits_ok\": " << (r.bits_ok ? "true" : "false")
+       << ", \"threads_byte_identical\": "
+       << (r.threads_byte_identical ? "true" : "false") << "}"
+       << (i + 1 < rows.size() ? "," : "") << '\n';
+  }
+  os << "],\n\"acceptance\": {\"speedup_threshold\": " << kSpeedupThreshold
+     << ", \"min_winning_families\": " << kMinWinningFamilies
+     << ", \"speedup_wins\": " << speedup_wins << "}\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace turbobc;
+  using namespace turbobc::bench;
+
+  const CliArgs args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto threads = static_cast<unsigned>(args.get_count("threads", 0));
+  sim::ExecutorPool::instance().set_threads(threads);
+
+  WallTimer run_timer;
+
+  struct Family {
+    std::string name;
+    graph::EdgeList graph;
+  };
+  std::vector<Family> families;
+  std::cerr << "  [hybrid] generating graphs ..." << std::flush;
+  families.push_back({"smallworld",
+                      gen::small_world({.n = 1200, .k = 6, .rewire_p = 0.1,
+                                        .seed = seed})});
+  families.push_back({"kron10", gen::kronecker({.scale = 10, .edge_factor = 8,
+                                                .seed = seed + 1})});
+  families.push_back({"road-mid",
+                      gen::road_network({.grid_rows = 12, .grid_cols = 12,
+                                         .keep_p = 0.8, .subdivisions = 3,
+                                         .seed = seed + 2})});
+  families.push_back(
+      {"er-digraph",
+       gen::erdos_renyi({.n = 1000, .arcs = 5000, .directed = true,
+                         .seed = seed + 3})});
+  std::cerr << " done\n";
+
+  std::vector<FamilyRow> rows;
+  for (const Family& fam : families) {
+    graph::EdgeList el = fam.graph;
+    el.canonicalize();
+    std::cerr << "  [hybrid] " << fam.name << " (n "
+              << human_count(static_cast<double>(el.num_vertices())) << ", m "
+              << human_count(static_cast<double>(el.num_arcs())) << ")"
+              << std::flush;
+
+    FamilyRow row;
+    row.family = fam.name;
+    row.n = el.num_vertices();
+    row.m = el.num_arcs();
+
+    std::cerr << " device-only" << std::flush;
+    bc::BcResult device_only;
+    {
+      sim::Device device;
+      device.set_keep_launch_records(false);
+      bc::TurboBC algo(device, el, {.variant = bc::Variant::kScCsc});
+      device_only = algo.run_exact();
+    }
+    row.device_only_s = device_only.device_seconds;
+
+    std::cerr << " hybrid" << std::flush;
+    const hybrid::HybridResult hr = run_hybrid(el);
+    row.blocks = hr.num_blocks;
+    row.hybrid_s = hr.makespan_seconds;
+    row.hybrid_busy_s = hr.busy_seconds;
+    row.speedup = row.hybrid_s > 0.0 ? row.device_only_s / row.hybrid_s : 0.0;
+    row.bits_ok = bits_equal(hr.result.bc, device_only.bc);
+    const hybrid::ProcessorStat& host = hr.processors.back();
+    row.host_blocks = host.blocks;
+    row.host_sources = host.sources;
+    row.host_utilization = host.utilization;
+    row.gpu_utilization = hr.processors.front().utilization;
+    // A win that starves the host is a baseline regression, not overlap.
+    row.speedup_ok = row.speedup >= kSpeedupThreshold && row.host_blocks > 0;
+
+    std::cerr << " threads" << std::flush;
+    std::string by_width[2];
+    const unsigned widths[2] = {1, 8};
+    for (int i = 0; i < 2; ++i) {
+      sim::ExecutorPool::instance().set_threads(widths[i]);
+      by_width[i] = serialize_hybrid(run_hybrid(el));
+    }
+    sim::ExecutorPool::instance().set_threads(threads);
+    row.threads_byte_identical = by_width[0] == by_width[1];
+
+    rows.push_back(row);
+    std::cerr << " done\n";
+  }
+
+  int speedup_wins = 0;
+  for (const FamilyRow& r : rows) {
+    if (r.speedup_ok) ++speedup_wins;
+  }
+
+  std::cout << "Hybrid CPU-GPU co-execution: one modeled GPU + host vs the "
+               "GPU alone (exact all-sources)\n";
+  Table t({"family", "n", "m", "blocks", "device-only s", "hybrid s",
+           "speedup", "host blk", "host src", "util gpu", "util host",
+           "bits"});
+  for (const FamilyRow& r : rows) {
+    t.add_row({r.family, human_count(static_cast<double>(r.n)),
+               human_count(static_cast<double>(r.m)),
+               std::to_string(r.blocks), fixed(r.device_only_s, 4),
+               fixed(r.hybrid_s, 4), fixed(r.speedup, 2) + "x",
+               std::to_string(r.host_blocks), std::to_string(r.host_sources),
+               fixed(r.gpu_utilization, 2), fixed(r.host_utilization, 2),
+               r.bits_ok ? "ok" : "DRIFT"});
+  }
+  t.print(std::cout);
+
+  const std::string out_path = args.get("out", "BENCH_hybrid.json");
+  std::ofstream json(out_path);
+  write_hybrid_json(json, make_stamp(seed, run_timer.seconds()), rows,
+                    speedup_wins);
+  std::cout << "\nwrote " << out_path << '\n';
+
+  int rc = 0;
+  for (const FamilyRow& r : rows) {
+    if (!r.bits_ok) {
+      std::cerr << "ERROR: " << r.family
+                << " hybrid BC drifted from the device-only engine\n";
+      rc = 1;
+    }
+    if (!r.threads_byte_identical) {
+      std::cerr << "ERROR: " << r.family
+                << " hybrid report drifted between pool widths 1 and 8\n";
+      rc = 1;
+    }
+  }
+  if (speedup_wins < kMinWinningFamilies) {
+    std::cerr << "ERROR: only " << speedup_wins << " of " << rows.size()
+              << " families reached the " << kSpeedupThreshold
+              << "x co-execution speedup (need >= " << kMinWinningFamilies
+              << ")\n";
+    rc = 1;
+  }
+  return rc;
+}

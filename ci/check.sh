@@ -75,6 +75,57 @@ run_config() {
   serve_smoke "$name" "$dir"
   ooc_smoke "$name" "$dir"
   daemon_smoke "$name" "$dir"
+  hybrid_smoke "$name" "$dir"
+}
+
+# Hybrid co-execution smoke: `bc --exact --hybrid` must reproduce the
+# single-engine BC (the "top" ranking and the Brandes verification line —
+# modeled makespan and peak legitimately differ), the full hybrid JSON
+# (schedule, makespan, per-processor stats) must be pool-width invariant
+# byte for byte at --threads 1 vs 8, and the misuse surfaces must exit 2:
+# --hybrid without --exact, --hybrid with --dist, and the daemon's
+# --readers 0 zero-count (the get_count validation this PR adds). The
+# Release stage additionally runs bench_hybrid, whose bit-identity /
+# >=1.2x-makespan-speedup / pool-width gates are enforced by its exit code.
+hybrid_smoke() {
+  local name="$1" dir="$2"
+  echo "=== [$name] hybrid-smoke ==="
+  local cli="$dir/src/tools/turbobc_cli" g="$dir/hybrid_smoke.mtx"
+  "$cli" generate --family smallworld --n 700 --k 6 --p 0.1 --out "$g"
+  "$cli" bc "$g" --exact --verify --json > "$dir/hybrid_smoke_single.json"
+  "$cli" bc "$g" --exact --hybrid --devices 2 --verify --json --threads 1 \
+    > "$dir/hybrid_smoke_t1.json"
+  "$cli" bc "$g" --exact --hybrid --devices 2 --verify --json --threads 8 \
+    > "$dir/hybrid_smoke_t8.json"
+  cmp "$dir/hybrid_smoke_t1.json" "$dir/hybrid_smoke_t8.json"
+  for f in single t1; do
+    grep -E '"top"|"verify_max_rel_err"' "$dir/hybrid_smoke_$f.json" \
+      > "$dir/hybrid_smoke_${f}_bc.json"
+  done
+  cmp "$dir/hybrid_smoke_single_bc.json" "$dir/hybrid_smoke_t1_bc.json"
+  local rc=0
+  "$cli" bc "$g" --source 3 --hybrid >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "hybrid-smoke: --hybrid without --exact should exit 2, got $rc" \
+      >&2; exit 1
+  fi
+  rc=0
+  "$cli" bc "$g" --exact --hybrid --dist partition >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "hybrid-smoke: --hybrid with --dist should exit 2, got $rc" \
+      >&2; exit 1
+  fi
+  rc=0
+  "$cli" daemon "$g" --listen 127.0.0.1:0 --readers 0 >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "hybrid-smoke: daemon --readers 0 should exit 2, got $rc" \
+      >&2; exit 1
+  fi
+  if [ "$name" = "release" ]; then
+    echo "=== [$name] bench-hybrid ==="
+    cmake --build "$dir" -j "$(nproc)" --target bench_hybrid
+    "$dir/bench/bench_hybrid" --out "$dir/BENCH_hybrid.json"
+  fi
 }
 
 # Daemon smoke: a real socket round trip through `turbobc_cli daemon` /
@@ -175,7 +226,7 @@ ooc_smoke() {
     "$dir/bench/bench_ooc" --out "$dir/BENCH_ooc.json"
     "$dir/bench/bench_ablation_scf" \
       bench/fixtures/karate.mtx bench/fixtures/florentine.mtx \
-      bench/fixtures/mawi_tail.mtx > /dev/null
+      bench/fixtures/mawi_tail.mtx bench/fixtures/midskew.mtx > /dev/null
   fi
 }
 

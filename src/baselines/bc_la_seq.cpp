@@ -19,8 +19,9 @@ SequentialBcLa::SequentialBcLa(const graph::EdgeList& graph,
   TBC_CHECK(csc_.num_vertices() > 0, "sequential BC needs a non-empty graph");
 }
 
-vidx_t SequentialBcLa::run_source_into(vidx_t source, std::vector<bc_t>& bc,
-                                       sim::CpuOpCounts& ops) const {
+SourceTraversal SequentialBcLa::run_source_into(vidx_t source,
+                                                std::vector<bc_t>& bc,
+                                                sim::CpuOpCounts& ops) const {
   const auto n = static_cast<std::size_t>(csc_.num_vertices());
   const auto& cp = csc_.col_ptr();
   const auto& rows = csc_.row_idx();
@@ -29,6 +30,7 @@ vidx_t SequentialBcLa::run_source_into(vidx_t source, std::vector<bc_t>& bc,
   std::vector<vidx_t> S(n, 0);
   f[static_cast<std::size_t>(source)] = 1;
   sigma[static_cast<std::size_t>(source)] = 1;
+  vidx_t reached = 1;
 
   // Forward stage: per level, Algorithm 3's masked column gather followed by
   // the frontier/sigma/S update sweep.
@@ -71,6 +73,7 @@ vidx_t SequentialBcLa::run_source_into(vidx_t source, std::vector<bc_t>& bc,
         sigma[i] += v;
         ops.seq_bytes += kIdx + kWord;
         frontier_nonempty = true;
+        ++reached;
       }
     }
   }
@@ -151,7 +154,17 @@ vidx_t SequentialBcLa::run_source_into(vidx_t source, std::vector<bc_t>& bc,
     ops.seq_bytes += kWord;
     ops.alu_ops += 1;
   }
-  return height;
+  return {height, reached};
+}
+
+SourceTraversal SequentialBcLa::accumulate_source(vidx_t source,
+                                                  std::vector<bc_t>& bc,
+                                                  sim::CpuOpCounts& ops) const {
+  TBC_CHECK(source >= 0 && source < csc_.num_vertices(),
+            "source out of range");
+  TBC_CHECK(bc.size() == static_cast<std::size_t>(csc_.num_vertices()),
+            "accumulator length must match the vertex count");
+  return run_source_into(source, bc, ops);
 }
 
 SeqBcLaResult SequentialBcLa::run_single_source(vidx_t source) const {
@@ -159,7 +172,7 @@ SeqBcLaResult SequentialBcLa::run_single_source(vidx_t source) const {
             "source out of range");
   SeqBcLaResult r;
   r.bc.assign(static_cast<std::size_t>(csc_.num_vertices()), 0.0);
-  r.bfs_depth = run_source_into(source, r.bc, r.ops);
+  r.bfs_depth = run_source_into(source, r.bc, r.ops).height;
   r.modeled_seconds = model_.seconds_sequential(r.ops);
   return r;
 }
@@ -169,7 +182,7 @@ SeqBcLaResult SequentialBcLa::run_exact() const {
   const vidx_t n = csc_.num_vertices();
   r.bc.assign(static_cast<std::size_t>(n), 0.0);
   for (vidx_t s = 0; s < n; ++s) {
-    r.bfs_depth = run_source_into(s, r.bc, r.ops);
+    r.bfs_depth = run_source_into(s, r.bc, r.ops).height;
   }
   r.modeled_seconds = model_.seconds_sequential(r.ops);
   return r;

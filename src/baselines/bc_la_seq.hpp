@@ -29,6 +29,12 @@ struct SeqBcLaResult {
   double modeled_seconds = 0.0;
 };
 
+/// Shape of one source's traversal (the host-side twin of bc::SourceStats).
+struct SourceTraversal {
+  vidx_t height = 0;   ///< BFS tree height (the paper's d)
+  vidx_t reached = 0;  ///< vertices discovered, including the source
+};
+
 class SequentialBcLa {
  public:
   explicit SequentialBcLa(const graph::EdgeList& graph,
@@ -40,11 +46,26 @@ class SequentialBcLa {
   /// Exact BC over all sources.
   SeqBcLaResult run_exact() const;
 
+  /// Accumulate one source's dependency contribution into `bc`, counting
+  /// work into `ops` — the scheduling unit of the hybrid co-execution
+  /// engine (src/hybrid/). The arithmetic is the scCSC device pipeline's,
+  /// fold for fold: masked column gathers in storage order, skip-exact-zero
+  /// stores, `bc[v] += delta[v] * scale` skipping the source and zeros — so
+  /// a block of sources accumulated into a zeroed vector is bit-identical
+  /// to TurboBC::run_source_block's downloaded partial for the same block.
+  /// Thread-safe (const; all state is the caller's).
+  SourceTraversal accumulate_source(vidx_t source, std::vector<bc_t>& bc,
+                                    sim::CpuOpCounts& ops) const;
+
   vidx_t num_vertices() const noexcept { return csc_.num_vertices(); }
 
+  /// The canonical CSC the arithmetic runs over (hybrid block weights read
+  /// its stored column degrees).
+  const graph::CscGraph& csc() const noexcept { return csc_; }
+
  private:
-  vidx_t run_source_into(vidx_t source, std::vector<bc_t>& bc,
-                         sim::CpuOpCounts& ops) const;
+  SourceTraversal run_source_into(vidx_t source, std::vector<bc_t>& bc,
+                                  sim::CpuOpCounts& ops) const;
 
   graph::CscGraph csc_;
   bool directed_ = false;

@@ -29,30 +29,45 @@ std::uint64_t now_micros() {
           .count());
 }
 
-/// Upper bound of the log2 bucket holding the q-quantile of the histogram.
-std::uint64_t bucket_quantile(const std::uint64_t (&buckets)[64], double q) {
-  std::uint64_t total = 0;
-  for (const std::uint64_t b : buckets) total += b;
-  if (total == 0) return 0;
-  const std::uint64_t rank =
-      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(q * total));
-  std::uint64_t seen = 0;
-  for (int i = 0; i < 64; ++i) {
-    seen += buckets[i];
-    if (seen >= rank) return i == 0 ? 1 : (1ull << i);
-  }
-  return ~0ull;
+Scheduler::Options validated(Scheduler::Options options) {
+  TBC_CHECK(options.reader_lanes > 0,
+            "scheduler needs at least one reader lane");
+  TBC_CHECK(options.update_queue_limit > 0,
+            "scheduler needs an update queue limit of at least one");
+  return options;
 }
 
 }  // namespace
 
+std::uint64_t bucket_quantile(const std::uint64_t (&buckets)[64], double q) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : buckets) total += b;
+  if (total == 0) return 0;
+  // Ceiling rank: the q-quantile is the smallest sample with at least
+  // ceil(q * total) samples at or below it. Truncating instead rounded the
+  // rank DOWN whenever q * total was fractional — p50 of 3 samples asked
+  // for the 1st instead of the 2nd, p99 of anything under 100 samples
+  // degenerated toward the minimum.
+  const double scaled = q * static_cast<double>(total);
+  std::uint64_t rank = static_cast<std::uint64_t>(scaled);
+  if (static_cast<double>(rank) < scaled) ++rank;
+  rank = std::max<std::uint64_t>(1, rank);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < 63; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return i == 0 ? 1 : (1ull << i);
+  }
+  // Bucket 63 is where the fill loop clamps, so it has no power-of-two
+  // upper bound: a quantile landing there is "off the histogram".
+  return ~0ull;
+}
+
 Scheduler::Scheduler(graph::EdgeList graph,
                      serve::ServeOptions engine_options, Options options)
-    : options_(options), engine_(std::move(graph), engine_options) {
+    : options_(validated(options)),
+      engine_(std::move(graph), engine_options),
+      lane_clock_(options_.reader_lanes) {
   num_vertices_ = engine_.num_vertices();
-  if (options_.reader_lanes == 0) options_.reader_lanes = 1;
-  if (options_.update_queue_limit == 0) options_.update_queue_limit = 1;
-  lane_busy_.assign(options_.reader_lanes, 0.0);
 }
 
 std::string Scheduler::hello(const RenderOptions& render) {
@@ -183,8 +198,7 @@ std::string Scheduler::execute_update(const Command& c,
 void Scheduler::note_query_cost(double modeled_seconds,
                                 std::uint64_t wall_micros) {
   std::lock_guard<std::mutex> g(clock_mu_);
-  auto lane = std::min_element(lane_busy_.begin(), lane_busy_.end());
-  *lane = std::max(*lane, barrier_clock_) + modeled_seconds;
+  lane_clock_.charge(lane_clock_.least_busy(), modeled_seconds);
   modeled_query_seconds_ += modeled_seconds;
   int bucket = 0;
   while (bucket < 63 && (1ull << bucket) < std::max<std::uint64_t>(
@@ -196,10 +210,7 @@ void Scheduler::note_query_cost(double modeled_seconds,
 
 void Scheduler::note_update_barrier() {
   std::lock_guard<std::mutex> g(clock_mu_);
-  double t = barrier_clock_;
-  for (const double l : lane_busy_) t = std::max(t, l);
-  barrier_clock_ = t;
-  for (double& l : lane_busy_) l = t;
+  lane_clock_.barrier();
 }
 
 std::vector<Scheduler::UpdateRecord> Scheduler::update_log() const {
@@ -234,9 +245,7 @@ Scheduler::Metrics Scheduler::metrics() {
     m.p50_micros = bucket_quantile(latency_buckets_, 0.50);
     m.p99_micros = bucket_quantile(latency_buckets_, 0.99);
     m.modeled_query_seconds = modeled_query_seconds_;
-    double makespan = barrier_clock_;
-    for (const double l : lane_busy_) makespan = std::max(makespan, l);
-    m.modeled_makespan_seconds = makespan;
+    m.modeled_makespan_seconds = lane_clock_.makespan();
   }
   return m;
 }

@@ -37,21 +37,35 @@
 #include <string>
 #include <vector>
 
+#include "hybrid/ledger.hpp"
 #include "serve/protocol.hpp"
 #include "serve/serve_engine.hpp"
 
 namespace turbobc::daemon {
 
+/// Upper bound of the log2 bucket holding the q-quantile of the histogram
+/// (0 when empty; the rank is the CEILING of q * total, so e.g. the p50 of
+/// 3 samples is the 2nd — truncating here under-reported every quantile
+/// whose rank was fractional). Bucket 63 is the overflow bucket — the
+/// fill loop clamps there, so it has no power-of-two upper bound and the
+/// quantile reports ~0 ("off the histogram") when it lands inside.
+/// Exposed for the daemon metrics unit tests.
+std::uint64_t bucket_quantile(const std::uint64_t (&buckets)[64], double q);
+
 class Scheduler {
  public:
   struct Options {
     /// Updates admitted (applying or queued on the exclusive lock) before
-    /// further updates bounce with BUSY.
+    /// further updates bounce with BUSY. Must be >= 1.
     std::size_t update_queue_limit = 8;
     /// Modeled concurrent-reader lanes of the metrics-plane serving clock.
+    /// Must be >= 1.
     unsigned reader_lanes = 1;
   };
 
+  /// Throws InvalidArgument if update_queue_limit or reader_lanes is zero
+  /// (previously coerced to 1 silently, hiding caller bugs — the CLI now
+  /// rejects the misuse with a usage error before it gets here).
   Scheduler(graph::EdgeList graph, serve::ServeOptions engine_options,
             Options options);
 
@@ -136,8 +150,10 @@ class Scheduler {
   std::vector<UpdateRecord> update_log_;  // guarded by log_mu_
 
   std::mutex clock_mu_;  // metrics-plane clock + latency histogram
-  std::vector<double> lane_busy_;
-  double barrier_clock_ = 0.0;
+  /// Reader-lane serving clock: queries charge the least-busy lane,
+  /// updates barrier — the same ledger the hybrid co-execution engine
+  /// reports its makespan with (src/hybrid/ledger.hpp).
+  hybrid::MakespanLedger lane_clock_;
   double modeled_query_seconds_ = 0.0;
   std::uint64_t latency_buckets_[64] = {};
 };

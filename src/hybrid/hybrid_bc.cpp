@@ -1,0 +1,249 @@
+#include "hybrid/hybrid_bc.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "gpusim/executor.hpp"
+
+namespace turbobc::hybrid {
+
+namespace {
+
+double device_clock(const sim::Device& d) {
+  return d.kernel_seconds() + d.transfer_seconds() + d.overhead_seconds();
+}
+
+/// Pin the variant the host arithmetic reproduces fold for fold. Mirrors
+/// the compressed engine's demotion rule: callers may ask for any variant,
+/// the co-executed run always uses the thread-per-column layout.
+bc::BcOptions pinned(bc::BcOptions options) {
+  TBC_CHECK(!options.edge_bc,
+            "hybrid co-execution does not accumulate edge BC");
+  TBC_CHECK(!options.compress,
+            "hybrid co-execution runs on the uncompressed resident graph");
+  options.variant = bc::Variant::kScCsc;
+  return options;
+}
+
+/// One completed block, whichever processor ran it.
+struct DoneBlock {
+  std::optional<bc::TurboBC::BlockPartial> dev;  // device-run blocks
+  std::vector<bc_t> host_bc;                     // host-run blocks
+  sim::CpuOpCounts ops;
+  bc::SourceStats last;
+  double seconds = 0.0;
+};
+
+}  // namespace
+
+HybridTurboBC::HybridTurboBC(sim::Device& device,
+                             const graph::EdgeList& graph,
+                             bc::BcOptions options, HybridOptions hybrid)
+    : device_(device),
+      hybrid_(hybrid),
+      algo_(device, graph, pinned(options)),
+      host_(graph, hybrid.cpu) {
+  TBC_CHECK(hybrid_.devices >= 1,
+            "hybrid co-execution needs at least one modeled device");
+  const auto& cp = host_.csc().col_ptr();
+  degree_.resize(static_cast<std::size_t>(host_.csc().num_vertices()));
+  for (std::size_t v = 0; v < degree_.size(); ++v) {
+    degree_[v] = cp[v + 1] - cp[v];
+  }
+}
+
+HybridResult HybridTurboBC::run_exact() {
+  std::vector<vidx_t> sources(static_cast<std::size_t>(num_vertices()));
+  std::iota(sources.begin(), sources.end(), 0);
+  return run_sources(sources);
+}
+
+HybridResult HybridTurboBC::run_sources(const std::vector<vidx_t>& sources) {
+  TBC_CHECK(!sources.empty(), "hybrid run needs at least one source");
+  const std::size_t count = sources.size();
+  const bc::TurboBC::BlockPlan plan = bc::TurboBC::block_plan(count);
+  const std::size_t nb = plan.num_blocks;
+  const auto num_devices = static_cast<std::size_t>(hybrid_.devices);
+  const std::size_t host_lane = num_devices;  // lanes [0, D) gpu, D host
+
+  // Block weights: sum of (1 + stored column degree) over the block's
+  // sources — the Mishra-style proxy for per-source sweep cost that routes
+  // high-degree-source blocks to the devices.
+  std::vector<double> weight(nb, 0.0);
+  for (std::size_t b = 0; b < nb; ++b) {
+    for (std::size_t i = plan.begin(b); i < plan.end(b, count); ++i) {
+      weight[b] +=
+          1.0 + static_cast<double>(
+                    degree_[static_cast<std::size_t>(sources[i])]);
+    }
+  }
+
+  // Heavy-first queue order; ties keep the lower block index so the
+  // schedule is a pure function of the weights.
+  std::vector<std::size_t> order(nb);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return weight[a] > weight[b];
+                   });
+
+  // Calibration probe: the heaviest block runs on BOTH processor classes.
+  // The two partials must agree bitwise (the co-execution correctness
+  // claim, checked on every run), and the two times calibrate the
+  // seconds-per-weight rate each class is scheduled with.
+  const std::size_t probe = order[0];
+  DoneBlock probe_done;
+  probe_done.dev = algo_.run_source_block(device_.props(), sources,
+                                          plan.begin(probe),
+                                          plan.end(probe, count), nullptr,
+                                          false);
+  probe_done.seconds = device_clock(*probe_done.dev->dev);
+  probe_done.last = probe_done.dev->last;
+
+  std::vector<bc_t> probe_host_bc(probe_done.dev->bc.size(), 0.0);
+  sim::CpuOpCounts probe_ops;
+  double probe_host_seconds = 0.0;
+  const auto run_host_block = [&](std::size_t b, std::vector<bc_t>& bc,
+                                  sim::CpuOpCounts& ops) {
+    bc.assign(static_cast<std::size_t>(num_vertices()), 0.0);
+    baseline::SourceTraversal trav;
+    for (std::size_t i = plan.begin(b); i < plan.end(b, count); ++i) {
+      trav = host_.accumulate_source(sources[i], bc, ops);
+      // Ligra-style round accounting: one parallel sweep per forward level
+      // (height + 1 counting the empty last one), one per backward level,
+      // one final accumulation.
+      ops.rounds += static_cast<std::uint64_t>(trav.height) + 1 +
+                    (trav.height >= 1
+                         ? static_cast<std::uint64_t>(trav.height) - 1
+                         : 0) +
+                    1;
+    }
+    return bc::SourceStats{trav.height, trav.reached};
+  };
+  run_host_block(probe, probe_host_bc, probe_ops);
+  probe_host_seconds = hybrid_.cpu.seconds_parallel(probe_ops);
+  for (std::size_t v = 0; v < probe_host_bc.size(); ++v) {
+    if (probe_host_bc[v] != probe_done.dev->bc[v]) {
+      std::ostringstream os;
+      os << "hybrid probe disagreement at vertex " << v << ": host "
+         << probe_host_bc[v] << " vs device " << probe_done.dev->bc[v];
+      throw InternalError(os.str());
+    }
+  }
+
+  const double rate_dev = probe_done.seconds / weight[probe];
+  const double rate_host = probe_host_seconds / weight[probe];
+
+  // Greedy earliest-estimated-finish assignment over the remaining queue,
+  // simulated serially with the calibrated rates: each block goes to the
+  // processor that would finish it first (devices win ties, lower id
+  // first), which hands the heavy head to the devices and lets the host
+  // steal the tail. Purely a function of (weights, rates), so the split —
+  // and hence every modeled number downstream — is identical at any pool
+  // width and any thread interleaving.
+  std::vector<double> est(num_devices + 1, 0.0);
+  est[0] = probe_done.seconds;
+  est[host_lane] = probe_host_seconds;
+  std::vector<std::size_t> assign(nb, 0);
+  assign[probe] = 0;
+  for (std::size_t k = 1; k < nb; ++k) {
+    const std::size_t b = order[k];
+    std::size_t best = 0;
+    double best_finish = est[0] + rate_dev * weight[b];
+    for (std::size_t p = 1; p < num_devices; ++p) {
+      const double f = est[p] + rate_dev * weight[b];
+      if (f < best_finish) {
+        best = p;
+        best_finish = f;
+      }
+    }
+    if (est[host_lane] + rate_host * weight[b] < best_finish) {
+      best = host_lane;
+      best_finish = est[host_lane] + rate_host * weight[b];
+    }
+    assign[b] = best;
+    est[best] = best_finish;
+  }
+
+  // Drain the queue: every block runs independently (fresh replica device
+  // or private host accumulator), fanned across the ExecutorPool.
+  std::vector<DoneBlock> done(nb);
+  done[probe] = std::move(probe_done);
+  sim::ExecutorPool::instance().for_tasks(nb, [&](std::size_t b, unsigned) {
+    if (b == probe) return;
+    DoneBlock& out = done[b];
+    if (assign[b] < num_devices) {
+      out.dev = algo_.run_source_block(device_.props(), sources,
+                                       plan.begin(b), plan.end(b, count),
+                                       nullptr, false);
+      out.seconds = device_clock(*out.dev->dev);
+      out.last = out.dev->last;
+    } else {
+      out.last = run_host_block(b, out.host_bc, out.ops);
+      out.seconds = hybrid_.cpu.seconds_parallel(out.ops);
+    }
+  });
+
+  // Deterministic merge: ORIGINAL block order, left fold — the rule every
+  // engine shares, and the reason the co-executed BC is bit-identical to
+  // run_exact whatever the split.
+  HybridResult hr;
+  hr.num_blocks = nb;
+  hr.probe_block = probe;
+  hr.processors.resize(num_devices + 1);
+  for (std::size_t p = 0; p < num_devices; ++p) {
+    hr.processors[p].name = "gpu" + std::to_string(p);
+    hr.processors[p].rate = rate_dev;
+  }
+  hr.processors[host_lane].name = "host";
+  hr.processors[host_lane].rate = rate_host;
+
+  MakespanLedger ledger(num_devices + 1);
+  // The probe co-ran on the host; charge that lane its calibration time.
+  ledger.charge(host_lane, probe_host_seconds);
+  hr.processors[host_lane].busy_seconds += probe_host_seconds;
+  hr.host_ops += probe_ops;
+
+  device_.memory().reset_peak();
+  hr.result.bc.assign(static_cast<std::size_t>(num_vertices()), 0.0);
+  for (std::size_t b = 0; b < nb; ++b) {
+    DoneBlock& blk = done[b];
+    const std::vector<bc_t>& partial =
+        blk.dev ? blk.dev->bc : blk.host_bc;
+    for (std::size_t v = 0; v < hr.result.bc.size(); ++v) {
+      hr.result.bc[v] += partial[v];
+    }
+    if (blk.dev) {
+      device_.absorb_timeline(*blk.dev->dev);
+      device_.memory().note_peak(blk.dev->peak_bytes);
+    } else if (b != probe) {
+      hr.host_ops += blk.ops;
+    }
+    ledger.charge(assign[b], blk.seconds);
+    ProcessorStat& stat = hr.processors[assign[b]];
+    stat.blocks += 1;
+    // The tail block can be empty (begin past count) when count is not a
+    // multiple of the block length; clamp instead of underflowing.
+    if (plan.end(b, count) > plan.begin(b)) {
+      stat.sources += plan.end(b, count) - plan.begin(b);
+    }
+    stat.busy_seconds += blk.seconds;
+    hr.busy_seconds += blk.seconds;
+  }
+  hr.result.last_source = done[nb - 1].last;
+  hr.result.sources = static_cast<vidx_t>(count);
+  hr.makespan_seconds = ledger.makespan();
+  hr.result.device_seconds = hr.makespan_seconds;
+  hr.result.peak_device_bytes = device_.memory().peak_bytes();
+  for (ProcessorStat& stat : hr.processors) {
+    stat.utilization =
+        hr.makespan_seconds > 0.0 ? stat.busy_seconds / hr.makespan_seconds
+                                  : 0.0;
+  }
+  return hr;
+}
+
+}  // namespace turbobc::hybrid

@@ -1,0 +1,114 @@
+// Hybrid CPU-GPU co-execution for exact BC (DESIGN.md §14).
+//
+// The host baseline and the modeled devices previously competed for the
+// same work; here they share it. One work queue holds TurboBC::block_plan's
+// 64-source blocks, and two kinds of processors drain it:
+//
+//   * modeled GPU workers — each block runs through the existing
+//     TurboBC::run_source_block on a fresh replica device (exactly the unit
+//     the ExecutorPool fan-out and the dist replicated strategy schedule);
+//   * the host — blocks run through baseline::SequentialBcLa's per-source
+//     accumulate, the CPU implementation of the same Algorithm 1 in the
+//     same CSC column fold order, timed by CpuModel::seconds_parallel (the
+//     22-core ligra-style currency, rounds = BFS sweeps).
+//
+// Bit-identity: the host arithmetic IS the scCSC device arithmetic — same
+// masked column gathers, same skip-exact-zero stores, same left folds — so
+// a block's partial BC vector is byte-identical whichever processor ran it,
+// and the engine proves it at runtime by running the heaviest block on BOTH
+// processors (the calibration probe) and checking the two partials bitwise.
+// Completed blocks then merge in ORIGINAL block order — the same rule
+// TurboBC::run_sources and the dist engine use — so hybrid BC is
+// bit-identical to single-engine run_exact (kScCsc pinned) at any
+// --threads N and any device count.
+//
+// Split heuristic (Mishra-style coarse source splitting): blocks are
+// weighted by sum(1 + stored in-degree) over their sources and visited
+// heavy-first; the probe's two times calibrate a seconds-per-weight rate
+// per processor class, and each block goes to the processor with the
+// earliest estimated finish (devices win ties) — so high-degree-source
+// blocks land on devices and the tail backfills the host, classic
+// list-scheduling work stealing played out on the modeled clock. The
+// estimated schedule is computed serially from the probe alone; actual
+// per-block modeled times are charged to a MakespanLedger afterwards, in
+// block order, so the reported makespan and per-processor utilization are
+// bit-identical at any pool width too.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/bc_la_seq.hpp"
+#include "core/turbobc.hpp"
+#include "gpusim/cpumodel.hpp"
+#include "gpusim/device.hpp"
+#include "graph/edge_list.hpp"
+#include "hybrid/ledger.hpp"
+
+namespace turbobc::hybrid {
+
+struct HybridOptions {
+  /// Modeled GPU workers draining the block queue (>= 1). Replica devices
+  /// built from the main device's props, like the dist replicate strategy.
+  int devices = 1;
+  /// Host processor model (rate calibration + block timing).
+  sim::CpuModel cpu = sim::CpuModel{};
+};
+
+/// One queue consumer's share of the run.
+struct ProcessorStat {
+  std::string name;  ///< "gpu0".."gpuK", "host"
+  std::size_t blocks = 0;
+  std::size_t sources = 0;
+  /// Calibrated seconds per unit block weight (the schedule's estimate).
+  double rate = 0.0;
+  /// Sum of actual modeled seconds of this processor's blocks (the probe
+  /// block is charged to BOTH gpu0 and the host — co-run calibration).
+  double busy_seconds = 0.0;
+  double utilization = 0.0;  ///< busy_seconds / makespan
+};
+
+struct HybridResult {
+  /// BC (bit-identical to TurboBC{kScCsc}::run_exact over the same
+  /// sources), with device_seconds set to the modeled makespan.
+  bc::BcResult result;
+  std::vector<ProcessorStat> processors;
+  double makespan_seconds = 0.0;
+  /// Serial sum of every block's modeled seconds on its own processor.
+  double busy_seconds = 0.0;
+  /// Index of the calibration block in the original block order.
+  std::size_t probe_block = 0;
+  std::size_t num_blocks = 0;
+  /// Host work counters (every host-run block plus the probe).
+  sim::CpuOpCounts host_ops;
+};
+
+class HybridTurboBC {
+ public:
+  /// Pins options.variant to kScCsc (the host path's fold order — the same
+  /// demotion rule the compressed engine applies) and rejects edge_bc /
+  /// compress, which the host path does not accumulate.
+  HybridTurboBC(sim::Device& device, const graph::EdgeList& graph,
+                bc::BcOptions options = {}, HybridOptions hybrid = {});
+
+  /// Exact BC: every vertex as source, co-executed.
+  HybridResult run_exact();
+
+  /// BC restricted to `sources`, co-executed. Bit-identical to
+  /// TurboBC::run_sources(sources) with the pinned variant.
+  HybridResult run_sources(const std::vector<vidx_t>& sources);
+
+  vidx_t num_vertices() const noexcept { return algo_.num_vertices(); }
+  const bc::BcOptions& options() const noexcept { return algo_.options(); }
+  const HybridOptions& hybrid_options() const noexcept { return hybrid_; }
+
+ private:
+  sim::Device& device_;
+  HybridOptions hybrid_;
+  bc::TurboBC algo_;
+  baseline::SequentialBcLa host_;
+  /// Stored-column degree per vertex (block weight input).
+  std::vector<eidx_t> degree_;
+};
+
+}  // namespace turbobc::hybrid

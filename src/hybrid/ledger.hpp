@@ -1,0 +1,73 @@
+// MakespanLedger: the modeled multi-lane serving clock shared by the hybrid
+// co-execution scheduler (src/hybrid/hybrid_bc.cpp) and the daemon's
+// metrics-plane reader-lane clock (src/daemon/scheduler.cpp).
+//
+// A ledger holds one monotone clock per lane plus a barrier clock. Work is
+// charged to a lane starting at max(lane clock, barrier clock); a barrier
+// raises every lane (and the barrier clock) to the current makespan. The
+// makespan — the max over all lane clocks and the barrier — is the modeled
+// completion time of everything charged so far, the number every
+// throughput-scaling gate in this repo compares across lane counts.
+//
+// The ledger is deliberately dumb: no synchronization (callers lock), no
+// floating-point cleverness (plain double adds in call order, so two runs
+// charging the same costs in the same order produce bit-identical clocks —
+// the property the hybrid engine's thread-determinism contract leans on).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace turbobc::hybrid {
+
+class MakespanLedger {
+ public:
+  explicit MakespanLedger(std::size_t lanes) : lane_clock_(lanes, 0.0) {
+    TBC_CHECK(lanes > 0, "MakespanLedger needs at least one lane");
+  }
+
+  std::size_t lanes() const noexcept { return lane_clock_.size(); }
+  double lane_clock(std::size_t lane) const { return lane_clock_.at(lane); }
+  double barrier_clock() const noexcept { return barrier_clock_; }
+
+  /// Lane with the lowest clock; the first such lane wins ties, so the
+  /// assignment is deterministic.
+  std::size_t least_busy() const noexcept {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < lane_clock_.size(); ++i) {
+      if (lane_clock_[i] < lane_clock_[best]) best = i;
+    }
+    return best;
+  }
+
+  /// Charge `seconds` of work to `lane`, starting no earlier than the
+  /// barrier clock. Returns the lane's new finish time.
+  double charge(std::size_t lane, double seconds) {
+    double& clock = lane_clock_.at(lane);
+    clock = std::max(clock, barrier_clock_) + seconds;
+    return clock;
+  }
+
+  /// Raise every lane and the barrier clock to the current makespan: work
+  /// charged after this cannot start before everything charged so far ends.
+  void barrier() {
+    const double t = makespan();
+    barrier_clock_ = t;
+    std::fill(lane_clock_.begin(), lane_clock_.end(), t);
+  }
+
+  double makespan() const noexcept {
+    double t = barrier_clock_;
+    for (const double l : lane_clock_) t = std::max(t, l);
+    return t;
+  }
+
+ private:
+  std::vector<double> lane_clock_;
+  double barrier_clock_ = 0.0;
+};
+
+}  // namespace turbobc::hybrid

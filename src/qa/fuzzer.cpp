@@ -31,6 +31,7 @@ OracleOptions case_oracle(const FuzzerOptions& options, int index) {
   oracle.check_serve = on_cadence(options.serve_every, 2);
   oracle.check_ooc = on_cadence(options.ooc_every, 0);
   oracle.check_daemon = on_cadence(options.daemon_every, 3);
+  oracle.check_hybrid = on_cadence(options.hybrid_every, 6);
   return oracle;
 }
 

@@ -73,6 +73,12 @@ struct FuzzerOptions {
   /// the six-cycle slot the other stages leave free — because each run
   /// spawns a real server plus client threads.
   int daemon_every = 12;
+  /// Run the hybrid co-execution stage (co-executed-vs-single bit identity,
+  /// probe acceptance, ledger accounting, full-report pool-width
+  /// determinism — see oracle.hpp) on every k-th case (0 disables).
+  /// Twelve-cycle at phase 6: the other half of the twelve-cycle from the
+  /// daemon stage, so the two heavyweight stages never share a case.
+  int hybrid_every = 12;
   /// Stop early after this many distinct failures (each one costs a
   /// minimization run).
   int max_failures = 8;

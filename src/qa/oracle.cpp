@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -30,6 +31,7 @@
 #include "graph/components.hpp"
 #include "graph/csc.hpp"
 #include "graph/mtx_io.hpp"
+#include "hybrid/hybrid_bc.hpp"
 #include "serve/protocol.hpp"
 #include "serve/serve_engine.hpp"
 #include "serve/session.hpp"
@@ -1246,6 +1248,122 @@ struct Checker {
     }
   }
 
+  // See oracle.hpp: hybrid CPU-GPU co-execution (src/hybrid/).
+  void check_hybrid() {
+    const vidx_t n = canon.num_vertices();
+
+    const auto same_bits = [](const std::vector<bc_t>& a,
+                              const std::vector<bc_t>& b) {
+      return a.size() == b.size() &&
+             (a.empty() ||
+              std::memcmp(a.data(), b.data(), a.size() * sizeof(bc_t)) == 0);
+    };
+
+    const auto run_hybrid = [&](unsigned width) {
+      PoolWidthGuard guard;
+      sim::ExecutorPool::instance().set_threads(width);
+      sim::Device dev;
+      dev.set_keep_launch_records(false);
+      hybrid::HybridTurboBC engine(dev, graph, {}, {.devices = 2});
+      return engine.run_exact();
+    };
+
+    hybrid::HybridResult serial;
+    try {
+      serial = run_hybrid(1);
+    } catch (const InternalError& e) {
+      // The engine's own runtime probe (heaviest block co-run on both
+      // processor classes, compared bitwise) throws on disagreement —
+      // that IS the invariant under test, so report it rather than
+      // letting it surface as unexpected_throw.
+      fail("hybrid_agreement",
+           std::string("co-execution probe rejected the run: ") + e.what());
+      return;
+    }
+
+    // Bit-identity against the single-engine run with the same pinned
+    // variant — the contract that makes co-execution transparent.
+    {
+      sim::Device dev;
+      dev.set_keep_launch_records(false);
+      bc::TurboBC algo(dev, graph, {.variant = bc::Variant::kScCsc});
+      const bc::BcResult want = algo.run_exact();
+      if (!same_bits(serial.result.bc, want.bc)) {
+        fail("hybrid_agreement",
+             "hybrid run_exact BC differs bitwise from the single-engine "
+             "kScCsc run_exact");
+      }
+    }
+
+    // Ledger sanity: the per-processor accounting must fold back to the
+    // whole run. Every block lands on exactly one processor; sources sum
+    // to n (the empty tail block contributes none); no lane can be busier
+    // than the makespan; the probe's host co-run is the one extra charge
+    // on top of busy_seconds.
+    {
+      std::size_t blocks = 0;
+      std::size_t src = 0;
+      double lane_busy_total = 0.0;
+      for (const hybrid::ProcessorStat& p : serial.processors) {
+        blocks += p.blocks;
+        src += p.sources;
+        lane_busy_total += p.busy_seconds;
+        if (p.utilization > 1.0 + 1e-12) {
+          std::ostringstream os;
+          os << p.name << " utilization " << p.utilization
+             << " exceeds 1 (busy " << p.busy_seconds << " s, makespan "
+             << serial.makespan_seconds << " s)";
+          fail("hybrid_agreement", os.str());
+        }
+      }
+      if (blocks != serial.num_blocks ||
+          src != static_cast<std::size_t>(n)) {
+        std::ostringstream os;
+        os << "processor accounting: " << blocks << " blocks / " << src
+           << " sources vs " << serial.num_blocks << " blocks / " << n
+           << " sources run";
+        fail("hybrid_agreement", os.str());
+      }
+      if (serial.makespan_seconds > lane_busy_total ||
+          serial.busy_seconds > lane_busy_total) {
+        std::ostringstream os;
+        os << "makespan " << serial.makespan_seconds << " s / busy "
+           << serial.busy_seconds
+           << " s exceed the per-lane fold " << lane_busy_total << " s";
+        fail("hybrid_agreement", os.str());
+      }
+    }
+
+    // Pool-width determinism of the FULL report: the schedule is computed
+    // serially from the probe, actual times are charged in block order, so
+    // every modeled number — not just the BC — must be bit-identical at
+    // any width.
+    if (opt.check_determinism && n > 1) {
+      const hybrid::HybridResult wide = run_hybrid(opt.det_threads);
+      bool same = same_bits(wide.result.bc, serial.result.bc) &&
+                  wide.makespan_seconds == serial.makespan_seconds &&
+                  wide.busy_seconds == serial.busy_seconds &&
+                  wide.probe_block == serial.probe_block &&
+                  wide.num_blocks == serial.num_blocks &&
+                  wide.result.peak_device_bytes ==
+                      serial.result.peak_device_bytes &&
+                  wide.processors.size() == serial.processors.size();
+      for (std::size_t p = 0; same && p < serial.processors.size(); ++p) {
+        const hybrid::ProcessorStat& a = serial.processors[p];
+        const hybrid::ProcessorStat& b = wide.processors[p];
+        same = a.name == b.name && a.blocks == b.blocks &&
+               a.sources == b.sources && a.rate == b.rate &&
+               a.busy_seconds == b.busy_seconds &&
+               a.utilization == b.utilization;
+      }
+      if (!same) {
+        fail("hybrid_agreement",
+             "threads=1 vs threads=" + std::to_string(opt.det_threads) +
+                 " hybrid reports differ (schedule, makespan, or stats)");
+      }
+    }
+  }
+
   void run() {
     check_mtx_roundtrip();
     if (canon.num_vertices() == 0) return;  // nothing else is defined
@@ -1294,6 +1412,10 @@ struct Checker {
     if (opt.check_ooc && canon.num_vertices() > 0 &&
         canon.num_vertices() <= opt.ooc_max_vertices) {
       check_ooc();
+    }
+    if (opt.check_hybrid && canon.num_vertices() > 0 &&
+        canon.num_vertices() <= opt.hybrid_max_vertices) {
+      check_hybrid();
     }
   }
 };

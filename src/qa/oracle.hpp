@@ -81,6 +81,15 @@
 //                         the compressed engine's simulated peak equals
 //                         the analytic TurboBC inventory with the graph
 //                         term swapped for the compressed image
+//   hybrid_agreement      hybrid CPU-GPU co-execution (src/hybrid/): the
+//                         co-executed run_exact BC is bit-identical to the
+//                         single-engine kScCsc run_exact, the runtime
+//                         calibration probe accepts the run, the
+//                         per-processor block/source/busy accounting folds
+//                         back to the whole run with every utilization
+//                         <= 1, and the FULL report (BC, makespan, busy,
+//                         schedule, per-processor stats) is bit-identical
+//                         at pool widths 1 and N
 //
 // Each failed check appends a Violation naming the invariant; the fuzz loop
 // and the delta-debugging minimizer key on those names.
@@ -161,6 +170,14 @@ struct OracleOptions {
   /// so (like check_exact) it is skipped above ooc_max_vertices.
   bool check_ooc = true;
   vidx_t ooc_max_vertices = 100;
+  /// Hybrid CPU-GPU co-execution (src/hybrid/): BC bit-identity against
+  /// the single-engine scCSC run_exact, pool-width determinism of the full
+  /// report (schedule, makespan, per-processor stats), and ledger sanity
+  /// (utilization <= 1, block/source accounting). Runs two full exact
+  /// passes plus a host replay, so (like check_exact) it is skipped above
+  /// hybrid_max_vertices.
+  bool check_hybrid = true;
+  vidx_t hybrid_max_vertices = 64;
 };
 
 struct Violation {

@@ -1,0 +1,40 @@
+#include "storage/lru_window.hpp"
+
+#include "common/error.hpp"
+
+namespace turbobc::storage {
+
+LruWindow::LruWindow(std::size_t slots, std::size_t capacity)
+    : resident_(slots, false), last_use_(slots, 0), capacity_(capacity) {
+  TBC_CHECK(capacity >= 1, "LRU window needs a capacity of at least one");
+}
+
+LruWindow::Touch LruWindow::touch(std::size_t k) {
+  last_use_.at(k) = ++tick_;
+  Touch t;
+  if (resident_[k]) {
+    t.hit = true;
+    return t;
+  }
+  if (resident_count_ >= capacity_) {
+    // Least recently used resident slot; k itself is not yet resident so
+    // its fresh tick never shields it. First minimum wins (ticks are
+    // unique, but determinism must not hinge on that).
+    std::size_t victim = resident_.size();
+    for (std::size_t i = 0; i < resident_.size(); ++i) {
+      if (resident_[i] &&
+          (victim == resident_.size() || last_use_[i] < last_use_[victim])) {
+        victim = i;
+      }
+    }
+    resident_[victim] = false;
+    --resident_count_;
+    t.evicted = true;
+    t.victim = victim;
+  }
+  resident_[k] = true;
+  ++resident_count_;
+  return t;
+}
+
+}  // namespace turbobc::storage

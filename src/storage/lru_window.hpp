@@ -1,0 +1,48 @@
+// LruWindow: the eviction policy of the streaming shard window, split from
+// StreamingTurboBC so the victim-selection order is a testable unit (and
+// reusable by any future bounded device-resident cache).
+//
+// The window tracks `slots` keys of which at most `capacity` are resident.
+// touch(k) bumps k's recency and reports what the caller must do: nothing
+// (hit), upload (miss with room), or evict `victim` then upload (miss with
+// a full window). Victim selection is the least-recently-used resident
+// slot; ticks are unique under the serial streaming engine so there are no
+// ties, and a hypothetical tie goes to the lowest slot index — fully
+// deterministic, which the streaming engine's bit-identity contract needs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace turbobc::storage {
+
+class LruWindow {
+ public:
+  struct Touch {
+    bool hit = false;      ///< already resident; no upload needed
+    bool evicted = false;  ///< window was full; `victim` was dropped
+    std::size_t victim = 0;
+  };
+
+  /// `slots` keys, at most `capacity` (>= 1) resident at a time.
+  LruWindow(std::size_t slots, std::size_t capacity);
+
+  /// Mark slot `k` used now; make it resident, evicting the LRU resident
+  /// slot if the window is at capacity.
+  Touch touch(std::size_t k);
+
+  bool resident(std::size_t k) const { return resident_.at(k); }
+  std::size_t resident_count() const noexcept { return resident_count_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t slots() const noexcept { return resident_.size(); }
+
+ private:
+  std::vector<bool> resident_;
+  std::vector<std::uint64_t> last_use_;
+  std::uint64_t tick_ = 0;
+  std::size_t resident_count_ = 0;
+  std::size_t capacity_ = 1;
+};
+
+}  // namespace turbobc::storage

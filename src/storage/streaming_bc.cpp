@@ -69,24 +69,16 @@ StreamingTurboBC::StreamingTurboBC(sim::Device& device,
     shards_.push_back(std::move(img));
   }
   window_.resize(shards_.size());
-  last_use_.assign(shards_.size(), 0);
+  lru_ = LruWindow(shards_.size(), static_cast<std::size_t>(options_.window));
 }
 
 const DeviceCompressedCsc& StreamingTurboBC::resident(std::size_t k) {
-  last_use_[k] = ++tick_;
-  if (window_[k].has_value()) return *window_[k];
-  if (resident_count_ >= options_.window) {
-    // Evict the least recently used resident shard (deterministic: serial
-    // execution, unique ticks).
-    std::size_t victim = shards_.size();
-    for (std::size_t i = 0; i < window_.size(); ++i) {
-      if (window_[i].has_value() &&
-          (victim == shards_.size() || last_use_[i] < last_use_[victim])) {
-        victim = i;
-      }
-    }
-    window_[victim].reset();
-    --resident_count_;
+  // Victim selection lives in LruWindow (unit-tested in isolation); this
+  // method keeps the upload and ledger bookkeeping.
+  const LruWindow::Touch touch = lru_.touch(k);
+  if (touch.hit) return *window_[k];
+  if (touch.evicted) {
+    window_[touch.victim].reset();
     ++ledger_.evictions;
   }
   ShardImage& img = shards_[k];
@@ -94,7 +86,6 @@ const DeviceCompressedCsc& StreamingTurboBC::resident(std::size_t k) {
   // fetch — charged to the device's transfer ledger as they happen.
   window_[k].emplace(device_, img.cols, img.col_ptr, img.byte_off,
                      img.stream, img.fmt);
-  ++resident_count_;
   ++ledger_.shard_uploads;
   ledger_.upload_bytes += img.device_bytes;
   if (img.uploaded_once) ledger_.refetch_bytes += img.device_bytes;

@@ -42,6 +42,7 @@
 #include "gpusim/device.hpp"
 #include "storage/compressed_csc.hpp"
 #include "storage/device_ccsc.hpp"
+#include "storage/lru_window.hpp"
 
 namespace turbobc::storage {
 
@@ -112,9 +113,7 @@ class StreamingTurboBC {
   bool directed_ = false;
   std::vector<ShardImage> shards_;
   std::vector<std::optional<DeviceCompressedCsc>> window_;  // slot per shard
-  std::vector<std::uint64_t> last_use_;
-  std::uint64_t tick_ = 0;
-  int resident_count_ = 0;
+  LruWindow lru_{1, 1};  // re-made in the ctor once the shard count is known
   StreamingLedger ledger_;
 };
 

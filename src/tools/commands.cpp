@@ -28,6 +28,7 @@
 #include "graph/bfs_probe.hpp"
 #include "graph/mtx_io.hpp"
 #include "graph/stats.hpp"
+#include "hybrid/hybrid_bc.hpp"
 #include "daemon/client.hpp"
 #include "daemon/server.hpp"
 #include "serve/session.hpp"
@@ -160,6 +161,7 @@ std::string cli_usage() {
       "      [--trace out.json]\n"
       "      [--devices K] [--dist auto|replicate|partition] [--nvlink]\n"
       "      [--compress] [--stream-window W [--stream-shards K]]\n"
+      "      [--hybrid]\n"
       "      --advance picks the forward sweep: 'push' expands the frontier\n"
       "      (the paper's SpMV), 'pull' has undiscovered columns probe a\n"
       "      frontier bitmap, 'auto' switches per level by the Beamer\n"
@@ -169,6 +171,11 @@ std::string cli_usage() {
       "      'replicate' fans source blocks across whole-graph replicas,\n"
       "      'partition' shards CSC column blocks so graphs past one\n"
       "      device's memory wall still run; 'auto' picks by footprint\n"
+      "      --hybrid (with --exact) co-executes the 64-source blocks on\n"
+      "      the host CPU model AND --devices K modeled GPUs from one work\n"
+      "      queue — heavy blocks go to the devices, the tail backfills the\n"
+      "      host — reporting the co-execution makespan and per-processor\n"
+      "      utilization; BC stays bit-identical to the single-device run\n"
       "      --batch with --dist partition packs each source block into\n"
       "      per-vertex 64-bit masks (MS-BFS) so one mask word per vertex\n"
       "      per level crosses the interconnect for all lanes (push only)\n"
@@ -429,14 +436,46 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
   }
   std::optional<storage::CompressedCsc> cgraph;
   const auto g = load_graph_maybe_compressed(args, 1, cgraph);
-  const bc::Variant variant = parse_variant(args, g);
+  bc::Variant variant = parse_variant(args, g);
   const bc::Advance advance = parse_advance(args);
 
   const auto devices = static_cast<int>(args.get_count("devices", 1));
-  const bool use_dist = devices > 1 || args.has("dist");
+  const bool hybrid_mode = args.has("hybrid");
+  // --hybrid reinterprets --devices as its modeled GPU worker count, so it
+  // never routes through the dist engine.
+  const bool use_dist = !hybrid_mode && (devices > 1 || args.has("dist"));
   const bool want_trace = args.has("trace");
   const bool compress = args.has("compress");
   const bool streaming = args.has("stream-window");
+  if (hybrid_mode) {
+    if (!args.has("exact")) {
+      throw UsageError("--hybrid needs --exact (co-execution splits the "
+                       "all-sources block queue)");
+    }
+    if (args.has("dist")) {
+      throw UsageError("--hybrid schedules its own devices (drop --dist; "
+                       "--devices K sets the hybrid GPU worker count)");
+    }
+    if (args.has("edge-bc")) {
+      throw UsageError("--hybrid does not support --edge-bc (the host path "
+                       "accumulates vertex BC only)");
+    }
+    if (compress || streaming) {
+      throw UsageError("--hybrid runs on the uncompressed resident graph "
+                       "(drop --compress/--stream-window)");
+    }
+    if (args.has("batch")) {
+      throw UsageError("--hybrid does not support --batch (blocks are the "
+                       "scheduling unit already)");
+    }
+    if (advance != bc::Advance::kPush) {
+      throw UsageError("--hybrid is push-only (the host path mirrors the "
+                       "push sweep's arithmetic)");
+    }
+    if (want_trace) {
+      throw UsageError("--trace is single-engine only (drop --hybrid)");
+    }
+  }
   if (compress && args.has("edge-bc")) {
     throw UsageError(
         "--compress does not support --edge-bc (the edge accumulator indexes "
@@ -468,9 +507,19 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
   bc::BcResult r;
   std::string mode;
   std::optional<dist::DistResult> dres;  // multi-GPU extras for reporting
+  std::optional<hybrid::HybridResult> hres;  // co-execution extras
   dist::Strategy strategy_used = dist::Strategy::kReplicate;
   std::unique_ptr<sim::Device> device;  // single-device path; kept for --trace
-  if (use_dist) {
+  if (hybrid_mode) {
+    device = std::make_unique<sim::Device>();
+    device->set_keep_launch_records(false);
+    hybrid::HybridTurboBC engine(*device, g, {.variant = variant},
+                                 {.devices = devices});
+    variant = engine.options().variant;  // pinned to sccsc
+    hres = engine.run_exact();
+    r = std::move(hres->result);
+    mode = "exact, hybrid";
+  } else if (use_dist) {
     const auto strategy = dist::parse_strategy(args.get("dist", "auto"));
     if (!strategy) {
       throw UsageError("unknown --dist '" + args.get("dist", "auto") +
@@ -660,6 +709,24 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
       }
       out << "],\n";
     }
+    if (hres) {
+      out << "  \"hybrid\": {\"devices\": " << devices
+          << ", \"blocks\": " << hres->num_blocks
+          << ", \"probe_block\": " << hres->probe_block
+          << ", \"makespan_ms\": " << fixed(hres->makespan_seconds * 1e3, 6)
+          << ", \"busy_ms\": " << fixed(hres->busy_seconds * 1e3, 6)
+          << ", \"processors\": [";
+      bool pfirst = true;
+      for (const hybrid::ProcessorStat& p : hres->processors) {
+        out << (pfirst ? "" : ", ") << "{\"name\": \"" << p.name
+            << "\", \"blocks\": " << p.blocks
+            << ", \"sources\": " << p.sources
+            << ", \"busy_ms\": " << fixed(p.busy_seconds * 1e3, 6)
+            << ", \"utilization\": " << fixed(p.utilization, 4) << "}";
+        pfirst = false;
+      }
+      out << "]},\n";
+    }
     out << "  \"top\": [";
     bool first = true;
     for (const vidx_t v : top_order(r.bc, top_k)) {
@@ -719,6 +786,21 @@ int cmd_bc(const CliArgs& args, std::ostream& out, std::ostream& err) {
                     human_bytes(s.comm_bytes_received)});
       }
       st.print(out);
+    }
+    if (hres) {
+      out << "hybrid co-execution: " << devices
+          << " modeled device(s) + host, " << hres->num_blocks
+          << " blocks, makespan " << fixed(hres->makespan_seconds * 1e3, 3)
+          << " ms (serial busy " << fixed(hres->busy_seconds * 1e3, 3)
+          << " ms)\n";
+      Table ht({"processor", "blocks", "sources", "busy ms", "util"});
+      for (const hybrid::ProcessorStat& p : hres->processors) {
+        ht.add_row({p.name, std::to_string(p.blocks),
+                    std::to_string(p.sources),
+                    fixed(p.busy_seconds * 1e3, 3),
+                    fixed(p.utilization, 3)});
+      }
+      ht.print(out);
     }
     print_top_vertices(out, r.bc, top_k);
 
@@ -922,12 +1004,13 @@ int cmd_daemon(const CliArgs& args, std::ostream& out, std::ostream& /*err*/) {
   const std::int64_t top = args.get_int("top", 5);
   if (top < 0) throw UsageError("--top must be >= 0");
   opt.top = static_cast<vidx_t>(top);
-  const std::int64_t queue = args.get_int("queue-limit", 8);
-  if (queue < 1) throw UsageError("--queue-limit must be >= 1");
-  opt.sched.update_queue_limit = static_cast<std::size_t>(queue);
-  const std::int64_t lanes = args.get_int("readers", 1);
-  if (lanes < 1) throw UsageError("--readers must be >= 1");
-  opt.sched.reader_lanes = static_cast<unsigned>(lanes);
+  // Counted flags go through get_count so zero, negatives, garbage, and
+  // overflow all get the same prose usage error (exit 2) — the Scheduler
+  // ctor no longer coerces zeros for callers that skip the CLI.
+  opt.sched.update_queue_limit =
+      static_cast<std::size_t>(args.get_count("queue-limit", 8));
+  opt.sched.reader_lanes =
+      static_cast<unsigned>(args.get_count("readers", 1));
   const std::int64_t max_line = args.get_int("max-line", 4096);
   if (max_line < 64) throw UsageError("--max-line must be >= 64");
   opt.max_line = static_cast<std::size_t>(max_line);

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
 #include "daemon/scheduler.hpp"
 #include "daemon/server.hpp"
 #include "daemon/socket.hpp"
@@ -308,6 +309,85 @@ TEST(DaemonScheduler, MetricsCountQueriesAndRenderBothFormats) {
   const std::string j = scheduler.render_metrics(json);
   EXPECT_EQ(j.rfind("{\"event\":\"metrics\"", 0), 0u) << j;
   EXPECT_NE(j.find("\"queries\":2"), std::string::npos) << j;
+}
+
+// ---------------------------------------------------------------------------
+// bucket_quantile: exact-rank pins. The quantile's rank is the CEILING of
+// q * total — the truncation bug reported the p50 of 3 samples as the 1st
+// sample's bucket and collapsed sub-100-sample p99s toward the minimum.
+
+TEST(BucketQuantile, EmptyHistogramIsZero) {
+  std::uint64_t buckets[64] = {};
+  EXPECT_EQ(bucket_quantile(buckets, 0.50), 0u);
+  EXPECT_EQ(bucket_quantile(buckets, 0.99), 0u);
+}
+
+TEST(BucketQuantile, SingleSampleReportsItsBucket) {
+  std::uint64_t buckets[64] = {};
+  buckets[5] = 1;  // one sample in (2^4, 2^5]
+  EXPECT_EQ(bucket_quantile(buckets, 0.50), 1ull << 5);
+  EXPECT_EQ(bucket_quantile(buckets, 0.99), 1ull << 5);
+  // Bucket 0 reports its inclusive upper bound of 1 microsecond.
+  std::uint64_t fast[64] = {};
+  fast[0] = 1;
+  EXPECT_EQ(bucket_quantile(fast, 0.50), 1u);
+}
+
+TEST(BucketQuantile, OddTotalCeilsTheRank) {
+  // Samples in buckets 2, 4, 6: the p50 of 3 samples is the 2nd one
+  // (ceil(0.5 * 3) = 2), i.e. bucket 4. The truncated rank asked for the
+  // 1st and reported bucket 2.
+  std::uint64_t buckets[64] = {};
+  buckets[2] = 1;
+  buckets[4] = 1;
+  buckets[6] = 1;
+  EXPECT_EQ(bucket_quantile(buckets, 0.50), 1ull << 4);
+  // p99 of 3 samples: ceil(2.97) = 3rd sample, the maximum.
+  EXPECT_EQ(bucket_quantile(buckets, 0.99), 1ull << 6);
+}
+
+TEST(BucketQuantile, EvenTotalKeepsTheLowerMedian) {
+  // 4 samples: ceil(0.5 * 4) = 2 exactly — integral ranks are unchanged by
+  // the ceiling, so the even-total median stays the lower of the middle two.
+  std::uint64_t buckets[64] = {};
+  buckets[1] = 2;
+  buckets[3] = 2;
+  EXPECT_EQ(bucket_quantile(buckets, 0.50), 1ull << 1);
+  EXPECT_EQ(bucket_quantile(buckets, 0.75), 1ull << 3);
+}
+
+TEST(BucketQuantile, P99NeedsTheTailSample) {
+  // 99 fast samples and 1 slow one: p99 = ceil(0.99 * 100) = 99th sample
+  // (still fast), p999 rounds up into the slow tail.
+  std::uint64_t buckets[64] = {};
+  buckets[1] = 99;
+  buckets[10] = 1;
+  EXPECT_EQ(bucket_quantile(buckets, 0.99), 1ull << 1);
+  EXPECT_EQ(bucket_quantile(buckets, 0.999), 1ull << 10);
+}
+
+TEST(BucketQuantile, OverflowBucketHasNoUpperBound) {
+  // Bucket 63 is where the histogram fill clamps; a quantile landing there
+  // reports ~0 ("off the histogram") rather than a fake 2^63 bound.
+  std::uint64_t buckets[64] = {};
+  buckets[63] = 1;
+  EXPECT_EQ(bucket_quantile(buckets, 0.50), ~0ull);
+  buckets[2] = 1;
+  EXPECT_EQ(bucket_quantile(buckets, 0.50), 1ull << 2);
+  EXPECT_EQ(bucket_quantile(buckets, 0.99), ~0ull);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler construction: zero lanes/limit used to be silently coerced to 1.
+
+TEST(DaemonScheduler, RejectsZeroReaderLanesAndZeroQueueLimit) {
+  Scheduler::Options zero_lanes;
+  zero_lanes.reader_lanes = 0;
+  EXPECT_THROW(Scheduler(path5(), {}, zero_lanes), InvalidArgument);
+
+  Scheduler::Options zero_queue;
+  zero_queue.update_queue_limit = 0;
+  EXPECT_THROW(Scheduler(path5(), {}, zero_queue), InvalidArgument);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 
 #include "core/variant.hpp"
 #include "generators/generators.hpp"
+#include "graph/mtx_io.hpp"
 #include "graph/stats.hpp"
 
 namespace turbobc::graph {
@@ -115,6 +116,23 @@ TEST(FamilyClassification, TrafficTraceIsHubbyScCooc) {
   // for the mawi traces).
   expect_family(gen::traffic_trace({}), false, bc::Variant::kScCooc, 2.0,
                 6.0);
+}
+
+// Vendored fixture INSIDE the 50x crossover band: a mid-band in-degree skew
+// (max/mean ~23.5x — between the regular meshes at ~1-3x and mawi_tail at
+// ~1016x) must stay on the scCSC side of the COOC rule. This pins the
+// boundary from below the same way mawi_tail pins it from above;
+// bench_ablation_scf re-checks the verdict empirically.
+TEST(FamilyClassification, MidskewFixtureStaysScCsc) {
+  EdgeList el =
+      read_matrix_market_file(TURBOBC_FIXTURES_DIR "/midskew.mtx");
+  el.canonicalize();
+  const auto stats = in_degree_stats(el);
+  const double ratio = static_cast<double>(stats.max) / stats.mean;
+  EXPECT_GE(ratio, 20.0);
+  EXPECT_LE(ratio, 50.0);  // inside the band, below the COOC crossover
+  // scf ~ 4.4: one moderate hub cannot make a ring lattice scale-free.
+  expect_family(el, false, bc::Variant::kScCsc, 3.0, 7.0);
 }
 
 }  // namespace

@@ -1,0 +1,283 @@
+// Hybrid co-execution engine: bit-identity against the single-engine scCSC
+// run on every generator family at pool widths 1 and 8, ledger algebra,
+// scheduler bookkeeping, and the constructor contract.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "core/turbobc.hpp"
+#include "generators/generators.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
+#include "hybrid/hybrid_bc.hpp"
+#include "hybrid/ledger.hpp"
+
+namespace turbobc::hybrid {
+namespace {
+
+struct PoolGuard {
+  explicit PoolGuard(unsigned width) {
+    sim::ExecutorPool::instance().set_threads(width);
+  }
+  ~PoolGuard() { sim::ExecutorPool::instance().set_threads(1); }
+};
+
+struct FamilyCase {
+  const char* name;
+  graph::EdgeList graph;
+};
+
+std::vector<FamilyCase> family_cases() {
+  std::vector<FamilyCase> cases;
+  cases.push_back({"mycielski", gen::mycielski(7)});
+  cases.push_back({"kronecker",
+                   gen::kronecker({.scale = 8, .edge_factor = 8, .seed = 21})});
+  cases.push_back({"small_world",
+                   gen::small_world({.n = 250, .k = 6, .rewire_p = 0.15,
+                                     .seed = 22})});
+  cases.push_back({"triangulated_grid", gen::triangulated_grid(14, 13)});
+  cases.push_back({"markov_lattice",
+                   gen::markov_lattice({.length = 16, .width = 12,
+                                        .burst_p = 0.02, .burst_size = 10,
+                                        .seed = 23})});
+  cases.push_back({"road",
+                   gen::road_network({.grid_rows = 5, .grid_cols = 5,
+                                      .keep_p = 0.7, .subdivisions = 4,
+                                      .seed = 24})});
+  cases.push_back({"kmer",
+                   gen::kmer_like({.chains = 10, .chain_len = 18,
+                                   .branching = 3, .seed = 25})});
+  cases.push_back({"preferential",
+                   gen::preferential_attachment({.n = 220, .m_attach = 2,
+                                                 .directed = false,
+                                                 .seed = 26})});
+  cases.push_back({"superhub",
+                   gen::superhub_social({.n = 220, .out_degree = 6,
+                                         .celebrities = 3, .celebrity_p = 0.3,
+                                         .seed = 27})});
+  cases.push_back({"web_crawl",
+                   gen::web_crawl({.n = 220, .out_degree = 5, .copy_p = 0.4,
+                                   .local_p = 0.8, .window = 25, .seed = 28})});
+  cases.push_back({"traffic",
+                   gen::traffic_trace({.n = 250, .hubs = 5, .decay = 0.5,
+                                       .seed = 29})});
+  cases.push_back({"erdos_renyi_directed",
+                   gen::erdos_renyi({.n = 200, .arcs = 900, .directed = true,
+                                     .seed = 30})});
+  cases.push_back({"random_local_digraph",
+                   gen::random_local_digraph({.n = 220, .mean_out_degree = 5,
+                                              .degree_dispersion = 0.9,
+                                              .max_out_degree = 40,
+                                              .window = 25, .global_p = 0.02,
+                                              .seed = 31})});
+  return cases;
+}
+
+void expect_bitwise_equal(const std::vector<bc_t>& a,
+                          const std::vector<bc_t>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    ASSERT_EQ(std::memcmp(&a[v], &b[v], sizeof(bc_t)), 0)
+        << what << " differs at vertex " << v << ": " << a[v] << " vs "
+        << b[v];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MakespanLedger algebra.
+
+TEST(MakespanLedger, ChargesAccumulatePerLane) {
+  MakespanLedger ledger(3);
+  EXPECT_EQ(ledger.lanes(), 3u);
+  EXPECT_DOUBLE_EQ(ledger.charge(0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(ledger.charge(0, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(ledger.charge(1, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(ledger.lane_clock(2), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.makespan(), 3.0);
+}
+
+TEST(MakespanLedger, LeastBusyBreaksTiesLow) {
+  MakespanLedger ledger(3);
+  EXPECT_EQ(ledger.least_busy(), 0u);
+  ledger.charge(0, 1.0);
+  EXPECT_EQ(ledger.least_busy(), 1u);
+  ledger.charge(1, 1.0);
+  ledger.charge(2, 1.0);
+  EXPECT_EQ(ledger.least_busy(), 0u);  // all equal again
+}
+
+TEST(MakespanLedger, BarrierRaisesEveryLane) {
+  MakespanLedger ledger(2);
+  ledger.charge(0, 5.0);
+  ledger.charge(1, 1.0);
+  ledger.barrier();
+  EXPECT_DOUBLE_EQ(ledger.lane_clock(1), 5.0);
+  EXPECT_DOUBLE_EQ(ledger.barrier_clock(), 5.0);
+  // Work after the barrier starts at the barrier even on the idle lane.
+  EXPECT_DOUBLE_EQ(ledger.charge(1, 2.0), 7.0);
+  EXPECT_DOUBLE_EQ(ledger.makespan(), 7.0);
+}
+
+TEST(MakespanLedger, RejectsZeroLanes) {
+  EXPECT_THROW(MakespanLedger(0), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Constructor contract.
+
+TEST(HybridTurboBC, PinsScCscAndRejectsUnsupportedModes) {
+  const auto g = gen::mycielski(5);
+  sim::Device device;
+  HybridTurboBC hybrid(device, g, {.variant = bc::Variant::kVeCsc});
+  EXPECT_EQ(hybrid.options().variant, bc::Variant::kScCsc);
+
+  EXPECT_THROW(HybridTurboBC(device, g, {.edge_bc = true}), InvalidArgument);
+  EXPECT_THROW(HybridTurboBC(device, g, {.compress = true}), InvalidArgument);
+  EXPECT_THROW(HybridTurboBC(device, g, {}, {.devices = 0}), InvalidArgument);
+}
+
+TEST(HybridTurboBC, RejectsEmptySourceList) {
+  const auto g = gen::mycielski(5);
+  sim::Device device;
+  HybridTurboBC hybrid(device, g);
+  EXPECT_THROW(hybrid.run_sources({}), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity sweep: hybrid == single-engine scCSC run_exact on every
+// family, at pool width 1 and 8, with 1 and 2 modeled devices.
+
+class HybridFamilySweep
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(HybridFamilySweep, ExactBcBitIdenticalToSingleEngine) {
+  const auto cases = family_cases();
+  const auto& c = cases[static_cast<std::size_t>(std::get<0>(GetParam()))];
+  const unsigned width = std::get<1>(GetParam());
+  PoolGuard pool(width);
+
+  sim::Device single_dev;
+  bc::TurboBC single(single_dev, c.graph, {.variant = bc::Variant::kScCsc});
+  const auto want = single.run_exact();
+
+  sim::Device hybrid_dev;
+  HybridTurboBC hybrid(hybrid_dev, c.graph, {}, {.devices = 2});
+  const auto got = hybrid.run_exact();
+
+  expect_bitwise_equal(got.result.bc, want.bc, c.name);
+  EXPECT_EQ(got.result.sources, want.sources) << c.name;
+  EXPECT_EQ(got.result.last_source.bfs_depth, want.last_source.bfs_depth)
+      << c.name;
+  EXPECT_EQ(got.result.last_source.reached, want.last_source.reached)
+      << c.name;
+}
+
+std::string hybrid_sweep_name(
+    const ::testing::TestParamInfo<std::tuple<int, unsigned>>& info) {
+  static const char* families[] = {
+      "mycielski", "kronecker",  "small_world", "grid",
+      "markov",    "road",       "kmer",        "preferential",
+      "superhub",  "web_crawl",  "traffic",     "erdos_renyi",
+      "local_digraph"};
+  return std::string(families[std::get<0>(info.param)]) + "_threads" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, HybridFamilySweep,
+                         ::testing::Combine(::testing::Range(0, 13),
+                                            ::testing::Values(1u, 8u)),
+                         hybrid_sweep_name);
+
+// ---------------------------------------------------------------------------
+// Thread-determinism of the full report: the schedule, ledger, and stats
+// are computed from modeled quantities only, so pool width 1 and 8 agree
+// bit for bit on everything, not just the BC vector.
+
+TEST(HybridTurboBC, ReportIsIdenticalAcrossPoolWidths) {
+  const auto g = gen::kronecker({.scale = 8, .edge_factor = 8, .seed = 21});
+
+  const auto run_at = [&](unsigned width) {
+    PoolGuard pool(width);
+    sim::Device device;
+    HybridTurboBC hybrid(device, g, {}, {.devices = 2});
+    return hybrid.run_exact();
+  };
+  const auto a = run_at(1);
+  const auto b = run_at(8);
+
+  expect_bitwise_equal(a.result.bc, b.result.bc, "bc");
+  EXPECT_EQ(a.makespan_seconds, b.makespan_seconds);
+  EXPECT_EQ(a.busy_seconds, b.busy_seconds);
+  EXPECT_EQ(a.probe_block, b.probe_block);
+  EXPECT_EQ(a.num_blocks, b.num_blocks);
+  EXPECT_EQ(a.result.device_seconds, b.result.device_seconds);
+  EXPECT_EQ(a.result.peak_device_bytes, b.result.peak_device_bytes);
+  ASSERT_EQ(a.processors.size(), b.processors.size());
+  for (std::size_t p = 0; p < a.processors.size(); ++p) {
+    EXPECT_EQ(a.processors[p].name, b.processors[p].name);
+    EXPECT_EQ(a.processors[p].blocks, b.processors[p].blocks);
+    EXPECT_EQ(a.processors[p].sources, b.processors[p].sources);
+    EXPECT_EQ(a.processors[p].rate, b.processors[p].rate);
+    EXPECT_EQ(a.processors[p].busy_seconds, b.processors[p].busy_seconds);
+    EXPECT_EQ(a.processors[p].utilization, b.processors[p].utilization);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler bookkeeping invariants.
+
+TEST(HybridTurboBC, LedgerAccountingIsConsistent) {
+  const auto g = gen::small_world({.n = 250, .k = 6, .rewire_p = 0.15,
+                                   .seed = 22});
+  sim::Device device;
+  HybridTurboBC hybrid(device, g, {}, {.devices = 2});
+  const auto r = hybrid.run_exact();
+
+  ASSERT_EQ(r.processors.size(), 3u);  // gpu0, gpu1, host
+  EXPECT_EQ(r.processors[0].name, "gpu0");
+  EXPECT_EQ(r.processors[1].name, "gpu1");
+  EXPECT_EQ(r.processors[2].name, "host");
+  EXPECT_EQ(r.num_blocks, 64u);  // 250 sources -> full 64-block plan
+
+  std::size_t blocks = 0, sources = 0;
+  double busy = 0.0;
+  for (const auto& p : r.processors) {
+    blocks += p.blocks;
+    sources += p.sources;
+    busy += p.busy_seconds;
+    EXPECT_GE(p.rate, 0.0);
+    EXPECT_GE(p.utilization, 0.0);
+    EXPECT_LE(p.utilization, 1.0 + 1e-12) << p.name;
+  }
+  EXPECT_EQ(blocks, r.num_blocks);
+  EXPECT_EQ(sources, static_cast<std::size_t>(g.num_vertices()));
+  // Per-processor busy includes the probe's host co-run; the run-level
+  // serial sum does not double count the probe's device time.
+  EXPECT_GT(r.makespan_seconds, 0.0);
+  EXPECT_LE(r.makespan_seconds, busy + 1e-15);
+  EXPECT_GE(busy, r.busy_seconds);
+  EXPECT_GT(r.host_ops.alu_ops, 0u);  // probe always runs on the host
+  EXPECT_EQ(r.result.device_seconds, r.makespan_seconds);
+}
+
+// The probe runs on both processors even when every block lands on the
+// devices; single-block runs exercise that degenerate path.
+TEST(HybridTurboBC, SingleBlockRunStillProbes) {
+  const auto g = gen::mycielski(5);
+  sim::Device device;
+  HybridTurboBC hybrid(device, g);
+  std::vector<vidx_t> sources(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(sources.begin(), sources.end(), 0);
+  // <= 64 sources: one source per block, still co-validated per run.
+  const auto r = hybrid.run_sources(sources);
+  EXPECT_EQ(r.num_blocks, sources.size());
+
+  sim::Device single_dev;
+  bc::TurboBC single(single_dev, g, {.variant = bc::Variant::kScCsc});
+  expect_bitwise_equal(r.result.bc, single.run_exact().bc, "mycielski");
+}
+
+}  // namespace
+}  // namespace turbobc::hybrid

@@ -215,6 +215,25 @@ TEST(Oracle, OocChecksCanBeDisabled) {
   EXPECT_TRUE(r.ok()) << r.summary();
 }
 
+TEST(Oracle, HybridChecksCanBeDisabled) {
+  const auto g =
+      gen::erdos_renyi({.n = 30, .arcs = 100, .directed = false, .seed = 35});
+  OracleOptions opt;
+  opt.check_hybrid = false;
+  const OracleReport r = check_graph(g, opt);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(Oracle, HybridChecksPassOnDirectedGraph) {
+  // Directed shapes skew the block weights (stored-column in-degrees), so
+  // the probe usually lands off block 0 and the host steals a real tail —
+  // both schedule branches run inside the hybrid stage.
+  const auto g =
+      gen::erdos_renyi({.n = 26, .arcs = 85, .directed = true, .seed = 36});
+  const OracleReport r = check_graph(g);
+  EXPECT_TRUE(r.ok()) << r.summary();
+}
+
 TEST(Oracle, OocChecksPassOnDirectedScatterPath) {
   // Directed graphs route the streamed backward stage through the CCSC
   // scatter kernel; the clean-graph pass above covers the undirected

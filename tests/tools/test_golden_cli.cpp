@@ -277,6 +277,53 @@ TEST(GoldenCli, ErrorUnknownAdvance) {
       "cli_error_unknown_advance.txt.golden");
 }
 
+TEST(GoldenCli, BcHybridJsonMycielski) {
+  const auto g = mycielski_graph();
+  expect_matches_golden(
+      run_ok({"bc", g.c_str(), "--exact", "--hybrid", "--devices", "2",
+              "--verify", "--top", "5", "--json"}),
+      "bc_mycielski6_hybrid.json.golden");
+}
+
+TEST(GoldenCli, BcHybridTextGrid) {
+  const auto g = grid_graph();
+  expect_matches_golden(
+      run_ok({"bc", g.c_str(), "--exact", "--hybrid", "--verify", "--top",
+              "5"}),
+      "bc_grid8x8_hybrid.txt.golden");
+}
+
+TEST(GoldenCli, ErrorHybridWithoutExact) {
+  const auto g = mycielski_graph();
+  expect_matches_golden(
+      run_usage_error({"bc", g.c_str(), "--source", "3", "--hybrid"}),
+      "cli_error_hybrid_no_exact.txt.golden");
+}
+
+TEST(GoldenCli, ErrorHybridWithDist) {
+  const auto g = mycielski_graph();
+  expect_matches_golden(
+      run_usage_error({"bc", g.c_str(), "--exact", "--hybrid", "--dist",
+                       "partition"}),
+      "cli_error_hybrid_dist.txt.golden");
+}
+
+TEST(GoldenCli, ErrorDaemonZeroReaders) {
+  const auto g = mycielski_graph();
+  expect_matches_golden(
+      run_usage_error({"daemon", g.c_str(), "--listen", "127.0.0.1:0",
+                       "--readers", "0"}),
+      "cli_error_readers_zero.txt.golden");
+}
+
+TEST(GoldenCli, ErrorDaemonZeroQueueLimit) {
+  const auto g = mycielski_graph();
+  expect_matches_golden(
+      run_usage_error({"daemon", g.c_str(), "--listen", "127.0.0.1:0",
+                       "--queue-limit", "0"}),
+      "cli_error_queue_limit_zero.txt.golden");
+}
+
 TEST(GoldenCli, BfsAdvanceAutoTextMycielski) {
   const auto g = mycielski_graph();
   expect_matches_golden(
